@@ -1,0 +1,62 @@
+//! Microbenchmark: wire codec throughput for representative payloads.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use tbon_core::codec::{decode_value, encode_value_to_vec};
+use tbon_core::DataValue;
+
+fn payloads() -> Vec<(&'static str, DataValue)> {
+    vec![
+        ("scalar_i64", DataValue::I64(42)),
+        (
+            "metric_record_32f",
+            DataValue::ArrayF64((0..32).map(|i| i as f64).collect()),
+        ),
+        (
+            "meanshift_1k_points",
+            DataValue::ArrayF64((0..2048).map(|i| i as f64 * 0.5).collect()),
+        ),
+        (
+            "catalog_50_strings",
+            DataValue::Tuple(
+                (0..50)
+                    .map(|i| DataValue::Str(format!("metric/shared/cpu_time_{i}")))
+                    .collect(),
+            ),
+        ),
+        (
+            "nested_classes",
+            DataValue::Tuple(
+                (0..8)
+                    .map(|i| {
+                        DataValue::Tuple(vec![
+                            DataValue::Str(format!("class_{i}")),
+                            DataValue::ArrayI64((0..64).collect()),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codec");
+    for (name, value) in payloads() {
+        let bytes = encode_value_to_vec(&value);
+        group.throughput(Throughput::Bytes(bytes.len() as u64));
+        group.bench_function(format!("encode/{name}"), |b| {
+            b.iter(|| encode_value_to_vec(std::hint::black_box(&value)))
+        });
+        group.bench_function(format!("decode/{name}"), |b| {
+            b.iter_batched(
+                || bytes.clone(),
+                |buf| decode_value(std::hint::black_box(&buf)).unwrap(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

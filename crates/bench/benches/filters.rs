@@ -1,0 +1,94 @@
+//! Microbenchmark: per-wave throughput of each built-in transformation
+//! filter at representative fan-ins.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tbon_core::{DataValue, FilterContext, Packet, Rank, StreamId, Tag};
+use tbon_filters::builtin_registry;
+
+fn wave_of(fanin: usize, make: impl Fn(usize) -> DataValue) -> Vec<Packet> {
+    (0..fanin)
+        .map(|i| Packet::new(StreamId(1), Tag(0), Rank(i as u32 + 1), make(i)))
+        .collect()
+}
+
+fn bench_filters(c: &mut Criterion) {
+    let reg = builtin_registry();
+    let mut group = c.benchmark_group("filters");
+
+    for fanin in [8usize, 64] {
+        // Numeric reductions over 32-element records.
+        for name in ["builtin::sum", "builtin::min", "builtin::max"] {
+            group.bench_function(format!("{name}/fanin{fanin}"), |b| {
+                let mut f = reg.create_transformation(name, &DataValue::Unit).unwrap();
+                let mut ctx = FilterContext::new(StreamId(1), Rank(0), false, fanin);
+                b.iter(|| {
+                    let wave = wave_of(fanin, |i| {
+                        DataValue::ArrayF64((0..32).map(|j| (i + j) as f64).collect())
+                    });
+                    f.transform(std::hint::black_box(wave), &mut ctx).unwrap()
+                })
+            });
+        }
+
+        group.bench_function(format!("builtin::avg/fanin{fanin}"), |b| {
+            let mut f = reg
+                .create_transformation("builtin::avg", &DataValue::Unit)
+                .unwrap();
+            let mut ctx = FilterContext::new(StreamId(1), Rank(0), false, fanin);
+            b.iter(|| {
+                let wave = wave_of(fanin, |i| DataValue::F64(i as f64));
+                f.transform(std::hint::black_box(wave), &mut ctx).unwrap()
+            })
+        });
+
+        group.bench_function(format!("builtin::concat/fanin{fanin}"), |b| {
+            let mut f = reg
+                .create_transformation("builtin::concat", &DataValue::Unit)
+                .unwrap();
+            let mut ctx = FilterContext::new(StreamId(1), Rank(0), false, fanin);
+            b.iter(|| {
+                let wave = wave_of(fanin, |i| {
+                    DataValue::ArrayF64((0..32).map(|j| (i * j) as f64).collect())
+                });
+                f.transform(std::hint::black_box(wave), &mut ctx).unwrap()
+            })
+        });
+
+        // Equivalence classes on 90%-redundant catalogs.
+        group.bench_function(format!("filter::equivalence/fanin{fanin}"), |b| {
+            let mut f = reg
+                .create_transformation("filter::equivalence", &DataValue::Unit)
+                .unwrap();
+            let mut ctx = FilterContext::new(StreamId(1), Rank(0), false, fanin);
+            b.iter(|| {
+                let wave = wave_of(fanin, |i| {
+                    DataValue::Str(format!("config_variant_{}", i % 3))
+                });
+                f.transform(std::hint::black_box(wave), &mut ctx).unwrap()
+            })
+        });
+
+        // Histogram merge of pre-binned counts.
+        group.bench_function(format!("filter::histogram/fanin{fanin}"), |b| {
+            let params = DataValue::Tuple(vec![
+                DataValue::F64(0.0),
+                DataValue::F64(100.0),
+                DataValue::U64(64),
+            ]);
+            let mut f = reg
+                .create_transformation("filter::histogram", &params)
+                .unwrap();
+            let mut ctx = FilterContext::new(StreamId(1), Rank(0), false, fanin);
+            b.iter(|| {
+                let wave = wave_of(fanin, |i| {
+                    DataValue::ArrayI64((0..64).map(|j| ((i + j) % 7) as i64).collect())
+                });
+                f.transform(std::hint::black_box(wave), &mut ctx).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_filters);
+criterion_main!(benches);

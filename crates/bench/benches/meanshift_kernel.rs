@@ -1,0 +1,79 @@
+//! Microbenchmark: the mean-shift inner loops — grid construction, window
+//! queries, one seeded search, peak merging.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tbon_meanshift::{
+    density_seeds, mean_shift, merge_peaks, MeanShiftParams, Point2, SpatialGrid, SynthSpec,
+};
+
+fn bench_meanshift(c: &mut Criterion) {
+    let spec = SynthSpec::paper_default();
+    let data = spec.generate(0);
+    let params = MeanShiftParams::default();
+    let grid = SpatialGrid::build(data.clone(), params.bandwidth);
+
+    let mut group = c.benchmark_group("meanshift");
+
+    group.bench_function("grid_build/1260_points", |b| {
+        b.iter(|| SpatialGrid::build(std::hint::black_box(data.clone()), params.bandwidth))
+    });
+
+    group.bench_function("window_count/cluster_center", |b| {
+        let center = spec.centers[0];
+        b.iter(|| grid.count_in_radius(std::hint::black_box(center), params.bandwidth))
+    });
+
+    group.bench_function("density_scan/1260_points", |b| {
+        b.iter(|| density_seeds(std::hint::black_box(&grid), &params))
+    });
+
+    group.bench_function("search/cold_seed", |b| {
+        let start = Point2::new(spec.centers[0].x + 30.0, spec.centers[0].y - 30.0);
+        b.iter(|| {
+            mean_shift(
+                std::hint::black_box(&grid),
+                start,
+                params.bandwidth,
+                params.kernel,
+                params.max_iterations,
+                params.convergence_eps,
+            )
+        })
+    });
+
+    group.bench_function("search/warm_seed", |b| {
+        let cold = mean_shift(
+            &grid,
+            spec.centers[0],
+            params.bandwidth,
+            params.kernel,
+            params.max_iterations,
+            params.convergence_eps,
+        );
+        b.iter(|| {
+            mean_shift(
+                std::hint::black_box(&grid),
+                cold.peak,
+                params.bandwidth,
+                params.kernel,
+                params.max_iterations,
+                params.convergence_eps,
+            )
+        })
+    });
+
+    group.bench_function("merge_peaks/256_raw", |b| {
+        let raw: Vec<Point2> = (0..256)
+            .map(|i| {
+                let c = spec.centers[i % spec.centers.len()];
+                Point2::new(c.x + (i % 5) as f64, c.y - (i % 7) as f64)
+            })
+            .collect();
+        b.iter(|| merge_peaks(std::hint::black_box(&raw), params.merge_radius))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_meanshift);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! A1 ablation (§2.2 "high-performance communication"): counted packet
+//! references vs copy-per-hop.
+//!
+//! Runs the same broadcast+gather through (a) the zero-copy local
+//! transport, where one `Arc<Message>` serves every hop, and (b) the
+//! copying local transport, where every hop serializes and re-parses the
+//! packet — the implementation MRNet's counted references avoid.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tbon_core::{
+    BackendContext, BackendEvent, DataValue, NetworkBuilder, StreamSpec, Tag,
+};
+use tbon_filters::builtin_registry;
+use tbon_topology::Topology;
+use tbon_transport::local::LocalTransport;
+
+const PAYLOAD_LEN: usize = 16 * 1024; // 128 KiB of f64s per packet
+
+fn echo_payload(mut ctx: BackendContext) {
+    loop {
+        match ctx.next_event() {
+            Ok(BackendEvent::Packet { stream, packet }) => {
+                let _ = ctx.send(stream, packet.tag(), packet.value().clone());
+            }
+            Ok(BackendEvent::Shutdown) | Err(_) => break,
+            Ok(_) => continue,
+        }
+    }
+}
+
+fn roundtrip(zero_copy: bool, rounds: usize) {
+    let transport = if zero_copy {
+        LocalTransport::new()
+    } else {
+        LocalTransport::new_copying()
+    };
+    let mut net = NetworkBuilder::new(Topology::balanced(4, 2))
+        .transport(transport)
+        .registry(builtin_registry())
+        .backend(echo_payload)
+        .launch()
+        .expect("launch");
+    let stream = net
+        .new_stream(StreamSpec::all().transformation("builtin::sum"))
+        .expect("stream");
+    let payload: Vec<f64> = (0..PAYLOAD_LEN).map(|i| i as f64).collect();
+    for round in 0..rounds {
+        stream
+            .broadcast(Tag(round as u32), DataValue::ArrayF64(payload.clone()))
+            .expect("broadcast");
+        stream
+            .recv_timeout(Duration::from_secs(30))
+            .expect("reduced");
+    }
+    net.shutdown().expect("shutdown");
+}
+
+fn bench_packet_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("packet_paths");
+    group.sample_size(10);
+    group.bench_function("zero_copy/broadcast_gather_16_leaves", |b| {
+        b.iter(|| roundtrip(true, 3))
+    });
+    group.bench_function("copy_per_hop/broadcast_gather_16_leaves", |b| {
+        b.iter(|| roundtrip(false, 3))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_packet_paths);
+criterion_main!(benches);

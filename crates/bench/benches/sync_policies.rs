@@ -1,0 +1,94 @@
+//! A2 ablation (§2.2): synchronization filter cost under skewed arrivals.
+//!
+//! Feeds each built-in synchronization filter the same skewed arrival
+//! pattern (children deliver in interleaved bursts) and measures the pure
+//! buffering/wave-assembly overhead, independent of transport.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tbon_core::{
+    DataValue, NullSync, Packet, Rank, StreamId, SyncContext, Synchronization, Tag, TimeOut,
+    WaitForAll,
+};
+
+const CHILDREN: usize = 16;
+const WAVES: usize = 64;
+
+fn ctx(expected: usize) -> SyncContext {
+    SyncContext {
+        stream: StreamId(1),
+        rank: Rank(0),
+        expected: (1..=expected as u32).map(Rank).collect(),
+        now: Instant::now(),
+    }
+}
+
+/// Skewed arrival schedule: child k delivers its wave-w packet in order
+/// (k + w) — a rotating stagger, so wait_for_all always buffers.
+fn arrivals() -> Vec<(Rank, Packet)> {
+    let mut out = Vec::with_capacity(CHILDREN * WAVES);
+    for round in 0..(CHILDREN + WAVES) {
+        for child in 0..CHILDREN {
+            let wave = round as i64 - child as i64;
+            if (0..WAVES as i64).contains(&wave) {
+                out.push((
+                    Rank(child as u32 + 1),
+                    Packet::new(
+                        StreamId(1),
+                        Tag(wave as u32),
+                        Rank(child as u32 + 1),
+                        DataValue::ArrayF64(vec![wave as f64; 32]),
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
+fn drive(sync: &mut dyn Synchronization, arrivals: &[(Rank, Packet)]) -> usize {
+    let c = ctx(CHILDREN);
+    let mut waves = 0;
+    for (from, pkt) in arrivals {
+        waves += sync.push(*from, pkt.clone(), &c).len();
+    }
+    waves += sync.flush(&c).len();
+    waves
+}
+
+fn bench_sync(c: &mut Criterion) {
+    let schedule = arrivals();
+    let mut group = c.benchmark_group("sync_policies");
+
+    group.bench_function("wait_for_all/skewed_16x64", |b| {
+        b.iter(|| {
+            let mut s = WaitForAll::new();
+            let waves = drive(&mut s, std::hint::black_box(&schedule));
+            assert_eq!(waves, WAVES);
+            waves
+        })
+    });
+
+    group.bench_function("null/skewed_16x64", |b| {
+        b.iter(|| {
+            let mut s = NullSync;
+            let waves = drive(&mut s, std::hint::black_box(&schedule));
+            assert_eq!(waves, CHILDREN * WAVES);
+            waves
+        })
+    });
+
+    group.bench_function("time_out/skewed_16x64", |b| {
+        b.iter(|| {
+            // A zero-width window: flush releases everything buffered.
+            let mut s = TimeOut::new(std::time::Duration::ZERO);
+            drive(&mut s, std::hint::black_box(&schedule))
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_sync);
+criterion_main!(benches);

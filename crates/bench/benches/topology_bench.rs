@@ -1,0 +1,38 @@
+//! Microbenchmark: topology construction and routing at paper scales.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tbon_topology::{NodeId, Topology, TopologyStats};
+
+fn bench_topology(c: &mut Criterion) {
+    let mut group = c.benchmark_group("topology");
+
+    group.bench_function("build/balanced_16x16", |b| {
+        b.iter(|| Topology::balanced(std::hint::black_box(16), 2))
+    });
+    group.bench_function("build/balanced_16x16x16", |b| {
+        b.iter(|| Topology::balanced(std::hint::black_box(16), 3))
+    });
+    group.bench_function("build/knomial_2_12", |b| {
+        b.iter(|| Topology::knomial(2, std::hint::black_box(12)))
+    });
+
+    let big = Topology::balanced(16, 3); // 4096 leaves
+    let members: Vec<NodeId> = big.leaves();
+    group.bench_function("route/root_4096_members", |b| {
+        b.iter(|| big.route(big.root(), std::hint::black_box(&members)))
+    });
+
+    let subset: Vec<NodeId> = members.iter().copied().step_by(7).collect();
+    group.bench_function("route/root_sparse_members", |b| {
+        b.iter(|| big.route(big.root(), std::hint::black_box(&subset)))
+    });
+
+    group.bench_function("stats/balanced_16x16x16", |b| {
+        b.iter(|| TopologyStats::of(std::hint::black_box(&big)))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_topology);
+criterion_main!(benches);

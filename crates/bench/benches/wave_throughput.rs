@@ -1,0 +1,69 @@
+//! Microbenchmark: sustained end-to-end wave throughput of a real overlay
+//! (threads + channels) across tree shapes — the live counterpart of the
+//! `tbon-sim::waves` model.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use tbon_core::{
+    BackendContext, BackendEvent, DataValue, NetworkBuilder, StreamSpec, Tag,
+};
+use tbon_filters::builtin_registry;
+use tbon_topology::Topology;
+
+const WAVES: usize = 50;
+const RECORD_LEN: usize = 32;
+
+fn burst_backend(mut ctx: BackendContext) {
+    loop {
+        match ctx.next_event() {
+            Ok(BackendEvent::Packet { stream, .. }) => {
+                for w in 0..WAVES {
+                    let rec: Vec<f64> = (0..RECORD_LEN).map(|i| (w + i) as f64).collect();
+                    if ctx.send(stream, Tag(w as u32), DataValue::ArrayF64(rec)).is_err() {
+                        return;
+                    }
+                }
+            }
+            Ok(BackendEvent::Shutdown) | Err(_) => break,
+            Ok(_) => continue,
+        }
+    }
+}
+
+fn run_waves(topo: Topology) {
+    let mut net = NetworkBuilder::new(topo)
+        .registry(builtin_registry())
+        .backend(burst_backend)
+        .launch()
+        .expect("launch");
+    let stream = net
+        .new_stream(StreamSpec::all().transformation("builtin::sum"))
+        .expect("stream");
+    stream.broadcast(Tag(0), DataValue::Unit).expect("start");
+    for _ in 0..WAVES {
+        stream
+            .recv_timeout(Duration::from_secs(30))
+            .expect("wave result");
+    }
+    net.shutdown().expect("shutdown");
+}
+
+fn bench_wave_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wave_throughput");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(WAVES as u64));
+    group.bench_function("flat_16/50_waves", |b| {
+        b.iter(|| run_waves(Topology::flat(16)))
+    });
+    group.bench_function("deep_4x4/50_waves", |b| {
+        b.iter(|| run_waves(Topology::balanced(4, 2)))
+    });
+    group.bench_function("deep_2x2x2x2/50_waves", |b| {
+        b.iter(|| run_waves(Topology::balanced(2, 4)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_wave_throughput);
+criterion_main!(benches);

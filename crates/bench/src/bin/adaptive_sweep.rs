@@ -1,0 +1,114 @@
+//! A4 extension experiment: fixed-bandwidth (§3.1) vs. variable-bandwidth
+//! (the paper's ref. [10]) mean-shift on mixed-density data.
+//!
+//! The workload overlays one tight/dense cluster, one broad/sparse cluster
+//! and background noise — the regime the paper's fixed bandwidth of 50
+//! struggles with. For each fixed bandwidth and for the balloon estimator
+//! we report recovered modes and runtime.
+//!
+//! Usage: `adaptive_sweep [--points 400]`
+
+use std::time::Instant;
+
+use tbon_bench::render_table;
+use tbon_meanshift::{
+    run_adaptive, run_single_node, AdaptiveBandwidth, MeanShiftParams, Point2,
+};
+
+/// Deterministic pseudo-random in [0, 1).
+fn unit(seed: &mut u64) -> f64 {
+    *seed = seed
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    ((*seed >> 33) as f64) / (u32::MAX as f64)
+}
+
+/// A Gaussian-ish blob via the central limit of 4 uniforms.
+fn blob(center: Point2, n: usize, sigma: f64, seed: &mut u64) -> Vec<Point2> {
+    (0..n)
+        .map(|_| {
+            let gx: f64 = (0..4).map(|_| unit(seed)).sum::<f64>() / 2.0 - 1.0;
+            let gy: f64 = (0..4).map(|_| unit(seed)).sum::<f64>() / 2.0 - 1.0;
+            Point2::new(center.x + gx * sigma * 1.7, center.y + gy * sigma * 1.7)
+        })
+        .collect()
+}
+
+fn main() {
+    let mut points = 400usize;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--points" => points = it.next().unwrap().parse().unwrap(),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+
+    let mut seed = 0x5eed_2006u64;
+    // True modes: a tight cluster (sigma 10) and a broad one (sigma 70).
+    let tight = Point2::new(200.0, 200.0);
+    let broad = Point2::new(700.0, 500.0);
+    let mut data = blob(tight, points, 10.0, &mut seed);
+    data.extend(blob(broad, points / 2, 70.0, &mut seed));
+    for _ in 0..points / 10 {
+        data.push(Point2::new(unit(&mut seed) * 1000.0, unit(&mut seed) * 1000.0));
+    }
+    println!(
+        "A4: fixed vs adaptive bandwidth on mixed-density data ({} points, 2 true modes)",
+        data.len()
+    );
+    println!("tight mode sigma 10 at (200,200); broad mode sigma 70 at (700,500)");
+    println!();
+
+    let mut rows = Vec::new();
+    for bw in [15.0f64, 30.0, 50.0, 80.0, 120.0] {
+        let params = MeanShiftParams {
+            bandwidth: bw,
+            density_threshold: 8,
+            merge_radius: bw,
+            ..MeanShiftParams::default()
+        };
+        let run = run_single_node(data.clone(), &params);
+        rows.push(vec![
+            format!("fixed {bw}"),
+            run.peaks.len().to_string(),
+            run.stats.seeds.to_string(),
+            format!("{:.4}", run.elapsed.as_secs_f64()),
+        ]);
+    }
+    let params = MeanShiftParams {
+        bandwidth: 40.0, // density-scan radius only
+        density_threshold: 8,
+        merge_radius: 60.0,
+        ..MeanShiftParams::default()
+    };
+    let ab = AdaptiveBandwidth {
+        k_neighbors: 30,
+        min_bandwidth: 15.0,
+        max_bandwidth: 140.0,
+        growth: 1.3,
+    };
+    let t = Instant::now();
+    let (peaks, stats) = run_adaptive(data.clone(), &params, &ab);
+    rows.push(vec![
+        "adaptive".into(),
+        peaks.len().to_string(),
+        stats.seeds.to_string(),
+        format!("{:.4}", t.elapsed().as_secs_f64()),
+    ]);
+    println!(
+        "{}",
+        render_table(&["bandwidth", "peaks", "seeds", "time(s)"], &rows)
+    );
+    for p in &peaks {
+        println!(
+            "adaptive mode: ({:.1}, {:.1}) support {}",
+            p.position.x, p.position.y, p.support
+        );
+    }
+    println!();
+    println!("Expected: small fixed bandwidths fragment the broad cluster, large ones");
+    println!("swallow the tight one into its surroundings; the balloon estimator");
+    println!("recovers both modes with one setting — the \"data-driven scale");
+    println!("selection\" the paper defers to Comaniciu, Ramesh & Meer.");
+}

@@ -1,0 +1,199 @@
+//! E2 (§2.2 in-text): front-end data-processing rate under continuous
+//! performance-data flow.
+//!
+//! "For data aggregation of a moderate flow (performance data of 32
+//! functions), the front-end in Paradyn's original one-to-many architecture
+//! could not process data at the rate it was being produced by more than 32
+//! daemons. Using MRNet, the front-end easily processed the loads offered
+//! by 512 daemons."
+//!
+//! Each back-end emits `waves` records of 32 `f64`s. The one-to-many
+//! baseline delivers every raw record to the front-end (null sync,
+//! identity), which must fold each record into its running aggregate
+//! itself; the TBON version reduces in-tree (`builtin::sum`,
+//! wait-for-all), so the front-end folds one record per wave. We report
+//! the end-to-end record throughput each design sustains.
+//!
+//! The front-end pays a per-record *consumption cost* (default 10µs) for
+//! every record it processes — the stand-in for Paradyn's per-record tool
+//! work (histogram insertion, visualization update), which we do not
+//! reimplement. The reduction's point is that the tree hands the front-end
+//! one record per wave instead of one per daemon per wave.
+//!
+//! Usage: `e2_throughput [--waves 200] [--max 512] [--record-cost-us 10]
+//!                       [--transport copying|zerocopy|tcp]`
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use tbon_bench::render_table;
+use tbon_core::{
+    BackendContext, BackendEvent, DataValue, NetworkBuilder, StreamSpec, SyncPolicy, Tag,
+};
+use tbon_filters::builtin_registry;
+use tbon_topology::{stats::required_depth, Topology};
+use tbon_transport::{local::LocalTransport, tcp::TcpTransport, Transport};
+
+/// Default transport is the copying one: every hop pays
+/// serialization, as the 2006 sockets did. See e1_startup for details.
+fn make_transport(kind: &str) -> Arc<dyn Transport> {
+    match kind {
+        "copying" => Arc::new(LocalTransport::new_copying()),
+        "zerocopy" => Arc::new(LocalTransport::new()),
+        "tcp" => Arc::new(TcpTransport::new()),
+        other => panic!("unknown transport '{other}' (copying|zerocopy|tcp)"),
+    }
+}
+
+const RECORD_LEN: usize = 32; // "performance data of 32 functions"
+
+fn backend_loop(waves: usize) -> impl Fn(BackendContext) + Send + Sync {
+    move |mut ctx: BackendContext| loop {
+        match ctx.next_event() {
+            Ok(BackendEvent::Packet { stream, .. }) => {
+                for w in 0..waves {
+                    let record: Vec<f64> =
+                        (0..RECORD_LEN).map(|i| (w * RECORD_LEN + i) as f64).collect();
+                    if ctx.send(stream, Tag(w as u32), DataValue::ArrayF64(record)).is_err() {
+                        break;
+                    }
+                }
+            }
+            Ok(BackendEvent::Shutdown) | Err(_) => break,
+            Ok(_) => continue,
+        }
+    }
+}
+
+/// Front-end work per incoming record: fold into the running aggregate,
+/// then pay the tool's per-record consumption cost.
+fn fold(acc: &mut [f64], record: &[f64], record_cost: Duration) {
+    for (a, r) in acc.iter_mut().zip(record) {
+        *a += r;
+    }
+    let end = Instant::now() + record_cost;
+    while Instant::now() < end {
+        std::hint::spin_loop();
+    }
+}
+
+/// One-to-many: every raw record reaches the front-end.
+fn run_direct(backends: usize, waves: usize, transport: &str, record_cost: Duration) -> Duration {
+    let mut net = NetworkBuilder::new(Topology::flat(backends))
+        .transport_arc(make_transport(transport))
+        .registry(builtin_registry())
+        .backend(backend_loop(waves))
+        .launch()
+        .expect("launch");
+    let stream = net
+        .new_stream(StreamSpec::all().sync(SyncPolicy::Null))
+        .expect("stream");
+    let start = Instant::now();
+    stream.broadcast(Tag(0), DataValue::Unit).expect("start");
+    let mut acc = vec![0.0f64; RECORD_LEN];
+    for _ in 0..backends * waves {
+        let pkt = stream
+            .recv_timeout(Duration::from_secs(300))
+            .expect("record");
+        fold(&mut acc, pkt.value().as_array_f64().expect("record"), record_cost);
+    }
+    let elapsed = start.elapsed();
+    net.shutdown().expect("shutdown");
+    elapsed
+}
+
+/// TBON: records reduce in-tree; the front-end folds one per wave.
+fn run_tree(
+    backends: usize,
+    fanout: usize,
+    waves: usize,
+    transport: &str,
+    record_cost: Duration,
+) -> Duration {
+    let depth = required_depth(fanout, backends).max(1);
+    let mut levels = vec![fanout; depth];
+    let inner: usize = levels[..depth - 1].iter().product();
+    if inner > 0 && backends.is_multiple_of(inner) && backends / inner > 0 {
+        levels[depth - 1] = backends / inner;
+    }
+    let topo = Topology::balanced_levels(&levels);
+    let mut net = NetworkBuilder::new(topo)
+        .transport_arc(make_transport(transport))
+        .registry(builtin_registry())
+        .backend(backend_loop(waves))
+        .launch()
+        .expect("launch");
+    let stream = net
+        .new_stream(StreamSpec::all().transformation("builtin::sum"))
+        .expect("stream");
+    let start = Instant::now();
+    stream.broadcast(Tag(0), DataValue::Unit).expect("start");
+    let mut acc = vec![0.0f64; RECORD_LEN];
+    for _ in 0..waves {
+        let pkt = stream
+            .recv_timeout(Duration::from_secs(300))
+            .expect("wave");
+        fold(&mut acc, pkt.value().as_array_f64().expect("wave record"), record_cost);
+    }
+    let elapsed = start.elapsed();
+    net.shutdown().expect("shutdown");
+    elapsed
+}
+
+fn main() {
+    let mut waves = 200usize;
+    let mut max = 512usize;
+    let mut transport = "copying".to_string();
+    let mut record_cost_us = 10u64;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--waves" => waves = it.next().unwrap().parse().unwrap(),
+            "--max" => max = it.next().unwrap().parse().unwrap(),
+            "--transport" => transport = it.next().unwrap(),
+            "--record-cost-us" => record_cost_us = it.next().unwrap().parse().unwrap(),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+
+    println!("E2: front-end processing rate, one-to-many vs TBON (§2.2)");
+    println!(
+        "{waves} waves of {RECORD_LEN}-function records per back-end, fan-out 8 tree, transport: {transport}, record cost: {record_cost_us}us"
+    );
+    println!();
+
+    let mut rows = Vec::new();
+    let mut scale = 8usize;
+    while scale <= max {
+        let record_cost = Duration::from_micros(record_cost_us);
+        let direct = run_direct(scale, waves, &transport, record_cost);
+        let tree = run_tree(scale, 8, waves, &transport, record_cost);
+        let direct_rate = (scale * waves) as f64 / direct.as_secs_f64();
+        let tree_rate = (scale * waves) as f64 / tree.as_secs_f64();
+        rows.push(vec![
+            scale.to_string(),
+            format!("{:.0}", direct_rate),
+            format!("{:.0}", tree_rate),
+            format!("{:.2}", direct.as_secs_f64()),
+            format!("{:.2}", tree.as_secs_f64()),
+        ]);
+        eprintln!("scale {scale} done");
+        scale *= 2;
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "backends",
+                "direct rec/s",
+                "tree rec/s",
+                "direct total(s)",
+                "tree total(s)"
+            ],
+            &rows
+        )
+    );
+    println!("Paper shape: the direct front-end's per-record work grows linearly with");
+    println!("daemons and saturates; the tree front-end sees one record per wave and");
+    println!("its sustained record rate keeps scaling with the offered load.");
+}

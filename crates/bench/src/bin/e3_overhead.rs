@@ -1,0 +1,57 @@
+//! E3 (§3.2 in-text): internal-node overhead of deep trees.
+//!
+//! "With a fan-out of 16, 16 (6.25% more) internal nodes are needed to
+//! connect 256 back-ends, or 272 (6.6%) for 4096 back-ends."
+//!
+//! Regenerates that arithmetic for a grid of fan-outs and scales, both
+//! from the closed form and by constructing the actual topologies.
+
+use tbon_bench::render_table;
+use tbon_topology::stats::{internal_nodes_for, overhead_percent_for, required_depth};
+use tbon_topology::{Topology, TopologyStats};
+
+fn main() {
+    println!("E3: internal-node overhead of balanced trees (§3.2)");
+    println!();
+
+    let fanouts = [2usize, 4, 8, 16, 32];
+    let backend_counts = [64usize, 256, 1024, 4096];
+
+    let mut rows = Vec::new();
+    for &backends in &backend_counts {
+        for &fanout in &fanouts {
+            let internals = internal_nodes_for(fanout, backends);
+            let pct = overhead_percent_for(fanout, backends);
+            let depth = required_depth(fanout, backends);
+            rows.push(vec![
+                backends.to_string(),
+                fanout.to_string(),
+                depth.to_string(),
+                internals.to_string(),
+                format!("{pct:.2}%"),
+            ]);
+        }
+    }
+    println!(
+        "{}",
+        render_table(
+            &["back-ends", "fan-out", "depth", "internal nodes", "overhead"],
+            &rows
+        )
+    );
+
+    // Verify the paper's two quoted data points against real constructions.
+    let t256 = Topology::balanced(16, 2);
+    let s256 = TopologyStats::of(&t256);
+    let t4096 = Topology::balanced(16, 3);
+    let s4096 = TopologyStats::of(&t4096);
+    println!("paper check: fan-out 16, 256 back-ends -> {} internals ({:.2}%)  [paper: 16, 6.25%]",
+        s256.internals, s256.overhead_percent);
+    println!("paper check: fan-out 16, 4096 back-ends -> {} internals ({:.2}%) [paper: 272, 6.6%]",
+        s4096.internals, s4096.overhead_percent);
+    assert_eq!(s256.internals, 16);
+    assert_eq!(s4096.internals, 272);
+    assert!((s256.overhead_percent - 6.25).abs() < 1e-9);
+    assert!((s4096.overhead_percent - 6.640625).abs() < 1e-9);
+    println!("both match.");
+}

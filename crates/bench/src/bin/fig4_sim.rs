@@ -1,0 +1,86 @@
+//! Figure 4 (simulated at paper scale): single vs. flat vs. 2-deep trees
+//! for scale factors 16..324, on a calibrated cost model of the real
+//! implementation, era-scaled toward the paper's Pentium 4 testbed.
+//!
+//! Usage: `fig4_sim [--era 25] [--uncalibrated]`
+
+use tbon_bench::{calibrate, deep_tree_for, render_table};
+use tbon_meanshift::{MeanShiftParams, SynthSpec};
+use tbon_sim::{simulate_meanshift, simulate_single_node, LinkModel, MsCostModel};
+use tbon_topology::Topology;
+
+fn main() {
+    let mut era = 25.0f64;
+    let mut use_calibration = true;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--era" => era = it.next().expect("--era wants a number").parse().unwrap(),
+            "--uncalibrated" => use_calibration = false,
+            other => panic!("unknown flag {other}"),
+        }
+    }
+
+    let spec = SynthSpec::paper_default();
+    let params = MeanShiftParams::default();
+    let model: MsCostModel = if use_calibration {
+        let cal = calibrate(&spec, &params, era);
+        eprintln!(
+            "calibrated on real implementation: leaf = {:.4}s on this machine, \
+             occupancy {:.3}, {:.0} seeds, {:.1} cold iters, {:.1} warm iters",
+            cal.leaf_seconds_measured,
+            cal.model.window_occupancy,
+            cal.model.seeds_per_leaf,
+            cal.model.iters_leaf,
+            cal.model.iters_merge
+        );
+        cal.model
+    } else {
+        MsCostModel {
+            era_scale: era,
+            ..MsCostModel::default()
+        }
+    };
+    let link = LinkModel::gigabit_ethernet();
+
+    println!("Figure 4 (simulated, paper scale): mean-shift processing times");
+    println!("era scale: {era} (1.0 = this machine), link: GigE model");
+    println!();
+
+    let scales = [16usize, 32, 48, 64, 128, 256, 324];
+    let mut rows = Vec::new();
+    for &scale in &scales {
+        let single = simulate_single_node(scale, &model);
+        let flat = simulate_meanshift(&Topology::flat(scale), link, &model);
+        let deep = simulate_meanshift(&deep_tree_for(scale), link, &model);
+        rows.push(vec![
+            scale.to_string(),
+            format!("{:.1}", single),
+            format!("{:.1}", flat.completion),
+            format!("{:.1}", deep.completion),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(&["scale", "single(s)", "flat(s)", "deep(s)"], &rows)
+    );
+
+    // Locate where the flat tree becomes "prohibitively expensive" — the
+    // paper places the departure between fan-out 64 and 128. We call flat
+    // prohibitive once it costs at least twice the deep tree.
+    let mut crossover = None;
+    for scale in (8..=512).step_by(8) {
+        let flat = simulate_meanshift(&Topology::flat(scale), link, &model).completion;
+        let deep = simulate_meanshift(&deep_tree_for(scale), link, &model).completion;
+        if flat > deep * 2.0 {
+            crossover = Some(scale);
+            break;
+        }
+    }
+    match crossover {
+        Some(s) => println!(
+            "flat becomes prohibitive (>2x deep) at ~{s} leaves (paper: between 64 and 128)"
+        ),
+        None => println!("flat never exceeded 2x deep up to 512 leaves"),
+    }
+}

@@ -1,0 +1,72 @@
+//! A3 ablation (§3.1): kernel shape function × bandwidth grid.
+//!
+//! The paper fixes a Gaussian kernel and bandwidth 50 ("seems to work well
+//! with our data") and lists uniform/quadratic/triangular as alternatives.
+//! This harness runs the real single-node pipeline over the grid and
+//! reports peaks found, iterations and runtime, showing where the fixed
+//! choice sits.
+//!
+//! Usage: `kernel_sweep [--points 300] [--bandwidths 20,35,50,80,120]`
+
+use tbon_bench::render_table;
+use tbon_meanshift::{run_single_node, Kernel, MeanShiftParams, SynthSpec};
+
+fn main() {
+    let mut points = 300usize;
+    let mut bandwidths: Vec<f64> = vec![20.0, 35.0, 50.0, 80.0, 120.0];
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--points" => points = it.next().unwrap().parse().unwrap(),
+            "--bandwidths" => {
+                bandwidths = it
+                    .next()
+                    .unwrap()
+                    .split(',')
+                    .map(|s| s.trim().parse().unwrap())
+                    .collect();
+            }
+            other => panic!("unknown flag {other}"),
+        }
+    }
+
+    let spec = SynthSpec {
+        points_per_cluster: points,
+        ..SynthSpec::paper_default()
+    };
+    let data = spec.generate(0);
+    println!("A3: kernel x bandwidth sweep on {} points, true modes: {}", data.len(), spec.centers.len());
+    println!();
+
+    let mut rows = Vec::new();
+    for kernel in Kernel::all() {
+        for &bw in &bandwidths {
+            let params = MeanShiftParams {
+                bandwidth: bw,
+                kernel,
+                merge_radius: bw / 2.0,
+                ..MeanShiftParams::default()
+            };
+            let run = run_single_node(data.clone(), &params);
+            rows.push(vec![
+                kernel.name().to_string(),
+                format!("{bw}"),
+                run.peaks.len().to_string(),
+                run.stats.seeds.to_string(),
+                run.stats.total_iterations.to_string(),
+                format!("{:.4}", run.elapsed.as_secs_f64()),
+            ]);
+        }
+    }
+    println!(
+        "{}",
+        render_table(
+            &["kernel", "bandwidth", "peaks", "seeds", "iters", "time(s)"],
+            &rows
+        )
+    );
+    println!("Expected: bandwidth 50 recovers the 3 true modes for every kernel;");
+    println!("small bandwidths fragment clusters into many spurious peaks, large ones");
+    println!("merge distinct clusters. Gaussian needs more iterations than uniform but");
+    println!("is robust on the noisy data — matching the paper's choice.");
+}

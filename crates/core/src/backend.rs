@@ -1,0 +1,249 @@
+//! The back-end (leaf) side of the overlay.
+//!
+//! Application code at each leaf runs inside a closure that receives a
+//! [`BackendContext`]: an event pump for stream lifecycle and downstream
+//! packets, plus [`BackendContext::send`] for pushing data upstream.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use tbon_transport::{Delivery, NodeEndpoint};
+
+use crate::error::{Result, TbonError};
+use crate::packet::{Packet, Rank};
+use crate::process::{decode_frame, send_message};
+use crate::proto::Message;
+use crate::stream::{StreamId, StreamMode, Tag};
+use crate::value::DataValue;
+
+/// What a back-end learns from its parent.
+#[derive(Debug)]
+pub enum BackendEvent {
+    /// The front-end created a stream this back-end belongs to.
+    StreamOpened { stream: StreamId },
+    /// A downstream packet arrived on a stream.
+    Packet { stream: StreamId, packet: Packet },
+    /// The stream was torn down.
+    StreamClosed { stream: StreamId },
+    /// The network is shutting down; the closure should return.
+    Shutdown,
+}
+
+/// Metadata a back-end keeps per open stream.
+#[derive(Debug, Clone)]
+pub struct BackendStream {
+    pub id: StreamId,
+    pub mode: StreamMode,
+}
+
+/// Handle given to back-end application code.
+pub struct BackendContext {
+    rank: Rank,
+    parent: Rank,
+    endpoint: NodeEndpoint,
+    streams: HashMap<StreamId, BackendStream>,
+    finished: bool,
+    /// Set while our parent is gone and we are waiting for reconfiguration.
+    orphaned_until: Option<Instant>,
+    orphan_grace: Duration,
+}
+
+impl BackendContext {
+    pub(crate) fn new(
+        rank: Rank,
+        parent: Rank,
+        endpoint: NodeEndpoint,
+        orphan_grace: Duration,
+    ) -> BackendContext {
+        BackendContext {
+            rank,
+            parent,
+            endpoint,
+            streams: HashMap::new(),
+            finished: false,
+            orphaned_until: None,
+            orphan_grace,
+        }
+    }
+
+    /// This back-end's rank.
+    pub fn rank(&self) -> Rank {
+        self.rank
+    }
+
+    /// The rank of the communication process this back-end reports to.
+    pub fn parent(&self) -> Rank {
+        self.parent
+    }
+
+    /// Streams currently open at this back-end.
+    pub fn streams(&self) -> Vec<BackendStream> {
+        let mut v: Vec<BackendStream> = self.streams.values().cloned().collect();
+        v.sort_by_key(|s| s.id);
+        v
+    }
+
+    /// Is a given stream open here?
+    pub fn has_stream(&self, stream: StreamId) -> bool {
+        self.streams.contains_key(&stream)
+    }
+
+    /// Send one packet upstream on `stream`.
+    pub fn send(&self, stream: StreamId, tag: Tag, value: DataValue) -> Result<()> {
+        if !self.streams.contains_key(&stream) {
+            return Err(TbonError::StreamClosed(stream));
+        }
+        let link = self
+            .endpoint
+            .peers
+            .get(self.parent.0)
+            .ok_or(TbonError::NetworkDown)?;
+        let msg = Arc::new(Message::Up {
+            stream,
+            tag,
+            origin: self.rank,
+            value,
+        });
+        send_message(&link, &msg)
+    }
+
+    /// Pull one delivery, respecting the user deadline (if any) and the
+    /// orphan grace deadline (if orphaned).
+    fn recv_delivery(&mut self, user_deadline: Option<Instant>) -> Result<Delivery> {
+        let deadline = match (user_deadline, self.orphaned_until) {
+            (Some(u), Some(o)) => Some(u.min(o)),
+            (Some(u), None) => Some(u),
+            (None, o) => o,
+        };
+        match deadline {
+            None => self
+                .endpoint
+                .incoming
+                .recv()
+                .map_err(|_| TbonError::NetworkDown),
+            Some(d) => {
+                let remaining = d.saturating_duration_since(Instant::now());
+                self.endpoint.incoming.recv_timeout(remaining).map_err(|e| {
+                    match e {
+                        crossbeam_channel::RecvTimeoutError::Timeout => {
+                            if self.orphaned_until.is_some_and(|o| Instant::now() >= o) {
+                                // No reconfiguration arrived in time.
+                                self.finished = true;
+                                TbonError::NetworkDown
+                            } else {
+                                TbonError::Timeout
+                            }
+                        }
+                        crossbeam_channel::RecvTimeoutError::Disconnected => {
+                            TbonError::NetworkDown
+                        }
+                    }
+                })
+            }
+        }
+    }
+
+    /// Block for the next event.
+    pub fn next_event(&mut self) -> Result<BackendEvent> {
+        loop {
+            if self.finished {
+                return Err(TbonError::NetworkDown);
+            }
+            let delivery = self.recv_delivery(None)?;
+            if let Some(ev) = self.translate(delivery)? {
+                return Ok(ev);
+            }
+        }
+    }
+
+    /// Block for the next event, up to `timeout`.
+    pub fn next_event_timeout(&mut self, timeout: Duration) -> Result<BackendEvent> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if self.finished {
+                return Err(TbonError::NetworkDown);
+            }
+            let delivery = self.recv_delivery(Some(deadline))?;
+            if let Some(ev) = self.translate(delivery)? {
+                return Ok(ev);
+            }
+        }
+    }
+
+    /// Convenience: wait until a specific stream opens (in order-preserving
+    /// FIFO semantics the NewStream always precedes its data).
+    pub fn wait_stream_opened(&mut self) -> Result<StreamId> {
+        loop {
+            match self.next_event()? {
+                BackendEvent::StreamOpened { stream } => return Ok(stream),
+                BackendEvent::Shutdown => return Err(TbonError::NetworkDown),
+                _ => continue,
+            }
+        }
+    }
+
+    fn translate(&mut self, delivery: Delivery) -> Result<Option<BackendEvent>> {
+        match delivery {
+            Delivery::Frame { from, frame } => {
+                let msg = decode_frame(frame)?;
+                Ok(match msg.as_ref() {
+                    Message::NewStream { stream, mode, .. } => {
+                        self.streams.insert(
+                            *stream,
+                            BackendStream {
+                                id: *stream,
+                                mode: *mode,
+                            },
+                        );
+                        Some(BackendEvent::StreamOpened { stream: *stream })
+                    }
+                    Message::Down {
+                        stream,
+                        tag,
+                        origin,
+                        value,
+                    } => {
+                        let packet = Packet::new(*stream, *tag, *origin, value.clone());
+                        Some(BackendEvent::Packet {
+                            stream: *stream,
+                            packet,
+                        })
+                    }
+                    Message::CloseStream { stream } => {
+                        self.streams.remove(stream);
+                        Some(BackendEvent::StreamClosed { stream: *stream })
+                    }
+                    Message::Shutdown => {
+                        self.finished = true;
+                        let ack = Arc::new(Message::ShutdownAck { rank: self.rank });
+                        if let Some(link) = self.endpoint.peers.get(self.parent.0) {
+                            let _ = send_message(&link, &ack);
+                        }
+                        Some(BackendEvent::Shutdown)
+                    }
+                    Message::NewParent { parent } => {
+                        // Reconfiguration after our old parent failed.
+                        self.parent = *parent;
+                        self.orphaned_until = None;
+                        let ack = Arc::new(Message::ReconfigAck { rank: self.rank });
+                        if let Some(link) = self.endpoint.peers.get(from) {
+                            let _ = send_message(&link, &ack);
+                        }
+                        None
+                    }
+                    // Control traffic that doesn't concern leaves.
+                    _ => None,
+                })
+            }
+            Delivery::Disconnected { peer } => {
+                if peer == self.parent.0 {
+                    // Parent gone: wait out the reconfiguration grace
+                    // period before declaring the network dead.
+                    self.orphaned_until = Some(Instant::now() + self.orphan_grace);
+                }
+                Ok(None)
+            }
+        }
+    }
+}

@@ -1,0 +1,334 @@
+//! Wire codec: little-endian, tag-prefixed encoding for [`DataValue`]s.
+//!
+//! Deliberately hand-rolled rather than pulled from a serde format crate:
+//! the encoding is stable, self-contained, allocation-aware (callers can
+//! pre-size buffers with [`DataValue::encoded_len`]) and exactly matches
+//! the sizes charged by the traffic-shaped transport.
+
+use crate::error::{Result, TbonError};
+use crate::value::DataValue;
+
+// One tag byte per variant. Stable: changing these breaks the wire format.
+const TAG_UNIT: u8 = 0;
+const TAG_BOOL: u8 = 1;
+const TAG_I64: u8 = 2;
+const TAG_U64: u8 = 3;
+const TAG_F64: u8 = 4;
+const TAG_STR: u8 = 5;
+const TAG_BYTES: u8 = 6;
+const TAG_ARRAY_I64: u8 = 7;
+const TAG_ARRAY_F64: u8 = 8;
+const TAG_TUPLE: u8 = 9;
+
+/// Append the encoding of `value` to `buf`.
+pub fn encode_value(value: &DataValue, buf: &mut Vec<u8>) {
+    match value {
+        DataValue::Unit => buf.push(TAG_UNIT),
+        DataValue::Bool(b) => {
+            buf.push(TAG_BOOL);
+            buf.push(u8::from(*b));
+        }
+        DataValue::I64(v) => {
+            buf.push(TAG_I64);
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+        DataValue::U64(v) => {
+            buf.push(TAG_U64);
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+        DataValue::F64(v) => {
+            buf.push(TAG_F64);
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+        DataValue::Str(s) => {
+            buf.push(TAG_STR);
+            write_len(buf, s.len());
+            buf.extend_from_slice(s.as_bytes());
+        }
+        DataValue::Bytes(b) => {
+            buf.push(TAG_BYTES);
+            write_len(buf, b.len());
+            buf.extend_from_slice(b);
+        }
+        DataValue::ArrayI64(v) => {
+            buf.push(TAG_ARRAY_I64);
+            write_len(buf, v.len());
+            for x in v {
+                buf.extend_from_slice(&x.to_le_bytes());
+            }
+        }
+        DataValue::ArrayF64(v) => {
+            buf.push(TAG_ARRAY_F64);
+            write_len(buf, v.len());
+            for x in v {
+                buf.extend_from_slice(&x.to_le_bytes());
+            }
+        }
+        DataValue::Tuple(t) => {
+            buf.push(TAG_TUPLE);
+            write_len(buf, t.len());
+            for v in t {
+                encode_value(v, buf);
+            }
+        }
+    }
+}
+
+/// Encode into a fresh, exactly-sized buffer.
+pub fn encode_value_to_vec(value: &DataValue) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(value.encoded_len());
+    encode_value(value, &mut buf);
+    debug_assert_eq!(buf.len(), value.encoded_len());
+    buf
+}
+
+/// A cursor over encoded bytes. Shared by the value and message codecs.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    pub fn u8(&mut self) -> Result<u8> {
+        let b = *self
+            .buf
+            .get(self.pos)
+            .ok_or_else(|| truncated("u8", self.pos))?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    pub fn u32(&mut self) -> Result<u32> {
+        let bytes = self.take(4)?;
+        Ok(u32::from_le_bytes(bytes.try_into().expect("4 bytes")))
+    }
+
+    pub fn u64(&mut self) -> Result<u64> {
+        let bytes = self.take(8)?;
+        Ok(u64::from_le_bytes(bytes.try_into().expect("8 bytes")))
+    }
+
+    pub fn i64(&mut self) -> Result<i64> {
+        let bytes = self.take(8)?;
+        Ok(i64::from_le_bytes(bytes.try_into().expect("8 bytes")))
+    }
+
+    pub fn f64(&mut self) -> Result<f64> {
+        let bytes = self.take(8)?;
+        Ok(f64::from_le_bytes(bytes.try_into().expect("8 bytes")))
+    }
+
+    /// Read a length prefix, sanity-capped by the bytes actually present so
+    /// corrupt input cannot trigger huge allocations.
+    pub fn len_prefix(&mut self, min_elem_size: usize) -> Result<usize> {
+        let len = self.u32()? as usize;
+        let need = len.saturating_mul(min_elem_size.max(1));
+        if need > self.remaining() {
+            return Err(TbonError::Decode(format!(
+                "length prefix {len} needs {need} bytes but only {} remain",
+                self.remaining()
+            )));
+        }
+        Ok(len)
+    }
+
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(truncated("bytes", self.pos));
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    pub fn str(&mut self) -> Result<String> {
+        let len = self.len_prefix(1)?;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|e| TbonError::Decode(format!("invalid utf-8: {e}")))
+    }
+
+    pub fn value(&mut self) -> Result<DataValue> {
+        decode_value_inner(self, 0)
+    }
+}
+
+fn truncated(what: &str, at: usize) -> TbonError {
+    TbonError::Decode(format!("truncated input reading {what} at offset {at}"))
+}
+
+fn write_len(buf: &mut Vec<u8>, len: usize) {
+    debug_assert!(len <= u32::MAX as usize, "length exceeds u32");
+    buf.extend_from_slice(&(len as u32).to_le_bytes());
+}
+
+/// Maximum tuple nesting accepted by the decoder; prevents stack overflow on
+/// hostile input.
+const MAX_DEPTH: usize = 64;
+
+fn decode_value_inner(r: &mut Reader<'_>, depth: usize) -> Result<DataValue> {
+    if depth > MAX_DEPTH {
+        return Err(TbonError::Decode("tuple nesting too deep".into()));
+    }
+    let tag = r.u8()?;
+    Ok(match tag {
+        TAG_UNIT => DataValue::Unit,
+        TAG_BOOL => DataValue::Bool(r.u8()? != 0),
+        TAG_I64 => DataValue::I64(r.i64()?),
+        TAG_U64 => DataValue::U64(r.u64()?),
+        TAG_F64 => DataValue::F64(r.f64()?),
+        TAG_STR => DataValue::Str(r.str()?),
+        TAG_BYTES => {
+            let len = r.len_prefix(1)?;
+            DataValue::Bytes(r.take(len)?.to_vec())
+        }
+        TAG_ARRAY_I64 => {
+            let len = r.len_prefix(8)?;
+            let mut v = Vec::with_capacity(len);
+            for _ in 0..len {
+                v.push(r.i64()?);
+            }
+            DataValue::ArrayI64(v)
+        }
+        TAG_ARRAY_F64 => {
+            let len = r.len_prefix(8)?;
+            let mut v = Vec::with_capacity(len);
+            for _ in 0..len {
+                v.push(r.f64()?);
+            }
+            DataValue::ArrayF64(v)
+        }
+        TAG_TUPLE => {
+            let len = r.len_prefix(1)?;
+            let mut t = Vec::with_capacity(len);
+            for _ in 0..len {
+                t.push(decode_value_inner(r, depth + 1)?);
+            }
+            DataValue::Tuple(t)
+        }
+        other => {
+            return Err(TbonError::Decode(format!("unknown value tag {other}")));
+        }
+    })
+}
+
+/// Decode one value from the start of `buf`, requiring all bytes consumed.
+pub fn decode_value(buf: &[u8]) -> Result<DataValue> {
+    let mut r = Reader::new(buf);
+    let v = r.value()?;
+    if r.remaining() != 0 {
+        return Err(TbonError::Decode(format!(
+            "{} trailing bytes after value",
+            r.remaining()
+        )));
+    }
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(v: DataValue) {
+        let bytes = encode_value_to_vec(&v);
+        assert_eq!(bytes.len(), v.encoded_len(), "encoded_len mismatch: {v}");
+        let back = decode_value(&bytes).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn roundtrip_scalars() {
+        roundtrip(DataValue::Unit);
+        roundtrip(DataValue::Bool(true));
+        roundtrip(DataValue::Bool(false));
+        roundtrip(DataValue::I64(i64::MIN));
+        roundtrip(DataValue::U64(u64::MAX));
+        roundtrip(DataValue::F64(-0.0));
+        roundtrip(DataValue::F64(f64::INFINITY));
+    }
+
+    #[test]
+    fn roundtrip_containers() {
+        roundtrip(DataValue::Str("héllo wörld".into()));
+        roundtrip(DataValue::Str(String::new()));
+        roundtrip(DataValue::Bytes(vec![0, 255, 1]));
+        roundtrip(DataValue::ArrayI64(vec![i64::MIN, 0, i64::MAX]));
+        roundtrip(DataValue::ArrayF64((0..100).map(|i| i as f64 * 0.5).collect()));
+        roundtrip(DataValue::Tuple(vec![
+            DataValue::I64(1),
+            DataValue::Tuple(vec![DataValue::from("nested"), DataValue::Unit]),
+            DataValue::ArrayF64(vec![1.0, 2.0]),
+        ]));
+    }
+
+    #[test]
+    fn nan_payload_roundtrips_bitwise() {
+        let bytes = encode_value_to_vec(&DataValue::F64(f64::NAN));
+        match decode_value(&bytes).unwrap() {
+            DataValue::F64(x) => assert!(x.is_nan()),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        assert!(matches!(
+            decode_value(&[200]),
+            Err(TbonError::Decode(_))
+        ));
+    }
+
+    #[test]
+    fn truncation_rejected_everywhere() {
+        let full = encode_value_to_vec(&DataValue::Tuple(vec![
+            DataValue::from("abc"),
+            DataValue::ArrayF64(vec![1.0, 2.0, 3.0]),
+        ]));
+        for cut in 0..full.len() {
+            assert!(
+                decode_value(&full[..cut]).is_err(),
+                "decode of {cut}-byte prefix should fail"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = encode_value_to_vec(&DataValue::I64(5));
+        bytes.push(0);
+        assert!(matches!(decode_value(&bytes), Err(TbonError::Decode(_))));
+    }
+
+    #[test]
+    fn hostile_length_prefix_rejected_without_allocation() {
+        // Claims a 4-billion-element f64 array with 0 bytes of content.
+        let mut bytes = vec![8u8]; // TAG_ARRAY_F64
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(decode_value(&bytes), Err(TbonError::Decode(_))));
+    }
+
+    #[test]
+    fn deep_nesting_rejected() {
+        // 100 nested single-element tuples.
+        let mut v = DataValue::Unit;
+        for _ in 0..100 {
+            v = DataValue::Tuple(vec![v]);
+        }
+        let bytes = encode_value_to_vec(&v);
+        assert!(matches!(decode_value(&bytes), Err(TbonError::Decode(_))));
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        assert!(decode_value(&[]).is_err());
+    }
+}

@@ -1,0 +1,44 @@
+//! Runtime tuning knobs.
+
+use std::time::Duration;
+
+/// Configuration shared by every process of one network.
+#[derive(Debug, Clone)]
+pub struct NetworkConfig {
+    /// How long [`crate::Network::shutdown`] waits for the tree to ack
+    /// teardown before giving up and detaching threads.
+    pub shutdown_timeout: Duration,
+    /// Upper bound on how long a communication process sleeps when it has
+    /// no timer deadline; bounds reaction time to rare control events.
+    pub idle_tick: Duration,
+    /// How long an orphaned process (its parent vanished) waits for a
+    /// [`crate::Message::NewParent`] reconfiguration before giving up and
+    /// exiting.
+    pub orphan_grace: Duration,
+    /// Human-readable label used in thread names (diagnostics).
+    pub name: String,
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        NetworkConfig {
+            shutdown_timeout: Duration::from_secs(30),
+            idle_tick: Duration::from_millis(100),
+            orphan_grace: Duration::from_secs(10),
+            name: "tbon".into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_sane() {
+        let c = NetworkConfig::default();
+        assert!(c.shutdown_timeout >= Duration::from_secs(1));
+        assert!(c.idle_tick <= Duration::from_secs(1));
+        assert!(!c.name.is_empty());
+    }
+}

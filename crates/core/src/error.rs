@@ -1,0 +1,110 @@
+//! Error type shared across the TBON runtime.
+
+use std::fmt;
+
+use tbon_topology::TopologyError;
+use tbon_transport::TransportError;
+
+use crate::stream::StreamId;
+
+/// Everything that can go wrong in the runtime.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TbonError {
+    /// A transport-level failure (socket closed, peer gone, ...).
+    Transport(TransportError),
+    /// A topology construction or mutation failure.
+    Topology(TopologyError),
+    /// A stream referenced a transformation or synchronization filter name
+    /// that is not in the registry (the moral equivalent of a failed
+    /// `dlopen`).
+    UnknownFilter(String),
+    /// The stream is closed or was never created.
+    StreamClosed(StreamId),
+    /// Malformed bytes on the wire.
+    Decode(String),
+    /// The network has shut down or its runtime thread is gone.
+    NetworkDown,
+    /// A blocking receive timed out.
+    Timeout,
+    /// A filter reported a failure while transforming a wave.
+    Filter(String),
+    /// A stream specification resolved to an invalid member set.
+    BadMembers(String),
+    /// An operation is not valid in the current state (e.g. attaching a
+    /// back-end under another back-end).
+    Invalid(String),
+}
+
+impl fmt::Display for TbonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TbonError::Transport(e) => write!(f, "transport: {e}"),
+            TbonError::Topology(e) => write!(f, "topology: {e}"),
+            TbonError::UnknownFilter(n) => write!(f, "unknown filter '{n}'"),
+            TbonError::StreamClosed(s) => write!(f, "stream {s:?} is closed"),
+            TbonError::Decode(m) => write!(f, "decode error: {m}"),
+            TbonError::NetworkDown => write!(f, "network is down"),
+            TbonError::Timeout => write!(f, "operation timed out"),
+            TbonError::Filter(m) => write!(f, "filter error: {m}"),
+            TbonError::BadMembers(m) => write!(f, "bad stream members: {m}"),
+            TbonError::Invalid(m) => write!(f, "invalid operation: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TbonError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TbonError::Transport(e) => Some(e),
+            TbonError::Topology(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TransportError> for TbonError {
+    fn from(e: TransportError) -> Self {
+        TbonError::Transport(e)
+    }
+}
+
+impl From<TopologyError> for TbonError {
+    fn from(e: TopologyError) -> Self {
+        TbonError::Topology(e)
+    }
+}
+
+/// Shorthand used throughout the crate.
+pub type Result<T> = std::result::Result<T, TbonError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_variants() {
+        let cases: Vec<TbonError> = vec![
+            TbonError::Transport(TransportError::Closed(3)),
+            TbonError::Topology(TopologyError::NotATree),
+            TbonError::UnknownFilter("x".into()),
+            TbonError::StreamClosed(StreamId(9)),
+            TbonError::Decode("boom".into()),
+            TbonError::NetworkDown,
+            TbonError::Timeout,
+            TbonError::Filter("f".into()),
+            TbonError::BadMembers("m".into()),
+            TbonError::Invalid("i".into()),
+        ];
+        for c in cases {
+            assert!(!c.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn source_is_preserved_for_wrapped_errors() {
+        use std::error::Error;
+        let e = TbonError::from(TransportError::Closed(1));
+        assert!(e.source().is_some());
+        assert!(TbonError::Timeout.source().is_none());
+    }
+}

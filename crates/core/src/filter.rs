@@ -1,0 +1,604 @@
+//! The filter abstraction: application logic injected into communication
+//! processes.
+//!
+//! A *transformation* filter inputs a wave of packets and outputs (usually)
+//! one packet; persistent state lives in the filter value itself, carried
+//! from one execution to the next. A *synchronization* filter decides when
+//! buffered upstream packets form a deliverable wave: MRNet ships
+//! `wait_for_all`, `time_out` and `null`, all implemented here.
+//!
+//! Filters are instantiated per `(stream, process)` from a process-wide
+//! [`FilterRegistry`] keyed by name — the stand-in for MRNet's
+//! `dlopen`-style on-demand loading (see DESIGN.md for the substitution
+//! rationale). New filters may be registered while the network is running.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::RwLock;
+
+use crate::error::{Result, TbonError};
+use crate::packet::{Packet, Rank};
+use crate::stream::{StreamId, Tag};
+use crate::value::DataValue;
+
+/// A group of packets released together by a synchronization filter.
+pub type Wave = Vec<Packet>;
+
+/// Execution context handed to a transformation filter.
+pub struct FilterContext {
+    /// Stream the wave belongs to.
+    pub stream: StreamId,
+    /// Rank of the communication process running the filter.
+    pub rank: Rank,
+    /// True at the front-end's (root) process: its output goes to the
+    /// application instead of to a parent.
+    pub is_root: bool,
+    /// Number of children currently contributing to this stream here.
+    pub contributing_children: usize,
+    /// Packets to inject in the *opposite* direction of the current flow
+    /// (bidirectional streams only; dropped with a diagnostic otherwise).
+    pub(crate) reverse: Vec<Packet>,
+}
+
+impl FilterContext {
+    /// Construct a context directly — primarily for unit-testing filters
+    /// outside a running network.
+    pub fn new(
+        stream: StreamId,
+        rank: Rank,
+        is_root: bool,
+        contributing_children: usize,
+    ) -> FilterContext {
+        FilterContext {
+            stream,
+            rank,
+            is_root,
+            contributing_children,
+            reverse: Vec::new(),
+        }
+    }
+
+    /// Build an output packet attributed to this process.
+    pub fn make(&self, tag: Tag, value: DataValue) -> Packet {
+        Packet::new(self.stream, tag, self.rank, value)
+    }
+
+    /// Emit a packet in the opposite direction of the current flow — e.g.
+    /// send feedback toward the back-ends from an upstream filter. Only
+    /// honoured on [`crate::StreamMode::Bidirectional`] streams.
+    pub fn emit_reverse(&mut self, tag: Tag, value: DataValue) {
+        let pkt = self.make(tag, value);
+        self.reverse.push(pkt);
+    }
+}
+
+/// A data transformation applied to each wave at each communication
+/// process. State persists across calls (the paper's "persistent filter
+/// state ... carries side-effects from one filter execution to the next").
+pub trait Transformation: Send {
+    /// Consume a wave, produce output packets to continue in the flow
+    /// direction. Most reductions output exactly one packet.
+    fn transform(&mut self, wave: Wave, ctx: &mut FilterContext) -> Result<Vec<Packet>>;
+}
+
+/// Context for synchronization decisions.
+pub struct SyncContext {
+    pub stream: StreamId,
+    pub rank: Rank,
+    /// Children currently expected to contribute packets to this stream at
+    /// this process. Shrinks when children fail or leave.
+    pub expected: Vec<Rank>,
+    /// Current time, injected for testability.
+    pub now: Instant,
+}
+
+/// Decides when buffered upstream packets form deliverable waves.
+pub trait Synchronization: Send {
+    /// Offer one packet from `from`; return any waves now complete.
+    fn push(&mut self, from: Rank, pkt: Packet, ctx: &SyncContext) -> Vec<Wave>;
+
+    /// Timer callback: release waves whose deadline passed.
+    fn flush(&mut self, ctx: &SyncContext) -> Vec<Wave>;
+
+    /// When `flush` next needs to run, if ever.
+    fn next_deadline(&self) -> Option<Instant> {
+        None
+    }
+
+    /// A contributing child vanished (failure or detach). `ctx.expected`
+    /// already excludes it. May release waves that were blocked on it.
+    fn child_gone(&mut self, child: Rank, ctx: &SyncContext) -> Vec<Wave>;
+
+    /// The expected-children set changed for another reason (a subtree was
+    /// adopted after reconfiguration): re-evaluate buffered packets against
+    /// the new `ctx.expected`. Default: nothing buffered, nothing to do.
+    fn reexamine(&mut self, _ctx: &SyncContext) -> Vec<Wave> {
+        Vec::new()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Built-in synchronization filters (§2.2).
+// ---------------------------------------------------------------------------
+
+/// `wait_for_all`: deliver packets in waves containing exactly one packet
+/// from every expected child, in per-child FIFO order.
+#[derive(Default)]
+pub struct WaitForAll {
+    queues: HashMap<Rank, VecDeque<Packet>>,
+}
+
+impl WaitForAll {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn drain_ready(&mut self, expected: &[Rank]) -> Vec<Wave> {
+        let mut waves = Vec::new();
+        if expected.is_empty() {
+            return waves;
+        }
+        loop {
+            let ready = expected
+                .iter()
+                .all(|r| self.queues.get(r).is_some_and(|q| !q.is_empty()));
+            if !ready {
+                break;
+            }
+            let wave: Wave = expected
+                .iter()
+                .map(|r| {
+                    self.queues
+                        .get_mut(r)
+                        .expect("checked non-empty")
+                        .pop_front()
+                        .expect("checked non-empty")
+                })
+                .collect();
+            waves.push(wave);
+        }
+        waves
+    }
+}
+
+impl Synchronization for WaitForAll {
+    fn push(&mut self, from: Rank, pkt: Packet, ctx: &SyncContext) -> Vec<Wave> {
+        self.queues.entry(from).or_default().push_back(pkt);
+        self.drain_ready(&ctx.expected)
+    }
+
+    fn flush(&mut self, _ctx: &SyncContext) -> Vec<Wave> {
+        Vec::new()
+    }
+
+    fn child_gone(&mut self, child: Rank, ctx: &SyncContext) -> Vec<Wave> {
+        // Packets already queued from the dead child still count toward the
+        // waves they arrived for; only the *shortage* is forgiven. Keeping
+        // them would misalign future waves, so drop the queue entirely and
+        // re-check readiness against the shrunken expected set.
+        self.queues.remove(&child);
+        self.drain_ready(&ctx.expected)
+    }
+
+    fn reexamine(&mut self, ctx: &SyncContext) -> Vec<Wave> {
+        self.drain_ready(&ctx.expected)
+    }
+}
+
+/// `time_out`: deliver everything received within each window. The window
+/// opens when the first packet after the previous delivery arrives.
+pub struct TimeOut {
+    window: Duration,
+    buffer: Vec<Packet>,
+    deadline: Option<Instant>,
+}
+
+impl TimeOut {
+    pub fn new(window: Duration) -> Self {
+        TimeOut {
+            window,
+            buffer: Vec::new(),
+            deadline: None,
+        }
+    }
+}
+
+impl Synchronization for TimeOut {
+    fn push(&mut self, _from: Rank, pkt: Packet, ctx: &SyncContext) -> Vec<Wave> {
+        if self.deadline.is_none() {
+            self.deadline = Some(ctx.now + self.window);
+        }
+        self.buffer.push(pkt);
+        Vec::new()
+    }
+
+    fn flush(&mut self, ctx: &SyncContext) -> Vec<Wave> {
+        match self.deadline {
+            Some(d) if ctx.now >= d => {
+                self.deadline = None;
+                if self.buffer.is_empty() {
+                    Vec::new()
+                } else {
+                    vec![std::mem::take(&mut self.buffer)]
+                }
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    fn next_deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    fn child_gone(&mut self, _child: Rank, _ctx: &SyncContext) -> Vec<Wave> {
+        Vec::new()
+    }
+}
+
+/// `null`: deliver every packet immediately as a singleton wave.
+#[derive(Default)]
+pub struct NullSync;
+
+impl Synchronization for NullSync {
+    fn push(&mut self, _from: Rank, pkt: Packet, _ctx: &SyncContext) -> Vec<Wave> {
+        vec![vec![pkt]]
+    }
+
+    fn flush(&mut self, _ctx: &SyncContext) -> Vec<Wave> {
+        Vec::new()
+    }
+
+    fn child_gone(&mut self, _child: Rank, _ctx: &SyncContext) -> Vec<Wave> {
+        Vec::new()
+    }
+}
+
+/// The identity transformation: forwards every packet of the wave
+/// unchanged. Useful when the front-end wants the raw (synchronized)
+/// per-back-end packets.
+pub struct Identity;
+
+impl Transformation for Identity {
+    fn transform(&mut self, wave: Wave, _ctx: &mut FilterContext) -> Result<Vec<Packet>> {
+        Ok(wave)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Registry.
+// ---------------------------------------------------------------------------
+
+type TFactory = dyn Fn(&DataValue) -> Result<Box<dyn Transformation>> + Send + Sync;
+type SFactory = dyn Fn(&DataValue) -> Result<Box<dyn Synchronization>> + Send + Sync;
+
+/// Maps filter names to factories. Shared by every process of a network;
+/// registering a new filter makes it loadable by all of them on demand.
+pub struct FilterRegistry {
+    transforms: RwLock<HashMap<String, Arc<TFactory>>>,
+    syncs: RwLock<HashMap<String, Arc<SFactory>>>,
+}
+
+impl Default for FilterRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FilterRegistry {
+    /// A registry pre-populated with the core built-ins: the identity
+    /// transformation and the three §2.2 synchronization filters.
+    pub fn new() -> FilterRegistry {
+        let reg = FilterRegistry {
+            transforms: RwLock::new(HashMap::new()),
+            syncs: RwLock::new(HashMap::new()),
+        };
+        reg.register_transformation("core::identity", |_| Ok(Box::new(Identity)));
+        reg.register_synchronization("sync::wait_for_all", |_| Ok(Box::new(WaitForAll::new())));
+        reg.register_synchronization("sync::null", |_| Ok(Box::new(NullSync)));
+        reg.register_synchronization("sync::time_out", |params| {
+            let ms = params.as_u64().ok_or_else(|| {
+                TbonError::Filter("sync::time_out wants U64 window in ms".into())
+            })?;
+            Ok(Box::new(TimeOut::new(Duration::from_millis(ms))))
+        });
+        reg
+    }
+
+    /// Register (or replace) a transformation filter factory.
+    pub fn register_transformation(
+        &self,
+        name: impl Into<String>,
+        factory: impl Fn(&DataValue) -> Result<Box<dyn Transformation>> + Send + Sync + 'static,
+    ) {
+        self.transforms.write().insert(name.into(), Arc::new(factory));
+    }
+
+    /// Register (or replace) a synchronization filter factory.
+    pub fn register_synchronization(
+        &self,
+        name: impl Into<String>,
+        factory: impl Fn(&DataValue) -> Result<Box<dyn Synchronization>> + Send + Sync + 'static,
+    ) {
+        self.syncs.write().insert(name.into(), Arc::new(factory));
+    }
+
+    /// Instantiate a transformation filter for one (stream, process).
+    pub fn create_transformation(
+        &self,
+        name: &str,
+        params: &DataValue,
+    ) -> Result<Box<dyn Transformation>> {
+        let factory = self
+            .transforms
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| TbonError::UnknownFilter(name.to_owned()))?;
+        factory(params)
+    }
+
+    /// Instantiate a synchronization filter for one (stream, process).
+    pub fn create_synchronization(
+        &self,
+        name: &str,
+        params: &DataValue,
+    ) -> Result<Box<dyn Synchronization>> {
+        let factory = self
+            .syncs
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| TbonError::UnknownFilter(name.to_owned()))?;
+        factory(params)
+    }
+
+    /// Is a transformation with this name loadable?
+    pub fn has_transformation(&self, name: &str) -> bool {
+        self.transforms.read().contains_key(name)
+    }
+
+    /// Is a synchronization filter with this name loadable?
+    pub fn has_synchronization(&self, name: &str) -> bool {
+        self.syncs.read().contains_key(name)
+    }
+
+    /// Names of all registered transformations (sorted, for diagnostics).
+    pub fn transformation_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.transforms.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Names of all registered synchronization filters (sorted).
+    pub fn synchronization_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.syncs.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pkt(from: u32, v: i64) -> Packet {
+        Packet::new(StreamId(1), Tag(0), Rank(from), DataValue::I64(v))
+    }
+
+    fn ctx(expected: &[u32]) -> SyncContext {
+        SyncContext {
+            stream: StreamId(1),
+            rank: Rank(0),
+            expected: expected.iter().map(|&r| Rank(r)).collect(),
+            now: Instant::now(),
+        }
+    }
+
+    #[test]
+    fn wait_for_all_releases_full_waves_only() {
+        let mut s = WaitForAll::new();
+        let c = ctx(&[1, 2, 3]);
+        assert!(s.push(Rank(1), pkt(1, 10), &c).is_empty());
+        assert!(s.push(Rank(2), pkt(2, 20), &c).is_empty());
+        let waves = s.push(Rank(3), pkt(3, 30), &c);
+        assert_eq!(waves.len(), 1);
+        assert_eq!(waves[0].len(), 3);
+    }
+
+    #[test]
+    fn wait_for_all_keeps_fifo_per_child() {
+        let mut s = WaitForAll::new();
+        let c = ctx(&[1, 2]);
+        // Child 1 races ahead with two packets.
+        assert!(s.push(Rank(1), pkt(1, 100), &c).is_empty());
+        assert!(s.push(Rank(1), pkt(1, 101), &c).is_empty());
+        let w1 = s.push(Rank(2), pkt(2, 200), &c);
+        assert_eq!(w1.len(), 1);
+        let vals: Vec<i64> = w1[0].iter().map(|p| p.value().as_i64().unwrap()).collect();
+        assert_eq!(vals, vec![100, 200]);
+        let w2 = s.push(Rank(2), pkt(2, 201), &c);
+        let vals: Vec<i64> = w2[0].iter().map(|p| p.value().as_i64().unwrap()).collect();
+        assert_eq!(vals, vec![101, 201]);
+    }
+
+    #[test]
+    fn wait_for_all_multiple_waves_release_together() {
+        let mut s = WaitForAll::new();
+        let c = ctx(&[1, 2]);
+        s.push(Rank(1), pkt(1, 1), &c);
+        s.push(Rank(1), pkt(1, 2), &c);
+        s.push(Rank(2), pkt(2, 1), &c);
+        let waves = s.push(Rank(2), pkt(2, 2), &c);
+        // Second push of child 2 completes wave 2; wave 1 completed earlier
+        // push. Actually wave1 completed on the third push:
+        assert!(!waves.is_empty());
+    }
+
+    #[test]
+    fn wait_for_all_child_gone_unblocks() {
+        let mut s = WaitForAll::new();
+        let c_full = ctx(&[1, 2]);
+        assert!(s.push(Rank(1), pkt(1, 5), &c_full).is_empty());
+        // Child 2 dies; expected shrinks to just child 1.
+        let c_less = ctx(&[1]);
+        let waves = s.child_gone(Rank(2), &c_less);
+        assert_eq!(waves.len(), 1);
+        assert_eq!(waves[0].len(), 1);
+        assert_eq!(waves[0][0].value().as_i64(), Some(5));
+    }
+
+    #[test]
+    fn wait_for_all_empty_expected_never_fires() {
+        let mut s = WaitForAll::new();
+        let c = ctx(&[]);
+        assert!(s.push(Rank(9), pkt(9, 1), &c).is_empty());
+        assert!(s.flush(&c).is_empty());
+    }
+
+    #[test]
+    fn timeout_buffers_until_window_closes() {
+        let mut s = TimeOut::new(Duration::from_millis(100));
+        let t0 = Instant::now();
+        let mk = |now: Instant, expected: &[u32]| SyncContext {
+            stream: StreamId(1),
+            rank: Rank(0),
+            expected: expected.iter().map(|&r| Rank(r)).collect(),
+            now,
+        };
+        let c = mk(t0, &[1, 2]);
+        assert!(s.push(Rank(1), pkt(1, 1), &c).is_empty());
+        assert_eq!(s.next_deadline(), Some(t0 + Duration::from_millis(100)));
+        // Mid-window flush: nothing.
+        let mid = mk(t0 + Duration::from_millis(50), &[1, 2]);
+        assert!(s.push(Rank(2), pkt(2, 2), &mid).is_empty());
+        assert!(s.flush(&mid).is_empty());
+        // Past the deadline: the whole window's contents in one wave.
+        let late = mk(t0 + Duration::from_millis(101), &[1, 2]);
+        let waves = s.flush(&late);
+        assert_eq!(waves.len(), 1);
+        assert_eq!(waves[0].len(), 2);
+        assert_eq!(s.next_deadline(), None);
+    }
+
+    #[test]
+    fn timeout_window_reopens_on_next_packet() {
+        let mut s = TimeOut::new(Duration::from_millis(10));
+        let t0 = Instant::now();
+        let mk = |now: Instant| SyncContext {
+            stream: StreamId(1),
+            rank: Rank(0),
+            expected: vec![Rank(1)],
+            now,
+        };
+        s.push(Rank(1), pkt(1, 1), &mk(t0));
+        assert_eq!(s.flush(&mk(t0 + Duration::from_millis(11))).len(), 1);
+        // New window starts at the next packet, not at the old deadline.
+        let t1 = t0 + Duration::from_millis(50);
+        s.push(Rank(1), pkt(1, 2), &mk(t1));
+        assert_eq!(s.next_deadline(), Some(t1 + Duration::from_millis(10)));
+    }
+
+    #[test]
+    fn null_sync_delivers_immediately() {
+        let mut s = NullSync;
+        let c = ctx(&[1, 2, 3]);
+        let waves = s.push(Rank(2), pkt(2, 7), &c);
+        assert_eq!(waves.len(), 1);
+        assert_eq!(waves[0].len(), 1);
+    }
+
+    #[test]
+    fn identity_passes_wave_through() {
+        let mut f = Identity;
+        let mut c = FilterContext::new(StreamId(1), Rank(0), true, 2);
+        let wave = vec![pkt(1, 1), pkt(2, 2)];
+        let out = f.transform(wave.clone(), &mut c).unwrap();
+        assert_eq!(out, wave);
+    }
+
+    #[test]
+    fn registry_has_builtins() {
+        let reg = FilterRegistry::new();
+        assert!(reg.has_transformation("core::identity"));
+        assert!(reg.has_synchronization("sync::wait_for_all"));
+        assert!(reg.has_synchronization("sync::time_out"));
+        assert!(reg.has_synchronization("sync::null"));
+        assert!(!reg.has_transformation("nope"));
+    }
+
+    #[test]
+    fn registry_unknown_name_errors() {
+        let reg = FilterRegistry::new();
+        assert!(matches!(
+            reg.create_transformation("missing", &DataValue::Unit),
+            Err(TbonError::UnknownFilter(_))
+        ));
+        assert!(matches!(
+            reg.create_synchronization("missing", &DataValue::Unit),
+            Err(TbonError::UnknownFilter(_))
+        ));
+    }
+
+    #[test]
+    fn registry_timeout_params_validated() {
+        let reg = FilterRegistry::new();
+        assert!(reg
+            .create_synchronization("sync::time_out", &DataValue::Unit)
+            .is_err());
+        assert!(reg
+            .create_synchronization("sync::time_out", &DataValue::U64(5))
+            .is_ok());
+    }
+
+    #[test]
+    fn registry_dynamic_registration() {
+        let reg = FilterRegistry::new();
+        assert!(!reg.has_transformation("user::double"));
+        reg.register_transformation("user::double", |_| {
+            struct Double;
+            impl Transformation for Double {
+                fn transform(
+                    &mut self,
+                    wave: Wave,
+                    ctx: &mut FilterContext,
+                ) -> Result<Vec<Packet>> {
+                    let sum: i64 = wave
+                        .iter()
+                        .filter_map(|p| p.value().as_i64())
+                        .sum();
+                    Ok(vec![ctx.make(Tag(0), DataValue::I64(sum * 2))])
+                }
+            }
+            Ok(Box::new(Double))
+        });
+        assert!(reg.has_transformation("user::double"));
+        let mut f = reg
+            .create_transformation("user::double", &DataValue::Unit)
+            .unwrap();
+        let mut c = FilterContext::new(StreamId(1), Rank(0), false, 2);
+        let out = f.transform(vec![pkt(1, 3), pkt(2, 4)], &mut c).unwrap();
+        assert_eq!(out[0].value().as_i64(), Some(14));
+    }
+
+    #[test]
+    fn context_reverse_emission_collects() {
+        let mut c = FilterContext::new(StreamId(2), Rank(5), false, 1);
+        c.emit_reverse(Tag(9), DataValue::from("back"));
+        assert_eq!(c.reverse.len(), 1);
+        assert_eq!(c.reverse[0].tag(), Tag(9));
+        assert_eq!(c.reverse[0].origin(), Rank(5));
+        assert_eq!(c.reverse[0].stream(), StreamId(2));
+    }
+
+    #[test]
+    fn registry_names_sorted() {
+        let reg = FilterRegistry::new();
+        let names = reg.synchronization_names();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted);
+        assert_eq!(names.len(), 3);
+    }
+}

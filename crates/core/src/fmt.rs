@@ -1,0 +1,257 @@
+//! MRNet-style format-string packing.
+//!
+//! MRNet describes packet contents with printf-like format strings
+//! (`"%d %lf %as"`); tools pack positional arguments against the string and
+//! unpack them on the other side, getting run-time type checking at the
+//! API boundary. This module reproduces that interface on top of
+//! [`DataValue`]:
+//!
+//! | token | Rust payload |
+//! |-------|--------------|
+//! | `%d`  | `i64` |
+//! | `%ud` | `u64` |
+//! | `%f`, `%lf` | `f64` |
+//! | `%s`  | `String` |
+//! | `%ab` | `Vec<u8>` (byte array) |
+//! | `%ad` | `Vec<i64>` |
+//! | `%af`, `%alf` | `Vec<f64>` |
+//!
+//! ```
+//! use tbon_core::fmt::{pack, unpack};
+//! use tbon_core::DataValue;
+//!
+//! let packed = pack(
+//!     "%d %lf %s",
+//!     &[DataValue::I64(3), DataValue::F64(0.5), DataValue::from("hi")],
+//! )
+//! .unwrap();
+//! let fields = unpack("%d %lf %s", &packed).unwrap();
+//! assert_eq!(fields[2].as_str(), Some("hi"));
+//! ```
+
+use crate::error::{Result, TbonError};
+use crate::value::DataValue;
+
+/// One field of a format string.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FmtItem {
+    I64,
+    U64,
+    F64,
+    Str,
+    Bytes,
+    ArrayI64,
+    ArrayF64,
+}
+
+impl FmtItem {
+    /// The token this item prints as (canonical spelling).
+    pub fn token(&self) -> &'static str {
+        match self {
+            FmtItem::I64 => "%d",
+            FmtItem::U64 => "%ud",
+            FmtItem::F64 => "%lf",
+            FmtItem::Str => "%s",
+            FmtItem::Bytes => "%ab",
+            FmtItem::ArrayI64 => "%ad",
+            FmtItem::ArrayF64 => "%alf",
+        }
+    }
+
+    /// Does a value satisfy this item?
+    pub fn matches(&self, v: &DataValue) -> bool {
+        matches!(
+            (self, v),
+            (FmtItem::I64, DataValue::I64(_))
+                | (FmtItem::U64, DataValue::U64(_))
+                | (FmtItem::F64, DataValue::F64(_))
+                | (FmtItem::Str, DataValue::Str(_))
+                | (FmtItem::Bytes, DataValue::Bytes(_))
+                | (FmtItem::ArrayI64, DataValue::ArrayI64(_))
+                | (FmtItem::ArrayF64, DataValue::ArrayF64(_))
+        )
+    }
+}
+
+/// Parse a format string into its items.
+pub fn parse_format(fmt: &str) -> Result<Vec<FmtItem>> {
+    let mut items = Vec::new();
+    for token in fmt.split_whitespace() {
+        let item = match token {
+            "%d" => FmtItem::I64,
+            "%ud" => FmtItem::U64,
+            "%f" | "%lf" => FmtItem::F64,
+            "%s" => FmtItem::Str,
+            "%ab" => FmtItem::Bytes,
+            "%ad" => FmtItem::ArrayI64,
+            "%af" | "%alf" => FmtItem::ArrayF64,
+            other => {
+                return Err(TbonError::Invalid(format!(
+                    "unknown format token '{other}'"
+                )))
+            }
+        };
+        items.push(item);
+    }
+    if items.is_empty() {
+        return Err(TbonError::Invalid("empty format string".into()));
+    }
+    Ok(items)
+}
+
+/// Pack positional arguments against a format string. A single-item format
+/// packs to the bare value; multi-item formats pack to a tuple (so `"%d"`
+/// round-trips through filters expecting plain scalars).
+pub fn pack(fmt: &str, args: &[DataValue]) -> Result<DataValue> {
+    let items = parse_format(fmt)?;
+    if items.len() != args.len() {
+        return Err(TbonError::Invalid(format!(
+            "format '{fmt}' wants {} arguments, got {}",
+            items.len(),
+            args.len()
+        )));
+    }
+    for (i, (item, arg)) in items.iter().zip(args).enumerate() {
+        if !item.matches(arg) {
+            return Err(TbonError::Invalid(format!(
+                "argument {i} is {} but format wants {}",
+                arg.type_name(),
+                item.token()
+            )));
+        }
+    }
+    if args.len() == 1 {
+        Ok(args[0].clone())
+    } else {
+        Ok(DataValue::Tuple(args.to_vec()))
+    }
+}
+
+/// Unpack a value against a format string, validating field types.
+pub fn unpack(fmt: &str, value: &DataValue) -> Result<Vec<DataValue>> {
+    let items = parse_format(fmt)?;
+    let fields: Vec<DataValue> = if items.len() == 1 {
+        vec![value.clone()]
+    } else {
+        value
+            .as_tuple()
+            .ok_or_else(|| {
+                TbonError::Invalid(format!(
+                    "format '{fmt}' wants a {}-tuple, got {}",
+                    items.len(),
+                    value.type_name()
+                ))
+            })?
+            .to_vec()
+    };
+    if fields.len() != items.len() {
+        return Err(TbonError::Invalid(format!(
+            "format '{fmt}' wants {} fields, got {}",
+            items.len(),
+            fields.len()
+        )));
+    }
+    for (i, (item, field)) in items.iter().zip(&fields).enumerate() {
+        if !item.matches(field) {
+            return Err(TbonError::Invalid(format!(
+                "field {i} is {} but format wants {}",
+                field.type_name(),
+                item.token()
+            )));
+        }
+    }
+    Ok(fields)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_all_tokens() {
+        let items = parse_format("%d %ud %f %lf %s %ab %ad %af %alf").unwrap();
+        assert_eq!(
+            items,
+            vec![
+                FmtItem::I64,
+                FmtItem::U64,
+                FmtItem::F64,
+                FmtItem::F64,
+                FmtItem::Str,
+                FmtItem::Bytes,
+                FmtItem::ArrayI64,
+                FmtItem::ArrayF64,
+                FmtItem::ArrayF64,
+            ]
+        );
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_format("%x").is_err());
+        assert!(parse_format("").is_err());
+        assert!(parse_format("   ").is_err());
+        assert!(parse_format("%d banana").is_err());
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip_multi() {
+        let args = vec![
+            DataValue::I64(-5),
+            DataValue::F64(2.5),
+            DataValue::from("metric"),
+            DataValue::ArrayF64(vec![1.0, 2.0]),
+        ];
+        let packed = pack("%d %lf %s %alf", &args).unwrap();
+        assert_eq!(unpack("%d %lf %s %alf", &packed).unwrap(), args);
+    }
+
+    #[test]
+    fn single_item_packs_bare() {
+        let packed = pack("%ad", &[DataValue::ArrayI64(vec![1, 2, 3])]).unwrap();
+        assert_eq!(packed, DataValue::ArrayI64(vec![1, 2, 3]));
+        assert_eq!(
+            unpack("%ad", &packed).unwrap(),
+            vec![DataValue::ArrayI64(vec![1, 2, 3])]
+        );
+    }
+
+    #[test]
+    fn pack_type_mismatch_rejected() {
+        assert!(pack("%d", &[DataValue::F64(1.0)]).is_err());
+        assert!(pack("%s %d", &[DataValue::from("x"), DataValue::U64(1)]).is_err());
+    }
+
+    #[test]
+    fn pack_arity_mismatch_rejected() {
+        assert!(pack("%d %d", &[DataValue::I64(1)]).is_err());
+        assert!(pack("%d", &[DataValue::I64(1), DataValue::I64(2)]).is_err());
+    }
+
+    #[test]
+    fn unpack_validates_shape_and_types() {
+        let ok = DataValue::Tuple(vec![DataValue::I64(1), DataValue::from("a")]);
+        assert!(unpack("%d %s", &ok).is_ok());
+        let wrong_len = DataValue::Tuple(vec![DataValue::I64(1)]);
+        assert!(unpack("%d %s", &wrong_len).is_err());
+        let wrong_type = DataValue::Tuple(vec![DataValue::from("a"), DataValue::I64(1)]);
+        assert!(unpack("%d %s", &wrong_type).is_err());
+        assert!(unpack("%d %s", &DataValue::Unit).is_err());
+    }
+
+    #[test]
+    fn tokens_are_canonical() {
+        for item in [
+            FmtItem::I64,
+            FmtItem::U64,
+            FmtItem::F64,
+            FmtItem::Str,
+            FmtItem::Bytes,
+            FmtItem::ArrayI64,
+            FmtItem::ArrayF64,
+        ] {
+            let parsed = parse_format(item.token()).unwrap();
+            assert_eq!(parsed, vec![item]);
+        }
+    }
+}

@@ -1,0 +1,553 @@
+//! Network instantiation and the front-end API.
+//!
+//! [`NetworkBuilder`] takes a topology, a transport, a filter registry and a
+//! back-end closure; [`NetworkBuilder::launch`] wires the overlay and spawns
+//! one thread per process (root, internals, back-ends). The returned
+//! [`Network`] is the front-end handle: create [`StreamHandle`]s, multicast
+//! downstream, receive filtered upstream data, load filters on demand,
+//! attach or kill back-ends, and shut the whole tree down in order.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crossbeam_channel::{bounded, unbounded, Receiver, Sender};
+use parking_lot::RwLock;
+
+use tbon_topology::{NodeId, Role, Topology};
+use tbon_transport::{local::LocalTransport, NodeEndpoint, Transport};
+
+use crate::backend::BackendContext;
+use crate::config::NetworkConfig;
+use crate::error::{Result, TbonError};
+use crate::filter::FilterRegistry;
+use crate::packet::{Packet, Rank};
+use crate::process::{send_message, CommProcess, FeCommand};
+use crate::proto::{FilterKind, Message, NetEvent};
+use crate::stream::{StreamId, StreamSpec, Tag};
+use crate::value::DataValue;
+
+/// Transport peer id of the network's out-of-band control endpoint, used
+/// for reconfiguration messages that cannot ride the (broken) tree. Chosen
+/// far outside any realistic rank range.
+const CONTROL_PEER: u32 = u32::MAX;
+
+/// Closure run on each back-end thread.
+pub type BackendFn = dyn Fn(BackendContext) + Send + Sync;
+
+/// Configures and launches a TBON network.
+pub struct NetworkBuilder {
+    topology: Topology,
+    transport: Arc<dyn Transport>,
+    registry: Arc<FilterRegistry>,
+    backend_fn: Option<Arc<BackendFn>>,
+    config: NetworkConfig,
+}
+
+impl NetworkBuilder {
+    /// Start building a network over the given process tree. Defaults:
+    /// in-process transport, the core filter registry, default config.
+    pub fn new(topology: Topology) -> NetworkBuilder {
+        NetworkBuilder {
+            topology,
+            transport: Arc::new(LocalTransport::new()),
+            registry: Arc::new(FilterRegistry::new()),
+            backend_fn: None,
+            config: NetworkConfig::default(),
+        }
+    }
+
+    /// Use a specific transport (TCP, shaped, copying-local, ...).
+    pub fn transport(mut self, transport: impl Transport + 'static) -> Self {
+        self.transport = Arc::new(transport);
+        self
+    }
+
+    /// Use an already-shared transport.
+    pub fn transport_arc(mut self, transport: Arc<dyn Transport>) -> Self {
+        self.transport = transport;
+        self
+    }
+
+    /// Use a filter registry (e.g. `tbon_filters::builtin_registry()`).
+    pub fn registry(mut self, registry: impl Into<Arc<FilterRegistry>>) -> Self {
+        self.registry = registry.into();
+        self
+    }
+
+    /// Tune runtime parameters.
+    pub fn config(mut self, config: NetworkConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// The closure run on every back-end thread. Distinguish back-ends via
+    /// [`BackendContext::rank`].
+    pub fn backend(
+        mut self,
+        f: impl Fn(BackendContext) + Send + Sync + 'static,
+    ) -> Self {
+        self.backend_fn = Some(Arc::new(f));
+        self
+    }
+
+    /// Wire the overlay and spawn every process thread.
+    pub fn launch(self) -> Result<Network> {
+        let NetworkBuilder {
+            topology,
+            transport,
+            registry,
+            backend_fn,
+            config,
+        } = self;
+        let backend_fn = backend_fn.ok_or_else(|| {
+            TbonError::Invalid("NetworkBuilder::backend closure is required".into())
+        })?;
+
+        // Register nodes and connect tree edges.
+        let mut endpoints: HashMap<u32, NodeEndpoint> = HashMap::new();
+        for n in topology.node_ids() {
+            if topology.role(n) == Role::Detached {
+                continue;
+            }
+            endpoints.insert(n.0, transport.add_node(n.0)?);
+        }
+        for (p, c) in topology.edges() {
+            transport.connect(p, c)?;
+        }
+
+        let shared_topo = Arc::new(RwLock::new(topology));
+        let control = transport.add_node(CONTROL_PEER)?;
+        let (cmd_tx, cmd_rx) = unbounded::<FeCommand>();
+        let (event_tx, event_rx) = unbounded::<NetEvent>();
+
+        let mut handles = Vec::new();
+        let topo_snapshot = shared_topo.read().clone();
+        for n in topo_snapshot.node_ids() {
+            let role = topo_snapshot.role(n);
+            let Some(endpoint) = endpoints.remove(&n.0) else {
+                continue;
+            };
+            match role {
+                Role::FrontEnd => {
+                    let proc = CommProcess::new_root(
+                        endpoint,
+                        shared_topo.clone(),
+                        registry.clone(),
+                        config.clone(),
+                        cmd_rx.clone(),
+                        event_tx.clone(),
+                    );
+                    handles.push(spawn_named(
+                        format!("{}-root", config.name),
+                        move || proc.run(),
+                    )?);
+                }
+                Role::Internal => {
+                    let parent = topo_snapshot
+                        .parent(n)
+                        .expect("internal node has a parent");
+                    let proc = CommProcess::new_internal(
+                        Rank(n.0),
+                        Rank(parent.0),
+                        endpoint,
+                        shared_topo.clone(),
+                        registry.clone(),
+                        config.clone(),
+                    );
+                    handles.push(spawn_named(
+                        format!("{}-comm-{}", config.name, n.0),
+                        move || proc.run(),
+                    )?);
+                }
+                Role::BackEnd => {
+                    let parent = topo_snapshot.parent(n).expect("leaf has a parent");
+                    let ctx = BackendContext::new(
+                        Rank(n.0),
+                        Rank(parent.0),
+                        endpoint,
+                        config.orphan_grace,
+                    );
+                    let f = backend_fn.clone();
+                    handles.push(spawn_named(
+                        format!("{}-be-{}", config.name, n.0),
+                        move || f(ctx),
+                    )?);
+                }
+                Role::Detached => {}
+            }
+        }
+
+        Ok(Network {
+            cmd: cmd_tx,
+            events: event_rx,
+            event_tx,
+            handles,
+            topology: shared_topo,
+            transport,
+            registry,
+            backend_fn,
+            config,
+            control,
+            down: false,
+        })
+    }
+}
+
+fn spawn_named(
+    name: String,
+    f: impl FnOnce() + Send + 'static,
+) -> Result<JoinHandle<()>> {
+    std::thread::Builder::new()
+        .name(name)
+        .spawn(f)
+        .map_err(|e| TbonError::Invalid(format!("thread spawn failed: {e}")))
+}
+
+/// The front-end handle to a running network.
+pub struct Network {
+    cmd: Sender<FeCommand>,
+    events: Receiver<NetEvent>,
+    event_tx: Sender<NetEvent>,
+    handles: Vec<JoinHandle<()>>,
+    topology: Arc<RwLock<Topology>>,
+    transport: Arc<dyn Transport>,
+    registry: Arc<FilterRegistry>,
+    backend_fn: Arc<BackendFn>,
+    config: NetworkConfig,
+    /// Out-of-band endpoint for reconfiguration traffic (see
+    /// [`Network::heal_internal_failure`]).
+    control: tbon_transport::NodeEndpoint,
+    down: bool,
+}
+
+impl Network {
+    /// Create a stream per `spec` and return its handle. The stream is
+    /// usable immediately: FIFO channel ordering guarantees every member
+    /// back-end sees the stream before any of its data.
+    pub fn new_stream(&mut self, spec: StreamSpec) -> Result<StreamHandle> {
+        let (reply_tx, reply_rx) = bounded(1);
+        self.cmd
+            .send(FeCommand::NewStream {
+                spec,
+                reply: reply_tx,
+            })
+            .map_err(|_| TbonError::NetworkDown)?;
+        let (id, rx) = reply_rx
+            .recv_timeout(self.config.shutdown_timeout)
+            .map_err(|_| TbonError::NetworkDown)??;
+        Ok(StreamHandle {
+            id,
+            cmd: self.cmd.clone(),
+            rx,
+        })
+    }
+
+    /// Probe (and effectively load) a filter on every communication process
+    /// — the `dlopen` analogue. Returns whether the whole tree can
+    /// instantiate it.
+    pub fn load_filter(&mut self, name: &str, kind: FilterKind) -> Result<bool> {
+        let (reply_tx, reply_rx) = bounded(1);
+        self.cmd
+            .send(FeCommand::LoadFilter {
+                name: name.to_owned(),
+                kind,
+                reply: reply_tx,
+            })
+            .map_err(|_| TbonError::NetworkDown)?;
+        reply_rx
+            .recv_timeout(self.config.shutdown_timeout)
+            .map_err(|_| TbonError::Timeout)?
+    }
+
+    /// The registry shared by every process; registering here makes a
+    /// filter loadable network-wide immediately.
+    pub fn registry(&self) -> &Arc<FilterRegistry> {
+        &self.registry
+    }
+
+    /// Non-blocking poll of the event queue (failures, joins, filter
+    /// errors).
+    pub fn poll_event(&self) -> Option<NetEvent> {
+        self.events.try_recv().ok()
+    }
+
+    /// Blocking receive of the next event, with timeout.
+    pub fn wait_event(&self, timeout: Duration) -> Result<NetEvent> {
+        self.events
+            .recv_timeout(timeout)
+            .map_err(|_| TbonError::Timeout)
+    }
+
+    /// A point-in-time copy of the topology (includes dynamic changes).
+    pub fn topology_snapshot(&self) -> Topology {
+        self.topology.read().clone()
+    }
+
+    /// Attach a new back-end under `parent` at runtime (MRNet's dynamic
+    /// topology). The new leaf runs the same back-end closure; existing
+    /// streams do not include it, new `Members::All` streams will.
+    pub fn attach_backend(&mut self, parent: Rank) -> Result<Rank> {
+        let new_id = {
+            let mut topo = self.topology.write();
+            let role = topo.role(NodeId(parent.0));
+            if role != Role::Internal && role != Role::FrontEnd {
+                return Err(TbonError::Invalid(format!(
+                    "cannot attach under {parent} ({role:?})"
+                )));
+            }
+            topo.attach_leaf(NodeId(parent.0))?
+        };
+        let endpoint = self.transport.add_node(new_id.0)?;
+        self.transport.connect(parent.0, new_id.0)?;
+        let ctx = BackendContext::new(
+            Rank(new_id.0),
+            parent,
+            endpoint,
+            self.config.orphan_grace,
+        );
+        let f = self.backend_fn.clone();
+        self.handles.push(spawn_named(
+            format!("{}-be-{}", self.config.name, new_id.0),
+            move || f(ctx),
+        )?);
+        let _ = self.event_tx.send(NetEvent::BackendJoined {
+            rank: Rank(new_id.0),
+            parent,
+        });
+        Ok(Rank(new_id.0))
+    }
+
+    /// Failure injection: abruptly sever a back-end. Its parent detects the
+    /// loss, unblocks synchronization filters and reports
+    /// [`NetEvent::BackendLost`].
+    pub fn kill_backend(&mut self, rank: Rank) -> Result<()> {
+        {
+            let topo = self.topology.read();
+            if topo.role(NodeId(rank.0)) != Role::BackEnd {
+                return Err(TbonError::Invalid(format!("{rank} is not a back-end")));
+            }
+        }
+        self.transport.remove_node(rank.0)?;
+        Ok(())
+    }
+
+    /// Send a control message to any process over the out-of-band channel,
+    /// connecting it on first use.
+    fn control_send(&self, target: Rank, msg: Message) -> Result<()> {
+        if self.control.peers.get(target.0).is_none() {
+            self.transport.connect(CONTROL_PEER, target.0)?;
+        }
+        let link = self
+            .control
+            .peers
+            .get(target.0)
+            .ok_or(TbonError::NetworkDown)?;
+        send_message(&link, &Arc::new(msg))
+    }
+
+    /// Query every communication process's lifetime activity counters over
+    /// the control channel — MRNet-style internal instrumentation. Returns
+    /// whatever answered within `timeout` (a wedged or dead process is
+    /// simply absent from the map).
+    pub fn perf_snapshot(
+        &mut self,
+        timeout: Duration,
+    ) -> Result<std::collections::HashMap<Rank, crate::proto::PerfCounters>> {
+        let targets: Vec<Rank> = {
+            let topo = self.topology.read();
+            topo.node_ids()
+                .filter(|&n| {
+                    matches!(topo.role(n), Role::FrontEnd | Role::Internal)
+                })
+                .map(|n| Rank(n.0))
+                .collect()
+        };
+        for &t in &targets {
+            // Best effort: a dead process just won't answer.
+            let _ = self.control_send(t, Message::GetPerf);
+        }
+        let mut out = std::collections::HashMap::new();
+        let deadline = std::time::Instant::now() + timeout;
+        while out.len() < targets.len() {
+            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+            let Ok(delivery) = self.control.incoming.recv_timeout(remaining) else {
+                break;
+            };
+            if let tbon_transport::Delivery::Frame { frame, .. } = delivery {
+                if let Ok(msg) = crate::process::decode_frame(frame) {
+                    if let Message::PerfReport { rank, counters } = msg.as_ref() {
+                        out.insert(*rank, *counters);
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Failure injection: abruptly sever an *internal* communication
+    /// process. Its parent reports [`NetEvent::SubtreeOrphaned`]; its
+    /// children wait out [`NetworkConfig::orphan_grace`] for a heal.
+    pub fn kill_internal(&mut self, rank: Rank) -> Result<()> {
+        {
+            let topo = self.topology.read();
+            if topo.role(NodeId(rank.0)) != Role::Internal {
+                return Err(TbonError::Invalid(format!(
+                    "{rank} is not an internal communication process"
+                )));
+            }
+        }
+        self.transport.remove_node(rank.0)?;
+        Ok(())
+    }
+
+    /// Reconfigure around a failed internal process (the paper's §2.2
+    /// extension: "communication and back-end processes can ... leave at
+    /// any time and the network properly reconfigures and re-routes
+    /// traffic"): splice the failed node out of the topology, wire its
+    /// orphaned children directly to their grandparent, and install the
+    /// adoption on both sides. Streams resume with their full membership;
+    /// waves in flight through the failed process at the instant of failure
+    /// may be lost (at-most-once during recovery).
+    ///
+    /// Returns the re-parented children.
+    pub fn heal_internal_failure(&mut self, failed: Rank) -> Result<Vec<Rank>> {
+        let (grandparent, orphans) = {
+            let mut topo = self.topology.write();
+            let grandparent = topo
+                .parent(NodeId(failed.0))
+                .ok_or_else(|| TbonError::Invalid(format!("{failed} has no parent")))?;
+            let orphans = topo.splice_out_internal(NodeId(failed.0))?;
+            (Rank(grandparent.0), orphans)
+        };
+        let mut healed = Vec::with_capacity(orphans.len());
+        for orphan in &orphans {
+            let orphan = Rank(orphan.0);
+            self.transport.connect(grandparent.0, orphan.0)?;
+            // Tell the child first (stops its grace timer), then the parent
+            // (recomputes routing and starts accepting the child's waves).
+            self.control_send(orphan, Message::NewParent { parent: grandparent })?;
+            self.control_send(grandparent, Message::Adopt { child: orphan })?;
+            healed.push(orphan);
+        }
+        // Wait for both sides of every adoption to confirm, so the tree is
+        // consistent before this call returns (no broadcast can race past
+        // an unprocessed Adopt).
+        let mut pending = 2 * healed.len();
+        let deadline = std::time::Instant::now() + self.config.shutdown_timeout;
+        while pending > 0 {
+            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+            let delivery = self
+                .control
+                .incoming
+                .recv_timeout(remaining)
+                .map_err(|_| TbonError::Timeout)?;
+            if let tbon_transport::Delivery::Frame { frame, .. } = delivery {
+                if let Ok(msg) = crate::process::decode_frame(frame) {
+                    if matches!(msg.as_ref(), Message::ReconfigAck { .. }) {
+                        pending -= 1;
+                    }
+                }
+            }
+        }
+        Ok(healed)
+    }
+
+    /// Orderly teardown: shutdown propagates to every process, acks
+    /// aggregate bottom-up, and all threads are joined.
+    pub fn shutdown(mut self) -> Result<()> {
+        self.shutdown_inner()
+    }
+
+    fn shutdown_inner(&mut self) -> Result<()> {
+        if self.down {
+            return Ok(());
+        }
+        self.down = true;
+        let (reply_tx, reply_rx) = bounded(1);
+        let sent = self
+            .cmd
+            .send(FeCommand::Shutdown { reply: reply_tx })
+            .is_ok();
+        let result = if sent {
+            match reply_rx.recv_timeout(self.config.shutdown_timeout) {
+                Ok(r) => r,
+                Err(_) => Err(TbonError::Timeout),
+            }
+        } else {
+            Err(TbonError::NetworkDown)
+        };
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+        result
+    }
+}
+
+impl Drop for Network {
+    fn drop(&mut self) {
+        let _ = self.shutdown_inner();
+    }
+}
+
+/// Front-end handle to one stream.
+#[derive(Debug)]
+pub struct StreamHandle {
+    id: StreamId,
+    cmd: Sender<FeCommand>,
+    rx: Receiver<Packet>,
+}
+
+impl StreamHandle {
+    /// The network-wide stream id.
+    pub fn id(&self) -> StreamId {
+        self.id
+    }
+
+    /// Multicast a packet downstream to all member back-ends.
+    pub fn broadcast(&self, tag: Tag, value: DataValue) -> Result<()> {
+        let (reply_tx, reply_rx) = bounded(1);
+        self.cmd
+            .send(FeCommand::Send {
+                stream: self.id,
+                tag,
+                value,
+                reply: reply_tx,
+            })
+            .map_err(|_| TbonError::NetworkDown)?;
+        reply_rx.recv().map_err(|_| TbonError::NetworkDown)?
+    }
+
+    /// Block for the next filtered upstream packet.
+    pub fn recv(&self) -> Result<Packet> {
+        self.rx.recv().map_err(|_| TbonError::StreamClosed(self.id))
+    }
+
+    /// Block for the next packet, up to `timeout`.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<Packet> {
+        self.rx.recv_timeout(timeout).map_err(|e| match e {
+            crossbeam_channel::RecvTimeoutError::Timeout => TbonError::Timeout,
+            crossbeam_channel::RecvTimeoutError::Disconnected => {
+                TbonError::StreamClosed(self.id)
+            }
+        })
+    }
+
+    /// Non-blocking poll for a packet.
+    pub fn try_recv(&self) -> Option<Packet> {
+        self.rx.try_recv().ok()
+    }
+
+    /// Tear the stream down across the tree.
+    pub fn close(self) -> Result<()> {
+        let (reply_tx, reply_rx) = bounded(1);
+        self.cmd
+            .send(FeCommand::CloseStream {
+                stream: self.id,
+                reply: reply_tx,
+            })
+            .map_err(|_| TbonError::NetworkDown)?;
+        reply_rx.recv().map_err(|_| TbonError::NetworkDown)?
+    }
+}

@@ -1,0 +1,170 @@
+//! Application-level packets.
+//!
+//! Packets are the unit of data flowing through streams. They are cheap to
+//! clone — the payload lives behind an `Arc`, so multicasting one packet to
+//! N children costs N reference-count bumps, not N copies (MRNet's "counted
+//! packet references").
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::stream::{StreamId, Tag};
+use crate::value::DataValue;
+
+/// A process's position in the overlay; identical to the topology node id
+/// and the transport peer id. Rank 0 is the front-end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Rank(pub u32);
+
+impl fmt::Display for Rank {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rank{}", self.0)
+    }
+}
+
+struct PacketInner {
+    stream: StreamId,
+    tag: Tag,
+    origin: Rank,
+    value: DataValue,
+}
+
+/// An immutable, reference-counted application packet.
+#[derive(Clone)]
+pub struct Packet {
+    inner: Arc<PacketInner>,
+}
+
+impl Packet {
+    /// Create a packet. `origin` records the process that produced the
+    /// value — a back-end rank for raw data, or the rank of the
+    /// communication process whose filter synthesized it.
+    pub fn new(stream: StreamId, tag: Tag, origin: Rank, value: DataValue) -> Packet {
+        Packet {
+            inner: Arc::new(PacketInner {
+                stream,
+                tag,
+                origin,
+                value,
+            }),
+        }
+    }
+
+    /// The stream this packet travels on.
+    pub fn stream(&self) -> StreamId {
+        self.inner.stream
+    }
+
+    /// The application tag attached at send time.
+    pub fn tag(&self) -> Tag {
+        self.inner.tag
+    }
+
+    /// The process that produced this packet's value.
+    pub fn origin(&self) -> Rank {
+        self.inner.origin
+    }
+
+    /// Borrow the payload.
+    pub fn value(&self) -> &DataValue {
+        &self.inner.value
+    }
+
+    /// Take the payload, cloning only if other references exist.
+    pub fn into_value(self) -> DataValue {
+        match Arc::try_unwrap(self.inner) {
+            Ok(inner) => inner.value,
+            Err(shared) => shared.value.clone(),
+        }
+    }
+
+    /// Exact wire size of this packet's payload plus header.
+    pub fn encoded_len(&self) -> usize {
+        // stream(4) + tag(4) + origin(4) + value
+        12 + self.inner.value.encoded_len()
+    }
+
+    /// How many clones of this packet are alive (diagnostics / zero-copy
+    /// assertions in tests).
+    pub fn ref_count(&self) -> usize {
+        Arc::strong_count(&self.inner)
+    }
+}
+
+impl fmt::Debug for Packet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Packet")
+            .field("stream", &self.inner.stream)
+            .field("tag", &self.inner.tag)
+            .field("origin", &self.inner.origin)
+            .field("value", &self.inner.value)
+            .finish()
+    }
+}
+
+impl PartialEq for Packet {
+    fn eq(&self, other: &Self) -> bool {
+        self.inner.stream == other.inner.stream
+            && self.inner.tag == other.inner.tag
+            && self.inner.origin == other.inner.origin
+            && self.inner.value == other.inner.value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pkt(v: DataValue) -> Packet {
+        Packet::new(StreamId(1), Tag(2), Rank(3), v)
+    }
+
+    #[test]
+    fn accessors() {
+        let p = pkt(DataValue::I64(9));
+        assert_eq!(p.stream(), StreamId(1));
+        assert_eq!(p.tag(), Tag(2));
+        assert_eq!(p.origin(), Rank(3));
+        assert_eq!(p.value().as_i64(), Some(9));
+    }
+
+    #[test]
+    fn clone_is_shallow() {
+        let p = pkt(DataValue::ArrayF64(vec![0.0; 1000]));
+        assert_eq!(p.ref_count(), 1);
+        let clones: Vec<Packet> = (0..10).map(|_| p.clone()).collect();
+        assert_eq!(p.ref_count(), 11);
+        drop(clones);
+        assert_eq!(p.ref_count(), 1);
+    }
+
+    #[test]
+    fn into_value_avoids_clone_when_unique() {
+        let p = pkt(DataValue::from("only"));
+        let v = p.into_value();
+        assert_eq!(v.as_str(), Some("only"));
+    }
+
+    #[test]
+    fn into_value_clones_when_shared() {
+        let p = pkt(DataValue::from("shared"));
+        let q = p.clone();
+        assert_eq!(p.into_value().as_str(), Some("shared"));
+        assert_eq!(q.value().as_str(), Some("shared"));
+    }
+
+    #[test]
+    fn encoded_len_includes_header() {
+        let p = pkt(DataValue::Unit);
+        assert_eq!(p.encoded_len(), 12 + 1);
+    }
+
+    #[test]
+    fn equality_is_structural() {
+        let a = pkt(DataValue::I64(1));
+        let b = pkt(DataValue::I64(1));
+        let c = pkt(DataValue::I64(2));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

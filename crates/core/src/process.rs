@@ -1,0 +1,1116 @@
+//! The communication-process event loop.
+//!
+//! Every non-leaf node of the overlay — the root (co-located with the
+//! front-end) and each internal node — runs [`CommProcess::run`] on its own
+//! thread. The loop multiplexes:
+//!
+//! * upstream data from children, buffered by the stream's synchronization
+//!   filter into waves and reduced by its transformation filter;
+//! * downstream multicast from the parent (or, at the root, commands from
+//!   the front-end handle), routed only toward subtrees containing stream
+//!   members and optionally transformed per hop;
+//! * control traffic: stream creation/teardown, on-demand filter loading,
+//!   failure notices and orderly shutdown.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+use std::time::Instant;
+
+use crossbeam_channel::{Receiver, Sender};
+use parking_lot::RwLock;
+
+use tbon_topology::{NodeId, Role, Topology};
+use tbon_transport::{Delivery, Frame, Link, NodeEndpoint};
+
+use crate::config::NetworkConfig;
+use crate::error::{Result, TbonError};
+use crate::filter::{FilterContext, FilterRegistry, SyncContext, Synchronization, Transformation};
+use crate::packet::{Packet, Rank};
+use crate::proto::{
+    decode_message, encode_message, message_encoded_len, FilterKind, Message, NetEvent,
+    PerfCounters,
+};
+use crate::stream::{Members, StreamId, StreamMode, StreamSpec, Tag};
+use crate::value::DataValue;
+
+/// Commands from the front-end handle into the root process.
+pub(crate) enum FeCommand {
+    NewStream {
+        spec: StreamSpec,
+        reply: Sender<Result<(StreamId, Receiver<Packet>)>>,
+    },
+    Send {
+        stream: StreamId,
+        tag: Tag,
+        value: DataValue,
+        reply: Sender<Result<()>>,
+    },
+    CloseStream {
+        stream: StreamId,
+        reply: Sender<Result<()>>,
+    },
+    LoadFilter {
+        name: String,
+        kind: FilterKind,
+        reply: Sender<Result<bool>>,
+    },
+    Shutdown {
+        reply: Sender<Result<()>>,
+    },
+}
+
+/// Per-(stream, process) state.
+struct StreamState {
+    /// Stream members (back-end ranks) below or at this node's subtree.
+    members: Vec<Rank>,
+    /// Children currently expected to contribute upstream packets.
+    expected: Vec<Rank>,
+    /// Children that downstream traffic must be forwarded to.
+    down_routes: Vec<Rank>,
+    sync: Box<dyn Synchronization>,
+    tfilter: Box<dyn Transformation>,
+    dfilter: Option<Box<dyn Transformation>>,
+    mode: StreamMode,
+}
+
+/// Tracks one in-flight LoadFilter probe.
+struct FilterProbe {
+    awaiting: HashSet<Rank>,
+    ok: bool,
+}
+
+/// Role-specific halves of a communication process.
+enum ProcessRole {
+    Root {
+        fe_cmd: Receiver<FeCommand>,
+        fe_events: Sender<NetEvent>,
+        fe_streams: HashMap<StreamId, Sender<Packet>>,
+        next_stream: u32,
+        shutdown_reply: Option<Sender<Result<()>>>,
+        filter_replies: HashMap<String, Sender<Result<bool>>>,
+    },
+    Internal {
+        parent: Rank,
+    },
+}
+
+/// A communication process: the root or an internal node.
+pub(crate) struct CommProcess {
+    rank: Rank,
+    endpoint: NodeEndpoint,
+    topology: Arc<RwLock<Topology>>,
+    registry: Arc<FilterRegistry>,
+    config: NetworkConfig,
+    streams: HashMap<StreamId, StreamState>,
+    dead_children: HashSet<Rank>,
+    shutting_down: bool,
+    shutdown_pending: HashSet<Rank>,
+    filter_probes: HashMap<String, FilterProbe>,
+    /// Set when the parent vanished; cleared by a `NewParent`
+    /// reconfiguration. Holds the give-up deadline.
+    orphaned_until: Option<Instant>,
+    /// Lifetime activity counters, queryable via `Message::GetPerf`.
+    perf: PerfCounters,
+    role: ProcessRole,
+}
+
+/// Send one message over a link, using the zero-copy path when available.
+pub(crate) fn send_message(link: &Arc<dyn Link>, msg: &Arc<Message>) -> Result<()> {
+    let frame = if link.needs_bytes() {
+        Frame::Bytes(encode_message(msg))
+    } else {
+        Frame::Shared {
+            data: msg.clone(),
+            size_hint: message_encoded_len(msg),
+        }
+    };
+    link.send(frame).map_err(TbonError::Transport)
+}
+
+/// Recover a message from an incoming frame.
+pub(crate) fn decode_frame(frame: Frame) -> Result<Arc<Message>> {
+    match frame {
+        Frame::Bytes(bytes) => Ok(Arc::new(decode_message(&bytes)?)),
+        Frame::Shared { data, .. } => data
+            .downcast::<Message>()
+            .map_err(|_| TbonError::Decode("shared frame is not a Message".into())),
+    }
+}
+
+impl CommProcess {
+    pub(crate) fn new_internal(
+        rank: Rank,
+        parent: Rank,
+        endpoint: NodeEndpoint,
+        topology: Arc<RwLock<Topology>>,
+        registry: Arc<FilterRegistry>,
+        config: NetworkConfig,
+    ) -> CommProcess {
+        CommProcess {
+            rank,
+            endpoint,
+            topology,
+            registry,
+            config,
+            streams: HashMap::new(),
+            dead_children: HashSet::new(),
+            shutting_down: false,
+            shutdown_pending: HashSet::new(),
+            filter_probes: HashMap::new(),
+            orphaned_until: None,
+            perf: PerfCounters::default(),
+            role: ProcessRole::Internal { parent },
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new_root(
+        endpoint: NodeEndpoint,
+        topology: Arc<RwLock<Topology>>,
+        registry: Arc<FilterRegistry>,
+        config: NetworkConfig,
+        fe_cmd: Receiver<FeCommand>,
+        fe_events: Sender<NetEvent>,
+    ) -> CommProcess {
+        CommProcess {
+            rank: Rank(0),
+            endpoint,
+            topology,
+            registry,
+            config,
+            streams: HashMap::new(),
+            dead_children: HashSet::new(),
+            shutting_down: false,
+            shutdown_pending: HashSet::new(),
+            filter_probes: HashMap::new(),
+            orphaned_until: None,
+            perf: PerfCounters::default(),
+            role: ProcessRole::Root {
+                fe_cmd,
+                fe_events,
+                fe_streams: HashMap::new(),
+                next_stream: 1,
+                shutdown_reply: None,
+                filter_replies: HashMap::new(),
+            },
+        }
+    }
+
+    fn is_root(&self) -> bool {
+        matches!(self.role, ProcessRole::Root { .. })
+    }
+
+    /// Children of this node in the current topology, excluding known-dead.
+    fn live_children(&self) -> Vec<Rank> {
+        let topo = self.topology.read();
+        topo.children(NodeId(self.rank.0))
+            .iter()
+            .map(|&c| Rank(c))
+            .filter(|c| !self.dead_children.contains(c))
+            .collect()
+    }
+
+    /// Children that are themselves communication processes.
+    fn comm_children(&self) -> Vec<Rank> {
+        let topo = self.topology.read();
+        topo.children(NodeId(self.rank.0))
+            .iter()
+            .map(|&c| Rank(c))
+            .filter(|c| !self.dead_children.contains(c))
+            .filter(|c| topo.role(NodeId(c.0)) == Role::Internal)
+            .collect()
+    }
+
+    fn link_to(&self, peer: Rank) -> Result<Arc<dyn Link>> {
+        self.endpoint
+            .peers
+            .get(peer.0)
+            .ok_or(TbonError::Transport(tbon_transport::TransportError::UnknownPeer(peer.0)))
+    }
+
+    fn send_to(&self, peer: Rank, msg: &Arc<Message>) -> Result<()> {
+        send_message(&self.link_to(peer)?, msg)
+    }
+
+    /// Send an event toward the front-end.
+    fn emit_event(&mut self, ev: NetEvent) {
+        match &mut self.role {
+            ProcessRole::Root { fe_events, .. } => {
+                let _ = fe_events.send(ev);
+            }
+            ProcessRole::Internal { parent } => {
+                let parent = *parent;
+                let msg = Arc::new(Message::Event(ev));
+                let _ = self.send_to(parent, &msg);
+            }
+        }
+    }
+
+    /// Deliver filtered output toward the front-end: up to the parent on
+    /// internal nodes, into the per-stream channel at the root.
+    fn emit_up(&mut self, pkt: Packet) {
+        match &mut self.role {
+            ProcessRole::Root { fe_streams, .. } => {
+                if let Some(tx) = fe_streams.get(&pkt.stream()) {
+                    // The application may have dropped the handle; fine.
+                    let _ = tx.send(pkt);
+                }
+            }
+            ProcessRole::Internal { parent } => {
+                let parent = *parent;
+                let msg = Arc::new(Message::up_from_packet(&pkt));
+                if self.send_to(parent, &msg).is_err() {
+                    // Parent gone; the Disconnected delivery will follow.
+                }
+            }
+        }
+    }
+
+    /// Route a downstream packet to the children hosting stream members,
+    /// applying the per-hop downstream filter first if configured.
+    fn send_down_packet(&mut self, stream_id: StreamId, pkt: Packet) {
+        let Some(st) = self.streams.get_mut(&stream_id) else {
+            return;
+        };
+        let mut outputs = vec![pkt];
+        let mut reverse = Vec::new();
+        if let Some(df) = st.dfilter.as_mut() {
+            let mut ctx = FilterContext::new(stream_id, self.rank, false, st.expected.len());
+            match df.transform(outputs, &mut ctx) {
+                Ok(out) => {
+                    outputs = out;
+                    if st.mode == StreamMode::Bidirectional {
+                        reverse = std::mem::take(&mut ctx.reverse);
+                    }
+                }
+                Err(e) => {
+                    let rank = self.rank;
+                    self.emit_event(NetEvent::FilterError {
+                        rank,
+                        detail: format!("downstream filter on {stream_id}: {e}"),
+                    });
+                    return;
+                }
+            }
+        }
+        let routes = self.streams[&stream_id].down_routes.clone();
+        for pkt in &outputs {
+            let msg = Arc::new(Message::down_from_packet(pkt));
+            for child in &routes {
+                let _ = self.send_to(*child, &msg);
+            }
+        }
+        for pkt in reverse {
+            self.emit_up(pkt);
+        }
+    }
+
+    /// Run synchronization + transformation for freshly available waves and
+    /// dispatch the results.
+    fn process_waves(&mut self, stream_id: StreamId, waves: Vec<Vec<Packet>>) {
+        if waves.is_empty() {
+            return;
+        }
+        let is_root = self.is_root();
+        let rank = self.rank;
+        let mut up_out: Vec<Packet> = Vec::new();
+        let mut down_out: Vec<Packet> = Vec::new();
+        let mut errors: Vec<String> = Vec::new();
+        {
+            let Some(st) = self.streams.get_mut(&stream_id) else {
+                return;
+            };
+            for wave in waves {
+                self.perf.waves += 1;
+                let mut ctx =
+                    FilterContext::new(stream_id, rank, is_root, st.expected.len());
+                let started = Instant::now();
+                let result = st.tfilter.transform(wave, &mut ctx);
+                self.perf.filter_ns += started.elapsed().as_nanos() as u64;
+                match result {
+                    Ok(outputs) => {
+                        self.perf.filter_out += outputs.len() as u64;
+                        up_out.extend(outputs);
+                        if st.mode == StreamMode::Bidirectional {
+                            down_out.append(&mut ctx.reverse);
+                        }
+                    }
+                    Err(e) => errors.push(e.to_string()),
+                }
+            }
+        }
+        for pkt in up_out {
+            self.emit_up(pkt);
+        }
+        for pkt in down_out {
+            self.send_down_packet(stream_id, pkt);
+        }
+        for detail in errors {
+            self.emit_event(NetEvent::FilterError {
+                rank,
+                detail: format!("transformation on {stream_id}: {detail}"),
+            });
+        }
+    }
+
+    /// Upstream data from a child.
+    fn handle_up(&mut self, from: Rank, stream_id: StreamId, tag: Tag, origin: Rank, value: DataValue) {
+        let now = Instant::now();
+        let waves = {
+            let Some(st) = self.streams.get_mut(&stream_id) else {
+                // Stream closed or unknown: drop (paper model has no nack).
+                return;
+            };
+            let pkt = Packet::new(stream_id, tag, origin, value);
+            let ctx = SyncContext {
+                stream: stream_id,
+                rank: self.rank,
+                expected: st.expected.clone(),
+                now,
+            };
+            st.sync.push(from, pkt, &ctx)
+        };
+        self.process_waves(stream_id, waves);
+    }
+
+    /// Instantiate and register a stream at this process, and forward the
+    /// creation message toward member subtrees.
+    fn handle_new_stream(&mut self, msg: &Arc<Message>) {
+        let Message::NewStream {
+            stream,
+            members,
+            transformation,
+            params,
+            sync_name,
+            sync_params,
+            downstream_filter,
+            downstream_params,
+            mode,
+        } = msg.as_ref()
+        else {
+            unreachable!("caller matched NewStream");
+        };
+        let stream_id = *stream;
+        // Which children lead to members?
+        let buckets = {
+            let topo = self.topology.read();
+            let node_members: Vec<NodeId> = members.iter().map(|r| NodeId(r.0)).collect();
+            topo.route(NodeId(self.rank.0), &node_members)
+        };
+        let routes: Vec<Rank> = buckets
+            .iter()
+            .map(|(c, _)| Rank(c.0))
+            .filter(|c| !self.dead_children.contains(c))
+            .collect();
+
+        let tfilter = self.registry.create_transformation(transformation, params);
+        let sync = self.registry.create_synchronization(sync_name, sync_params);
+        let dfilter = match downstream_filter {
+            Some(name) => match self
+                .registry
+                .create_transformation(name, downstream_params)
+            {
+                Ok(f) => Ok(Some(f)),
+                Err(e) => Err(e),
+            },
+            None => Ok(None),
+        };
+        match (tfilter, sync, dfilter) {
+            (Ok(tfilter), Ok(sync), Ok(dfilter)) => {
+                self.streams.insert(
+                    stream_id,
+                    StreamState {
+                        members: members.clone(),
+                        expected: routes.clone(),
+                        down_routes: routes.clone(),
+                        sync,
+                        tfilter,
+                        dfilter,
+                        mode: *mode,
+                    },
+                );
+            }
+            (t, s, d) => {
+                let detail = [
+                    t.err().map(|e| e.to_string()),
+                    s.err().map(|e| e.to_string()),
+                    d.err().map(|e| e.to_string()),
+                ]
+                .into_iter()
+                .flatten()
+                .collect::<Vec<_>>()
+                .join("; ");
+                let rank = self.rank;
+                self.emit_event(NetEvent::FilterError { rank, detail });
+                return;
+            }
+        }
+        // Forward the identical message to each involved child (FIFO links
+        // guarantee it precedes any data we send on this stream).
+        for child in routes {
+            let _ = self.send_to(child, msg);
+        }
+    }
+
+    fn handle_close_stream(&mut self, msg: &Arc<Message>, stream_id: StreamId) {
+        if let Some(st) = self.streams.remove(&stream_id) {
+            for child in st.down_routes {
+                let _ = self.send_to(child, msg);
+            }
+        }
+        if let ProcessRole::Root { fe_streams, .. } = &mut self.role {
+            fe_streams.remove(&stream_id);
+        }
+    }
+
+    /// Begin or continue a LoadFilter probe at this node.
+    fn handle_load_filter(&mut self, msg: &Arc<Message>, name: &str, kind: FilterKind) {
+        let self_ok = match kind {
+            FilterKind::Transformation => self.registry.has_transformation(name),
+            FilterKind::Synchronization => self.registry.has_synchronization(name),
+        };
+        let kids = self.comm_children();
+        if kids.is_empty() {
+            self.finish_filter_probe(name.to_owned(), self_ok);
+            return;
+        }
+        self.filter_probes.insert(
+            name.to_owned(),
+            FilterProbe {
+                awaiting: kids.iter().copied().collect(),
+                ok: self_ok,
+            },
+        );
+        for child in kids {
+            let _ = self.send_to(child, msg);
+        }
+    }
+
+    fn handle_load_filter_ack(&mut self, name: &str, from: Rank, ok: bool) {
+        let done = {
+            let Some(probe) = self.filter_probes.get_mut(name) else {
+                return;
+            };
+            probe.awaiting.remove(&from);
+            probe.ok &= ok;
+            probe.awaiting.is_empty()
+        };
+        if done {
+            let probe = self.filter_probes.remove(name).expect("probe exists");
+            self.finish_filter_probe(name.to_owned(), probe.ok);
+        }
+    }
+
+    /// Report a completed probe up the tree (or to the front-end at root).
+    fn finish_filter_probe(&mut self, name: String, ok: bool) {
+        match &mut self.role {
+            ProcessRole::Root { filter_replies, .. } => {
+                if let Some(reply) = filter_replies.remove(&name) {
+                    let _ = reply.send(Ok(ok));
+                }
+            }
+            ProcessRole::Internal { parent } => {
+                let parent = *parent;
+                let msg = Arc::new(Message::LoadFilterAck { name, ok });
+                let _ = self.send_to(parent, &msg);
+            }
+        }
+    }
+
+    /// Propagate Shutdown to children; returns true when this process can
+    /// exit immediately (no children to wait for).
+    fn begin_shutdown(&mut self) -> bool {
+        self.shutting_down = true;
+        let kids = self.live_children();
+        if kids.is_empty() {
+            return true;
+        }
+        self.shutdown_pending = kids.iter().copied().collect();
+        let msg = Arc::new(Message::Shutdown);
+        for child in kids {
+            if self.send_to(child, &msg).is_err() {
+                self.shutdown_pending.remove(&child);
+            }
+        }
+        self.shutdown_pending.is_empty()
+    }
+
+    /// Called when a subtree acks shutdown (or a child dies during one).
+    /// Returns true when the whole subtree below us is done.
+    fn note_shutdown_ack(&mut self, child: Rank) -> bool {
+        self.shutdown_pending.remove(&child);
+        self.shutting_down && self.shutdown_pending.is_empty()
+    }
+
+    /// Complete this process's part of the shutdown and report upward.
+    fn conclude_shutdown(&mut self) {
+        match &mut self.role {
+            ProcessRole::Root { shutdown_reply, .. } => {
+                if let Some(reply) = shutdown_reply.take() {
+                    let _ = reply.send(Ok(()));
+                }
+            }
+            ProcessRole::Internal { parent } => {
+                let parent = *parent;
+                let rank = self.rank;
+                let msg = Arc::new(Message::ShutdownAck { rank });
+                let _ = self.send_to(parent, &msg);
+            }
+        }
+    }
+
+    /// Handle a lost child: failure notice, sync-filter bookkeeping, and
+    /// topology cleanup.
+    fn handle_child_failure(&mut self, child: Rank) {
+        if self.dead_children.contains(&child) {
+            return;
+        }
+        // Disconnects from nodes that are not (or no longer) our children —
+        // a spliced-out ex-parent, the control endpoint — carry no failure
+        // information for us.
+        let is_child = {
+            let topo = self.topology.read();
+            topo.children(NodeId(self.rank.0)).contains(&child.0)
+        };
+        if !is_child && !self.shutting_down {
+            return;
+        }
+        self.dead_children.insert(child);
+
+        if self.shutting_down {
+            if self.note_shutdown_ack(child) {
+                self.conclude_shutdown();
+            }
+            return;
+        }
+
+        let rank = self.rank;
+        let child_role = {
+            let topo = self.topology.read();
+            topo.role(NodeId(child.0))
+        };
+        let lost_members: Vec<Rank> = if child_role == Role::Internal {
+            // A communication process died: its whole subtree is orphaned
+            // but alive. Report upward and wait for the front-end to heal
+            // (Network::heal_internal_failure splices + reconnects). The
+            // topology is updated by the healer, not here, and members
+            // below the orphaned subtree keep their stream membership.
+            self.emit_event(NetEvent::SubtreeOrphaned {
+                rank: child,
+                detected_by: rank,
+            });
+            Vec::new()
+        } else {
+            // A back-end died: detach it and report the loss.
+            {
+                let mut topo = self.topology.write();
+                let _ = topo.detach_leaf(NodeId(child.0));
+            }
+            self.emit_event(NetEvent::BackendLost {
+                rank: child,
+                detected_by: rank,
+            });
+            vec![child]
+        };
+
+        // Unblock synchronization filters waiting on the dead child.
+        let ids: Vec<StreamId> = self.streams.keys().copied().collect();
+        let now = Instant::now();
+        let mut pruned: Vec<StreamId> = Vec::new();
+        for stream_id in ids {
+            let waves = {
+                let st = self.streams.get_mut(&stream_id).expect("exists");
+                if !st.expected.contains(&child) {
+                    continue;
+                }
+                st.expected.retain(|c| *c != child);
+                st.down_routes.retain(|c| *c != child);
+                st.members.retain(|m| !lost_members.contains(m));
+                if st.expected.is_empty() {
+                    pruned.push(stream_id);
+                }
+                let ctx = SyncContext {
+                    stream: stream_id,
+                    rank,
+                    expected: st.expected.clone(),
+                    now,
+                };
+                st.sync.child_gone(child, &ctx)
+            };
+            self.process_waves(stream_id, waves);
+        }
+        // With no contributors left we can never complete a wave for these
+        // streams: tell the parent to stop waiting for us.
+        for stream_id in pruned {
+            self.send_prune(stream_id);
+        }
+    }
+
+    /// Tell the parent we no longer contribute to a stream (internal nodes
+    /// only; at the root an empty stream simply goes quiet).
+    fn send_prune(&mut self, stream_id: StreamId) {
+        if let ProcessRole::Internal { parent } = self.role {
+            let msg = Arc::new(Message::StreamPrune { stream: stream_id });
+            let _ = self.send_to(parent, &msg);
+        }
+    }
+
+    /// A child subtree can no longer contribute to `stream`: treat it like
+    /// a per-stream failure of that child, cascading upward if we in turn
+    /// run out of contributors.
+    fn handle_stream_prune(&mut self, from: Rank, stream_id: StreamId) {
+        let rank = self.rank;
+        let now = Instant::now();
+        let mut prune_up = false;
+        let waves = {
+            let Some(st) = self.streams.get_mut(&stream_id) else {
+                return;
+            };
+            if !st.expected.contains(&from) {
+                return;
+            }
+            st.expected.retain(|c| *c != from);
+            // Keep the downstream route: the pruned subtree may still hold
+            // live members for multicast? No — a prune means no members
+            // remain below, so drop it both ways.
+            st.down_routes.retain(|c| *c != from);
+            if st.expected.is_empty() {
+                prune_up = true;
+            }
+            let ctx = SyncContext {
+                stream: stream_id,
+                rank,
+                expected: st.expected.clone(),
+                now,
+            };
+            st.sync.child_gone(from, &ctx)
+        };
+        self.process_waves(stream_id, waves);
+        if prune_up {
+            self.send_prune(stream_id);
+        }
+    }
+
+    /// Reconfiguration: adopt a child (the survivor of a spliced-out
+    /// communication process) and recompute per-stream routing so its
+    /// traffic counts again.
+    fn handle_adopt(&mut self, child: Rank) {
+        self.dead_children.remove(&child);
+        let rank = self.rank;
+        let ids: Vec<StreamId> = self.streams.keys().copied().collect();
+        let now = Instant::now();
+        for stream_id in ids {
+            let waves = {
+                let st = self.streams.get_mut(&stream_id).expect("exists");
+                let buckets = {
+                    let topo = self.topology.read();
+                    let members: Vec<NodeId> =
+                        st.members.iter().map(|r| NodeId(r.0)).collect();
+                    topo.route(NodeId(rank.0), &members)
+                };
+                let routes: Vec<Rank> = buckets
+                    .iter()
+                    .map(|(c, _)| Rank(c.0))
+                    .filter(|c| !self.dead_children.contains(c))
+                    .collect();
+                st.expected = routes.clone();
+                st.down_routes = routes;
+                let ctx = SyncContext {
+                    stream: stream_id,
+                    rank,
+                    expected: st.expected.clone(),
+                    now,
+                };
+                st.sync.reexamine(&ctx)
+            };
+            self.process_waves(stream_id, waves);
+        }
+    }
+
+    /// Confirm a reconfiguration message to its (control-endpoint) sender.
+    fn ack_reconfig(&mut self, to: Rank) {
+        let rank = self.rank;
+        let msg = Arc::new(Message::ReconfigAck { rank });
+        let _ = self.send_to(to, &msg);
+    }
+
+    /// Reconfiguration: switch our upstream output to a new parent.
+    fn handle_new_parent(&mut self, parent: Rank) {
+        self.orphaned_until = None;
+        if let ProcessRole::Internal { parent: p } = &mut self.role {
+            *p = parent;
+        }
+    }
+
+    /// Fire timer-based flushes whose deadline has passed.
+    fn fire_deadlines(&mut self) {
+        let now = Instant::now();
+        let due: Vec<StreamId> = self
+            .streams
+            .iter()
+            .filter(|(_, st)| st.sync.next_deadline().is_some_and(|d| d <= now))
+            .map(|(id, _)| *id)
+            .collect();
+        for stream_id in due {
+            let waves = {
+                let st = self.streams.get_mut(&stream_id).expect("exists");
+                let ctx = SyncContext {
+                    stream: stream_id,
+                    rank: self.rank,
+                    expected: st.expected.clone(),
+                    now,
+                };
+                st.sync.flush(&ctx)
+            };
+            self.process_waves(stream_id, waves);
+        }
+    }
+
+    /// Earliest pending sync deadline across streams.
+    fn next_deadline(&self) -> Option<Instant> {
+        self.streams
+            .values()
+            .filter_map(|st| st.sync.next_deadline())
+            .min()
+    }
+
+    /// Process one decoded message from peer `from`. Returns true if the
+    /// event loop should exit.
+    fn handle_message(&mut self, from: Rank, msg: Arc<Message>) -> bool {
+        match msg.as_ref() {
+            Message::Up {
+                stream,
+                tag,
+                origin,
+                value,
+            } => {
+                self.perf.packets_up += 1;
+                self.handle_up(from, *stream, *tag, *origin, value.clone());
+                false
+            }
+            Message::Down { stream, tag, origin, value } => {
+                self.perf.packets_down += 1;
+                let pkt = Packet::new(*stream, *tag, *origin, value.clone());
+                self.send_down_packet(*stream, pkt);
+                false
+            }
+            Message::NewStream { .. } => {
+                self.perf.control += 1;
+                self.handle_new_stream(&msg);
+                false
+            }
+            Message::CloseStream { stream } => {
+                self.perf.control += 1;
+                self.handle_close_stream(&msg, *stream);
+                false
+            }
+            Message::LoadFilter { name, kind } => {
+                let (name, kind) = (name.clone(), *kind);
+                self.handle_load_filter(&msg, &name, kind);
+                false
+            }
+            Message::LoadFilterAck { name, ok } => {
+                let (name, ok) = (name.clone(), *ok);
+                self.handle_load_filter_ack(&name, from, ok);
+                false
+            }
+            Message::Shutdown => {
+                if self.begin_shutdown() {
+                    self.conclude_shutdown();
+                    return true;
+                }
+                false
+            }
+            Message::ShutdownAck { rank } => {
+                let child = *rank;
+                if self.note_shutdown_ack(child) {
+                    self.conclude_shutdown();
+                    return true;
+                }
+                false
+            }
+            Message::Event(ev) => {
+                // Events only ever travel upstream; relay.
+                self.emit_event(ev.clone());
+                false
+            }
+            Message::Adopt { child } => {
+                self.handle_adopt(*child);
+                self.ack_reconfig(from);
+                false
+            }
+            Message::NewParent { parent } => {
+                self.handle_new_parent(*parent);
+                self.ack_reconfig(from);
+                false
+            }
+            Message::ReconfigAck { .. } => false, // only the control endpoint cares
+            Message::StreamPrune { stream } => {
+                self.handle_stream_prune(from, *stream);
+                false
+            }
+            Message::GetPerf => {
+                let reply = Arc::new(Message::PerfReport {
+                    rank: self.rank,
+                    counters: self.perf,
+                });
+                let _ = self.send_to(from, &reply);
+                false
+            }
+            Message::PerfReport { .. } => false, // only the control endpoint cares
+        }
+    }
+
+    /// Handle one FE command (root only). Returns true to exit.
+    fn handle_fe_command(&mut self, cmd: FeCommand) -> bool {
+        match cmd {
+            FeCommand::NewStream { spec, reply } => {
+                let result = self.fe_new_stream(spec);
+                let _ = reply.send(result);
+                false
+            }
+            FeCommand::Send {
+                stream,
+                tag,
+                value,
+                reply,
+            } => {
+                let result = if self.streams.contains_key(&stream) {
+                    let pkt = Packet::new(stream, tag, Rank(0), value);
+                    self.send_down_packet(stream, pkt);
+                    Ok(())
+                } else {
+                    Err(TbonError::StreamClosed(stream))
+                };
+                let _ = reply.send(result);
+                false
+            }
+            FeCommand::CloseStream { stream, reply } => {
+                let msg = Arc::new(Message::CloseStream { stream });
+                self.handle_close_stream(&msg, stream);
+                let _ = reply.send(Ok(()));
+                false
+            }
+            FeCommand::LoadFilter { name, kind, reply } => {
+                if let ProcessRole::Root { filter_replies, .. } = &mut self.role {
+                    filter_replies.insert(name.clone(), reply);
+                }
+                let msg = Arc::new(Message::LoadFilter {
+                    name: name.clone(),
+                    kind,
+                });
+                self.handle_load_filter(&msg, &name, kind);
+                false
+            }
+            FeCommand::Shutdown { reply } => {
+                if let ProcessRole::Root { shutdown_reply, .. } = &mut self.role {
+                    *shutdown_reply = Some(reply);
+                }
+                if self.begin_shutdown() {
+                    self.conclude_shutdown();
+                    return true;
+                }
+                false
+            }
+        }
+    }
+
+    /// Allocate and create a stream at the root on behalf of the front-end.
+    fn fe_new_stream(&mut self, spec: StreamSpec) -> Result<(StreamId, Receiver<Packet>)> {
+        let members: Vec<Rank> = {
+            let topo = self.topology.read();
+            match &spec.members {
+                Members::All => {
+                    let leaves: Vec<Rank> =
+                        topo.leaves().into_iter().map(|n| Rank(n.0)).collect();
+                    if leaves.is_empty() {
+                        return Err(TbonError::BadMembers(
+                            "topology has no back-ends".into(),
+                        ));
+                    }
+                    leaves
+                }
+                Members::Ranks(ranks) => {
+                    if ranks.is_empty() {
+                        return Err(TbonError::BadMembers("empty member list".into()));
+                    }
+                    for r in ranks {
+                        if topo.role(NodeId(r.0)) != Role::BackEnd {
+                            return Err(TbonError::BadMembers(format!(
+                                "{r} is not a live back-end"
+                            )));
+                        }
+                    }
+                    ranks.clone()
+                }
+                Members::Subtree(node) => {
+                    let id = NodeId(node.0);
+                    if !topo.contains(id) || topo.role(id) == Role::Detached {
+                        return Err(TbonError::BadMembers(format!(
+                            "{node} is not in the topology"
+                        )));
+                    }
+                    let leaves: Vec<Rank> = topo
+                        .leaves_below(id)
+                        .into_iter()
+                        .filter(|n| topo.role(*n) == Role::BackEnd)
+                        .map(|n| Rank(n.0))
+                        .collect();
+                    if leaves.is_empty() {
+                        return Err(TbonError::BadMembers(format!(
+                            "no back-ends below {node}"
+                        )));
+                    }
+                    leaves
+                }
+            }
+        };
+
+        // Validate filters up front at the root; remote processes revalidate
+        // and report errors via events.
+        if !self.registry.has_transformation(&spec.transformation) {
+            return Err(TbonError::UnknownFilter(spec.transformation.clone()));
+        }
+        if !self.registry.has_synchronization(&spec.sync_name) {
+            return Err(TbonError::UnknownFilter(spec.sync_name.clone()));
+        }
+        if let Some(name) = &spec.downstream_filter {
+            if !self.registry.has_transformation(name) {
+                return Err(TbonError::UnknownFilter(name.clone()));
+            }
+        }
+
+        let stream_id = match &mut self.role {
+            ProcessRole::Root { next_stream, .. } => {
+                let id = StreamId(*next_stream);
+                *next_stream += 1;
+                id
+            }
+            ProcessRole::Internal { .. } => unreachable!("fe_new_stream on internal"),
+        };
+
+        let msg = Arc::new(Message::NewStream {
+            stream: stream_id,
+            members,
+            transformation: spec.transformation,
+            params: spec.params,
+            sync_name: spec.sync_name,
+            sync_params: spec.sync_params,
+            downstream_filter: spec.downstream_filter,
+            downstream_params: spec.downstream_params,
+            mode: spec.mode,
+        });
+        self.handle_new_stream(&msg);
+        if !self.streams.contains_key(&stream_id) {
+            return Err(TbonError::Filter(format!(
+                "failed to instantiate filters for {stream_id} at root"
+            )));
+        }
+
+        let (tx, rx) = crossbeam_channel::unbounded();
+        if let ProcessRole::Root { fe_streams, .. } = &mut self.role {
+            fe_streams.insert(stream_id, tx);
+        }
+        Ok((stream_id, rx))
+    }
+
+    /// The event loop. Runs until shutdown completes or the parent vanishes.
+    pub(crate) fn run(mut self) {
+        loop {
+            let timeout = self
+                .next_deadline()
+                .map(|d| d.saturating_duration_since(Instant::now()))
+                .unwrap_or(self.config.idle_tick)
+                .min(self.config.idle_tick);
+
+            enum Input {
+                Net(Delivery),
+                Cmd(FeCommand),
+                Tick,
+                NetClosed,
+                CmdClosed,
+            }
+
+            let input = match &self.role {
+                ProcessRole::Root { fe_cmd, .. } => {
+                    crossbeam_channel::select! {
+                        recv(self.endpoint.incoming) -> d => match d {
+                            Ok(d) => Input::Net(d),
+                            Err(_) => Input::NetClosed,
+                        },
+                        recv(fe_cmd) -> c => match c {
+                            Ok(c) => Input::Cmd(c),
+                            Err(_) => Input::CmdClosed,
+                        },
+                        default(timeout) => Input::Tick,
+                    }
+                }
+                ProcessRole::Internal { .. } => {
+                    match self.endpoint.incoming.recv_timeout(timeout) {
+                        Ok(d) => Input::Net(d),
+                        Err(crossbeam_channel::RecvTimeoutError::Timeout) => Input::Tick,
+                        Err(crossbeam_channel::RecvTimeoutError::Disconnected) => {
+                            Input::NetClosed
+                        }
+                    }
+                }
+            };
+
+            match input {
+                Input::Net(Delivery::Frame { from, frame }) => {
+                    match decode_frame(frame) {
+                        Ok(msg) => {
+                            if self.handle_message(Rank(from), msg) {
+                                break;
+                            }
+                        }
+                        Err(e) => {
+                            let rank = self.rank;
+                            self.emit_event(NetEvent::FilterError {
+                                rank,
+                                detail: format!("frame decode from rank{from}: {e}"),
+                            });
+                        }
+                    }
+                }
+                Input::Net(Delivery::Disconnected { peer }) => {
+                    let peer = Rank(peer);
+                    let is_parent = matches!(
+                        self.role,
+                        ProcessRole::Internal { parent } if parent == peer
+                    );
+                    if is_parent {
+                        if self.shutting_down {
+                            break;
+                        }
+                        // Orphaned: hold on for the reconfiguration grace
+                        // period in case the front-end heals the tree.
+                        self.orphaned_until =
+                            Some(Instant::now() + self.config.orphan_grace);
+                    } else {
+                        self.handle_child_failure(peer);
+                        if self.shutting_down && self.shutdown_pending.is_empty() {
+                            break;
+                        }
+                    }
+                }
+                Input::Cmd(cmd) => {
+                    if self.handle_fe_command(cmd) {
+                        break;
+                    }
+                }
+                Input::Tick => {
+                    if self
+                        .orphaned_until
+                        .is_some_and(|deadline| Instant::now() >= deadline)
+                    {
+                        // No one re-parented us in time; give up.
+                        break;
+                    }
+                    self.fire_deadlines()
+                }
+                Input::NetClosed | Input::CmdClosed => break,
+            }
+        }
+    }
+}

@@ -1,0 +1,683 @@
+//! The control/data protocol spoken between overlay processes.
+//!
+//! Every frame on a link is one encoded [`Message`]. On byte-carrying links
+//! (TCP) the message is serialized with the same little-endian conventions
+//! as the value codec; on zero-copy local links an `Arc<Message>` travels
+//! directly and `encoded_len` is charged as the frame's size hint.
+
+use crate::codec::{encode_value, Reader};
+use crate::error::{Result, TbonError};
+use crate::packet::{Packet, Rank};
+use crate::stream::{StreamId, StreamMode, Tag};
+use crate::value::DataValue;
+
+/// Which registry a [`Message::LoadFilter`] refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FilterKind {
+    Transformation,
+    Synchronization,
+}
+
+/// Asynchronous notifications that ride upstream to the front-end.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NetEvent {
+    /// A back-end disconnected without acking shutdown; `detected_by` is the
+    /// parent that observed the failure.
+    BackendLost { rank: Rank, detected_by: Rank },
+    /// A back-end joined at runtime (emitted locally by the front-end).
+    BackendJoined { rank: Rank, parent: Rank },
+    /// An *internal* communication process disconnected: its subtree is
+    /// orphaned until [`crate::Network::heal_internal_failure`] reattaches
+    /// it (the paper's dynamic-reconfiguration extension).
+    SubtreeOrphaned { rank: Rank, detected_by: Rank },
+    /// A process failed to instantiate a filter for a new stream.
+    FilterError { rank: Rank, detail: String },
+}
+
+/// Everything that can cross a link.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Upstream application data (child → parent).
+    Up {
+        stream: StreamId,
+        tag: Tag,
+        origin: Rank,
+        value: DataValue,
+    },
+    /// Downstream application data (parent → subtree members).
+    Down {
+        stream: StreamId,
+        tag: Tag,
+        origin: Rank,
+        value: DataValue,
+    },
+    /// Stream creation, propagated down the tree.
+    NewStream {
+        stream: StreamId,
+        members: Vec<Rank>,
+        transformation: String,
+        params: DataValue,
+        sync_name: String,
+        sync_params: DataValue,
+        downstream_filter: Option<String>,
+        downstream_params: DataValue,
+        mode: StreamMode,
+    },
+    /// Tear down a stream, propagated down the tree.
+    CloseStream { stream: StreamId },
+    /// Probe/load a filter on every process ("dlopen" path). Acked.
+    LoadFilter { name: String, kind: FilterKind },
+    /// Aggregated answer to [`Message::LoadFilter`]: true iff the whole
+    /// subtree can instantiate the filter.
+    LoadFilterAck { name: String, ok: bool },
+    /// Orderly teardown, propagated down; acked bottom-up.
+    Shutdown,
+    /// Subtree finished shutting down.
+    ShutdownAck { rank: Rank },
+    /// Asynchronous event headed to the front-end.
+    Event(NetEvent),
+    /// Reconfiguration (control channel → surviving parent): treat `child`
+    /// as one of your children from now on; recompute stream routing.
+    Adopt { child: Rank },
+    /// Reconfiguration (control channel → orphaned process): your parent is
+    /// now `parent`; resume sending upstream traffic to it.
+    NewParent { parent: Rank },
+    /// Acknowledges an `Adopt`/`NewParent`, sent back to the control
+    /// endpoint so reconfiguration is synchronous.
+    ReconfigAck { rank: Rank },
+    /// A communication process telling its parent that it can no longer
+    /// contribute to `stream` (every member below it is gone): the parent
+    /// must stop waiting for it in that stream's waves.
+    StreamPrune { stream: StreamId },
+    /// Introspection request (control channel → any communication
+    /// process): report your performance counters.
+    GetPerf,
+    /// Introspection reply with the process's lifetime counters.
+    PerfReport { rank: Rank, counters: PerfCounters },
+}
+
+/// Lifetime activity counters of one communication process — the
+/// observability MRNet exposes for its own internals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PerfCounters {
+    /// Upstream data packets received from children.
+    pub packets_up: u64,
+    /// Downstream data packets routed toward members.
+    pub packets_down: u64,
+    /// Waves released by synchronization filters.
+    pub waves: u64,
+    /// Packets produced by transformation filters.
+    pub filter_out: u64,
+    /// Cumulative transformation-filter execution time, nanoseconds.
+    pub filter_ns: u64,
+    /// Control messages handled (stream lifecycle, shutdown, ...).
+    pub control: u64,
+}
+
+impl Message {
+    /// Build an `Up` message from a packet (cloning only the Arc).
+    pub fn up_from_packet(pkt: &Packet) -> Message {
+        Message::Up {
+            stream: pkt.stream(),
+            tag: pkt.tag(),
+            origin: pkt.origin(),
+            value: pkt.value().clone(),
+        }
+    }
+
+    /// Build a `Down` message from a packet.
+    pub fn down_from_packet(pkt: &Packet) -> Message {
+        Message::Down {
+            stream: pkt.stream(),
+            tag: pkt.tag(),
+            origin: pkt.origin(),
+            value: pkt.value().clone(),
+        }
+    }
+}
+
+// --- encoding ---------------------------------------------------------------
+
+const M_UP: u8 = 1;
+const M_DOWN: u8 = 2;
+const M_NEW_STREAM: u8 = 3;
+const M_CLOSE_STREAM: u8 = 4;
+const M_LOAD_FILTER: u8 = 5;
+const M_LOAD_FILTER_ACK: u8 = 6;
+const M_SHUTDOWN: u8 = 7;
+const M_SHUTDOWN_ACK: u8 = 8;
+const M_EVENT: u8 = 9;
+const M_ADOPT: u8 = 10;
+const M_NEW_PARENT: u8 = 11;
+const M_RECONFIG_ACK: u8 = 12;
+const M_GET_PERF: u8 = 13;
+const M_STREAM_PRUNE: u8 = 15;
+const M_PERF_REPORT: u8 = 14;
+
+const EV_BACKEND_LOST: u8 = 1;
+const EV_BACKEND_JOINED: u8 = 2;
+const EV_FILTER_ERROR: u8 = 3;
+const EV_SUBTREE_ORPHANED: u8 = 4;
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_u32(buf, s.len() as u32);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+/// Encode a message to bytes for wire links.
+pub fn encode_message(msg: &Message) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(message_encoded_len(msg));
+    match msg {
+        Message::Up {
+            stream,
+            tag,
+            origin,
+            value,
+        } => {
+            buf.push(M_UP);
+            put_u32(&mut buf, stream.0);
+            put_u32(&mut buf, tag.0);
+            put_u32(&mut buf, origin.0);
+            encode_value(value, &mut buf);
+        }
+        Message::Down {
+            stream,
+            tag,
+            origin,
+            value,
+        } => {
+            buf.push(M_DOWN);
+            put_u32(&mut buf, stream.0);
+            put_u32(&mut buf, tag.0);
+            put_u32(&mut buf, origin.0);
+            encode_value(value, &mut buf);
+        }
+        Message::NewStream {
+            stream,
+            members,
+            transformation,
+            params,
+            sync_name,
+            sync_params,
+            downstream_filter,
+            downstream_params,
+            mode,
+        } => {
+            buf.push(M_NEW_STREAM);
+            put_u32(&mut buf, stream.0);
+            put_u32(&mut buf, members.len() as u32);
+            for m in members {
+                put_u32(&mut buf, m.0);
+            }
+            put_str(&mut buf, transformation);
+            encode_value(params, &mut buf);
+            put_str(&mut buf, sync_name);
+            encode_value(sync_params, &mut buf);
+            match downstream_filter {
+                Some(name) => {
+                    buf.push(1);
+                    put_str(&mut buf, name);
+                }
+                None => buf.push(0),
+            }
+            encode_value(downstream_params, &mut buf);
+            buf.push(match mode {
+                StreamMode::Upstream => 0,
+                StreamMode::Bidirectional => 1,
+            });
+        }
+        Message::CloseStream { stream } => {
+            buf.push(M_CLOSE_STREAM);
+            put_u32(&mut buf, stream.0);
+        }
+        Message::LoadFilter { name, kind } => {
+            buf.push(M_LOAD_FILTER);
+            put_str(&mut buf, name);
+            buf.push(match kind {
+                FilterKind::Transformation => 0,
+                FilterKind::Synchronization => 1,
+            });
+        }
+        Message::LoadFilterAck { name, ok } => {
+            buf.push(M_LOAD_FILTER_ACK);
+            put_str(&mut buf, name);
+            buf.push(u8::from(*ok));
+        }
+        Message::Shutdown => buf.push(M_SHUTDOWN),
+        Message::ShutdownAck { rank } => {
+            buf.push(M_SHUTDOWN_ACK);
+            put_u32(&mut buf, rank.0);
+        }
+        Message::Adopt { child } => {
+            buf.push(M_ADOPT);
+            put_u32(&mut buf, child.0);
+        }
+        Message::NewParent { parent } => {
+            buf.push(M_NEW_PARENT);
+            put_u32(&mut buf, parent.0);
+        }
+        Message::ReconfigAck { rank } => {
+            buf.push(M_RECONFIG_ACK);
+            put_u32(&mut buf, rank.0);
+        }
+        Message::StreamPrune { stream } => {
+            buf.push(M_STREAM_PRUNE);
+            put_u32(&mut buf, stream.0);
+        }
+        Message::GetPerf => buf.push(M_GET_PERF),
+        Message::PerfReport { rank, counters } => {
+            buf.push(M_PERF_REPORT);
+            put_u32(&mut buf, rank.0);
+            for v in [
+                counters.packets_up,
+                counters.packets_down,
+                counters.waves,
+                counters.filter_out,
+                counters.filter_ns,
+                counters.control,
+            ] {
+                buf.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        Message::Event(ev) => {
+            buf.push(M_EVENT);
+            match ev {
+                NetEvent::BackendLost { rank, detected_by } => {
+                    buf.push(EV_BACKEND_LOST);
+                    put_u32(&mut buf, rank.0);
+                    put_u32(&mut buf, detected_by.0);
+                }
+                NetEvent::BackendJoined { rank, parent } => {
+                    buf.push(EV_BACKEND_JOINED);
+                    put_u32(&mut buf, rank.0);
+                    put_u32(&mut buf, parent.0);
+                }
+                NetEvent::SubtreeOrphaned { rank, detected_by } => {
+                    buf.push(EV_SUBTREE_ORPHANED);
+                    put_u32(&mut buf, rank.0);
+                    put_u32(&mut buf, detected_by.0);
+                }
+                NetEvent::FilterError { rank, detail } => {
+                    buf.push(EV_FILTER_ERROR);
+                    put_u32(&mut buf, rank.0);
+                    put_str(&mut buf, detail);
+                }
+            }
+        }
+    }
+    buf
+}
+
+/// Exact length [`encode_message`] will produce; used as the size hint for
+/// zero-copy frames so shaping charges honest costs.
+pub fn message_encoded_len(msg: &Message) -> usize {
+    match msg {
+        Message::Up { value, .. } | Message::Down { value, .. } => {
+            1 + 12 + value.encoded_len()
+        }
+        Message::NewStream {
+            members,
+            transformation,
+            params,
+            sync_name,
+            sync_params,
+            downstream_filter,
+            downstream_params,
+            ..
+        } => {
+            1 + 4
+                + 4
+                + 4 * members.len()
+                + 4
+                + transformation.len()
+                + params.encoded_len()
+                + 4
+                + sync_name.len()
+                + sync_params.encoded_len()
+                + 1
+                + downstream_filter.as_ref().map_or(0, |n| 4 + n.len())
+                + downstream_params.encoded_len()
+                + 1
+        }
+        Message::CloseStream { .. } => 1 + 4,
+        Message::LoadFilter { name, .. } => 1 + 4 + name.len() + 1,
+        Message::LoadFilterAck { name, .. } => 1 + 4 + name.len() + 1,
+        Message::Shutdown => 1,
+        Message::ShutdownAck { .. } => 1 + 4,
+        Message::Adopt { .. } | Message::NewParent { .. } | Message::ReconfigAck { .. } => 1 + 4,
+        Message::StreamPrune { .. } => 1 + 4,
+        Message::GetPerf => 1,
+        Message::PerfReport { .. } => 1 + 4 + 6 * 8,
+        Message::Event(ev) => {
+            2 + match ev {
+                NetEvent::BackendLost { .. }
+                | NetEvent::BackendJoined { .. }
+                | NetEvent::SubtreeOrphaned { .. } => 8,
+                NetEvent::FilterError { detail, .. } => 4 + 4 + detail.len(),
+            }
+        }
+    }
+}
+
+/// Decode one message, requiring all bytes consumed.
+pub fn decode_message(bytes: &[u8]) -> Result<Message> {
+    let mut r = Reader::new(bytes);
+    let msg = decode_message_inner(&mut r)?;
+    if r.remaining() != 0 {
+        return Err(TbonError::Decode(format!(
+            "{} trailing bytes after message",
+            r.remaining()
+        )));
+    }
+    Ok(msg)
+}
+
+fn decode_message_inner(r: &mut Reader<'_>) -> Result<Message> {
+    let tag = r.u8()?;
+    Ok(match tag {
+        M_UP | M_DOWN => {
+            let stream = StreamId(r.u32()?);
+            let ptag = Tag(r.u32()?);
+            let origin = Rank(r.u32()?);
+            let value = r.value()?;
+            if tag == M_UP {
+                Message::Up {
+                    stream,
+                    tag: ptag,
+                    origin,
+                    value,
+                }
+            } else {
+                Message::Down {
+                    stream,
+                    tag: ptag,
+                    origin,
+                    value,
+                }
+            }
+        }
+        M_NEW_STREAM => {
+            let stream = StreamId(r.u32()?);
+            let n = r.len_prefix(4)?;
+            let mut members = Vec::with_capacity(n);
+            for _ in 0..n {
+                members.push(Rank(r.u32()?));
+            }
+            let transformation = r.str()?;
+            let params = r.value()?;
+            let sync_name = r.str()?;
+            let sync_params = r.value()?;
+            let downstream_filter = match r.u8()? {
+                0 => None,
+                1 => Some(r.str()?),
+                other => {
+                    return Err(TbonError::Decode(format!(
+                        "bad option flag {other} in NewStream"
+                    )))
+                }
+            };
+            let downstream_params = r.value()?;
+            let mode = match r.u8()? {
+                0 => StreamMode::Upstream,
+                1 => StreamMode::Bidirectional,
+                other => {
+                    return Err(TbonError::Decode(format!("bad stream mode {other}")))
+                }
+            };
+            Message::NewStream {
+                stream,
+                members,
+                transformation,
+                params,
+                sync_name,
+                sync_params,
+                downstream_filter,
+                downstream_params,
+                mode,
+            }
+        }
+        M_CLOSE_STREAM => Message::CloseStream {
+            stream: StreamId(r.u32()?),
+        },
+        M_LOAD_FILTER => {
+            let name = r.str()?;
+            let kind = match r.u8()? {
+                0 => FilterKind::Transformation,
+                1 => FilterKind::Synchronization,
+                other => {
+                    return Err(TbonError::Decode(format!("bad filter kind {other}")))
+                }
+            };
+            Message::LoadFilter { name, kind }
+        }
+        M_LOAD_FILTER_ACK => {
+            let name = r.str()?;
+            let ok = r.u8()? != 0;
+            Message::LoadFilterAck { name, ok }
+        }
+        M_SHUTDOWN => Message::Shutdown,
+        M_SHUTDOWN_ACK => Message::ShutdownAck {
+            rank: Rank(r.u32()?),
+        },
+        M_ADOPT => Message::Adopt {
+            child: Rank(r.u32()?),
+        },
+        M_NEW_PARENT => Message::NewParent {
+            parent: Rank(r.u32()?),
+        },
+        M_RECONFIG_ACK => Message::ReconfigAck {
+            rank: Rank(r.u32()?),
+        },
+        M_STREAM_PRUNE => Message::StreamPrune {
+            stream: StreamId(r.u32()?),
+        },
+        M_GET_PERF => Message::GetPerf,
+        M_PERF_REPORT => {
+            let rank = Rank(r.u32()?);
+            let mut vals = [0u64; 6];
+            for v in &mut vals {
+                *v = r.u64()?;
+            }
+            Message::PerfReport {
+                rank,
+                counters: PerfCounters {
+                    packets_up: vals[0],
+                    packets_down: vals[1],
+                    waves: vals[2],
+                    filter_out: vals[3],
+                    filter_ns: vals[4],
+                    control: vals[5],
+                },
+            }
+        }
+        M_EVENT => {
+            let ev_tag = r.u8()?;
+            let ev = match ev_tag {
+                EV_BACKEND_LOST => NetEvent::BackendLost {
+                    rank: Rank(r.u32()?),
+                    detected_by: Rank(r.u32()?),
+                },
+                EV_BACKEND_JOINED => NetEvent::BackendJoined {
+                    rank: Rank(r.u32()?),
+                    parent: Rank(r.u32()?),
+                },
+                EV_SUBTREE_ORPHANED => NetEvent::SubtreeOrphaned {
+                    rank: Rank(r.u32()?),
+                    detected_by: Rank(r.u32()?),
+                },
+                EV_FILTER_ERROR => NetEvent::FilterError {
+                    rank: Rank(r.u32()?),
+                    detail: r.str()?,
+                },
+                other => {
+                    return Err(TbonError::Decode(format!("unknown event tag {other}")))
+                }
+            };
+            Message::Event(ev)
+        }
+        other => return Err(TbonError::Decode(format!("unknown message tag {other}"))),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(msg: Message) {
+        let bytes = encode_message(&msg);
+        assert_eq!(
+            bytes.len(),
+            message_encoded_len(&msg),
+            "encoded length mismatch for {msg:?}"
+        );
+        let back = decode_message(&bytes).unwrap();
+        assert_eq!(msg, back);
+    }
+
+    #[test]
+    fn roundtrip_data_messages() {
+        roundtrip(Message::Up {
+            stream: StreamId(3),
+            tag: Tag(9),
+            origin: Rank(12),
+            value: DataValue::ArrayF64(vec![1.0, 2.0, 3.0]),
+        });
+        roundtrip(Message::Down {
+            stream: StreamId(0),
+            tag: Tag(u32::MAX),
+            origin: Rank(0),
+            value: DataValue::Unit,
+        });
+    }
+
+    #[test]
+    fn roundtrip_new_stream_variants() {
+        roundtrip(Message::NewStream {
+            stream: StreamId(7),
+            members: vec![Rank(1), Rank(2), Rank(9)],
+            transformation: "builtin::sum".into(),
+            params: DataValue::Tuple(vec![DataValue::I64(1)]),
+            sync_name: "sync::time_out".into(),
+            sync_params: DataValue::U64(100),
+            downstream_filter: Some("core::identity".into()),
+            downstream_params: DataValue::Unit,
+            mode: StreamMode::Bidirectional,
+        });
+        roundtrip(Message::NewStream {
+            stream: StreamId(8),
+            members: vec![],
+            transformation: String::new(),
+            params: DataValue::Unit,
+            sync_name: "sync::null".into(),
+            sync_params: DataValue::Unit,
+            downstream_filter: None,
+            downstream_params: DataValue::Unit,
+            mode: StreamMode::Upstream,
+        });
+    }
+
+    #[test]
+    fn roundtrip_control_messages() {
+        roundtrip(Message::CloseStream { stream: StreamId(5) });
+        roundtrip(Message::LoadFilter {
+            name: "user::thing".into(),
+            kind: FilterKind::Transformation,
+        });
+        roundtrip(Message::LoadFilter {
+            name: "s".into(),
+            kind: FilterKind::Synchronization,
+        });
+        roundtrip(Message::LoadFilterAck {
+            name: "user::thing".into(),
+            ok: true,
+        });
+        roundtrip(Message::Shutdown);
+        roundtrip(Message::ShutdownAck { rank: Rank(17) });
+    }
+
+    #[test]
+    fn roundtrip_events() {
+        roundtrip(Message::Event(NetEvent::BackendLost {
+            rank: Rank(4),
+            detected_by: Rank(1),
+        }));
+        roundtrip(Message::Event(NetEvent::BackendJoined {
+            rank: Rank(10),
+            parent: Rank(2),
+        }));
+        roundtrip(Message::Event(NetEvent::SubtreeOrphaned {
+            rank: Rank(6),
+            detected_by: Rank(0),
+        }));
+        roundtrip(Message::Event(NetEvent::FilterError {
+            rank: Rank(3),
+            detail: "no such filter".into(),
+        }));
+        roundtrip(Message::Adopt { child: Rank(9) });
+        roundtrip(Message::NewParent { parent: Rank(2) });
+        roundtrip(Message::ReconfigAck { rank: Rank(5) });
+        roundtrip(Message::StreamPrune { stream: StreamId(8) });
+        roundtrip(Message::GetPerf);
+        roundtrip(Message::PerfReport {
+            rank: Rank(3),
+            counters: PerfCounters {
+                packets_up: 10,
+                packets_down: 20,
+                waves: 5,
+                filter_out: 6,
+                filter_ns: 123456,
+                control: 9,
+            },
+        });
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let full = encode_message(&Message::NewStream {
+            stream: StreamId(7),
+            members: vec![Rank(1), Rank(2)],
+            transformation: "builtin::sum".into(),
+            params: DataValue::Unit,
+            sync_name: "sync::wait_for_all".into(),
+            sync_params: DataValue::Unit,
+            downstream_filter: None,
+            downstream_params: DataValue::Unit,
+            mode: StreamMode::Upstream,
+        });
+        for cut in 0..full.len() {
+            assert!(decode_message(&full[..cut]).is_err(), "prefix {cut}");
+        }
+    }
+
+    #[test]
+    fn unknown_message_tag_rejected() {
+        assert!(decode_message(&[99]).is_err());
+    }
+
+    #[test]
+    fn packet_conversion_preserves_fields() {
+        let pkt = Packet::new(StreamId(2), Tag(5), Rank(7), DataValue::I64(42));
+        match Message::up_from_packet(&pkt) {
+            Message::Up {
+                stream,
+                tag,
+                origin,
+                value,
+            } => {
+                assert_eq!(stream, StreamId(2));
+                assert_eq!(tag, Tag(5));
+                assert_eq!(origin, Rank(7));
+                assert_eq!(value, DataValue::I64(42));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(matches!(
+            Message::down_from_packet(&pkt),
+            Message::Down { .. }
+        ));
+    }
+}

@@ -1,0 +1,232 @@
+//! Stream identities and specifications.
+//!
+//! A *stream* is MRNet's virtual channel: it connects the front-end with a
+//! subset of back-ends, carries tagged packets, and names the
+//! transformation and synchronization filters every communication process
+//! applies to its traffic. Multiple streams run concurrently and may
+//! overlap in membership.
+
+use std::fmt;
+
+use crate::packet::Rank;
+use crate::value::DataValue;
+
+/// Identifies a stream network-wide. Allocated by the front-end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StreamId(pub u32);
+
+impl fmt::Display for StreamId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "stream{}", self.0)
+    }
+}
+
+/// Application-chosen label on each packet, opaque to the runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Tag(pub u32);
+
+impl fmt::Display for Tag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tag{}", self.0)
+    }
+}
+
+/// Which back-ends a stream connects.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Members {
+    /// Every back-end alive at stream-creation time.
+    All,
+    /// An explicit subset.
+    Ranks(Vec<Rank>),
+    /// Every back-end below a given communication process — MRNet's
+    /// "streams to connect a subset of back-ends [selecting] different
+    /// portions of the topology". Resolved to concrete ranks at creation.
+    Subtree(Rank),
+}
+
+/// The built-in synchronization policies of §2.2, as a convenience enum.
+/// Custom synchronization filters can be named directly via
+/// [`StreamSpec::synchronization_named`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum SyncPolicy {
+    /// Deliver packets in waves: one packet from every contributing child.
+    WaitForAll,
+    /// Deliver whatever arrived within each window of the given width.
+    TimeOut { window_ms: u64 },
+    /// Deliver every packet immediately upon receipt.
+    Null,
+}
+
+impl SyncPolicy {
+    /// Registry name of the built-in filter implementing this policy.
+    pub fn filter_name(&self) -> &'static str {
+        match self {
+            SyncPolicy::WaitForAll => "sync::wait_for_all",
+            SyncPolicy::TimeOut { .. } => "sync::time_out",
+            SyncPolicy::Null => "sync::null",
+        }
+    }
+
+    /// Parameters handed to the filter factory.
+    pub fn params(&self) -> DataValue {
+        match self {
+            SyncPolicy::TimeOut { window_ms } => DataValue::U64(*window_ms),
+            _ => DataValue::Unit,
+        }
+    }
+}
+
+/// Direction(s) a stream's data flows in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamMode {
+    /// Data flows upstream (back-ends → front-end); downstream carries only
+    /// unfiltered multicast. This is MRNet's shipping behaviour.
+    Upstream,
+    /// Filters may also run on downstream traffic and emit packets in both
+    /// directions — the paper's §4 future-work extension, used for model
+    /// refinement/cross-validation patterns.
+    Bidirectional,
+}
+
+/// Everything needed to create a stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamSpec {
+    pub members: Members,
+    /// Registry name of the upstream transformation filter.
+    pub transformation: String,
+    /// Parameters passed to the transformation filter factory.
+    pub params: DataValue,
+    /// Synchronization filter name (usually one of the built-ins).
+    pub sync_name: String,
+    /// Parameters for the synchronization filter factory.
+    pub sync_params: DataValue,
+    /// Optional transformation applied per hop to downstream packets.
+    pub downstream_filter: Option<String>,
+    /// Parameters for the downstream filter factory.
+    pub downstream_params: DataValue,
+    pub mode: StreamMode,
+}
+
+impl StreamSpec {
+    /// A stream over all back-ends with the identity transformation and
+    /// wait-for-all synchronization.
+    pub fn all() -> StreamSpec {
+        StreamSpec {
+            members: Members::All,
+            transformation: "core::identity".into(),
+            params: DataValue::Unit,
+            sync_name: SyncPolicy::WaitForAll.filter_name().into(),
+            sync_params: DataValue::Unit,
+            downstream_filter: None,
+            downstream_params: DataValue::Unit,
+            mode: StreamMode::Upstream,
+        }
+    }
+
+    /// A stream over an explicit subset of back-ends.
+    pub fn ranks(ranks: impl IntoIterator<Item = Rank>) -> StreamSpec {
+        StreamSpec {
+            members: Members::Ranks(ranks.into_iter().collect()),
+            ..StreamSpec::all()
+        }
+    }
+
+    /// A stream over every back-end in the subtree rooted at `node`.
+    pub fn subtree(node: Rank) -> StreamSpec {
+        StreamSpec {
+            members: Members::Subtree(node),
+            ..StreamSpec::all()
+        }
+    }
+
+    /// Set the upstream transformation filter by registry name.
+    pub fn transformation(mut self, name: impl Into<String>) -> Self {
+        self.transformation = name.into();
+        self
+    }
+
+    /// Set parameters for the transformation filter.
+    pub fn params(mut self, params: DataValue) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// Use one of the built-in synchronization policies.
+    pub fn sync(mut self, policy: SyncPolicy) -> Self {
+        self.sync_name = policy.filter_name().into();
+        self.sync_params = policy.params();
+        self
+    }
+
+    /// Use a custom synchronization filter by registry name.
+    pub fn synchronization_named(
+        mut self,
+        name: impl Into<String>,
+        params: DataValue,
+    ) -> Self {
+        self.sync_name = name.into();
+        self.sync_params = params;
+        self
+    }
+
+    /// Attach a per-hop downstream transformation filter.
+    pub fn downstream(mut self, name: impl Into<String>, params: DataValue) -> Self {
+        self.downstream_filter = Some(name.into());
+        self.downstream_params = params;
+        self
+    }
+
+    /// Allow filters to emit packets in both directions.
+    pub fn bidirectional(mut self) -> Self {
+        self.mode = StreamMode::Bidirectional;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_builder_composes() {
+        let spec = StreamSpec::ranks([Rank(3), Rank(4)])
+            .transformation("builtin::sum")
+            .params(DataValue::I64(7))
+            .sync(SyncPolicy::TimeOut { window_ms: 50 })
+            .downstream("core::identity", DataValue::Unit)
+            .bidirectional();
+        assert_eq!(spec.members, Members::Ranks(vec![Rank(3), Rank(4)]));
+        assert_eq!(spec.transformation, "builtin::sum");
+        assert_eq!(spec.sync_name, "sync::time_out");
+        assert_eq!(spec.sync_params, DataValue::U64(50));
+        assert_eq!(spec.downstream_filter.as_deref(), Some("core::identity"));
+        assert_eq!(spec.mode, StreamMode::Bidirectional);
+    }
+
+    #[test]
+    fn default_spec_is_identity_wait_for_all_upstream() {
+        let spec = StreamSpec::all();
+        assert_eq!(spec.members, Members::All);
+        assert_eq!(spec.transformation, "core::identity");
+        assert_eq!(spec.sync_name, "sync::wait_for_all");
+        assert_eq!(spec.mode, StreamMode::Upstream);
+        assert!(spec.downstream_filter.is_none());
+    }
+
+    #[test]
+    fn sync_policy_names_and_params() {
+        assert_eq!(SyncPolicy::WaitForAll.filter_name(), "sync::wait_for_all");
+        assert_eq!(SyncPolicy::Null.filter_name(), "sync::null");
+        assert_eq!(
+            SyncPolicy::TimeOut { window_ms: 9 }.params(),
+            DataValue::U64(9)
+        );
+        assert_eq!(SyncPolicy::WaitForAll.params(), DataValue::Unit);
+    }
+
+    #[test]
+    fn ids_display() {
+        assert_eq!(StreamId(4).to_string(), "stream4");
+        assert_eq!(Tag(1).to_string(), "tag1");
+    }
+}

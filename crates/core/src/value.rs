@@ -1,0 +1,288 @@
+//! Typed packet payloads.
+//!
+//! MRNet packets carry format-string-described data (`"%d %lf %as"`). The
+//! Rust equivalent is a small self-describing value tree: scalars, dense
+//! numeric arrays (the hot path for aggregation filters), strings, byte
+//! blobs and tuples. Every value knows its exact encoded size so the wire
+//! codec can preallocate and so zero-copy sends can charge honest byte
+//! counts to traffic shaping.
+
+use std::fmt;
+
+/// A packet payload.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DataValue {
+    /// No payload (pure control/trigger packets).
+    Unit,
+    Bool(bool),
+    I64(i64),
+    U64(u64),
+    F64(f64),
+    Str(String),
+    Bytes(Vec<u8>),
+    /// Dense integer vector — bulk path for counts/histograms.
+    ArrayI64(Vec<i64>),
+    /// Dense float vector — bulk path for metric and coordinate data.
+    ArrayF64(Vec<f64>),
+    /// Heterogeneous composite, usable as a list or record.
+    Tuple(Vec<DataValue>),
+}
+
+impl DataValue {
+    /// Accessors returning `None` on type mismatch. Aggregation filters use
+    /// these to validate wave contents.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            DataValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            DataValue::I64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            DataValue::U64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            DataValue::F64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Numeric coercion: any scalar number as f64 (for `avg`-style filters
+    /// that accept mixed numeric inputs).
+    pub fn as_number(&self) -> Option<f64> {
+        match self {
+            DataValue::I64(v) => Some(*v as f64),
+            DataValue::U64(v) => Some(*v as f64),
+            DataValue::F64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            DataValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_bytes(&self) -> Option<&[u8]> {
+        match self {
+            DataValue::Bytes(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    pub fn as_array_i64(&self) -> Option<&[i64]> {
+        match self {
+            DataValue::ArrayI64(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    pub fn as_array_f64(&self) -> Option<&[f64]> {
+        match self {
+            DataValue::ArrayF64(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    pub fn as_tuple(&self) -> Option<&[DataValue]> {
+        match self {
+            DataValue::Tuple(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// A short name for the variant, used in error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            DataValue::Unit => "unit",
+            DataValue::Bool(_) => "bool",
+            DataValue::I64(_) => "i64",
+            DataValue::U64(_) => "u64",
+            DataValue::F64(_) => "f64",
+            DataValue::Str(_) => "str",
+            DataValue::Bytes(_) => "bytes",
+            DataValue::ArrayI64(_) => "array<i64>",
+            DataValue::ArrayF64(_) => "array<f64>",
+            DataValue::Tuple(_) => "tuple",
+        }
+    }
+
+    /// Exact number of bytes [`crate::codec`] will use for this value,
+    /// including the variant tag.
+    pub fn encoded_len(&self) -> usize {
+        1 + match self {
+            DataValue::Unit => 0,
+            DataValue::Bool(_) => 1,
+            DataValue::I64(_) | DataValue::U64(_) | DataValue::F64(_) => 8,
+            DataValue::Str(s) => 4 + s.len(),
+            DataValue::Bytes(b) => 4 + b.len(),
+            DataValue::ArrayI64(v) => 4 + 8 * v.len(),
+            DataValue::ArrayF64(v) => 4 + 8 * v.len(),
+            DataValue::Tuple(t) => 4 + t.iter().map(DataValue::encoded_len).sum::<usize>(),
+        }
+    }
+}
+
+impl fmt::Display for DataValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataValue::Unit => write!(f, "()"),
+            DataValue::Bool(b) => write!(f, "{b}"),
+            DataValue::I64(v) => write!(f, "{v}"),
+            DataValue::U64(v) => write!(f, "{v}"),
+            DataValue::F64(v) => write!(f, "{v}"),
+            DataValue::Str(s) => write!(f, "{s:?}"),
+            DataValue::Bytes(b) => write!(f, "bytes[{}]", b.len()),
+            DataValue::ArrayI64(v) => write!(f, "i64[{}]", v.len()),
+            DataValue::ArrayF64(v) => write!(f, "f64[{}]", v.len()),
+            DataValue::Tuple(t) => {
+                write!(f, "(")?;
+                for (i, v) in t.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+impl From<bool> for DataValue {
+    fn from(v: bool) -> Self {
+        DataValue::Bool(v)
+    }
+}
+impl From<i64> for DataValue {
+    fn from(v: i64) -> Self {
+        DataValue::I64(v)
+    }
+}
+impl From<u64> for DataValue {
+    fn from(v: u64) -> Self {
+        DataValue::U64(v)
+    }
+}
+impl From<f64> for DataValue {
+    fn from(v: f64) -> Self {
+        DataValue::F64(v)
+    }
+}
+impl From<&str> for DataValue {
+    fn from(v: &str) -> Self {
+        DataValue::Str(v.to_owned())
+    }
+}
+impl From<String> for DataValue {
+    fn from(v: String) -> Self {
+        DataValue::Str(v)
+    }
+}
+impl From<Vec<u8>> for DataValue {
+    fn from(v: Vec<u8>) -> Self {
+        DataValue::Bytes(v)
+    }
+}
+impl From<Vec<i64>> for DataValue {
+    fn from(v: Vec<i64>) -> Self {
+        DataValue::ArrayI64(v)
+    }
+}
+impl From<Vec<f64>> for DataValue {
+    fn from(v: Vec<f64>) -> Self {
+        DataValue::ArrayF64(v)
+    }
+}
+impl From<Vec<DataValue>> for DataValue {
+    fn from(v: Vec<DataValue>) -> Self {
+        DataValue::Tuple(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_match_variant() {
+        assert_eq!(DataValue::I64(-3).as_i64(), Some(-3));
+        assert_eq!(DataValue::I64(-3).as_u64(), None);
+        assert_eq!(DataValue::U64(7).as_u64(), Some(7));
+        assert_eq!(DataValue::F64(1.5).as_f64(), Some(1.5));
+        assert_eq!(DataValue::Bool(true).as_bool(), Some(true));
+        assert_eq!(DataValue::from("hi").as_str(), Some("hi"));
+        assert_eq!(
+            DataValue::Bytes(vec![1, 2]).as_bytes(),
+            Some(&[1u8, 2][..])
+        );
+        assert_eq!(
+            DataValue::ArrayF64(vec![1.0]).as_array_f64(),
+            Some(&[1.0][..])
+        );
+        assert_eq!(
+            DataValue::ArrayI64(vec![4]).as_array_i64(),
+            Some(&[4i64][..])
+        );
+        assert!(DataValue::Tuple(vec![DataValue::Unit]).as_tuple().is_some());
+    }
+
+    #[test]
+    fn as_number_coerces_all_numerics() {
+        assert_eq!(DataValue::I64(-2).as_number(), Some(-2.0));
+        assert_eq!(DataValue::U64(2).as_number(), Some(2.0));
+        assert_eq!(DataValue::F64(0.5).as_number(), Some(0.5));
+        assert_eq!(DataValue::from("x").as_number(), None);
+    }
+
+    #[test]
+    fn encoded_len_examples() {
+        assert_eq!(DataValue::Unit.encoded_len(), 1);
+        assert_eq!(DataValue::Bool(true).encoded_len(), 2);
+        assert_eq!(DataValue::I64(0).encoded_len(), 9);
+        assert_eq!(DataValue::from("abc").encoded_len(), 1 + 4 + 3);
+        assert_eq!(DataValue::ArrayF64(vec![0.0; 10]).encoded_len(), 1 + 4 + 80);
+        let t = DataValue::Tuple(vec![DataValue::Unit, DataValue::I64(1)]);
+        assert_eq!(t.encoded_len(), 1 + 4 + 1 + 9);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let t = DataValue::Tuple(vec![DataValue::I64(1), DataValue::from("a")]);
+        assert_eq!(t.to_string(), "(1, \"a\")");
+        assert_eq!(DataValue::ArrayF64(vec![0.0; 3]).to_string(), "f64[3]");
+    }
+
+    #[test]
+    fn type_names_distinct() {
+        let vals = [
+            DataValue::Unit,
+            DataValue::Bool(false),
+            DataValue::I64(0),
+            DataValue::U64(0),
+            DataValue::F64(0.0),
+            DataValue::Str(String::new()),
+            DataValue::Bytes(vec![]),
+            DataValue::ArrayI64(vec![]),
+            DataValue::ArrayF64(vec![]),
+            DataValue::Tuple(vec![]),
+        ];
+        let names: std::collections::HashSet<&str> =
+            vals.iter().map(|v| v.type_name()).collect();
+        assert_eq!(names.len(), vals.len());
+    }
+}

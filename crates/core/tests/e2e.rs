@@ -1,0 +1,648 @@
+//! End-to-end tests of the network runtime: launch real overlays (threads +
+//! channels or TCP), move data through filters, and tear down cleanly.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use tbon_core::{
+    BackendContext, BackendEvent, DataValue, FilterKind, FilterRegistry, NetEvent,
+    NetworkBuilder, Packet, Rank, StreamSpec, SyncPolicy, Tag, TbonError, Transformation,
+};
+use tbon_topology::Topology;
+use tbon_transport::tcp::TcpTransport;
+
+/// A back-end that answers every downstream packet with its own rank.
+fn echo_rank_backend(mut ctx: BackendContext) {
+    loop {
+        match ctx.next_event() {
+            Ok(BackendEvent::Packet { stream, packet }) => {
+                let _ = ctx.send(stream, packet.tag(), DataValue::I64(ctx.rank().0 as i64));
+            }
+            Ok(BackendEvent::Shutdown) | Err(_) => break,
+            Ok(_) => continue,
+        }
+    }
+}
+
+/// Registry with a sum-of-i64 reduction for tests.
+fn registry_with_sum() -> FilterRegistry {
+    let reg = FilterRegistry::new();
+    reg.register_transformation("test::sum", |_| {
+        struct Sum;
+        impl Transformation for Sum {
+            fn transform(
+                &mut self,
+                wave: Vec<Packet>,
+                ctx: &mut tbon_core::FilterContext,
+            ) -> tbon_core::Result<Vec<Packet>> {
+                let tag = wave.first().map(|p| p.tag()).unwrap_or(Tag(0));
+                let sum: i64 = wave.iter().filter_map(|p| p.value().as_i64()).sum();
+                Ok(vec![ctx.make(tag, DataValue::I64(sum))])
+            }
+        }
+        Ok(Box::new(Sum))
+    });
+    reg
+}
+
+#[test]
+fn flat_tree_identity_delivers_every_backend_packet() {
+    let mut net = NetworkBuilder::new(Topology::flat(4))
+        .backend(echo_rank_backend)
+        .launch()
+        .unwrap();
+    let stream = net.new_stream(StreamSpec::all()).unwrap();
+    stream.broadcast(Tag(7), DataValue::Unit).unwrap();
+    let mut got: Vec<i64> = (0..4)
+        .map(|_| {
+            stream
+                .recv_timeout(Duration::from_secs(5))
+                .unwrap()
+                .value()
+                .as_i64()
+                .unwrap()
+        })
+        .collect();
+    got.sort();
+    assert_eq!(got, vec![1, 2, 3, 4]); // flat(4): backends are ranks 1..=4
+    net.shutdown().unwrap();
+}
+
+#[test]
+fn deep_tree_sum_reduces_to_single_packet() {
+    // 2 levels of fanout 3: 9 back-ends, ranks known from construction.
+    let topo = Topology::balanced(3, 2);
+    let leaf_ranks: Vec<i64> = topo.leaves().iter().map(|l| l.0 as i64).collect();
+    let expected: i64 = leaf_ranks.iter().sum();
+    let mut net = NetworkBuilder::new(topo)
+        .registry(registry_with_sum())
+        .backend(echo_rank_backend)
+        .launch()
+        .unwrap();
+    let stream = net
+        .new_stream(StreamSpec::all().transformation("test::sum"))
+        .unwrap();
+    for round in 0..3 {
+        stream.broadcast(Tag(round), DataValue::Unit).unwrap();
+        let pkt = stream.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(pkt.value().as_i64(), Some(expected), "round {round}");
+        assert_eq!(pkt.origin(), Rank(0), "root filter synthesized the packet");
+    }
+    net.shutdown().unwrap();
+}
+
+#[test]
+fn tcp_transport_end_to_end() {
+    let topo = Topology::balanced(2, 2);
+    let expected: i64 = topo.leaves().iter().map(|l| l.0 as i64).sum();
+    let mut net = NetworkBuilder::new(topo)
+        .transport(TcpTransport::new())
+        .registry(registry_with_sum())
+        .backend(echo_rank_backend)
+        .launch()
+        .unwrap();
+    let stream = net
+        .new_stream(StreamSpec::all().transformation("test::sum"))
+        .unwrap();
+    stream.broadcast(Tag(1), DataValue::Unit).unwrap();
+    let pkt = stream.recv_timeout(Duration::from_secs(10)).unwrap();
+    assert_eq!(pkt.value().as_i64(), Some(expected));
+    net.shutdown().unwrap();
+}
+
+#[test]
+fn subset_stream_only_reaches_members() {
+    let topo = Topology::flat(6); // backends 1..=6
+    let mut net = NetworkBuilder::new(topo)
+        .registry(registry_with_sum())
+        .backend(echo_rank_backend)
+        .launch()
+        .unwrap();
+    let stream = net
+        .new_stream(
+            StreamSpec::ranks([Rank(2), Rank(5)]).transformation("test::sum"),
+        )
+        .unwrap();
+    stream.broadcast(Tag(0), DataValue::Unit).unwrap();
+    let pkt = stream.recv_timeout(Duration::from_secs(5)).unwrap();
+    assert_eq!(pkt.value().as_i64(), Some(7)); // 2 + 5
+    net.shutdown().unwrap();
+}
+
+#[test]
+fn overlapping_streams_run_concurrently() {
+    let topo = Topology::flat(4);
+    let mut net = NetworkBuilder::new(topo)
+        .registry(registry_with_sum())
+        .backend(echo_rank_backend)
+        .launch()
+        .unwrap();
+    let s_all = net
+        .new_stream(StreamSpec::all().transformation("test::sum"))
+        .unwrap();
+    let s_half = net
+        .new_stream(StreamSpec::ranks([Rank(1), Rank(2)]).transformation("test::sum"))
+        .unwrap();
+    s_all.broadcast(Tag(0), DataValue::Unit).unwrap();
+    s_half.broadcast(Tag(0), DataValue::Unit).unwrap();
+    assert_eq!(
+        s_all
+            .recv_timeout(Duration::from_secs(5))
+            .unwrap()
+            .value()
+            .as_i64(),
+        Some(1 + 2 + 3 + 4)
+    );
+    assert_eq!(
+        s_half
+            .recv_timeout(Duration::from_secs(5))
+            .unwrap()
+            .value()
+            .as_i64(),
+        Some(3)
+    );
+    net.shutdown().unwrap();
+}
+
+#[test]
+fn timeout_sync_delivers_partial_waves() {
+    // Backends 1 and 2 reply; backend 3 stays silent. With time_out sync the
+    // front-end still gets the partial aggregate.
+    let topo = Topology::flat(3);
+    let reg = registry_with_sum();
+    let mut net = NetworkBuilder::new(topo)
+        .registry(reg)
+        .backend(|mut ctx: BackendContext| loop {
+            match ctx.next_event() {
+                Ok(BackendEvent::Packet { stream, packet }) => {
+                    if ctx.rank() != Rank(3) {
+                        let _ = ctx.send(
+                            stream,
+                            packet.tag(),
+                            DataValue::I64(ctx.rank().0 as i64),
+                        );
+                    }
+                }
+                Ok(BackendEvent::Shutdown) | Err(_) => break,
+                Ok(_) => continue,
+            }
+        })
+        .launch()
+        .unwrap();
+    let stream = net
+        .new_stream(
+            StreamSpec::all()
+                .transformation("test::sum")
+                .sync(SyncPolicy::TimeOut { window_ms: 150 }),
+        )
+        .unwrap();
+    stream.broadcast(Tag(0), DataValue::Unit).unwrap();
+    let pkt = stream.recv_timeout(Duration::from_secs(5)).unwrap();
+    assert_eq!(pkt.value().as_i64(), Some(3)); // 1 + 2, rank 3 missed the window
+    net.shutdown().unwrap();
+}
+
+#[test]
+fn null_sync_delivers_immediately_per_packet() {
+    let topo = Topology::flat(3);
+    let mut net = NetworkBuilder::new(topo)
+        .backend(echo_rank_backend)
+        .launch()
+        .unwrap();
+    let stream = net
+        .new_stream(StreamSpec::all().sync(SyncPolicy::Null))
+        .unwrap();
+    stream.broadcast(Tag(0), DataValue::Unit).unwrap();
+    let mut got: Vec<i64> = (0..3)
+        .map(|_| {
+            stream
+                .recv_timeout(Duration::from_secs(5))
+                .unwrap()
+                .value()
+                .as_i64()
+                .unwrap()
+        })
+        .collect();
+    got.sort();
+    assert_eq!(got, vec![1, 2, 3]);
+    net.shutdown().unwrap();
+}
+
+#[test]
+fn unknown_filter_rejected_at_stream_creation() {
+    let mut net = NetworkBuilder::new(Topology::flat(2))
+        .backend(echo_rank_backend)
+        .launch()
+        .unwrap();
+    let err = net
+        .new_stream(StreamSpec::all().transformation("nope::missing"))
+        .unwrap_err();
+    assert!(matches!(err, TbonError::UnknownFilter(_)));
+    net.shutdown().unwrap();
+}
+
+#[test]
+fn load_filter_probe_and_dynamic_registration() {
+    let mut net = NetworkBuilder::new(Topology::balanced(2, 2))
+        .backend(echo_rank_backend)
+        .launch()
+        .unwrap();
+    assert!(
+        !net.load_filter("user::late", FilterKind::Transformation)
+            .unwrap()
+    );
+    // "dlopen" the filter into the running network, then re-probe.
+    net.registry().register_transformation("user::late", |_| {
+        Ok(Box::new(tbon_core::Identity))
+    });
+    assert!(
+        net.load_filter("user::late", FilterKind::Transformation)
+            .unwrap()
+    );
+    // And it is immediately usable by a new stream.
+    let stream = net
+        .new_stream(StreamSpec::all().transformation("user::late"))
+        .unwrap();
+    stream.broadcast(Tag(0), DataValue::Unit).unwrap();
+    let _ = stream.recv_timeout(Duration::from_secs(5)).unwrap();
+    net.shutdown().unwrap();
+}
+
+#[test]
+fn dynamic_attach_joins_new_streams() {
+    let mut net = NetworkBuilder::new(Topology::flat(2))
+        .registry(registry_with_sum())
+        .backend(echo_rank_backend)
+        .launch()
+        .unwrap();
+    // Stream before attach: members fixed at creation.
+    let before = net
+        .new_stream(StreamSpec::all().transformation("test::sum"))
+        .unwrap();
+    let new_rank = net.attach_backend(Rank(0)).unwrap();
+    assert_eq!(new_rank, Rank(3));
+    match net.wait_event(Duration::from_secs(5)).unwrap() {
+        NetEvent::BackendJoined { rank, parent } => {
+            assert_eq!(rank, Rank(3));
+            assert_eq!(parent, Rank(0));
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+    before.broadcast(Tag(0), DataValue::Unit).unwrap();
+    assert_eq!(
+        before
+            .recv_timeout(Duration::from_secs(5))
+            .unwrap()
+            .value()
+            .as_i64(),
+        Some(3) // ranks 1 + 2 only
+    );
+    // Stream after attach includes the newcomer.
+    let after = net
+        .new_stream(StreamSpec::all().transformation("test::sum"))
+        .unwrap();
+    after.broadcast(Tag(0), DataValue::Unit).unwrap();
+    assert_eq!(
+        after
+            .recv_timeout(Duration::from_secs(5))
+            .unwrap()
+            .value()
+            .as_i64(),
+        Some(6) // ranks 1 + 2 + 3
+    );
+    net.shutdown().unwrap();
+}
+
+#[test]
+fn killed_backend_reported_and_wait_for_all_unblocks() {
+    let mut net = NetworkBuilder::new(Topology::flat(3))
+        .registry(registry_with_sum())
+        .backend(echo_rank_backend)
+        .launch()
+        .unwrap();
+    let stream = net
+        .new_stream(StreamSpec::all().transformation("test::sum"))
+        .unwrap();
+    // Sanity round with all three.
+    stream.broadcast(Tag(0), DataValue::Unit).unwrap();
+    assert_eq!(
+        stream
+            .recv_timeout(Duration::from_secs(5))
+            .unwrap()
+            .value()
+            .as_i64(),
+        Some(6)
+    );
+    net.kill_backend(Rank(2)).unwrap();
+    match net.wait_event(Duration::from_secs(5)).unwrap() {
+        NetEvent::BackendLost { rank, detected_by } => {
+            assert_eq!(rank, Rank(2));
+            assert_eq!(detected_by, Rank(0));
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+    // wait_for_all must now complete with the two survivors.
+    stream.broadcast(Tag(1), DataValue::Unit).unwrap();
+    assert_eq!(
+        stream
+            .recv_timeout(Duration::from_secs(5))
+            .unwrap()
+            .value()
+            .as_i64(),
+        Some(4) // 1 + 3
+    );
+    net.shutdown().unwrap();
+}
+
+#[test]
+fn close_stream_notifies_backends() {
+    let opened = Arc::new(AtomicUsize::new(0));
+    let closed = Arc::new(AtomicUsize::new(0));
+    let (o, c) = (opened.clone(), closed.clone());
+    let mut net = NetworkBuilder::new(Topology::flat(2))
+        .backend(move |mut ctx: BackendContext| loop {
+            match ctx.next_event() {
+                Ok(BackendEvent::StreamOpened { .. }) => {
+                    o.fetch_add(1, Ordering::SeqCst);
+                }
+                Ok(BackendEvent::StreamClosed { .. }) => {
+                    c.fetch_add(1, Ordering::SeqCst);
+                }
+                Ok(BackendEvent::Shutdown) | Err(_) => break,
+                Ok(_) => continue,
+            }
+        })
+        .launch()
+        .unwrap();
+    let stream = net.new_stream(StreamSpec::all()).unwrap();
+    stream.close().unwrap();
+    net.shutdown().unwrap();
+    assert_eq!(opened.load(Ordering::SeqCst), 2);
+    assert_eq!(closed.load(Ordering::SeqCst), 2);
+}
+
+#[test]
+fn backend_initiated_data_flows_without_broadcast() {
+    // Back-ends push unsolicited data as soon as the stream opens (the
+    // monitoring pattern: Ganglia/Supermon-style periodic reports).
+    let mut net = NetworkBuilder::new(Topology::balanced(2, 2))
+        .registry(registry_with_sum())
+        .backend(|mut ctx: BackendContext| {
+            loop {
+                match ctx.next_event() {
+                    Ok(BackendEvent::StreamOpened { stream }) => {
+                        for i in 0..5i64 {
+                            let _ = ctx.send(stream, Tag(i as u32), DataValue::I64(i));
+                        }
+                    }
+                    Ok(BackendEvent::Shutdown) | Err(_) => break,
+                    Ok(_) => continue,
+                }
+            }
+        })
+        .launch()
+        .unwrap();
+    let stream = net
+        .new_stream(StreamSpec::all().transformation("test::sum"))
+        .unwrap();
+    // 5 waves of 4 backends each: wave i sums to 4*i.
+    for i in 0..5i64 {
+        let pkt = stream.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(pkt.value().as_i64(), Some(4 * i), "wave {i}");
+    }
+    net.shutdown().unwrap();
+}
+
+#[test]
+fn bidirectional_filter_emits_feedback_downstream() {
+    // An upstream filter that, at the root, reflects each completed wave
+    // back down to the members (the §4 "bidirectional" future-work mode).
+    let reg = registry_with_sum();
+    reg.register_transformation("test::reflect_sum", |_| {
+        struct ReflectSum;
+        impl Transformation for ReflectSum {
+            fn transform(
+                &mut self,
+                wave: Vec<Packet>,
+                ctx: &mut tbon_core::FilterContext,
+            ) -> tbon_core::Result<Vec<Packet>> {
+                let sum: i64 = wave.iter().filter_map(|p| p.value().as_i64()).sum();
+                if ctx.is_root {
+                    ctx.emit_reverse(Tag(99), DataValue::I64(sum));
+                }
+                Ok(vec![ctx.make(Tag(0), DataValue::I64(sum))])
+            }
+        }
+        Ok(Box::new(ReflectSum))
+    });
+    let echoes = Arc::new(AtomicUsize::new(0));
+    let e = echoes.clone();
+    let mut net = NetworkBuilder::new(Topology::flat(3))
+        .registry(reg)
+        .backend(move |mut ctx: BackendContext| loop {
+            match ctx.next_event() {
+                Ok(BackendEvent::StreamOpened { stream }) => {
+                    let _ = ctx.send(stream, Tag(0), DataValue::I64(ctx.rank().0 as i64));
+                }
+                Ok(BackendEvent::Packet { packet, .. }) => {
+                    if packet.tag() == Tag(99) {
+                        assert_eq!(packet.value().as_i64(), Some(6));
+                        e.fetch_add(1, Ordering::SeqCst);
+                    }
+                }
+                Ok(BackendEvent::Shutdown) | Err(_) => break,
+                Ok(_) => continue,
+            }
+        })
+        .launch()
+        .unwrap();
+    let stream = net
+        .new_stream(
+            StreamSpec::all()
+                .transformation("test::reflect_sum")
+                .bidirectional(),
+        )
+        .unwrap();
+    let pkt = stream.recv_timeout(Duration::from_secs(5)).unwrap();
+    assert_eq!(pkt.value().as_i64(), Some(6));
+    // Give the reflected packets a moment to reach all three backends.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while echoes.load(Ordering::SeqCst) < 3 && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(echoes.load(Ordering::SeqCst), 3);
+    net.shutdown().unwrap();
+}
+
+#[test]
+fn shutdown_is_idempotent_and_drop_safe() {
+    let net = NetworkBuilder::new(Topology::flat(2))
+        .backend(echo_rank_backend)
+        .launch()
+        .unwrap();
+    drop(net); // Drop path must not hang or panic.
+
+    let net2 = NetworkBuilder::new(Topology::flat(2))
+        .backend(echo_rank_backend)
+        .launch()
+        .unwrap();
+    net2.shutdown().unwrap();
+}
+
+#[test]
+fn knomial_topology_works_end_to_end() {
+    let topo = Topology::knomial(2, 4); // 16 nodes, skewed
+    let expected: i64 = topo.leaves().iter().map(|l| l.0 as i64).sum();
+    let mut net = NetworkBuilder::new(topo)
+        .registry(registry_with_sum())
+        .backend(echo_rank_backend)
+        .launch()
+        .unwrap();
+    let stream = net
+        .new_stream(StreamSpec::all().transformation("test::sum"))
+        .unwrap();
+    stream.broadcast(Tag(0), DataValue::Unit).unwrap();
+    assert_eq!(
+        stream
+            .recv_timeout(Duration::from_secs(5))
+            .unwrap()
+            .value()
+            .as_i64(),
+        Some(expected)
+    );
+    net.shutdown().unwrap();
+}
+
+#[test]
+fn perf_snapshot_reports_activity() {
+    let mut net = NetworkBuilder::new(Topology::balanced(2, 2))
+        .registry(registry_with_sum())
+        .backend(echo_rank_backend)
+        .launch()
+        .unwrap();
+    let stream = net
+        .new_stream(StreamSpec::all().transformation("test::sum"))
+        .unwrap();
+    for round in 0..5 {
+        stream.broadcast(Tag(round), DataValue::Unit).unwrap();
+        stream.recv_timeout(Duration::from_secs(5)).unwrap();
+    }
+    let perf = net.perf_snapshot(Duration::from_secs(5)).unwrap();
+    // Root (0) + two internals (1, 2).
+    assert_eq!(perf.len(), 3, "perf: {perf:?}");
+    let root = perf[&Rank(0)];
+    assert_eq!(root.waves, 5, "one wave per broadcast at the root");
+    assert_eq!(root.packets_up, 10, "two internal children x 5 rounds");
+    assert_eq!(root.packets_down, 0, "FE broadcasts originate locally");
+    assert!(root.filter_out >= 5);
+    for internal in [Rank(1), Rank(2)] {
+        let p = perf[&internal];
+        assert_eq!(p.waves, 5);
+        assert_eq!(p.packets_up, 10, "two leaves x 5 rounds");
+        assert_eq!(p.packets_down, 5, "5 broadcasts routed through");
+        assert!(p.control >= 1, "NewStream counted");
+    }
+    // Counters are cumulative: another round strictly increases them.
+    stream.broadcast(Tag(99), DataValue::Unit).unwrap();
+    stream.recv_timeout(Duration::from_secs(5)).unwrap();
+    let perf2 = net.perf_snapshot(Duration::from_secs(5)).unwrap();
+    assert!(perf2[&Rank(0)].waves > root.waves);
+    net.shutdown().unwrap();
+}
+
+#[test]
+fn subtree_stream_covers_exactly_one_portion_of_the_topology() {
+    // balanced(3,2): internals 1..=3; the subtree stream under internal 2
+    // must reach exactly its three leaves.
+    let topo = Topology::balanced(3, 2);
+    let under_2: i64 = topo
+        .leaves_below(tbon_topology::NodeId(2))
+        .iter()
+        .map(|l| l.0 as i64)
+        .sum();
+    let mut net = NetworkBuilder::new(topo)
+        .registry(registry_with_sum())
+        .backend(echo_rank_backend)
+        .launch()
+        .unwrap();
+    let stream = net
+        .new_stream(StreamSpec::subtree(Rank(2)).transformation("test::sum"))
+        .unwrap();
+    stream.broadcast(Tag(0), DataValue::Unit).unwrap();
+    let pkt = stream.recv_timeout(Duration::from_secs(5)).unwrap();
+    assert_eq!(pkt.value().as_i64(), Some(under_2));
+
+    // Subtree of a single back-end selects just that back-end.
+    let leaf = net.topology_snapshot().leaves()[0];
+    let solo = net
+        .new_stream(StreamSpec::subtree(Rank(leaf.0)).transformation("test::sum"))
+        .unwrap();
+    solo.broadcast(Tag(0), DataValue::Unit).unwrap();
+    assert_eq!(
+        solo.recv_timeout(Duration::from_secs(5))
+            .unwrap()
+            .value()
+            .as_i64(),
+        Some(leaf.0 as i64)
+    );
+
+    // Unknown subtree roots are rejected.
+    assert!(net.new_stream(StreamSpec::subtree(Rank(999))).is_err());
+    net.shutdown().unwrap();
+}
+
+#[test]
+fn downstream_filter_transforms_per_hop() {
+    // A hop-counting downstream filter: each communication process
+    // increments the broadcast value, so each back-end observes exactly its
+    // distance from the front-end — proving the filter runs once per hop.
+    let reg = registry_with_sum();
+    reg.register_transformation("test::hop_count", |_| {
+        struct HopCount;
+        impl Transformation for HopCount {
+            fn transform(
+                &mut self,
+                wave: Vec<Packet>,
+                ctx: &mut tbon_core::FilterContext,
+            ) -> tbon_core::Result<Vec<Packet>> {
+                Ok(wave
+                    .into_iter()
+                    .map(|p| {
+                        let n = p.value().as_i64().unwrap_or(0);
+                        ctx.make(p.tag(), DataValue::I64(n + 1))
+                    })
+                    .collect())
+            }
+        }
+        Ok(Box::new(HopCount))
+    });
+    // Depth-3 tree: hops from root to leaf = 3 comm processes run the
+    // downstream filter (root + 2 internals).
+    let mut net = NetworkBuilder::new(Topology::balanced(2, 3))
+        .registry(reg)
+        .backend(|mut ctx: BackendContext| loop {
+            match ctx.next_event() {
+                Ok(BackendEvent::Packet { stream, packet }) => {
+                    // Echo the observed hop count upstream.
+                    let _ = ctx.send(stream, packet.tag(), packet.value().clone());
+                }
+                Ok(BackendEvent::Shutdown) | Err(_) => break,
+                Ok(_) => continue,
+            }
+        })
+        .launch()
+        .unwrap();
+    let stream = net
+        .new_stream(
+            StreamSpec::all()
+                .transformation("test::sum")
+                .downstream("test::hop_count", DataValue::Unit),
+        )
+        .unwrap();
+    stream.broadcast(Tag(0), DataValue::I64(0)).unwrap();
+    let pkt = stream.recv_timeout(Duration::from_secs(5)).unwrap();
+    // 8 leaves, each saw the value 3 (root, level-1, level-2 filters).
+    assert_eq!(pkt.value().as_i64(), Some(8 * 3));
+    net.shutdown().unwrap();
+}

@@ -1,0 +1,216 @@
+//! Property-based tests for the core codec and protocol.
+
+use proptest::prelude::*;
+use tbon_core::codec::{decode_value, encode_value_to_vec};
+use tbon_core::proto::{decode_message, encode_message, message_encoded_len, Message};
+use tbon_core::{DataValue, Rank, StreamId, StreamMode, Tag};
+
+/// Strategy for arbitrary `DataValue`s with bounded depth and size.
+fn value_strategy() -> impl Strategy<Value = DataValue> {
+    let leaf = prop_oneof![
+        Just(DataValue::Unit),
+        any::<bool>().prop_map(DataValue::Bool),
+        any::<i64>().prop_map(DataValue::I64),
+        any::<u64>().prop_map(DataValue::U64),
+        any::<f64>().prop_map(DataValue::F64),
+        "[a-zA-Z0-9 /_:.-]{0,32}".prop_map(DataValue::Str),
+        prop::collection::vec(any::<u8>(), 0..64).prop_map(DataValue::Bytes),
+        prop::collection::vec(any::<i64>(), 0..32).prop_map(DataValue::ArrayI64),
+        prop::collection::vec(any::<f64>(), 0..32).prop_map(DataValue::ArrayF64),
+    ];
+    leaf.prop_recursive(3, 64, 8, |inner| {
+        prop::collection::vec(inner, 0..8).prop_map(DataValue::Tuple)
+    })
+}
+
+/// Structural equality that treats NaN == NaN (encode/decode preserves the
+/// bit pattern but `PartialEq` on f64 does not).
+fn value_eq(a: &DataValue, b: &DataValue) -> bool {
+    match (a, b) {
+        (DataValue::F64(x), DataValue::F64(y)) => x.to_bits() == y.to_bits(),
+        (DataValue::ArrayF64(x), DataValue::ArrayF64(y)) => {
+            x.len() == y.len()
+                && x.iter().zip(y).all(|(a, b)| a.to_bits() == b.to_bits())
+        }
+        (DataValue::Tuple(x), DataValue::Tuple(y)) => {
+            x.len() == y.len() && x.iter().zip(y).all(|(a, b)| value_eq(a, b))
+        }
+        _ => a == b,
+    }
+}
+
+proptest! {
+    /// encode → decode is the identity, and encoded_len is exact.
+    #[test]
+    fn value_roundtrip(v in value_strategy()) {
+        let bytes = encode_value_to_vec(&v);
+        prop_assert_eq!(bytes.len(), v.encoded_len());
+        let back = decode_value(&bytes).unwrap();
+        prop_assert!(value_eq(&v, &back), "{:?} != {:?}", v, back);
+    }
+
+    /// Any prefix of a valid encoding fails to decode (no silent
+    /// truncation).
+    #[test]
+    fn value_prefixes_rejected(v in value_strategy()) {
+        let bytes = encode_value_to_vec(&v);
+        if !bytes.is_empty() {
+            // All proper prefixes must fail: either truncated or (when the
+            // value is a container) leaving trailing garbage is impossible
+            // since we cut from the end.
+            for cut in [bytes.len() / 2, bytes.len() - 1] {
+                if cut < bytes.len() {
+                    prop_assert!(decode_value(&bytes[..cut]).is_err());
+                }
+            }
+        }
+    }
+
+    /// Appending junk to a valid encoding fails to decode.
+    #[test]
+    fn value_trailing_junk_rejected(v in value_strategy(), junk in 1u8..255) {
+        let mut bytes = encode_value_to_vec(&v);
+        bytes.push(junk);
+        prop_assert!(decode_value(&bytes).is_err());
+    }
+
+    /// Data messages roundtrip and their length accounting is exact.
+    #[test]
+    fn up_message_roundtrip(
+        v in value_strategy(),
+        stream in any::<u32>(),
+        tag in any::<u32>(),
+        origin in any::<u32>(),
+    ) {
+        let msg = Message::Up {
+            stream: StreamId(stream),
+            tag: Tag(tag),
+            origin: Rank(origin),
+            value: v,
+        };
+        let bytes = encode_message(&msg);
+        prop_assert_eq!(bytes.len(), message_encoded_len(&msg));
+        let back = decode_message(&bytes).unwrap();
+        match (&msg, &back) {
+            (
+                Message::Up { stream: s1, tag: t1, origin: o1, value: v1 },
+                Message::Up { stream: s2, tag: t2, origin: o2, value: v2 },
+            ) => {
+                prop_assert_eq!(s1, s2);
+                prop_assert_eq!(t1, t2);
+                prop_assert_eq!(o1, o2);
+                prop_assert!(value_eq(v1, v2));
+            }
+            _ => prop_assert!(false, "variant changed in roundtrip"),
+        }
+    }
+
+    /// NewStream messages roundtrip with arbitrary member lists and params.
+    #[test]
+    fn new_stream_roundtrip(
+        stream in any::<u32>(),
+        members in prop::collection::vec(any::<u32>(), 0..64),
+        tname in "[a-z:_]{1,24}",
+        sname in "[a-z:_]{1,24}",
+        bidir in any::<bool>(),
+        with_down in any::<bool>(),
+    ) {
+        let msg = Message::NewStream {
+            stream: StreamId(stream),
+            members: members.into_iter().map(Rank).collect(),
+            transformation: tname,
+            params: DataValue::Unit,
+            sync_name: sname,
+            sync_params: DataValue::U64(42),
+            downstream_filter: with_down.then(|| "core::identity".to_owned()),
+            downstream_params: DataValue::Unit,
+            mode: if bidir { StreamMode::Bidirectional } else { StreamMode::Upstream },
+        };
+        let bytes = encode_message(&msg);
+        prop_assert_eq!(bytes.len(), message_encoded_len(&msg));
+        prop_assert_eq!(decode_message(&bytes).unwrap(), msg);
+    }
+
+    /// Random byte soup never panics the decoder.
+    #[test]
+    fn decoder_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = decode_value(&bytes);
+        let _ = decode_message(&bytes);
+    }
+}
+
+/// Format-string packing: pack ∘ unpack is the identity for arbitrary
+/// well-typed argument lists.
+mod fmt_props {
+    use proptest::prelude::*;
+    use tbon_core::fmt::{pack, parse_format, unpack, FmtItem};
+    use tbon_core::DataValue;
+
+    fn arg_for(item: FmtItem) -> BoxedStrategy<DataValue> {
+        match item {
+            FmtItem::I64 => any::<i64>().prop_map(DataValue::I64).boxed(),
+            FmtItem::U64 => any::<u64>().prop_map(DataValue::U64).boxed(),
+            FmtItem::F64 => any::<f64>().prop_map(DataValue::F64).boxed(),
+            FmtItem::Str => "[a-z ]{0,16}".prop_map(DataValue::Str).boxed(),
+            FmtItem::Bytes => prop::collection::vec(any::<u8>(), 0..16)
+                .prop_map(DataValue::Bytes)
+                .boxed(),
+            FmtItem::ArrayI64 => prop::collection::vec(any::<i64>(), 0..8)
+                .prop_map(DataValue::ArrayI64)
+                .boxed(),
+            FmtItem::ArrayF64 => prop::collection::vec(any::<f64>(), 0..8)
+                .prop_map(DataValue::ArrayF64)
+                .boxed(),
+        }
+    }
+
+    fn fmt_and_args() -> impl Strategy<Value = (String, Vec<DataValue>)> {
+        prop::collection::vec(
+            prop_oneof![
+                Just(FmtItem::I64),
+                Just(FmtItem::U64),
+                Just(FmtItem::F64),
+                Just(FmtItem::Str),
+                Just(FmtItem::Bytes),
+                Just(FmtItem::ArrayI64),
+                Just(FmtItem::ArrayF64),
+            ],
+            1..6,
+        )
+        .prop_flat_map(|items| {
+            let fmt = items
+                .iter()
+                .map(|i| i.token())
+                .collect::<Vec<_>>()
+                .join(" ");
+            let args: Vec<BoxedStrategy<DataValue>> =
+                items.iter().map(|&i| arg_for(i)).collect();
+            (Just(fmt), args)
+        })
+    }
+
+    fn value_bits_eq(a: &DataValue, b: &DataValue) -> bool {
+        match (a, b) {
+            (DataValue::F64(x), DataValue::F64(y)) => x.to_bits() == y.to_bits(),
+            (DataValue::ArrayF64(x), DataValue::ArrayF64(y)) => {
+                x.len() == y.len()
+                    && x.iter().zip(y).all(|(a, b)| a.to_bits() == b.to_bits())
+            }
+            _ => a == b,
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn pack_unpack_roundtrip((fmt, args) in fmt_and_args()) {
+            let packed = pack(&fmt, &args).unwrap();
+            let fields = unpack(&fmt, &packed).unwrap();
+            prop_assert_eq!(fields.len(), args.len());
+            for (f, a) in fields.iter().zip(&args) {
+                prop_assert!(value_bits_eq(f, a));
+            }
+            // The format parses to as many items as there are args.
+            prop_assert_eq!(parse_format(&fmt).unwrap().len(), args.len());
+        }
+    }
+}

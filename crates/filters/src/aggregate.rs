@@ -1,0 +1,317 @@
+//! The basic aggregation transformations MRNet ships: `sum`, `min`, `max`,
+//! `avg`, `count`.
+//!
+//! All of them are *wave* reductions: one output packet per wave, usable at
+//! every level of the tree because their outputs are in the same form as
+//! their inputs (the paper's property 3 of reduction algorithms). The only
+//! exception is `avg`, which must carry `(sum, count)` pairs internally to
+//! stay correct across levels and only collapses to the final scalar at the
+//! root.
+//!
+//! Scalar packets reduce as numbers; `ArrayF64`/`ArrayI64` packets reduce
+//! element-wise (the common case for per-metric vectors).
+
+use tbon_core::{
+    DataValue, FilterContext, Packet, Result, Tag, TbonError, Transformation, Wave,
+};
+
+fn wave_tag(wave: &Wave) -> Tag {
+    wave.first().map(|p| p.tag()).unwrap_or(Tag(0))
+}
+
+/// Element-wise combination of numeric values/arrays.
+fn combine(
+    acc: Option<DataValue>,
+    next: &DataValue,
+    f: impl Fn(f64, f64) -> f64,
+    fi: impl Fn(i64, i64) -> i64,
+) -> Result<DataValue> {
+    let Some(acc) = acc else {
+        return Ok(next.clone());
+    };
+    match (acc, next) {
+        (DataValue::I64(a), DataValue::I64(b)) => Ok(DataValue::I64(fi(a, *b))),
+        (DataValue::U64(a), DataValue::U64(b)) => {
+            Ok(DataValue::I64(fi(a as i64, *b as i64)))
+        }
+        (DataValue::F64(a), DataValue::F64(b)) => Ok(DataValue::F64(f(a, *b))),
+        (DataValue::ArrayI64(a), DataValue::ArrayI64(b)) => {
+            if a.len() != b.len() {
+                return Err(TbonError::Filter(format!(
+                    "array length mismatch: {} vs {}",
+                    a.len(),
+                    b.len()
+                )));
+            }
+            Ok(DataValue::ArrayI64(
+                a.iter().zip(b).map(|(x, y)| fi(*x, *y)).collect(),
+            ))
+        }
+        (DataValue::ArrayF64(a), DataValue::ArrayF64(b)) => {
+            if a.len() != b.len() {
+                return Err(TbonError::Filter(format!(
+                    "array length mismatch: {} vs {}",
+                    a.len(),
+                    b.len()
+                )));
+            }
+            Ok(DataValue::ArrayF64(
+                a.iter().zip(b).map(|(x, y)| f(*x, *y)).collect(),
+            ))
+        }
+        // Mixed numeric scalars coerce to f64.
+        (a, b) => match (a.as_number(), b.as_number()) {
+            (Some(x), Some(y)) => Ok(DataValue::F64(f(x, y))),
+            _ => Err(TbonError::Filter(format!(
+                "cannot aggregate {} with {}",
+                a.type_name(),
+                b.type_name()
+            ))),
+        },
+    }
+}
+
+/// `builtin::sum` — element-wise sum over the wave.
+pub struct Sum;
+
+impl Transformation for Sum {
+    fn transform(&mut self, wave: Wave, ctx: &mut FilterContext) -> Result<Vec<Packet>> {
+        let tag = wave_tag(&wave);
+        let mut acc: Option<DataValue> = None;
+        for p in &wave {
+            acc = Some(combine(acc, p.value(), |a, b| a + b, |a, b| a.wrapping_add(b))?);
+        }
+        Ok(vec![ctx.make(tag, acc.unwrap_or(DataValue::Unit))])
+    }
+}
+
+/// `builtin::min` — element-wise minimum over the wave.
+pub struct Min;
+
+impl Transformation for Min {
+    fn transform(&mut self, wave: Wave, ctx: &mut FilterContext) -> Result<Vec<Packet>> {
+        let tag = wave_tag(&wave);
+        let mut acc: Option<DataValue> = None;
+        for p in &wave {
+            acc = Some(combine(acc, p.value(), f64::min, std::cmp::min)?);
+        }
+        Ok(vec![ctx.make(tag, acc.unwrap_or(DataValue::Unit))])
+    }
+}
+
+/// `builtin::max` — element-wise maximum over the wave.
+pub struct Max;
+
+impl Transformation for Max {
+    fn transform(&mut self, wave: Wave, ctx: &mut FilterContext) -> Result<Vec<Packet>> {
+        let tag = wave_tag(&wave);
+        let mut acc: Option<DataValue> = None;
+        for p in &wave {
+            acc = Some(combine(acc, p.value(), f64::max, std::cmp::max)?);
+        }
+        Ok(vec![ctx.make(tag, acc.unwrap_or(DataValue::Unit))])
+    }
+}
+
+/// `builtin::count` — how many raw (back-end) packets the subtree
+/// contributed this wave. Internal levels exchange partial counts as `U64`.
+pub struct Count;
+
+impl Transformation for Count {
+    fn transform(&mut self, wave: Wave, ctx: &mut FilterContext) -> Result<Vec<Packet>> {
+        let tag = wave_tag(&wave);
+        let mut total = 0u64;
+        for p in &wave {
+            // A U64 from below is a partial count; anything else is one raw
+            // packet. Back-ends wanting to count U64 payloads should wrap
+            // them in a tuple.
+            total += p.value().as_u64().unwrap_or(1);
+        }
+        Ok(vec![ctx.make(tag, DataValue::U64(total))])
+    }
+}
+
+/// `builtin::avg` — mean of all scalar numeric leaf values. Internally
+/// propagates `(sum, count)` tuples; the root emits the final `F64` mean.
+pub struct Average;
+
+impl Average {
+    fn split(value: &DataValue) -> Result<(f64, u64)> {
+        if let Some(t) = value.as_tuple() {
+            if let (Some(s), Some(c)) = (
+                t.first().and_then(DataValue::as_f64),
+                t.get(1).and_then(DataValue::as_u64),
+            ) {
+                return Ok((s, c));
+            }
+        }
+        value
+            .as_number()
+            .map(|x| (x, 1))
+            .ok_or_else(|| TbonError::Filter(format!("avg cannot use {}", value.type_name())))
+    }
+}
+
+impl Transformation for Average {
+    fn transform(&mut self, wave: Wave, ctx: &mut FilterContext) -> Result<Vec<Packet>> {
+        let tag = wave_tag(&wave);
+        let mut sum = 0.0f64;
+        let mut count = 0u64;
+        for p in &wave {
+            let (s, c) = Self::split(p.value())?;
+            sum += s;
+            count += c;
+        }
+        let out = if ctx.is_root {
+            DataValue::F64(if count == 0 { f64::NAN } else { sum / count as f64 })
+        } else {
+            DataValue::Tuple(vec![DataValue::F64(sum), DataValue::U64(count)])
+        };
+        Ok(vec![ctx.make(tag, out)])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tbon_core::{Rank, StreamId};
+
+    fn pkt(v: DataValue) -> Packet {
+        Packet::new(StreamId(1), Tag(3), Rank(1), v)
+    }
+
+    fn ctx(is_root: bool) -> FilterContext {
+        FilterContext::new(StreamId(1), Rank(0), is_root, 2)
+    }
+
+    fn run(f: &mut dyn Transformation, wave: Wave, is_root: bool) -> DataValue {
+        let mut c = ctx(is_root);
+        let out = f.transform(wave, &mut c).unwrap();
+        assert_eq!(out.len(), 1);
+        out[0].value().clone()
+    }
+
+    #[test]
+    fn sum_scalars() {
+        let v = run(
+            &mut Sum,
+            vec![pkt(DataValue::I64(3)), pkt(DataValue::I64(-1))],
+            false,
+        );
+        assert_eq!(v, DataValue::I64(2));
+    }
+
+    #[test]
+    fn sum_arrays_elementwise() {
+        let v = run(
+            &mut Sum,
+            vec![
+                pkt(DataValue::ArrayF64(vec![1.0, 2.0])),
+                pkt(DataValue::ArrayF64(vec![10.0, 20.0])),
+            ],
+            false,
+        );
+        assert_eq!(v, DataValue::ArrayF64(vec![11.0, 22.0]));
+    }
+
+    #[test]
+    fn sum_mismatched_arrays_error() {
+        let mut c = ctx(false);
+        let err = Sum
+            .transform(
+                vec![
+                    pkt(DataValue::ArrayF64(vec![1.0])),
+                    pkt(DataValue::ArrayF64(vec![1.0, 2.0])),
+                ],
+                &mut c,
+            )
+            .unwrap_err();
+        assert!(matches!(err, TbonError::Filter(_)));
+    }
+
+    #[test]
+    fn sum_mixed_scalars_coerce() {
+        let v = run(
+            &mut Sum,
+            vec![pkt(DataValue::I64(1)), pkt(DataValue::F64(0.5))],
+            false,
+        );
+        assert_eq!(v, DataValue::F64(1.5));
+    }
+
+    #[test]
+    fn min_max_scalars_and_arrays() {
+        let wave = vec![pkt(DataValue::I64(4)), pkt(DataValue::I64(-7))];
+        assert_eq!(run(&mut Min, wave.clone(), false), DataValue::I64(-7));
+        assert_eq!(run(&mut Max, wave, false), DataValue::I64(4));
+        let arrs = vec![
+            pkt(DataValue::ArrayF64(vec![1.0, 9.0])),
+            pkt(DataValue::ArrayF64(vec![5.0, 2.0])),
+        ];
+        assert_eq!(
+            run(&mut Min, arrs.clone(), false),
+            DataValue::ArrayF64(vec![1.0, 2.0])
+        );
+        assert_eq!(
+            run(&mut Max, arrs, false),
+            DataValue::ArrayF64(vec![5.0, 9.0])
+        );
+    }
+
+    #[test]
+    fn count_mixes_raw_and_partial() {
+        // Two raw string packets + a partial count of 5 from a lower level.
+        let v = run(
+            &mut Count,
+            vec![
+                pkt(DataValue::from("a")),
+                pkt(DataValue::from("b")),
+                pkt(DataValue::U64(5)),
+            ],
+            false,
+        );
+        assert_eq!(v, DataValue::U64(7));
+    }
+
+    #[test]
+    fn avg_internal_emits_sum_count_pair() {
+        let v = run(
+            &mut Average,
+            vec![pkt(DataValue::F64(1.0)), pkt(DataValue::F64(3.0))],
+            false,
+        );
+        assert_eq!(
+            v,
+            DataValue::Tuple(vec![DataValue::F64(4.0), DataValue::U64(2)])
+        );
+    }
+
+    #[test]
+    fn avg_root_collapses_to_mean_across_levels() {
+        // Simulate: leaf wave at internal A -> pair; raw value + pair at root.
+        let pair = run(
+            &mut Average,
+            vec![pkt(DataValue::F64(2.0)), pkt(DataValue::F64(4.0))],
+            false,
+        );
+        let v = run(&mut Average, vec![pkt(pair), pkt(DataValue::F64(9.0))], true);
+        assert_eq!(v, DataValue::F64(5.0)); // (2 + 4 + 9) / 3
+    }
+
+    #[test]
+    fn avg_rejects_non_numeric() {
+        let mut c = ctx(false);
+        assert!(Average
+            .transform(vec![pkt(DataValue::from("x"))], &mut c)
+            .is_err());
+    }
+
+    #[test]
+    fn empty_wave_yields_unit_or_nan() {
+        assert_eq!(run(&mut Sum, vec![], false), DataValue::Unit);
+        match run(&mut Average, vec![], true) {
+            DataValue::F64(x) => assert!(x.is_nan()),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! `filter::chain` — the "super filter" composition workaround.
+//!
+//! MRNet does not support filter chaining directly; the paper notes that "a
+//! single 'super filter' that propagates the packet flow to a sequence of
+//! filters could seamlessly mimic this functionality". [`ChainFilter`] is
+//! exactly that: it instantiates a sequence of named filters and feeds each
+//! stage's output wave into the next, merging reverse-direction emissions.
+
+use std::sync::{Arc, Weak};
+
+use tbon_core::{
+    DataValue, FilterContext, FilterRegistry, Packet, Result, TbonError, Transformation, Wave,
+};
+
+/// A sequential composition of transformation filters.
+pub struct ChainFilter {
+    stages: Vec<Box<dyn Transformation>>,
+}
+
+impl ChainFilter {
+    pub fn new(stages: Vec<Box<dyn Transformation>>) -> ChainFilter {
+        ChainFilter { stages }
+    }
+
+    /// Build from parameters: a tuple whose entries are either `Str name`
+    /// (instantiated with `Unit` params) or `Tuple[Str name, params]`.
+    pub fn from_params(registry: &FilterRegistry, params: &DataValue) -> Result<ChainFilter> {
+        let entries = params
+            .as_tuple()
+            .ok_or_else(|| TbonError::Filter("chain wants a tuple of stages".into()))?;
+        if entries.is_empty() {
+            return Err(TbonError::Filter("chain needs at least one stage".into()));
+        }
+        let mut stages = Vec::with_capacity(entries.len());
+        for e in entries {
+            let (name, stage_params) = match e {
+                DataValue::Str(name) => (name.as_str(), DataValue::Unit),
+                DataValue::Tuple(pair) if pair.len() == 2 => {
+                    let name = pair[0].as_str().ok_or_else(|| {
+                        TbonError::Filter("chain stage name must be Str".into())
+                    })?;
+                    (name, pair[1].clone())
+                }
+                other => {
+                    return Err(TbonError::Filter(format!(
+                        "bad chain stage spec: {other}"
+                    )))
+                }
+            };
+            stages.push(registry.create_transformation(name, &stage_params)?);
+        }
+        Ok(ChainFilter { stages })
+    }
+}
+
+impl Transformation for ChainFilter {
+    fn transform(&mut self, wave: Wave, ctx: &mut FilterContext) -> Result<Vec<Packet>> {
+        let mut current = wave;
+        for stage in &mut self.stages {
+            current = stage.transform(current, ctx)?;
+            if current.is_empty() {
+                break; // a stage suppressed the flow entirely
+            }
+        }
+        Ok(current)
+    }
+}
+
+/// Register `filter::chain` on a shared registry. Separate from the other
+/// registrations because the chain factory must look other filters up at
+/// instantiation time; a weak reference avoids the registry owning itself.
+pub fn register_chain(registry: &Arc<FilterRegistry>) {
+    let weak: Weak<FilterRegistry> = Arc::downgrade(registry);
+    registry.register_transformation("filter::chain", move |params| {
+        let registry = weak
+            .upgrade()
+            .ok_or_else(|| TbonError::Filter("registry dropped".into()))?;
+        Ok(Box::new(ChainFilter::from_params(&registry, params)?))
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builtin_registry;
+    use tbon_core::{Rank, StreamId, Tag};
+
+    fn pkt(v: DataValue) -> Packet {
+        Packet::new(StreamId(1), Tag(0), Rank(1), v)
+    }
+
+    #[test]
+    fn chain_of_identity_then_sum() {
+        let reg = builtin_registry();
+        let params = DataValue::Tuple(vec![
+            DataValue::from("core::identity"),
+            DataValue::from("builtin::sum"),
+        ]);
+        let mut f = reg.create_transformation("filter::chain", &params).unwrap();
+        let mut c = FilterContext::new(StreamId(1), Rank(0), false, 2);
+        let out = f
+            .transform(vec![pkt(DataValue::I64(2)), pkt(DataValue::I64(5))], &mut c)
+            .unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].value().as_i64(), Some(7));
+    }
+
+    #[test]
+    fn chain_with_per_stage_params() {
+        let reg = builtin_registry();
+        // histogram(0..10, 2 bins) then sum (sums the count arrays — a
+        // no-op on a single packet, but exercises parameterized stages).
+        let params = DataValue::Tuple(vec![
+            DataValue::Tuple(vec![
+                DataValue::from("filter::histogram"),
+                DataValue::Tuple(vec![
+                    DataValue::F64(0.0),
+                    DataValue::F64(10.0),
+                    DataValue::U64(2),
+                ]),
+            ]),
+            DataValue::from("builtin::sum"),
+        ]);
+        let mut f = reg.create_transformation("filter::chain", &params).unwrap();
+        let mut c = FilterContext::new(StreamId(1), Rank(0), false, 1);
+        let out = f
+            .transform(vec![pkt(DataValue::ArrayF64(vec![1.0, 2.0, 9.0]))], &mut c)
+            .unwrap();
+        assert_eq!(out[0].value().as_array_i64(), Some(&[2i64, 1][..]));
+    }
+
+    #[test]
+    fn empty_chain_rejected() {
+        let reg = builtin_registry();
+        assert!(reg
+            .create_transformation("filter::chain", &DataValue::Tuple(vec![]))
+            .is_err());
+        assert!(reg
+            .create_transformation("filter::chain", &DataValue::Unit)
+            .is_err());
+    }
+
+    #[test]
+    fn unknown_stage_rejected_at_creation() {
+        let reg = builtin_registry();
+        let params = DataValue::Tuple(vec![DataValue::from("missing::stage")]);
+        assert!(matches!(
+            reg.create_transformation("filter::chain", &params),
+            Err(TbonError::UnknownFilter(_))
+        ));
+    }
+
+    #[test]
+    fn suppressing_stage_short_circuits() {
+        let reg = builtin_registry();
+        reg.register_transformation("test::drop_all", |_| {
+            struct DropAll;
+            impl Transformation for DropAll {
+                fn transform(
+                    &mut self,
+                    _wave: Wave,
+                    _ctx: &mut FilterContext,
+                ) -> Result<Vec<Packet>> {
+                    Ok(Vec::new())
+                }
+            }
+            Ok(Box::new(DropAll))
+        });
+        let params = DataValue::Tuple(vec![
+            DataValue::from("test::drop_all"),
+            DataValue::from("builtin::sum"),
+        ]);
+        let mut f = reg.create_transformation("filter::chain", &params).unwrap();
+        let mut c = FilterContext::new(StreamId(1), Rank(0), false, 1);
+        let out = f.transform(vec![pkt(DataValue::I64(1))], &mut c).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn nested_chains_compose() {
+        let reg = builtin_registry();
+        let inner = DataValue::Tuple(vec![DataValue::from("core::identity")]);
+        let params = DataValue::Tuple(vec![
+            DataValue::Tuple(vec![DataValue::from("filter::chain"), inner]),
+            DataValue::from("builtin::max"),
+        ]);
+        let mut f = reg.create_transformation("filter::chain", &params).unwrap();
+        let mut c = FilterContext::new(StreamId(1), Rank(0), false, 2);
+        let out = f
+            .transform(
+                vec![pkt(DataValue::I64(3)), pkt(DataValue::I64(-3))],
+                &mut c,
+            )
+            .unwrap();
+        assert_eq!(out[0].value().as_i64(), Some(3));
+    }
+}

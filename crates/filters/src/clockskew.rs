@@ -1,0 +1,250 @@
+//! `filter::clock_skew` — tree-based clock-skew detection (§2.2).
+//!
+//! Paradyn used an MRNet filter to estimate, for every daemon, the offset
+//! of its clock relative to the front-end, composing per-link estimates up
+//! the tree instead of having the front-end probe every host directly.
+//!
+//! Protocol reproduced here: each back-end reports its local clock reading
+//! (`F64` seconds). Every communication process, on receiving a wave,
+//! estimates each child's skew as `child_report_time - local_now` and
+//! *composes* it with the skews that child already computed for its own
+//! subtree. The output packet carries the accumulated `(rank, skew)` table
+//! plus this process's own clock reading for the next level up:
+//!
+//! `Tuple[ F64 local_clock, ArrayI64 ranks, ArrayF64 skews ]`
+//!
+//! The one-way delay is absorbed into the estimate exactly as in the real
+//! algorithm's single-sample mode; tests inject synthetic clocks so the
+//! recovered offsets are exact.
+
+use tbon_core::{
+    DataValue, FilterContext, Packet, Result, Tag, TbonError, Transformation, Wave,
+};
+
+/// Clock source abstraction so tests (and the discrete-event simulator) can
+/// inject deterministic clocks.
+pub trait ClockSource: Send {
+    /// This process's local clock, in seconds.
+    fn now(&mut self) -> f64;
+}
+
+/// Wall-clock source used in real networks.
+pub struct SystemClock {
+    epoch: std::time::Instant,
+    /// Constant offset added to model a skewed host (testing/simulation).
+    pub offset: f64,
+}
+
+impl SystemClock {
+    pub fn new() -> SystemClock {
+        SystemClock {
+            epoch: std::time::Instant::now(),
+            offset: 0.0,
+        }
+    }
+
+    pub fn with_offset(offset: f64) -> SystemClock {
+        SystemClock {
+            epoch: std::time::Instant::now(),
+            offset,
+        }
+    }
+}
+
+impl Default for SystemClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ClockSource for SystemClock {
+    fn now(&mut self) -> f64 {
+        self.epoch.elapsed().as_secs_f64() + self.offset
+    }
+}
+
+/// A skew report: the reporter's clock and its subtree's skew table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SkewReport {
+    pub local_clock: f64,
+    pub ranks: Vec<i64>,
+    pub skews: Vec<f64>,
+}
+
+impl SkewReport {
+    pub fn to_value(&self) -> DataValue {
+        DataValue::Tuple(vec![
+            DataValue::F64(self.local_clock),
+            DataValue::ArrayI64(self.ranks.clone()),
+            DataValue::ArrayF64(self.skews.clone()),
+        ])
+    }
+
+    pub fn from_value(v: &DataValue) -> Result<SkewReport> {
+        let t = v
+            .as_tuple()
+            .ok_or_else(|| TbonError::Filter("skew report must be a tuple".into()))?;
+        match (
+            t.first().and_then(DataValue::as_f64),
+            t.get(1).and_then(DataValue::as_array_i64),
+            t.get(2).and_then(DataValue::as_array_f64),
+        ) {
+            (Some(local_clock), Some(ranks), Some(skews)) if ranks.len() == skews.len() => {
+                Ok(SkewReport {
+                    local_clock,
+                    ranks: ranks.to_vec(),
+                    skews: skews.to_vec(),
+                })
+            }
+            _ => Err(TbonError::Filter("malformed skew report".into())),
+        }
+    }
+}
+
+/// The skew-composition filter.
+pub struct ClockSkew {
+    clock: Box<dyn ClockSource>,
+}
+
+impl ClockSkew {
+    pub fn new(clock: Box<dyn ClockSource>) -> ClockSkew {
+        ClockSkew { clock }
+    }
+
+    pub fn system() -> ClockSkew {
+        ClockSkew::new(Box::new(SystemClock::new()))
+    }
+}
+
+impl Transformation for ClockSkew {
+    fn transform(&mut self, wave: Wave, ctx: &mut FilterContext) -> Result<Vec<Packet>> {
+        let tag = wave.first().map(|p| p.tag()).unwrap_or(Tag(0));
+        let now = self.clock.now();
+        let mut ranks: Vec<i64> = Vec::new();
+        let mut skews: Vec<f64> = Vec::new();
+        for p in &wave {
+            match p.value() {
+                // A bare clock reading from a back-end.
+                DataValue::F64(child_clock) => {
+                    ranks.push(p.origin().0 as i64);
+                    skews.push(child_clock - now);
+                }
+                // A composed report from a lower communication process:
+                // every entry shifts by that child's own skew vs. us.
+                other => {
+                    let report = SkewReport::from_value(other)?;
+                    let child_skew = report.local_clock - now;
+                    ranks.push(p.origin().0 as i64);
+                    skews.push(child_skew);
+                    for (r, s) in report.ranks.iter().zip(&report.skews) {
+                        ranks.push(*r);
+                        skews.push(s + child_skew);
+                    }
+                }
+            }
+        }
+        let report = SkewReport {
+            local_clock: now,
+            ranks,
+            skews,
+        };
+        Ok(vec![ctx.make(tag, report.to_value())])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tbon_core::{Rank, StreamId};
+
+    /// Deterministic clock: always reads the configured value.
+    struct FixedClock(f64);
+    impl ClockSource for FixedClock {
+        fn now(&mut self) -> f64 {
+            self.0
+        }
+    }
+
+    fn pkt(rank: u32, v: DataValue) -> Packet {
+        Packet::new(StreamId(1), Tag(0), Rank(rank), v)
+    }
+
+    fn run(f: &mut ClockSkew, wave: Wave) -> SkewReport {
+        let mut c = FilterContext::new(StreamId(1), Rank(0), false, 2);
+        let out = f.transform(wave, &mut c).unwrap();
+        SkewReport::from_value(out[0].value()).unwrap()
+    }
+
+    #[test]
+    fn single_level_skew_is_clock_difference() {
+        // Our clock reads 100; children report 103 and 98.
+        let mut f = ClockSkew::new(Box::new(FixedClock(100.0)));
+        let report = run(
+            &mut f,
+            vec![pkt(1, DataValue::F64(103.0)), pkt(2, DataValue::F64(98.0))],
+        );
+        assert_eq!(report.local_clock, 100.0);
+        assert_eq!(report.ranks, vec![1, 2]);
+        assert_eq!(report.skews, vec![3.0, -2.0]);
+    }
+
+    #[test]
+    fn skews_compose_across_levels() {
+        // Internal node B (clock 50) hears leaf 7 (clock 53): skew(7 vs B)=3.
+        let mut at_b = ClockSkew::new(Box::new(FixedClock(50.0)));
+        let b_report = run(&mut at_b, vec![pkt(7, DataValue::F64(53.0))]);
+        assert_eq!(b_report.skews, vec![3.0]);
+
+        // Root (clock 40) hears B's report (B's clock 50): skew(B vs root)=10,
+        // therefore skew(7 vs root) = 3 + 10 = 13.
+        let mut at_root = ClockSkew::new(Box::new(FixedClock(40.0)));
+        let root_report = run(&mut at_root, vec![pkt(2, b_report.to_value())]);
+        assert_eq!(root_report.ranks, vec![2, 7]);
+        assert_eq!(root_report.skews, vec![10.0, 13.0]);
+    }
+
+    #[test]
+    fn three_level_composition_recovers_true_offsets() {
+        // True offsets relative to root: B=+5, leaves 3,4 = +7, -1.
+        // All clocks read at "true time" 1000.
+        let mut at_b = ClockSkew::new(Box::new(FixedClock(1005.0)));
+        let b_report = run(
+            &mut at_b,
+            vec![pkt(3, DataValue::F64(1007.0)), pkt(4, DataValue::F64(999.0))],
+        );
+        let mut at_root = ClockSkew::new(Box::new(FixedClock(1000.0)));
+        let root = run(&mut at_root, vec![pkt(1, b_report.to_value())]);
+        let table: std::collections::HashMap<i64, f64> =
+            root.ranks.iter().copied().zip(root.skews.iter().copied()).collect();
+        assert_eq!(table[&1], 5.0);
+        assert_eq!(table[&3], 7.0);
+        assert_eq!(table[&4], -1.0);
+    }
+
+    #[test]
+    fn malformed_report_rejected() {
+        let mut f = ClockSkew::new(Box::new(FixedClock(0.0)));
+        let mut c = FilterContext::new(StreamId(1), Rank(0), false, 1);
+        let bad = DataValue::Tuple(vec![DataValue::F64(1.0)]);
+        assert!(f.transform(vec![pkt(1, bad)], &mut c).is_err());
+    }
+
+    #[test]
+    fn report_value_roundtrip() {
+        let r = SkewReport {
+            local_clock: 12.5,
+            ranks: vec![1, 2, 3],
+            skews: vec![0.1, -0.2, 0.3],
+        };
+        assert_eq!(SkewReport::from_value(&r.to_value()).unwrap(), r);
+    }
+
+    #[test]
+    fn system_clock_advances_and_offsets() {
+        let mut c = SystemClock::with_offset(100.0);
+        let a = c.now();
+        assert!(a >= 100.0);
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        assert!(c.now() > a);
+    }
+}

@@ -1,0 +1,240 @@
+//! `builtin::concat` — gather instead of reduce.
+//!
+//! Concatenation is the MRNet built-in used when the front-end needs every
+//! back-end's data, just batched: output size grows with the subtree, so it
+//! trades the reduction property for completeness. Dense arrays concatenate
+//! into dense arrays; anything else gathers into a tuple, flattening tuples
+//! produced by lower-level concat instances so the root sees one flat list.
+
+use tbon_core::{
+    DataValue, FilterContext, Packet, Result, Tag, TbonError, Transformation, Wave,
+};
+
+/// See module docs.
+pub struct Concat;
+
+impl Transformation for Concat {
+    fn transform(&mut self, wave: Wave, ctx: &mut FilterContext) -> Result<Vec<Packet>> {
+        let tag = wave.first().map(|p| p.tag()).unwrap_or(Tag(0));
+        if wave.is_empty() {
+            return Ok(vec![ctx.make(tag, DataValue::Tuple(Vec::new()))]);
+        }
+        let all_f64 = wave
+            .iter()
+            .all(|p| matches!(p.value(), DataValue::ArrayF64(_)));
+        if all_f64 {
+            let mut out = Vec::new();
+            for p in &wave {
+                out.extend_from_slice(p.value().as_array_f64().expect("checked"));
+            }
+            return Ok(vec![ctx.make(tag, DataValue::ArrayF64(out))]);
+        }
+        let all_i64 = wave
+            .iter()
+            .all(|p| matches!(p.value(), DataValue::ArrayI64(_)));
+        if all_i64 {
+            let mut out = Vec::new();
+            for p in &wave {
+                out.extend_from_slice(p.value().as_array_i64().expect("checked"));
+            }
+            return Ok(vec![ctx.make(tag, DataValue::ArrayI64(out))]);
+        }
+        let all_bytes = wave
+            .iter()
+            .all(|p| matches!(p.value(), DataValue::Bytes(_)));
+        if all_bytes {
+            let mut out = Vec::new();
+            for p in &wave {
+                out.extend_from_slice(p.value().as_bytes().expect("checked"));
+            }
+            return Ok(vec![ctx.make(tag, DataValue::Bytes(out))]);
+        }
+        // General gather: flatten nested tuples from lower concat levels.
+        let mut out: Vec<DataValue> = Vec::with_capacity(wave.len());
+        for p in wave {
+            match p.into_value() {
+                DataValue::Tuple(items) => out.extend(items),
+                v => out.push(v),
+            }
+        }
+        Ok(vec![ctx.make(tag, DataValue::Tuple(out))])
+    }
+}
+
+/// `builtin::concat_keyed` — like concat, but wraps each gathered leaf value
+/// in a `(origin_rank, value)` pair so the front-end knows who sent what.
+/// Lower-level outputs (already keyed tuples) are flattened untouched.
+pub struct ConcatKeyed;
+
+impl ConcatKeyed {
+    fn is_keyed_pair(v: &DataValue) -> bool {
+        v.as_tuple().is_some_and(|t| {
+            t.len() == 2 && matches!(t[0], DataValue::U64(_))
+        })
+    }
+}
+
+impl Transformation for ConcatKeyed {
+    fn transform(&mut self, wave: Wave, ctx: &mut FilterContext) -> Result<Vec<Packet>> {
+        let tag = wave.first().map(|p| p.tag()).unwrap_or(Tag(0));
+        let mut out: Vec<DataValue> = Vec::with_capacity(wave.len());
+        for p in wave {
+            let origin = p.origin();
+            match p.into_value() {
+                // Output of a lower-level ConcatKeyed: a tuple of keyed
+                // pairs. Flatten it.
+                DataValue::Tuple(items)
+                    if !items.is_empty() && items.iter().all(Self::is_keyed_pair) =>
+                {
+                    out.extend(items);
+                }
+                v => out.push(DataValue::Tuple(vec![
+                    DataValue::U64(origin.0 as u64),
+                    v,
+                ])),
+            }
+        }
+        if out.iter().any(|v| !Self::is_keyed_pair(v)) {
+            return Err(TbonError::Filter(
+                "concat_keyed produced a non-keyed entry".into(),
+            ));
+        }
+        Ok(vec![ctx.make(tag, DataValue::Tuple(out))])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tbon_core::{Rank, StreamId};
+
+    fn pkt_from(rank: u32, v: DataValue) -> Packet {
+        Packet::new(StreamId(1), Tag(0), Rank(rank), v)
+    }
+
+    fn run(f: &mut dyn Transformation, wave: Wave) -> DataValue {
+        let mut c = FilterContext::new(StreamId(1), Rank(0), false, 2);
+        let out = f.transform(wave, &mut c).unwrap();
+        out[0].value().clone()
+    }
+
+    #[test]
+    fn dense_f64_arrays_concatenate() {
+        let v = run(
+            &mut Concat,
+            vec![
+                pkt_from(1, DataValue::ArrayF64(vec![1.0, 2.0])),
+                pkt_from(2, DataValue::ArrayF64(vec![3.0])),
+            ],
+        );
+        assert_eq!(v, DataValue::ArrayF64(vec![1.0, 2.0, 3.0]));
+    }
+
+    #[test]
+    fn dense_i64_arrays_concatenate() {
+        let v = run(
+            &mut Concat,
+            vec![
+                pkt_from(1, DataValue::ArrayI64(vec![5])),
+                pkt_from(2, DataValue::ArrayI64(vec![6, 7])),
+            ],
+        );
+        assert_eq!(v, DataValue::ArrayI64(vec![5, 6, 7]));
+    }
+
+    #[test]
+    fn bytes_concatenate() {
+        let v = run(
+            &mut Concat,
+            vec![
+                pkt_from(1, DataValue::Bytes(vec![1, 2])),
+                pkt_from(2, DataValue::Bytes(vec![3])),
+            ],
+        );
+        assert_eq!(v, DataValue::Bytes(vec![1, 2, 3]));
+    }
+
+    #[test]
+    fn scalars_gather_into_tuple() {
+        let v = run(
+            &mut Concat,
+            vec![
+                pkt_from(1, DataValue::I64(1)),
+                pkt_from(2, DataValue::from("x")),
+            ],
+        );
+        assert_eq!(
+            v,
+            DataValue::Tuple(vec![DataValue::I64(1), DataValue::from("x")])
+        );
+    }
+
+    #[test]
+    fn nested_tuples_flatten_across_levels() {
+        // Level 1 gathers scalars; level 2 must flatten, not nest.
+        let level1 = run(
+            &mut Concat,
+            vec![
+                pkt_from(3, DataValue::I64(1)),
+                pkt_from(4, DataValue::I64(2)),
+            ],
+        );
+        let v = run(
+            &mut Concat,
+            vec![pkt_from(1, level1), pkt_from(5, DataValue::I64(3))],
+        );
+        assert_eq!(
+            v,
+            DataValue::Tuple(vec![
+                DataValue::I64(1),
+                DataValue::I64(2),
+                DataValue::I64(3)
+            ])
+        );
+    }
+
+    #[test]
+    fn empty_wave_yields_empty_tuple() {
+        assert_eq!(run(&mut Concat, vec![]), DataValue::Tuple(vec![]));
+    }
+
+    #[test]
+    fn keyed_concat_records_origins() {
+        let v = run(
+            &mut ConcatKeyed,
+            vec![
+                pkt_from(7, DataValue::F64(0.5)),
+                pkt_from(9, DataValue::F64(1.5)),
+            ],
+        );
+        assert_eq!(
+            v,
+            DataValue::Tuple(vec![
+                DataValue::Tuple(vec![DataValue::U64(7), DataValue::F64(0.5)]),
+                DataValue::Tuple(vec![DataValue::U64(9), DataValue::F64(1.5)]),
+            ])
+        );
+    }
+
+    #[test]
+    fn keyed_concat_flattens_lower_levels() {
+        let level1 = run(
+            &mut ConcatKeyed,
+            vec![
+                pkt_from(3, DataValue::I64(30)),
+                pkt_from(4, DataValue::I64(40)),
+            ],
+        );
+        let v = run(
+            &mut ConcatKeyed,
+            vec![pkt_from(1, level1), pkt_from(5, DataValue::I64(50))],
+        );
+        let t = v.as_tuple().unwrap();
+        assert_eq!(t.len(), 3);
+        let origins: Vec<u64> = t
+            .iter()
+            .map(|e| e.as_tuple().unwrap()[0].as_u64().unwrap())
+            .collect();
+        assert_eq!(origins, vec![3, 4, 5]);
+    }
+}

@@ -1,0 +1,309 @@
+//! Equivalence-class computation — the workhorse filter behind the paper's
+//! Paradyn integration (§2.2) and the general clustering mapping of Figure 2.
+//!
+//! Back-ends report values (metric catalogs, error strings, host
+//! configurations, ...). At every level, identical values merge into one
+//! class carrying the list of member ranks, so the front-end receives each
+//! distinct value exactly once no matter how many thousand back-ends sent
+//! it. This is what cut Paradyn's 512-daemon startup from over a minute to
+//! under 20 seconds.
+//!
+//! Wire form of a class set: `Tuple[ Tuple[value, ArrayI64 members], ... ]`.
+//! Raw leaf packets (any value) are lifted into singleton classes keyed by
+//! their origin rank.
+//!
+//! Two modes, selected by the factory parameter:
+//! * `"wave"` (default) — classes are per wave; every wave reports afresh.
+//! * `"cumulative"` — persistent state suppresses classes whose value was
+//!   already reported upstream; only *new* values (with their new members)
+//!   flow up. This is the redundancy-suppression mode.
+
+use std::collections::HashMap;
+
+use tbon_core::{
+    DataValue, FilterContext, Packet, Result, Tag, TbonError, Transformation, Wave,
+};
+
+/// Stable string key for grouping values. Uses the codec bytes so equality
+/// is exact structural equality.
+fn value_key(v: &DataValue) -> Vec<u8> {
+    tbon_core::codec::encode_value_to_vec(v)
+}
+
+/// One equivalence class: a representative value and its member ranks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EquivClass {
+    pub value: DataValue,
+    pub members: Vec<i64>,
+}
+
+impl EquivClass {
+    fn to_value(&self) -> DataValue {
+        DataValue::Tuple(vec![
+            self.value.clone(),
+            DataValue::ArrayI64(self.members.clone()),
+        ])
+    }
+
+    fn from_value(v: &DataValue) -> Option<EquivClass> {
+        let t = v.as_tuple()?;
+        if t.len() != 2 {
+            return None;
+        }
+        let members = t[1].as_array_i64()?.to_vec();
+        Some(EquivClass {
+            value: t[0].clone(),
+            members,
+        })
+    }
+}
+
+/// Parse a class-set packet, or lift a raw leaf value into a singleton.
+fn classes_of_packet(p: &Packet) -> Vec<EquivClass> {
+    if let Some(entries) = p.value().as_tuple() {
+        let parsed: Option<Vec<EquivClass>> =
+            entries.iter().map(EquivClass::from_value).collect();
+        if let Some(classes) = parsed {
+            if !entries.is_empty() {
+                return classes;
+            }
+        }
+    }
+    vec![EquivClass {
+        value: p.value().clone(),
+        members: vec![p.origin().0 as i64],
+    }]
+}
+
+/// Encode a class set for the wire. Deterministic ordering (sorted by key)
+/// so results are reproducible regardless of arrival order.
+pub fn encode_classes(mut classes: Vec<EquivClass>) -> DataValue {
+    classes.sort_by_key(|a| value_key(&a.value));
+    for c in &mut classes {
+        c.members.sort_unstable();
+        c.members.dedup();
+    }
+    DataValue::Tuple(classes.iter().map(EquivClass::to_value).collect())
+}
+
+/// Decode a class set at the front-end.
+pub fn decode_classes(v: &DataValue) -> Result<Vec<EquivClass>> {
+    let entries = v
+        .as_tuple()
+        .ok_or_else(|| TbonError::Filter("class set must be a tuple".into()))?;
+    entries
+        .iter()
+        .map(|e| {
+            EquivClass::from_value(e)
+                .ok_or_else(|| TbonError::Filter("malformed class entry".into()))
+        })
+        .collect()
+}
+
+/// Merge classes from many packets into one canonical set.
+fn merge(wave: &Wave) -> Vec<EquivClass> {
+    let mut by_key: HashMap<Vec<u8>, EquivClass> = HashMap::new();
+    for p in wave {
+        for class in classes_of_packet(p) {
+            let key = value_key(&class.value);
+            by_key
+                .entry(key)
+                .and_modify(|c| c.members.extend_from_slice(&class.members))
+                .or_insert(class);
+        }
+    }
+    by_key.into_values().collect()
+}
+
+/// `filter::equivalence` — see module docs.
+pub struct Equivalence {
+    /// In cumulative mode, the value keys already reported upstream.
+    seen: Option<HashMap<Vec<u8>, ()>>,
+}
+
+impl Equivalence {
+    /// Per-wave classes (no suppression).
+    pub fn per_wave() -> Equivalence {
+        Equivalence { seen: None }
+    }
+
+    /// Cumulative mode: suppress values already reported by this process.
+    pub fn cumulative() -> Equivalence {
+        Equivalence {
+            seen: Some(HashMap::new()),
+        }
+    }
+
+    /// Factory from a parameter value (`"wave"` default, `"cumulative"`).
+    pub fn from_params(params: &DataValue) -> Result<Equivalence> {
+        match params {
+            DataValue::Unit => Ok(Equivalence::per_wave()),
+            DataValue::Str(s) if s == "wave" => Ok(Equivalence::per_wave()),
+            DataValue::Str(s) if s == "cumulative" => Ok(Equivalence::cumulative()),
+            other => Err(TbonError::Filter(format!(
+                "equivalence params must be \"wave\" or \"cumulative\", got {other}"
+            ))),
+        }
+    }
+}
+
+impl Transformation for Equivalence {
+    fn transform(&mut self, wave: Wave, ctx: &mut FilterContext) -> Result<Vec<Packet>> {
+        let tag = wave.first().map(|p| p.tag()).unwrap_or(Tag(0));
+        let mut classes = merge(&wave);
+        if let Some(seen) = &mut self.seen {
+            classes.retain(|c| seen.insert(value_key(&c.value), ()).is_none());
+            if classes.is_empty() {
+                // Nothing new: suppress the packet entirely.
+                return Ok(Vec::new());
+            }
+        }
+        Ok(vec![ctx.make(tag, encode_classes(classes))])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tbon_core::{Rank, StreamId};
+
+    fn pkt(rank: u32, v: DataValue) -> Packet {
+        Packet::new(StreamId(1), Tag(0), Rank(rank), v)
+    }
+
+    fn run(f: &mut Equivalence, wave: Wave) -> Vec<Packet> {
+        let mut c = FilterContext::new(StreamId(1), Rank(0), false, 4);
+        f.transform(wave, &mut c).unwrap()
+    }
+
+    #[test]
+    fn identical_leaf_values_merge_into_one_class() {
+        let mut f = Equivalence::per_wave();
+        let out = run(
+            &mut f,
+            vec![
+                pkt(1, DataValue::from("libc-2.31")),
+                pkt(2, DataValue::from("libc-2.31")),
+                pkt(3, DataValue::from("libc-2.32")),
+            ],
+        );
+        let classes = decode_classes(out[0].value()).unwrap();
+        assert_eq!(classes.len(), 2);
+        let big = classes
+            .iter()
+            .find(|c| c.value == DataValue::from("libc-2.31"))
+            .unwrap();
+        assert_eq!(big.members, vec![1, 2]);
+    }
+
+    #[test]
+    fn classes_merge_across_levels() {
+        let mut f = Equivalence::per_wave();
+        // Two internal nodes each produce a class set; the parent merges.
+        let left = run(
+            &mut f,
+            vec![pkt(1, DataValue::from("A")), pkt(2, DataValue::from("A"))],
+        )
+        .remove(0);
+        let right = run(
+            &mut f,
+            vec![pkt(3, DataValue::from("A")), pkt(4, DataValue::from("B"))],
+        )
+        .remove(0);
+        let out = run(
+            &mut f,
+            vec![
+                pkt(10, left.value().clone()),
+                pkt(11, right.value().clone()),
+            ],
+        );
+        let classes = decode_classes(out[0].value()).unwrap();
+        assert_eq!(classes.len(), 2);
+        let a = classes
+            .iter()
+            .find(|c| c.value == DataValue::from("A"))
+            .unwrap();
+        assert_eq!(a.members, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn encoding_is_deterministic_regardless_of_order() {
+        let c1 = encode_classes(vec![
+            EquivClass {
+                value: DataValue::from("x"),
+                members: vec![3, 1],
+            },
+            EquivClass {
+                value: DataValue::from("y"),
+                members: vec![2],
+            },
+        ]);
+        let c2 = encode_classes(vec![
+            EquivClass {
+                value: DataValue::from("y"),
+                members: vec![2],
+            },
+            EquivClass {
+                value: DataValue::from("x"),
+                members: vec![1, 3, 3],
+            },
+        ]);
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn cumulative_mode_suppresses_repeats() {
+        let mut f = Equivalence::cumulative();
+        let out1 = run(&mut f, vec![pkt(1, DataValue::from("same"))]);
+        assert_eq!(out1.len(), 1);
+        // Same value again (from another backend): fully suppressed.
+        let out2 = run(&mut f, vec![pkt(2, DataValue::from("same"))]);
+        assert!(out2.is_empty());
+        // A new value passes.
+        let out3 = run(
+            &mut f,
+            vec![pkt(3, DataValue::from("same")), pkt(4, DataValue::from("new"))],
+        );
+        let classes = decode_classes(out3[0].value()).unwrap();
+        assert_eq!(classes.len(), 1);
+        assert_eq!(classes[0].value, DataValue::from("new"));
+    }
+
+    #[test]
+    fn tuple_leaf_values_are_not_mistaken_for_class_sets() {
+        // A raw tuple that does NOT parse as a class set must be lifted into
+        // a singleton class, not destructured.
+        let raw = DataValue::Tuple(vec![DataValue::I64(1), DataValue::I64(2)]);
+        let mut f = Equivalence::per_wave();
+        let out = run(&mut f, vec![pkt(6, raw.clone())]);
+        let classes = decode_classes(out[0].value()).unwrap();
+        assert_eq!(classes.len(), 1);
+        assert_eq!(classes[0].value, raw);
+        assert_eq!(classes[0].members, vec![6]);
+    }
+
+    #[test]
+    fn from_params_validates() {
+        assert!(Equivalence::from_params(&DataValue::Unit).is_ok());
+        assert!(Equivalence::from_params(&DataValue::from("wave")).is_ok());
+        assert!(Equivalence::from_params(&DataValue::from("cumulative")).is_ok());
+        assert!(Equivalence::from_params(&DataValue::from("bogus")).is_err());
+        assert!(Equivalence::from_params(&DataValue::I64(1)).is_err());
+    }
+
+    #[test]
+    fn reduction_factor_on_redundant_input() {
+        // 64 backends, 2 distinct values: output is 2 classes, not 64.
+        let mut f = Equivalence::per_wave();
+        let wave: Wave = (0..64)
+            .map(|i| pkt(i, DataValue::from(if i % 2 == 0 { "even" } else { "odd" })))
+            .collect();
+        let out = run(&mut f, wave);
+        let classes = decode_classes(out[0].value()).unwrap();
+        assert_eq!(classes.len(), 2);
+        assert_eq!(
+            classes.iter().map(|c| c.members.len()).sum::<usize>(),
+            64
+        );
+    }
+}

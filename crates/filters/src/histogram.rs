@@ -1,0 +1,239 @@
+//! `filter::histogram` — distributed data histograms (§2.2 lists these
+//! among the complex tree-based computations TBONs support).
+//!
+//! Back-ends send raw samples (`ArrayF64`); every communication process
+//! bins whatever raw samples appear in the wave and element-wise sums the
+//! already-binned `ArrayI64` counts from lower levels. The result at the
+//! front-end is the exact global histogram at logarithmic cost.
+
+use tbon_core::{
+    DataValue, FilterContext, Packet, Result, Tag, TbonError, Transformation, Wave,
+};
+
+/// Fixed-width binning configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistogramSpec {
+    pub min: f64,
+    pub max: f64,
+    pub bins: usize,
+}
+
+impl HistogramSpec {
+    /// Factory parameter form: `Tuple[F64 min, F64 max, U64 bins]`.
+    pub fn from_params(params: &DataValue) -> Result<HistogramSpec> {
+        let t = params
+            .as_tuple()
+            .ok_or_else(|| TbonError::Filter("histogram wants (min, max, bins)".into()))?;
+        let (Some(min), Some(max), Some(bins)) = (
+            t.first().and_then(DataValue::as_f64),
+            t.get(1).and_then(DataValue::as_f64),
+            t.get(2).and_then(DataValue::as_u64),
+        ) else {
+            return Err(TbonError::Filter(
+                "histogram wants (F64 min, F64 max, U64 bins)".into(),
+            ));
+        };
+        // `min < max` must hold and reject NaNs; the negated form is
+        // deliberate (NaN makes the comparison false).
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        if !(min < max) || bins == 0 {
+            return Err(TbonError::Filter(format!(
+                "invalid histogram spec: min={min} max={max} bins={bins}"
+            )));
+        }
+        Ok(HistogramSpec {
+            min,
+            max,
+            bins: bins as usize,
+        })
+    }
+
+    pub fn to_params(self) -> DataValue {
+        DataValue::Tuple(vec![
+            DataValue::F64(self.min),
+            DataValue::F64(self.max),
+            DataValue::U64(self.bins as u64),
+        ])
+    }
+
+    /// Bin index for a sample; out-of-range samples clamp to edge bins
+    /// (matching how monitoring histograms avoid dropping outliers).
+    pub fn bin_of(&self, x: f64) -> usize {
+        if x.is_nan() {
+            return 0;
+        }
+        let w = (self.max - self.min) / self.bins as f64;
+        let idx = ((x - self.min) / w).floor();
+        idx.clamp(0.0, (self.bins - 1) as f64) as usize
+    }
+
+    /// Bin raw samples into counts.
+    pub fn bin(&self, samples: &[f64]) -> Vec<i64> {
+        let mut counts = vec![0i64; self.bins];
+        for &x in samples {
+            counts[self.bin_of(x)] += 1;
+        }
+        counts
+    }
+}
+
+/// The histogram merge filter.
+pub struct Histogram {
+    spec: HistogramSpec,
+}
+
+impl Histogram {
+    pub fn new(spec: HistogramSpec) -> Histogram {
+        Histogram { spec }
+    }
+}
+
+impl Transformation for Histogram {
+    fn transform(&mut self, wave: Wave, ctx: &mut FilterContext) -> Result<Vec<Packet>> {
+        let tag = wave.first().map(|p| p.tag()).unwrap_or(Tag(0));
+        let mut counts = vec![0i64; self.spec.bins];
+        for p in &wave {
+            match p.value() {
+                DataValue::ArrayF64(samples) => {
+                    for &x in samples {
+                        counts[self.spec.bin_of(x)] += 1;
+                    }
+                }
+                DataValue::ArrayI64(partial) => {
+                    if partial.len() != self.spec.bins {
+                        return Err(TbonError::Filter(format!(
+                            "partial histogram has {} bins, expected {}",
+                            partial.len(),
+                            self.spec.bins
+                        )));
+                    }
+                    for (c, p) in counts.iter_mut().zip(partial) {
+                        *c += p;
+                    }
+                }
+                DataValue::F64(x) => counts[self.spec.bin_of(*x)] += 1,
+                other => {
+                    return Err(TbonError::Filter(format!(
+                        "histogram cannot bin {}",
+                        other.type_name()
+                    )))
+                }
+            }
+        }
+        Ok(vec![ctx.make(tag, DataValue::ArrayI64(counts))])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tbon_core::{Rank, StreamId};
+
+    fn pkt(v: DataValue) -> Packet {
+        Packet::new(StreamId(1), Tag(0), Rank(1), v)
+    }
+
+    fn spec() -> HistogramSpec {
+        HistogramSpec {
+            min: 0.0,
+            max: 10.0,
+            bins: 5,
+        }
+    }
+
+    fn run(f: &mut Histogram, wave: Wave) -> Vec<i64> {
+        let mut c = FilterContext::new(StreamId(1), Rank(0), false, 2);
+        let out = f.transform(wave, &mut c).unwrap();
+        out[0].value().as_array_i64().unwrap().to_vec()
+    }
+
+    #[test]
+    fn bins_raw_samples() {
+        let mut f = Histogram::new(spec());
+        let counts = run(
+            &mut f,
+            vec![pkt(DataValue::ArrayF64(vec![0.5, 1.0, 3.0, 9.9]))],
+        );
+        assert_eq!(counts, vec![2, 1, 0, 0, 1]);
+    }
+
+    #[test]
+    fn out_of_range_clamps_to_edges() {
+        let mut f = Histogram::new(spec());
+        let counts = run(&mut f, vec![pkt(DataValue::ArrayF64(vec![-5.0, 50.0]))]);
+        assert_eq!(counts, vec![1, 0, 0, 0, 1]);
+    }
+
+    #[test]
+    fn merges_partial_counts_with_raw_samples() {
+        let mut f = Histogram::new(spec());
+        let counts = run(
+            &mut f,
+            vec![
+                pkt(DataValue::ArrayI64(vec![1, 1, 1, 1, 1])),
+                pkt(DataValue::ArrayF64(vec![2.5])),
+                pkt(DataValue::F64(2.5)),
+            ],
+        );
+        assert_eq!(counts, vec![1, 3, 1, 1, 1]);
+    }
+
+    #[test]
+    fn two_level_merge_equals_flat_binning() {
+        let all: Vec<f64> = (0..100).map(|i| (i as f64) / 10.0).collect();
+        let s = spec();
+        let flat = s.bin(&all);
+
+        let mut f = Histogram::new(s);
+        let left = run(
+            &mut f,
+            vec![pkt(DataValue::ArrayF64(all[..50].to_vec()))],
+        );
+        let right = run(
+            &mut f,
+            vec![pkt(DataValue::ArrayF64(all[50..].to_vec()))],
+        );
+        let merged = run(
+            &mut f,
+            vec![pkt(DataValue::ArrayI64(left)), pkt(DataValue::ArrayI64(right))],
+        );
+        assert_eq!(merged, flat);
+    }
+
+    #[test]
+    fn wrong_bin_count_rejected() {
+        let mut f = Histogram::new(spec());
+        let mut c = FilterContext::new(StreamId(1), Rank(0), false, 2);
+        assert!(f
+            .transform(vec![pkt(DataValue::ArrayI64(vec![1, 2]))], &mut c)
+            .is_err());
+    }
+
+    #[test]
+    fn params_roundtrip_and_validation() {
+        let s = spec();
+        assert_eq!(HistogramSpec::from_params(&s.to_params()).unwrap(), s);
+        assert!(HistogramSpec::from_params(&DataValue::Unit).is_err());
+        assert!(HistogramSpec::from_params(
+            &DataValue::Tuple(vec![
+                DataValue::F64(1.0),
+                DataValue::F64(1.0),
+                DataValue::U64(4)
+            ])
+        )
+        .is_err());
+        assert!(HistogramSpec::from_params(
+            &DataValue::Tuple(vec![
+                DataValue::F64(0.0),
+                DataValue::F64(1.0),
+                DataValue::U64(0)
+            ])
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn nan_goes_to_first_bin() {
+        assert_eq!(spec().bin_of(f64::NAN), 0);
+    }
+}

@@ -1,0 +1,184 @@
+//! # tbon-filters — the built-in TBON filter library
+//!
+//! Implements the transformation filters the paper names:
+//!
+//! * the MRNet built-ins (§2.2): [`aggregate::Sum`], [`aggregate::Min`],
+//!   [`aggregate::Max`], [`aggregate::Average`], [`aggregate::Count`],
+//!   [`concat::Concat`];
+//! * the complex tree computations (§2.2–2.3): equivalence classes
+//!   ([`equivalence::Equivalence`]), clock-skew detection
+//!   ([`clockskew::ClockSkew`]), time-aligned aggregation
+//!   ([`timealign::TimeAlign`]), data histograms ([`histogram::Histogram`])
+//!   and the sub-graph folding algorithm ([`sgfa::Sgfa`]);
+//! * the "super filter" chaining workaround ([`chain::ChainFilter`]).
+//!
+//! All are registered by name into a [`FilterRegistry`] via
+//! [`builtin_registry`]; streams reference them as e.g.
+//! `StreamSpec::all().transformation("builtin::sum")`.
+//!
+//! Filters are ordinary values and can be exercised without a network:
+//!
+//! ```
+//! use tbon_core::{DataValue, FilterContext, Packet, Rank, StreamId, Tag};
+//! use tbon_filters::builtin_registry;
+//!
+//! let registry = builtin_registry();
+//! let mut sum = registry
+//!     .create_transformation("builtin::sum", &DataValue::Unit)
+//!     .unwrap();
+//! let wave = vec![
+//!     Packet::new(StreamId(1), Tag(0), Rank(1), DataValue::I64(2)),
+//!     Packet::new(StreamId(1), Tag(0), Rank(2), DataValue::I64(40)),
+//! ];
+//! let mut ctx = FilterContext::new(StreamId(1), Rank(0), true, 2);
+//! let out = sum.transform(wave, &mut ctx).unwrap();
+//! assert_eq!(out[0].value().as_i64(), Some(42));
+//! ```
+
+pub mod aggregate;
+pub mod chain;
+pub mod clockskew;
+pub mod concat;
+pub mod equivalence;
+pub mod histogram;
+pub mod sample;
+pub mod sgfa;
+pub mod stats;
+pub mod timealign;
+pub mod topk;
+
+use std::sync::Arc;
+
+use tbon_core::FilterRegistry;
+
+pub use chain::ChainFilter;
+pub use clockskew::{ClockSkew, ClockSource, SkewReport, SystemClock};
+pub use equivalence::{decode_classes, encode_classes, EquivClass, Equivalence};
+pub use histogram::{Histogram, HistogramSpec};
+pub use sample::{Decimate, SetUnion};
+pub use sgfa::{decode_composites, fold, FoldedNode, Sgfa};
+pub use stats::{Stats, StatsReport, Summary};
+pub use timealign::{align_sum, TimeAlign, TimeSeries};
+pub use topk::{decode_topk, Scored, TopK};
+
+/// All filter names this crate registers, for discovery and tests.
+pub const BUILTIN_TRANSFORMATIONS: &[&str] = &[
+    "builtin::sum",
+    "builtin::min",
+    "builtin::max",
+    "builtin::avg",
+    "builtin::count",
+    "builtin::concat",
+    "builtin::concat_keyed",
+    "filter::equivalence",
+    "filter::clock_skew",
+    "filter::histogram",
+    "filter::time_align",
+    "filter::sgfa",
+    "filter::chain",
+    "filter::stats",
+    "filter::top_k",
+    "filter::decimate",
+    "filter::set_union",
+];
+
+/// Register every filter of this crate onto an existing registry.
+/// `filter::chain` needs the registry to be behind an `Arc` so it can look
+/// up its stages; use [`builtin_registry`] unless composing registries.
+pub fn register_builtins(registry: &Arc<FilterRegistry>) {
+    registry.register_transformation("builtin::sum", |_| Ok(Box::new(aggregate::Sum)));
+    registry.register_transformation("builtin::min", |_| Ok(Box::new(aggregate::Min)));
+    registry.register_transformation("builtin::max", |_| Ok(Box::new(aggregate::Max)));
+    registry.register_transformation("builtin::avg", |_| Ok(Box::new(aggregate::Average)));
+    registry.register_transformation("builtin::count", |_| Ok(Box::new(aggregate::Count)));
+    registry.register_transformation("builtin::concat", |_| Ok(Box::new(concat::Concat)));
+    registry
+        .register_transformation("builtin::concat_keyed", |_| Ok(Box::new(concat::ConcatKeyed)));
+    registry.register_transformation("filter::equivalence", |params| {
+        Ok(Box::new(Equivalence::from_params(params)?))
+    });
+    registry
+        .register_transformation("filter::clock_skew", |_| Ok(Box::new(ClockSkew::system())));
+    registry.register_transformation("filter::histogram", |params| {
+        Ok(Box::new(Histogram::new(HistogramSpec::from_params(params)?)))
+    });
+    registry.register_transformation("filter::time_align", |params| {
+        Ok(Box::new(TimeAlign::from_params(params)?))
+    });
+    registry.register_transformation("filter::sgfa", |_| Ok(Box::new(Sgfa)));
+    registry.register_transformation("filter::stats", |_| Ok(Box::new(Stats)));
+    registry.register_transformation("filter::top_k", |params| {
+        Ok(Box::new(TopK::from_params(params)?))
+    });
+    registry.register_transformation("filter::decimate", |params| {
+        Ok(Box::new(Decimate::from_params(params)?))
+    });
+    registry.register_transformation("filter::set_union", |_| Ok(Box::new(SetUnion)));
+    chain::register_chain(registry);
+}
+
+/// A fresh registry with the core built-ins (identity + synchronization
+/// filters) plus everything in this crate.
+pub fn builtin_registry() -> Arc<FilterRegistry> {
+    let registry = Arc::new(FilterRegistry::new());
+    register_builtins(&registry);
+    registry
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tbon_core::DataValue;
+
+    #[test]
+    fn every_advertised_filter_is_registered() {
+        let reg = builtin_registry();
+        for name in BUILTIN_TRANSFORMATIONS {
+            assert!(
+                reg.has_transformation(name),
+                "{name} missing from registry"
+            );
+        }
+        // Core built-ins survive too.
+        assert!(reg.has_transformation("core::identity"));
+        assert!(reg.has_synchronization("sync::wait_for_all"));
+    }
+
+    #[test]
+    fn parameterless_filters_instantiate() {
+        let reg = builtin_registry();
+        for name in [
+            "builtin::sum",
+            "builtin::min",
+            "builtin::max",
+            "builtin::avg",
+            "builtin::count",
+            "builtin::concat",
+            "builtin::concat_keyed",
+            "filter::equivalence",
+            "filter::clock_skew",
+            "filter::sgfa",
+            "filter::stats",
+            "filter::set_union",
+        ] {
+            assert!(
+                reg.create_transformation(name, &DataValue::Unit).is_ok(),
+                "{name} failed to instantiate with Unit params"
+            );
+        }
+    }
+
+    #[test]
+    fn parameterized_filters_validate_params() {
+        let reg = builtin_registry();
+        assert!(reg
+            .create_transformation("filter::histogram", &DataValue::Unit)
+            .is_err());
+        assert!(reg
+            .create_transformation("filter::time_align", &DataValue::Unit)
+            .is_err());
+        assert!(reg
+            .create_transformation("filter::time_align", &DataValue::F64(0.5))
+            .is_ok());
+    }
+}

@@ -1,0 +1,197 @@
+//! Flow-thinning filters: `filter::decimate` and `filter::set_union`.
+//!
+//! Two lightweight reductions that keep high-rate monitoring flows inside
+//! a bandwidth budget:
+//!
+//! * [`Decimate`] forwards only every Nth wave (persistent filter state at
+//!   work — the packet counter survives across executions, as §2.1's
+//!   stateful filter abstraction intends);
+//! * [`SetUnion`] forwards each distinct value once per wave, without the
+//!   membership bookkeeping of the full equivalence-class filter — the
+//!   cheapest summary that still answers "what values exist out there?".
+
+use std::collections::HashSet;
+
+use tbon_core::{
+    DataValue, FilterContext, Packet, Result, Tag, TbonError, Transformation, Wave,
+};
+
+/// Forward every `n`th wave, concatenated into one packet; suppress the
+/// rest entirely.
+pub struct Decimate {
+    n: u64,
+    seen: u64,
+}
+
+impl Decimate {
+    pub fn new(n: u64) -> Result<Decimate> {
+        if n == 0 {
+            return Err(TbonError::Filter("decimate wants n >= 1".into()));
+        }
+        Ok(Decimate { n, seen: 0 })
+    }
+
+    pub fn from_params(params: &DataValue) -> Result<Decimate> {
+        let n = params
+            .as_u64()
+            .ok_or_else(|| TbonError::Filter("decimate wants U64 n".into()))?;
+        Decimate::new(n)
+    }
+}
+
+impl Transformation for Decimate {
+    fn transform(&mut self, wave: Wave, ctx: &mut FilterContext) -> Result<Vec<Packet>> {
+        self.seen += 1;
+        if !self.seen.is_multiple_of(self.n) {
+            return Ok(Vec::new());
+        }
+        let tag = wave.first().map(|p| p.tag()).unwrap_or(Tag(0));
+        let items: Vec<DataValue> = wave.into_iter().map(Packet::into_value).collect();
+        Ok(vec![ctx.make(tag, DataValue::Tuple(items))])
+    }
+}
+
+/// Forward the set of distinct values in the wave (flattening tuple sets
+/// from lower levels). Output: a tuple of distinct values, deterministic
+/// order (sorted by encoding).
+pub struct SetUnion;
+
+impl Transformation for SetUnion {
+    fn transform(&mut self, wave: Wave, ctx: &mut FilterContext) -> Result<Vec<Packet>> {
+        let tag = wave.first().map(|p| p.tag()).unwrap_or(Tag(0));
+        let mut seen: HashSet<Vec<u8>> = HashSet::new();
+        let mut out: Vec<DataValue> = Vec::new();
+        let add = |v: DataValue, seen: &mut HashSet<Vec<u8>>, out: &mut Vec<DataValue>| {
+            let key = tbon_core::codec::encode_value_to_vec(&v);
+            if seen.insert(key) {
+                out.push(v);
+            }
+        };
+        for p in wave {
+            match p.into_value() {
+                // A set from a lower level: flatten.
+                DataValue::Tuple(items) => {
+                    for v in items {
+                        add(v, &mut seen, &mut out);
+                    }
+                }
+                v => add(v, &mut seen, &mut out),
+            }
+        }
+        out.sort_by_key(tbon_core::codec::encode_value_to_vec);
+        Ok(vec![ctx.make(tag, DataValue::Tuple(out))])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tbon_core::{Rank, StreamId};
+
+    fn pkt(v: DataValue) -> Packet {
+        Packet::new(StreamId(1), Tag(0), Rank(1), v)
+    }
+
+    fn ctx() -> FilterContext {
+        FilterContext::new(StreamId(1), Rank(0), false, 2)
+    }
+
+    #[test]
+    fn decimate_passes_every_nth_wave() {
+        let mut f = Decimate::new(3).unwrap();
+        let mut c = ctx();
+        let mut forwarded = 0;
+        for _ in 0..9 {
+            let out = f
+                .transform(vec![pkt(DataValue::I64(1))], &mut c)
+                .unwrap();
+            forwarded += out.len();
+        }
+        assert_eq!(forwarded, 3);
+    }
+
+    #[test]
+    fn decimate_one_is_passthrough() {
+        let mut f = Decimate::new(1).unwrap();
+        let mut c = ctx();
+        for _ in 0..5 {
+            assert_eq!(
+                f.transform(vec![pkt(DataValue::I64(1))], &mut c)
+                    .unwrap()
+                    .len(),
+                1
+            );
+        }
+    }
+
+    #[test]
+    fn decimate_params_validated() {
+        assert!(Decimate::from_params(&DataValue::U64(0)).is_err());
+        assert!(Decimate::from_params(&DataValue::Unit).is_err());
+    }
+
+    #[test]
+    fn set_union_dedups_within_wave() {
+        let mut f = SetUnion;
+        let mut c = ctx();
+        let out = f
+            .transform(
+                vec![
+                    pkt(DataValue::from("a")),
+                    pkt(DataValue::from("b")),
+                    pkt(DataValue::from("a")),
+                ],
+                &mut c,
+            )
+            .unwrap();
+        let set = out[0].value().as_tuple().unwrap();
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn set_union_flattens_lower_levels() {
+        let mut f = SetUnion;
+        let mut c = ctx();
+        let left = f
+            .transform(
+                vec![pkt(DataValue::from("x")), pkt(DataValue::from("y"))],
+                &mut c,
+            )
+            .unwrap()
+            .remove(0);
+        let right = f
+            .transform(
+                vec![pkt(DataValue::from("y")), pkt(DataValue::from("z"))],
+                &mut c,
+            )
+            .unwrap()
+            .remove(0);
+        let merged = f
+            .transform(
+                vec![pkt(left.value().clone()), pkt(right.value().clone())],
+                &mut c,
+            )
+            .unwrap();
+        let set = merged[0].value().as_tuple().unwrap();
+        assert_eq!(set.len(), 3);
+    }
+
+    #[test]
+    fn set_union_output_is_deterministic() {
+        let mut f = SetUnion;
+        let mut c = ctx();
+        let a = f
+            .transform(
+                vec![pkt(DataValue::I64(2)), pkt(DataValue::I64(1))],
+                &mut c,
+            )
+            .unwrap();
+        let b = f
+            .transform(
+                vec![pkt(DataValue::I64(1)), pkt(DataValue::I64(2))],
+                &mut c,
+            )
+            .unwrap();
+        assert_eq!(a[0].value(), b[0].value());
+    }
+}

@@ -1,0 +1,321 @@
+//! `filter::sgfa` — the Sub-Graph Folding Algorithm (§2.2, citing Roth &
+//! Miller's distributed performance consultant).
+//!
+//! Each back-end reports a rooted, labeled tree (in Paradyn: the subtree of
+//! the performance-search graph it explored). The filter folds trees of
+//! "similar qualitative structure" into one composite: nodes with equal
+//! labels at the same position merge, and each merged node tracks how many
+//! hosts contributed it. The front-end receives one composite graph whose
+//! size is governed by the number of *distinct* behaviours, not the number
+//! of hosts — the same scalability argument as equivalence classes, lifted
+//! to graphs.
+//!
+//! Wire form of a folded tree node:
+//! `Tuple[ Str label, U64 host_count, Tuple[children...] ]`.
+//! A raw back-end tree is the same shape with `host_count = 1` on every
+//! node.
+
+use std::collections::BTreeMap;
+
+use tbon_core::{
+    DataValue, FilterContext, Packet, Result, Tag, TbonError, Transformation, Wave,
+};
+
+/// A folded (or raw) labeled tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FoldedNode {
+    pub label: String,
+    pub hosts: u64,
+    pub children: Vec<FoldedNode>,
+}
+
+impl FoldedNode {
+    /// A raw single-host node.
+    pub fn leaf(label: impl Into<String>) -> FoldedNode {
+        FoldedNode {
+            label: label.into(),
+            hosts: 1,
+            children: Vec::new(),
+        }
+    }
+
+    /// A raw single-host node with children.
+    pub fn branch(label: impl Into<String>, children: Vec<FoldedNode>) -> FoldedNode {
+        FoldedNode {
+            label: label.into(),
+            hosts: 1,
+            children,
+        }
+    }
+
+    pub fn to_value(&self) -> DataValue {
+        DataValue::Tuple(vec![
+            DataValue::Str(self.label.clone()),
+            DataValue::U64(self.hosts),
+            DataValue::Tuple(self.children.iter().map(FoldedNode::to_value).collect()),
+        ])
+    }
+
+    pub fn from_value(v: &DataValue) -> Result<FoldedNode> {
+        let t = v
+            .as_tuple()
+            .ok_or_else(|| TbonError::Filter("folded node must be a tuple".into()))?;
+        let (Some(label), Some(hosts), Some(children)) = (
+            t.first().and_then(DataValue::as_str),
+            t.get(1).and_then(DataValue::as_u64),
+            t.get(2).and_then(DataValue::as_tuple),
+        ) else {
+            return Err(TbonError::Filter("malformed folded node".into()));
+        };
+        Ok(FoldedNode {
+            label: label.to_owned(),
+            hosts,
+            children: children
+                .iter()
+                .map(FoldedNode::from_value)
+                .collect::<Result<Vec<_>>>()?,
+        })
+    }
+
+    /// Total node count of this subtree (composite size metric).
+    pub fn size(&self) -> usize {
+        1 + self.children.iter().map(FoldedNode::size).sum::<usize>()
+    }
+
+    /// Find a direct child by label.
+    pub fn child(&self, label: &str) -> Option<&FoldedNode> {
+        self.children.iter().find(|c| c.label == label)
+    }
+
+    /// Canonicalize: sort children by label recursively so structurally
+    /// equal graphs compare equal.
+    fn canonicalize(&mut self) {
+        for c in &mut self.children {
+            c.canonicalize();
+        }
+        self.children.sort_by(|a, b| a.label.cmp(&b.label));
+    }
+}
+
+/// Fold a set of same-root trees into one composite. Trees whose root
+/// labels differ stay separate composites (returned in label order).
+pub fn fold(trees: &[FoldedNode]) -> Vec<FoldedNode> {
+    let mut by_label: BTreeMap<String, FoldedNode> = BTreeMap::new();
+    for tree in trees {
+        match by_label.get_mut(&tree.label) {
+            None => {
+                let mut t = tree.clone();
+                t.canonicalize();
+                by_label.insert(tree.label.clone(), t);
+            }
+            Some(composite) => fold_into(composite, tree),
+        }
+    }
+    by_label.into_values().collect()
+}
+
+fn fold_into(composite: &mut FoldedNode, tree: &FoldedNode) {
+    debug_assert_eq!(composite.label, tree.label);
+    composite.hosts += tree.hosts;
+    for child in &tree.children {
+        match composite
+            .children
+            .iter_mut()
+            .find(|c| c.label == child.label)
+        {
+            Some(existing) => fold_into(existing, child),
+            None => {
+                let mut c = child.clone();
+                c.canonicalize();
+                // Keep children sorted to preserve canonical form.
+                let pos = composite
+                    .children
+                    .binary_search_by(|probe| probe.label.cmp(&c.label))
+                    .unwrap_err();
+                composite.children.insert(pos, c);
+            }
+        }
+    }
+}
+
+/// The folding filter. Inputs: raw or already-folded trees (one per
+/// packet, or a tuple of several composites from a lower level). Output:
+/// one packet with a tuple of composites.
+pub struct Sgfa;
+
+fn trees_of_packet(p: &Packet) -> Result<Vec<FoldedNode>> {
+    // A packet either carries one tree, or a tuple of trees (lower-level
+    // SGFA output). Try the single-tree parse first.
+    if let Ok(t) = FoldedNode::from_value(p.value()) {
+        return Ok(vec![t]);
+    }
+    let entries = p
+        .value()
+        .as_tuple()
+        .ok_or_else(|| TbonError::Filter("sgfa input is not a tree".into()))?;
+    entries.iter().map(FoldedNode::from_value).collect()
+}
+
+impl Transformation for Sgfa {
+    fn transform(&mut self, wave: Wave, ctx: &mut FilterContext) -> Result<Vec<Packet>> {
+        let tag = wave.first().map(|p| p.tag()).unwrap_or(Tag(0));
+        let mut all: Vec<FoldedNode> = Vec::new();
+        for p in &wave {
+            all.extend(trees_of_packet(p)?);
+        }
+        let folded = fold(&all);
+        Ok(vec![ctx.make(
+            tag,
+            DataValue::Tuple(folded.iter().map(FoldedNode::to_value).collect()),
+        )])
+    }
+}
+
+/// Decode the filter's output at the front-end.
+pub fn decode_composites(v: &DataValue) -> Result<Vec<FoldedNode>> {
+    v.as_tuple()
+        .ok_or_else(|| TbonError::Filter("composite set must be a tuple".into()))?
+        .iter()
+        .map(FoldedNode::from_value)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tbon_core::{Rank, StreamId};
+
+    fn host_tree(extra: Option<&str>) -> FoldedNode {
+        // main -> { compute -> {kernel}, io }
+        let mut compute = FoldedNode::branch("compute", vec![FoldedNode::leaf("kernel")]);
+        if let Some(label) = extra {
+            compute.children.push(FoldedNode::leaf(label));
+        }
+        FoldedNode::branch("main", vec![compute, FoldedNode::leaf("io")])
+    }
+
+    #[test]
+    fn identical_trees_fold_to_one_with_host_counts() {
+        let folded = fold(&[host_tree(None), host_tree(None), host_tree(None)]);
+        assert_eq!(folded.len(), 1);
+        let root = &folded[0];
+        assert_eq!(root.hosts, 3);
+        assert_eq!(root.child("compute").unwrap().hosts, 3);
+        assert_eq!(
+            root.child("compute").unwrap().child("kernel").unwrap().hosts,
+            3
+        );
+        assert_eq!(root.size(), 4);
+    }
+
+    #[test]
+    fn divergent_subtrees_remain_distinct() {
+        let folded = fold(&[host_tree(None), host_tree(Some("cache_miss"))]);
+        let root = &folded[0];
+        assert_eq!(root.hosts, 2);
+        let compute = root.child("compute").unwrap();
+        assert_eq!(compute.hosts, 2);
+        assert_eq!(compute.child("kernel").unwrap().hosts, 2);
+        // Only one host explored "cache_miss".
+        assert_eq!(compute.child("cache_miss").unwrap().hosts, 1);
+    }
+
+    #[test]
+    fn different_roots_stay_separate() {
+        let folded = fold(&[host_tree(None), FoldedNode::leaf("other_program")]);
+        assert_eq!(folded.len(), 2);
+    }
+
+    #[test]
+    fn folding_is_associative_across_levels() {
+        let trees = vec![
+            host_tree(None),
+            host_tree(Some("a")),
+            host_tree(Some("b")),
+            host_tree(None),
+        ];
+        let flat = fold(&trees);
+        let left = fold(&trees[..2]);
+        let right = fold(&trees[2..]);
+        let two_level = fold(&[left, right].concat());
+        assert_eq!(flat, two_level);
+    }
+
+    #[test]
+    fn filter_folds_wave_of_packets() {
+        let mut f = Sgfa;
+        let mut c = FilterContext::new(StreamId(1), Rank(0), false, 2);
+        let wave = vec![
+            Packet::new(StreamId(1), Tag(0), Rank(1), host_tree(None).to_value()),
+            Packet::new(StreamId(1), Tag(0), Rank(2), host_tree(None).to_value()),
+        ];
+        let out = f.transform(wave, &mut c).unwrap();
+        let composites = decode_composites(out[0].value()).unwrap();
+        assert_eq!(composites.len(), 1);
+        assert_eq!(composites[0].hosts, 2);
+    }
+
+    #[test]
+    fn lower_level_composites_fold_further() {
+        let mut f = Sgfa;
+        let mut c = FilterContext::new(StreamId(1), Rank(0), false, 2);
+        // First level folds two hosts each.
+        let level1a = f
+            .transform(
+                vec![
+                    Packet::new(StreamId(1), Tag(0), Rank(1), host_tree(None).to_value()),
+                    Packet::new(StreamId(1), Tag(0), Rank(2), host_tree(None).to_value()),
+                ],
+                &mut c,
+            )
+            .unwrap()
+            .remove(0);
+        let level1b = f
+            .transform(
+                vec![
+                    Packet::new(StreamId(1), Tag(0), Rank(3), host_tree(None).to_value()),
+                    Packet::new(
+                        StreamId(1),
+                        Tag(0),
+                        Rank(4),
+                        host_tree(Some("x")).to_value(),
+                    ),
+                ],
+                &mut c,
+            )
+            .unwrap()
+            .remove(0);
+        let out = f.transform(vec![level1a, level1b], &mut c).unwrap();
+        let composites = decode_composites(out[0].value()).unwrap();
+        assert_eq!(composites.len(), 1);
+        assert_eq!(composites[0].hosts, 4);
+        assert_eq!(
+            composites[0]
+                .child("compute")
+                .unwrap()
+                .child("x")
+                .unwrap()
+                .hosts,
+            1
+        );
+    }
+
+    #[test]
+    fn composite_size_grows_with_distinct_behaviours_not_hosts() {
+        // 100 hosts, 2 behaviours: composite stays at the size of 2 trees.
+        let trees: Vec<FoldedNode> = (0..100)
+            .map(|i| host_tree(if i % 2 == 0 { None } else { Some("slow") }))
+            .collect();
+        let folded = fold(&trees);
+        assert_eq!(folded.len(), 1);
+        assert_eq!(folded[0].hosts, 100);
+        assert_eq!(folded[0].size(), 5); // main, compute, kernel, slow, io
+    }
+
+    #[test]
+    fn value_roundtrip() {
+        let t = host_tree(Some("z"));
+        assert_eq!(FoldedNode::from_value(&t.to_value()).unwrap(), t);
+        assert!(FoldedNode::from_value(&DataValue::I64(3)).is_err());
+    }
+}

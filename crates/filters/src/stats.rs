@@ -1,0 +1,271 @@
+//! `filter::stats` — distributed moments: count, mean, variance, min, max
+//! in one pass.
+//!
+//! Generalizes the paper's `avg` example: each level combines partial
+//! `(count, sum, sum-of-squares, min, max)` summaries, which compose
+//! exactly (Chan et al. style), so the front-end gets exact fleet-wide
+//! statistics at logarithmic cost. Internal levels exchange the summary
+//! tuple; the root emits a `(count, mean, variance, min, max)` record.
+
+use tbon_core::{
+    DataValue, FilterContext, Packet, Result, Tag, TbonError, Transformation, Wave,
+};
+
+/// A composable running summary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    pub count: u64,
+    pub sum: f64,
+    pub sum_sq: f64,
+    pub min: f64,
+    pub max: f64,
+}
+
+impl Summary {
+    pub fn empty() -> Summary {
+        Summary {
+            count: 0,
+            sum: 0.0,
+            sum_sq: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    pub fn of_value(x: f64) -> Summary {
+        Summary {
+            count: 1,
+            sum: x,
+            sum_sq: x * x,
+            min: x,
+            max: x,
+        }
+    }
+
+    pub fn of_samples(xs: &[f64]) -> Summary {
+        xs.iter().fold(Summary::empty(), |a, &x| {
+            a.combine(&Summary::of_value(x))
+        })
+    }
+
+    /// Exact combination of two partial summaries.
+    pub fn combine(&self, other: &Summary) -> Summary {
+        Summary {
+            count: self.count + other.count,
+            sum: self.sum + other.sum,
+            sum_sq: self.sum_sq + other.sum_sq,
+            min: self.min.min(other.min),
+            max: self.max.max(other.max),
+        }
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Population variance.
+    pub fn variance(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            let m = self.mean();
+            (self.sum_sq / self.count as f64 - m * m).max(0.0)
+        }
+    }
+
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    fn to_value(self) -> DataValue {
+        DataValue::Tuple(vec![
+            DataValue::U64(self.count),
+            DataValue::F64(self.sum),
+            DataValue::F64(self.sum_sq),
+            DataValue::F64(self.min),
+            DataValue::F64(self.max),
+        ])
+    }
+
+    fn from_value(v: &DataValue) -> Option<Summary> {
+        let t = v.as_tuple()?;
+        if t.len() != 5 {
+            return None;
+        }
+        Some(Summary {
+            count: t[0].as_u64()?,
+            sum: t[1].as_f64()?,
+            sum_sq: t[2].as_f64()?,
+            min: t[3].as_f64()?,
+            max: t[4].as_f64()?,
+        })
+    }
+}
+
+/// The final record the root reports.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StatsReport {
+    pub count: u64,
+    pub mean: f64,
+    pub variance: f64,
+    pub min: f64,
+    pub max: f64,
+}
+
+impl StatsReport {
+    pub fn from_value(v: &DataValue) -> Result<StatsReport> {
+        let t = v
+            .as_tuple()
+            .ok_or_else(|| TbonError::Filter("stats report must be a tuple".into()))?;
+        match (
+            t.first().and_then(DataValue::as_u64),
+            t.get(1).and_then(DataValue::as_f64),
+            t.get(2).and_then(DataValue::as_f64),
+            t.get(3).and_then(DataValue::as_f64),
+            t.get(4).and_then(DataValue::as_f64),
+        ) {
+            (Some(count), Some(mean), Some(variance), Some(min), Some(max)) => {
+                Ok(StatsReport {
+                    count,
+                    mean,
+                    variance,
+                    min,
+                    max,
+                })
+            }
+            _ => Err(TbonError::Filter("malformed stats report".into())),
+        }
+    }
+}
+
+/// The moments filter. Accepts raw scalars, raw `ArrayF64` sample batches,
+/// and partial summaries from lower levels.
+pub struct Stats;
+
+impl Transformation for Stats {
+    fn transform(&mut self, wave: Wave, ctx: &mut FilterContext) -> Result<Vec<Packet>> {
+        let tag = wave.first().map(|p| p.tag()).unwrap_or(Tag(0));
+        let mut acc = Summary::empty();
+        for p in &wave {
+            let part = match p.value() {
+                DataValue::ArrayF64(xs) => Summary::of_samples(xs),
+                v => {
+                    if let Some(s) = Summary::from_value(v) {
+                        s
+                    } else if let Some(x) = v.as_number() {
+                        Summary::of_value(x)
+                    } else {
+                        return Err(TbonError::Filter(format!(
+                            "stats cannot summarize {}",
+                            v.type_name()
+                        )));
+                    }
+                }
+            };
+            acc = acc.combine(&part);
+        }
+        let out = if ctx.is_root {
+            DataValue::Tuple(vec![
+                DataValue::U64(acc.count),
+                DataValue::F64(acc.mean()),
+                DataValue::F64(acc.variance()),
+                DataValue::F64(acc.min),
+                DataValue::F64(acc.max),
+            ])
+        } else {
+            acc.to_value()
+        };
+        Ok(vec![ctx.make(tag, out)])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tbon_core::{Rank, StreamId};
+
+    fn pkt(v: DataValue) -> Packet {
+        Packet::new(StreamId(1), Tag(0), Rank(1), v)
+    }
+
+    fn run(wave: Wave, is_root: bool) -> DataValue {
+        let mut f = Stats;
+        let mut c = FilterContext::new(StreamId(1), Rank(0), is_root, 2);
+        f.transform(wave, &mut c).unwrap()[0].value().clone()
+    }
+
+    #[test]
+    fn summary_combination_is_exact() {
+        let xs: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let flat = Summary::of_samples(&xs);
+        let split = Summary::of_samples(&xs[..37]).combine(&Summary::of_samples(&xs[37..]));
+        assert_eq!(flat, split);
+        assert_eq!(flat.count, 100);
+        assert!((flat.mean() - 49.5).abs() < 1e-12);
+        // Known population variance of 0..99.
+        assert!((flat.variance() - 833.25).abs() < 1e-9);
+        assert_eq!(flat.min, 0.0);
+        assert_eq!(flat.max, 99.0);
+    }
+
+    #[test]
+    fn two_level_tree_equals_flat() {
+        // Leaves: batches of samples. Internal: summaries. Root: report.
+        let level1a = run(
+            vec![pkt(DataValue::ArrayF64(vec![1.0, 2.0, 3.0]))],
+            false,
+        );
+        let level1b = run(vec![pkt(DataValue::ArrayF64(vec![10.0, 20.0]))], false);
+        let report_v = run(vec![pkt(level1a), pkt(level1b)], true);
+        let report = StatsReport::from_value(&report_v).unwrap();
+        let all = Summary::of_samples(&[1.0, 2.0, 3.0, 10.0, 20.0]);
+        assert_eq!(report.count, 5);
+        assert!((report.mean - all.mean()).abs() < 1e-12);
+        assert!((report.variance - all.variance()).abs() < 1e-9);
+        assert_eq!(report.min, 1.0);
+        assert_eq!(report.max, 20.0);
+    }
+
+    #[test]
+    fn scalars_and_batches_mix() {
+        let out = run(
+            vec![
+                pkt(DataValue::F64(4.0)),
+                pkt(DataValue::I64(6)),
+                pkt(DataValue::ArrayF64(vec![5.0])),
+            ],
+            true,
+        );
+        let report = StatsReport::from_value(&out).unwrap();
+        assert_eq!(report.count, 3);
+        assert!((report.mean - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_root_report_is_nan() {
+        let report = StatsReport::from_value(&run(vec![], true)).unwrap();
+        assert_eq!(report.count, 0);
+        assert!(report.mean.is_nan());
+    }
+
+    #[test]
+    fn non_numeric_rejected() {
+        let mut f = Stats;
+        let mut c = FilterContext::new(StreamId(1), Rank(0), false, 1);
+        assert!(f
+            .transform(vec![pkt(DataValue::from("x"))], &mut c)
+            .is_err());
+    }
+
+    #[test]
+    fn variance_never_negative() {
+        // Catastrophic cancellation guard: identical large values.
+        let s = Summary::of_samples(&[1e9; 50]);
+        assert!(s.variance() >= 0.0);
+        assert_eq!(s.stddev(), s.variance().sqrt());
+    }
+}

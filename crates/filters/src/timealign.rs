@@ -1,0 +1,240 @@
+//! `filter::time_align` — time-aligned data aggregation (§2.2).
+//!
+//! Performance tools sample metrics as time series that arrive from
+//! different hosts with different start times. Summing them naively
+//! misattributes load; the MRNet approach aligns series onto a common
+//! sampling grid inside the tree and sums only overlapping bins.
+//!
+//! Series wire form: `Tuple[ F64 t0, F64 dt, ArrayF64 samples ]` where
+//! sample `i` covers `[t0 + i*dt, t0 + (i+1)*dt)`. All series on a stream
+//! must share `dt` (the factory parameter); `t0` may differ by any
+//! multiple-or-fraction of `dt` — bins are aligned by rounding
+//! `t0/dt` to the nearest grid index.
+
+use tbon_core::{
+    DataValue, FilterContext, Packet, Result, Tag, TbonError, Transformation, Wave,
+};
+
+/// One fixed-rate time series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimeSeries {
+    pub t0: f64,
+    pub dt: f64,
+    pub samples: Vec<f64>,
+}
+
+impl TimeSeries {
+    pub fn to_value(&self) -> DataValue {
+        DataValue::Tuple(vec![
+            DataValue::F64(self.t0),
+            DataValue::F64(self.dt),
+            DataValue::ArrayF64(self.samples.clone()),
+        ])
+    }
+
+    pub fn from_value(v: &DataValue) -> Result<TimeSeries> {
+        let t = v
+            .as_tuple()
+            .ok_or_else(|| TbonError::Filter("time series must be a tuple".into()))?;
+        match (
+            t.first().and_then(DataValue::as_f64),
+            t.get(1).and_then(DataValue::as_f64),
+            t.get(2).and_then(DataValue::as_array_f64),
+        ) {
+            (Some(t0), Some(dt), Some(samples)) if dt > 0.0 => Ok(TimeSeries {
+                t0,
+                dt,
+                samples: samples.to_vec(),
+            }),
+            _ => Err(TbonError::Filter("malformed time series".into())),
+        }
+    }
+
+    /// Grid index of this series' first bin.
+    fn start_index(&self, dt: f64) -> i64 {
+        (self.t0 / dt).round() as i64
+    }
+}
+
+/// Align and sum every series in the wave onto one grid.
+pub fn align_sum(series: &[TimeSeries], dt: f64) -> Result<TimeSeries> {
+    if series.is_empty() {
+        return Ok(TimeSeries {
+            t0: 0.0,
+            dt,
+            samples: Vec::new(),
+        });
+    }
+    for s in series {
+        if (s.dt - dt).abs() > dt * 1e-9 {
+            return Err(TbonError::Filter(format!(
+                "series dt {} does not match stream dt {}",
+                s.dt, dt
+            )));
+        }
+    }
+    let start = series
+        .iter()
+        .map(|s| s.start_index(dt))
+        .min()
+        .expect("non-empty");
+    let end = series
+        .iter()
+        .map(|s| s.start_index(dt) + s.samples.len() as i64)
+        .max()
+        .expect("non-empty");
+    let mut samples = vec![0.0f64; (end - start).max(0) as usize];
+    for s in series {
+        let offset = (s.start_index(dt) - start) as usize;
+        for (i, &x) in s.samples.iter().enumerate() {
+            samples[offset + i] += x;
+        }
+    }
+    Ok(TimeSeries {
+        t0: start as f64 * dt,
+        dt,
+        samples,
+    })
+}
+
+/// The alignment filter.
+pub struct TimeAlign {
+    dt: f64,
+}
+
+impl TimeAlign {
+    pub fn new(dt: f64) -> Result<TimeAlign> {
+        // Negated on purpose: NaN must be rejected too.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        if !(dt > 0.0) {
+            return Err(TbonError::Filter(format!("time_align dt must be > 0, got {dt}")));
+        }
+        Ok(TimeAlign { dt })
+    }
+
+    pub fn from_params(params: &DataValue) -> Result<TimeAlign> {
+        let dt = params
+            .as_f64()
+            .ok_or_else(|| TbonError::Filter("time_align wants F64 dt".into()))?;
+        TimeAlign::new(dt)
+    }
+}
+
+impl Transformation for TimeAlign {
+    fn transform(&mut self, wave: Wave, ctx: &mut FilterContext) -> Result<Vec<Packet>> {
+        let tag = wave.first().map(|p| p.tag()).unwrap_or(Tag(0));
+        let series: Result<Vec<TimeSeries>> =
+            wave.iter().map(|p| TimeSeries::from_value(p.value())).collect();
+        let merged = align_sum(&series?, self.dt)?;
+        Ok(vec![ctx.make(tag, merged.to_value())])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tbon_core::{Rank, StreamId};
+
+    fn ts(t0: f64, samples: Vec<f64>) -> TimeSeries {
+        TimeSeries {
+            t0,
+            dt: 1.0,
+            samples,
+        }
+    }
+
+    #[test]
+    fn aligned_series_sum_elementwise() {
+        let merged = align_sum(
+            &[ts(0.0, vec![1.0, 2.0]), ts(0.0, vec![10.0, 20.0])],
+            1.0,
+        )
+        .unwrap();
+        assert_eq!(merged.t0, 0.0);
+        assert_eq!(merged.samples, vec![11.0, 22.0]);
+    }
+
+    #[test]
+    fn shifted_series_overlap_only_where_they_overlap() {
+        // Series A covers [0,3), B covers [2,5): overlap at bin 2.
+        let merged = align_sum(
+            &[ts(0.0, vec![1.0, 1.0, 1.0]), ts(2.0, vec![5.0, 5.0, 5.0])],
+            1.0,
+        )
+        .unwrap();
+        assert_eq!(merged.t0, 0.0);
+        assert_eq!(merged.samples, vec![1.0, 1.0, 6.0, 5.0, 5.0]);
+    }
+
+    #[test]
+    fn disjoint_series_zero_fill_the_gap() {
+        let merged = align_sum(&[ts(0.0, vec![1.0]), ts(3.0, vec![2.0])], 1.0).unwrap();
+        assert_eq!(merged.samples, vec![1.0, 0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn near_grid_t0_snaps_to_nearest_bin() {
+        let a = TimeSeries {
+            t0: 1.0001,
+            dt: 1.0,
+            samples: vec![7.0],
+        };
+        let merged = align_sum(&[a, ts(0.0, vec![1.0, 1.0])], 1.0).unwrap();
+        assert_eq!(merged.samples, vec![1.0, 8.0]);
+    }
+
+    #[test]
+    fn mismatched_dt_rejected() {
+        let bad = TimeSeries {
+            t0: 0.0,
+            dt: 0.5,
+            samples: vec![1.0],
+        };
+        assert!(align_sum(&[bad], 1.0).is_err());
+    }
+
+    #[test]
+    fn two_level_merge_matches_flat_merge() {
+        let a = ts(0.0, vec![1.0, 2.0, 3.0]);
+        let b = ts(1.0, vec![10.0, 10.0]);
+        let c = ts(2.0, vec![100.0]);
+        let flat = align_sum(&[a.clone(), b.clone(), c.clone()], 1.0).unwrap();
+        let left = align_sum(&[a, b], 1.0).unwrap();
+        let two_level = align_sum(&[left, c], 1.0).unwrap();
+        assert_eq!(flat, two_level);
+    }
+
+    #[test]
+    fn filter_end_to_end_via_packets() {
+        let mut f = TimeAlign::new(1.0).unwrap();
+        let mut c = FilterContext::new(StreamId(1), Rank(0), false, 2);
+        let wave = vec![
+            Packet::new(StreamId(1), Tag(0), Rank(1), ts(0.0, vec![1.0]).to_value()),
+            Packet::new(StreamId(1), Tag(0), Rank(2), ts(1.0, vec![2.0]).to_value()),
+        ];
+        let out = f.transform(wave, &mut c).unwrap();
+        let merged = TimeSeries::from_value(out[0].value()).unwrap();
+        assert_eq!(merged.samples, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn params_validation() {
+        assert!(TimeAlign::from_params(&DataValue::F64(0.1)).is_ok());
+        assert!(TimeAlign::from_params(&DataValue::F64(0.0)).is_err());
+        assert!(TimeAlign::from_params(&DataValue::Unit).is_err());
+    }
+
+    #[test]
+    fn empty_wave_yields_empty_series() {
+        let merged = align_sum(&[], 2.0).unwrap();
+        assert!(merged.samples.is_empty());
+        assert_eq!(merged.dt, 2.0);
+    }
+
+    #[test]
+    fn series_value_roundtrip() {
+        let s = ts(3.0, vec![0.5, 0.25]);
+        assert_eq!(TimeSeries::from_value(&s.to_value()).unwrap(), s);
+        assert!(TimeSeries::from_value(&DataValue::Unit).is_err());
+    }
+}

@@ -1,0 +1,193 @@
+//! `filter::top_k` — the k largest keyed values across the fleet.
+//!
+//! The selection analogue of `max`: each back-end reports `(key, score)`
+//! pairs (e.g. hottest functions, busiest hosts); every level keeps only
+//! its local top k, so no node ever handles more than `fanout × k`
+//! entries and the front-end receives the exact global top k.
+//!
+//! Wire form: `Tuple[ Tuple[Str key, F64 score], ... ]`, sorted descending
+//! by score. Raw back-end packets may also be a single pair.
+
+use tbon_core::{
+    DataValue, FilterContext, Packet, Result, Tag, TbonError, Transformation, Wave,
+};
+
+/// One scored entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scored {
+    pub key: String,
+    pub score: f64,
+}
+
+impl Scored {
+    fn to_value(&self) -> DataValue {
+        DataValue::Tuple(vec![
+            DataValue::Str(self.key.clone()),
+            DataValue::F64(self.score),
+        ])
+    }
+
+    fn from_value(v: &DataValue) -> Option<Scored> {
+        let t = v.as_tuple()?;
+        if t.len() != 2 {
+            return None;
+        }
+        Some(Scored {
+            key: t[0].as_str()?.to_owned(),
+            score: t[1].as_f64()?,
+        })
+    }
+}
+
+/// Decode a top-k packet at the front-end.
+pub fn decode_topk(v: &DataValue) -> Result<Vec<Scored>> {
+    v.as_tuple()
+        .ok_or_else(|| TbonError::Filter("top-k payload must be a tuple".into()))?
+        .iter()
+        .map(|e| {
+            Scored::from_value(e).ok_or_else(|| TbonError::Filter("malformed entry".into()))
+        })
+        .collect()
+}
+
+/// The selection filter.
+pub struct TopK {
+    k: usize,
+}
+
+impl TopK {
+    pub fn new(k: usize) -> Result<TopK> {
+        if k == 0 {
+            return Err(TbonError::Filter("top_k wants k >= 1".into()));
+        }
+        Ok(TopK { k })
+    }
+
+    pub fn from_params(params: &DataValue) -> Result<TopK> {
+        let k = params
+            .as_u64()
+            .ok_or_else(|| TbonError::Filter("top_k wants U64 k".into()))?;
+        TopK::new(k as usize)
+    }
+}
+
+impl Transformation for TopK {
+    fn transform(&mut self, wave: Wave, ctx: &mut FilterContext) -> Result<Vec<Packet>> {
+        let tag = wave.first().map(|p| p.tag()).unwrap_or(Tag(0));
+        let mut entries: Vec<Scored> = Vec::new();
+        for p in &wave {
+            // A packet is either one pair or a list of pairs.
+            if let Some(single) = Scored::from_value(p.value()) {
+                entries.push(single);
+                continue;
+            }
+            entries.extend(decode_topk(p.value())?);
+        }
+        // Highest score first; ties broken by key for determinism.
+        entries.sort_by(|a, b| {
+            b.score
+                .total_cmp(&a.score)
+                .then_with(|| a.key.cmp(&b.key))
+        });
+        entries.truncate(self.k);
+        Ok(vec![ctx.make(
+            tag,
+            DataValue::Tuple(entries.iter().map(Scored::to_value).collect()),
+        )])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tbon_core::{Rank, StreamId};
+
+    fn pair(key: &str, score: f64) -> DataValue {
+        DataValue::Tuple(vec![DataValue::from(key), DataValue::F64(score)])
+    }
+
+    fn pkt(v: DataValue) -> Packet {
+        Packet::new(StreamId(1), Tag(0), Rank(1), v)
+    }
+
+    fn run(f: &mut TopK, wave: Wave) -> Vec<Scored> {
+        let mut c = FilterContext::new(StreamId(1), Rank(0), false, 4);
+        let out = f.transform(wave, &mut c).unwrap();
+        decode_topk(out[0].value()).unwrap()
+    }
+
+    #[test]
+    fn keeps_k_largest() {
+        let mut f = TopK::new(2).unwrap();
+        let top = run(
+            &mut f,
+            vec![
+                pkt(pair("a", 1.0)),
+                pkt(pair("b", 5.0)),
+                pkt(pair("c", 3.0)),
+            ],
+        );
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].key, "b");
+        assert_eq!(top[1].key, "c");
+    }
+
+    #[test]
+    fn merges_lower_level_lists() {
+        let mut f = TopK::new(3).unwrap();
+        let left = run(
+            &mut f,
+            vec![pkt(pair("l1", 10.0)), pkt(pair("l2", 8.0))],
+        );
+        let right = run(
+            &mut f,
+            vec![pkt(pair("r1", 9.0)), pkt(pair("r2", 1.0))],
+        );
+        let to_value = |xs: &[Scored]| {
+            DataValue::Tuple(xs.iter().map(Scored::to_value).collect())
+        };
+        let global = run(&mut f, vec![pkt(to_value(&left)), pkt(to_value(&right))]);
+        let keys: Vec<&str> = global.iter().map(|s| s.key.as_str()).collect();
+        assert_eq!(keys, vec!["l1", "r1", "l2"]);
+    }
+
+    #[test]
+    fn two_level_equals_flat() {
+        let entries: Vec<DataValue> = (0..20)
+            .map(|i| pair(&format!("k{i}"), ((i * 7) % 13) as f64))
+            .collect();
+        let mut f = TopK::new(5).unwrap();
+        let flat = run(&mut f, entries.iter().cloned().map(pkt).collect());
+        let left = run(&mut f, entries[..10].iter().cloned().map(pkt).collect());
+        let right = run(&mut f, entries[10..].iter().cloned().map(pkt).collect());
+        let to_value = |xs: &[Scored]| {
+            DataValue::Tuple(xs.iter().map(Scored::to_value).collect())
+        };
+        let two_level = run(&mut f, vec![pkt(to_value(&left)), pkt(to_value(&right))]);
+        assert_eq!(flat, two_level);
+    }
+
+    #[test]
+    fn ties_break_deterministically() {
+        let mut f = TopK::new(2).unwrap();
+        let top = run(
+            &mut f,
+            vec![pkt(pair("zeta", 1.0)), pkt(pair("alpha", 1.0))],
+        );
+        assert_eq!(top[0].key, "alpha");
+    }
+
+    #[test]
+    fn params_validated() {
+        assert!(TopK::from_params(&DataValue::U64(0)).is_err());
+        assert!(TopK::from_params(&DataValue::Unit).is_err());
+        assert!(TopK::from_params(&DataValue::U64(3)).is_ok());
+    }
+
+    #[test]
+    fn malformed_entries_rejected() {
+        let mut f = TopK::new(2).unwrap();
+        let mut c = FilterContext::new(StreamId(1), Rank(0), false, 1);
+        assert!(f.transform(vec![pkt(DataValue::I64(5))], &mut c).is_err());
+    }
+}

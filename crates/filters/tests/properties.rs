@@ -1,0 +1,179 @@
+//! Property-based tests of the filter algebra: the reduction operations
+//! must give the same answer however the tree splits the work
+//! (associativity across levels) — the property that makes TBON
+//! distribution transparent.
+
+use proptest::prelude::*;
+use tbon_core::{DataValue, FilterContext, Packet, Rank, StreamId, Tag, Transformation, Wave};
+use tbon_filters::{
+    decode_classes, decode_topk, fold, Equivalence, FoldedNode, Histogram, HistogramSpec,
+    Scored, Stats, StatsReport, Summary, TopK,
+};
+
+fn pkt(rank: u32, v: DataValue) -> Packet {
+    Packet::new(StreamId(1), Tag(0), Rank(rank), v)
+}
+
+fn run_once(f: &mut dyn Transformation, wave: Wave, is_root: bool) -> DataValue {
+    let mut ctx = FilterContext::new(StreamId(1), Rank(0), is_root, wave.len());
+    let out = f.transform(wave, &mut ctx).unwrap();
+    assert_eq!(out.len(), 1);
+    out[0].value().clone()
+}
+
+/// Apply a filter the "flat" way (one wave) and the "tree" way (split into
+/// two sub-waves whose outputs feed a final wave), and return both results.
+fn flat_vs_tree(
+    make: impl Fn() -> Box<dyn Transformation>,
+    values: &[DataValue],
+    split: usize,
+    root_final: bool,
+) -> (DataValue, DataValue) {
+    let wave = |vals: &[DataValue], base: u32| -> Wave {
+        vals.iter()
+            .enumerate()
+            .map(|(i, v)| pkt(base + i as u32, v.clone()))
+            .collect()
+    };
+    let flat = run_once(&mut *make(), wave(values, 1), root_final);
+    let left = run_once(&mut *make(), wave(&values[..split], 1), false);
+    let right = run_once(&mut *make(), wave(&values[split..], 100), false);
+    let tree = run_once(
+        &mut *make(),
+        vec![pkt(200, left), pkt(201, right)],
+        root_final,
+    );
+    (flat, tree)
+}
+
+proptest! {
+    /// Histogram counts are independent of how the tree splits the samples.
+    #[test]
+    fn histogram_split_invariant(
+        samples in prop::collection::vec(-50.0f64..150.0, 2..60),
+        split_frac in 0.1f64..0.9,
+    ) {
+        let spec = HistogramSpec { min: 0.0, max: 100.0, bins: 10 };
+        let split = ((samples.len() as f64 * split_frac) as usize).clamp(1, samples.len() - 1);
+        let values: Vec<DataValue> = samples
+            .iter()
+            .map(|&x| DataValue::ArrayF64(vec![x]))
+            .collect();
+        let (flat, tree) = flat_vs_tree(
+            || Box::new(Histogram::new(spec)),
+            &values,
+            split,
+            false,
+        );
+        prop_assert_eq!(flat, tree);
+    }
+
+    /// Stats (count/mean/variance/min/max) compose exactly across levels.
+    #[test]
+    fn stats_split_invariant(
+        samples in prop::collection::vec(-1e3f64..1e3, 2..60),
+        split_frac in 0.1f64..0.9,
+    ) {
+        let split = ((samples.len() as f64 * split_frac) as usize).clamp(1, samples.len() - 1);
+        let values: Vec<DataValue> = samples.iter().map(|&x| DataValue::F64(x)).collect();
+        let (flat, tree) = flat_vs_tree(|| Box::new(Stats), &values, split, true);
+        let a = StatsReport::from_value(&flat).unwrap();
+        let b = StatsReport::from_value(&tree).unwrap();
+        prop_assert_eq!(a.count, b.count);
+        prop_assert!((a.mean - b.mean).abs() < 1e-9);
+        prop_assert!((a.variance - b.variance).abs() < 1e-6);
+        prop_assert_eq!(a.min, b.min);
+        prop_assert_eq!(a.max, b.max);
+        // And against a direct computation.
+        let direct = Summary::of_samples(&samples);
+        prop_assert_eq!(a.count as usize, samples.len());
+        prop_assert!((a.mean - direct.mean()).abs() < 1e-9);
+    }
+
+    /// Equivalence classes: member sets are a partition of all reporters,
+    /// independent of tree shape.
+    #[test]
+    fn equivalence_split_invariant(
+        labels in prop::collection::vec(0u8..4, 2..40),
+        split_frac in 0.1f64..0.9,
+    ) {
+        let split = ((labels.len() as f64 * split_frac) as usize).clamp(1, labels.len() - 1);
+        let values: Vec<DataValue> = labels
+            .iter()
+            .map(|l| DataValue::Str(format!("class_{l}")))
+            .collect();
+        let (flat, tree) = flat_vs_tree(
+            || Box::new(Equivalence::per_wave()),
+            &values,
+            split,
+            false,
+        );
+        let flat_classes = decode_classes(&flat).unwrap();
+        let tree_classes = decode_classes(&tree).unwrap();
+        // Same values with the same total membership.
+        prop_assert_eq!(flat_classes.len(), tree_classes.len());
+        let total_flat: usize = flat_classes.iter().map(|c| c.members.len()).sum();
+        let total_tree: usize = tree_classes.iter().map(|c| c.members.len()).sum();
+        prop_assert_eq!(total_flat, labels.len());
+        prop_assert_eq!(total_tree, labels.len());
+        for fc in &flat_classes {
+            let tc = tree_classes
+                .iter()
+                .find(|c| c.value == fc.value)
+                .expect("class present both ways");
+            prop_assert_eq!(fc.members.len(), tc.members.len());
+        }
+    }
+
+    /// Top-k is split-invariant: scores of the winners coincide.
+    #[test]
+    fn topk_split_invariant(
+        scores in prop::collection::vec(0u32..1000, 2..40),
+        k in 1usize..8,
+        split_frac in 0.1f64..0.9,
+    ) {
+        let split = ((scores.len() as f64 * split_frac) as usize).clamp(1, scores.len() - 1);
+        let values: Vec<DataValue> = scores
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| {
+                DataValue::Tuple(vec![
+                    DataValue::Str(format!("key{i}")),
+                    DataValue::F64(s as f64),
+                ])
+            })
+            .collect();
+        let make = move || -> Box<dyn Transformation> { Box::new(TopK::new(k).unwrap()) };
+        let (flat, tree) = flat_vs_tree(make, &values, split, false);
+        let f: Vec<Scored> = decode_topk(&flat).unwrap();
+        let t: Vec<Scored> = decode_topk(&tree).unwrap();
+        prop_assert_eq!(f, t);
+    }
+
+    /// SGFA: folding is associative over arbitrary forests of small trees.
+    #[test]
+    fn sgfa_fold_associative(
+        shapes in prop::collection::vec((0u8..3, 0u8..3), 2..20),
+        split_frac in 0.1f64..0.9,
+    ) {
+        let trees: Vec<FoldedNode> = shapes
+            .iter()
+            .map(|&(a, b)| {
+                let mut children = Vec::new();
+                if a > 0 {
+                    children.push(FoldedNode::leaf(format!("child_a{a}")));
+                }
+                if b > 0 {
+                    children.push(FoldedNode::leaf(format!("child_b{b}")));
+                }
+                FoldedNode::branch("root", children)
+            })
+            .collect();
+        let split = ((trees.len() as f64 * split_frac) as usize).clamp(1, trees.len() - 1);
+        let flat = fold(&trees);
+        let left = fold(&trees[..split]);
+        let right = fold(&trees[split..]);
+        let two_level = fold(&[left, right].concat());
+        prop_assert_eq!(flat, two_level);
+    }
+}

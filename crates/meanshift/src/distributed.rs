@@ -1,0 +1,369 @@
+//! The distributed mean-shift of §3.1, as a TBON filter.
+//!
+//! "Each leaf node gets a part of the data set. Each node applies the mean
+//! shift procedure then sends the resulting data set and the list of peaks
+//! to the next higher node in the network. Each parent node merges the data
+//! sets of it's children and then applies the mean shift procedure to the
+//! new data set using the peaks determined by child nodes as the starting
+//! points."
+//!
+//! The filter is registered as `meanshift::merge` with the
+//! [`MeanShiftParams`] wire form as its factory parameter. Payloads carry
+//! the (merged) dataset plus the peak list:
+//! `Tuple[ ArrayF64 points, ArrayF64 peak_positions, ArrayI64 supports ]`.
+
+use std::time::{Duration, Instant};
+
+use tbon_core::{
+    DataValue, FilterContext, FilterRegistry, Packet, Result, StreamSpec, SyncPolicy, Tag,
+    TbonError, Transformation, Wave,
+};
+use tbon_topology::Topology;
+
+use crate::params::MeanShiftParams;
+use crate::point::{pack_points, unpack_points, Point2, SpatialGrid};
+use crate::shift::{search, Peak};
+use crate::single::run_single_node;
+use crate::synth::SynthSpec;
+
+/// Tag of the front-end's "initiate the mean-shift algorithm" control
+/// broadcast (§3.2's measured-region start).
+pub const TAG_START: Tag = Tag(0x5747);
+/// Tag of upstream result payloads.
+pub const TAG_RESULT: Tag = Tag(0x5748);
+
+/// A dataset plus the peaks found in it — what flows upstream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MsPayload {
+    pub points: Vec<Point2>,
+    pub peaks: Vec<Peak>,
+}
+
+impl MsPayload {
+    pub fn to_value(&self) -> DataValue {
+        DataValue::Tuple(vec![
+            DataValue::ArrayF64(pack_points(&self.points)),
+            DataValue::ArrayF64(pack_points(
+                &self.peaks.iter().map(|p| p.position).collect::<Vec<_>>(),
+            )),
+            DataValue::ArrayI64(self.peaks.iter().map(|p| p.support as i64).collect()),
+        ])
+    }
+
+    pub fn from_value(v: &DataValue) -> Result<MsPayload> {
+        let t = v
+            .as_tuple()
+            .ok_or_else(|| TbonError::Filter("mean-shift payload must be a tuple".into()))?;
+        let (Some(points_raw), Some(peaks_raw), Some(supports)) = (
+            t.first().and_then(DataValue::as_array_f64),
+            t.get(1).and_then(DataValue::as_array_f64),
+            t.get(2).and_then(DataValue::as_array_i64),
+        ) else {
+            return Err(TbonError::Filter("malformed mean-shift payload".into()));
+        };
+        let points = unpack_points(points_raw)
+            .ok_or_else(|| TbonError::Filter("odd point array".into()))?;
+        let positions = unpack_points(peaks_raw)
+            .ok_or_else(|| TbonError::Filter("odd peak array".into()))?;
+        if positions.len() != supports.len() {
+            return Err(TbonError::Filter("peak/support length mismatch".into()));
+        }
+        Ok(MsPayload {
+            points,
+            peaks: positions
+                .into_iter()
+                .zip(supports)
+                .map(|(position, s)| Peak {
+                    position,
+                    support: (*s).max(0) as u64,
+                })
+                .collect(),
+        })
+    }
+}
+
+/// The leaf-side computation: full pipeline on this leaf's partition.
+pub fn leaf_compute(data: &[Point2], params: &MeanShiftParams) -> MsPayload {
+    let run = run_single_node(data.to_vec(), params);
+    MsPayload {
+        points: data.to_vec(),
+        peaks: run.peaks,
+    }
+}
+
+/// Merge child payloads and re-run mean-shift seeded at the child peaks.
+pub fn merge_payloads(children: &[MsPayload], params: &MeanShiftParams) -> MsPayload {
+    let total: usize = children.iter().map(|c| c.points.len()).sum();
+    let mut points = Vec::with_capacity(total);
+    let mut seeds: Vec<Point2> = Vec::new();
+    let mut seed_support: Vec<u64> = Vec::new();
+    for c in children {
+        points.extend_from_slice(&c.points);
+        for p in &c.peaks {
+            seeds.push(p.position);
+            seed_support.push(p.support);
+        }
+    }
+    if points.is_empty() {
+        return MsPayload {
+            points,
+            peaks: Vec::new(),
+        };
+    }
+    let grid = SpatialGrid::build(points, params.bandwidth);
+    let (mut peaks, _stats) = search(&grid, &seeds, params);
+    // Support at a merge node counts the *leaf searches* that back each
+    // mode: redistribute the child supports onto the merged peaks.
+    for m in &mut peaks {
+        m.support = 0;
+    }
+    for (s, sup) in seeds.iter().zip(&seed_support) {
+        // A seed contributes its support to the merged mode it converged
+        // into; nearest-mode attribution is exact for merge_radius-separated
+        // modes and a good approximation otherwise.
+        if let Some(m) = peaks.iter_mut().min_by(|a, b| {
+            a.position
+                .distance_sq(s)
+                .total_cmp(&b.position.distance_sq(s))
+        }) {
+            m.support += *sup;
+        }
+    }
+    MsPayload {
+        points: grid.into_points(),
+        peaks,
+    }
+}
+
+/// The `meanshift::merge` transformation filter.
+pub struct MeanShiftFilter {
+    params: MeanShiftParams,
+}
+
+impl MeanShiftFilter {
+    pub fn new(params: MeanShiftParams) -> MeanShiftFilter {
+        MeanShiftFilter { params }
+    }
+}
+
+impl Transformation for MeanShiftFilter {
+    fn transform(&mut self, wave: Wave, ctx: &mut FilterContext) -> Result<Vec<Packet>> {
+        let tag = wave.first().map(|p| p.tag()).unwrap_or(TAG_RESULT);
+        let children: Result<Vec<MsPayload>> =
+            wave.iter().map(|p| MsPayload::from_value(p.value())).collect();
+        let merged = merge_payloads(&children?, &self.params);
+        Ok(vec![ctx.make(tag, merged.to_value())])
+    }
+}
+
+/// Register `meanshift::merge` on a registry.
+pub fn register_meanshift(registry: &FilterRegistry) {
+    registry.register_transformation("meanshift::merge", |params| {
+        Ok(Box::new(MeanShiftFilter::new(MeanShiftParams::from_value(
+            params,
+        )?)))
+    });
+}
+
+/// Outcome of a distributed run, measured per the paper: timer starts at
+/// the control broadcast, stops when results are available at the
+/// front-end.
+#[derive(Debug, Clone)]
+pub struct DistributedOutcome {
+    pub peaks: Vec<Peak>,
+    pub elapsed: Duration,
+    pub total_points: usize,
+    pub backends: usize,
+}
+
+/// Run the full distributed experiment on a topology: every back-end
+/// pre-generates its partition (outside the measured region), the
+/// front-end broadcasts the start, the tree merges, the front-end
+/// receives the final payload.
+pub fn run_distributed(
+    topology: Topology,
+    spec: &SynthSpec,
+    params: &MeanShiftParams,
+) -> Result<DistributedOutcome> {
+    let backends = topology.leaf_count();
+    if backends == 0 {
+        return Err(TbonError::BadMembers("topology has no back-ends".into()));
+    }
+    let registry = tbon_filters::builtin_registry();
+    register_meanshift(&registry);
+
+    let be_spec = spec.clone();
+    let be_params = *params;
+    let mut net = tbon_core::NetworkBuilder::new(topology)
+        .registry(registry)
+        .backend(move |mut ctx: tbon_core::BackendContext| {
+            // Pre-generate before the measured region, like the paper.
+            let data = be_spec.generate(ctx.rank().0 as u64);
+            loop {
+                match ctx.next_event() {
+                    Ok(tbon_core::BackendEvent::Packet { stream, packet })
+                        if packet.tag() == TAG_START =>
+                    {
+                        let payload = leaf_compute(&data, &be_params);
+                        let _ = ctx.send(stream, TAG_RESULT, payload.to_value());
+                    }
+                    Ok(tbon_core::BackendEvent::Shutdown) | Err(_) => break,
+                    Ok(_) => continue,
+                }
+            }
+        })
+        .launch()?;
+
+    let stream = net.new_stream(
+        StreamSpec::all()
+            .transformation("meanshift::merge")
+            .params(params.to_value())
+            .sync(SyncPolicy::WaitForAll),
+    )?;
+
+    let started = Instant::now();
+    stream.broadcast(TAG_START, DataValue::Unit)?;
+    let pkt = stream.recv_timeout(Duration::from_secs(600))?;
+    let elapsed = started.elapsed();
+    let payload = MsPayload::from_value(pkt.value())?;
+    net.shutdown()?;
+    Ok(DistributedOutcome {
+        total_points: payload.points.len(),
+        peaks: payload.peaks,
+        elapsed,
+        backends,
+    })
+}
+
+/// The single-node equivalent of a `leaf_count`-scale problem: concatenate
+/// every leaf's partition and run the plain pipeline, timed.
+pub fn run_single_equivalent(
+    leaf_ranks: &[u64],
+    spec: &SynthSpec,
+    params: &MeanShiftParams,
+) -> crate::single::MeanShiftRun {
+    let mut data = Vec::new();
+    for &r in leaf_ranks {
+        data.extend(spec.generate(r));
+    }
+    run_single_node(data, params)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_spec() -> SynthSpec {
+        SynthSpec {
+            points_per_cluster: 120,
+            ..SynthSpec::paper_default()
+        }
+    }
+
+    fn params() -> MeanShiftParams {
+        MeanShiftParams::default()
+    }
+
+    #[test]
+    fn payload_roundtrip() {
+        let payload = MsPayload {
+            points: vec![Point2::new(1.0, 2.0), Point2::new(3.0, 4.0)],
+            peaks: vec![Peak {
+                position: Point2::new(2.0, 3.0),
+                support: 5,
+            }],
+        };
+        assert_eq!(
+            MsPayload::from_value(&payload.to_value()).unwrap(),
+            payload
+        );
+        assert!(MsPayload::from_value(&DataValue::Unit).is_err());
+    }
+
+    #[test]
+    fn leaf_compute_finds_local_peaks() {
+        let spec = small_spec();
+        let data = spec.generate(0);
+        let payload = leaf_compute(&data, &params());
+        assert_eq!(payload.points.len(), data.len());
+        assert_eq!(payload.peaks.len(), spec.centers.len());
+    }
+
+    #[test]
+    fn merge_preserves_all_points_and_dedups_peaks() {
+        let spec = small_spec();
+        let p = params();
+        let a = leaf_compute(&spec.generate(0), &p);
+        let b = leaf_compute(&spec.generate(1), &p);
+        let total = a.points.len() + b.points.len();
+        let merged = merge_payloads(&[a, b], &p);
+        assert_eq!(merged.points.len(), total);
+        // Two leaves saw (shifted copies of) the same 3 clusters: merged
+        // result is 3 peaks, not 6.
+        assert_eq!(merged.peaks.len(), spec.centers.len());
+        // Support adds up: each leaf's modes carried the seed supports.
+        let support: u64 = merged.peaks.iter().map(|p| p.support).sum();
+        assert!(support > 0);
+    }
+
+    #[test]
+    fn merge_of_empty_is_empty() {
+        let merged = merge_payloads(&[], &params());
+        assert!(merged.points.is_empty());
+        assert!(merged.peaks.is_empty());
+    }
+
+    #[test]
+    fn distributed_flat_finds_paper_clusters() {
+        let spec = small_spec();
+        let outcome =
+            run_distributed(Topology::flat(4), &spec, &params()).unwrap();
+        assert_eq!(outcome.backends, 4);
+        assert_eq!(outcome.peaks.len(), spec.centers.len());
+        assert_eq!(outcome.total_points, 4 * spec.points_per_leaf());
+        for center in &spec.centers {
+            let nearest = outcome
+                .peaks
+                .iter()
+                .map(|p| p.position.distance(center))
+                .fold(f64::INFINITY, f64::min);
+            assert!(nearest < 25.0, "no peak near {center:?} ({nearest})");
+        }
+    }
+
+    #[test]
+    fn distributed_deep_agrees_with_flat() {
+        let spec = small_spec();
+        let p = params();
+        let flat = run_distributed(Topology::flat(4), &spec, &p).unwrap();
+        let deep = run_distributed(Topology::balanced(2, 2), &spec, &p).unwrap();
+        assert_eq!(flat.peaks.len(), deep.peaks.len());
+        // Same leaves, same data: peaks should coincide within merge radius.
+        for fp in &flat.peaks {
+            let nearest = deep
+                .peaks
+                .iter()
+                .map(|dp| dp.position.distance(&fp.position))
+                .fold(f64::INFINITY, f64::min);
+            assert!(nearest < p.merge_radius, "peak mismatch: {nearest}");
+        }
+    }
+
+    #[test]
+    fn distributed_agrees_with_single_node_equivalent() {
+        let spec = small_spec();
+        let p = params();
+        let dist = run_distributed(Topology::flat(3), &spec, &p).unwrap();
+        // flat(3) leaves are ranks 1, 2, 3.
+        let single = run_single_equivalent(&[1, 2, 3], &spec, &p);
+        assert_eq!(dist.peaks.len(), single.peaks.len());
+        for sp in &single.peaks {
+            let nearest = dist
+                .peaks
+                .iter()
+                .map(|dp| dp.position.distance(&sp.position))
+                .fold(f64::INFINITY, f64::min);
+            assert!(nearest < p.merge_radius, "peak mismatch: {nearest}");
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! Kernel shape functions weighting points inside the mean-shift window.
+//!
+//! The paper chooses a Gaussian shape function ("greater weight to points
+//! nearer to the center; this effectively smooths the data") and lists the
+//! alternatives it considered: uniform, quadratic and triangular weighting.
+//! All four are implemented so the kernel-choice ablation (A3) can sweep
+//! them.
+
+use std::fmt;
+
+use tbon_core::{DataValue, TbonError};
+
+/// Shape function for the mean-shift density estimator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Kernel {
+    /// `exp(-d² / (2·(b/2)²))` — the paper's choice (bandwidth acts as
+    /// ±2σ window).
+    #[default]
+    Gaussian,
+    /// Every point in the window weighs 1.
+    Uniform,
+    /// Linear falloff `1 - d/b`.
+    Triangular,
+    /// Epanechnikov-style `1 - (d/b)²`.
+    Quadratic,
+}
+
+impl Kernel {
+    /// Weight of a point at distance `d` from the centroid, for window
+    /// bandwidth `b`. Zero outside the window; callers only query `d <= b`.
+    pub fn weight(&self, d: f64, b: f64) -> f64 {
+        debug_assert!(b > 0.0);
+        if d > b {
+            return 0.0;
+        }
+        let u = d / b;
+        match self {
+            Kernel::Gaussian => {
+                // sigma = b/2 so the window edge sits at 2 sigma.
+                let sigma = b / 2.0;
+                (-0.5 * (d / sigma) * (d / sigma)).exp()
+            }
+            Kernel::Uniform => 1.0,
+            Kernel::Triangular => 1.0 - u,
+            Kernel::Quadratic => 1.0 - u * u,
+        }
+    }
+
+    /// Stable name used in parameters and experiment tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Kernel::Gaussian => "gaussian",
+            Kernel::Uniform => "uniform",
+            Kernel::Triangular => "triangular",
+            Kernel::Quadratic => "quadratic",
+        }
+    }
+
+    /// Parse from its stable name.
+    pub fn from_name(name: &str) -> Result<Kernel, TbonError> {
+        match name {
+            "gaussian" => Ok(Kernel::Gaussian),
+            "uniform" => Ok(Kernel::Uniform),
+            "triangular" => Ok(Kernel::Triangular),
+            "quadratic" => Ok(Kernel::Quadratic),
+            other => Err(TbonError::Filter(format!("unknown kernel '{other}'"))),
+        }
+    }
+
+    /// All kernels, for sweeps.
+    pub fn all() -> [Kernel; 4] {
+        [
+            Kernel::Gaussian,
+            Kernel::Uniform,
+            Kernel::Triangular,
+            Kernel::Quadratic,
+        ]
+    }
+
+    pub fn to_value(self) -> DataValue {
+        DataValue::Str(self.name().to_owned())
+    }
+
+    pub fn from_value(v: &DataValue) -> Result<Kernel, TbonError> {
+        let s = v
+            .as_str()
+            .ok_or_else(|| TbonError::Filter("kernel must be a string".into()))?;
+        Kernel::from_name(s)
+    }
+}
+
+impl fmt::Display for Kernel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weights_peak_at_center() {
+        for k in Kernel::all() {
+            assert!(
+                (k.weight(0.0, 10.0) - 1.0).abs() < 1e-12,
+                "{k} center weight"
+            );
+        }
+    }
+
+    #[test]
+    fn weights_decrease_with_distance_except_uniform() {
+        for k in [Kernel::Gaussian, Kernel::Triangular, Kernel::Quadratic] {
+            let near = k.weight(1.0, 10.0);
+            let far = k.weight(9.0, 10.0);
+            assert!(near > far, "{k}: {near} vs {far}");
+        }
+        assert_eq!(Kernel::Uniform.weight(9.9, 10.0), 1.0);
+    }
+
+    #[test]
+    fn zero_outside_window() {
+        for k in Kernel::all() {
+            assert_eq!(k.weight(10.01, 10.0), 0.0, "{k}");
+        }
+    }
+
+    #[test]
+    fn gaussian_edge_is_two_sigma() {
+        // At d = b, u = 2 sigma: weight = exp(-2) ≈ 0.135.
+        let w = Kernel::Gaussian.weight(10.0, 10.0);
+        assert!((w - (-2.0f64).exp()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn triangular_and_quadratic_hit_zero_at_edge() {
+        assert!(Kernel::Triangular.weight(10.0, 10.0).abs() < 1e-12);
+        assert!(Kernel::Quadratic.weight(10.0, 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn names_roundtrip() {
+        for k in Kernel::all() {
+            assert_eq!(Kernel::from_name(k.name()).unwrap(), k);
+            assert_eq!(Kernel::from_value(&k.to_value()).unwrap(), k);
+        }
+        assert!(Kernel::from_name("box").is_err());
+        assert!(Kernel::from_value(&DataValue::I64(1)).is_err());
+    }
+}

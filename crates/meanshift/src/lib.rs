@@ -1,0 +1,47 @@
+//! # tbon-meanshift — the paper's case study (§3)
+//!
+//! A distributed implementation of the mean-shift clustering algorithm
+//! (Fukunaga & Hostetler) on top of the TBON runtime:
+//!
+//! * [`shift`] — the mean-shift kernel of Figure 3: density scan, seeded
+//!   window searches with a choice of shape functions ([`kernel::Kernel`]),
+//!   peak merging;
+//! * [`single`] — the non-distributed baseline pipeline;
+//! * [`distributed`] — the TBON filter (`meanshift::merge`): leaves cluster
+//!   their partitions, every parent merges child datasets and re-runs
+//!   mean-shift seeded at the child peaks, exactly as §3.1 describes;
+//! * [`synth`] — the paper's synthetic workload: Gaussian clusters whose
+//!   centers drift slightly per leaf;
+//! * [`point`] — 2-D geometry plus a bucket-grid spatial index that makes
+//!   window queries O(points-in-window).
+//!
+//! ```
+//! use tbon_meanshift::{run_single_node, MeanShiftParams, SynthSpec};
+//!
+//! let spec = SynthSpec { points_per_cluster: 120, ..SynthSpec::paper_default() };
+//! let run = run_single_node(spec.generate(0), &MeanShiftParams::default());
+//! assert_eq!(run.peaks.len(), spec.centers.len()); // all 3 modes recovered
+//! ```
+
+pub mod adaptive;
+pub mod distributed;
+pub mod kernel;
+pub mod params;
+pub mod point;
+pub mod segment;
+pub mod shift;
+pub mod single;
+pub mod synth;
+
+pub use adaptive::{adaptive_mean_shift, run_adaptive, AdaptiveBandwidth};
+pub use distributed::{
+    leaf_compute, merge_payloads, register_meanshift, run_distributed, run_single_equivalent,
+    DistributedOutcome, MeanShiftFilter, MsPayload, TAG_RESULT, TAG_START,
+};
+pub use kernel::Kernel;
+pub use params::MeanShiftParams;
+pub use point::{pack_points, unpack_points, Point2, SpatialGrid};
+pub use segment::{assign_labels, segment, Label, Segmentation};
+pub use shift::{density_seeds, mean_shift, merge_peaks, search, Peak, SearchStats, ShiftOutcome};
+pub use single::{run_single_node, MeanShiftRun};
+pub use synth::{gaussian_pair, SynthSpec};

@@ -1,0 +1,177 @@
+//! Mean-shift configuration, matching §3.1 of the paper.
+
+use tbon_core::{DataValue, TbonError};
+
+use crate::kernel::Kernel;
+
+/// Everything the algorithm needs besides the data.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeanShiftParams {
+    /// The window radius. The paper: "We choose a fixed bandwidth of 50
+    /// which seems to work well with our data."
+    pub bandwidth: f64,
+    /// Shape function; the paper uses Gaussian.
+    pub kernel: Kernel,
+    /// Minimum point count inside a window for the density scan to start a
+    /// search there ("a threshold that sets the minimum data density at
+    /// which a mean shift search will begin").
+    pub density_threshold: usize,
+    /// Safety valve on iterations per search ("or a maximum iteration
+    /// threshold has been met").
+    pub max_iterations: usize,
+    /// A shift shorter than this counts as "mean-shift vector is zero".
+    pub convergence_eps: f64,
+    /// Peaks closer than this merge into one mode.
+    pub merge_radius: f64,
+    /// Spacing of the density-scan grid, as a fraction of the bandwidth.
+    pub scan_step_fraction: f64,
+}
+
+impl Default for MeanShiftParams {
+    fn default() -> Self {
+        MeanShiftParams {
+            bandwidth: 50.0,
+            kernel: Kernel::Gaussian,
+            density_threshold: 12,
+            max_iterations: 100,
+            convergence_eps: 1e-2,
+            merge_radius: 25.0,
+            scan_step_fraction: 0.5,
+        }
+    }
+}
+
+impl MeanShiftParams {
+    /// The density-scan grid spacing in data units.
+    pub fn scan_step(&self) -> f64 {
+        self.bandwidth * self.scan_step_fraction
+    }
+
+    /// Wire form, used as the distributed filter's factory parameter.
+    pub fn to_value(&self) -> DataValue {
+        DataValue::Tuple(vec![
+            DataValue::F64(self.bandwidth),
+            self.kernel.to_value(),
+            DataValue::U64(self.density_threshold as u64),
+            DataValue::U64(self.max_iterations as u64),
+            DataValue::F64(self.convergence_eps),
+            DataValue::F64(self.merge_radius),
+            DataValue::F64(self.scan_step_fraction),
+        ])
+    }
+
+    pub fn from_value(v: &DataValue) -> Result<MeanShiftParams, TbonError> {
+        let t = v
+            .as_tuple()
+            .ok_or_else(|| TbonError::Filter("mean-shift params must be a tuple".into()))?;
+        if t.len() != 7 {
+            return Err(TbonError::Filter(format!(
+                "mean-shift params want 7 fields, got {}",
+                t.len()
+            )));
+        }
+        let p = MeanShiftParams {
+            bandwidth: t[0]
+                .as_f64()
+                .ok_or_else(|| TbonError::Filter("bandwidth must be F64".into()))?,
+            kernel: Kernel::from_value(&t[1])?,
+            density_threshold: t[2]
+                .as_u64()
+                .ok_or_else(|| TbonError::Filter("threshold must be U64".into()))?
+                as usize,
+            max_iterations: t[3]
+                .as_u64()
+                .ok_or_else(|| TbonError::Filter("max_iterations must be U64".into()))?
+                as usize,
+            convergence_eps: t[4]
+                .as_f64()
+                .ok_or_else(|| TbonError::Filter("eps must be F64".into()))?,
+            merge_radius: t[5]
+                .as_f64()
+                .ok_or_else(|| TbonError::Filter("merge_radius must be F64".into()))?,
+            scan_step_fraction: t[6]
+                .as_f64()
+                .ok_or_else(|| TbonError::Filter("scan_step_fraction must be F64".into()))?,
+        };
+        p.validate()?;
+        Ok(p)
+    }
+
+    // The negated float comparisons below are deliberate: NaN parameters
+    // must fail validation, and `!(x > 0.0)` is true for NaN while
+    // `x <= 0.0` is not.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    pub fn validate(&self) -> Result<(), TbonError> {
+        if !(self.bandwidth > 0.0) {
+            return Err(TbonError::Filter("bandwidth must be > 0".into()));
+        }
+        if self.max_iterations == 0 {
+            return Err(TbonError::Filter("max_iterations must be > 0".into()));
+        }
+        if !(self.convergence_eps > 0.0) {
+            return Err(TbonError::Filter("convergence_eps must be > 0".into()));
+        }
+        if !(self.merge_radius >= 0.0) {
+            return Err(TbonError::Filter("merge_radius must be >= 0".into()));
+        }
+        if !(self.scan_step_fraction > 0.0 && self.scan_step_fraction <= 1.0) {
+            return Err(TbonError::Filter(
+                "scan_step_fraction must be in (0, 1]".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper() {
+        let p = MeanShiftParams::default();
+        assert_eq!(p.bandwidth, 50.0);
+        assert_eq!(p.kernel, Kernel::Gaussian);
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn value_roundtrip() {
+        let p = MeanShiftParams {
+            bandwidth: 30.0,
+            kernel: Kernel::Triangular,
+            density_threshold: 5,
+            max_iterations: 42,
+            convergence_eps: 0.5,
+            merge_radius: 10.0,
+            scan_step_fraction: 0.25,
+        };
+        assert_eq!(MeanShiftParams::from_value(&p.to_value()).unwrap(), p);
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        let p = MeanShiftParams {
+            bandwidth: 0.0,
+            ..MeanShiftParams::default()
+        };
+        assert!(p.validate().is_err());
+        let p = MeanShiftParams {
+            max_iterations: 0,
+            ..MeanShiftParams::default()
+        };
+        assert!(p.validate().is_err());
+        let p = MeanShiftParams {
+            scan_step_fraction: 1.5,
+            ..MeanShiftParams::default()
+        };
+        assert!(p.validate().is_err());
+        assert!(MeanShiftParams::from_value(&DataValue::Unit).is_err());
+    }
+
+    #[test]
+    fn scan_step_scales_with_bandwidth() {
+        let p = MeanShiftParams::default();
+        assert_eq!(p.scan_step(), 25.0);
+    }
+}

@@ -1,0 +1,241 @@
+//! 2-D points and a uniform-grid spatial index for window queries.
+//!
+//! The paper's implementation operates on two-dimensional (image-like)
+//! data. Every mean-shift iteration needs "all points in window around
+//! current centroid" — a radius query — so datasets carry a bucket grid
+//! with cell size equal to the query radius, making each query examine at
+//! most 9 cells.
+
+use std::collections::HashMap;
+
+/// A 2-D data point.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Point2 {
+    pub x: f64,
+    pub y: f64,
+}
+
+impl Point2 {
+    pub fn new(x: f64, y: f64) -> Point2 {
+        Point2 { x, y }
+    }
+
+    /// Euclidean distance (line 3 of the paper's Figure 3 kernel).
+    pub fn distance(&self, other: &Point2) -> f64 {
+        self.distance_sq(other).sqrt()
+    }
+
+    /// Squared distance, for comparisons without the sqrt.
+    pub fn distance_sq(&self, other: &Point2) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+}
+
+/// Pack points into the dense wire representation `[x0, y0, x1, y1, ...]`.
+pub fn pack_points(points: &[Point2]) -> Vec<f64> {
+    let mut out = Vec::with_capacity(points.len() * 2);
+    for p in points {
+        out.push(p.x);
+        out.push(p.y);
+    }
+    out
+}
+
+/// Unpack the dense wire representation. Fails on odd length.
+pub fn unpack_points(data: &[f64]) -> Option<Vec<Point2>> {
+    if !data.len().is_multiple_of(2) {
+        return None;
+    }
+    Some(
+        data.chunks_exact(2)
+            .map(|c| Point2::new(c[0], c[1]))
+            .collect(),
+    )
+}
+
+/// A uniform bucket grid over a point set, sized for radius queries of a
+/// fixed radius (the mean-shift bandwidth).
+pub struct SpatialGrid {
+    cell: f64,
+    buckets: HashMap<(i64, i64), Vec<u32>>,
+    points: Vec<Point2>,
+}
+
+impl SpatialGrid {
+    /// Index `points` for radius queries up to `radius`.
+    ///
+    /// # Panics
+    /// Panics if `radius` is not strictly positive.
+    pub fn build(points: Vec<Point2>, radius: f64) -> SpatialGrid {
+        assert!(radius > 0.0, "radius must be positive");
+        let mut buckets: HashMap<(i64, i64), Vec<u32>> = HashMap::new();
+        for (i, p) in points.iter().enumerate() {
+            buckets
+                .entry(Self::key(p, radius))
+                .or_default()
+                .push(i as u32);
+        }
+        SpatialGrid {
+            cell: radius,
+            buckets,
+            points,
+        }
+    }
+
+    fn key(p: &Point2, cell: f64) -> (i64, i64) {
+        ((p.x / cell).floor() as i64, (p.y / cell).floor() as i64)
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The indexed points, in insertion order.
+    pub fn points(&self) -> &[Point2] {
+        &self.points
+    }
+
+    /// Consume the index, recovering the point storage without a copy.
+    pub fn into_points(self) -> Vec<Point2> {
+        self.points
+    }
+
+    /// Visit every point within `radius` of `center` (radius must be at
+    /// most the build radius for completeness).
+    pub fn for_each_in_radius(&self, center: Point2, radius: f64, mut f: impl FnMut(Point2)) {
+        debug_assert!(
+            radius <= self.cell * (1.0 + 1e-9),
+            "query radius {radius} exceeds index cell {}",
+            self.cell
+        );
+        let r_sq = radius * radius;
+        let (cx, cy) = Self::key(&center, self.cell);
+        for gx in (cx - 1)..=(cx + 1) {
+            for gy in (cy - 1)..=(cy + 1) {
+                if let Some(bucket) = self.buckets.get(&(gx, gy)) {
+                    for &i in bucket {
+                        let p = self.points[i as usize];
+                        if p.distance_sq(&center) <= r_sq {
+                            f(p);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Count points within `radius` of `center` (the density scan
+    /// primitive).
+    pub fn count_in_radius(&self, center: Point2, radius: f64) -> usize {
+        let mut n = 0;
+        self.for_each_in_radius(center, radius, |_| n += 1);
+        n
+    }
+
+    /// Axis-aligned bounding box of the indexed points.
+    pub fn bounds(&self) -> Option<(Point2, Point2)> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let mut min = self.points[0];
+        let mut max = self.points[0];
+        for p in &self.points {
+            min.x = min.x.min(p.x);
+            min.y = min.y.min(p.y);
+            max.x = max.x.max(p.x);
+            max.y = max.y.max(p.y);
+        }
+        Some((min, max))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_math() {
+        let a = Point2::new(0.0, 0.0);
+        let b = Point2::new(3.0, 4.0);
+        assert_eq!(a.distance(&b), 5.0);
+        assert_eq!(a.distance_sq(&b), 25.0);
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let pts = vec![Point2::new(1.0, 2.0), Point2::new(-3.0, 0.5)];
+        let packed = pack_points(&pts);
+        assert_eq!(packed, vec![1.0, 2.0, -3.0, 0.5]);
+        assert_eq!(unpack_points(&packed).unwrap(), pts);
+        assert!(unpack_points(&[1.0, 2.0, 3.0]).is_none());
+    }
+
+    #[test]
+    fn grid_radius_query_matches_brute_force() {
+        // Deterministic pseudo-random points.
+        let mut state = 123456789u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64) / (u32::MAX as f64) * 100.0
+        };
+        let pts: Vec<Point2> = (0..500).map(|_| Point2::new(next(), next())).collect();
+        let grid = SpatialGrid::build(pts.clone(), 10.0);
+        for center in [
+            Point2::new(50.0, 50.0),
+            Point2::new(0.0, 0.0),
+            Point2::new(99.0, 1.0),
+        ] {
+            let brute = pts
+                .iter()
+                .filter(|p| p.distance(&center) <= 10.0)
+                .count();
+            assert_eq!(grid.count_in_radius(center, 10.0), brute);
+        }
+    }
+
+    #[test]
+    fn grid_handles_negative_coordinates() {
+        let pts = vec![
+            Point2::new(-5.0, -5.0),
+            Point2::new(-4.5, -5.5),
+            Point2::new(100.0, 100.0),
+        ];
+        let grid = SpatialGrid::build(pts, 2.0);
+        assert_eq!(grid.count_in_radius(Point2::new(-5.0, -5.0), 2.0), 2);
+    }
+
+    #[test]
+    fn grid_query_smaller_radius_than_cell() {
+        let pts = vec![Point2::new(0.0, 0.0), Point2::new(1.5, 0.0)];
+        let grid = SpatialGrid::build(pts, 2.0);
+        assert_eq!(grid.count_in_radius(Point2::new(0.0, 0.0), 1.0), 1);
+    }
+
+    #[test]
+    fn bounds_cover_all_points() {
+        let pts = vec![
+            Point2::new(2.0, -1.0),
+            Point2::new(-3.0, 7.0),
+            Point2::new(0.0, 0.0),
+        ];
+        let grid = SpatialGrid::build(pts, 1.0);
+        let (min, max) = grid.bounds().unwrap();
+        assert_eq!((min.x, min.y), (-3.0, -1.0));
+        assert_eq!((max.x, max.y), (2.0, 7.0));
+        assert!(SpatialGrid::build(vec![], 1.0).bounds().is_none());
+    }
+
+    #[test]
+    fn empty_grid_is_empty() {
+        let grid = SpatialGrid::build(vec![], 5.0);
+        assert!(grid.is_empty());
+        assert_eq!(grid.count_in_radius(Point2::new(0.0, 0.0), 5.0), 0);
+    }
+}

@@ -1,0 +1,296 @@
+//! The mean-shift kernel (the paper's Figure 3) and the full search
+//! procedure: density scan → seeded searches → converged peaks.
+
+use crate::kernel::Kernel;
+use crate::params::MeanShiftParams;
+use crate::point::{Point2, SpatialGrid};
+
+/// Result of one seeded search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShiftOutcome {
+    /// The local density maximum the search converged to.
+    pub peak: Point2,
+    /// Iterations executed.
+    pub iterations: usize,
+    /// Whether it converged (vs. hitting the iteration cap).
+    pub converged: bool,
+}
+
+/// One mean-shift search from `start`: repeatedly move the centroid to the
+/// kernel-weighted mean of the window until the shift vector is (nearly)
+/// zero. Literal transcription of Figure 3 with the Gaussian/alternative
+/// shape functions of §3.1.
+pub fn mean_shift(
+    grid: &SpatialGrid,
+    start: Point2,
+    bandwidth: f64,
+    kernel: Kernel,
+    max_iterations: usize,
+    eps: f64,
+) -> ShiftOutcome {
+    let mut centroid = start;
+    for iter in 0..max_iterations {
+        let mut wx = 0.0f64;
+        let mut wy = 0.0f64;
+        let mut wsum = 0.0f64;
+        grid.for_each_in_radius(centroid, bandwidth, |p| {
+            let d = p.distance(&centroid);
+            let w = kernel.weight(d, bandwidth);
+            wx += w * p.x;
+            wy += w * p.y;
+            wsum += w;
+        });
+        if wsum <= 0.0 {
+            // Empty window: the seed sat in a void; stay put.
+            return ShiftOutcome {
+                peak: centroid,
+                iterations: iter,
+                converged: true,
+            };
+        }
+        let next = Point2::new(wx / wsum, wy / wsum);
+        let shift = next.distance(&centroid);
+        centroid = next;
+        if shift < eps {
+            return ShiftOutcome {
+                peak: centroid,
+                iterations: iter + 1,
+                converged: true,
+            };
+        }
+    }
+    ShiftOutcome {
+        peak: centroid,
+        iterations: max_iterations,
+        converged: false,
+    }
+}
+
+/// Density scan (§3.1: "We scan across the data and calculate the density
+/// of the data using a fixed window. The regions where the density is above
+/// our chosen threshold are used as the starting points"). Returns seed
+/// points on a regular grid over the bounding box.
+pub fn density_seeds(grid: &SpatialGrid, params: &MeanShiftParams) -> Vec<Point2> {
+    let Some((min, max)) = grid.bounds() else {
+        return Vec::new();
+    };
+    let step = params.scan_step();
+    let mut seeds = Vec::new();
+    let mut y = min.y;
+    while y <= max.y + step * 0.5 {
+        let mut x = min.x;
+        while x <= max.x + step * 0.5 {
+            let c = Point2::new(x, y);
+            if grid.count_in_radius(c, params.bandwidth) >= params.density_threshold {
+                seeds.push(c);
+            }
+            x += step;
+        }
+        y += step;
+    }
+    seeds
+}
+
+/// Merge converged peaks closer than `merge_radius` into single modes,
+/// weighting each mode by how many searches landed on it. Deterministic:
+/// peaks are processed in input order, so equal inputs give equal outputs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Peak {
+    pub position: Point2,
+    /// Number of searches that converged onto this mode.
+    pub support: u64,
+}
+
+pub fn merge_peaks(peaks: &[Point2], merge_radius: f64) -> Vec<Peak> {
+    let mut modes: Vec<Peak> = Vec::new();
+    let r_sq = merge_radius * merge_radius;
+    for &p in peaks {
+        match modes
+            .iter_mut()
+            .find(|m| m.position.distance_sq(&p) <= r_sq)
+        {
+            Some(m) => {
+                // Online mean keeps the mode centered on its members.
+                let n = m.support as f64;
+                m.position.x = (m.position.x * n + p.x) / (n + 1.0);
+                m.position.y = (m.position.y * n + p.y) / (n + 1.0);
+                m.support += 1;
+            }
+            None => modes.push(Peak {
+                position: p,
+                support: 1,
+            }),
+        }
+    }
+    modes
+}
+
+/// Aggregate statistics from a batch of searches.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SearchStats {
+    pub seeds: usize,
+    pub total_iterations: usize,
+    pub non_converged: usize,
+}
+
+/// Run mean-shift from every seed and merge the outcomes into modes.
+pub fn search(
+    grid: &SpatialGrid,
+    seeds: &[Point2],
+    params: &MeanShiftParams,
+) -> (Vec<Peak>, SearchStats) {
+    let mut stats = SearchStats {
+        seeds: seeds.len(),
+        ..SearchStats::default()
+    };
+    let mut raw = Vec::with_capacity(seeds.len());
+    for &s in seeds {
+        let out = mean_shift(
+            grid,
+            s,
+            params.bandwidth,
+            params.kernel,
+            params.max_iterations,
+            params.convergence_eps,
+        );
+        stats.total_iterations += out.iterations;
+        if !out.converged {
+            stats.non_converged += 1;
+        }
+        raw.push(out.peak);
+    }
+    (merge_peaks(&raw, params.merge_radius), stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A tight blob of points around a center.
+    fn blob(center: Point2, n: usize, spread: f64) -> Vec<Point2> {
+        // Deterministic low-discrepancy-ish layout.
+        (0..n)
+            .map(|i| {
+                let a = i as f64 * 2.399963; // golden angle
+                let r = spread * ((i % 10) as f64) / 10.0;
+                Point2::new(center.x + r * a.cos(), center.y + r * a.sin())
+            })
+            .collect()
+    }
+
+    fn params() -> MeanShiftParams {
+        MeanShiftParams {
+            bandwidth: 20.0,
+            density_threshold: 5,
+            merge_radius: 10.0,
+            ..MeanShiftParams::default()
+        }
+    }
+
+    #[test]
+    fn converges_to_blob_center() {
+        let center = Point2::new(100.0, 100.0);
+        let grid = SpatialGrid::build(blob(center, 200, 8.0), 20.0);
+        let out = mean_shift(&grid, Point2::new(110.0, 95.0), 20.0, Kernel::Gaussian, 100, 1e-3);
+        assert!(out.converged);
+        assert!(
+            out.peak.distance(&center) < 2.0,
+            "peak {:?} too far from center",
+            out.peak
+        );
+    }
+
+    #[test]
+    fn empty_window_returns_seed() {
+        let grid = SpatialGrid::build(blob(Point2::new(0.0, 0.0), 50, 5.0), 20.0);
+        let lonely = Point2::new(500.0, 500.0);
+        let out = mean_shift(&grid, lonely, 20.0, Kernel::Gaussian, 100, 1e-3);
+        assert!(out.converged);
+        assert_eq!(out.peak, lonely);
+        assert_eq!(out.iterations, 0);
+    }
+
+    #[test]
+    fn two_blobs_give_two_modes() {
+        let mut pts = blob(Point2::new(0.0, 0.0), 150, 8.0);
+        pts.extend(blob(Point2::new(200.0, 0.0), 150, 8.0));
+        let grid = SpatialGrid::build(pts, 20.0);
+        let p = params();
+        let seeds = density_seeds(&grid, &p);
+        assert!(!seeds.is_empty());
+        let (peaks, stats) = search(&grid, &seeds, &p);
+        assert_eq!(peaks.len(), 2, "peaks: {peaks:?}");
+        assert_eq!(stats.seeds, seeds.len());
+        assert_eq!(stats.non_converged, 0);
+        let mut xs: Vec<f64> = peaks.iter().map(|m| m.position.x).collect();
+        xs.sort_by(f64::total_cmp);
+        assert!(xs[0].abs() < 3.0);
+        assert!((xs[1] - 200.0).abs() < 3.0);
+    }
+
+    #[test]
+    fn density_scan_skips_sparse_regions() {
+        // One dense blob; seeds must all be near it.
+        let grid = SpatialGrid::build(blob(Point2::new(50.0, 50.0), 200, 10.0), 20.0);
+        let p = params();
+        let seeds = density_seeds(&grid, &p);
+        assert!(!seeds.is_empty());
+        for s in &seeds {
+            assert!(
+                s.distance(&Point2::new(50.0, 50.0)) < 40.0,
+                "seed {s:?} in a sparse region"
+            );
+        }
+    }
+
+    #[test]
+    fn density_scan_empty_data() {
+        let grid = SpatialGrid::build(vec![], 20.0);
+        assert!(density_seeds(&grid, &params()).is_empty());
+    }
+
+    #[test]
+    fn merge_peaks_dedups_and_counts_support() {
+        let peaks = vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(1.0, 0.0),
+            Point2::new(0.0, 1.0),
+            Point2::new(100.0, 100.0),
+        ];
+        let modes = merge_peaks(&peaks, 5.0);
+        assert_eq!(modes.len(), 2);
+        assert_eq!(modes[0].support, 3);
+        assert_eq!(modes[1].support, 1);
+        // Mode position is the mean of its members.
+        assert!((modes[0].position.x - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_radius_zero_keeps_everything_distinct() {
+        let peaks = vec![Point2::new(0.0, 0.0), Point2::new(0.1, 0.0)];
+        assert_eq!(merge_peaks(&peaks, 0.0).len(), 2);
+    }
+
+    #[test]
+    fn iteration_cap_respected() {
+        // eps = 0 never converges by shift length; cap must stop it.
+        let grid = SpatialGrid::build(blob(Point2::new(0.0, 0.0), 100, 10.0), 20.0);
+        let out = mean_shift(&grid, Point2::new(5.0, 5.0), 20.0, Kernel::Uniform, 7, 0.0);
+        assert_eq!(out.iterations, 7);
+        assert!(!out.converged);
+    }
+
+    #[test]
+    fn all_kernels_find_the_same_single_mode() {
+        let center = Point2::new(30.0, 70.0);
+        let grid = SpatialGrid::build(blob(center, 300, 10.0), 20.0);
+        for k in Kernel::all() {
+            let out = mean_shift(&grid, Point2::new(40.0, 60.0), 20.0, k, 200, 1e-3);
+            assert!(
+                out.peak.distance(&center) < 3.0,
+                "{k}: peak {:?}",
+                out.peak
+            );
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! The single-node (non-distributed) mean-shift pipeline of §3.1: density
+//! scan over the whole dataset, seeded searches, merged peaks. The baseline
+//! of Figure 4.
+
+use std::time::{Duration, Instant};
+
+use crate::params::MeanShiftParams;
+use crate::point::{Point2, SpatialGrid};
+use crate::shift::{density_seeds, search, Peak, SearchStats};
+
+/// Outcome of a full single-node run.
+#[derive(Debug, Clone)]
+pub struct MeanShiftRun {
+    pub peaks: Vec<Peak>,
+    pub stats: SearchStats,
+    pub elapsed: Duration,
+    pub points: usize,
+}
+
+/// Run the complete pipeline on one dataset.
+pub fn run_single_node(data: Vec<Point2>, params: &MeanShiftParams) -> MeanShiftRun {
+    let start = Instant::now();
+    let points = data.len();
+    let grid = SpatialGrid::build(data, params.bandwidth);
+    let seeds = density_seeds(&grid, params);
+    let (peaks, stats) = search(&grid, &seeds, params);
+    MeanShiftRun {
+        peaks,
+        stats,
+        elapsed: start.elapsed(),
+        points,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::SynthSpec;
+
+    #[test]
+    fn finds_the_synthetic_clusters() {
+        let spec = SynthSpec::paper_default();
+        let data = spec.generate(0);
+        let run = run_single_node(data, &MeanShiftParams::default());
+        assert_eq!(
+            run.peaks.len(),
+            spec.centers.len(),
+            "peaks: {:?}",
+            run.peaks
+        );
+        for center in &spec.centers {
+            let nearest = run
+                .peaks
+                .iter()
+                .map(|p| p.position.distance(center))
+                .fold(f64::INFINITY, f64::min);
+            assert!(
+                nearest < spec.max_leaf_shift + 10.0,
+                "no peak near {center:?} (nearest {nearest})"
+            );
+        }
+    }
+
+    #[test]
+    fn more_data_means_more_work() {
+        let spec = SynthSpec::paper_default();
+        let mut small = spec.generate(0);
+        let mut big = small.clone();
+        for leaf in 1..4u64 {
+            big.extend(spec.generate(leaf));
+        }
+        let params = MeanShiftParams::default();
+        let small_run = run_single_node(std::mem::take(&mut small), &params);
+        let big_run = run_single_node(std::mem::take(&mut big), &params);
+        assert_eq!(big_run.points, 4 * small_run.points);
+        // Same modes either way.
+        assert_eq!(small_run.peaks.len(), big_run.peaks.len());
+    }
+
+    #[test]
+    fn empty_input_is_handled() {
+        let run = run_single_node(Vec::new(), &MeanShiftParams::default());
+        assert!(run.peaks.is_empty());
+        assert_eq!(run.points, 0);
+        assert_eq!(run.stats.seeds, 0);
+    }
+}

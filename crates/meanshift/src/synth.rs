@@ -1,0 +1,197 @@
+//! Synthetic data generation (§3.1): "The data at the leaf nodes is
+//! synthetically generated. The data about each cluster center is generated
+//! using a random Gaussian distribution. The cluster centers are slightly
+//! shifted in each leaf node as they might be in feature tracking in video
+//! processing or when processing images with non-uniform illumination."
+//!
+//! Gaussian sampling uses Box–Muller on top of `rand` so the dependency set
+//! stays within the allowed list.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::point::Point2;
+
+/// Specification of one leaf's synthetic dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SynthSpec {
+    /// Nominal cluster centers (before per-leaf shifting).
+    pub centers: Vec<Point2>,
+    /// Points drawn around each center.
+    pub points_per_cluster: usize,
+    /// Standard deviation of each cluster.
+    pub sigma: f64,
+    /// Maximum per-leaf shift applied to every center (models the paper's
+    /// camera-array / illumination drift).
+    pub max_leaf_shift: f64,
+    /// Fraction of extra uniform background noise points, relative to the
+    /// clustered point count.
+    pub noise_fraction: f64,
+    /// Bounding box for noise points.
+    pub noise_bounds: (Point2, Point2),
+    /// Base RNG seed; the leaf index is mixed in deterministically.
+    pub seed: u64,
+}
+
+impl SynthSpec {
+    /// The configuration used throughout the experiments: three clusters in
+    /// a 1000×1000 field, sized for the paper's bandwidth of 50.
+    pub fn paper_default() -> SynthSpec {
+        SynthSpec {
+            centers: vec![
+                Point2::new(250.0, 250.0),
+                Point2::new(700.0, 300.0),
+                Point2::new(450.0, 750.0),
+            ],
+            points_per_cluster: 400,
+            sigma: 30.0,
+            max_leaf_shift: 15.0,
+            noise_fraction: 0.05,
+            noise_bounds: (Point2::new(0.0, 0.0), Point2::new(1000.0, 1000.0)),
+            seed: 0x7b0_2006,
+        }
+    }
+
+    /// Total points one leaf will generate.
+    pub fn points_per_leaf(&self) -> usize {
+        let clustered = self.centers.len() * self.points_per_cluster;
+        clustered + (clustered as f64 * self.noise_fraction) as usize
+    }
+
+    /// Generate the dataset for one leaf. Deterministic in
+    /// `(self.seed, leaf_index)`.
+    pub fn generate(&self, leaf_index: u64) -> Vec<Point2> {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ leaf_index.wrapping_mul(0x9E3779B97F4A7C15));
+        let mut points = Vec::with_capacity(self.points_per_leaf());
+        for center in &self.centers {
+            // Per-leaf center drift: uniform in a disc of max_leaf_shift.
+            let angle = rng.gen_range(0.0..std::f64::consts::TAU);
+            let radius = self.max_leaf_shift * rng.gen_range(0.0f64..1.0).sqrt();
+            let shifted = Point2::new(
+                center.x + radius * angle.cos(),
+                center.y + radius * angle.sin(),
+            );
+            for _ in 0..self.points_per_cluster {
+                let (gx, gy) = gaussian_pair(&mut rng);
+                points.push(Point2::new(
+                    shifted.x + gx * self.sigma,
+                    shifted.y + gy * self.sigma,
+                ));
+            }
+        }
+        let clustered = points.len();
+        let noise = (clustered as f64 * self.noise_fraction) as usize;
+        let (min, max) = self.noise_bounds;
+        for _ in 0..noise {
+            points.push(Point2::new(
+                rng.gen_range(min.x..max.x),
+                rng.gen_range(min.y..max.y),
+            ));
+        }
+        points
+    }
+}
+
+/// One pair of independent standard normal samples (Box–Muller).
+pub fn gaussian_pair(rng: &mut impl Rng) -> (f64, f64) {
+    // Avoid ln(0).
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    let r = (-2.0 * u1.ln()).sqrt();
+    let theta = std::f64::consts::TAU * u2;
+    (r * theta.cos(), r * theta.sin())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_per_leaf() {
+        let spec = SynthSpec::paper_default();
+        let a = spec.generate(3);
+        let b = spec.generate(3);
+        assert_eq!(a, b);
+        let c = spec.generate(4);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn point_count_matches_spec() {
+        let spec = SynthSpec::paper_default();
+        let pts = spec.generate(0);
+        assert_eq!(pts.len(), spec.points_per_leaf());
+        assert_eq!(pts.len(), 1200 + 60);
+    }
+
+    #[test]
+    fn clusters_are_where_they_should_be() {
+        let spec = SynthSpec::paper_default();
+        let pts = spec.generate(7);
+        // At least 80% of the points of each cluster within 3 sigma + shift.
+        for center in &spec.centers {
+            let near = pts
+                .iter()
+                .filter(|p| p.distance(center) < 3.0 * spec.sigma + spec.max_leaf_shift)
+                .count();
+            assert!(
+                near >= (spec.points_per_cluster * 8) / 10,
+                "cluster at {center:?} has only {near} nearby points"
+            );
+        }
+    }
+
+    #[test]
+    fn leaf_shift_stays_bounded() {
+        let spec = SynthSpec {
+            sigma: 0.01, // nearly delta clusters to observe the shift itself
+            noise_fraction: 0.0,
+            ..SynthSpec::paper_default()
+        };
+        for leaf in 0..20u64 {
+            let pts = spec.generate(leaf);
+            for (ci, center) in spec.centers.iter().enumerate() {
+                let cluster =
+                    &pts[ci * spec.points_per_cluster..(ci + 1) * spec.points_per_cluster];
+                let mean = Point2::new(
+                    cluster.iter().map(|p| p.x).sum::<f64>() / cluster.len() as f64,
+                    cluster.iter().map(|p| p.y).sum::<f64>() / cluster.len() as f64,
+                );
+                assert!(
+                    mean.distance(center) <= spec.max_leaf_shift * 1.1,
+                    "leaf {leaf} cluster {ci}: drift {}",
+                    mean.distance(center)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gaussian_pair_moments_are_sane() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 20_000;
+        let mut sum = 0.0;
+        let mut sum_sq = 0.0;
+        for _ in 0..n {
+            let (a, b) = gaussian_pair(&mut rng);
+            sum += a + b;
+            sum_sq += a * a + b * b;
+        }
+        let mean = sum / (2.0 * n as f64);
+        let var = sum_sq / (2.0 * n as f64) - mean * mean;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "variance {var}");
+    }
+
+    #[test]
+    fn noise_points_fall_inside_bounds() {
+        let spec = SynthSpec::paper_default();
+        let pts = spec.generate(1);
+        let clustered = spec.centers.len() * spec.points_per_cluster;
+        let (min, max) = spec.noise_bounds;
+        for p in &pts[clustered..] {
+            assert!(p.x >= min.x && p.x < max.x);
+            assert!(p.y >= min.y && p.y < max.y);
+        }
+    }
+}

@@ -1,0 +1,455 @@
+//! A discrete-event simulator of one TBON reduction wave.
+//!
+//! Replays the §3.2 experiment structure at any scale: the front-end
+//! broadcasts a start message down the tree; every leaf computes; payloads
+//! flow upstream; every internal node (and the root) waits for all of its
+//! children, merges, computes, and forwards. Time is simulated, so a
+//! 4096-leaf run of the 2006 testbed costs microseconds of host CPU.
+//!
+//! Modelled costs:
+//! * per-link propagation latency and serialization (bytes / bandwidth);
+//! * per-node ingress serialization — a node's NIC receives one message at
+//!   a time, which is exactly the fan-in bottleneck the paper observes at
+//!   the flat front-end;
+//! * per-node CPU given by caller-supplied closures (leaf compute and
+//!   merge compute), so any workload can be modelled.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use tbon_topology::{NodeId, Role, Topology};
+
+/// Link cost model, uniform across the tree (the paper's testbed was one
+/// homogeneous Gigabit Ethernet switch fabric).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkModel {
+    /// One-way propagation latency in seconds.
+    pub latency: f64,
+    /// Bytes per second; `f64::INFINITY` disables serialization cost.
+    pub bandwidth: f64,
+}
+
+impl LinkModel {
+    /// Approximation of the paper's switched Gigabit Ethernet.
+    pub fn gigabit_ethernet() -> LinkModel {
+        LinkModel {
+            latency: 100e-6,
+            bandwidth: 117.0 * 1024.0 * 1024.0,
+        }
+    }
+
+    pub fn transfer_time(&self, bytes: f64) -> f64 {
+        if self.bandwidth.is_finite() {
+            bytes / self.bandwidth
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Workload closures for one experiment.
+pub struct Workload<'a, W> {
+    /// Leaf compute: returns (cpu seconds, produced work).
+    pub leaf: &'a dyn Fn(NodeId) -> (f64, W),
+    /// Merge compute at an internal node or the root: consumes the
+    /// children's work, returns (cpu seconds, merged work).
+    pub merge: &'a dyn Fn(NodeId, Vec<W>) -> (f64, W),
+    /// Bytes a work item occupies on the wire.
+    pub wire_bytes: &'a dyn Fn(&W) -> f64,
+}
+
+/// Simulation outcome.
+#[derive(Debug, Clone)]
+pub struct SimOutcome<W> {
+    /// Seconds from the start broadcast until the root finishes its merge —
+    /// the paper's "measured processing time".
+    pub completion: f64,
+    /// The final merged work at the root.
+    pub result: W,
+    /// Per-node CPU busy seconds.
+    pub busy: HashMap<u32, f64>,
+    /// Total bytes that crossed the root's ingress (the consolidation
+    /// bottleneck metric).
+    pub root_ingress_bytes: f64,
+    /// Seconds the root spent with its ingress link busy.
+    pub root_ingress_busy: f64,
+}
+
+impl<W> SimOutcome<W> {
+    /// The busiest node's CPU seconds (critical compute resource).
+    pub fn max_busy(&self) -> f64 {
+        self.busy.values().copied().fold(0.0, f64::max)
+    }
+}
+
+/// Timed event queue entries. Ordered by time, then sequence for
+/// determinism.
+#[derive(Debug)]
+enum Event<W> {
+    /// The start broadcast reaches a node.
+    Start { node: u32 },
+    /// A work message finishes arriving at `node`.
+    Arrive { node: u32, work: W },
+    /// A node finished its compute and its output is ready to send.
+    Ready { node: u32, work: W },
+}
+
+struct Queue<W> {
+    heap: BinaryHeap<Reverse<(OrderedTime, u64)>>,
+    payloads: HashMap<u64, Event<W>>,
+    seq: u64,
+}
+
+/// f64 wrapper with a total order for the heap (times are never NaN).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct OrderedTime(f64);
+
+impl Eq for OrderedTime {}
+impl PartialOrd for OrderedTime {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for OrderedTime {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl<W> Queue<W> {
+    fn new() -> Queue<W> {
+        Queue {
+            heap: BinaryHeap::new(),
+            payloads: HashMap::new(),
+            seq: 0,
+        }
+    }
+
+    fn push(&mut self, t: f64, ev: Event<W>) {
+        let id = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse((OrderedTime(t), id)));
+        self.payloads.insert(id, ev);
+    }
+
+    fn pop(&mut self) -> Option<(f64, Event<W>)> {
+        let Reverse((t, id)) = self.heap.pop()?;
+        let ev = self.payloads.remove(&id).expect("payload exists");
+        Some((t.0, ev))
+    }
+}
+
+/// Per-node simulation state.
+struct NodeState<W> {
+    pending: Vec<W>,
+    expected: usize,
+    /// When this node's ingress link frees up.
+    ingress_free: f64,
+    /// When this node's CPU frees up.
+    cpu_free: f64,
+}
+
+/// Run one reduction wave over `topology`. The start broadcast leaves the
+/// root at t = 0; control messages are latency-only (they are tiny).
+pub fn simulate<W>(
+    topology: &Topology,
+    link: LinkModel,
+    workload: &Workload<'_, W>,
+) -> SimOutcome<W> {
+    assert!(topology.leaf_count() > 0, "need at least one back-end");
+    let mut queue: Queue<W> = Queue::new();
+    let mut nodes: HashMap<u32, NodeState<W>> = HashMap::new();
+    for n in topology.node_ids() {
+        if topology.role(n) == Role::Detached {
+            continue;
+        }
+        nodes.insert(
+            n.0,
+            NodeState {
+                pending: Vec::new(),
+                expected: topology.children(n).len(),
+                ingress_free: 0.0,
+                cpu_free: 0.0,
+            },
+        );
+    }
+    let mut busy: HashMap<u32, f64> = HashMap::new();
+    let mut root_ingress_bytes = 0.0;
+    let mut root_ingress_busy = 0.0;
+
+    // Start broadcast: each node receives Start at depth * hop latency.
+    for n in topology.node_ids() {
+        if topology.role(n) == Role::BackEnd {
+            let t = topology.depth_of(n) as f64 * link.latency;
+            queue.push(t, Event::Start { node: n.0 });
+        }
+    }
+
+    let mut final_result: Option<(f64, W)> = None;
+    while let Some((t, ev)) = queue.pop() {
+        match ev {
+            Event::Start { node } => {
+                let (cpu, work) = (workload.leaf)(NodeId(node));
+                *busy.entry(node).or_default() += cpu;
+                queue.push(t + cpu, Event::Ready { node, work });
+            }
+            Event::Ready { node, work } => {
+                let id = NodeId(node);
+                match topology.parent(id) {
+                    None => {
+                        // Root finished its merge: the wave is complete.
+                        final_result = Some((t, work));
+                        break;
+                    }
+                    Some(parent) => {
+                        let bytes = (workload.wire_bytes)(&work);
+                        let pstate = nodes.get_mut(&parent.0).expect("parent exists");
+                        // Sender puts the message on the wire immediately
+                        // (its NIC is idle after compute); the receiver's
+                        // ingress serializes concurrent children.
+                        let arrive_start = (t + link.latency).max(pstate.ingress_free);
+                        let arrive_done = arrive_start + link.transfer_time(bytes);
+                        pstate.ingress_free = arrive_done;
+                        if parent.0 == 0 {
+                            root_ingress_bytes += bytes;
+                            root_ingress_busy += arrive_done - arrive_start;
+                        }
+                        queue.push(
+                            arrive_done,
+                            Event::Arrive {
+                                node: parent.0,
+                                work,
+                            },
+                        );
+                    }
+                }
+            }
+            Event::Arrive { node, work } => {
+                let state = nodes.get_mut(&node).expect("node exists");
+                state.pending.push(work);
+                if state.pending.len() == state.expected {
+                    let inputs = std::mem::take(&mut state.pending);
+                    let start = t.max(state.cpu_free);
+                    let (cpu, merged) = (workload.merge)(NodeId(node), inputs);
+                    state.cpu_free = start + cpu;
+                    *busy.entry(node).or_default() += cpu;
+                    queue.push(start + cpu, Event::Ready { node, work: merged });
+                }
+            }
+        }
+    }
+
+    let (completion, result) = final_result.expect("root always completes");
+    SimOutcome {
+        completion,
+        result,
+        busy,
+        root_ingress_bytes,
+        root_ingress_busy,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Work = number of "units"; leaf produces 1 unit in 1s; merge sums
+    /// units in 0.1s per unit; 1 byte per unit, infinite bandwidth.
+    #[allow(clippy::type_complexity)]
+    fn unit_workload() -> (
+        impl Fn(NodeId) -> (f64, u64),
+        impl Fn(NodeId, Vec<u64>) -> (f64, u64),
+        impl Fn(&u64) -> f64,
+    ) {
+        (
+            |_| (1.0, 1u64),
+            |_, inputs: Vec<u64>| {
+                let total: u64 = inputs.iter().sum();
+                (0.1 * total as f64, total)
+            },
+            |w: &u64| *w as f64,
+        )
+    }
+
+    fn run(topo: &Topology, link: LinkModel) -> SimOutcome<u64> {
+        let (leaf, merge, wire) = unit_workload();
+        simulate(
+            topo,
+            link,
+            &Workload {
+                leaf: &leaf,
+                merge: &merge,
+                wire_bytes: &wire,
+            },
+        )
+    }
+
+    fn no_net() -> LinkModel {
+        LinkModel {
+            latency: 0.0,
+            bandwidth: f64::INFINITY,
+        }
+    }
+
+    #[test]
+    fn flat_tree_timing_adds_root_merge() {
+        // 4 leaves: all ready at t=1; root merges 4 units in 0.4s.
+        let out = run(&Topology::flat(4), no_net());
+        assert!((out.completion - 1.4).abs() < 1e-9, "{}", out.completion);
+        assert_eq!(out.result, 4);
+    }
+
+    #[test]
+    fn deep_tree_pipelines_merges() {
+        // 2x2: leaves done at 1; internals merge 2 units (0.2s) -> ready
+        // 1.2; root merges 4 units (0.4s) -> 1.6.
+        let out = run(&Topology::balanced(2, 2), no_net());
+        assert!((out.completion - 1.6).abs() < 1e-9, "{}", out.completion);
+        assert_eq!(out.result, 4);
+    }
+
+    #[test]
+    fn latency_charged_per_hop_both_directions() {
+        let link = LinkModel {
+            latency: 0.5,
+            bandwidth: f64::INFINITY,
+        };
+        // flat(1): start reaches leaf at 0.5, compute 1s, up 0.5, merge 0.1.
+        let out = run(&Topology::flat(1), link);
+        assert!((out.completion - 2.1).abs() < 1e-9, "{}", out.completion);
+    }
+
+    #[test]
+    fn root_ingress_serializes_under_finite_bandwidth() {
+        // 1 byte/unit at 1 byte/sec: 8 children serialize 8 seconds of
+        // transfer into the root even though they finish simultaneously.
+        let link = LinkModel {
+            latency: 0.0,
+            bandwidth: 1.0,
+        };
+        let out = run(&Topology::flat(8), link);
+        // leaves ready at 1.0; transfers serialize until t=9; merge 0.8.
+        assert!((out.completion - 9.8).abs() < 1e-9, "{}", out.completion);
+        assert_eq!(out.root_ingress_bytes, 8.0);
+        assert!((out.root_ingress_busy - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deep_tree_beats_flat_when_merge_cost_is_superlinear_in_fanin() {
+        // The Figure 4 shape in miniature. With merge cost linear in input
+        // units the tree shape cannot matter (same total work, deep adds
+        // stages); the crossover needs a cost superlinear in fan-in — here
+        // `0.05 · k · units`, mirroring mean-shift's seeds×window term.
+        let leaf = |_: NodeId| (1.0, 1u64);
+        let merge = |_: NodeId, inputs: Vec<u64>| {
+            let total: u64 = inputs.iter().sum();
+            (0.05 * inputs.len() as f64 * total as f64, total)
+        };
+        let wire = |w: &u64| *w as f64;
+        let workload = Workload {
+            leaf: &leaf,
+            merge: &merge,
+            wire_bytes: &wire,
+        };
+        let flat = simulate(&Topology::flat(64), no_net(), &workload);
+        let deep = simulate(&Topology::balanced(8, 2), no_net(), &workload);
+        assert_eq!(flat.result, deep.result);
+        assert!(
+            deep.completion < flat.completion,
+            "deep {} vs flat {}",
+            deep.completion,
+            flat.completion
+        );
+    }
+
+    #[test]
+    fn linear_merge_cost_makes_flat_win() {
+        // Control for the previous test: with shape-independent total merge
+        // work, the deep tree only adds pipeline stages and latency.
+        let flat = run(&Topology::flat(64), no_net());
+        let deep = run(&Topology::balanced(8, 2), no_net());
+        assert!(flat.completion <= deep.completion);
+    }
+
+    #[test]
+    fn busy_accounting_sums_cpu() {
+        let out = run(&Topology::flat(4), no_net());
+        // Each leaf burned 1s, root burned 0.4s.
+        assert!((out.busy[&0] - 0.4).abs() < 1e-9);
+        assert!((out.max_busy() - 1.0).abs() < 1e-9);
+        let total: f64 = out.busy.values().sum();
+        assert!((total - 4.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn knomial_topology_simulates() {
+        let out = run(&Topology::knomial(2, 5), no_net());
+        assert_eq!(out.result as usize, Topology::knomial(2, 5).leaf_count());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one back-end")]
+    fn empty_topology_panics() {
+        run(&Topology::singleton(), no_net());
+    }
+}
+
+#[cfg(test)]
+mod straggler_tests {
+    use super::*;
+    use tbon_topology::{NodeId, Topology};
+
+    #[test]
+    fn slowest_leaf_gates_wait_for_all() {
+        // One straggler leaf takes 5 s; everyone else 1 s. Completion is
+        // bounded below by the straggler (wait_for_all semantics) and the
+        // fast leaves' work overlaps it completely.
+        let leaf = |n: NodeId| {
+            let cpu = if n.0 == 3 { 5.0 } else { 1.0 };
+            (cpu, 1u64)
+        };
+        let merge = |_: NodeId, inputs: Vec<u64>| (0.0, inputs.iter().sum::<u64>());
+        let wire = |w: &u64| *w as f64;
+        let out = simulate(
+            &Topology::flat(8),
+            LinkModel {
+                latency: 0.0,
+                bandwidth: f64::INFINITY,
+            },
+            &Workload {
+                leaf: &leaf,
+                merge: &merge,
+                wire_bytes: &wire,
+            },
+        );
+        assert!((out.completion - 5.0).abs() < 1e-9, "{}", out.completion);
+        assert_eq!(out.result, 8);
+    }
+
+    #[test]
+    fn straggler_in_one_subtree_does_not_block_other_subtrees_merges() {
+        // 2x2 tree; a straggler under internal 1. Internal 2 merges its
+        // fast leaves long before the root completes; per-node busy
+        // accounting shows both internals did their merge work.
+        let leaf = |n: NodeId| ((if n.0 == 3 { 10.0 } else { 1.0 }), 1u64);
+        let merge = |_: NodeId, inputs: Vec<u64>| (0.5, inputs.iter().sum::<u64>());
+        let wire = |w: &u64| *w as f64;
+        let out = simulate(
+            &Topology::balanced(2, 2),
+            LinkModel {
+                latency: 0.0,
+                bandwidth: f64::INFINITY,
+            },
+            &Workload {
+                leaf: &leaf,
+                merge: &merge,
+                wire_bytes: &wire,
+            },
+        );
+        // Root completes at straggler(10) + internal merge(0.5) + root
+        // merge(0.5).
+        assert!((out.completion - 11.0).abs() < 1e-9, "{}", out.completion);
+        assert!((out.busy[&1] - 0.5).abs() < 1e-9);
+        assert!((out.busy[&2] - 0.5).abs() < 1e-9);
+    }
+}

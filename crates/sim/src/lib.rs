@@ -1,0 +1,35 @@
+//! # tbon-sim — discrete-event simulation of TBON reductions
+//!
+//! The paper's testbed (324 Pentium 4 workstations on Gigabit Ethernet) and
+//! its extrapolations (4096 back-ends in the §3.2 fan-out argument, the
+//! "even deeper trees" open question) exceed what one build machine can run
+//! in real time. This crate replays the reduction dataflow in simulated
+//! time:
+//!
+//! * [`engine`] — a generic event-driven simulator of one reduction wave:
+//!   start broadcast, leaf compute, per-link latency/bandwidth, per-node
+//!   ingress serialization (the fan-in bottleneck), wait-for-all merges.
+//! * [`meanshift_model`] — an analytic cost model of the distributed
+//!   mean-shift case study, with constants calibrated against the real
+//!   implementation in `tbon-meanshift` (see `tbon-bench`'s calibration
+//!   harness) and an era-scale knob for 2006 absolute magnitudes.
+//!
+//! ```
+//! use tbon_sim::{simulate_meanshift, LinkModel, MsCostModel};
+//! use tbon_topology::Topology;
+//!
+//! let model = MsCostModel::default();
+//! let link = LinkModel::gigabit_ethernet();
+//! let flat = simulate_meanshift(&Topology::flat(256), link, &model);
+//! let deep = simulate_meanshift(&Topology::balanced(16, 2), link, &model);
+//! // The paper's Figure 4 shape: past the crossover, deep beats flat.
+//! assert!(deep.completion < flat.completion);
+//! ```
+
+pub mod engine;
+pub mod meanshift_model;
+pub mod waves;
+
+pub use engine::{simulate, LinkModel, SimOutcome, Workload};
+pub use meanshift_model::{simulate_meanshift, simulate_single_node, MsCostModel, MsWork};
+pub use waves::{simulate_waves, WaveOutcome, WaveWorkload};

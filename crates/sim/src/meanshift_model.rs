@@ -1,0 +1,271 @@
+//! Analytic cost model of the distributed mean-shift workload, for
+//! paper-scale simulation (Figure 4 at 324 back-ends on 2006 hardware, the
+//! depth-sweep "open question" at 4096).
+//!
+//! The model mirrors the real implementation's cost structure
+//! (`tbon-meanshift`):
+//!
+//! * **Leaf**: density scan over a grid of `(field/step)²` cells, each a
+//!   window count; then `seeds` searches, each `iters_leaf` iterations,
+//!   each visiting the ~`window_occupancy · n` points in its window.
+//! * **Merge** at fan-in `k`: grid rebuild over `Σ nᵢ` points, then
+//!   `k · peaks` seeded searches with `iters_merge` iterations over windows
+//!   whose occupancy has grown k-fold (the children's shifted clusters
+//!   overlap).
+//! * **Wire**: 16 bytes per point (two f64) plus a small peak/support
+//!   record — the dataset itself flows upstream, as §3.1 specifies.
+//!
+//! Constants default to values calibrated on this repository's real
+//! implementation (see `tbon-bench::calibrate`); `era_scale` rescales to
+//! the paper's 2.8–3.2 GHz Pentium 4 ballpark.
+
+use tbon_topology::{NodeId, Topology};
+
+use crate::engine::{simulate, LinkModel, SimOutcome, Workload};
+
+/// What flows through the simulated tree: dataset + peak summary sizes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MsWork {
+    pub points: u64,
+    pub peaks: u64,
+}
+
+/// Cost constants. See module docs; defaults are calibrated against the
+/// real `tbon-meanshift` on the build machine and can be recalibrated with
+/// `tbon-bench`'s `calibrate` binary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MsCostModel {
+    /// Seconds per point for grid build + bookkeeping.
+    pub build_per_point: f64,
+    /// Seconds per point-visit inside mean-shift windows.
+    pub visit_cost: f64,
+    /// Seconds per density-scan window query, per point in the window.
+    pub scan_visit_cost: f64,
+    /// Density-scan grid cells at a leaf (≈ (field/step)²).
+    pub scan_cells: f64,
+    /// Fraction of a leaf's dataset inside one window (cluster occupancy).
+    pub window_occupancy: f64,
+    /// Seeds per leaf found by the density scan.
+    pub seeds_per_leaf: f64,
+    /// Modes each node reports upstream.
+    pub peaks: f64,
+    /// Mean iterations per search at leaves (cold start).
+    pub iters_leaf: f64,
+    /// Mean iterations per search at merge nodes (warm start from child
+    /// peaks).
+    pub iters_merge: f64,
+    /// Points generated per leaf.
+    pub points_per_leaf: f64,
+    /// Multiplier translating this machine's calibrated costs to the
+    /// paper's era (Pentium 4, 2006 compiler).
+    pub era_scale: f64,
+}
+
+impl Default for MsCostModel {
+    fn default() -> Self {
+        // Calibrated on a modern x86-64 with the real implementation at
+        // paper_default() workload shape, then era-scaled so absolute
+        // magnitudes land in Figure 4's hundreds-of-seconds regime.
+        MsCostModel {
+            build_per_point: 8.0e-8,
+            visit_cost: 6.0e-9,
+            scan_visit_cost: 2.0e-9,
+            scan_cells: 1600.0,
+            window_occupancy: 0.11,
+            seeds_per_leaf: 60.0,
+            peaks: 3.0,
+            iters_leaf: 12.0,
+            iters_merge: 3.0,
+            points_per_leaf: 1260.0,
+            era_scale: 25.0,
+        }
+    }
+}
+
+impl MsCostModel {
+    /// CPU seconds for one leaf's full pipeline on `n` points.
+    pub fn leaf_cost(&self, n: f64) -> f64 {
+        let build = self.build_per_point * n;
+        let scan = self.scan_visit_cost * self.scan_cells * (self.window_occupancy * n);
+        let search =
+            self.visit_cost * self.seeds_per_leaf * self.iters_leaf * (self.window_occupancy * n);
+        (build + scan + search) * self.era_scale
+    }
+
+    /// CPU seconds for merging children holding `child_points` each (total
+    /// N points) with `total_seeds` warm seeds.
+    ///
+    /// Window occupancy at a merge node: clusters from every leaf overlay
+    /// the same field, so the fraction of the merged dataset inside one
+    /// window stays ≈ `window_occupancy` — but the *point count* per window
+    /// grows with N. That growth is exactly the consolidation cost the
+    /// paper attributes to large fan-ins.
+    pub fn merge_cost(&self, total_points: f64, total_seeds: f64) -> f64 {
+        let build = self.build_per_point * total_points;
+        let search = self.visit_cost
+            * total_seeds
+            * self.iters_merge
+            * (self.window_occupancy * total_points);
+        (build + search) * self.era_scale
+    }
+
+    /// Wire bytes for a payload.
+    pub fn wire_bytes(&self, w: &MsWork) -> f64 {
+        16.0 * w.points as f64 + 24.0 * w.peaks as f64 + 64.0
+    }
+}
+
+/// Simulate one Figure-4-style run: every leaf holds `points_per_leaf`
+/// points; the tree reduces as in §3.1.
+pub fn simulate_meanshift(
+    topology: &Topology,
+    link: LinkModel,
+    model: &MsCostModel,
+) -> SimOutcome<MsWork> {
+    let leaf = |_: NodeId| {
+        let n = model.points_per_leaf;
+        (
+            model.leaf_cost(n),
+            MsWork {
+                points: n as u64,
+                peaks: model.peaks as u64,
+            },
+        )
+    };
+    let merge = |_: NodeId, inputs: Vec<MsWork>| {
+        let total_points: u64 = inputs.iter().map(|w| w.points).sum();
+        let total_seeds: u64 = inputs.iter().map(|w| w.peaks).sum();
+        (
+            model.merge_cost(total_points as f64, total_seeds as f64),
+            MsWork {
+                points: total_points,
+                peaks: model.peaks as u64,
+            },
+        )
+    };
+    let wire = |w: &MsWork| model.wire_bytes(w);
+    simulate(
+        topology,
+        link,
+        &Workload {
+            leaf: &leaf,
+            merge: &merge,
+            wire_bytes: &wire,
+        },
+    )
+}
+
+/// Simulate the single-node baseline: all data on one machine.
+///
+/// The field (image area) is fixed — scaling up overlays more data on the
+/// same scene (§3.1's per-leaf-shifted clusters) — so the density scan
+/// visits the same grid cells and yields a roughly constant seed count,
+/// while every window holds proportionally more points. Total cost is
+/// therefore **linear** in the data size, matching the paper's observation
+/// that "the runtime of the single-node version ... increases linearly
+/// with the input data size".
+pub fn simulate_single_node(leaves: usize, model: &MsCostModel) -> f64 {
+    let n = model.points_per_leaf * leaves as f64;
+    let build = model.build_per_point * n;
+    let scan = model.scan_visit_cost * model.scan_cells * (model.window_occupancy * n);
+    let search = model.visit_cost
+        * model.seeds_per_leaf
+        * model.iters_leaf
+        * (model.window_occupancy * n);
+    (build + scan + search) * model.era_scale
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> MsCostModel {
+        MsCostModel::default()
+    }
+
+    fn gige() -> LinkModel {
+        LinkModel::gigabit_ethernet()
+    }
+
+    #[test]
+    fn single_node_grows_linearly() {
+        // Paper: "the runtime of the single-node version of mean-shift
+        // algorithm increases linearly with the input data size".
+        let m = model();
+        let t16 = simulate_single_node(16, &m);
+        let t64 = simulate_single_node(64, &m);
+        let ratio = t64 / t16;
+        assert!((3.5..4.5).contains(&ratio), "t16={t16} t64={t64} ratio={ratio}");
+    }
+
+    #[test]
+    fn flat_tree_beats_single_node_at_small_scale() {
+        let m = model();
+        let single = simulate_single_node(16, &m);
+        let flat = simulate_meanshift(&Topology::flat(16), gige(), &m).completion;
+        assert!(flat < single, "flat={flat} single={single}");
+    }
+
+    #[test]
+    fn deep_tree_beats_flat_at_large_fanout() {
+        // The paper's crossover: "somewhere between a fan-out of 64 and
+        // 128" the flat tree's front-end consolidation dominates.
+        let m = model();
+        let flat = simulate_meanshift(&Topology::flat(256), gige(), &m).completion;
+        let deep = simulate_meanshift(&Topology::balanced(16, 2), gige(), &m).completion;
+        assert!(
+            deep < flat,
+            "deep(16x16)={deep} should beat flat(256)={flat}"
+        );
+    }
+
+    #[test]
+    fn flat_and_deep_similar_at_small_fanout() {
+        // Below the crossover the two are close (paper: flat tracks deep
+        // until ~64 leaves).
+        let m = model();
+        let flat = simulate_meanshift(&Topology::flat(16), gige(), &m).completion;
+        let deep = simulate_meanshift(&Topology::balanced(4, 2), gige(), &m).completion;
+        let ratio = flat / deep;
+        assert!(
+            (0.5..2.0).contains(&ratio),
+            "flat={flat} deep={deep} ratio={ratio}"
+        );
+    }
+
+    #[test]
+    fn deep_tree_scales_nearly_flat() {
+        // Paper: "the performance of the deep trees remain relatively
+        // constant for all scales of input data size" (modulo the small
+        // linear fan-out term beyond 64 leaves).
+        let m = model();
+        let t64 = simulate_meanshift(&Topology::balanced(8, 2), gige(), &m).completion;
+        let t256 = simulate_meanshift(&Topology::balanced(16, 2), gige(), &m).completion;
+        assert!(
+            t256 < t64 * 6.0,
+            "deep should grow slowly: 64 leaves {t64}, 256 leaves {t256}"
+        );
+    }
+
+    #[test]
+    fn merged_points_conserved() {
+        let m = model();
+        let out = simulate_meanshift(&Topology::balanced(4, 3), gige(), &m);
+        assert_eq!(
+            out.result.points,
+            (m.points_per_leaf as u64) * 64,
+            "all leaf data must reach the root"
+        );
+    }
+
+    #[test]
+    fn root_ingress_counts_every_byte() {
+        let m = model();
+        let out = simulate_meanshift(&Topology::flat(8), gige(), &m);
+        let expected = 8.0 * m.wire_bytes(&MsWork {
+            points: m.points_per_leaf as u64,
+            peaks: m.peaks as u64,
+        });
+        assert!((out.root_ingress_bytes - expected).abs() < 1.0);
+    }
+}

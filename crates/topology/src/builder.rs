@@ -1,0 +1,205 @@
+//! Constructors for the tree shapes the paper uses: flat (1-deep) farms,
+//! balanced k-ary trees of any depth, and skewed k-nomial trees.
+
+use crate::tree::{NodeId, Topology, TopologyError};
+
+impl Topology {
+    /// A flat ("1-deep", "shallow") tree: the front-end directly parents
+    /// `leaves` back-ends. This is the paper's simple scaling baseline whose
+    /// front-end fan-out becomes the bottleneck.
+    pub fn flat(leaves: usize) -> Topology {
+        Self::balanced_levels(&[leaves])
+    }
+
+    /// A fully balanced tree with the same `fanout` at every level and
+    /// `depth` levels of edges below the root. `depth = 1` is a flat tree;
+    /// `depth = 2` is the paper's "deep" configuration. Yields
+    /// `fanout^depth` back-ends.
+    ///
+    /// # Panics
+    /// Panics if `fanout == 0` or `depth == 0` (an empty level is
+    /// meaningless; use [`Topology::singleton`] for a lone front-end).
+    pub fn balanced(fanout: usize, depth: usize) -> Topology {
+        assert!(fanout > 0, "fanout must be positive");
+        assert!(depth > 0, "depth must be positive");
+        Self::balanced_levels(&vec![fanout; depth])
+    }
+
+    /// A balanced tree with a possibly different fan-out per level, root
+    /// first — the shape MRNet topology strings like `16x16` describe.
+    ///
+    /// # Panics
+    /// Panics if `levels` is empty or contains a zero.
+    pub fn balanced_levels(levels: &[usize]) -> Topology {
+        assert!(!levels.is_empty(), "need at least one level");
+        assert!(levels.iter().all(|&f| f > 0), "fanouts must be positive");
+        let mut edges = Vec::new();
+        let mut frontier = vec![0u32];
+        let mut next_id = 1u32;
+        for &fanout in levels {
+            let mut next_frontier = Vec::with_capacity(frontier.len() * fanout);
+            for &p in &frontier {
+                for _ in 0..fanout {
+                    edges.push((p, next_id));
+                    next_frontier.push(next_id);
+                    next_id += 1;
+                }
+            }
+            frontier = next_frontier;
+        }
+        Topology::from_edges(&edges).expect("balanced construction is always a tree")
+    }
+
+    /// A k-nomial tree of the given `order`: the generalization of the
+    /// binomial tree that MRNet cites as its "skewed" topology family. Has
+    /// exactly `k^order` nodes; the root's subtrees are k-nomial trees of
+    /// every smaller order, `k - 1` of each, so fan-out is concentrated near
+    /// the root and leaves sit at many different depths.
+    ///
+    /// # Panics
+    /// Panics if `k < 2`.
+    pub fn knomial(k: usize, order: usize) -> Topology {
+        assert!(k >= 2, "k-nomial requires k >= 2");
+        let mut edges = Vec::new();
+        let mut next_id = 1u32;
+        build_knomial(0, k, order, &mut next_id, &mut edges);
+        if edges.is_empty() {
+            return Topology::singleton();
+        }
+        Topology::from_edges(&edges).expect("k-nomial construction is always a tree")
+    }
+}
+
+/// Recursively attach to `root` the children of a k-nomial tree of `order`:
+/// for each sub-order `i` in `0..order`, `k - 1` subtrees of order `i`.
+fn build_knomial(root: u32, k: usize, order: usize, next_id: &mut u32, edges: &mut Vec<(u32, u32)>) {
+    for sub_order in 0..order {
+        for _ in 0..(k - 1) {
+            let child = *next_id;
+            *next_id += 1;
+            edges.push((root, child));
+            build_knomial(child, k, sub_order, next_id, edges);
+        }
+    }
+}
+
+/// Greedy planner for dynamic attachment: pick the parent for a joining
+/// back-end so the tree stays as balanced as possible — the non-leaf node
+/// with the smallest `(fanout, depth)` among root and internals.
+pub fn best_attach_point(topo: &Topology, max_fanout: usize) -> Result<NodeId, TopologyError> {
+    topo.node_ids()
+        .filter(|&n| topo.role(n) != crate::Role::BackEnd)
+        .filter(|&n| topo.children(n).len() < max_fanout)
+        .min_by_key(|&n| (topo.children(n).len(), topo.depth_of(n)))
+        .ok_or_else(|| {
+            TopologyError::InvalidOperation(format!(
+                "no attach point with fanout below {max_fanout}"
+            ))
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Role;
+
+    #[test]
+    fn flat_tree_shape() {
+        let t = Topology::flat(8);
+        assert_eq!(t.node_count(), 9);
+        assert_eq!(t.leaf_count(), 8);
+        assert_eq!(t.internal_count(), 0);
+        assert_eq!(t.depth(), 1);
+        assert_eq!(t.max_fanout(), 8);
+    }
+
+    #[test]
+    fn balanced_16x16_matches_paper_numbers() {
+        // §3.2: fan-out 16 needs 16 internal nodes for 256 back-ends.
+        let t = Topology::balanced(16, 2);
+        assert_eq!(t.leaf_count(), 256);
+        assert_eq!(t.internal_count(), 16);
+        assert_eq!(t.depth(), 2);
+    }
+
+    #[test]
+    fn balanced_16_cubed_matches_paper_numbers() {
+        // §3.2: 272 internal nodes for 4096 back-ends at fan-out 16.
+        let t = Topology::balanced(16, 3);
+        assert_eq!(t.leaf_count(), 4096);
+        assert_eq!(t.internal_count(), 16 + 256);
+        assert_eq!(t.depth(), 3);
+    }
+
+    #[test]
+    fn balanced_levels_mixed_fanouts() {
+        let t = Topology::balanced_levels(&[2, 3]);
+        assert_eq!(t.leaf_count(), 6);
+        assert_eq!(t.internal_count(), 2);
+        for leaf in t.leaves() {
+            assert_eq!(t.depth_of(leaf), 2);
+        }
+    }
+
+    #[test]
+    fn knomial_node_count_is_k_to_the_order() {
+        for k in 2..=4usize {
+            for order in 0..=4usize {
+                let t = Topology::knomial(k, order);
+                assert_eq!(
+                    t.node_count(),
+                    k.pow(order as u32),
+                    "k={k} order={order}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn knomial_is_skewed() {
+        // Binomial tree of order 4: root fan-out 4, leaves at varying depth.
+        let t = Topology::knomial(2, 4);
+        assert_eq!(t.children(t.root()).len(), 4);
+        let depths: Vec<usize> = t.leaves().iter().map(|&l| t.depth_of(l)).collect();
+        let min = depths.iter().min().unwrap();
+        let max = depths.iter().max().unwrap();
+        assert!(min < max, "k-nomial leaves should sit at varying depths");
+    }
+
+    #[test]
+    fn knomial_order_zero_is_singleton() {
+        let t = Topology::knomial(3, 0);
+        assert_eq!(t.node_count(), 1);
+        assert_eq!(t.role(t.root()), Role::FrontEnd);
+    }
+
+    #[test]
+    fn best_attach_point_prefers_shallow_underfull_nodes() {
+        let mut t = Topology::balanced(2, 1); // root + 2 leaves
+        let p = best_attach_point(&t, 4).unwrap();
+        assert_eq!(p, t.root());
+        t.attach_leaf(p).unwrap();
+        t.attach_leaf(p).unwrap();
+        // Root now full at fanout 4: no internal nodes exist, so error.
+        assert!(best_attach_point(&t, 4).is_err());
+    }
+
+    #[test]
+    fn best_attach_point_breaks_fanout_ties_by_depth() {
+        let mut t = Topology::balanced(2, 2); // root -> 2 internals -> 4 leaves
+        // Root and both internals all have fan-out 2; the tie breaks toward
+        // the shallowest node, the root.
+        assert_eq!(best_attach_point(&t, 3).unwrap(), t.root());
+        // Fill the root: now only the internals (depth 1) have room.
+        t.attach_leaf(t.root()).unwrap();
+        let p = best_attach_point(&t, 3).unwrap();
+        assert_eq!(t.depth_of(p), 1);
+        assert_eq!(t.role(p), Role::Internal);
+    }
+
+    #[test]
+    fn best_attach_point_errors_when_everything_full() {
+        let t = Topology::balanced(2, 2);
+        assert!(best_attach_point(&t, 2).is_err());
+    }
+}

@@ -1,0 +1,77 @@
+//! Graphviz export for topologies — handy when explaining why a flat
+//! 512-way tree looks the way it does.
+
+use std::fmt::Write;
+
+use crate::tree::{Role, Topology};
+
+/// Render the tree in DOT format. Front-end is a doubled circle, internal
+/// communication processes are boxes, back-ends are plain circles, and
+/// detached slots are omitted.
+pub fn to_dot(topo: &Topology, name: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph {name} {{");
+    let _ = writeln!(out, "  rankdir=TB;");
+    for n in topo.node_ids() {
+        match topo.role(n) {
+            Role::FrontEnd => {
+                let _ = writeln!(
+                    out,
+                    "  n{} [label=\"FE {}\", shape=doublecircle];",
+                    n.0, n.0
+                );
+            }
+            Role::Internal => {
+                let _ = writeln!(out, "  n{} [label=\"CP {}\", shape=box];", n.0, n.0);
+            }
+            Role::BackEnd => {
+                let _ = writeln!(out, "  n{} [label=\"BE {}\", shape=circle];", n.0, n.0);
+            }
+            Role::Detached => {}
+        }
+    }
+    for (p, c) in topo.edges() {
+        let _ = writeln!(out, "  n{p} -> n{c};");
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::NodeId;
+
+    #[test]
+    fn dot_contains_every_live_node_and_edge() {
+        let topo = Topology::balanced(2, 2);
+        let dot = to_dot(&topo, "overlay");
+        assert!(dot.starts_with("digraph overlay {"));
+        assert!(dot.contains("doublecircle"));
+        for n in topo.node_ids() {
+            assert!(dot.contains(&format!("n{}", n.0)));
+        }
+        for (p, c) in topo.edges() {
+            assert!(dot.contains(&format!("n{p} -> n{c};")));
+        }
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn detached_nodes_are_omitted() {
+        let mut topo = Topology::flat(3);
+        topo.detach_leaf(NodeId(2)).unwrap();
+        let dot = to_dot(&topo, "g");
+        assert!(!dot.contains("n2 ["));
+        assert!(!dot.contains("-> n2;"));
+        assert!(dot.contains("n1 ["));
+    }
+
+    #[test]
+    fn roles_have_distinct_shapes() {
+        let dot = to_dot(&Topology::balanced(2, 2), "g");
+        assert!(dot.contains("shape=doublecircle"));
+        assert!(dot.contains("shape=box"));
+        assert!(dot.contains("shape=circle"));
+    }
+}

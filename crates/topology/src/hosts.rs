@@ -1,0 +1,192 @@
+//! Process placement: mapping overlay ranks onto physical hosts.
+//!
+//! MRNet topology files assign every process to a host; placement decides
+//! which tree edges cross the network and which stay on-box. This module
+//! provides the placement strategies a deployment would use, plus the
+//! cross-edge accounting that the shaped transport consumes to charge
+//! network costs only where the paper's testbed would have paid them.
+
+use std::collections::HashMap;
+
+use crate::tree::{NodeId, Role, Topology};
+
+/// An assignment of overlay ranks to host indices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HostMap {
+    assignment: HashMap<u32, usize>,
+    hosts: usize,
+}
+
+impl HostMap {
+    /// Everything on one host (a laptop run; no edge crosses the network).
+    pub fn single_host(topo: &Topology) -> HostMap {
+        let assignment = topo.node_ids().map(|n| (n.0, 0)).collect();
+        HostMap {
+            assignment,
+            hosts: 1,
+        }
+    }
+
+    /// Spread processes over `hosts` in BFS order, round robin — the naive
+    /// placement that maximizes cross-host edges.
+    ///
+    /// # Panics
+    /// Panics if `hosts == 0`.
+    pub fn round_robin(topo: &Topology, hosts: usize) -> HostMap {
+        assert!(hosts > 0, "need at least one host");
+        let mut assignment = HashMap::new();
+        let mut next = 0usize;
+        let mut queue = std::collections::VecDeque::from([topo.root()]);
+        while let Some(n) = queue.pop_front() {
+            assignment.insert(n.0, next % hosts);
+            next += 1;
+            for &c in topo.children(n) {
+                queue.push_back(NodeId(c));
+            }
+        }
+        HostMap { assignment, hosts }
+    }
+
+    /// Locality-aware placement: each subtree under a root child lands on
+    /// its own host (wrapping if there are more subtrees than hosts); the
+    /// front-end gets host 0. This is the Ganglia-style "one aggregator per
+    /// cluster" layout and minimizes cross-host edges.
+    ///
+    /// # Panics
+    /// Panics if `hosts == 0`.
+    pub fn by_subtree(topo: &Topology, hosts: usize) -> HostMap {
+        assert!(hosts > 0, "need at least one host");
+        let mut assignment = HashMap::new();
+        assignment.insert(topo.root().0, 0);
+        for (i, &child) in topo.children(topo.root()).iter().enumerate() {
+            let host = i % hosts;
+            let mut queue = std::collections::VecDeque::from([NodeId(child)]);
+            while let Some(n) = queue.pop_front() {
+                assignment.insert(n.0, host);
+                for &c in topo.children(n) {
+                    queue.push_back(NodeId(c));
+                }
+            }
+        }
+        HostMap { assignment, hosts }
+    }
+
+    /// Number of hosts in the map.
+    pub fn hosts(&self) -> usize {
+        self.hosts
+    }
+
+    /// Host index of a rank, if placed.
+    pub fn host_of(&self, rank: u32) -> Option<usize> {
+        self.assignment.get(&rank).copied()
+    }
+
+    /// Do two ranks share a host? Unplaced ranks (attached after the map
+    /// was built) count as remote, the conservative choice.
+    pub fn is_local(&self, a: u32, b: u32) -> bool {
+        match (self.host_of(a), self.host_of(b)) {
+            (Some(x), Some(y)) => x == y,
+            _ => false,
+        }
+    }
+
+    /// Tree edges that cross hosts under this placement.
+    pub fn cross_edges(&self, topo: &Topology) -> usize {
+        topo.edges()
+            .iter()
+            .filter(|&&(p, c)| !self.is_local(p, c))
+            .count()
+    }
+
+    /// Ranks per host (diagnostics / balance checks).
+    pub fn load(&self) -> Vec<usize> {
+        let mut load = vec![0usize; self.hosts];
+        for &h in self.assignment.values() {
+            load[h] += 1;
+        }
+        load
+    }
+}
+
+/// How many back-ends land on each host (application work balance).
+pub fn backend_load(map: &HostMap, topo: &Topology) -> Vec<usize> {
+    let mut load = vec![0usize; map.hosts()];
+    for leaf in topo.leaves() {
+        if topo.role(leaf) == Role::BackEnd {
+            if let Some(h) = map.host_of(leaf.0) {
+                load[h] += 1;
+            }
+        }
+    }
+    load
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_host_has_no_cross_edges() {
+        let t = Topology::balanced(4, 2);
+        let m = HostMap::single_host(&t);
+        assert_eq!(m.cross_edges(&t), 0);
+        assert_eq!(m.load(), vec![t.node_count()]);
+    }
+
+    #[test]
+    fn round_robin_balances_ranks() {
+        let t = Topology::balanced(4, 2); // 21 nodes
+        let m = HostMap::round_robin(&t, 4);
+        let load = m.load();
+        assert_eq!(load.iter().sum::<usize>(), 21);
+        let min = load.iter().min().unwrap();
+        let max = load.iter().max().unwrap();
+        assert!(max - min <= 1, "round robin must balance: {load:?}");
+    }
+
+    #[test]
+    fn by_subtree_keeps_subtrees_local() {
+        let t = Topology::balanced(3, 2); // 3 subtrees of 4 nodes each
+        let m = HostMap::by_subtree(&t, 3);
+        // Only the root-to-child edges cross hosts (root on host 0; child 1's
+        // subtree is also host 0, so 2 of the 3 top edges cross).
+        assert_eq!(m.cross_edges(&t), 2);
+        // Every internal node shares a host with all its leaves.
+        for &child in t.children(t.root()) {
+            let h = m.host_of(child).unwrap();
+            for leaf in t.leaves_below(NodeId(child)) {
+                assert_eq!(m.host_of(leaf.0), Some(h));
+            }
+        }
+    }
+
+    #[test]
+    fn by_subtree_wraps_when_fewer_hosts() {
+        let t = Topology::balanced(4, 2);
+        let m = HostMap::by_subtree(&t, 2);
+        assert_eq!(m.hosts(), 2);
+        let bl = backend_load(&m, &t);
+        assert_eq!(bl.iter().sum::<usize>(), 16);
+        assert_eq!(bl[0], 8);
+        assert_eq!(bl[1], 8);
+    }
+
+    #[test]
+    fn round_robin_maximizes_crossings_relative_to_subtree() {
+        let t = Topology::balanced(4, 2);
+        let rr = HostMap::round_robin(&t, 4).cross_edges(&t);
+        let st = HostMap::by_subtree(&t, 4).cross_edges(&t);
+        assert!(
+            rr > st,
+            "round robin ({rr}) should cross more edges than by-subtree ({st})"
+        );
+    }
+
+    #[test]
+    fn unplaced_ranks_are_remote() {
+        let t = Topology::flat(2);
+        let m = HostMap::single_host(&t);
+        assert!(!m.is_local(0, 99));
+        assert_eq!(m.host_of(99), None);
+    }
+}

@@ -1,0 +1,33 @@
+//! Process-tree topologies for tree-based overlay networks.
+//!
+//! A TBON organizes one *front-end* (the root), a tree of *communication
+//! processes* (internal nodes) and *back-ends* (the leaves). MRNet lets the
+//! tool pick the tree's shape — balanced k-ary, skewed k-nomial, or anything
+//! custom — and lets back-ends join after instantiation. This crate provides
+//! those shapes, a parser for compact specification strings ("16x16"),
+//! routing helpers used by the runtime, and the fan-out/overhead arithmetic
+//! behind the paper's §3.2 node-cost numbers.
+//!
+//! ```
+//! use tbon_topology::{Topology, TopologySpec, TopologyStats};
+//!
+//! // The paper's fan-out-16 example: 16 internal nodes serve 256 back-ends.
+//! let topo: Topology = TopologySpec::parse("16x16").unwrap().build();
+//! let stats = TopologyStats::of(&topo);
+//! assert_eq!(stats.backends, 256);
+//! assert_eq!(stats.internals, 16);
+//! assert_eq!(stats.overhead_percent, 6.25);
+//! ```
+
+pub mod builder;
+pub mod dot;
+pub mod hosts;
+pub mod spec;
+pub mod stats;
+pub mod tree;
+
+pub use dot::to_dot;
+pub use hosts::HostMap;
+pub use spec::TopologySpec;
+pub use stats::TopologyStats;
+pub use tree::{NodeId, Role, Topology, TopologyError};

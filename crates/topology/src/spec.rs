@@ -1,0 +1,226 @@
+//! Compact topology specification strings.
+//!
+//! MRNet tools describe their process tree with short strings; we support:
+//!
+//! * `"16x16"` — balanced tree, one fan-out per level, root first
+//!   (`16x16` = 16 internals, 256 back-ends).
+//! * `"flat:64"` (or just `"64"`) — one-deep tree with 64 back-ends.
+//! * `"knomial:2,5"` — k-nomial (skewed) tree, `k = 2`, order 5.
+//! * `"balanced:16^2"` — fan-out 16, depth 2 (same as `16x16`).
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::tree::{Topology, TopologyError};
+
+/// A parsed topology description. Build the concrete tree with
+/// [`TopologySpec::build`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologySpec {
+    /// Per-level fan-outs, root first.
+    Balanced { levels: Vec<usize> },
+    /// One-deep tree.
+    Flat { leaves: usize },
+    /// Skewed k-nomial tree.
+    Knomial { k: usize, order: usize },
+}
+
+impl TopologySpec {
+    /// Parse a specification string (see module docs for the grammar).
+    pub fn parse(s: &str) -> Result<TopologySpec, TopologyError> {
+        let s = s.trim();
+        if s.is_empty() {
+            return Err(TopologyError::BadSpec("empty spec".into()));
+        }
+        if let Some(rest) = s.strip_prefix("flat:") {
+            let leaves = parse_positive(rest)?;
+            return Ok(TopologySpec::Flat { leaves });
+        }
+        if let Some(rest) = s.strip_prefix("knomial:") {
+            let (k_str, order_str) = rest.split_once(',').ok_or_else(|| {
+                TopologyError::BadSpec(format!("knomial wants 'k,order', got '{rest}'"))
+            })?;
+            let k = parse_positive(k_str)?;
+            if k < 2 {
+                return Err(TopologyError::BadSpec("knomial requires k >= 2".into()));
+            }
+            let order = order_str
+                .trim()
+                .parse::<usize>()
+                .map_err(|_| TopologyError::BadSpec(format!("bad order '{order_str}'")))?;
+            return Ok(TopologySpec::Knomial { k, order });
+        }
+        if let Some(rest) = s.strip_prefix("balanced:") {
+            let (f_str, d_str) = rest.split_once('^').ok_or_else(|| {
+                TopologyError::BadSpec(format!("balanced wants 'fanout^depth', got '{rest}'"))
+            })?;
+            let fanout = parse_positive(f_str)?;
+            let depth = parse_positive(d_str)?;
+            return Ok(TopologySpec::Balanced {
+                levels: vec![fanout; depth],
+            });
+        }
+        // "AxBxC" or a bare integer.
+        let levels: Result<Vec<usize>, TopologyError> =
+            s.split('x').map(parse_positive).collect();
+        let levels = levels?;
+        if levels.len() == 1 {
+            Ok(TopologySpec::Flat { leaves: levels[0] })
+        } else {
+            Ok(TopologySpec::Balanced { levels })
+        }
+    }
+
+    /// Materialize the described tree.
+    pub fn build(&self) -> Topology {
+        match self {
+            TopologySpec::Balanced { levels } => Topology::balanced_levels(levels),
+            TopologySpec::Flat { leaves } => Topology::flat(*leaves),
+            TopologySpec::Knomial { k, order } => Topology::knomial(*k, *order),
+        }
+    }
+
+    /// Back-end count the built tree will have, without building it.
+    pub fn leaf_count(&self) -> usize {
+        match self {
+            TopologySpec::Balanced { levels } => levels.iter().product(),
+            TopologySpec::Flat { leaves } => *leaves,
+            TopologySpec::Knomial { k, order } => {
+                // L(0) = 0: the lone root is the front-end, not a back-end.
+                // For d >= 1 the recurrence L(d) = (k-1) * sum_{i<d} S(i)
+                // over subtree leaf counts collapses to (k-1) * k^(d-1).
+                if *order == 0 {
+                    0
+                } else {
+                    (*k - 1) * k.pow(*order as u32 - 1)
+                }
+            }
+        }
+    }
+}
+
+impl FromStr for TopologySpec {
+    type Err = TopologyError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        TopologySpec::parse(s)
+    }
+}
+
+impl fmt::Display for TopologySpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologySpec::Balanced { levels } => {
+                let parts: Vec<String> = levels.iter().map(|l| l.to_string()).collect();
+                write!(f, "{}", parts.join("x"))
+            }
+            TopologySpec::Flat { leaves } => write!(f, "flat:{leaves}"),
+            TopologySpec::Knomial { k, order } => write!(f, "knomial:{k},{order}"),
+        }
+    }
+}
+
+fn parse_positive(s: &str) -> Result<usize, TopologyError> {
+    let n = s
+        .trim()
+        .parse::<usize>()
+        .map_err(|_| TopologyError::BadSpec(format!("'{s}' is not a number")))?;
+    if n == 0 {
+        return Err(TopologyError::BadSpec("zero is not a valid size".into()));
+    }
+    Ok(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_balanced_x_form() {
+        let spec = TopologySpec::parse("16x16").unwrap();
+        assert_eq!(
+            spec,
+            TopologySpec::Balanced {
+                levels: vec![16, 16]
+            }
+        );
+        let t = spec.build();
+        assert_eq!(t.leaf_count(), 256);
+        assert_eq!(spec.leaf_count(), 256);
+    }
+
+    #[test]
+    fn parse_mixed_levels() {
+        let spec = TopologySpec::parse("4x8x2").unwrap();
+        assert_eq!(spec.leaf_count(), 64);
+        assert_eq!(spec.build().leaf_count(), 64);
+    }
+
+    #[test]
+    fn parse_bare_integer_is_flat() {
+        let spec = TopologySpec::parse("64").unwrap();
+        assert_eq!(spec, TopologySpec::Flat { leaves: 64 });
+        assert_eq!(spec.build().depth(), 1);
+    }
+
+    #[test]
+    fn parse_flat_prefix() {
+        assert_eq!(
+            TopologySpec::parse("flat:12").unwrap(),
+            TopologySpec::Flat { leaves: 12 }
+        );
+    }
+
+    #[test]
+    fn parse_balanced_caret_form() {
+        let spec = TopologySpec::parse("balanced:16^2").unwrap();
+        assert_eq!(spec.build().leaf_count(), 256);
+    }
+
+    #[test]
+    fn parse_knomial() {
+        let spec = TopologySpec::parse("knomial:2,5").unwrap();
+        let t = spec.build();
+        assert_eq!(t.node_count(), 32);
+        assert_eq!(spec.leaf_count(), t.leaf_count());
+    }
+
+    #[test]
+    fn knomial_leaf_count_formula_matches_construction() {
+        for k in 2..=4usize {
+            for order in 0..=5usize {
+                let spec = TopologySpec::Knomial { k, order };
+                assert_eq!(
+                    spec.leaf_count(),
+                    spec.build().leaf_count(),
+                    "k={k} order={order}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reject_garbage() {
+        assert!(TopologySpec::parse("").is_err());
+        assert!(TopologySpec::parse("axb").is_err());
+        assert!(TopologySpec::parse("16x0").is_err());
+        assert!(TopologySpec::parse("knomial:1,3").is_err());
+        assert!(TopologySpec::parse("knomial:5").is_err());
+        assert!(TopologySpec::parse("balanced:16").is_err());
+    }
+
+    #[test]
+    fn display_roundtrips_through_parse() {
+        for s in ["16x16", "flat:9", "knomial:3,4", "2x3x4"] {
+            let spec = TopologySpec::parse(s).unwrap();
+            let reparsed = TopologySpec::parse(&spec.to_string()).unwrap();
+            assert_eq!(spec, reparsed);
+        }
+    }
+
+    #[test]
+    fn fromstr_works() {
+        let spec: TopologySpec = "8x8".parse().unwrap();
+        assert_eq!(spec.leaf_count(), 64);
+    }
+}

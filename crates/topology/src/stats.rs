@@ -1,0 +1,181 @@
+//! Shape analysis: the arithmetic behind the paper's §3.2 cost argument.
+//!
+//! "Clearly, deep trees come with the cost of increased node usage; however,
+//! this penalty is moderate. For example, with a fan-out of 16, 16 (6.25%
+//! more) internal nodes are needed to connect 256 back-ends, or 272 (6.6%)
+//! for 4096 back-ends." [`TopologyStats`] computes exactly these figures for
+//! any tree, and [`internal_nodes_for`] gives the closed form for balanced
+//! trees used by the E3 experiment harness.
+
+use crate::tree::{NodeId, Topology};
+
+/// Summary of a topology's shape and cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopologyStats {
+    /// Total processes (front-end + internal + back-ends).
+    pub nodes: usize,
+    /// Back-end (leaf) processes doing application work.
+    pub backends: usize,
+    /// Communication (internal) processes — the "extra" cost of the tree.
+    pub internals: usize,
+    /// Longest root-to-leaf distance in edges.
+    pub depth: usize,
+    /// Largest fan-out anywhere in the tree.
+    pub max_fanout: usize,
+    /// Fan-out of the front-end specifically (the flat-tree bottleneck).
+    pub root_fanout: usize,
+    /// `internals / backends`, the paper's overhead metric, in percent.
+    pub overhead_percent: f64,
+    /// Node count per level, root level first.
+    pub level_widths: Vec<usize>,
+}
+
+impl TopologyStats {
+    /// Analyze a topology.
+    pub fn of(topo: &Topology) -> TopologyStats {
+        let backends = topo.leaf_count();
+        let internals = topo.internal_count();
+        let depth = topo.depth();
+        let mut level_widths = vec![0usize; depth + 1];
+        for n in topo.node_ids() {
+            // Detached leaves have no parent and would report depth 0;
+            // only count nodes still connected to the root.
+            if n == topo.root() || topo.parent(n).is_some() {
+                level_widths[topo.depth_of(n)] += 1;
+            }
+        }
+        TopologyStats {
+            nodes: topo.node_count(),
+            backends,
+            internals,
+            depth,
+            max_fanout: topo.max_fanout(),
+            root_fanout: topo.children(NodeId(0)).len(),
+            overhead_percent: if backends == 0 {
+                0.0
+            } else {
+                100.0 * internals as f64 / backends as f64
+            },
+            level_widths,
+        }
+    }
+}
+
+/// Closed form: internal communication nodes a balanced tree of the given
+/// `fanout` needs to connect `backends` leaves (front-end not counted, as in
+/// the paper). Rounds partial levels up, so it is exact for perfect powers
+/// and a tight upper bound otherwise.
+pub fn internal_nodes_for(fanout: usize, backends: usize) -> usize {
+    assert!(fanout >= 2, "fanout must be at least 2");
+    let mut total = 0usize;
+    let mut level = backends.div_ceil(fanout);
+    // Keep adding aggregation levels until one node (the front-end) suffices.
+    while level > 1 {
+        total += level;
+        level = level.div_ceil(fanout);
+    }
+    total
+}
+
+/// The paper's overhead metric for a balanced tree, in percent.
+pub fn overhead_percent_for(fanout: usize, backends: usize) -> f64 {
+    100.0 * internal_nodes_for(fanout, backends) as f64 / backends as f64
+}
+
+/// How deep a balanced tree of `fanout` must be to host `backends` leaves.
+pub fn required_depth(fanout: usize, backends: usize) -> usize {
+    assert!(fanout >= 2);
+    let mut depth = 0usize;
+    let mut capacity = 1usize;
+    while capacity < backends {
+        capacity = capacity.saturating_mul(fanout);
+        depth += 1;
+    }
+    depth
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_fanout16_256_backends() {
+        // §3.2: "16 (6.25% more) internal nodes are needed to connect 256
+        // back-ends"
+        assert_eq!(internal_nodes_for(16, 256), 16);
+        let pct = overhead_percent_for(16, 256);
+        assert!((pct - 6.25).abs() < 1e-9, "got {pct}");
+    }
+
+    #[test]
+    fn paper_fanout16_4096_backends() {
+        // §3.2: "or 272 (6.6%) for 4096 back-ends"
+        assert_eq!(internal_nodes_for(16, 4096), 272);
+        let pct = overhead_percent_for(16, 4096);
+        assert!((pct - 6.640625).abs() < 1e-9, "got {pct}");
+    }
+
+    #[test]
+    fn closed_form_matches_constructed_balanced_trees() {
+        for fanout in [2usize, 4, 8, 16] {
+            for depth in 1..=3usize {
+                let topo = Topology::balanced(fanout, depth);
+                let stats = TopologyStats::of(&topo);
+                assert_eq!(
+                    internal_nodes_for(fanout, stats.backends),
+                    stats.internals,
+                    "fanout={fanout} depth={depth}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stats_of_balanced_16x16() {
+        let stats = TopologyStats::of(&Topology::balanced(16, 2));
+        assert_eq!(stats.nodes, 273);
+        assert_eq!(stats.backends, 256);
+        assert_eq!(stats.internals, 16);
+        assert_eq!(stats.depth, 2);
+        assert_eq!(stats.root_fanout, 16);
+        assert_eq!(stats.level_widths, vec![1, 16, 256]);
+        assert!((stats.overhead_percent - 6.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stats_of_flat_tree_has_zero_overhead() {
+        let stats = TopologyStats::of(&Topology::flat(100));
+        assert_eq!(stats.internals, 0);
+        assert_eq!(stats.overhead_percent, 0.0);
+        assert_eq!(stats.root_fanout, 100);
+    }
+
+    #[test]
+    fn non_power_backend_counts_round_up() {
+        // 100 leaves at fanout 16: ceil(100/16)=7 first-level nodes, then 1.
+        assert_eq!(internal_nodes_for(16, 100), 7);
+        // 17 leaves at fanout 16 needs 2 aggregators then the root.
+        assert_eq!(internal_nodes_for(16, 17), 2);
+        // A single aggregator level that already fits is free of internals.
+        assert_eq!(internal_nodes_for(16, 16), 0);
+    }
+
+    #[test]
+    fn required_depth_examples() {
+        assert_eq!(required_depth(16, 1), 0);
+        assert_eq!(required_depth(16, 16), 1);
+        assert_eq!(required_depth(16, 17), 2);
+        assert_eq!(required_depth(16, 256), 2);
+        assert_eq!(required_depth(16, 4096), 3);
+        assert_eq!(required_depth(2, 324), 9);
+    }
+
+    #[test]
+    fn knomial_stats_have_varying_level_widths() {
+        let stats = TopologyStats::of(&Topology::knomial(2, 4));
+        assert_eq!(stats.nodes, 16);
+        assert_eq!(stats.level_widths.iter().sum::<usize>(), 16);
+        assert_eq!(stats.level_widths[0], 1);
+        assert_eq!(stats.root_fanout, 4);
+    }
+}

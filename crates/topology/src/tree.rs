@@ -1,0 +1,593 @@
+//! The [`Topology`] structure: a rooted tree of process slots with roles.
+//!
+//! Node ids are dense `u32`s; the root (front-end) is always node 0. The
+//! structure is mutable only through validated operations — construction
+//! from edges, leaf attachment, and leaf removal — so every reachable value
+//! satisfies the tree invariants (single root, acyclic, every non-root has
+//! exactly one parent).
+
+use std::collections::VecDeque;
+use std::fmt;
+
+/// A process slot in the overlay tree. The runtime maps these one-to-one
+/// onto transport peer ids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// What kind of process occupies a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Role {
+    /// The application process at the root of the tree.
+    FrontEnd,
+    /// A communication process relaying and filtering in-flight packets.
+    Internal,
+    /// An application process at a leaf.
+    BackEnd,
+    /// A retired slot: its back-end was detached (left or failed). The id is
+    /// never reused.
+    Detached,
+}
+
+/// Errors from topology construction and mutation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologyError {
+    /// An edge referenced a node id out of the dense range.
+    UnknownNode(u32),
+    /// A child appeared with two different parents.
+    DuplicateParent(u32),
+    /// The edge set contains a cycle or disconnected component.
+    NotATree,
+    /// Attempted to attach under a back-end or remove a non-leaf.
+    InvalidOperation(String),
+    /// A specification string could not be parsed.
+    BadSpec(String),
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::UnknownNode(n) => write!(f, "unknown node id {n}"),
+            TopologyError::DuplicateParent(n) => {
+                write!(f, "node {n} has more than one parent")
+            }
+            TopologyError::NotATree => write!(f, "edge set is not a single rooted tree"),
+            TopologyError::InvalidOperation(s) => write!(f, "invalid operation: {s}"),
+            TopologyError::BadSpec(s) => write!(f, "bad topology spec: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+/// What a slot was created as. Roles are fixed at creation: a
+/// communication process whose back-ends all died is still a communication
+/// process, not a back-end (it runs filter logic, not application logic).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum NodeKind {
+    FrontEnd,
+    Internal,
+    BackEnd,
+}
+
+/// A rooted process tree. Root is node 0 and carries [`Role::FrontEnd`];
+/// leaves carry [`Role::BackEnd`]; everything else is [`Role::Internal`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Topology {
+    parent: Vec<Option<u32>>,
+    children: Vec<Vec<u32>>,
+    kind: Vec<NodeKind>,
+}
+
+impl Topology {
+    /// A tree with just the front-end (useful as a base for dynamic attach).
+    pub fn singleton() -> Topology {
+        Topology {
+            parent: vec![None],
+            children: vec![Vec::new()],
+            kind: vec![NodeKind::FrontEnd],
+        }
+    }
+
+    /// Build from explicit `(parent, child)` edges over dense ids
+    /// `0..=max_id`, with 0 as the root. Validates the tree invariants.
+    pub fn from_edges(edges: &[(u32, u32)]) -> Result<Topology, TopologyError> {
+        let max_id = edges
+            .iter()
+            .flat_map(|&(a, b)| [a, b])
+            .max()
+            .unwrap_or(0);
+        let n = max_id as usize + 1;
+        let mut parent: Vec<Option<u32>> = vec![None; n];
+        let mut children: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for &(p, c) in edges {
+            if c == 0 {
+                return Err(TopologyError::DuplicateParent(0));
+            }
+            if parent[c as usize].is_some() {
+                return Err(TopologyError::DuplicateParent(c));
+            }
+            parent[c as usize] = Some(p);
+            children[p as usize].push(c);
+        }
+        // Kinds derive from the *construction-time* structure and stay
+        // fixed thereafter.
+        let kind: Vec<NodeKind> = (0..n)
+            .map(|i| {
+                if i == 0 {
+                    NodeKind::FrontEnd
+                } else if children[i].is_empty() {
+                    NodeKind::BackEnd
+                } else {
+                    NodeKind::Internal
+                }
+            })
+            .collect();
+        let topo = Topology {
+            parent,
+            children,
+            kind,
+        };
+        topo.validate()?;
+        Ok(topo)
+    }
+
+    /// Check connectivity and acyclicity by BFS from the root.
+    fn validate(&self) -> Result<(), TopologyError> {
+        let n = self.parent.len();
+        let mut seen = vec![false; n];
+        let mut queue = VecDeque::from([0u32]);
+        seen[0] = true;
+        let mut count = 0usize;
+        while let Some(node) = queue.pop_front() {
+            count += 1;
+            for &c in &self.children[node as usize] {
+                if c as usize >= n {
+                    return Err(TopologyError::UnknownNode(c));
+                }
+                if seen[c as usize] {
+                    return Err(TopologyError::NotATree);
+                }
+                seen[c as usize] = true;
+                queue.push_back(c);
+            }
+        }
+        if count != n {
+            return Err(TopologyError::NotATree);
+        }
+        Ok(())
+    }
+
+    /// The root (front-end) node.
+    pub fn root(&self) -> NodeId {
+        NodeId(0)
+    }
+
+    /// Total process count, including front-end and back-ends.
+    pub fn node_count(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Parent of `node`, or `None` for the root.
+    pub fn parent(&self, node: NodeId) -> Option<NodeId> {
+        self.parent
+            .get(node.0 as usize)
+            .copied()
+            .flatten()
+            .map(NodeId)
+    }
+
+    /// Children of `node` in attachment order.
+    pub fn children(&self, node: NodeId) -> &[u32] {
+        self.children
+            .get(node.0 as usize)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Whether the id refers to a node in this topology.
+    pub fn contains(&self, node: NodeId) -> bool {
+        (node.0 as usize) < self.parent.len()
+    }
+
+    /// The role of `node`. Roles are assigned at creation time and never
+    /// migrate: a communication process whose children all failed is still
+    /// [`Role::Internal`] (it runs filter logic, not application logic),
+    /// and the front-end is never a back-end even when it is momentarily a
+    /// leaf. A node removed from the tree reports [`Role::Detached`].
+    pub fn role(&self, node: NodeId) -> Role {
+        if node.0 == 0 {
+            return Role::FrontEnd;
+        }
+        if !self.contains(node) || self.parent(node).is_none() {
+            return Role::Detached;
+        }
+        match self.kind[node.0 as usize] {
+            NodeKind::FrontEnd => Role::FrontEnd,
+            NodeKind::Internal => Role::Internal,
+            NodeKind::BackEnd => Role::BackEnd,
+        }
+    }
+
+    /// All node ids, root first, in id order.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.parent.len() as u32).map(NodeId)
+    }
+
+    /// All `(parent, child)` edges.
+    pub fn edges(&self) -> Vec<(u32, u32)> {
+        let mut out = Vec::with_capacity(self.node_count().saturating_sub(1));
+        for (p, kids) in self.children.iter().enumerate() {
+            for &c in kids {
+                out.push((p as u32, c));
+            }
+        }
+        out
+    }
+
+    /// All back-end (leaf) node ids in id order.
+    pub fn leaves(&self) -> Vec<NodeId> {
+        self.node_ids()
+            .filter(|&n| self.role(n) == Role::BackEnd)
+            .collect()
+    }
+
+    /// Number of back-ends.
+    pub fn leaf_count(&self) -> usize {
+        self.node_ids()
+            .filter(|&n| self.role(n) == Role::BackEnd)
+            .count()
+    }
+
+    /// Number of communication (internal, non-root, non-leaf) processes.
+    pub fn internal_count(&self) -> usize {
+        self.node_ids()
+            .filter(|&n| self.role(n) == Role::Internal)
+            .count()
+    }
+
+    /// Length in edges of the longest root-to-leaf path.
+    pub fn depth(&self) -> usize {
+        let mut max_depth = 0;
+        let mut queue = VecDeque::from([(0u32, 0usize)]);
+        while let Some((node, d)) = queue.pop_front() {
+            max_depth = max_depth.max(d);
+            for &c in &self.children[node as usize] {
+                queue.push_back((c, d + 1));
+            }
+        }
+        max_depth
+    }
+
+    /// Depth (distance from root) of one node.
+    pub fn depth_of(&self, node: NodeId) -> usize {
+        let mut d = 0;
+        let mut cur = node;
+        while let Some(p) = self.parent(cur) {
+            cur = p;
+            d += 1;
+        }
+        d
+    }
+
+    /// Largest child count over all nodes.
+    pub fn max_fanout(&self) -> usize {
+        self.children.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Nodes on the path from `node` (inclusive) up to the root (inclusive).
+    pub fn path_to_root(&self, node: NodeId) -> Vec<NodeId> {
+        let mut path = vec![node];
+        let mut cur = node;
+        while let Some(p) = self.parent(cur) {
+            path.push(p);
+            cur = p;
+        }
+        path
+    }
+
+    /// Is `a` an ancestor of `b` (or equal to it)?
+    pub fn is_ancestor(&self, a: NodeId, b: NodeId) -> bool {
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.parent(cur) {
+                Some(p) => cur = p,
+                None => return false,
+            }
+        }
+    }
+
+    /// All back-ends in the subtree rooted at `node`.
+    pub fn leaves_below(&self, node: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let mut queue = VecDeque::from([node.0]);
+        while let Some(n) = queue.pop_front() {
+            let id = NodeId(n);
+            if self.role(id) == Role::BackEnd {
+                out.push(id);
+            }
+            queue.extend(self.children(id).iter().copied());
+        }
+        out
+    }
+
+    /// Routing primitive: partition `members` (back-end ids assumed to lie
+    /// below `node`) by which child of `node` leads to them. Members equal
+    /// to `node` itself are dropped (already delivered). Members not below
+    /// `node` are silently ignored — the runtime routes per-subtree.
+    pub fn route(&self, node: NodeId, members: &[NodeId]) -> Vec<(NodeId, Vec<NodeId>)> {
+        let mut buckets: Vec<(NodeId, Vec<NodeId>)> = self
+            .children(node)
+            .iter()
+            .map(|&c| (NodeId(c), Vec::new()))
+            .collect();
+        for &m in members {
+            if m == node {
+                continue;
+            }
+            // Climb from the member toward `node`; the last hop is the child.
+            let mut cur = m;
+            let mut via = None;
+            while let Some(p) = self.parent(cur) {
+                if p == node {
+                    via = Some(cur);
+                    break;
+                }
+                cur = p;
+            }
+            if let Some(v) = via {
+                if let Some(bucket) = buckets.iter_mut().find(|(c, _)| *c == v) {
+                    bucket.1.push(m);
+                }
+            }
+        }
+        buckets.retain(|(_, ms)| !ms.is_empty());
+        buckets
+    }
+
+    /// Attach a fresh back-end under `parent`, returning the new node id.
+    /// Mirrors MRNet's dynamic topology where back-ends may join after the
+    /// internal tree is instantiated.
+    pub fn attach_leaf(&mut self, parent: NodeId) -> Result<NodeId, TopologyError> {
+        if !self.contains(parent) {
+            return Err(TopologyError::UnknownNode(parent.0));
+        }
+        // Attaching under a back-end would silently promote it to a
+        // communication process; the runtime forbids that.
+        if self.role(parent) == Role::BackEnd {
+            return Err(TopologyError::InvalidOperation(format!(
+                "cannot attach under back-end {parent}"
+            )));
+        }
+        let id = self.parent.len() as u32;
+        self.parent.push(Some(parent.0));
+        self.children.push(Vec::new());
+        self.kind.push(NodeKind::BackEnd);
+        self.children[parent.0 as usize].push(id);
+        Ok(NodeId(id))
+    }
+
+    /// Remove a failed *internal* node by splicing its children onto its
+    /// parent — the reconfiguration step of the paper's dynamic-topology
+    /// extension ("the network properly reconfigures and re-routes
+    /// traffic"). Returns the reattached children. The id is retired.
+    pub fn splice_out_internal(&mut self, node: NodeId) -> Result<Vec<NodeId>, TopologyError> {
+        if !self.contains(node) {
+            return Err(TopologyError::UnknownNode(node.0));
+        }
+        if self.role(node) != Role::Internal {
+            return Err(TopologyError::InvalidOperation(format!(
+                "{node} is not an internal node"
+            )));
+        }
+        let parent = self.parent[node.0 as usize]
+            .take()
+            .expect("internal node has a parent");
+        self.children[parent as usize].retain(|&c| c != node.0);
+        let orphans = std::mem::take(&mut self.children[node.0 as usize]);
+        for &c in &orphans {
+            self.parent[c as usize] = Some(parent);
+            self.children[parent as usize].push(c);
+        }
+        Ok(orphans.into_iter().map(NodeId).collect())
+    }
+
+    /// Detach a back-end (e.g. after a failure). The id is retired, not
+    /// reused; lookups on it will report no parent and no children.
+    pub fn detach_leaf(&mut self, node: NodeId) -> Result<(), TopologyError> {
+        if !self.contains(node) {
+            return Err(TopologyError::UnknownNode(node.0));
+        }
+        if node.0 == 0 || !self.children(node).is_empty() {
+            return Err(TopologyError::InvalidOperation(format!(
+                "{node} is not a detachable leaf"
+            )));
+        }
+        if let Some(p) = self.parent[node.0 as usize].take() {
+            self.children[p as usize].retain(|&c| c != node.0);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn three_level() -> Topology {
+        // 0 -> {1,2}; 1 -> {3,4}; 2 -> {5,6}
+        Topology::from_edges(&[(0, 1), (0, 2), (1, 3), (1, 4), (2, 5), (2, 6)]).unwrap()
+    }
+
+    #[test]
+    fn roles_are_derived_from_position() {
+        let t = three_level();
+        assert_eq!(t.role(NodeId(0)), Role::FrontEnd);
+        assert_eq!(t.role(NodeId(1)), Role::Internal);
+        assert_eq!(t.role(NodeId(5)), Role::BackEnd);
+    }
+
+    #[test]
+    fn counts_and_depth() {
+        let t = three_level();
+        assert_eq!(t.node_count(), 7);
+        assert_eq!(t.leaf_count(), 4);
+        assert_eq!(t.internal_count(), 2);
+        assert_eq!(t.depth(), 2);
+        assert_eq!(t.depth_of(NodeId(6)), 2);
+        assert_eq!(t.max_fanout(), 2);
+    }
+
+    #[test]
+    fn duplicate_parent_rejected() {
+        let err = Topology::from_edges(&[(0, 1), (0, 2), (1, 2)]).unwrap_err();
+        assert_eq!(err, TopologyError::DuplicateParent(2));
+    }
+
+    #[test]
+    fn cycle_and_disconnection_rejected() {
+        // 3 is disconnected (self-contained cycle impossible with one
+        // parent, but unreachable nodes must fail validation).
+        assert_eq!(
+            Topology::from_edges(&[(0, 1), (2, 3)]).unwrap_err(),
+            TopologyError::NotATree
+        );
+        // Root with a parent is a cycle through 0.
+        assert!(Topology::from_edges(&[(0, 1), (1, 0)]).is_err());
+    }
+
+    #[test]
+    fn path_and_ancestry() {
+        let t = three_level();
+        assert_eq!(
+            t.path_to_root(NodeId(5)),
+            vec![NodeId(5), NodeId(2), NodeId(0)]
+        );
+        assert!(t.is_ancestor(NodeId(0), NodeId(6)));
+        assert!(t.is_ancestor(NodeId(2), NodeId(6)));
+        assert!(!t.is_ancestor(NodeId(1), NodeId(6)));
+        assert!(t.is_ancestor(NodeId(4), NodeId(4)));
+    }
+
+    #[test]
+    fn leaves_below_subtree() {
+        let t = three_level();
+        assert_eq!(t.leaves_below(NodeId(1)), vec![NodeId(3), NodeId(4)]);
+        assert_eq!(t.leaves_below(NodeId(0)).len(), 4);
+        assert_eq!(t.leaves_below(NodeId(6)), vec![NodeId(6)]);
+    }
+
+    #[test]
+    fn route_partitions_members_by_child() {
+        let t = three_level();
+        let buckets = t.route(NodeId(0), &[NodeId(3), NodeId(5), NodeId(6)]);
+        assert_eq!(buckets.len(), 2);
+        let via1 = buckets.iter().find(|(c, _)| *c == NodeId(1)).unwrap();
+        assert_eq!(via1.1, vec![NodeId(3)]);
+        let via2 = buckets.iter().find(|(c, _)| *c == NodeId(2)).unwrap();
+        assert_eq!(via2.1, vec![NodeId(5), NodeId(6)]);
+    }
+
+    #[test]
+    fn route_drops_self_and_foreign_members() {
+        let t = three_level();
+        // Member 3 is not below node 2.
+        let buckets = t.route(NodeId(2), &[NodeId(2), NodeId(3), NodeId(5)]);
+        assert_eq!(buckets.len(), 1);
+        assert_eq!(buckets[0].0, NodeId(5));
+    }
+
+    #[test]
+    fn attach_leaf_grows_tree() {
+        let mut t = three_level();
+        let new = t.attach_leaf(NodeId(2)).unwrap();
+        assert_eq!(new, NodeId(7));
+        assert_eq!(t.parent(new), Some(NodeId(2)));
+        assert_eq!(t.role(new), Role::BackEnd);
+        assert_eq!(t.leaf_count(), 5);
+    }
+
+    #[test]
+    fn attach_under_backend_rejected() {
+        let mut t = three_level();
+        assert!(matches!(
+            t.attach_leaf(NodeId(3)),
+            Err(TopologyError::InvalidOperation(_))
+        ));
+    }
+
+    #[test]
+    fn detach_leaf_removes_it() {
+        let mut t = three_level();
+        t.detach_leaf(NodeId(4)).unwrap();
+        assert_eq!(t.leaf_count(), 3);
+        assert_eq!(t.parent(NodeId(4)), None);
+        assert_eq!(t.role(NodeId(4)), Role::Detached);
+        assert!(!t.children(NodeId(1)).contains(&4));
+        // Node 1 now has one child and is still internal.
+        assert_eq!(t.role(NodeId(1)), Role::Internal);
+    }
+
+    #[test]
+    fn detach_non_leaf_rejected() {
+        let mut t = three_level();
+        assert!(t.detach_leaf(NodeId(1)).is_err());
+        assert!(t.detach_leaf(NodeId(0)).is_err());
+    }
+
+    #[test]
+    fn splice_out_internal_reattaches_children() {
+        let mut t = three_level();
+        let orphans = t.splice_out_internal(NodeId(1)).unwrap();
+        assert_eq!(orphans, vec![NodeId(3), NodeId(4)]);
+        assert_eq!(t.parent(NodeId(3)), Some(NodeId(0)));
+        assert_eq!(t.parent(NodeId(4)), Some(NodeId(0)));
+        assert_eq!(t.role(NodeId(1)), Role::Detached);
+        assert!(!t.children(NodeId(0)).contains(&1));
+        assert_eq!(t.leaf_count(), 4, "no back-ends lost");
+        // Parent/child tables stay mutually consistent.
+        for n in t.node_ids() {
+            for &c in t.children(n) {
+                assert_eq!(t.parent(NodeId(c)), Some(n));
+            }
+            if let Some(p) = t.parent(n) {
+                assert!(t.children(p).contains(&n.0));
+            }
+        }
+        // Every live node still reaches the root.
+        for leaf in t.leaves() {
+            assert!(t.is_ancestor(t.root(), leaf));
+        }
+    }
+
+    #[test]
+    fn splice_out_rejects_leaves_and_root() {
+        let mut t = three_level();
+        assert!(t.splice_out_internal(NodeId(0)).is_err());
+        assert!(t.splice_out_internal(NodeId(3)).is_err());
+        assert!(t.splice_out_internal(NodeId(99)).is_err());
+    }
+
+    #[test]
+    fn singleton_root_is_frontend() {
+        let t = Topology::singleton();
+        assert_eq!(t.node_count(), 1);
+        assert_eq!(t.role(NodeId(0)), Role::FrontEnd);
+        assert_eq!(t.leaf_count(), 0);
+    }
+
+    #[test]
+    fn edges_roundtrip() {
+        let t = three_level();
+        let rebuilt = Topology::from_edges(&t.edges()).unwrap();
+        assert_eq!(t, rebuilt);
+    }
+}

@@ -1,0 +1,108 @@
+//! Property-based tests for topology invariants.
+
+use proptest::prelude::*;
+use tbon_topology::builder::best_attach_point;
+use tbon_topology::{NodeId, Role, Topology, TopologySpec, TopologyStats};
+
+proptest! {
+    /// Balanced trees have exactly prod(levels) leaves, all at depth = #levels.
+    #[test]
+    fn balanced_leaf_count_and_depth(levels in prop::collection::vec(1usize..6, 1..4)) {
+        let t = Topology::balanced_levels(&levels);
+        let expected: usize = levels.iter().product();
+        prop_assert_eq!(t.leaf_count(), expected);
+        for leaf in t.leaves() {
+            prop_assert_eq!(t.depth_of(leaf), levels.len());
+        }
+        prop_assert_eq!(t.depth(), levels.len());
+    }
+
+    /// Every non-root node has exactly one parent, and parent/child tables agree.
+    #[test]
+    fn parent_child_consistency(fanout in 1usize..6, depth in 1usize..4) {
+        let t = Topology::balanced(fanout, depth);
+        for n in t.node_ids() {
+            match t.parent(n) {
+                None => prop_assert_eq!(n, t.root()),
+                Some(p) => prop_assert!(t.children(p).contains(&n.0)),
+            }
+            for &c in t.children(n) {
+                prop_assert_eq!(t.parent(NodeId(c)), Some(n));
+            }
+        }
+    }
+
+    /// Rebuilding a tree from its own edge list is the identity.
+    #[test]
+    fn edges_roundtrip(fanout in 2usize..5, depth in 1usize..4) {
+        let t = Topology::balanced(fanout, depth);
+        let rebuilt = Topology::from_edges(&t.edges()).unwrap();
+        prop_assert_eq!(t, rebuilt);
+    }
+
+    /// k-nomial trees always have k^order nodes and the closed-form leaf count.
+    #[test]
+    fn knomial_counts(k in 2usize..5, order in 0usize..6) {
+        let t = Topology::knomial(k, order);
+        prop_assert_eq!(t.node_count(), k.pow(order as u32));
+        let spec = TopologySpec::Knomial { k, order };
+        prop_assert_eq!(spec.leaf_count(), t.leaf_count());
+    }
+
+    /// route() partitions: every member lands in exactly one bucket, under
+    /// the child that is its ancestor.
+    #[test]
+    fn route_is_a_partition(fanout in 2usize..5, depth in 1usize..4, seed in any::<u64>()) {
+        let t = Topology::balanced(fanout, depth);
+        let leaves = t.leaves();
+        // Pick a pseudo-random subset of leaves as members.
+        let members: Vec<NodeId> = leaves
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| (seed >> (i % 64)) & 1 == 1)
+            .map(|(_, &l)| l)
+            .collect();
+        let buckets = t.route(t.root(), &members);
+        let total: usize = buckets.iter().map(|(_, ms)| ms.len()).sum();
+        prop_assert_eq!(total, members.len());
+        for (child, ms) in &buckets {
+            prop_assert!(t.children(t.root()).contains(&child.0));
+            for m in ms {
+                prop_assert!(t.is_ancestor(*child, *m));
+            }
+        }
+    }
+
+    /// Attaching leaves never breaks invariants and always grows leaf_count.
+    #[test]
+    fn attach_preserves_invariants(fanout in 2usize..4, depth in 1usize..3, extra in 1usize..8) {
+        let mut t = Topology::balanced(fanout, depth);
+        let before = t.leaf_count();
+        for _ in 0..extra {
+            let p = best_attach_point(&t, usize::MAX).unwrap();
+            let n = t.attach_leaf(p).unwrap();
+            prop_assert_eq!(t.parent(n), Some(p));
+            prop_assert_eq!(t.role(n), Role::BackEnd);
+        }
+        prop_assert_eq!(t.leaf_count(), before + extra);
+        // Rebuilding from edges still validates (tree invariants hold).
+        prop_assert!(Topology::from_edges(&t.edges()).is_ok());
+    }
+
+    /// Stats level widths sum to connected node count.
+    #[test]
+    fn level_widths_sum_to_nodes(fanout in 2usize..5, depth in 1usize..4) {
+        let t = Topology::balanced(fanout, depth);
+        let stats = TopologyStats::of(&t);
+        prop_assert_eq!(stats.level_widths.iter().sum::<usize>(), stats.nodes);
+        prop_assert_eq!(stats.nodes, 1 + stats.internals + stats.backends);
+    }
+
+    /// Spec strings printed from parsed specs re-parse to the same spec.
+    #[test]
+    fn spec_display_roundtrip(levels in prop::collection::vec(1usize..9, 2..4)) {
+        let spec = TopologySpec::Balanced { levels };
+        let reparsed = TopologySpec::parse(&spec.to_string()).unwrap();
+        prop_assert_eq!(spec, reparsed);
+    }
+}

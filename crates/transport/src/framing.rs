@@ -1,0 +1,145 @@
+//! Length-prefixed framing for stream transports.
+//!
+//! Every frame on a TCP link is `u32` little-endian length followed by that
+//! many payload bytes. A hard size limit guards against corrupt prefixes
+//! allocating unbounded buffers.
+
+use std::io::{self, Read, Write};
+
+use crate::TransportError;
+
+/// Upper bound on a single frame. Large enough for any experiment payload in
+/// this repository (multi-megabyte mean-shift datasets), small enough that a
+/// corrupt length prefix fails fast.
+pub const MAX_FRAME: usize = 256 * 1024 * 1024;
+
+/// Write one length-prefixed frame.
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> Result<(), TransportError> {
+    if payload.len() > MAX_FRAME {
+        return Err(TransportError::FrameTooLarge {
+            size: payload.len(),
+            max: MAX_FRAME,
+        });
+    }
+    let len = (payload.len() as u32).to_le_bytes();
+    w.write_all(&len).map_err(io_err)?;
+    w.write_all(payload).map_err(io_err)?;
+    w.flush().map_err(io_err)?;
+    Ok(())
+}
+
+/// Read one length-prefixed frame. Returns `Ok(None)` on clean EOF at a
+/// frame boundary.
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<Vec<u8>>, TransportError> {
+    let mut len_buf = [0u8; 4];
+    if !read_exact_or_eof(r, &mut len_buf)? { return Ok(None) }
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len > MAX_FRAME {
+        return Err(TransportError::FrameTooLarge {
+            size: len,
+            max: MAX_FRAME,
+        });
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload).map_err(io_err)?;
+    Ok(Some(payload))
+}
+
+/// Like `read_exact`, but distinguishes "EOF before any byte" (`Ok(false)`)
+/// from "EOF mid-buffer" (error).
+fn read_exact_or_eof<R: Read>(r: &mut R, buf: &mut [u8]) -> Result<bool, TransportError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) if filled == 0 => return Ok(false),
+            Ok(0) => {
+                return Err(TransportError::Io("unexpected EOF mid-frame".into()));
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(io_err(e)),
+        }
+    }
+    Ok(true)
+}
+
+fn io_err(e: io::Error) -> TransportError {
+    TransportError::Io(e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn roundtrip_small_frame() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        let mut cur = Cursor::new(buf);
+        assert_eq!(read_frame(&mut cur).unwrap().unwrap(), b"hello");
+        assert!(read_frame(&mut cur).unwrap().is_none());
+    }
+
+    #[test]
+    fn roundtrip_empty_frame() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"").unwrap();
+        let mut cur = Cursor::new(buf);
+        assert_eq!(read_frame(&mut cur).unwrap().unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn roundtrip_many_frames_in_order() {
+        let mut buf = Vec::new();
+        for i in 0..100u32 {
+            write_frame(&mut buf, &i.to_le_bytes()).unwrap();
+        }
+        let mut cur = Cursor::new(buf);
+        for i in 0..100u32 {
+            let frame = read_frame(&mut cur).unwrap().unwrap();
+            assert_eq!(frame, i.to_le_bytes());
+        }
+        assert!(read_frame(&mut cur).unwrap().is_none());
+    }
+
+    #[test]
+    fn oversized_write_rejected() {
+        struct NullWriter;
+        impl std::io::Write for NullWriter {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        // Don't allocate MAX_FRAME+1 bytes: fake the length check by a
+        // zero-length slice is impossible, so use a modest over-limit vec
+        // only when MAX_FRAME is small. Instead verify the reader-side limit.
+        let mut bad = Vec::new();
+        bad.extend_from_slice(&(u32::MAX).to_le_bytes());
+        let mut cur = Cursor::new(bad);
+        match read_frame(&mut cur) {
+            Err(TransportError::FrameTooLarge { .. }) => {}
+            other => panic!("expected FrameTooLarge, got {other:?}"),
+        }
+        let _ = NullWriter; // silence unused in case of cfg changes
+    }
+
+    #[test]
+    fn truncated_frame_is_error() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello world").unwrap();
+        buf.truncate(buf.len() - 3);
+        let mut cur = Cursor::new(buf);
+        assert!(read_frame(&mut cur).is_err());
+    }
+
+    #[test]
+    fn truncated_length_prefix_is_error() {
+        let buf = vec![1u8, 0]; // half a length prefix
+        let mut cur = Cursor::new(buf);
+        assert!(read_frame(&mut cur).is_err());
+    }
+}

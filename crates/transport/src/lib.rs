@@ -1,0 +1,285 @@
+//! FIFO-channel transports for tree-based overlay networks.
+//!
+//! The TBON model (Arnold, Pack & Miller, IPPS 2006) connects a front-end,
+//! internal communication processes and back-ends with FIFO channels built on
+//! ordinary network transport protocols such as TCP. This crate provides that
+//! substrate behind a small trait surface so the runtime in `tbon-core` is
+//! oblivious to whether its peers live on in-process channels, loopback TCP
+//! sockets, or a bandwidth/latency-shaped model of a slower interconnect:
+//!
+//! * [`local::LocalTransport`] — crossbeam channels, supports a zero-copy
+//!   fast path ([`Frame::Shared`]) mirroring MRNet's counted packet
+//!   references.
+//! * [`tcp::TcpTransport`] — real sockets with length-prefixed framing; every
+//!   frame crosses a kernel socket exactly as it would between cluster hosts.
+//! * [`uds::UdsTransport`] (unix) — the same over `AF_UNIX` sockets, for
+//!   single-host deployments that skip the TCP stack.
+//! * [`shaped::ShapedTransport`] — wraps either of the above and charges a
+//!   configurable per-link latency and bandwidth, restoring the relative
+//!   network costs that loopback hides.
+//!
+//! A node sees the world as one multiplexed [`Delivery`] receiver plus a
+//! [`Peers`] table of per-neighbour [`Link`]s. Links are FIFO: two frames
+//! sent over the same link are delivered in order.
+
+pub mod framing;
+pub mod local;
+pub mod shaped;
+pub mod tcp;
+#[cfg(unix)]
+pub mod uds;
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use crossbeam_channel::Receiver;
+use parking_lot::RwLock;
+
+/// Identifies a process (node) in the overlay. The runtime layers its own
+/// `Rank` on top of this.
+pub type PeerId = u32;
+
+/// The unit of data crossing a link.
+///
+/// Wire transports (TCP) only ever see [`Frame::Bytes`]. The in-process
+/// transport additionally accepts [`Frame::Shared`], which carries an
+/// `Arc`-counted object straight to the receiving thread without any
+/// serialization — the Rust analogue of MRNet placing one counted packet
+/// object into multiple outgoing buffers.
+#[derive(Clone)]
+pub enum Frame {
+    /// Serialized bytes; the only representation wire transports accept.
+    Bytes(Vec<u8>),
+    /// A shared, immutable object with a size hint used by shaped links to
+    /// charge bandwidth. Only valid on links where [`Link::needs_bytes`] is
+    /// `false`.
+    Shared {
+        data: Arc<dyn Any + Send + Sync>,
+        /// Approximate encoded size, so traffic shaping can charge the same
+        /// cost the bytes would have incurred.
+        size_hint: usize,
+    },
+}
+
+impl Frame {
+    /// Approximate on-wire size of this frame in bytes.
+    pub fn wire_size(&self) -> usize {
+        match self {
+            Frame::Bytes(b) => b.len(),
+            Frame::Shared { size_hint, .. } => *size_hint,
+        }
+    }
+}
+
+impl fmt::Debug for Frame {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Frame::Bytes(b) => write!(f, "Frame::Bytes({} bytes)", b.len()),
+            Frame::Shared { size_hint, .. } => {
+                write!(f, "Frame::Shared(~{size_hint} bytes)")
+            }
+        }
+    }
+}
+
+/// What a node pulls off its single multiplexed incoming queue.
+#[derive(Debug)]
+pub enum Delivery {
+    /// A frame arrived from a neighbour.
+    Frame { from: PeerId, frame: Frame },
+    /// A neighbour's endpoint went away (its process exited or the socket
+    /// closed). Used by the runtime for failure detection.
+    Disconnected { peer: PeerId },
+}
+
+/// One direction of a FIFO channel: the sending half owned by a node for one
+/// of its neighbours.
+pub trait Link: Send + Sync {
+    /// Enqueue a frame for the peer. FIFO with respect to other `send`s on
+    /// this link. Fails if the peer is gone.
+    fn send(&self, frame: Frame) -> Result<(), TransportError>;
+
+    /// Whether this link can only carry [`Frame::Bytes`]. The runtime
+    /// serializes packets before handing them to such links.
+    fn needs_bytes(&self) -> bool;
+}
+
+/// A live, shared table of a node's neighbours. The transport inserts new
+/// links here when edges are added at runtime (dynamic back-end attach).
+#[derive(Clone, Default)]
+pub struct Peers {
+    inner: Arc<RwLock<HashMap<PeerId, Arc<dyn Link>>>>,
+}
+
+impl Peers {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Look up the link to `peer`, if connected.
+    pub fn get(&self, peer: PeerId) -> Option<Arc<dyn Link>> {
+        self.inner.read().get(&peer).cloned()
+    }
+
+    /// All currently connected peer ids.
+    pub fn ids(&self) -> Vec<PeerId> {
+        self.inner.read().keys().copied().collect()
+    }
+
+    /// Number of connected peers.
+    pub fn len(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().is_empty()
+    }
+
+    /// Install a link; replaces any previous link to the same peer.
+    pub fn insert(&self, peer: PeerId, link: Arc<dyn Link>) {
+        self.inner.write().insert(peer, link);
+    }
+
+    /// Remove the link to `peer`, returning it if present.
+    pub fn remove(&self, peer: PeerId) -> Option<Arc<dyn Link>> {
+        self.inner.write().remove(&peer)
+    }
+}
+
+/// Everything a node needs to participate in the overlay.
+pub struct NodeEndpoint {
+    /// This node's id.
+    pub id: PeerId,
+    /// Multiplexed queue of frames and disconnect notices from all peers.
+    pub incoming: Receiver<Delivery>,
+    /// Links to neighbours; live-updated on dynamic connect.
+    pub peers: Peers,
+}
+
+impl fmt::Debug for NodeEndpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("NodeEndpoint")
+            .field("id", &self.id)
+            .field("peers", &self.peers.ids())
+            .finish()
+    }
+}
+
+/// A transport knows how to mint node endpoints and wire FIFO channels
+/// between them. All methods may be called after nodes have started running
+/// (dynamic topologies).
+pub trait Transport: Send + Sync {
+    /// Register a node and obtain its endpoint. Fails if `id` already exists.
+    fn add_node(&self, id: PeerId) -> Result<NodeEndpoint, TransportError>;
+
+    /// Create a bidirectional FIFO channel between two registered nodes,
+    /// installing a link in each node's [`Peers`] table. Returns once both
+    /// directions are usable.
+    fn connect(&self, a: PeerId, b: PeerId) -> Result<(), TransportError>;
+
+    /// Forget a node: subsequent sends to it fail and its peers receive
+    /// [`Delivery::Disconnected`]. Used by failure injection.
+    fn remove_node(&self, id: PeerId) -> Result<(), TransportError>;
+}
+
+/// Convenience: register every node and connect every edge of a tree.
+pub fn build_overlay(
+    transport: &dyn Transport,
+    nodes: &[PeerId],
+    edges: &[(PeerId, PeerId)],
+) -> Result<HashMap<PeerId, NodeEndpoint>, TransportError> {
+    let mut endpoints = HashMap::with_capacity(nodes.len());
+    for &n in nodes {
+        endpoints.insert(n, transport.add_node(n)?);
+    }
+    for &(a, b) in edges {
+        transport.connect(a, b)?;
+    }
+    Ok(endpoints)
+}
+
+/// Errors produced by transports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransportError {
+    /// The peer's endpoint is gone; the frame was not delivered.
+    Closed(PeerId),
+    /// Referenced a node id the transport has never seen.
+    UnknownPeer(PeerId),
+    /// `add_node` with an id that already exists.
+    DuplicateNode(PeerId),
+    /// The link only carries bytes but was handed a shared frame.
+    NeedsBytes,
+    /// Socket-level failure.
+    Io(String),
+    /// A frame exceeded the framing layer's size limit.
+    FrameTooLarge { size: usize, max: usize },
+}
+
+impl fmt::Display for TransportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransportError::Closed(p) => write!(f, "peer {p} is closed"),
+            TransportError::UnknownPeer(p) => write!(f, "unknown peer {p}"),
+            TransportError::DuplicateNode(p) => write!(f, "node {p} already registered"),
+            TransportError::NeedsBytes => {
+                write!(f, "link carries bytes only; shared frames unsupported")
+            }
+            TransportError::Io(e) => write!(f, "transport I/O error: {e}"),
+            TransportError::FrameTooLarge { size, max } => {
+                write!(f, "frame of {size} bytes exceeds limit of {max}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_wire_size_reports_bytes_len() {
+        let f = Frame::Bytes(vec![0u8; 17]);
+        assert_eq!(f.wire_size(), 17);
+    }
+
+    #[test]
+    fn frame_wire_size_reports_size_hint() {
+        let f = Frame::Shared {
+            data: Arc::new(42u32),
+            size_hint: 99,
+        };
+        assert_eq!(f.wire_size(), 99);
+    }
+
+    #[test]
+    fn peers_insert_get_remove() {
+        struct Nop;
+        impl Link for Nop {
+            fn send(&self, _: Frame) -> Result<(), TransportError> {
+                Ok(())
+            }
+            fn needs_bytes(&self) -> bool {
+                false
+            }
+        }
+        let peers = Peers::new();
+        assert!(peers.is_empty());
+        peers.insert(3, Arc::new(Nop));
+        assert_eq!(peers.len(), 1);
+        assert!(peers.get(3).is_some());
+        assert!(peers.get(4).is_none());
+        assert!(peers.remove(3).is_some());
+        assert!(peers.is_empty());
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = TransportError::FrameTooLarge { size: 10, max: 5 };
+        assert!(e.to_string().contains("10"));
+        assert!(TransportError::Closed(7).to_string().contains('7'));
+    }
+}

@@ -1,0 +1,316 @@
+//! Traffic shaping: charge links a latency and a bandwidth.
+//!
+//! Loopback channels are effectively infinitely fast compared to the paper's
+//! Gigabit Ethernet, which hides the data-consolidation costs the evaluation
+//! is about. [`ShapedTransport`] wraps any inner [`Transport`] and delays
+//! each frame by `latency + wire_size / bandwidth`, serialising frames on the
+//! same link (a frame cannot start transmitting before the previous one
+//! finished), which restores the store-and-forward behaviour of a real NIC.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use crossbeam_channel::{unbounded, Sender};
+use parking_lot::Mutex;
+
+use crate::{Frame, Link, NodeEndpoint, PeerId, Peers, Transport, TransportError};
+
+/// Per-link cost model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Shaping {
+    /// One-way propagation delay added to every frame.
+    pub latency: Duration,
+    /// Link throughput in bytes per second; `None` means infinite.
+    pub bandwidth_bps: Option<f64>,
+}
+
+impl Shaping {
+    /// A reasonable model of the paper's testbed interconnect: Gigabit
+    /// Ethernet (~117 MiB/s effective) with 100 µs one-way latency.
+    pub fn gigabit_ethernet() -> Self {
+        Shaping {
+            latency: Duration::from_micros(100),
+            bandwidth_bps: Some(117.0 * 1024.0 * 1024.0),
+        }
+    }
+
+    /// No shaping at all; useful as a neutral element in sweeps.
+    pub fn unshaped() -> Self {
+        Shaping {
+            latency: Duration::ZERO,
+            bandwidth_bps: None,
+        }
+    }
+
+    /// Time the link is busy transmitting `size` bytes.
+    pub fn transmit_time(&self, size: usize) -> Duration {
+        match self.bandwidth_bps {
+            Some(bps) if bps > 0.0 => Duration::from_secs_f64(size as f64 / bps),
+            _ => Duration::ZERO,
+        }
+    }
+}
+
+/// A link that defers frames to a worker thread which releases them on the
+/// shaped schedule. FIFO order is preserved because the worker drains its
+/// queue in order.
+struct ShapedLink {
+    inner: Arc<dyn Link>,
+    tx: Sender<Frame>,
+}
+
+impl ShapedLink {
+    fn new(inner: Arc<dyn Link>, shaping: Shaping) -> Arc<Self> {
+        let (tx, rx) = unbounded::<Frame>();
+        let worker_inner = inner.clone();
+        thread::Builder::new()
+            .name("tbon-shaped-link".into())
+            .spawn(move || {
+                // The instant the link finishes transmitting its last frame.
+                let mut free_at = Instant::now();
+                while let Ok(frame) = rx.recv() {
+                    let now = Instant::now();
+                    let start = if free_at > now { free_at } else { now };
+                    free_at = start + shaping.transmit_time(frame.wire_size());
+                    let deliver_at = free_at + shaping.latency;
+                    let now = Instant::now();
+                    if deliver_at > now {
+                        thread::sleep(deliver_at - now);
+                    }
+                    if worker_inner.send(frame).is_err() {
+                        break;
+                    }
+                }
+            })
+            .expect("spawn shaped link worker");
+        Arc::new(ShapedLink { inner, tx })
+    }
+}
+
+impl Link for ShapedLink {
+    fn send(&self, frame: Frame) -> Result<(), TransportError> {
+        if self.inner.needs_bytes() {
+            if let Frame::Shared { .. } = frame {
+                return Err(TransportError::NeedsBytes);
+            }
+        }
+        self.tx
+            .send(frame)
+            .map_err(|_| TransportError::Io("shaped link worker exited".into()))
+    }
+
+    fn needs_bytes(&self) -> bool {
+        self.inner.needs_bytes()
+    }
+}
+
+type EdgeShaper = dyn Fn(PeerId, PeerId) -> Shaping + Send + Sync;
+
+/// Wraps an inner transport, shaping every link created through it.
+pub struct ShapedTransport<T: Transport> {
+    inner: T,
+    shaper: Box<EdgeShaper>,
+    peer_tables: Mutex<HashMap<PeerId, Peers>>,
+}
+
+impl<T: Transport> ShapedTransport<T> {
+    /// Uniform shaping on every edge.
+    pub fn new(inner: T, shaping: Shaping) -> Self {
+        ShapedTransport {
+            inner,
+            shaper: Box::new(move |_, _| shaping),
+            peer_tables: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Per-edge shaping, e.g. slower links near the leaves.
+    pub fn with_edge_fn(
+        inner: T,
+        f: impl Fn(PeerId, PeerId) -> Shaping + Send + Sync + 'static,
+    ) -> Self {
+        ShapedTransport {
+            inner,
+            shaper: Box::new(f),
+            peer_tables: Mutex::new(HashMap::new()),
+        }
+    }
+
+    fn wrap_direction(&self, owner: PeerId, target: PeerId, shaping: Shaping) {
+        let tables = self.peer_tables.lock();
+        if let Some(peers) = tables.get(&owner) {
+            if let Some(raw) = peers.get(target) {
+                peers.insert(target, ShapedLink::new(raw, shaping));
+            }
+        }
+    }
+}
+
+impl<T: Transport> Transport for ShapedTransport<T> {
+    fn add_node(&self, id: PeerId) -> Result<NodeEndpoint, TransportError> {
+        let ep = self.inner.add_node(id)?;
+        self.peer_tables.lock().insert(id, ep.peers.clone());
+        Ok(ep)
+    }
+
+    fn connect(&self, a: PeerId, b: PeerId) -> Result<(), TransportError> {
+        self.inner.connect(a, b)?;
+        let shaping = (self.shaper)(a, b);
+        // Replace the raw links installed by the inner transport with shaped
+        // wrappers, in both directions.
+        self.wrap_direction(a, b, shaping);
+        self.wrap_direction(b, a, shaping);
+        Ok(())
+    }
+
+    fn remove_node(&self, id: PeerId) -> Result<(), TransportError> {
+        self.peer_tables.lock().remove(&id);
+        self.inner.remove_node(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::local::LocalTransport;
+    use crate::Delivery;
+
+    #[test]
+    fn transmit_time_math() {
+        let s = Shaping {
+            latency: Duration::ZERO,
+            bandwidth_bps: Some(1000.0),
+        };
+        assert_eq!(s.transmit_time(500), Duration::from_millis(500));
+        assert_eq!(Shaping::unshaped().transmit_time(1 << 20), Duration::ZERO);
+    }
+
+    #[test]
+    fn latency_is_charged() {
+        let shaping = Shaping {
+            latency: Duration::from_millis(30),
+            bandwidth_bps: None,
+        };
+        let t = ShapedTransport::new(LocalTransport::new(), shaping);
+        let ea = t.add_node(0).unwrap();
+        let eb = t.add_node(1).unwrap();
+        t.connect(0, 1).unwrap();
+        let start = Instant::now();
+        ea.peers
+            .get(1)
+            .unwrap()
+            .send(Frame::Bytes(vec![0]))
+            .unwrap();
+        match eb.incoming.recv_timeout(Duration::from_secs(5)).unwrap() {
+            Delivery::Frame { .. } => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(
+            start.elapsed() >= Duration::from_millis(30),
+            "frame arrived faster than the configured latency"
+        );
+    }
+
+    #[test]
+    fn bandwidth_serialises_back_to_back_frames() {
+        // 10 KB/s; two 500-byte frames = at least 100 ms before the second.
+        let shaping = Shaping {
+            latency: Duration::ZERO,
+            bandwidth_bps: Some(10_000.0),
+        };
+        let t = ShapedTransport::new(LocalTransport::new(), shaping);
+        let ea = t.add_node(0).unwrap();
+        let eb = t.add_node(1).unwrap();
+        t.connect(0, 1).unwrap();
+        let link = ea.peers.get(1).unwrap();
+        let start = Instant::now();
+        link.send(Frame::Bytes(vec![0u8; 500])).unwrap();
+        link.send(Frame::Bytes(vec![0u8; 500])).unwrap();
+        for _ in 0..2 {
+            eb.incoming.recv_timeout(Duration::from_secs(5)).unwrap();
+        }
+        assert!(
+            start.elapsed() >= Duration::from_millis(100),
+            "two frames delivered faster than the link bandwidth allows: {:?}",
+            start.elapsed()
+        );
+    }
+
+    #[test]
+    fn fifo_preserved_through_shaping() {
+        let shaping = Shaping {
+            latency: Duration::from_micros(200),
+            bandwidth_bps: Some(50_000_000.0),
+        };
+        let t = ShapedTransport::new(LocalTransport::new(), shaping);
+        let ea = t.add_node(0).unwrap();
+        let eb = t.add_node(1).unwrap();
+        t.connect(0, 1).unwrap();
+        let link = ea.peers.get(1).unwrap();
+        for i in 0..200u32 {
+            link.send(Frame::Bytes(i.to_le_bytes().to_vec())).unwrap();
+        }
+        let mut expect = 0u32;
+        while expect < 200 {
+            match eb.incoming.recv_timeout(Duration::from_secs(5)).unwrap() {
+                Delivery::Frame {
+                    frame: Frame::Bytes(b),
+                    ..
+                } => {
+                    assert_eq!(u32::from_le_bytes(b.try_into().unwrap()), expect);
+                    expect += 1;
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn per_edge_shaper_applies_different_costs() {
+        let t = ShapedTransport::with_edge_fn(LocalTransport::new(), |a, b| {
+            if a.min(b) == 0 {
+                Shaping {
+                    latency: Duration::from_millis(25),
+                    bandwidth_bps: None,
+                }
+            } else {
+                Shaping::unshaped()
+            }
+        });
+        for id in 0..3 {
+            // node 0 is the root; edge (1,2) is fast, edges touching 0 slow
+            let _ = t.add_node(id).unwrap();
+        }
+        t.connect(1, 2).unwrap();
+        t.connect(0, 1).unwrap();
+        // Can't easily read endpoints back (moved); just assert setup works.
+    }
+
+    #[test]
+    fn shared_frames_flow_through_shaping_on_local_transport() {
+        let shaping = Shaping {
+            latency: Duration::from_millis(1),
+            bandwidth_bps: None,
+        };
+        let t = ShapedTransport::new(LocalTransport::new(), shaping);
+        let ea = t.add_node(0).unwrap();
+        let eb = t.add_node(1).unwrap();
+        t.connect(0, 1).unwrap();
+        ea.peers
+            .get(1)
+            .unwrap()
+            .send(Frame::Shared {
+                data: Arc::new(vec![1u8, 2, 3]),
+                size_hint: 3,
+            })
+            .unwrap();
+        match eb.incoming.recv_timeout(Duration::from_secs(5)).unwrap() {
+            Delivery::Frame {
+                frame: Frame::Shared { size_hint, .. },
+                ..
+            } => assert_eq!(size_hint, 3),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

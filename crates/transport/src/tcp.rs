@@ -1,0 +1,405 @@
+//! TCP transport over loopback sockets.
+//!
+//! Every edge of the overlay is one real TCP connection carrying
+//! length-prefixed frames in both directions, so data crosses the kernel
+//! exactly as it would between cluster hosts (the paper's testbed used TCP
+//! over Gigabit Ethernet). Per-node accept loops and per-connection reader
+//! threads multiplex everything into the node's single [`Delivery`] queue.
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+use crossbeam_channel::{unbounded, Sender};
+use parking_lot::Mutex;
+
+use crate::framing::{read_frame, write_frame};
+use crate::{Delivery, Frame, Link, NodeEndpoint, PeerId, Peers, Transport, TransportError};
+
+/// Sending half of one direction of a TCP edge.
+struct TcpLink {
+    to: PeerId,
+    stream: Mutex<TcpStream>,
+}
+
+impl Link for TcpLink {
+    fn send(&self, frame: Frame) -> Result<(), TransportError> {
+        let bytes = match frame {
+            Frame::Bytes(b) => b,
+            Frame::Shared { .. } => return Err(TransportError::NeedsBytes),
+        };
+        let mut stream = self.stream.lock();
+        write_frame(&mut *stream, &bytes).map_err(|e| match e {
+            TransportError::Io(_) => TransportError::Closed(self.to),
+            other => other,
+        })
+    }
+
+    fn needs_bytes(&self) -> bool {
+        true
+    }
+}
+
+struct TcpNodeSlot {
+    addr: SocketAddr,
+    tx: Sender<Delivery>,
+    peers: Peers,
+    /// One stream clone per live connection, used to force-close on removal.
+    streams: Arc<Mutex<Vec<TcpStream>>>,
+    shutdown: Arc<AtomicBool>,
+}
+
+/// Transport whose FIFO channels are loopback TCP connections.
+pub struct TcpTransport {
+    nodes: Mutex<HashMap<PeerId, TcpNodeSlot>>,
+}
+
+impl Default for TcpTransport {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TcpTransport {
+    pub fn new() -> Self {
+        TcpTransport {
+            nodes: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The loopback address a node is listening on (mainly for diagnostics).
+    pub fn addr_of(&self, id: PeerId) -> Option<SocketAddr> {
+        self.nodes.lock().get(&id).map(|s| s.addr)
+    }
+}
+
+/// Runs on the acceptor side of each new connection: handshake, link
+/// installation, ack, then the read loop.
+fn serve_accepted(
+    mut stream: TcpStream,
+    tx: Sender<Delivery>,
+    peers: Peers,
+    streams: Arc<Mutex<Vec<TcpStream>>>,
+) {
+    let mut id_buf = [0u8; 4];
+    if stream.read_exact(&mut id_buf).is_err() {
+        return;
+    }
+    let peer = PeerId::from_le_bytes(id_buf);
+    let write_half = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    streams.lock().push(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    peers.insert(
+        peer,
+        Arc::new(TcpLink {
+            to: peer,
+            stream: Mutex::new(write_half),
+        }),
+    );
+    if stream.write_all(&[1u8]).is_err() {
+        peers.remove(peer);
+        return;
+    }
+    read_loop(stream, peer, tx, peers);
+}
+
+/// Pulls frames off a connection into the owning node's queue until EOF or
+/// error, then reports the peer as disconnected.
+#[allow(clippy::while_let_loop)] // the loop also exits on Ok(None)/Err arms
+fn read_loop(mut stream: TcpStream, peer: PeerId, tx: Sender<Delivery>, peers: Peers) {
+    loop {
+        match read_frame(&mut stream) {
+            Ok(Some(bytes)) => {
+                if tx
+                    .send(Delivery::Frame {
+                        from: peer,
+                        frame: Frame::Bytes(bytes),
+                    })
+                    .is_err()
+                {
+                    break; // owner exited
+                }
+            }
+            Ok(None) | Err(_) => break,
+        }
+    }
+    peers.remove(peer);
+    let _ = tx.send(Delivery::Disconnected { peer });
+}
+
+impl Transport for TcpTransport {
+    fn add_node(&self, id: PeerId) -> Result<NodeEndpoint, TransportError> {
+        let mut nodes = self.nodes.lock();
+        if nodes.contains_key(&id) {
+            return Err(TransportError::DuplicateNode(id));
+        }
+        let listener = TcpListener::bind("127.0.0.1:0")
+            .map_err(|e| TransportError::Io(e.to_string()))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| TransportError::Io(e.to_string()))?;
+        let (tx, rx) = unbounded();
+        let peers = Peers::new();
+        let streams: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
+        let shutdown = Arc::new(AtomicBool::new(false));
+
+        {
+            let tx = tx.clone();
+            let peers = peers.clone();
+            let streams = streams.clone();
+            let shutdown = shutdown.clone();
+            thread::Builder::new()
+                .name(format!("tbon-tcp-accept-{id}"))
+                .spawn(move || {
+                    for conn in listener.incoming() {
+                        if shutdown.load(Ordering::Acquire) {
+                            break;
+                        }
+                        let Ok(stream) = conn else { break };
+                        stream.set_nodelay(true).ok();
+                        let tx = tx.clone();
+                        let peers = peers.clone();
+                        let streams = streams.clone();
+                        thread::Builder::new()
+                            .name("tbon-tcp-read".into())
+                            .spawn(move || serve_accepted(stream, tx, peers, streams))
+                            .expect("spawn reader thread");
+                    }
+                })
+                .expect("spawn accept thread");
+        }
+
+        nodes.insert(
+            id,
+            TcpNodeSlot {
+                addr,
+                tx,
+                peers: peers.clone(),
+                streams,
+                shutdown,
+            },
+        );
+        Ok(NodeEndpoint {
+            id,
+            incoming: rx,
+            peers,
+        })
+    }
+
+    fn connect(&self, a: PeerId, b: PeerId) -> Result<(), TransportError> {
+        let (b_addr, a_tx, a_peers, a_streams) = {
+            let nodes = self.nodes.lock();
+            let slot_b = nodes.get(&b).ok_or(TransportError::UnknownPeer(b))?;
+            let slot_a = nodes.get(&a).ok_or(TransportError::UnknownPeer(a))?;
+            (
+                slot_b.addr,
+                slot_a.tx.clone(),
+                slot_a.peers.clone(),
+                slot_a.streams.clone(),
+            )
+        };
+        let mut stream =
+            TcpStream::connect(b_addr).map_err(|e| TransportError::Io(e.to_string()))?;
+        stream.set_nodelay(true).ok();
+        stream
+            .write_all(&a.to_le_bytes())
+            .map_err(|e| TransportError::Io(e.to_string()))?;
+        // Wait for the acceptor to install its link so `connect` returning
+        // means both directions work.
+        let mut ack = [0u8; 1];
+        stream
+            .read_exact(&mut ack)
+            .map_err(|e| TransportError::Io(e.to_string()))?;
+
+        let write_half = stream
+            .try_clone()
+            .map_err(|e| TransportError::Io(e.to_string()))?;
+        a_streams.lock().push(
+            stream
+                .try_clone()
+                .map_err(|e| TransportError::Io(e.to_string()))?,
+        );
+        a_peers.insert(
+            b,
+            Arc::new(TcpLink {
+                to: b,
+                stream: Mutex::new(write_half),
+            }),
+        );
+        let peers = a_peers;
+        thread::Builder::new()
+            .name(format!("tbon-tcp-read-{a}-{b}"))
+            .spawn(move || read_loop(stream, b, a_tx, peers))
+            .map_err(|e| TransportError::Io(e.to_string()))?;
+        Ok(())
+    }
+
+    fn remove_node(&self, id: PeerId) -> Result<(), TransportError> {
+        let slot = {
+            let mut nodes = self.nodes.lock();
+            nodes.remove(&id).ok_or(TransportError::UnknownPeer(id))?
+        };
+        slot.shutdown.store(true, Ordering::Release);
+        // Closing the sockets wakes the remote reader threads, which emit
+        // Disconnected to their owners and drop their links.
+        for s in slot.streams.lock().iter() {
+            let _ = s.shutdown(Shutdown::Both);
+        }
+        // Wake the accept loop so it observes the shutdown flag.
+        let _ = TcpStream::connect(slot.addr);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build_overlay;
+    use std::time::Duration;
+
+    #[test]
+    fn connect_then_send_both_directions() {
+        let t = TcpTransport::new();
+        let ea = t.add_node(0).unwrap();
+        let eb = t.add_node(1).unwrap();
+        t.connect(0, 1).unwrap();
+
+        ea.peers
+            .get(1)
+            .unwrap()
+            .send(Frame::Bytes(b"up".to_vec()))
+            .unwrap();
+        // b's link to a is installed by the accept thread; connect() waits
+        // for the ack so it must exist now.
+        eb.peers
+            .get(0)
+            .unwrap()
+            .send(Frame::Bytes(b"down".to_vec()))
+            .unwrap();
+
+        match eb.incoming.recv_timeout(Duration::from_secs(5)).unwrap() {
+            Delivery::Frame { from, frame } => {
+                assert_eq!(from, 0);
+                assert_eq!(frame.wire_size(), 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match ea.incoming.recv_timeout(Duration::from_secs(5)).unwrap() {
+            Delivery::Frame { from, frame } => {
+                assert_eq!(from, 1);
+                assert_eq!(frame.wire_size(), 4);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shared_frames_rejected() {
+        let t = TcpTransport::new();
+        let ea = t.add_node(0).unwrap();
+        let _eb = t.add_node(1).unwrap();
+        t.connect(0, 1).unwrap();
+        let link = ea.peers.get(1).unwrap();
+        assert!(link.needs_bytes());
+        assert_eq!(
+            link.send(Frame::Shared {
+                data: Arc::new(0u8),
+                size_hint: 1
+            })
+            .unwrap_err(),
+            TransportError::NeedsBytes
+        );
+    }
+
+    #[test]
+    fn fifo_order_preserved() {
+        let t = TcpTransport::new();
+        let ea = t.add_node(0).unwrap();
+        let eb = t.add_node(1).unwrap();
+        t.connect(0, 1).unwrap();
+        let link = ea.peers.get(1).unwrap();
+        for i in 0..500u32 {
+            link.send(Frame::Bytes(i.to_le_bytes().to_vec())).unwrap();
+        }
+        let mut expect = 0u32;
+        while expect < 500 {
+            match eb.incoming.recv_timeout(Duration::from_secs(5)).unwrap() {
+                Delivery::Frame {
+                    frame: Frame::Bytes(b),
+                    ..
+                } => {
+                    assert_eq!(u32::from_le_bytes(b.try_into().unwrap()), expect);
+                    expect += 1;
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn remove_node_disconnects_peer() {
+        let t = TcpTransport::new();
+        let ea = t.add_node(0).unwrap();
+        let _eb = t.add_node(1).unwrap();
+        t.connect(0, 1).unwrap();
+        t.remove_node(1).unwrap();
+        match ea.incoming.recv_timeout(Duration::from_secs(5)).unwrap() {
+            Delivery::Disconnected { peer } => assert_eq!(peer, 1),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(ea.peers.get(1).is_none());
+    }
+
+    #[test]
+    fn overlay_tree_delivers_leaf_to_root_via_parent() {
+        let t = TcpTransport::new();
+        let nodes = vec![0, 1, 2, 3, 4];
+        let edges = vec![(0, 1), (0, 2), (1, 3), (1, 4)];
+        let eps = build_overlay(&t, &nodes, &edges).unwrap();
+        eps[&3]
+            .peers
+            .get(1)
+            .unwrap()
+            .send(Frame::Bytes(vec![42]))
+            .unwrap();
+        match eps[&1].incoming.recv_timeout(Duration::from_secs(5)).unwrap() {
+            Delivery::Frame { from, frame } => {
+                assert_eq!(from, 3);
+                match frame {
+                    Frame::Bytes(b) => assert_eq!(b, vec![42]),
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn large_frame_roundtrips() {
+        let t = TcpTransport::new();
+        let ea = t.add_node(0).unwrap();
+        let eb = t.add_node(1).unwrap();
+        t.connect(0, 1).unwrap();
+        let payload = vec![0xabu8; 4 * 1024 * 1024];
+        ea.peers
+            .get(1)
+            .unwrap()
+            .send(Frame::Bytes(payload.clone()))
+            .unwrap();
+        match eb.incoming.recv_timeout(Duration::from_secs(10)).unwrap() {
+            Delivery::Frame {
+                frame: Frame::Bytes(b),
+                ..
+            } => assert_eq!(b, payload),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,395 @@
+//! Unix domain socket transport.
+//!
+//! Same framing and handshake as the TCP transport, over `AF_UNIX` sockets
+//! in a private temporary directory — the substrate a single-host MRNet
+//! deployment would use to avoid the TCP stack entirely while keeping real
+//! kernel-mediated IPC (distinct address spaces would work unchanged).
+
+#![cfg(unix)]
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+use crossbeam_channel::{unbounded, Sender};
+use parking_lot::Mutex;
+
+use crate::framing::{read_frame, write_frame};
+use crate::{Delivery, Frame, Link, NodeEndpoint, PeerId, Peers, Transport, TransportError};
+
+/// Sending half of one direction of a UDS edge.
+struct UdsLink {
+    to: PeerId,
+    stream: Mutex<UnixStream>,
+}
+
+impl Link for UdsLink {
+    fn send(&self, frame: Frame) -> Result<(), TransportError> {
+        let bytes = match frame {
+            Frame::Bytes(b) => b,
+            Frame::Shared { .. } => return Err(TransportError::NeedsBytes),
+        };
+        let mut stream = self.stream.lock();
+        write_frame(&mut *stream, &bytes).map_err(|e| match e {
+            TransportError::Io(_) => TransportError::Closed(self.to),
+            other => other,
+        })
+    }
+
+    fn needs_bytes(&self) -> bool {
+        true
+    }
+}
+
+struct UdsNodeSlot {
+    path: PathBuf,
+    tx: Sender<Delivery>,
+    peers: Peers,
+    streams: Arc<Mutex<Vec<UnixStream>>>,
+    shutdown: Arc<AtomicBool>,
+}
+
+/// Transport whose FIFO channels are Unix domain sockets.
+pub struct UdsTransport {
+    dir: PathBuf,
+    nodes: Mutex<HashMap<PeerId, UdsNodeSlot>>,
+    cleanup_dir: bool,
+}
+
+static SOCKET_DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+impl UdsTransport {
+    /// Sockets live in a fresh process-private directory under the system
+    /// temp dir (removed on drop).
+    pub fn new() -> Result<UdsTransport, TransportError> {
+        let dir = std::env::temp_dir().join(format!(
+            "tbon-uds-{}-{}",
+            std::process::id(),
+            SOCKET_DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).map_err(|e| TransportError::Io(e.to_string()))?;
+        Ok(UdsTransport {
+            dir,
+            nodes: Mutex::new(HashMap::new()),
+            cleanup_dir: true,
+        })
+    }
+
+    /// Sockets in a caller-chosen directory (not removed on drop).
+    pub fn in_dir(dir: impl Into<PathBuf>) -> UdsTransport {
+        UdsTransport {
+            dir: dir.into(),
+            nodes: Mutex::new(HashMap::new()),
+            cleanup_dir: false,
+        }
+    }
+
+    fn path_of(&self, id: PeerId) -> PathBuf {
+        self.dir.join(format!("node-{id}.sock"))
+    }
+}
+
+impl Drop for UdsTransport {
+    fn drop(&mut self) {
+        if self.cleanup_dir {
+            let _ = std::fs::remove_dir_all(&self.dir);
+        }
+    }
+}
+
+fn serve_accepted(
+    mut stream: UnixStream,
+    tx: Sender<Delivery>,
+    peers: Peers,
+    streams: Arc<Mutex<Vec<UnixStream>>>,
+) {
+    let mut id_buf = [0u8; 4];
+    if stream.read_exact(&mut id_buf).is_err() {
+        return;
+    }
+    let peer = PeerId::from_le_bytes(id_buf);
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    if let Ok(clone) = stream.try_clone() {
+        streams.lock().push(clone);
+    } else {
+        return;
+    }
+    peers.insert(
+        peer,
+        Arc::new(UdsLink {
+            to: peer,
+            stream: Mutex::new(write_half),
+        }),
+    );
+    if stream.write_all(&[1u8]).is_err() {
+        peers.remove(peer);
+        return;
+    }
+    read_loop(stream, peer, tx, peers);
+}
+
+#[allow(clippy::while_let_loop)] // the loop also exits on Ok(None)/Err arms
+fn read_loop(mut stream: UnixStream, peer: PeerId, tx: Sender<Delivery>, peers: Peers) {
+    loop {
+        match read_frame(&mut stream) {
+            Ok(Some(bytes)) => {
+                if tx
+                    .send(Delivery::Frame {
+                        from: peer,
+                        frame: Frame::Bytes(bytes),
+                    })
+                    .is_err()
+                {
+                    break;
+                }
+            }
+            Ok(None) | Err(_) => break,
+        }
+    }
+    peers.remove(peer);
+    let _ = tx.send(Delivery::Disconnected { peer });
+}
+
+impl Transport for UdsTransport {
+    fn add_node(&self, id: PeerId) -> Result<NodeEndpoint, TransportError> {
+        let mut nodes = self.nodes.lock();
+        if nodes.contains_key(&id) {
+            return Err(TransportError::DuplicateNode(id));
+        }
+        let path = self.path_of(id);
+        let _ = std::fs::remove_file(&path);
+        let listener =
+            UnixListener::bind(&path).map_err(|e| TransportError::Io(e.to_string()))?;
+        let (tx, rx) = unbounded();
+        let peers = Peers::new();
+        let streams: Arc<Mutex<Vec<UnixStream>>> = Arc::new(Mutex::new(Vec::new()));
+        let shutdown = Arc::new(AtomicBool::new(false));
+        {
+            let tx = tx.clone();
+            let peers = peers.clone();
+            let streams = streams.clone();
+            let shutdown = shutdown.clone();
+            thread::Builder::new()
+                .name(format!("tbon-uds-accept-{id}"))
+                .spawn(move || {
+                    for conn in listener.incoming() {
+                        if shutdown.load(Ordering::Acquire) {
+                            break;
+                        }
+                        let Ok(stream) = conn else { break };
+                        let tx = tx.clone();
+                        let peers = peers.clone();
+                        let streams = streams.clone();
+                        thread::Builder::new()
+                            .name("tbon-uds-read".into())
+                            .spawn(move || serve_accepted(stream, tx, peers, streams))
+                            .expect("spawn reader thread");
+                    }
+                })
+                .map_err(|e| TransportError::Io(e.to_string()))?;
+        }
+        nodes.insert(
+            id,
+            UdsNodeSlot {
+                path,
+                tx,
+                peers: peers.clone(),
+                streams,
+                shutdown,
+            },
+        );
+        Ok(NodeEndpoint {
+            id,
+            incoming: rx,
+            peers,
+        })
+    }
+
+    fn connect(&self, a: PeerId, b: PeerId) -> Result<(), TransportError> {
+        let (b_path, a_tx, a_peers, a_streams) = {
+            let nodes = self.nodes.lock();
+            let slot_b = nodes.get(&b).ok_or(TransportError::UnknownPeer(b))?;
+            let slot_a = nodes.get(&a).ok_or(TransportError::UnknownPeer(a))?;
+            (
+                slot_b.path.clone(),
+                slot_a.tx.clone(),
+                slot_a.peers.clone(),
+                slot_a.streams.clone(),
+            )
+        };
+        let mut stream =
+            UnixStream::connect(&b_path).map_err(|e| TransportError::Io(e.to_string()))?;
+        stream
+            .write_all(&a.to_le_bytes())
+            .map_err(|e| TransportError::Io(e.to_string()))?;
+        let mut ack = [0u8; 1];
+        stream
+            .read_exact(&mut ack)
+            .map_err(|e| TransportError::Io(e.to_string()))?;
+
+        let write_half = stream
+            .try_clone()
+            .map_err(|e| TransportError::Io(e.to_string()))?;
+        a_streams.lock().push(
+            stream
+                .try_clone()
+                .map_err(|e| TransportError::Io(e.to_string()))?,
+        );
+        a_peers.insert(
+            b,
+            Arc::new(UdsLink {
+                to: b,
+                stream: Mutex::new(write_half),
+            }),
+        );
+        let peers = a_peers;
+        thread::Builder::new()
+            .name(format!("tbon-uds-read-{a}-{b}"))
+            .spawn(move || read_loop(stream, b, a_tx, peers))
+            .map_err(|e| TransportError::Io(e.to_string()))?;
+        Ok(())
+    }
+
+    fn remove_node(&self, id: PeerId) -> Result<(), TransportError> {
+        let slot = {
+            let mut nodes = self.nodes.lock();
+            nodes.remove(&id).ok_or(TransportError::UnknownPeer(id))?
+        };
+        slot.shutdown.store(true, Ordering::Release);
+        for s in slot.streams.lock().iter() {
+            let _ = s.shutdown(std::net::Shutdown::Both);
+        }
+        // Wake the accept loop so it observes the flag, then unlink.
+        let _ = UnixStream::connect(&slot.path);
+        let _ = std::fs::remove_file(&slot.path);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build_overlay;
+    use std::time::Duration;
+
+    #[test]
+    fn connect_then_send_both_directions() {
+        let t = UdsTransport::new().unwrap();
+        let ea = t.add_node(0).unwrap();
+        let eb = t.add_node(1).unwrap();
+        t.connect(0, 1).unwrap();
+        ea.peers
+            .get(1)
+            .unwrap()
+            .send(Frame::Bytes(b"up".to_vec()))
+            .unwrap();
+        eb.peers
+            .get(0)
+            .unwrap()
+            .send(Frame::Bytes(b"down".to_vec()))
+            .unwrap();
+        match eb.incoming.recv_timeout(Duration::from_secs(5)).unwrap() {
+            Delivery::Frame { from, frame } => {
+                assert_eq!(from, 0);
+                assert_eq!(frame.wire_size(), 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match ea.incoming.recv_timeout(Duration::from_secs(5)).unwrap() {
+            Delivery::Frame { from, .. } => assert_eq!(from, 1),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fifo_order_preserved() {
+        let t = UdsTransport::new().unwrap();
+        let ea = t.add_node(0).unwrap();
+        let eb = t.add_node(1).unwrap();
+        t.connect(0, 1).unwrap();
+        let link = ea.peers.get(1).unwrap();
+        for i in 0..300u32 {
+            link.send(Frame::Bytes(i.to_le_bytes().to_vec())).unwrap();
+        }
+        let mut expect = 0u32;
+        while expect < 300 {
+            match eb.incoming.recv_timeout(Duration::from_secs(5)).unwrap() {
+                Delivery::Frame {
+                    frame: Frame::Bytes(b),
+                    ..
+                } => {
+                    assert_eq!(u32::from_le_bytes(b.try_into().unwrap()), expect);
+                    expect += 1;
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn shared_frames_rejected() {
+        let t = UdsTransport::new().unwrap();
+        let ea = t.add_node(0).unwrap();
+        let _eb = t.add_node(1).unwrap();
+        t.connect(0, 1).unwrap();
+        let link = ea.peers.get(1).unwrap();
+        assert!(link.needs_bytes());
+        assert_eq!(
+            link.send(Frame::Shared {
+                data: Arc::new(0u8),
+                size_hint: 1
+            })
+            .unwrap_err(),
+            TransportError::NeedsBytes
+        );
+    }
+
+    #[test]
+    fn remove_node_disconnects_peer() {
+        let t = UdsTransport::new().unwrap();
+        let ea = t.add_node(0).unwrap();
+        let _eb = t.add_node(1).unwrap();
+        t.connect(0, 1).unwrap();
+        t.remove_node(1).unwrap();
+        match ea.incoming.recv_timeout(Duration::from_secs(5)).unwrap() {
+            Delivery::Disconnected { peer } => assert_eq!(peer, 1),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn overlay_tree_works() {
+        let t = UdsTransport::new().unwrap();
+        let nodes = vec![0, 1, 2, 3, 4];
+        let edges = vec![(0, 1), (0, 2), (1, 3), (1, 4)];
+        let eps = build_overlay(&t, &nodes, &edges).unwrap();
+        eps[&4]
+            .peers
+            .get(1)
+            .unwrap()
+            .send(Frame::Bytes(vec![9]))
+            .unwrap();
+        match eps[&1].incoming.recv_timeout(Duration::from_secs(5)).unwrap() {
+            Delivery::Frame { from, .. } => assert_eq!(from, 4),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn socket_dir_cleaned_on_drop() {
+        let dir;
+        {
+            let t = UdsTransport::new().unwrap();
+            dir = t.dir.clone();
+            let _ = t.add_node(0).unwrap();
+            assert!(dir.exists());
+        }
+        assert!(!dir.exists(), "socket dir should be removed on drop");
+    }
+}

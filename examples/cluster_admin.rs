@@ -1,0 +1,88 @@
+//! A Lilith-style cluster-administration run (§2.3 "Middleware
+//! Infrastructures"): push a command to every node, collect the outputs —
+//! with the equivalence-class filter collapsing the thousands of identical
+//! answers a healthy homogeneous cluster produces, so the operator reads
+//! three lines instead of 512.
+//!
+//! Run with: `cargo run --release --example cluster_admin`
+
+use std::time::Duration;
+
+use tbon::filters::decode_classes;
+use tbon::prelude::*;
+
+/// Simulated `uname -r` output: most nodes run the blessed kernel, a rack
+/// runs a stale one, and one node is in a broken state.
+fn kernel_version(rank: u32) -> &'static str {
+    match rank {
+        r if r % 64 == 17 => "5.15.0-generic (STALE)",
+        300 => "rescue-initramfs (BROKEN)",
+        _ => "6.8.4-cluster",
+    }
+}
+
+fn main() -> Result<(), TbonError> {
+    let topology = Topology::balanced(8, 3); // 512 nodes
+    println!(
+        "cluster: {} nodes ({} internal aggregators, {:.2}% overhead)",
+        topology.leaf_count(),
+        topology.internal_count(),
+        100.0 * topology.internal_count() as f64 / topology.leaf_count() as f64
+    );
+
+    let mut net = NetworkBuilder::new(topology)
+        .registry(builtin_registry())
+        .backend(|mut ctx: BackendContext| loop {
+            match ctx.next_event() {
+                Ok(BackendEvent::Packet { stream, packet }) => {
+                    // "Run" the admin command named in the packet.
+                    let reply = match packet.value().as_str() {
+                        Some("uname -r") => {
+                            DataValue::from(kernel_version(ctx.rank().0))
+                        }
+                        Some(other) => DataValue::Str(format!("unknown command: {other}")),
+                        None => DataValue::from("bad request"),
+                    };
+                    if ctx.send(stream, packet.tag(), reply).is_err() {
+                        break;
+                    }
+                }
+                Ok(BackendEvent::Shutdown) | Err(_) => break,
+                Ok(_) => continue,
+            }
+        })
+        .launch()?;
+
+    let stream = net.new_stream(
+        StreamSpec::all().transformation("filter::equivalence"),
+    )?;
+
+    println!("\n$ fleet-run 'uname -r'");
+    stream.broadcast(Tag(0), DataValue::from("uname -r"))?;
+    let summary = stream.recv_timeout(Duration::from_secs(30))?;
+    let mut classes = decode_classes(summary.value())?;
+    classes.sort_by_key(|c| std::cmp::Reverse(c.members.len()));
+
+    for class in &classes {
+        let value = class.value.as_str().unwrap_or("<non-string>");
+        let sample: Vec<i64> = class.members.iter().take(5).copied().collect();
+        println!(
+            "  {:>4} nodes: {:<28} (e.g. ranks {:?}{})",
+            class.members.len(),
+            value,
+            sample,
+            if class.members.len() > 5 { ", ..." } else { "" }
+        );
+    }
+    let total: usize = classes.iter().map(|c| c.members.len()).sum();
+    println!(
+        "\n{} answers collapsed into {} equivalence classes inside the tree",
+        total,
+        classes.len()
+    );
+    assert_eq!(total, 512);
+    assert_eq!(classes.len(), 3);
+
+    net.shutdown()?;
+    Ok(())
+}

@@ -1,0 +1,77 @@
+//! Quickstart: launch a TBON, multicast a question, reduce the answers.
+//!
+//! Builds a fan-out-4, depth-2 tree (16 back-ends), asks every back-end for
+//! a value, and lets the tree sum the replies on their way up — the
+//! smallest complete use of the model from §2.1 of the paper.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use std::time::Duration;
+
+use tbon::prelude::*;
+
+fn main() -> Result<(), TbonError> {
+    // 1. Shape: a balanced 4x4 tree — 1 front-end, 4 communication
+    //    processes, 16 back-ends.
+    let topology = Topology::balanced(4, 2);
+    println!(
+        "topology: {} nodes, {} back-ends, {} internal, depth {}",
+        topology.node_count(),
+        topology.leaf_count(),
+        topology.internal_count(),
+        topology.depth()
+    );
+
+    // 2. Filters: the built-in library (sum/min/max/avg/concat/...).
+    let registry = builtin_registry();
+
+    // 3. Back-end logic: answer every downstream packet with rank * the
+    //    broadcast value.
+    let mut net = NetworkBuilder::new(topology)
+        .registry(registry)
+        .backend(|mut ctx: BackendContext| loop {
+            match ctx.next_event() {
+                Ok(BackendEvent::Packet { stream, packet }) => {
+                    let x = packet.value().as_i64().unwrap_or(0);
+                    let answer = DataValue::I64(x * ctx.rank().0 as i64);
+                    if ctx.send(stream, packet.tag(), answer).is_err() {
+                        break;
+                    }
+                }
+                Ok(BackendEvent::Shutdown) | Err(_) => break,
+                Ok(_) => continue,
+            }
+        })
+        .launch()?;
+
+    // 4. A stream over all back-ends, reduced with the sum filter and
+    //    wait-for-all synchronization.
+    let stream = net.new_stream(
+        StreamSpec::all()
+            .transformation("builtin::sum")
+            .sync(SyncPolicy::WaitForAll),
+    )?;
+
+    // 5. Multicast down, receive the single reduced packet at the top.
+    for x in [1i64, 10, 100] {
+        stream.broadcast(Tag(0), DataValue::I64(x))?;
+        let reply = stream.recv_timeout(Duration::from_secs(10))?;
+        let sum_of_ranks: i64 = net
+            .topology_snapshot()
+            .leaves()
+            .iter()
+            .map(|l| l.0 as i64)
+            .sum();
+        println!(
+            "broadcast {x:>3} -> tree-reduced answer {} (expected {})",
+            reply.value(),
+            x * sum_of_ranks
+        );
+        assert_eq!(reply.value().as_i64(), Some(x * sum_of_ranks));
+    }
+
+    // 6. Orderly teardown: shutdown propagates down, acks aggregate up.
+    net.shutdown()?;
+    println!("network shut down cleanly");
+    Ok(())
+}

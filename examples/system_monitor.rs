@@ -1,0 +1,110 @@
+//! A Ganglia/Supermon-style distributed system monitor (§2.3 "Distributed
+//! System Tools") on the TBON: every node periodically reports metrics;
+//! concurrent overlapping streams compute different aggregations of the
+//! same fleet (avg load, max memory, a latency histogram); a node failure
+//! is detected and monitoring continues on the survivors.
+//!
+//! Run with: `cargo run --release --example system_monitor`
+
+use std::time::Duration;
+
+use tbon::prelude::*;
+use tbon::core::NetEvent;
+
+/// Synthetic per-host metrics, deterministic in (rank, round).
+fn load_of(rank: u32, round: u32) -> f64 {
+    0.5 + 0.4 * ((rank * 37 + round * 11) % 100) as f64 / 100.0
+}
+
+fn mem_of(rank: u32, round: u32) -> f64 {
+    256.0 + ((rank * 13 + round * 7) % 1024) as f64
+}
+
+fn main() -> Result<(), TbonError> {
+    let hosts = 27;
+    let topology = Topology::balanced(3, 3); // 27 hosts, 3 federated levels
+    let registry = builtin_registry();
+
+    let mut net = NetworkBuilder::new(topology)
+        .registry(registry)
+        .backend(|mut ctx: BackendContext| {
+            // Each host answers "poll" broadcasts on whichever stream they
+            // arrive on, with the metric the stream's tag selects.
+            loop {
+                match ctx.next_event() {
+                    Ok(BackendEvent::Packet { stream, packet }) => {
+                        let round = packet.value().as_u64().unwrap_or(0) as u32;
+                        let rank = ctx.rank().0;
+                        let value = match packet.tag() {
+                            Tag(1) => DataValue::F64(load_of(rank, round)),
+                            Tag(2) => DataValue::F64(mem_of(rank, round)),
+                            // Histogram stream: a burst of request latencies.
+                            Tag(3) => DataValue::ArrayF64(
+                                (0..20)
+                                    .map(|i| ((rank * 31 + round * 17 + i) % 100) as f64)
+                                    .collect(),
+                            ),
+                            _ => DataValue::Unit,
+                        };
+                        if ctx.send(stream, packet.tag(), value).is_err() {
+                            break;
+                        }
+                    }
+                    Ok(BackendEvent::Shutdown) | Err(_) => break,
+                    Ok(_) => continue,
+                }
+            }
+        })
+        .launch()?;
+
+    // Three concurrent streams over the same hosts, different aggregations.
+    let avg_load = net.new_stream(StreamSpec::all().transformation("builtin::avg"))?;
+    let max_mem = net.new_stream(StreamSpec::all().transformation("builtin::max"))?;
+    let latency_hist = net.new_stream(
+        StreamSpec::all()
+            .transformation("filter::histogram")
+            .params(DataValue::Tuple(vec![
+                DataValue::F64(0.0),
+                DataValue::F64(100.0),
+                DataValue::U64(10),
+            ]))
+            // Hosts report asynchronously in real monitors; collect whatever
+            // lands in each 200 ms window.
+            .sync(SyncPolicy::TimeOut { window_ms: 200 }),
+    )?;
+
+    for round in 0..3u64 {
+        avg_load.broadcast(Tag(1), DataValue::U64(round))?;
+        max_mem.broadcast(Tag(2), DataValue::U64(round))?;
+        latency_hist.broadcast(Tag(3), DataValue::U64(round))?;
+
+        let load = avg_load.recv_timeout(Duration::from_secs(10))?;
+        let mem = max_mem.recv_timeout(Duration::from_secs(10))?;
+        let hist = latency_hist.recv_timeout(Duration::from_secs(10))?;
+        let bins = hist.value().as_array_i64().unwrap().to_vec();
+        println!(
+            "round {round}: fleet avg load {:.3}, max mem {:.0} MiB, latency bins {:?} ({} samples)",
+            load.value().as_f64().unwrap(),
+            mem.value().as_f64().unwrap(),
+            bins,
+            bins.iter().sum::<i64>(),
+        );
+
+        // Kill one host after the first round; monitoring must continue.
+        if round == 0 {
+            let victim = Rank(net.topology_snapshot().leaves()[5].0);
+            net.kill_backend(victim)?;
+            match net.wait_event(Duration::from_secs(10))? {
+                NetEvent::BackendLost { rank, detected_by } => println!(
+                    "  !! host {rank} lost (detected by {detected_by}); continuing with {} hosts",
+                    hosts - 1
+                ),
+                other => println!("  unexpected event: {other:?}"),
+            }
+        }
+    }
+
+    net.shutdown()?;
+    println!("monitor shut down");
+    Ok(())
+}

@@ -1,0 +1,170 @@
+//! `tbon-run` — launch a demonstration overlay from the command line.
+//!
+//! Spins up a network over the given topology, has every back-end report a
+//! synthetic metric each round, reduces with the chosen filter, and prints
+//! what the front-end receives plus the per-process activity counters.
+//!
+//! ```text
+//! tbon-run --topology 8x8 --filter builtin::avg --rounds 3
+//! tbon-run --topology flat:64 --filter filter::stats --transport tcp
+//! tbon-run --topology knomial:2,6 --filter filter::equivalence
+//! ```
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use tbon::prelude::*;
+use tbon::topology::TopologySpec;
+
+struct Args {
+    topology: String,
+    filter: String,
+    rounds: u32,
+    tcp: bool,
+    perf: bool,
+}
+
+fn parse() -> Option<Args> {
+    let mut args = Args {
+        topology: "4x4".into(),
+        filter: "builtin::avg".into(),
+        rounds: 3,
+        tcp: false,
+        perf: true,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--topology" => args.topology = it.next()?,
+            "--filter" => args.filter = it.next()?,
+            "--rounds" => args.rounds = it.next()?.parse().ok()?,
+            "--transport" => args.tcp = it.next()?.as_str() == "tcp",
+            "--no-perf" => args.perf = false,
+            "--help" | "-h" => return None,
+            _ => return None,
+        }
+    }
+    Some(args)
+}
+
+fn main() -> ExitCode {
+    let Some(args) = parse() else {
+        eprintln!(
+            "usage: tbon-run [--topology SPEC] [--filter NAME] [--rounds N] \
+             [--transport local|tcp] [--no-perf]"
+        );
+        return ExitCode::from(2);
+    };
+
+    let spec = match TopologySpec::parse(&args.topology) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("bad topology: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let topo = spec.build();
+    println!(
+        "launching {} ({} back-ends, {} internal, depth {}) with {}",
+        spec,
+        topo.leaf_count(),
+        topo.internal_count(),
+        topo.depth(),
+        args.filter
+    );
+
+    let registry = builtin_registry();
+    if !registry.has_transformation(&args.filter) {
+        eprintln!(
+            "unknown filter '{}'; available: {}",
+            args.filter,
+            tbon::filters::BUILTIN_TRANSFORMATIONS.join(", ")
+        );
+        return ExitCode::from(2);
+    }
+
+    let builder = NetworkBuilder::new(topo)
+        .registry(registry)
+        .backend(|mut ctx: BackendContext| loop {
+            match ctx.next_event() {
+                Ok(BackendEvent::Packet { stream, packet }) => {
+                    let round = packet.value().as_u64().unwrap_or(0);
+                    // Synthetic per-host metric, deterministic in
+                    // (rank, round).
+                    let metric =
+                        ((ctx.rank().0 as u64 * 31 + round * 17) % 1000) as f64 / 10.0;
+                    if ctx
+                        .send(stream, packet.tag(), DataValue::F64(metric))
+                        .is_err()
+                    {
+                        break;
+                    }
+                }
+                Ok(BackendEvent::Shutdown) | Err(_) => break,
+                Ok(_) => continue,
+            }
+        });
+    let launched = if args.tcp {
+        builder.transport(TcpTransport::new()).launch()
+    } else {
+        builder.launch()
+    };
+    let mut net = match launched {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("launch failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let stream = match net.new_stream(StreamSpec::all().transformation(&args.filter)) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("stream failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for round in 0..args.rounds as u64 {
+        if let Err(e) = stream.broadcast(Tag(round as u32), DataValue::U64(round)) {
+            eprintln!("broadcast failed: {e}");
+            return ExitCode::FAILURE;
+        }
+        match stream.recv_timeout(Duration::from_secs(30)) {
+            Ok(pkt) => println!("round {round}: {}", pkt.value()),
+            Err(e) => {
+                eprintln!("recv failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if args.perf {
+        match net.perf_snapshot(Duration::from_secs(5)) {
+            Ok(perf) => {
+                let mut ranks: Vec<&Rank> = perf.keys().collect();
+                ranks.sort();
+                println!();
+                println!("process   up   down  waves  filter_out  filter_ms");
+                for r in ranks {
+                    let c = perf[r];
+                    println!(
+                        "{:>7}  {:>4}  {:>5}  {:>5}  {:>10}  {:>9.3}",
+                        r.to_string(),
+                        c.packets_up,
+                        c.packets_down,
+                        c.waves,
+                        c.filter_out,
+                        c.filter_ns as f64 / 1e6
+                    );
+                }
+            }
+            Err(e) => eprintln!("perf snapshot failed: {e}"),
+        }
+    }
+
+    if let Err(e) = net.shutdown() {
+        eprintln!("shutdown failed: {e}");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,76 @@
+//! `tbon-top` — topology inspection tool.
+//!
+//! Parse a topology specification, report its shape statistics (the §3.2
+//! overhead arithmetic), and optionally emit Graphviz DOT.
+//!
+//! ```text
+//! tbon-top 16x16                 # stats for a balanced 16x16 tree
+//! tbon-top knomial:2,6 --dot     # DOT on stdout
+//! tbon-top flat:512 --levels     # per-level widths
+//! ```
+
+use std::process::ExitCode;
+
+use tbon::topology::{to_dot, TopologySpec, TopologyStats};
+
+fn usage() -> ExitCode {
+    eprintln!("usage: tbon-top <spec> [--dot] [--levels]");
+    eprintln!();
+    eprintln!("spec grammar:");
+    eprintln!("  16x16           balanced, fan-outs per level");
+    eprintln!("  flat:64 | 64    one-deep tree");
+    eprintln!("  balanced:16^2   fan-out ^ depth");
+    eprintln!("  knomial:2,6     skewed k-nomial (k, order)");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut spec_str: Option<&str> = None;
+    let mut dot = false;
+    let mut levels = false;
+    for a in &args {
+        match a.as_str() {
+            "--dot" => dot = true,
+            "--levels" => levels = true,
+            "--help" | "-h" => return usage(),
+            s if spec_str.is_none() => spec_str = Some(s),
+            other => {
+                eprintln!("unexpected argument '{other}'");
+                return usage();
+            }
+        }
+    }
+    let Some(spec_str) = spec_str else {
+        return usage();
+    };
+    let spec = match TopologySpec::parse(spec_str) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return usage();
+        }
+    };
+    let topo = spec.build();
+    if dot {
+        print!("{}", to_dot(&topo, "tbon"));
+        return ExitCode::SUCCESS;
+    }
+    let stats = TopologyStats::of(&topo);
+    println!("spec:            {spec}");
+    println!("processes:       {}", stats.nodes);
+    println!("  front-end:     1");
+    println!("  internal:      {}", stats.internals);
+    println!("  back-ends:     {}", stats.backends);
+    println!("depth:           {}", stats.depth);
+    println!("max fan-out:     {}", stats.max_fanout);
+    println!("root fan-out:    {}", stats.root_fanout);
+    println!(
+        "overhead:        {:.2}% internal nodes per back-end (paper §3.2 metric)",
+        stats.overhead_percent
+    );
+    if levels {
+        println!("level widths:    {:?}", stats.level_widths);
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,73 @@
+//! # tbon — Tree-Based Overlay Networks for Scalable Applications
+//!
+//! A Rust reproduction of *"Tree-based Overlay Networks for Scalable
+//! Applications"* (Arnold, Pack & Miller, IPPS 2006): an MRNet-style
+//! multicast/reduction middleware plus the paper's distributed mean-shift
+//! case study.
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! * [`core`] — the TBON model: packets, streams, filters, the
+//!   communication-process runtime and the front-end/back-end API.
+//! * [`transport`] — FIFO channel substrates (in-process, TCP, shaped).
+//! * [`topology`] — balanced/k-nomial/custom process-tree construction.
+//! * [`filters`] — built-in transformation and synchronization filters.
+//! * [`meanshift`] — the mean-shift clustering case study (§3 of the paper).
+//! * [`sim`] — a discrete-event simulator for paper-scale what-ifs.
+//!
+//! ## Quickstart
+//!
+//! See `examples/quickstart.rs` for a complete runnable program; the core
+//! loop looks like:
+//!
+//! ```
+//! use tbon::prelude::*;
+//!
+//! let topology = Topology::balanced(2, 2); // fan-out 2, depth 2 => 4 leaves
+//! let registry = tbon::filters::builtin_registry();
+//! let mut net = NetworkBuilder::new(topology)
+//!     .registry(registry)
+//!     .backend(|mut ctx: BackendContext| {
+//!         while let Ok(ev) = ctx.next_event() {
+//!             match ev {
+//!                 BackendEvent::Packet { stream, packet } => {
+//!                     let n = packet.value().as_i64().unwrap_or(0);
+//!                     ctx.send(stream, packet.tag(), DataValue::I64(n + ctx.rank().0 as i64))
+//!                         .unwrap();
+//!                 }
+//!                 BackendEvent::Shutdown => break,
+//!                 _ => {}
+//!             }
+//!         }
+//!     })
+//!     .launch()
+//!     .unwrap();
+//!
+//! let stream = net
+//!     .new_stream(StreamSpec::all().transformation("builtin::sum"))
+//!     .unwrap();
+//! stream.broadcast(Tag(1), DataValue::I64(100)).unwrap();
+//! let reply = stream.recv().unwrap();
+//! // 4 leaves each answered 100 + rank; the tree summed them on the way up.
+//! assert!(reply.value().as_i64().is_some());
+//! net.shutdown().unwrap();
+//! ```
+
+pub use tbon_core as core;
+pub use tbon_filters as filters;
+pub use tbon_meanshift as meanshift;
+pub use tbon_sim as sim;
+pub use tbon_topology as topology;
+pub use tbon_transport as transport;
+
+/// The most commonly used items, importable with one `use tbon::prelude::*`.
+pub mod prelude {
+    pub use tbon_core::{
+        BackendContext, BackendEvent, DataValue, FilterRegistry, Network, NetworkBuilder,
+        NetworkConfig, Packet, Rank, StreamHandle, StreamId, StreamSpec, SyncPolicy, Tag,
+        TbonError,
+    };
+    pub use tbon_filters::builtin_registry;
+    pub use tbon_topology::Topology;
+    pub use tbon_transport::{local::LocalTransport, shaped::Shaping, tcp::TcpTransport};
+}

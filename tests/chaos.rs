@@ -1,0 +1,169 @@
+//! Chaos testing: randomized interleavings of the runtime's dynamic
+//! operations — stream creation/teardown, back-end failures, attaches,
+//! internal failures with healing — with correctness checked after every
+//! step. Seeded RNG keeps failures reproducible.
+
+use std::collections::HashSet;
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tbon::core::{NetEvent, NetworkConfig};
+use tbon::prelude::*;
+
+fn rank_reporter() -> impl Fn(BackendContext) + Send + Sync {
+    |mut ctx: BackendContext| loop {
+        match ctx.next_event() {
+            Ok(BackendEvent::Packet { stream, packet }) => {
+                let _ = ctx.send(stream, packet.tag(), DataValue::I64(ctx.rank().0 as i64));
+            }
+            Ok(BackendEvent::Shutdown) | Err(_) => break,
+            Ok(_) => continue,
+        }
+    }
+}
+
+/// Ask the network for the rank-sum over all live back-ends and compare
+/// with the topology's ground truth.
+fn check_consistency(net: &mut Network, round: u32) {
+    let expected: i64 = net
+        .topology_snapshot()
+        .leaves()
+        .iter()
+        .map(|l| l.0 as i64)
+        .sum();
+    let stream = net
+        .new_stream(StreamSpec::all().transformation("builtin::sum"))
+        .expect("consistency stream");
+    stream
+        .broadcast(Tag(round), DataValue::Unit)
+        .expect("broadcast");
+    let pkt = stream
+        .recv_timeout(Duration::from_secs(20))
+        .expect("consistency reply");
+    assert_eq!(
+        pkt.value().as_i64(),
+        Some(expected),
+        "round {round}: live back-end set disagrees with topology"
+    );
+    stream.close().expect("close");
+}
+
+fn run_chaos(seed: u64, steps: usize) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let config = NetworkConfig {
+        orphan_grace: Duration::from_secs(20), // heals always come in time
+        ..NetworkConfig::default()
+    };
+    let mut net = NetworkBuilder::new(Topology::balanced(3, 2)) // 9 leaves
+        .registry(builtin_registry())
+        .config(config)
+        .backend(rank_reporter())
+        .launch()
+        .expect("launch");
+    let mut long_lived = Vec::new();
+    let mut killed_internals: HashSet<u32> = HashSet::new();
+
+    for step in 0..steps {
+        let action = rng.gen_range(0..100);
+        match action {
+            // Kill a random back-end (keep at least 3 alive).
+            0..=24 => {
+                let leaves = net.topology_snapshot().leaves();
+                if leaves.len() > 3 {
+                    let victim = leaves[rng.gen_range(0..leaves.len())];
+                    net.kill_backend(Rank(victim.0)).expect("kill backend");
+                    // Consume the loss event.
+                    match net.wait_event(Duration::from_secs(10)).expect("event") {
+                        NetEvent::BackendLost { rank, .. } => {
+                            assert_eq!(rank, Rank(victim.0))
+                        }
+                        other => panic!("unexpected event {other:?}"),
+                    }
+                }
+            }
+            // Attach a new back-end under a random internal (or the root).
+            25..=49 => {
+                let topo = net.topology_snapshot();
+                let mut parents: Vec<Rank> = topo
+                    .node_ids()
+                    .filter(|&n| {
+                        matches!(
+                            topo.role(n),
+                            tbon::topology::Role::Internal | tbon::topology::Role::FrontEnd
+                        )
+                    })
+                    .filter(|n| !killed_internals.contains(&n.0))
+                    .map(|n| Rank(n.0))
+                    .collect();
+            parents.retain(|p| p.0 == 0 || topo.parent(tbon::topology::NodeId(p.0)).is_some());
+                let parent = parents[rng.gen_range(0..parents.len())];
+                net.attach_backend(parent).expect("attach");
+                match net.wait_event(Duration::from_secs(10)).expect("event") {
+                    NetEvent::BackendJoined { .. } => {}
+                    other => panic!("unexpected event {other:?}"),
+                }
+            }
+            // Kill + heal an internal process.
+            50..=69 => {
+                let topo = net.topology_snapshot();
+                let internals: Vec<Rank> = topo
+                    .node_ids()
+                    .filter(|&n| topo.role(n) == tbon::topology::Role::Internal)
+                    .map(|n| Rank(n.0))
+                    .collect();
+                if let Some(&victim) =
+                    internals.get(rng.gen_range(0..internals.len().max(1)))
+                {
+                    net.kill_internal(victim).expect("kill internal");
+                    killed_internals.insert(victim.0);
+                    match net.wait_event(Duration::from_secs(10)).expect("event") {
+                        NetEvent::SubtreeOrphaned { rank, .. } => {
+                            assert_eq!(rank, victim)
+                        }
+                        other => panic!("unexpected event {other:?}"),
+                    }
+                    net.heal_internal_failure(victim).expect("heal");
+                }
+            }
+            // Open a long-lived stream and keep it.
+            70..=84 => {
+                if long_lived.len() < 4 {
+                    let s = net
+                        .new_stream(StreamSpec::all().transformation("builtin::count"))
+                        .expect("long-lived stream");
+                    long_lived.push(s);
+                }
+            }
+            // Close a long-lived stream.
+            _ => {
+                if let Some(s) = long_lived.pop() {
+                    s.close().expect("close long-lived");
+                }
+            }
+        }
+        check_consistency(&mut net, step as u32);
+    }
+    // Long-lived streams still answer at the end.
+    for s in &long_lived {
+        s.broadcast(Tag(9999), DataValue::Unit).expect("final broadcast");
+        let pkt = s.recv_timeout(Duration::from_secs(20)).expect("final recv");
+        assert!(pkt.value().as_u64().is_some());
+    }
+    net.shutdown().expect("shutdown");
+}
+
+#[test]
+fn chaos_seed_1() {
+    run_chaos(1, 12);
+}
+
+#[test]
+fn chaos_seed_2() {
+    run_chaos(0xDEADBEEF, 12);
+}
+
+#[test]
+fn chaos_seed_3() {
+    run_chaos(20060704, 12);
+}

@@ -1,0 +1,253 @@
+//! Failure-injection integration tests: the runtime's §2.2 "dynamic
+//! topologies ... perhaps as a response to failures" behaviour.
+
+use std::time::Duration;
+
+use tbon::core::NetEvent;
+use tbon::prelude::*;
+
+fn rank_reporter() -> impl Fn(BackendContext) + Send + Sync {
+    |mut ctx: BackendContext| loop {
+        match ctx.next_event() {
+            Ok(BackendEvent::Packet { stream, packet }) => {
+                let _ = ctx.send(
+                    stream,
+                    packet.tag(),
+                    DataValue::I64(ctx.rank().0 as i64),
+                );
+            }
+            Ok(BackendEvent::Shutdown) | Err(_) => break,
+            Ok(_) => continue,
+        }
+    }
+}
+
+fn sum_registry() -> std::sync::Arc<FilterRegistry> {
+    tbon::filters::builtin_registry()
+}
+
+#[test]
+fn multiple_failures_sequentially_shrink_the_wave() {
+    let mut net = NetworkBuilder::new(Topology::flat(5))
+        .registry(sum_registry())
+        .backend(rank_reporter())
+        .launch()
+        .unwrap();
+    let stream = net
+        .new_stream(StreamSpec::all().transformation("builtin::sum"))
+        .unwrap();
+
+    let mut alive: Vec<i64> = vec![1, 2, 3, 4, 5];
+    for victim in [2u32, 4, 1] {
+        stream.broadcast(Tag(0), DataValue::Unit).unwrap();
+        let pkt = stream.recv_timeout(Duration::from_secs(10)).unwrap();
+        assert_eq!(pkt.value().as_i64(), Some(alive.iter().sum::<i64>()));
+
+        net.kill_backend(Rank(victim)).unwrap();
+        match net.wait_event(Duration::from_secs(10)).unwrap() {
+            NetEvent::BackendLost { rank, .. } => assert_eq!(rank, Rank(victim)),
+            other => panic!("unexpected {other:?}"),
+        }
+        alive.retain(|&r| r != victim as i64);
+    }
+    // Two survivors left.
+    stream.broadcast(Tag(0), DataValue::Unit).unwrap();
+    let pkt = stream.recv_timeout(Duration::from_secs(10)).unwrap();
+    assert_eq!(pkt.value().as_i64(), Some(alive.iter().sum::<i64>()));
+    net.shutdown().unwrap();
+}
+
+#[test]
+fn failure_in_deep_tree_detected_by_its_parent_not_root() {
+    let mut net = NetworkBuilder::new(Topology::balanced(3, 2))
+        .registry(sum_registry())
+        .backend(rank_reporter())
+        .launch()
+        .unwrap();
+    let topo = net.topology_snapshot();
+    let victim = topo.leaves()[4];
+    let parent = topo.parent(victim).unwrap();
+    net.kill_backend(Rank(victim.0)).unwrap();
+    match net.wait_event(Duration::from_secs(10)).unwrap() {
+        NetEvent::BackendLost { rank, detected_by } => {
+            assert_eq!(rank, Rank(victim.0));
+            assert_eq!(detected_by, Rank(parent.0), "the leaf's own parent detects");
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+    // The shrunken subtree still answers.
+    let stream = net
+        .new_stream(StreamSpec::all().transformation("builtin::count"))
+        .unwrap();
+    stream.broadcast(Tag(0), DataValue::Unit).unwrap();
+    let pkt = stream.recv_timeout(Duration::from_secs(10)).unwrap();
+    assert_eq!(pkt.value().as_u64(), Some(8));
+    net.shutdown().unwrap();
+}
+
+#[test]
+fn failure_mid_wave_releases_blocked_wait_for_all() {
+    // One back-end never answers; wait_for_all blocks until its failure is
+    // injected, then the wave completes with the survivors.
+    let mut net = NetworkBuilder::new(Topology::flat(3))
+        .registry(sum_registry())
+        .backend(|mut ctx: BackendContext| loop {
+            match ctx.next_event() {
+                Ok(BackendEvent::Packet { stream, packet }) => {
+                    if ctx.rank() != Rank(2) {
+                        let _ = ctx.send(
+                            stream,
+                            packet.tag(),
+                            DataValue::I64(ctx.rank().0 as i64),
+                        );
+                    } // rank 2 stays silent forever
+                }
+                Ok(BackendEvent::Shutdown) | Err(_) => break,
+                Ok(_) => continue,
+            }
+        })
+        .launch()
+        .unwrap();
+    let stream = net
+        .new_stream(StreamSpec::all().transformation("builtin::sum"))
+        .unwrap();
+    stream.broadcast(Tag(0), DataValue::Unit).unwrap();
+    // Nothing arrives while the silent member is "alive".
+    assert!(stream.recv_timeout(Duration::from_millis(200)).is_err());
+    net.kill_backend(Rank(2)).unwrap();
+    let pkt = stream.recv_timeout(Duration::from_secs(10)).unwrap();
+    assert_eq!(pkt.value().as_i64(), Some(1 + 3));
+    net.shutdown().unwrap();
+}
+
+#[test]
+fn killed_backend_then_attach_restores_capacity() {
+    let mut net = NetworkBuilder::new(Topology::flat(4))
+        .registry(sum_registry())
+        .backend(rank_reporter())
+        .launch()
+        .unwrap();
+    net.kill_backend(Rank(3)).unwrap();
+    let _ = net.wait_event(Duration::from_secs(10)).unwrap();
+    // Replace the lost node (new rank, MRNet-style: ids never recycle).
+    let newcomer = net.attach_backend(Rank(0)).unwrap();
+    assert_eq!(newcomer, Rank(5));
+    let stream = net
+        .new_stream(StreamSpec::all().transformation("builtin::count"))
+        .unwrap();
+    stream.broadcast(Tag(0), DataValue::Unit).unwrap();
+    let pkt = stream.recv_timeout(Duration::from_secs(10)).unwrap();
+    assert_eq!(pkt.value().as_u64(), Some(4)); // 1,2,4 + newcomer 5
+    net.shutdown().unwrap();
+}
+
+#[test]
+fn shutdown_completes_despite_dead_backends() {
+    let mut net = NetworkBuilder::new(Topology::balanced(2, 2))
+        .registry(sum_registry())
+        .backend(rank_reporter())
+        .launch()
+        .unwrap();
+    let leaves = net.topology_snapshot().leaves();
+    net.kill_backend(Rank(leaves[0].0)).unwrap();
+    net.kill_backend(Rank(leaves[3].0)).unwrap();
+    // Drain the two loss events, then shut down: must not hang.
+    let _ = net.wait_event(Duration::from_secs(10)).unwrap();
+    let _ = net.wait_event(Duration::from_secs(10)).unwrap();
+    net.shutdown().unwrap();
+}
+
+#[test]
+fn killing_non_backend_is_rejected() {
+    let mut net = NetworkBuilder::new(Topology::balanced(2, 2))
+        .registry(sum_registry())
+        .backend(rank_reporter())
+        .launch()
+        .unwrap();
+    assert!(net.kill_backend(Rank(0)).is_err());
+    assert!(net.kill_backend(Rank(1)).is_err()); // internal node
+    assert!(net.kill_backend(Rank(999)).is_err());
+    net.shutdown().unwrap();
+}
+
+#[test]
+fn timeout_sync_rides_through_failures_without_events_blocking() {
+    let mut net = NetworkBuilder::new(Topology::flat(4))
+        .registry(sum_registry())
+        .backend(rank_reporter())
+        .launch()
+        .unwrap();
+    let stream = net
+        .new_stream(
+            StreamSpec::all()
+                .transformation("builtin::sum")
+                .sync(SyncPolicy::TimeOut { window_ms: 100 }),
+        )
+        .unwrap();
+    stream.broadcast(Tag(0), DataValue::Unit).unwrap();
+    let first = stream.recv_timeout(Duration::from_secs(10)).unwrap();
+    assert_eq!(first.value().as_i64(), Some(1 + 2 + 3 + 4));
+    net.kill_backend(Rank(2)).unwrap();
+    stream.broadcast(Tag(1), DataValue::Unit).unwrap();
+    let second = stream.recv_timeout(Duration::from_secs(10)).unwrap();
+    assert_eq!(second.value().as_i64(), Some(1 + 3 + 4));
+    net.shutdown().unwrap();
+}
+
+#[test]
+fn subtree_with_all_members_dead_is_pruned_from_existing_streams() {
+    // balanced(2,2): internals 1, 2; leaves 3,4 under 1 and 5,6 under 2.
+    // Killing both of internal 1's leaves leaves it with nothing to
+    // contribute; without the prune cascade the root would wait on it
+    // forever.
+    let mut net = NetworkBuilder::new(Topology::balanced(2, 2))
+        .registry(sum_registry())
+        .backend(rank_reporter())
+        .launch()
+        .unwrap();
+    let stream = net
+        .new_stream(StreamSpec::all().transformation("builtin::sum"))
+        .unwrap();
+    stream.broadcast(Tag(0), DataValue::Unit).unwrap();
+    let full: i64 = stream
+        .recv_timeout(Duration::from_secs(10))
+        .unwrap()
+        .value()
+        .as_i64()
+        .unwrap();
+    let leaves = net.topology_snapshot().leaves();
+    let (a, b) = (leaves[0], leaves[1]); // both under internal 1
+    net.kill_backend(Rank(a.0)).unwrap();
+    let _ = net.wait_event(Duration::from_secs(10)).unwrap();
+    net.kill_backend(Rank(b.0)).unwrap();
+    let _ = net.wait_event(Duration::from_secs(10)).unwrap();
+
+    stream.broadcast(Tag(1), DataValue::Unit).unwrap();
+    let survivors = stream
+        .recv_timeout(Duration::from_secs(10))
+        .unwrap()
+        .value()
+        .as_i64()
+        .unwrap();
+    assert_eq!(survivors, full - a.0 as i64 - b.0 as i64);
+    // The emptied communication process is still Internal, not a back-end.
+    let topo = net.topology_snapshot();
+    assert_eq!(
+        topo.role(tbon::topology::NodeId(1)),
+        tbon::topology::Role::Internal
+    );
+    // And new Members::All streams exclude it cleanly.
+    let fresh = net
+        .new_stream(StreamSpec::all().transformation("builtin::count"))
+        .unwrap();
+    fresh.broadcast(Tag(2), DataValue::Unit).unwrap();
+    assert_eq!(
+        fresh
+            .recv_timeout(Duration::from_secs(10))
+            .unwrap()
+            .value()
+            .as_u64(),
+        Some(2)
+    );
+    net.shutdown().unwrap();
+}

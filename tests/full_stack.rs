@@ -1,0 +1,607 @@
+//! Cross-crate integration tests through the `tbon` facade: real networks
+//! running the literature filters end-to-end, over both transports.
+
+use std::time::Duration;
+
+use tbon::core::NetEvent;
+use tbon::filters::{decode_classes, decode_composites, FoldedNode, SkewReport, TimeSeries};
+use tbon::meanshift::{
+    run_distributed, run_single_equivalent, MeanShiftParams, MsPayload, SynthSpec,
+};
+use tbon::prelude::*;
+
+fn echo_backend(
+    f: impl Fn(&BackendContext, &Packet) -> DataValue + Send + Sync + 'static,
+) -> impl Fn(BackendContext) + Send + Sync + 'static {
+    move |mut ctx: BackendContext| loop {
+        match ctx.next_event() {
+            Ok(BackendEvent::Packet { stream, packet }) => {
+                let reply = f(&ctx, &packet);
+                if ctx.send(stream, packet.tag(), reply).is_err() {
+                    break;
+                }
+            }
+            Ok(BackendEvent::Shutdown) | Err(_) => break,
+            Ok(_) => continue,
+        }
+    }
+}
+
+#[test]
+fn equivalence_classes_over_deep_tree() {
+    let mut net = NetworkBuilder::new(Topology::balanced(4, 3)) // 64 leaves
+        .registry(builtin_registry())
+        .backend(echo_backend(|ctx, _| {
+            DataValue::Str(format!("variant_{}", ctx.rank().0 % 3))
+        }))
+        .launch()
+        .unwrap();
+    let stream = net
+        .new_stream(StreamSpec::all().transformation("filter::equivalence"))
+        .unwrap();
+    stream.broadcast(Tag(0), DataValue::Unit).unwrap();
+    let pkt = stream.recv_timeout(Duration::from_secs(10)).unwrap();
+    let classes = decode_classes(pkt.value()).unwrap();
+    assert_eq!(classes.len(), 3);
+    assert_eq!(
+        classes.iter().map(|c| c.members.len()).sum::<usize>(),
+        64,
+        "every back-end accounted for exactly once"
+    );
+    net.shutdown().unwrap();
+}
+
+#[test]
+fn histogram_over_tcp_matches_local() {
+    let params = DataValue::Tuple(vec![
+        DataValue::F64(0.0),
+        DataValue::F64(64.0),
+        DataValue::U64(8),
+    ]);
+    let make_backend = || {
+        echo_backend(|ctx, _| {
+            DataValue::ArrayF64((0..32).map(|i| ((ctx.rank().0 + i) % 64) as f64).collect())
+        })
+    };
+    let run = |use_tcp: bool| -> Vec<i64> {
+        let builder = NetworkBuilder::new(Topology::balanced(3, 2))
+            .registry(builtin_registry())
+            .backend(make_backend());
+        let mut net = if use_tcp {
+            builder.transport(TcpTransport::new()).launch().unwrap()
+        } else {
+            builder.launch().unwrap()
+        };
+        let stream = net
+            .new_stream(
+                StreamSpec::all()
+                    .transformation("filter::histogram")
+                    .params(params.clone()),
+            )
+            .unwrap();
+        stream.broadcast(Tag(0), DataValue::Unit).unwrap();
+        let pkt = stream.recv_timeout(Duration::from_secs(10)).unwrap();
+        let out = pkt.value().as_array_i64().unwrap().to_vec();
+        net.shutdown().unwrap();
+        out
+    };
+    let local = run(false);
+    let tcp = run(true);
+    assert_eq!(local, tcp, "transport must not affect results");
+    assert_eq!(local.iter().sum::<i64>(), 9 * 32);
+}
+
+#[test]
+fn sgfa_folds_call_trees_across_the_network() {
+    let mut net = NetworkBuilder::new(Topology::balanced(4, 2))
+        .registry(builtin_registry())
+        .backend(echo_backend(|ctx, _| {
+            // Every host explored main->compute; every fourth also io.
+            let mut children = vec![FoldedNode::leaf("compute")];
+            if ctx.rank().0 % 4 == 0 {
+                children.push(FoldedNode::leaf("io_stall"));
+            }
+            FoldedNode::branch("main", children).to_value()
+        }))
+        .launch()
+        .unwrap();
+    let stream = net
+        .new_stream(StreamSpec::all().transformation("filter::sgfa"))
+        .unwrap();
+    stream.broadcast(Tag(0), DataValue::Unit).unwrap();
+    let pkt = stream.recv_timeout(Duration::from_secs(10)).unwrap();
+    let composites = decode_composites(pkt.value()).unwrap();
+    assert_eq!(composites.len(), 1);
+    let root = &composites[0];
+    assert_eq!(root.hosts, 16);
+    assert_eq!(root.child("compute").unwrap().hosts, 16);
+    let io = root.child("io_stall").unwrap();
+    assert!(io.hosts >= 1 && io.hosts <= 16);
+    net.shutdown().unwrap();
+}
+
+#[test]
+fn time_aligned_series_sum_over_network() {
+    let mut net = NetworkBuilder::new(Topology::balanced(2, 2))
+        .registry(builtin_registry())
+        .backend(echo_backend(|ctx, _| {
+            // Each host's series starts at a host-specific offset.
+            TimeSeries {
+                t0: (ctx.rank().0 % 3) as f64,
+                dt: 1.0,
+                samples: vec![1.0; 4],
+            }
+            .to_value()
+        }))
+        .launch()
+        .unwrap();
+    let stream = net
+        .new_stream(
+            StreamSpec::all()
+                .transformation("filter::time_align")
+                .params(DataValue::F64(1.0)),
+        )
+        .unwrap();
+    stream.broadcast(Tag(0), DataValue::Unit).unwrap();
+    let pkt = stream.recv_timeout(Duration::from_secs(10)).unwrap();
+    let merged = TimeSeries::from_value(pkt.value()).unwrap();
+    // 4 hosts x 4 samples of 1.0: total mass conserved through alignment.
+    assert_eq!(merged.samples.iter().sum::<f64>(), 16.0);
+    assert_eq!(merged.dt, 1.0);
+    net.shutdown().unwrap();
+}
+
+#[test]
+fn chained_super_filter_over_network() {
+    // chain(identity -> equivalence): §2.2's workaround for the missing
+    // filter chaining.
+    let chain_params = DataValue::Tuple(vec![
+        DataValue::from("core::identity"),
+        DataValue::from("filter::equivalence"),
+    ]);
+    let mut net = NetworkBuilder::new(Topology::flat(6))
+        .registry(builtin_registry())
+        .backend(echo_backend(|ctx, _| {
+            DataValue::Str(format!("group_{}", ctx.rank().0 % 2))
+        }))
+        .launch()
+        .unwrap();
+    let stream = net
+        .new_stream(
+            StreamSpec::all()
+                .transformation("filter::chain")
+                .params(chain_params),
+        )
+        .unwrap();
+    stream.broadcast(Tag(0), DataValue::Unit).unwrap();
+    let pkt = stream.recv_timeout(Duration::from_secs(10)).unwrap();
+    let classes = decode_classes(pkt.value()).unwrap();
+    assert_eq!(classes.len(), 2);
+    net.shutdown().unwrap();
+}
+
+#[test]
+fn clock_skew_recovers_injected_offsets_over_network() {
+    let epoch = std::time::Instant::now();
+    let mut net = NetworkBuilder::new(Topology::balanced(3, 2))
+        .registry(builtin_registry())
+        .backend(move |mut ctx: BackendContext| loop {
+            match ctx.next_event() {
+                Ok(BackendEvent::Packet { stream, packet }) => {
+                    let offset = ctx.rank().0 as f64 * 0.25;
+                    let clock = epoch.elapsed().as_secs_f64() + offset;
+                    let _ = ctx.send(stream, packet.tag(), DataValue::F64(clock));
+                }
+                Ok(BackendEvent::Shutdown) | Err(_) => break,
+                Ok(_) => continue,
+            }
+        })
+        .launch()
+        .unwrap();
+    let stream = net
+        .new_stream(StreamSpec::all().transformation("filter::clock_skew"))
+        .unwrap();
+    stream.broadcast(Tag(0), DataValue::Unit).unwrap();
+    let pkt = stream.recv_timeout(Duration::from_secs(10)).unwrap();
+    let report = SkewReport::from_value(pkt.value()).unwrap();
+    let leaves = net.topology_snapshot().leaves();
+    for leaf in leaves {
+        let idx = report
+            .ranks
+            .iter()
+            .position(|&r| r == leaf.0 as i64)
+            .expect("leaf in report");
+        let expected = leaf.0 as f64 * 0.25;
+        let got = report.skews[idx];
+        assert!(
+            (got - expected).abs() < 0.2,
+            "rank {}: expected ~{expected}, got {got}",
+            leaf.0
+        );
+    }
+    net.shutdown().unwrap();
+}
+
+#[test]
+fn meanshift_distributed_over_tcp() {
+    // The case study's filter logic is transport-independent; run the leaf
+    // computation + tree merge over real sockets.
+    let spec = SynthSpec {
+        points_per_cluster: 80,
+        ..SynthSpec::paper_default()
+    };
+    let params = MeanShiftParams::default();
+    let registry = builtin_registry();
+    tbon::meanshift::register_meanshift(&registry);
+    let be_spec = spec.clone();
+    let mut net = NetworkBuilder::new(Topology::balanced(2, 2))
+        .transport(TcpTransport::new())
+        .registry(registry)
+        .backend(move |mut ctx: BackendContext| {
+            let data = be_spec.generate(ctx.rank().0 as u64);
+            loop {
+                match ctx.next_event() {
+                    Ok(BackendEvent::Packet { stream, packet }) => {
+                        let payload = tbon::meanshift::leaf_compute(&data, &params);
+                        let _ = ctx.send(stream, packet.tag(), payload.to_value());
+                    }
+                    Ok(BackendEvent::Shutdown) | Err(_) => break,
+                    Ok(_) => continue,
+                }
+            }
+        })
+        .launch()
+        .unwrap();
+    let stream = net
+        .new_stream(
+            StreamSpec::all()
+                .transformation("meanshift::merge")
+                .params(MeanShiftParams::default().to_value()),
+        )
+        .unwrap();
+    stream.broadcast(Tag(0), DataValue::Unit).unwrap();
+    let pkt = stream.recv_timeout(Duration::from_secs(60)).unwrap();
+    let payload = MsPayload::from_value(pkt.value()).unwrap();
+    assert_eq!(payload.points.len(), 4 * spec.points_per_leaf());
+    assert_eq!(payload.peaks.len(), spec.centers.len());
+    net.shutdown().unwrap();
+}
+
+#[test]
+fn distributed_and_single_agree_through_facade() {
+    let spec = SynthSpec {
+        points_per_cluster: 100,
+        ..SynthSpec::paper_default()
+    };
+    let params = MeanShiftParams::default();
+    let dist = run_distributed(Topology::flat(4), &spec, &params).unwrap();
+    let single = run_single_equivalent(&[1, 2, 3, 4], &spec, &params);
+    assert_eq!(dist.peaks.len(), single.peaks.len());
+}
+
+#[test]
+fn attach_then_monitor_includes_newcomer() {
+    let mut net = NetworkBuilder::new(Topology::balanced(2, 2))
+        .registry(builtin_registry())
+        .backend(echo_backend(|_, _| DataValue::U64(1)))
+        .launch()
+        .unwrap();
+    // Grow the fleet by two under an internal aggregator.
+    let internal = Rank(1);
+    net.attach_backend(internal).unwrap();
+    net.attach_backend(internal).unwrap();
+    assert!(matches!(
+        net.wait_event(Duration::from_secs(5)).unwrap(),
+        NetEvent::BackendJoined { .. }
+    ));
+    let stream = net
+        .new_stream(StreamSpec::all().transformation("builtin::count"))
+        .unwrap();
+    stream.broadcast(Tag(0), DataValue::Unit).unwrap();
+    let pkt = stream.recv_timeout(Duration::from_secs(10)).unwrap();
+    assert_eq!(pkt.value().as_u64(), Some(6)); // 4 original + 2 attached
+    net.shutdown().unwrap();
+}
+
+#[test]
+fn avg_filter_is_exact_across_levels() {
+    // The (sum, count) propagation must make the tree average exactly equal
+    // the arithmetic mean of the leaf values, at any depth.
+    let mut net = NetworkBuilder::new(Topology::balanced(3, 3)) // 27 leaves
+        .registry(builtin_registry())
+        .backend(echo_backend(|ctx, _| DataValue::F64(ctx.rank().0 as f64)))
+        .launch()
+        .unwrap();
+    let expected: f64 = {
+        let leaves = net.topology_snapshot().leaves();
+        leaves.iter().map(|l| l.0 as f64).sum::<f64>() / leaves.len() as f64
+    };
+    let stream = net
+        .new_stream(StreamSpec::all().transformation("builtin::avg"))
+        .unwrap();
+    stream.broadcast(Tag(0), DataValue::Unit).unwrap();
+    let pkt = stream.recv_timeout(Duration::from_secs(10)).unwrap();
+    let got = pkt.value().as_f64().unwrap();
+    assert!((got - expected).abs() < 1e-9, "avg {got} != {expected}");
+    net.shutdown().unwrap();
+}
+
+#[test]
+fn concat_keyed_gathers_with_provenance() {
+    let mut net = NetworkBuilder::new(Topology::balanced(2, 3)) // 8 leaves
+        .registry(builtin_registry())
+        .backend(echo_backend(|ctx, _| {
+            DataValue::U64(ctx.rank().0 as u64 * 100)
+        }))
+        .launch()
+        .unwrap();
+    let stream = net
+        .new_stream(StreamSpec::all().transformation("builtin::concat_keyed"))
+        .unwrap();
+    stream.broadcast(Tag(0), DataValue::Unit).unwrap();
+    let pkt = stream.recv_timeout(Duration::from_secs(10)).unwrap();
+    let entries = pkt.value().as_tuple().unwrap();
+    assert_eq!(entries.len(), 8);
+    for e in entries {
+        let pair = e.as_tuple().unwrap();
+        let origin = pair[0].as_u64().unwrap();
+        assert_eq!(pair[1].as_u64(), Some(origin * 100));
+    }
+    net.shutdown().unwrap();
+}
+
+#[test]
+fn stats_filter_over_network_is_exact() {
+    let mut net = NetworkBuilder::new(Topology::balanced(3, 2)) // 9 leaves
+        .registry(builtin_registry())
+        .backend(echo_backend(|ctx, _| {
+            DataValue::ArrayF64(vec![ctx.rank().0 as f64, ctx.rank().0 as f64 * 2.0])
+        }))
+        .launch()
+        .unwrap();
+    let leaves: Vec<f64> = net
+        .topology_snapshot()
+        .leaves()
+        .iter()
+        .flat_map(|l| [l.0 as f64, l.0 as f64 * 2.0])
+        .collect();
+    let stream = net
+        .new_stream(StreamSpec::all().transformation("filter::stats"))
+        .unwrap();
+    stream.broadcast(Tag(0), DataValue::Unit).unwrap();
+    let pkt = stream.recv_timeout(Duration::from_secs(10)).unwrap();
+    let report = tbon::filters::StatsReport::from_value(pkt.value()).unwrap();
+    let expected = tbon::filters::Summary::of_samples(&leaves);
+    assert_eq!(report.count, leaves.len() as u64);
+    assert!((report.mean - expected.mean()).abs() < 1e-9);
+    assert!((report.variance - expected.variance()).abs() < 1e-6);
+    assert_eq!(report.min, expected.min);
+    assert_eq!(report.max, expected.max);
+    net.shutdown().unwrap();
+}
+
+#[test]
+fn topk_filter_over_network_selects_globally() {
+    let mut net = NetworkBuilder::new(Topology::balanced(4, 2)) // 16 leaves
+        .registry(builtin_registry())
+        .backend(echo_backend(|ctx, _| {
+            DataValue::Tuple(vec![
+                DataValue::Str(format!("host{}", ctx.rank().0)),
+                DataValue::F64(((ctx.rank().0 * 37) % 101) as f64),
+            ])
+        }))
+        .launch()
+        .unwrap();
+    let leaves = net.topology_snapshot().leaves();
+    let mut scores: Vec<(String, f64)> = leaves
+        .iter()
+        .map(|l| (format!("host{}", l.0), ((l.0 * 37) % 101) as f64))
+        .collect();
+    scores.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    let stream = net
+        .new_stream(
+            StreamSpec::all()
+                .transformation("filter::top_k")
+                .params(DataValue::U64(3)),
+        )
+        .unwrap();
+    stream.broadcast(Tag(0), DataValue::Unit).unwrap();
+    let pkt = stream.recv_timeout(Duration::from_secs(10)).unwrap();
+    let top = tbon::filters::decode_topk(pkt.value()).unwrap();
+    assert_eq!(top.len(), 3);
+    for (got, want) in top.iter().zip(&scores) {
+        assert_eq!(got.key, want.0);
+        assert_eq!(got.score, want.1);
+    }
+    net.shutdown().unwrap();
+}
+
+#[test]
+fn decimate_filter_thins_flow_at_the_first_level() {
+    // Backends push 9 waves; a decimate(3) filter forwards 3 to the FE.
+    let mut net = NetworkBuilder::new(Topology::flat(2))
+        .registry(builtin_registry())
+        .backend(|mut ctx: BackendContext| loop {
+            match ctx.next_event() {
+                Ok(BackendEvent::StreamOpened { stream }) => {
+                    for i in 0..9u32 {
+                        let _ = ctx.send(stream, Tag(i), DataValue::U64(i as u64));
+                    }
+                }
+                Ok(BackendEvent::Shutdown) | Err(_) => break,
+                Ok(_) => continue,
+            }
+        })
+        .launch()
+        .unwrap();
+    let stream = net
+        .new_stream(
+            StreamSpec::all()
+                .transformation("filter::decimate")
+                .params(DataValue::U64(3)),
+        )
+        .unwrap();
+    let mut got = 0;
+    while stream.recv_timeout(Duration::from_millis(800)).is_ok() {
+        got += 1;
+    }
+    assert_eq!(got, 3);
+    net.shutdown().unwrap();
+}
+
+#[test]
+fn format_string_packing_over_network() {
+    use tbon::core::fmt::{pack, unpack};
+    let mut net = NetworkBuilder::new(Topology::flat(3))
+        .registry(builtin_registry())
+        .backend(echo_backend(|ctx, packet| {
+            // Parse the request with a format string, answer with another.
+            let fields = unpack("%s %d", packet.value()).expect("request format");
+            let base = fields[1].as_i64().unwrap();
+            pack(
+                "%d %lf",
+                &[
+                    DataValue::I64(base + ctx.rank().0 as i64),
+                    DataValue::F64(ctx.rank().0 as f64 / 2.0),
+                ],
+            )
+            .expect("reply format")
+        }))
+        .launch()
+        .unwrap();
+    let stream = net.new_stream(StreamSpec::all()).unwrap();
+    let request = pack(
+        "%s %d",
+        &[DataValue::from("offset"), DataValue::I64(100)],
+    )
+    .unwrap();
+    stream.broadcast(Tag(0), request).unwrap();
+    let mut seen = 0;
+    for _ in 0..3 {
+        let pkt = stream.recv_timeout(Duration::from_secs(10)).unwrap();
+        let fields = unpack("%d %lf", pkt.value()).unwrap();
+        let rank = pkt.origin().0 as i64;
+        assert_eq!(fields[0].as_i64(), Some(100 + rank));
+        seen += 1;
+    }
+    assert_eq!(seen, 3);
+    net.shutdown().unwrap();
+}
+
+#[cfg(unix)]
+#[test]
+fn uds_transport_end_to_end() {
+    use tbon::transport::uds::UdsTransport;
+    let topo = Topology::balanced(2, 2);
+    let expected: i64 = topo.leaves().iter().map(|l| l.0 as i64).sum();
+    let mut net = NetworkBuilder::new(topo)
+        .transport(UdsTransport::new().expect("uds transport"))
+        .registry(builtin_registry())
+        .backend(echo_backend(|ctx, _| DataValue::I64(ctx.rank().0 as i64)))
+        .launch()
+        .unwrap();
+    let stream = net
+        .new_stream(StreamSpec::all().transformation("builtin::sum"))
+        .unwrap();
+    stream.broadcast(Tag(0), DataValue::Unit).unwrap();
+    assert_eq!(
+        stream
+            .recv_timeout(Duration::from_secs(10))
+            .unwrap()
+            .value()
+            .as_i64(),
+        Some(expected)
+    );
+    net.shutdown().unwrap();
+}
+
+#[test]
+fn host_placement_drives_shaped_transport_costs() {
+    use std::time::Instant;
+    use tbon::topology::HostMap;
+    use tbon::transport::shaped::{ShapedTransport, Shaping};
+    use tbon::transport::local::LocalTransport;
+
+    // One aggregator subtree per "host" vs naive round robin: the same
+    // network, but cross-host edges pay 25 ms latency.
+    let run = |placement: fn(&Topology, usize) -> HostMap| -> (usize, Duration) {
+        let topo = Topology::balanced(3, 2);
+        let map = placement(&topo, 3);
+        let crossings = map.cross_edges(&topo);
+        let slow = Shaping {
+            latency: Duration::from_millis(25),
+            bandwidth_bps: None,
+        };
+        let transport = ShapedTransport::with_edge_fn(LocalTransport::new(), move |a, b| {
+            if map.is_local(a, b) {
+                Shaping::unshaped()
+            } else {
+                slow
+            }
+        });
+        let mut net = NetworkBuilder::new(topo)
+            .transport(transport)
+            .registry(builtin_registry())
+            .backend(echo_backend(|ctx, _| DataValue::I64(ctx.rank().0 as i64)))
+            .launch()
+            .unwrap();
+        let stream = net
+            .new_stream(StreamSpec::all().transformation("builtin::sum"))
+            .unwrap();
+        let started = Instant::now();
+        stream.broadcast(Tag(0), DataValue::Unit).unwrap();
+        let pkt = stream.recv_timeout(Duration::from_secs(20)).unwrap();
+        let elapsed = started.elapsed();
+        let expected: i64 = net
+            .topology_snapshot()
+            .leaves()
+            .iter()
+            .map(|l| l.0 as i64)
+            .sum();
+        assert_eq!(pkt.value().as_i64(), Some(expected));
+        net.shutdown().unwrap();
+        (crossings, elapsed)
+    };
+
+    let (st_cross, st_time) = run(HostMap::by_subtree);
+    let (rr_cross, rr_time) = run(HostMap::round_robin);
+    assert!(st_cross < rr_cross, "{st_cross} vs {rr_cross}");
+    // Fewer slow edges on the critical path => faster wave. Generous
+    // margin: the subtree layout pays 2 slow hops each way at most, the
+    // round robin layout pays slow hops on nearly every level.
+    assert!(
+        st_time <= rr_time,
+        "by_subtree {st_time:?} should not be slower than round_robin {rr_time:?}"
+    );
+}
+
+#[test]
+fn cumulative_equivalence_suppresses_repeat_waves_in_tree() {
+    // §2.2's redundancy suppression: with the cumulative mode, a second
+    // identical report wave is absorbed inside the tree and never reaches
+    // the front-end.
+    let mut net = NetworkBuilder::new(Topology::balanced(2, 2))
+        .registry(builtin_registry())
+        .backend(echo_backend(|_, _| DataValue::from("same-config")))
+        .launch()
+        .unwrap();
+    let stream = net
+        .new_stream(
+            StreamSpec::all()
+                .transformation("filter::equivalence")
+                .params(DataValue::from("cumulative")),
+        )
+        .unwrap();
+    stream.broadcast(Tag(0), DataValue::Unit).unwrap();
+    let first = stream.recv_timeout(Duration::from_secs(10)).unwrap();
+    let classes = tbon::filters::decode_classes(first.value()).unwrap();
+    assert_eq!(classes.len(), 1);
+    assert_eq!(classes[0].members.len(), 4);
+    // Identical second wave: suppressed before the front-end.
+    stream.broadcast(Tag(1), DataValue::Unit).unwrap();
+    assert!(
+        stream.recv_timeout(Duration::from_millis(500)).is_err(),
+        "repeat wave should be suppressed in-tree"
+    );
+    net.shutdown().unwrap();
+}

@@ -1,0 +1,128 @@
+//! Cross-crate property tests: the tree-distribution invariant — running a
+//! reduction through ANY topology gives the same answer as computing it
+//! flat — plus determinism of the distributed mean-shift.
+
+use std::time::Duration;
+
+use proptest::prelude::*;
+use tbon::prelude::*;
+
+/// Launch a network over `topology`, have each back-end report
+/// `values[leaf_index]`, reduce with `filter`, and return the root packet.
+fn reduce_through(
+    topology: Topology,
+    filter: &str,
+    values: Vec<i64>,
+) -> DataValue {
+    let leaves = topology.leaves();
+    assert_eq!(leaves.len(), values.len());
+    // Map rank -> value.
+    let by_rank: std::collections::HashMap<u32, i64> = leaves
+        .iter()
+        .zip(&values)
+        .map(|(l, &v)| (l.0, v))
+        .collect();
+    let mut net = NetworkBuilder::new(topology)
+        .registry(builtin_registry())
+        .backend(move |mut ctx: BackendContext| loop {
+            match ctx.next_event() {
+                Ok(BackendEvent::Packet { stream, packet }) => {
+                    let v = by_rank[&ctx.rank().0];
+                    let _ = ctx.send(stream, packet.tag(), DataValue::I64(v));
+                }
+                Ok(BackendEvent::Shutdown) | Err(_) => break,
+                Ok(_) => continue,
+            }
+        })
+        .launch()
+        .unwrap();
+    let stream = net
+        .new_stream(StreamSpec::all().transformation(filter))
+        .unwrap();
+    stream.broadcast(Tag(0), DataValue::Unit).unwrap();
+    let pkt = stream.recv_timeout(Duration::from_secs(20)).unwrap();
+    let out = pkt.value().clone();
+    net.shutdown().unwrap();
+    out
+}
+
+/// Strategy: a random small tree shape plus a value per leaf.
+fn topology_and_values() -> impl Strategy<Value = (Topology, Vec<i64>)> {
+    let shapes = prop_oneof![
+        (2usize..5, 1usize..3).prop_map(|(f, d)| Topology::balanced(f, d)),
+        (2usize..9).prop_map(Topology::flat),
+        (2usize..4, 2usize..4).prop_map(|(k, o)| Topology::knomial(k, o)),
+        prop::collection::vec(2usize..4, 2..3).prop_map(|ls| Topology::balanced_levels(&ls)),
+    ];
+    shapes.prop_flat_map(|t| {
+        let n = t.leaf_count();
+        (
+            Just(t),
+            prop::collection::vec(-1000i64..1000, n..=n),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Tree-distributed sum == flat sum, for any topology shape.
+    #[test]
+    fn tree_sum_equals_flat_sum((topo, values) in topology_and_values()) {
+        let expected: i64 = values.iter().sum();
+        let got = reduce_through(topo, "builtin::sum", values);
+        prop_assert_eq!(got.as_i64(), Some(expected));
+    }
+
+    /// Tree-distributed min/max == flat min/max.
+    #[test]
+    fn tree_min_max_equal_flat((topo, values) in topology_and_values()) {
+        let expected_min = *values.iter().min().unwrap();
+        let got = reduce_through(topo.clone(), "builtin::min", values.clone());
+        prop_assert_eq!(got.as_i64(), Some(expected_min));
+        let expected_max = *values.iter().max().unwrap();
+        let got = reduce_through(topo, "builtin::max", values);
+        prop_assert_eq!(got.as_i64(), Some(expected_max));
+    }
+
+    /// builtin::count reports the leaf count for any shape.
+    #[test]
+    fn tree_count_equals_leaf_count((topo, values) in topology_and_values()) {
+        let n = values.len() as u64;
+        let got = reduce_through(topo, "builtin::count", values);
+        prop_assert_eq!(got.as_u64(), Some(n));
+    }
+
+    /// concat gathers exactly the multiset of leaf values.
+    #[test]
+    fn tree_concat_preserves_multiset((topo, values) in topology_and_values()) {
+        let got = reduce_through(topo, "builtin::concat", values.clone());
+        let mut gathered: Vec<i64> = got
+            .as_tuple()
+            .unwrap()
+            .iter()
+            .map(|v| v.as_i64().unwrap())
+            .collect();
+        let mut expected = values;
+        gathered.sort_unstable();
+        expected.sort_unstable();
+        prop_assert_eq!(gathered, expected);
+    }
+}
+
+#[test]
+fn distributed_meanshift_is_deterministic() {
+    use tbon::meanshift::{run_distributed, MeanShiftParams, SynthSpec};
+    let spec = SynthSpec {
+        points_per_cluster: 80,
+        ..SynthSpec::paper_default()
+    };
+    let params = MeanShiftParams::default();
+    let a = run_distributed(Topology::balanced(2, 2), &spec, &params).unwrap();
+    let b = run_distributed(Topology::balanced(2, 2), &spec, &params).unwrap();
+    assert_eq!(a.peaks.len(), b.peaks.len());
+    for (pa, pb) in a.peaks.iter().zip(&b.peaks) {
+        assert_eq!(pa.position, pb.position, "same inputs, same peaks");
+        assert_eq!(pa.support, pb.support);
+    }
+}

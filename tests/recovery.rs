@@ -1,0 +1,236 @@
+//! Internal-process failure and tree reconfiguration — the paper's §2.2
+//! dynamic-topology extension: "communication and back-end processes can
+//! show up or leave at any time ... and the network properly reconfigures
+//! and re-routes traffic".
+
+use std::time::Duration;
+
+use tbon::core::{NetEvent, NetworkConfig};
+use tbon::prelude::*;
+
+fn rank_reporter() -> impl Fn(BackendContext) + Send + Sync {
+    |mut ctx: BackendContext| loop {
+        match ctx.next_event() {
+            Ok(BackendEvent::Packet { stream, packet }) => {
+                let _ = ctx.send(stream, packet.tag(), DataValue::I64(ctx.rank().0 as i64));
+            }
+            Ok(BackendEvent::Shutdown) | Err(_) => break,
+            Ok(_) => continue,
+        }
+    }
+}
+
+fn sum_of_leaves(net: &Network) -> i64 {
+    net.topology_snapshot()
+        .leaves()
+        .iter()
+        .map(|l| l.0 as i64)
+        .sum()
+}
+
+#[test]
+fn internal_failure_reported_as_subtree_orphaned() {
+    // Short grace: this test never heals, so the orphans should exit fast
+    // rather than stalling shutdown for the default 10 s.
+    let config = NetworkConfig {
+        orphan_grace: Duration::from_millis(200),
+        ..NetworkConfig::default()
+    };
+    let mut net = NetworkBuilder::new(Topology::balanced(2, 2))
+        .registry(builtin_registry())
+        .config(config)
+        .backend(rank_reporter())
+        .launch()
+        .unwrap();
+    net.kill_internal(Rank(1)).unwrap();
+    match net.wait_event(Duration::from_secs(10)).unwrap() {
+        NetEvent::SubtreeOrphaned { rank, detected_by } => {
+            assert_eq!(rank, Rank(1));
+            assert_eq!(detected_by, Rank(0));
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+    net.shutdown().unwrap();
+}
+
+#[test]
+fn heal_restores_existing_stream_with_full_membership() {
+    let mut net = NetworkBuilder::new(Topology::balanced(2, 2))
+        .registry(builtin_registry())
+        .backend(rank_reporter())
+        .launch()
+        .unwrap();
+    let expected = sum_of_leaves(&net);
+    let stream = net
+        .new_stream(StreamSpec::all().transformation("builtin::sum"))
+        .unwrap();
+    // Round 1: intact tree.
+    stream.broadcast(Tag(0), DataValue::Unit).unwrap();
+    assert_eq!(
+        stream
+            .recv_timeout(Duration::from_secs(10))
+            .unwrap()
+            .value()
+            .as_i64(),
+        Some(expected)
+    );
+
+    // Kill one communication process and heal around it.
+    net.kill_internal(Rank(1)).unwrap();
+    match net.wait_event(Duration::from_secs(10)).unwrap() {
+        NetEvent::SubtreeOrphaned { rank, .. } => assert_eq!(rank, Rank(1)),
+        other => panic!("unexpected {other:?}"),
+    }
+    let healed = net.heal_internal_failure(Rank(1)).unwrap();
+    assert_eq!(healed.len(), 2, "two leaves re-parented");
+
+    // Round 2: same stream, same full membership, new routes.
+    stream.broadcast(Tag(1), DataValue::Unit).unwrap();
+    assert_eq!(
+        stream
+            .recv_timeout(Duration::from_secs(10))
+            .unwrap()
+            .value()
+            .as_i64(),
+        Some(expected),
+        "no back-end lost through the reconfiguration"
+    );
+    net.shutdown().unwrap();
+}
+
+#[test]
+fn heal_supports_new_streams_over_spliced_topology() {
+    let mut net = NetworkBuilder::new(Topology::balanced(3, 2)) // 9 leaves
+        .registry(builtin_registry())
+        .backend(rank_reporter())
+        .launch()
+        .unwrap();
+    net.kill_internal(Rank(2)).unwrap();
+    let _ = net.wait_event(Duration::from_secs(10)).unwrap();
+    net.heal_internal_failure(Rank(2)).unwrap();
+
+    let topo = net.topology_snapshot();
+    assert_eq!(topo.leaf_count(), 9, "all back-ends survive the splice");
+    assert_eq!(topo.children(topo.root()).len(), 2 + 3, "3 leaves adopted by root");
+
+    let stream = net
+        .new_stream(StreamSpec::all().transformation("builtin::count"))
+        .unwrap();
+    stream.broadcast(Tag(0), DataValue::Unit).unwrap();
+    assert_eq!(
+        stream
+            .recv_timeout(Duration::from_secs(10))
+            .unwrap()
+            .value()
+            .as_u64(),
+        Some(9)
+    );
+    net.shutdown().unwrap();
+}
+
+#[test]
+fn heal_in_three_level_tree_reattaches_internal_children() {
+    // Killing a mid-level comm process orphans *internal* children, which
+    // must also re-parent correctly.
+    let mut net = NetworkBuilder::new(Topology::balanced(2, 3)) // 8 leaves
+        .registry(builtin_registry())
+        .backend(rank_reporter())
+        .launch()
+        .unwrap();
+    let expected = sum_of_leaves(&net);
+    // Node 1 is a level-1 internal whose children (3, 4) are internal too.
+    net.kill_internal(Rank(1)).unwrap();
+    let _ = net.wait_event(Duration::from_secs(10)).unwrap();
+    let healed = net.heal_internal_failure(Rank(1)).unwrap();
+    assert_eq!(healed, vec![Rank(3), Rank(4)]);
+
+    let stream = net
+        .new_stream(StreamSpec::all().transformation("builtin::sum"))
+        .unwrap();
+    stream.broadcast(Tag(0), DataValue::Unit).unwrap();
+    assert_eq!(
+        stream
+            .recv_timeout(Duration::from_secs(10))
+            .unwrap()
+            .value()
+            .as_i64(),
+        Some(expected)
+    );
+    net.shutdown().unwrap();
+}
+
+#[test]
+fn repeated_failures_and_heals() {
+    let mut net = NetworkBuilder::new(Topology::balanced(2, 3))
+        .registry(builtin_registry())
+        .backend(rank_reporter())
+        .launch()
+        .unwrap();
+    let expected = sum_of_leaves(&net);
+    // Kill and heal two different internals in sequence.
+    for victim in [3u32, 2] {
+        net.kill_internal(Rank(victim)).unwrap();
+        let _ = net.wait_event(Duration::from_secs(10)).unwrap();
+        net.heal_internal_failure(Rank(victim)).unwrap();
+    }
+    let stream = net
+        .new_stream(StreamSpec::all().transformation("builtin::sum"))
+        .unwrap();
+    stream.broadcast(Tag(0), DataValue::Unit).unwrap();
+    assert_eq!(
+        stream
+            .recv_timeout(Duration::from_secs(10))
+            .unwrap()
+            .value()
+            .as_i64(),
+        Some(expected)
+    );
+    net.shutdown().unwrap();
+}
+
+#[test]
+fn orphans_expire_without_heal_and_shutdown_still_works() {
+    let config = NetworkConfig {
+        orphan_grace: Duration::from_millis(200),
+        ..NetworkConfig::default()
+    };
+    let mut net = NetworkBuilder::new(Topology::balanced(2, 2))
+        .registry(builtin_registry())
+        .config(config)
+        .backend(rank_reporter())
+        .launch()
+        .unwrap();
+    net.kill_internal(Rank(1)).unwrap();
+    let _ = net.wait_event(Duration::from_secs(10)).unwrap();
+    // Never heal: the two orphaned leaves give up after the grace period.
+    std::thread::sleep(Duration::from_millis(400));
+    // Streams over the survivors still work.
+    let stream = net
+        .new_stream(
+            StreamSpec::ranks([Rank(5), Rank(6)]).transformation("builtin::count"),
+        )
+        .unwrap();
+    stream.broadcast(Tag(0), DataValue::Unit).unwrap();
+    assert_eq!(
+        stream
+            .recv_timeout(Duration::from_secs(10))
+            .unwrap()
+            .value()
+            .as_u64(),
+        Some(2)
+    );
+    net.shutdown().unwrap();
+}
+
+#[test]
+fn kill_internal_rejects_non_internals() {
+    let mut net = NetworkBuilder::new(Topology::balanced(2, 2))
+        .registry(builtin_registry())
+        .backend(rank_reporter())
+        .launch()
+        .unwrap();
+    assert!(net.kill_internal(Rank(0)).is_err()); // front-end
+    let leaf = net.topology_snapshot().leaves()[0];
+    assert!(net.kill_internal(Rank(leaf.0)).is_err()); // back-end
+    net.shutdown().unwrap();
+}
