@@ -1,0 +1,103 @@
+//! Encode-once multicast vs encode-per-child.
+//!
+//! A communication process multicasting one packet to N wire children used
+//! to serialize the message once per child; the [`Envelope`] memo
+//! (`crates/core/src/proto.rs`) caches the first encoding so every further
+//! child only clones an `Arc<[u8]>` into its frame. This bench measures the
+//! send-side cost of both strategies across fan-out × payload-size, feeding
+//! the frames to a null sink so only the encode path is on the clock.
+//!
+//! Baseline numbers live in `results/BENCH_multicast.json`; the acceptance
+//! bar is encode-once ≥ 2x faster at fan-out 8 with 64 KiB payloads.
+
+use std::hint::black_box;
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
+use tbon_core::proto::{encode_message, Envelope, Message};
+use tbon_core::{DataValue, Rank, StreamId, Tag};
+use tbon_transport::Frame;
+
+const FANOUTS: [usize; 3] = [2, 8, 32];
+const PAYLOADS: [(&str, usize); 3] = [("64B", 64), ("64KiB", 64 * 1024), ("1MiB", 1 << 20)];
+
+/// Distinct packets multicast per timed routine. Batching keeps the two
+/// strategies symmetric with respect to allocator and cache warmth: both
+/// consume an identical untimed batch of messages, so neither gets to
+/// recycle one hot buffer across the whole measurement.
+const BATCH: usize = 16;
+
+fn down_packet(payload_len: usize) -> Message {
+    Message::Down {
+        stream: StreamId(1),
+        tag: Tag(7),
+        origin: Rank(0),
+        value: DataValue::Bytes(vec![0xA5; payload_len]),
+    }
+}
+
+/// The old send loop: every child link serializes the message itself.
+fn encode_per_child(msg: &Message, fanout: usize) {
+    for _ in 0..fanout {
+        let bytes: Arc<[u8]> = encode_message(msg).into();
+        black_box(Frame::Bytes(bytes));
+    }
+}
+
+/// The envelope path: the first child pays for the one serialization, every
+/// further child shares the cached buffer. Takes the message by value, like
+/// the real send path: `send_down_packet` builds one envelope per packet and
+/// never re-clones the message per child.
+fn encode_once(msg: Message, fanout: usize) {
+    let env = Envelope::new(msg);
+    for _ in 0..fanout {
+        let (bytes, _fresh) = env.encoded();
+        black_box(Frame::Bytes(Arc::clone(bytes)));
+    }
+}
+
+fn bench_multicast_fanout(c: &mut Criterion) {
+    let mut group = c.benchmark_group("multicast_fanout");
+    for (label, payload_len) in PAYLOADS {
+        let msg = down_packet(payload_len);
+        let wire = encode_message(&msg).len() as u64;
+        let make_batch = || vec![msg.clone(); BATCH];
+        for fanout in FANOUTS {
+            group.throughput(Throughput::Bytes(wire * (fanout * BATCH) as u64));
+            group.bench_with_input(
+                BenchmarkId::new(format!("encode_per_child/{label}"), fanout),
+                &fanout,
+                |b, &n| {
+                    b.iter_batched(
+                        make_batch,
+                        |batch| {
+                            for m in &batch {
+                                encode_per_child(black_box(m), n);
+                            }
+                        },
+                        BatchSize::LargeInput,
+                    )
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("encode_once/{label}"), fanout),
+                &fanout,
+                |b, &n| {
+                    b.iter_batched(
+                        make_batch,
+                        |batch| {
+                            for m in batch {
+                                encode_once(black_box(m), n);
+                            }
+                        },
+                        BatchSize::LargeInput,
+                    )
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_multicast_fanout);
+criterion_main!(benches);

@@ -9,9 +9,7 @@
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use tbon_core::{
-    BackendContext, BackendEvent, DataValue, NetworkBuilder, StreamSpec, Tag,
-};
+use tbon_core::{BackendContext, BackendEvent, DataValue, NetworkBuilder, StreamSpec, Tag};
 use tbon_filters::builtin_registry;
 use tbon_topology::Topology;
 use tbon_transport::local::LocalTransport;

@@ -5,9 +5,7 @@
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use tbon_core::{
-    BackendContext, BackendEvent, DataValue, NetworkBuilder, StreamSpec, Tag,
-};
+use tbon_core::{BackendContext, BackendEvent, DataValue, NetworkBuilder, StreamSpec, Tag};
 use tbon_filters::builtin_registry;
 use tbon_topology::Topology;
 
@@ -20,7 +18,10 @@ fn burst_backend(mut ctx: BackendContext) {
             Ok(BackendEvent::Packet { stream, .. }) => {
                 for w in 0..WAVES {
                     let rec: Vec<f64> = (0..RECORD_LEN).map(|i| (w + i) as f64).collect();
-                    if ctx.send(stream, Tag(w as u32), DataValue::ArrayF64(rec)).is_err() {
+                    if ctx
+                        .send(stream, Tag(w as u32), DataValue::ArrayF64(rec))
+                        .is_err()
+                    {
                         return;
                     }
                 }

@@ -11,9 +11,7 @@
 use std::time::Instant;
 
 use tbon_bench::render_table;
-use tbon_meanshift::{
-    run_adaptive, run_single_node, AdaptiveBandwidth, MeanShiftParams, Point2,
-};
+use tbon_meanshift::{run_adaptive, run_single_node, AdaptiveBandwidth, MeanShiftParams, Point2};
 
 /// Deterministic pseudo-random in [0, 1).
 fn unit(seed: &mut u64) -> f64 {
@@ -51,7 +49,10 @@ fn main() {
     let mut data = blob(tight, points, 10.0, &mut seed);
     data.extend(blob(broad, points / 2, 70.0, &mut seed));
     for _ in 0..points / 10 {
-        data.push(Point2::new(unit(&mut seed) * 1000.0, unit(&mut seed) * 1000.0));
+        data.push(Point2::new(
+            unit(&mut seed) * 1000.0,
+            unit(&mut seed) * 1000.0,
+        ));
     }
     println!(
         "A4: fixed vs adaptive bandwidth on mixed-density data ({} points, 2 true modes)",

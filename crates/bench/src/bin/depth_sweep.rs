@@ -80,7 +80,14 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["back-ends", "depth1", "depth2", "depth3", "depth4", "depth5"],
+            &[
+                "back-ends",
+                "depth1",
+                "depth2",
+                "depth3",
+                "depth4",
+                "depth5"
+            ],
             &rows
         )
     );

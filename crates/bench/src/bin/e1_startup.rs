@@ -72,7 +72,11 @@ fn backend_loop(items: usize, unique_classes: usize) -> impl Fn(BackendContext) 
     move |mut ctx: BackendContext| loop {
         match ctx.next_event() {
             Ok(BackendEvent::Packet { stream, .. }) => {
-                let _ = ctx.send(stream, TAG_REPORT, catalog(ctx.rank().0, items, unique_classes));
+                let _ = ctx.send(
+                    stream,
+                    TAG_REPORT,
+                    catalog(ctx.rank().0, items, unique_classes),
+                );
             }
             Ok(BackendEvent::Shutdown) | Err(_) => break,
             Ok(_) => continue,
@@ -100,7 +104,9 @@ fn run_direct(
         .new_stream(StreamSpec::all().sync(tbon_core::SyncPolicy::Null))
         .expect("stream");
     let start = Instant::now();
-    stream.broadcast(Tag(0), DataValue::Unit).expect("broadcast");
+    stream
+        .broadcast(Tag(0), DataValue::Unit)
+        .expect("broadcast");
     let mut distinct: HashSet<String> = HashSet::new();
     for _ in 0..backends {
         let pkt = stream
@@ -153,7 +159,9 @@ fn run_tree(
         .new_stream(StreamSpec::all().transformation("filter::equivalence"))
         .expect("stream");
     let start = Instant::now();
-    stream.broadcast(Tag(0), DataValue::Unit).expect("broadcast");
+    stream
+        .broadcast(Tag(0), DataValue::Unit)
+        .expect("broadcast");
     let pkt = stream
         .recv_timeout(Duration::from_secs(120))
         .expect("classes");

@@ -34,9 +34,7 @@ fn main() {
     let leaf_cpu = 0.04;
 
     println!("E2 (simulated, paper scale): sustained front-end record rate");
-    println!(
-        "record cost {record_cost_us}us, {waves} waves, 25 rec/s/daemon offered, GigE model"
-    );
+    println!("record cost {record_cost_us}us, {waves} waves, 25 rec/s/daemon offered, GigE model");
     println!();
 
     let mut rows = Vec::new();
@@ -79,7 +77,12 @@ fn main() {
             format!("{:.0}", offered),
             format!("{:.0}", direct_rate),
             format!("{:.0}", tree_rate),
-            if direct_rate < offered * 0.9 { "SATURATED" } else { "ok" }.into(),
+            if direct_rate < offered * 0.9 {
+                "SATURATED"
+            } else {
+                "ok"
+            }
+            .into(),
         ]);
     }
     println!(

@@ -52,9 +52,13 @@ fn backend_loop(waves: usize) -> impl Fn(BackendContext) + Send + Sync {
         match ctx.next_event() {
             Ok(BackendEvent::Packet { stream, .. }) => {
                 for w in 0..waves {
-                    let record: Vec<f64> =
-                        (0..RECORD_LEN).map(|i| (w * RECORD_LEN + i) as f64).collect();
-                    if ctx.send(stream, Tag(w as u32), DataValue::ArrayF64(record)).is_err() {
+                    let record: Vec<f64> = (0..RECORD_LEN)
+                        .map(|i| (w * RECORD_LEN + i) as f64)
+                        .collect();
+                    if ctx
+                        .send(stream, Tag(w as u32), DataValue::ArrayF64(record))
+                        .is_err()
+                    {
                         break;
                     }
                 }
@@ -95,7 +99,11 @@ fn run_direct(backends: usize, waves: usize, transport: &str, record_cost: Durat
         let pkt = stream
             .recv_timeout(Duration::from_secs(300))
             .expect("record");
-        fold(&mut acc, pkt.value().as_array_f64().expect("record"), record_cost);
+        fold(
+            &mut acc,
+            pkt.value().as_array_f64().expect("record"),
+            record_cost,
+        );
     }
     let elapsed = start.elapsed();
     net.shutdown().expect("shutdown");
@@ -130,10 +138,12 @@ fn run_tree(
     stream.broadcast(Tag(0), DataValue::Unit).expect("start");
     let mut acc = vec![0.0f64; RECORD_LEN];
     for _ in 0..waves {
-        let pkt = stream
-            .recv_timeout(Duration::from_secs(300))
-            .expect("wave");
-        fold(&mut acc, pkt.value().as_array_f64().expect("wave record"), record_cost);
+        let pkt = stream.recv_timeout(Duration::from_secs(300)).expect("wave");
+        fold(
+            &mut acc,
+            pkt.value().as_array_f64().expect("wave record"),
+            record_cost,
+        );
     }
     let elapsed = start.elapsed();
     net.shutdown().expect("shutdown");

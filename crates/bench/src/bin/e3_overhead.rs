@@ -35,7 +35,13 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["back-ends", "fan-out", "depth", "internal nodes", "overhead"],
+            &[
+                "back-ends",
+                "fan-out",
+                "depth",
+                "internal nodes",
+                "overhead"
+            ],
             &rows
         )
     );
@@ -45,10 +51,14 @@ fn main() {
     let s256 = TopologyStats::of(&t256);
     let t4096 = Topology::balanced(16, 3);
     let s4096 = TopologyStats::of(&t4096);
-    println!("paper check: fan-out 16, 256 back-ends -> {} internals ({:.2}%)  [paper: 16, 6.25%]",
-        s256.internals, s256.overhead_percent);
-    println!("paper check: fan-out 16, 4096 back-ends -> {} internals ({:.2}%) [paper: 272, 6.6%]",
-        s4096.internals, s4096.overhead_percent);
+    println!(
+        "paper check: fan-out 16, 256 back-ends -> {} internals ({:.2}%)  [paper: 16, 6.25%]",
+        s256.internals, s256.overhead_percent
+    );
+    println!(
+        "paper check: fan-out 16, 4096 back-ends -> {} internals ({:.2}%) [paper: 272, 6.6%]",
+        s4096.internals, s4096.overhead_percent
+    );
     assert_eq!(s256.internals, 16);
     assert_eq!(s4096.internals, 272);
     assert!((s256.overhead_percent - 6.25).abs() < 1e-9);

@@ -115,12 +115,7 @@ fn main() {
             "-".into()
         };
 
-        rows.push(vec![
-            scale.to_string(),
-            single_cell,
-            secs(flat),
-            deep_cell,
-        ]);
+        rows.push(vec![scale.to_string(), single_cell, secs(flat), deep_cell]);
         eprintln!("scale {scale} done");
     }
 

@@ -35,7 +35,11 @@ fn main() {
         ..SynthSpec::paper_default()
     };
     let data = spec.generate(0);
-    println!("A3: kernel x bandwidth sweep on {} points, true modes: {}", data.len(), spec.centers.len());
+    println!(
+        "A3: kernel x bandwidth sweep on {} points, true modes: {}",
+        data.len(),
+        spec.centers.len()
+    );
     println!();
 
     let mut rows = Vec::new();

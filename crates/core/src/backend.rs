@@ -13,7 +13,7 @@ use tbon_transport::{Delivery, NodeEndpoint};
 use crate::error::{Result, TbonError};
 use crate::packet::{Packet, Rank};
 use crate::process::{decode_frame, send_message};
-use crate::proto::Message;
+use crate::proto::{Envelope, Message};
 use crate::stream::{StreamId, StreamMode, Tag};
 use crate::value::DataValue;
 
@@ -99,13 +99,13 @@ impl BackendContext {
             .peers
             .get(self.parent.0)
             .ok_or(TbonError::NetworkDown)?;
-        let msg = Arc::new(Message::Up {
+        let msg = Arc::new(Envelope::new(Message::Up {
             stream,
             tag,
             origin: self.rank,
             value,
-        });
-        send_message(&link, &msg)
+        }));
+        send_message(&link, &msg).map(|_| ())
     }
 
     /// Pull one delivery, respecting the user deadline (if any) and the
@@ -135,9 +135,7 @@ impl BackendContext {
                                 TbonError::Timeout
                             }
                         }
-                        crossbeam_channel::RecvTimeoutError::Disconnected => {
-                            TbonError::NetworkDown
-                        }
+                        crossbeam_channel::RecvTimeoutError::Disconnected => TbonError::NetworkDown,
                     }
                 })
             }
@@ -187,7 +185,7 @@ impl BackendContext {
         match delivery {
             Delivery::Frame { from, frame } => {
                 let msg = decode_frame(frame)?;
-                Ok(match msg.as_ref() {
+                Ok(match msg.msg() {
                     Message::NewStream { stream, mode, .. } => {
                         self.streams.insert(
                             *stream,
@@ -216,7 +214,7 @@ impl BackendContext {
                     }
                     Message::Shutdown => {
                         self.finished = true;
-                        let ack = Arc::new(Message::ShutdownAck { rank: self.rank });
+                        let ack = Arc::new(Envelope::new(Message::ShutdownAck { rank: self.rank }));
                         if let Some(link) = self.endpoint.peers.get(self.parent.0) {
                             let _ = send_message(&link, &ack);
                         }
@@ -226,7 +224,7 @@ impl BackendContext {
                         // Reconfiguration after our old parent failed.
                         self.parent = *parent;
                         self.orphaned_until = None;
-                        let ack = Arc::new(Message::ReconfigAck { rank: self.rank });
+                        let ack = Arc::new(Envelope::new(Message::ReconfigAck { rank: self.rank }));
                         if let Some(link) = self.endpoint.peers.get(from) {
                             let _ = send_message(&link, &ack);
                         }

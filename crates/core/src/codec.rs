@@ -262,7 +262,9 @@ mod tests {
         roundtrip(DataValue::Str(String::new()));
         roundtrip(DataValue::Bytes(vec![0, 255, 1]));
         roundtrip(DataValue::ArrayI64(vec![i64::MIN, 0, i64::MAX]));
-        roundtrip(DataValue::ArrayF64((0..100).map(|i| i as f64 * 0.5).collect()));
+        roundtrip(DataValue::ArrayF64(
+            (0..100).map(|i| i as f64 * 0.5).collect(),
+        ));
         roundtrip(DataValue::Tuple(vec![
             DataValue::I64(1),
             DataValue::Tuple(vec![DataValue::from("nested"), DataValue::Unit]),
@@ -281,10 +283,7 @@ mod tests {
 
     #[test]
     fn unknown_tag_rejected() {
-        assert!(matches!(
-            decode_value(&[200]),
-            Err(TbonError::Decode(_))
-        ));
+        assert!(matches!(decode_value(&[200]), Err(TbonError::Decode(_))));
     }
 
     #[test]

@@ -17,15 +17,36 @@ pub struct NetworkConfig {
     pub orphan_grace: Duration,
     /// Human-readable label used in thread names (diagnostics).
     pub name: String,
+    /// Frames a wire link's writer queue holds before senders start
+    /// blocking (see [`tbon_transport::WriterConfig::queue_depth`]).
+    pub writer_queue_depth: usize,
+    /// How long a send may block on a full writer queue before the peer is
+    /// declared too slow and treated as failed.
+    pub writer_send_deadline: Duration,
+}
+
+impl NetworkConfig {
+    /// The transport-level writer settings corresponding to this config;
+    /// pass to e.g. `TcpTransport::with_writer_config` when building the
+    /// transport a network will run over.
+    pub fn writer_config(&self) -> tbon_transport::WriterConfig {
+        tbon_transport::WriterConfig {
+            queue_depth: self.writer_queue_depth,
+            send_deadline: self.writer_send_deadline,
+        }
+    }
 }
 
 impl Default for NetworkConfig {
     fn default() -> Self {
+        let writer = tbon_transport::WriterConfig::default();
         NetworkConfig {
             shutdown_timeout: Duration::from_secs(30),
             idle_tick: Duration::from_millis(100),
             orphan_grace: Duration::from_secs(10),
             name: "tbon".into(),
+            writer_queue_depth: writer.queue_depth,
+            writer_send_deadline: writer.send_deadline,
         }
     }
 }
@@ -40,5 +61,19 @@ mod tests {
         assert!(c.shutdown_timeout >= Duration::from_secs(1));
         assert!(c.idle_tick <= Duration::from_secs(1));
         assert!(!c.name.is_empty());
+        assert!(c.writer_queue_depth > 0);
+        assert!(c.writer_send_deadline > Duration::ZERO);
+    }
+
+    #[test]
+    fn writer_config_mirrors_knobs() {
+        let c = NetworkConfig {
+            writer_queue_depth: 7,
+            writer_send_deadline: Duration::from_millis(123),
+            ..NetworkConfig::default()
+        };
+        let w = c.writer_config();
+        assert_eq!(w.queue_depth, 7);
+        assert_eq!(w.send_deadline, Duration::from_millis(123));
     }
 }

@@ -298,9 +298,9 @@ impl FilterRegistry {
         reg.register_synchronization("sync::wait_for_all", |_| Ok(Box::new(WaitForAll::new())));
         reg.register_synchronization("sync::null", |_| Ok(Box::new(NullSync)));
         reg.register_synchronization("sync::time_out", |params| {
-            let ms = params.as_u64().ok_or_else(|| {
-                TbonError::Filter("sync::time_out wants U64 window in ms".into())
-            })?;
+            let ms = params
+                .as_u64()
+                .ok_or_else(|| TbonError::Filter("sync::time_out wants U64 window in ms".into()))?;
             Ok(Box::new(TimeOut::new(Duration::from_millis(ms))))
         });
         reg
@@ -312,7 +312,9 @@ impl FilterRegistry {
         name: impl Into<String>,
         factory: impl Fn(&DataValue) -> Result<Box<dyn Transformation>> + Send + Sync + 'static,
     ) {
-        self.transforms.write().insert(name.into(), Arc::new(factory));
+        self.transforms
+            .write()
+            .insert(name.into(), Arc::new(factory));
     }
 
     /// Register (or replace) a synchronization filter factory.
@@ -564,10 +566,7 @@ mod tests {
                     wave: Wave,
                     ctx: &mut FilterContext,
                 ) -> Result<Vec<Packet>> {
-                    let sum: i64 = wave
-                        .iter()
-                        .filter_map(|p| p.value().as_i64())
-                        .sum();
+                    let sum: i64 = wave.iter().filter_map(|p| p.value().as_i64()).sum();
                     Ok(vec![ctx.make(Tag(0), DataValue::I64(sum * 2))])
                 }
             }

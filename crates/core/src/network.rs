@@ -84,10 +84,7 @@ impl NetworkBuilder {
 
     /// The closure run on every back-end thread. Distinguish back-ends via
     /// [`BackendContext::rank`].
-    pub fn backend(
-        mut self,
-        f: impl Fn(BackendContext) + Send + Sync + 'static,
-    ) -> Self {
+    pub fn backend(mut self, f: impl Fn(BackendContext) + Send + Sync + 'static) -> Self {
         self.backend_fn = Some(Arc::new(f));
         self
     }
@@ -139,15 +136,12 @@ impl NetworkBuilder {
                         cmd_rx.clone(),
                         event_tx.clone(),
                     );
-                    handles.push(spawn_named(
-                        format!("{}-root", config.name),
-                        move || proc.run(),
-                    )?);
+                    handles.push(spawn_named(format!("{}-root", config.name), move || {
+                        proc.run()
+                    })?);
                 }
                 Role::Internal => {
-                    let parent = topo_snapshot
-                        .parent(n)
-                        .expect("internal node has a parent");
+                    let parent = topo_snapshot.parent(n).expect("internal node has a parent");
                     let proc = CommProcess::new_internal(
                         Rank(n.0),
                         Rank(parent.0),
@@ -195,10 +189,7 @@ impl NetworkBuilder {
     }
 }
 
-fn spawn_named(
-    name: String,
-    f: impl FnOnce() + Send + 'static,
-) -> Result<JoinHandle<()>> {
+fn spawn_named(name: String, f: impl FnOnce() + Send + 'static) -> Result<JoinHandle<()>> {
     std::thread::Builder::new()
         .name(name)
         .spawn(f)
@@ -301,12 +292,7 @@ impl Network {
         };
         let endpoint = self.transport.add_node(new_id.0)?;
         self.transport.connect(parent.0, new_id.0)?;
-        let ctx = BackendContext::new(
-            Rank(new_id.0),
-            parent,
-            endpoint,
-            self.config.orphan_grace,
-        );
+        let ctx = BackendContext::new(Rank(new_id.0), parent, endpoint, self.config.orphan_grace);
         let f = self.backend_fn.clone();
         self.handles.push(spawn_named(
             format!("{}-be-{}", self.config.name, new_id.0),
@@ -344,7 +330,7 @@ impl Network {
             .peers
             .get(target.0)
             .ok_or(TbonError::NetworkDown)?;
-        send_message(&link, &Arc::new(msg))
+        send_message(&link, &Arc::new(crate::proto::Envelope::new(msg))).map(|_| ())
     }
 
     /// Query every communication process's lifetime activity counters over
@@ -358,9 +344,7 @@ impl Network {
         let targets: Vec<Rank> = {
             let topo = self.topology.read();
             topo.node_ids()
-                .filter(|&n| {
-                    matches!(topo.role(n), Role::FrontEnd | Role::Internal)
-                })
+                .filter(|&n| matches!(topo.role(n), Role::FrontEnd | Role::Internal))
                 .map(|n| Rank(n.0))
                 .collect()
         };
@@ -377,7 +361,7 @@ impl Network {
             };
             if let tbon_transport::Delivery::Frame { frame, .. } = delivery {
                 if let Ok(msg) = crate::process::decode_frame(frame) {
-                    if let Message::PerfReport { rank, counters } = msg.as_ref() {
+                    if let Message::PerfReport { rank, counters } = msg.msg() {
                         out.insert(*rank, *counters);
                     }
                 }
@@ -427,7 +411,12 @@ impl Network {
             self.transport.connect(grandparent.0, orphan.0)?;
             // Tell the child first (stops its grace timer), then the parent
             // (recomputes routing and starts accepting the child's waves).
-            self.control_send(orphan, Message::NewParent { parent: grandparent })?;
+            self.control_send(
+                orphan,
+                Message::NewParent {
+                    parent: grandparent,
+                },
+            )?;
             self.control_send(grandparent, Message::Adopt { child: orphan })?;
             healed.push(orphan);
         }
@@ -445,7 +434,7 @@ impl Network {
                 .map_err(|_| TbonError::Timeout)?;
             if let tbon_transport::Delivery::Frame { frame, .. } = delivery {
                 if let Ok(msg) = crate::process::decode_frame(frame) {
-                    if matches!(msg.as_ref(), Message::ReconfigAck { .. }) {
+                    if matches!(msg.msg(), Message::ReconfigAck { .. }) {
                         pending -= 1;
                     }
                 }
@@ -478,6 +467,17 @@ impl Network {
         } else {
             Err(TbonError::NetworkDown)
         };
+        // Whatever the ack outcome, sever every remaining endpoint: a
+        // process that never saw the Shutdown — e.g. a back-end whose inbound
+        // link was cut off for backpressure — would otherwise block in recv
+        // forever and wedge the joins below.
+        let ids: Vec<u32> = {
+            let topo = self.topology.read();
+            topo.node_ids().map(|n| n.0).collect()
+        };
+        for id in ids {
+            let _ = self.transport.remove_node(id);
+        }
         for h in self.handles.drain(..) {
             let _ = h.join();
         }
@@ -528,9 +528,7 @@ impl StreamHandle {
     pub fn recv_timeout(&self, timeout: Duration) -> Result<Packet> {
         self.rx.recv_timeout(timeout).map_err(|e| match e {
             crossbeam_channel::RecvTimeoutError::Timeout => TbonError::Timeout,
-            crossbeam_channel::RecvTimeoutError::Disconnected => {
-                TbonError::StreamClosed(self.id)
-            }
+            crossbeam_channel::RecvTimeoutError::Disconnected => TbonError::StreamClosed(self.id),
         })
     }
 

@@ -20,16 +20,13 @@ use crossbeam_channel::{Receiver, Sender};
 use parking_lot::RwLock;
 
 use tbon_topology::{NodeId, Role, Topology};
-use tbon_transport::{Delivery, Frame, Link, NodeEndpoint};
+use tbon_transport::{Delivery, Frame, Link, NodeEndpoint, TransportError};
 
 use crate::config::NetworkConfig;
 use crate::error::{Result, TbonError};
 use crate::filter::{FilterContext, FilterRegistry, SyncContext, Synchronization, Transformation};
 use crate::packet::{Packet, Rank};
-use crate::proto::{
-    decode_message, encode_message, message_encoded_len, FilterKind, Message, NetEvent,
-    PerfCounters,
-};
+use crate::proto::{decode_message, Envelope, FilterKind, Message, NetEvent, PerfCounters};
 use crate::stream::{Members, StreamId, StreamMode, StreamSpec, Tag};
 use crate::value::DataValue;
 
@@ -111,30 +108,67 @@ pub(crate) struct CommProcess {
     orphaned_until: Option<Instant>,
     /// Lifetime activity counters, queryable via `Message::GetPerf`.
     perf: PerfCounters,
+    /// Peers whose send failure has already been reported via
+    /// [`NetEvent::SendFailed`] (one event per peer, not per frame).
+    failed_sends_reported: HashSet<Rank>,
     role: ProcessRole,
 }
 
-/// Send one message over a link, using the zero-copy path when available.
-pub(crate) fn send_message(link: &Arc<dyn Link>, msg: &Arc<Message>) -> Result<()> {
-    let frame = if link.needs_bytes() {
-        Frame::Bytes(encode_message(msg))
-    } else {
-        Frame::Shared {
-            data: msg.clone(),
-            size_hint: message_encoded_len(msg),
-        }
-    };
-    link.send(frame).map_err(TbonError::Transport)
+/// What a successful send cost, for perf accounting.
+pub(crate) struct SendStats {
+    /// On-wire bytes (or the equivalent size hint for zero-copy frames).
+    pub wire_bytes: usize,
+    /// True iff this send performed the envelope's one serialization.
+    pub fresh_encode: bool,
 }
 
-/// Recover a message from an incoming frame.
-pub(crate) fn decode_frame(frame: Frame) -> Result<Arc<Message>> {
+/// Send one envelope over a link, using the zero-copy path when available.
+/// Wire links share the envelope's cached encoding: a multicast to N such
+/// links serializes the message exactly once.
+pub(crate) fn send_message(link: &Arc<dyn Link>, env: &Arc<Envelope>) -> Result<SendStats> {
+    let (frame, stats) = if link.needs_bytes() {
+        let (bytes, fresh) = env.encoded();
+        (
+            Frame::Bytes(Arc::clone(bytes)),
+            SendStats {
+                wire_bytes: bytes.len(),
+                fresh_encode: fresh,
+            },
+        )
+    } else {
+        let size_hint = env.encoded_len();
+        (
+            Frame::Shared {
+                data: env.clone(),
+                size_hint,
+            },
+            SendStats {
+                wire_bytes: size_hint,
+                fresh_encode: false,
+            },
+        )
+    };
+    link.send(frame).map_err(TbonError::Transport)?;
+    Ok(stats)
+}
+
+/// Recover an envelope from an incoming frame. Byte frames seed the
+/// envelope's encoding memo, so forwarding them costs no re-serialization.
+pub(crate) fn decode_frame(frame: Frame) -> Result<Arc<Envelope>> {
     match frame {
-        Frame::Bytes(bytes) => Ok(Arc::new(decode_message(&bytes)?)),
+        Frame::Bytes(bytes) => {
+            let msg = decode_message(&bytes)?;
+            Ok(Arc::new(Envelope::from_wire(msg, bytes)))
+        }
         Frame::Shared { data, .. } => data
-            .downcast::<Message>()
-            .map_err(|_| TbonError::Decode("shared frame is not a Message".into())),
+            .downcast::<Envelope>()
+            .map_err(|_| TbonError::Decode("shared frame is not an Envelope".into())),
     }
+}
+
+/// Wrap a message for sending.
+pub(crate) fn envelope(msg: Message) -> Arc<Envelope> {
+    Arc::new(Envelope::new(msg))
 }
 
 impl CommProcess {
@@ -159,6 +193,7 @@ impl CommProcess {
             filter_probes: HashMap::new(),
             orphaned_until: None,
             perf: PerfCounters::default(),
+            failed_sends_reported: HashSet::new(),
             role: ProcessRole::Internal { parent },
         }
     }
@@ -185,6 +220,7 @@ impl CommProcess {
             filter_probes: HashMap::new(),
             orphaned_until: None,
             perf: PerfCounters::default(),
+            failed_sends_reported: HashSet::new(),
             role: ProcessRole::Root {
                 fe_cmd,
                 fe_events,
@@ -222,14 +258,40 @@ impl CommProcess {
     }
 
     fn link_to(&self, peer: Rank) -> Result<Arc<dyn Link>> {
-        self.endpoint
-            .peers
-            .get(peer.0)
-            .ok_or(TbonError::Transport(tbon_transport::TransportError::UnknownPeer(peer.0)))
+        self.endpoint.peers.get(peer.0).ok_or(TbonError::Transport(
+            tbon_transport::TransportError::UnknownPeer(peer.0),
+        ))
     }
 
-    fn send_to(&self, peer: Rank, msg: &Arc<Message>) -> Result<()> {
-        send_message(&self.link_to(peer)?, msg)
+    /// Send an envelope to a peer, bumping the activity counters on success.
+    fn send_to(&mut self, peer: Rank, env: &Arc<Envelope>) -> Result<()> {
+        let link = self.link_to(peer)?;
+        let stats = send_message(&link, env)?;
+        self.perf.frames_sent += 1;
+        self.perf.bytes_sent += stats.wire_bytes as u64;
+        if stats.fresh_encode {
+            self.perf.encodes_performed += 1;
+        }
+        Ok(())
+    }
+
+    /// Like [`CommProcess::send_to`], but a failure is recorded instead of
+    /// silently discarded: the drop counter always moves, and the first
+    /// failure per peer raises [`NetEvent::SendFailed`] toward the
+    /// front-end. Used on child-facing paths (the parent-facing paths must
+    /// not recurse through `emit_event`).
+    fn send_to_noted(&mut self, peer: Rank, env: &Arc<Envelope>) -> Result<()> {
+        match self.send_to(peer, env) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                self.perf.sends_dropped += 1;
+                if self.failed_sends_reported.insert(peer) {
+                    let rank = self.rank;
+                    self.emit_event(NetEvent::SendFailed { rank, peer });
+                }
+                Err(e)
+            }
+        }
     }
 
     /// Send an event toward the front-end.
@@ -240,7 +302,7 @@ impl CommProcess {
             }
             ProcessRole::Internal { parent } => {
                 let parent = *parent;
-                let msg = Arc::new(Message::Event(ev));
+                let msg = envelope(Message::Event(ev));
                 let _ = self.send_to(parent, &msg);
             }
         }
@@ -258,7 +320,7 @@ impl CommProcess {
             }
             ProcessRole::Internal { parent } => {
                 let parent = *parent;
-                let msg = Arc::new(Message::up_from_packet(&pkt));
+                let msg = envelope(Message::up_from_packet(&pkt));
                 if self.send_to(parent, &msg).is_err() {
                     // Parent gone; the Disconnected delivery will follow.
                 }
@@ -294,11 +356,28 @@ impl CommProcess {
             }
         }
         let routes = self.streams[&stream_id].down_routes.clone();
+        let mut failed: Vec<Rank> = Vec::new();
         for pkt in &outputs {
-            let msg = Arc::new(Message::down_from_packet(pkt));
+            // One envelope per packet: the first wire child serializes it,
+            // every further child shares the same bytes.
+            let msg = envelope(Message::down_from_packet(pkt));
             for child in &routes {
-                let _ = self.send_to(*child, &msg);
+                if failed.contains(child) {
+                    continue;
+                }
+                if let Err(TbonError::Transport(
+                    TransportError::Backpressure(_) | TransportError::Closed(_),
+                )) = self.send_to_noted(*child, &msg)
+                {
+                    failed.push(*child);
+                }
             }
+        }
+        // A child that blew its send deadline (or whose link died) is gone:
+        // declare the failure now rather than waiting on a disconnect, so
+        // one slow subscriber never wedges the stream for its siblings.
+        for child in failed {
+            self.handle_child_failure(child);
         }
         for pkt in reverse {
             self.emit_up(pkt);
@@ -322,8 +401,7 @@ impl CommProcess {
             };
             for wave in waves {
                 self.perf.waves += 1;
-                let mut ctx =
-                    FilterContext::new(stream_id, rank, is_root, st.expected.len());
+                let mut ctx = FilterContext::new(stream_id, rank, is_root, st.expected.len());
                 let started = Instant::now();
                 let result = st.tfilter.transform(wave, &mut ctx);
                 self.perf.filter_ns += started.elapsed().as_nanos() as u64;
@@ -354,7 +432,14 @@ impl CommProcess {
     }
 
     /// Upstream data from a child.
-    fn handle_up(&mut self, from: Rank, stream_id: StreamId, tag: Tag, origin: Rank, value: DataValue) {
+    fn handle_up(
+        &mut self,
+        from: Rank,
+        stream_id: StreamId,
+        tag: Tag,
+        origin: Rank,
+        value: DataValue,
+    ) {
         let now = Instant::now();
         let waves = {
             let Some(st) = self.streams.get_mut(&stream_id) else {
@@ -375,7 +460,7 @@ impl CommProcess {
 
     /// Instantiate and register a stream at this process, and forward the
     /// creation message toward member subtrees.
-    fn handle_new_stream(&mut self, msg: &Arc<Message>) {
+    fn handle_new_stream(&mut self, msg: &Arc<Envelope>) {
         let Message::NewStream {
             stream,
             members,
@@ -386,7 +471,7 @@ impl CommProcess {
             downstream_filter,
             downstream_params,
             mode,
-        } = msg.as_ref()
+        } = msg.msg()
         else {
             unreachable!("caller matched NewStream");
         };
@@ -406,10 +491,7 @@ impl CommProcess {
         let tfilter = self.registry.create_transformation(transformation, params);
         let sync = self.registry.create_synchronization(sync_name, sync_params);
         let dfilter = match downstream_filter {
-            Some(name) => match self
-                .registry
-                .create_transformation(name, downstream_params)
-            {
+            Some(name) => match self.registry.create_transformation(name, downstream_params) {
                 Ok(f) => Ok(Some(f)),
                 Err(e) => Err(e),
             },
@@ -448,14 +530,14 @@ impl CommProcess {
         // Forward the identical message to each involved child (FIFO links
         // guarantee it precedes any data we send on this stream).
         for child in routes {
-            let _ = self.send_to(child, msg);
+            let _ = self.send_to_noted(child, msg);
         }
     }
 
-    fn handle_close_stream(&mut self, msg: &Arc<Message>, stream_id: StreamId) {
+    fn handle_close_stream(&mut self, msg: &Arc<Envelope>, stream_id: StreamId) {
         if let Some(st) = self.streams.remove(&stream_id) {
             for child in st.down_routes {
-                let _ = self.send_to(child, msg);
+                let _ = self.send_to_noted(child, msg);
             }
         }
         if let ProcessRole::Root { fe_streams, .. } = &mut self.role {
@@ -464,7 +546,7 @@ impl CommProcess {
     }
 
     /// Begin or continue a LoadFilter probe at this node.
-    fn handle_load_filter(&mut self, msg: &Arc<Message>, name: &str, kind: FilterKind) {
+    fn handle_load_filter(&mut self, msg: &Arc<Envelope>, name: &str, kind: FilterKind) {
         let self_ok = match kind {
             FilterKind::Transformation => self.registry.has_transformation(name),
             FilterKind::Synchronization => self.registry.has_synchronization(name),
@@ -482,7 +564,7 @@ impl CommProcess {
             },
         );
         for child in kids {
-            let _ = self.send_to(child, msg);
+            let _ = self.send_to_noted(child, msg);
         }
     }
 
@@ -511,7 +593,7 @@ impl CommProcess {
             }
             ProcessRole::Internal { parent } => {
                 let parent = *parent;
-                let msg = Arc::new(Message::LoadFilterAck { name, ok });
+                let msg = envelope(Message::LoadFilterAck { name, ok });
                 let _ = self.send_to(parent, &msg);
             }
         }
@@ -526,9 +608,9 @@ impl CommProcess {
             return true;
         }
         self.shutdown_pending = kids.iter().copied().collect();
-        let msg = Arc::new(Message::Shutdown);
+        let msg = envelope(Message::Shutdown);
         for child in kids {
-            if self.send_to(child, &msg).is_err() {
+            if self.send_to_noted(child, &msg).is_err() {
                 self.shutdown_pending.remove(&child);
             }
         }
@@ -553,7 +635,7 @@ impl CommProcess {
             ProcessRole::Internal { parent } => {
                 let parent = *parent;
                 let rank = self.rank;
-                let msg = Arc::new(Message::ShutdownAck { rank });
+                let msg = envelope(Message::ShutdownAck { rank });
                 let _ = self.send_to(parent, &msg);
             }
         }
@@ -650,7 +732,7 @@ impl CommProcess {
     /// only; at the root an empty stream simply goes quiet).
     fn send_prune(&mut self, stream_id: StreamId) {
         if let ProcessRole::Internal { parent } = self.role {
-            let msg = Arc::new(Message::StreamPrune { stream: stream_id });
+            let msg = envelope(Message::StreamPrune { stream: stream_id });
             let _ = self.send_to(parent, &msg);
         }
     }
@@ -704,8 +786,7 @@ impl CommProcess {
                 let st = self.streams.get_mut(&stream_id).expect("exists");
                 let buckets = {
                     let topo = self.topology.read();
-                    let members: Vec<NodeId> =
-                        st.members.iter().map(|r| NodeId(r.0)).collect();
+                    let members: Vec<NodeId> = st.members.iter().map(|r| NodeId(r.0)).collect();
                     topo.route(NodeId(rank.0), &members)
                 };
                 let routes: Vec<Rank> = buckets
@@ -730,7 +811,7 @@ impl CommProcess {
     /// Confirm a reconfiguration message to its (control-endpoint) sender.
     fn ack_reconfig(&mut self, to: Rank) {
         let rank = self.rank;
-        let msg = Arc::new(Message::ReconfigAck { rank });
+        let msg = envelope(Message::ReconfigAck { rank });
         let _ = self.send_to(to, &msg);
     }
 
@@ -776,8 +857,8 @@ impl CommProcess {
 
     /// Process one decoded message from peer `from`. Returns true if the
     /// event loop should exit.
-    fn handle_message(&mut self, from: Rank, msg: Arc<Message>) -> bool {
-        match msg.as_ref() {
+    fn handle_message(&mut self, from: Rank, msg: Arc<Envelope>) -> bool {
+        match msg.msg() {
             Message::Up {
                 stream,
                 tag,
@@ -788,7 +869,12 @@ impl CommProcess {
                 self.handle_up(from, *stream, *tag, *origin, value.clone());
                 false
             }
-            Message::Down { stream, tag, origin, value } => {
+            Message::Down {
+                stream,
+                tag,
+                origin,
+                value,
+            } => {
                 self.perf.packets_down += 1;
                 let pkt = Packet::new(*stream, *tag, *origin, value.clone());
                 self.send_down_packet(*stream, pkt);
@@ -850,7 +936,7 @@ impl CommProcess {
                 false
             }
             Message::GetPerf => {
-                let reply = Arc::new(Message::PerfReport {
+                let reply = envelope(Message::PerfReport {
                     rank: self.rank,
                     counters: self.perf,
                 });
@@ -886,7 +972,7 @@ impl CommProcess {
                 false
             }
             FeCommand::CloseStream { stream, reply } => {
-                let msg = Arc::new(Message::CloseStream { stream });
+                let msg = envelope(Message::CloseStream { stream });
                 self.handle_close_stream(&msg, stream);
                 let _ = reply.send(Ok(()));
                 false
@@ -895,7 +981,7 @@ impl CommProcess {
                 if let ProcessRole::Root { filter_replies, .. } = &mut self.role {
                     filter_replies.insert(name.clone(), reply);
                 }
-                let msg = Arc::new(Message::LoadFilter {
+                let msg = envelope(Message::LoadFilter {
                     name: name.clone(),
                     kind,
                 });
@@ -921,12 +1007,9 @@ impl CommProcess {
             let topo = self.topology.read();
             match &spec.members {
                 Members::All => {
-                    let leaves: Vec<Rank> =
-                        topo.leaves().into_iter().map(|n| Rank(n.0)).collect();
+                    let leaves: Vec<Rank> = topo.leaves().into_iter().map(|n| Rank(n.0)).collect();
                     if leaves.is_empty() {
-                        return Err(TbonError::BadMembers(
-                            "topology has no back-ends".into(),
-                        ));
+                        return Err(TbonError::BadMembers("topology has no back-ends".into()));
                     }
                     leaves
                 }
@@ -957,9 +1040,7 @@ impl CommProcess {
                         .map(|n| Rank(n.0))
                         .collect();
                     if leaves.is_empty() {
-                        return Err(TbonError::BadMembers(format!(
-                            "no back-ends below {node}"
-                        )));
+                        return Err(TbonError::BadMembers(format!("no back-ends below {node}")));
                     }
                     leaves
                 }
@@ -989,7 +1070,7 @@ impl CommProcess {
             ProcessRole::Internal { .. } => unreachable!("fe_new_stream on internal"),
         };
 
-        let msg = Arc::new(Message::NewStream {
+        let msg = envelope(Message::NewStream {
             stream: stream_id,
             members,
             transformation: spec.transformation,
@@ -1049,30 +1130,26 @@ impl CommProcess {
                     match self.endpoint.incoming.recv_timeout(timeout) {
                         Ok(d) => Input::Net(d),
                         Err(crossbeam_channel::RecvTimeoutError::Timeout) => Input::Tick,
-                        Err(crossbeam_channel::RecvTimeoutError::Disconnected) => {
-                            Input::NetClosed
-                        }
+                        Err(crossbeam_channel::RecvTimeoutError::Disconnected) => Input::NetClosed,
                     }
                 }
             };
 
             match input {
-                Input::Net(Delivery::Frame { from, frame }) => {
-                    match decode_frame(frame) {
-                        Ok(msg) => {
-                            if self.handle_message(Rank(from), msg) {
-                                break;
-                            }
-                        }
-                        Err(e) => {
-                            let rank = self.rank;
-                            self.emit_event(NetEvent::FilterError {
-                                rank,
-                                detail: format!("frame decode from rank{from}: {e}"),
-                            });
+                Input::Net(Delivery::Frame { from, frame }) => match decode_frame(frame) {
+                    Ok(msg) => {
+                        if self.handle_message(Rank(from), msg) {
+                            break;
                         }
                     }
-                }
+                    Err(e) => {
+                        let rank = self.rank;
+                        self.emit_event(NetEvent::FilterError {
+                            rank,
+                            detail: format!("frame decode from rank{from}: {e}"),
+                        });
+                    }
+                },
                 Input::Net(Delivery::Disconnected { peer }) => {
                     let peer = Rank(peer);
                     let is_parent = matches!(
@@ -1085,8 +1162,7 @@ impl CommProcess {
                         }
                         // Orphaned: hold on for the reconfiguration grace
                         // period in case the front-end heals the tree.
-                        self.orphaned_until =
-                            Some(Instant::now() + self.config.orphan_grace);
+                        self.orphaned_until = Some(Instant::now() + self.config.orphan_grace);
                     } else {
                         self.handle_child_failure(peer);
                         if self.shutting_down && self.shutdown_pending.is_empty() {

@@ -5,6 +5,8 @@
 //! as the value codec; on zero-copy local links an `Arc<Message>` travels
 //! directly and `encoded_len` is charged as the frame's size hint.
 
+use std::sync::{Arc, OnceLock};
+
 use crate::codec::{encode_value, Reader};
 use crate::error::{Result, TbonError};
 use crate::packet::{Packet, Rank};
@@ -32,6 +34,10 @@ pub enum NetEvent {
     SubtreeOrphaned { rank: Rank, detected_by: Rank },
     /// A process failed to instantiate a filter for a new stream.
     FilterError { rank: Rank, detail: String },
+    /// A process could not deliver traffic to `peer` (link closed or
+    /// backpressure deadline exceeded). Emitted once per peer; subsequent
+    /// drops only bump [`PerfCounters::sends_dropped`].
+    SendFailed { rank: Rank, peer: Rank },
 }
 
 /// Everything that can cross a link.
@@ -112,6 +118,85 @@ pub struct PerfCounters {
     pub filter_ns: u64,
     /// Control messages handled (stream lifecycle, shutdown, ...).
     pub control: u64,
+    /// Frames handed to outbound links (wire and local).
+    pub frames_sent: u64,
+    /// Payload bytes handed to outbound links (encoded size for every
+    /// frame, including the size hint charged for zero-copy frames).
+    pub bytes_sent: u64,
+    /// Times a message was actually serialized for the wire. A multicast
+    /// of one packet to N wire children costs exactly one encode.
+    pub encodes_performed: u64,
+    /// Sends abandoned because the peer's link was closed or its writer
+    /// queue stayed full past the configured deadline.
+    pub sends_dropped: u64,
+}
+
+/// A [`Message`] bundled with a lazily-populated memo of its wire encoding.
+///
+/// Every outbound message travels as an `Arc<Envelope>`. The first link that
+/// needs bytes serializes the message and caches the buffer; every other
+/// link — the other N-1 children of a multicast — shares the same
+/// allocation. Zero-copy local links never trigger an encode at all.
+pub struct Envelope {
+    msg: Message,
+    encoded: OnceLock<Arc<[u8]>>,
+}
+
+impl Envelope {
+    pub fn new(msg: Message) -> Self {
+        Envelope {
+            msg,
+            encoded: OnceLock::new(),
+        }
+    }
+
+    /// Wrap a message decoded from the wire, seeding the memo with the bytes
+    /// it arrived as — forwarding it to children costs zero further encodes.
+    pub fn from_wire(msg: Message, bytes: Arc<[u8]>) -> Self {
+        let encoded = OnceLock::new();
+        let _ = encoded.set(bytes);
+        Envelope { msg, encoded }
+    }
+
+    pub fn msg(&self) -> &Message {
+        &self.msg
+    }
+
+    /// The cached wire encoding, serializing on first use. The boolean is
+    /// true iff this call performed the encode (so callers can count real
+    /// serialization work). Envelopes are sent from a single process
+    /// thread, so the flag is not expected to race.
+    pub fn encoded(&self) -> (&Arc<[u8]>, bool) {
+        let mut fresh = false;
+        let bytes = self.encoded.get_or_init(|| {
+            fresh = true;
+            encode_message(&self.msg).into()
+        });
+        (bytes, fresh)
+    }
+
+    /// Exact wire size without forcing an encode.
+    pub fn encoded_len(&self) -> usize {
+        match self.encoded.get() {
+            Some(bytes) => bytes.len(),
+            None => message_encoded_len(&self.msg),
+        }
+    }
+}
+
+impl From<Message> for Envelope {
+    fn from(msg: Message) -> Self {
+        Envelope::new(msg)
+    }
+}
+
+impl std::fmt::Debug for Envelope {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Envelope")
+            .field("msg", &self.msg)
+            .field("encoded", &self.encoded.get().map(|b| b.len()))
+            .finish()
+    }
 }
 
 impl Message {
@@ -158,6 +243,7 @@ const EV_BACKEND_LOST: u8 = 1;
 const EV_BACKEND_JOINED: u8 = 2;
 const EV_FILTER_ERROR: u8 = 3;
 const EV_SUBTREE_ORPHANED: u8 = 4;
+const EV_SEND_FAILED: u8 = 5;
 
 fn put_u32(buf: &mut Vec<u8>, v: u32) {
     buf.extend_from_slice(&v.to_le_bytes());
@@ -279,6 +365,10 @@ pub fn encode_message(msg: &Message) -> Vec<u8> {
                 counters.filter_out,
                 counters.filter_ns,
                 counters.control,
+                counters.frames_sent,
+                counters.bytes_sent,
+                counters.encodes_performed,
+                counters.sends_dropped,
             ] {
                 buf.extend_from_slice(&v.to_le_bytes());
             }
@@ -306,6 +396,11 @@ pub fn encode_message(msg: &Message) -> Vec<u8> {
                     put_u32(&mut buf, rank.0);
                     put_str(&mut buf, detail);
                 }
+                NetEvent::SendFailed { rank, peer } => {
+                    buf.push(EV_SEND_FAILED);
+                    put_u32(&mut buf, rank.0);
+                    put_u32(&mut buf, peer.0);
+                }
             }
         }
     }
@@ -316,9 +411,7 @@ pub fn encode_message(msg: &Message) -> Vec<u8> {
 /// zero-copy frames so shaping charges honest costs.
 pub fn message_encoded_len(msg: &Message) -> usize {
     match msg {
-        Message::Up { value, .. } | Message::Down { value, .. } => {
-            1 + 12 + value.encoded_len()
-        }
+        Message::Up { value, .. } | Message::Down { value, .. } => 1 + 12 + value.encoded_len(),
         Message::NewStream {
             members,
             transformation,
@@ -351,12 +444,13 @@ pub fn message_encoded_len(msg: &Message) -> usize {
         Message::Adopt { .. } | Message::NewParent { .. } | Message::ReconfigAck { .. } => 1 + 4,
         Message::StreamPrune { .. } => 1 + 4,
         Message::GetPerf => 1,
-        Message::PerfReport { .. } => 1 + 4 + 6 * 8,
+        Message::PerfReport { .. } => 1 + 4 + 10 * 8,
         Message::Event(ev) => {
             2 + match ev {
                 NetEvent::BackendLost { .. }
                 | NetEvent::BackendJoined { .. }
-                | NetEvent::SubtreeOrphaned { .. } => 8,
+                | NetEvent::SubtreeOrphaned { .. }
+                | NetEvent::SendFailed { .. } => 8,
                 NetEvent::FilterError { detail, .. } => 4 + 4 + detail.len(),
             }
         }
@@ -424,9 +518,7 @@ fn decode_message_inner(r: &mut Reader<'_>) -> Result<Message> {
             let mode = match r.u8()? {
                 0 => StreamMode::Upstream,
                 1 => StreamMode::Bidirectional,
-                other => {
-                    return Err(TbonError::Decode(format!("bad stream mode {other}")))
-                }
+                other => return Err(TbonError::Decode(format!("bad stream mode {other}"))),
             };
             Message::NewStream {
                 stream,
@@ -448,9 +540,7 @@ fn decode_message_inner(r: &mut Reader<'_>) -> Result<Message> {
             let kind = match r.u8()? {
                 0 => FilterKind::Transformation,
                 1 => FilterKind::Synchronization,
-                other => {
-                    return Err(TbonError::Decode(format!("bad filter kind {other}")))
-                }
+                other => return Err(TbonError::Decode(format!("bad filter kind {other}"))),
             };
             Message::LoadFilter { name, kind }
         }
@@ -478,7 +568,7 @@ fn decode_message_inner(r: &mut Reader<'_>) -> Result<Message> {
         M_GET_PERF => Message::GetPerf,
         M_PERF_REPORT => {
             let rank = Rank(r.u32()?);
-            let mut vals = [0u64; 6];
+            let mut vals = [0u64; 10];
             for v in &mut vals {
                 *v = r.u64()?;
             }
@@ -491,6 +581,10 @@ fn decode_message_inner(r: &mut Reader<'_>) -> Result<Message> {
                     filter_out: vals[3],
                     filter_ns: vals[4],
                     control: vals[5],
+                    frames_sent: vals[6],
+                    bytes_sent: vals[7],
+                    encodes_performed: vals[8],
+                    sends_dropped: vals[9],
                 },
             }
         }
@@ -513,9 +607,11 @@ fn decode_message_inner(r: &mut Reader<'_>) -> Result<Message> {
                     rank: Rank(r.u32()?),
                     detail: r.str()?,
                 },
-                other => {
-                    return Err(TbonError::Decode(format!("unknown event tag {other}")))
-                }
+                EV_SEND_FAILED => NetEvent::SendFailed {
+                    rank: Rank(r.u32()?),
+                    peer: Rank(r.u32()?),
+                },
+                other => return Err(TbonError::Decode(format!("unknown event tag {other}"))),
             };
             Message::Event(ev)
         }
@@ -582,7 +678,9 @@ mod tests {
 
     #[test]
     fn roundtrip_control_messages() {
-        roundtrip(Message::CloseStream { stream: StreamId(5) });
+        roundtrip(Message::CloseStream {
+            stream: StreamId(5),
+        });
         roundtrip(Message::LoadFilter {
             name: "user::thing".into(),
             kind: FilterKind::Transformation,
@@ -617,10 +715,16 @@ mod tests {
             rank: Rank(3),
             detail: "no such filter".into(),
         }));
+        roundtrip(Message::Event(NetEvent::SendFailed {
+            rank: Rank(1),
+            peer: Rank(8),
+        }));
         roundtrip(Message::Adopt { child: Rank(9) });
         roundtrip(Message::NewParent { parent: Rank(2) });
         roundtrip(Message::ReconfigAck { rank: Rank(5) });
-        roundtrip(Message::StreamPrune { stream: StreamId(8) });
+        roundtrip(Message::StreamPrune {
+            stream: StreamId(8),
+        });
         roundtrip(Message::GetPerf);
         roundtrip(Message::PerfReport {
             rank: Rank(3),
@@ -631,8 +735,31 @@ mod tests {
                 filter_out: 6,
                 filter_ns: 123456,
                 control: 9,
+                frames_sent: 31,
+                bytes_sent: 4096,
+                encodes_performed: 7,
+                sends_dropped: 2,
             },
         });
+    }
+
+    #[test]
+    fn envelope_encodes_once_and_shares_bytes() {
+        let env = Envelope::new(Message::Up {
+            stream: StreamId(1),
+            tag: Tag(2),
+            origin: Rank(3),
+            value: DataValue::ArrayF64(vec![0.5; 64]),
+        });
+        assert_eq!(env.encoded_len(), message_encoded_len(env.msg()));
+        let (first, fresh_first) = env.encoded();
+        assert!(fresh_first);
+        let first = Arc::clone(first);
+        let (second, fresh_second) = env.encoded();
+        assert!(!fresh_second);
+        assert!(Arc::ptr_eq(&first, second), "memo must be shared");
+        assert_eq!(env.encoded_len(), first.len());
+        assert_eq!(decode_message(&first).unwrap(), *env.msg());
     }
 
     #[test]

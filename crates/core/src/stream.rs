@@ -159,11 +159,7 @@ impl StreamSpec {
     }
 
     /// Use a custom synchronization filter by registry name.
-    pub fn synchronization_named(
-        mut self,
-        name: impl Into<String>,
-        params: DataValue,
-    ) -> Self {
+    pub fn synchronization_named(mut self, name: impl Into<String>, params: DataValue) -> Self {
         self.sync_name = name.into();
         self.sync_params = params;
         self

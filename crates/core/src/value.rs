@@ -226,10 +226,7 @@ mod tests {
         assert_eq!(DataValue::F64(1.5).as_f64(), Some(1.5));
         assert_eq!(DataValue::Bool(true).as_bool(), Some(true));
         assert_eq!(DataValue::from("hi").as_str(), Some("hi"));
-        assert_eq!(
-            DataValue::Bytes(vec![1, 2]).as_bytes(),
-            Some(&[1u8, 2][..])
-        );
+        assert_eq!(DataValue::Bytes(vec![1, 2]).as_bytes(), Some(&[1u8, 2][..]));
         assert_eq!(
             DataValue::ArrayF64(vec![1.0]).as_array_f64(),
             Some(&[1.0][..])
@@ -281,8 +278,7 @@ mod tests {
             DataValue::ArrayF64(vec![]),
             DataValue::Tuple(vec![]),
         ];
-        let names: std::collections::HashSet<&str> =
-            vals.iter().map(|v| v.type_name()).collect();
+        let names: std::collections::HashSet<&str> = vals.iter().map(|v| v.type_name()).collect();
         assert_eq!(names.len(), vals.len());
     }
 }

@@ -6,10 +6,12 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use tbon_core::{
-    BackendContext, BackendEvent, DataValue, FilterKind, FilterRegistry, NetEvent,
-    NetworkBuilder, Packet, Rank, StreamSpec, SyncPolicy, Tag, TbonError, Transformation,
+    BackendContext, BackendEvent, DataValue, FilterKind, FilterRegistry, NetEvent, NetworkBuilder,
+    NetworkConfig, Packet, Rank, StreamSpec, SyncPolicy, Tag, TbonError, Transformation,
 };
 use tbon_topology::Topology;
+use tbon_transport::local::LocalTransport;
+use tbon_transport::shaped::{ShapedTransport, Shaping};
 use tbon_transport::tcp::TcpTransport;
 
 /// A back-end that answers every downstream packet with its own rank.
@@ -120,9 +122,7 @@ fn subset_stream_only_reaches_members() {
         .launch()
         .unwrap();
     let stream = net
-        .new_stream(
-            StreamSpec::ranks([Rank(2), Rank(5)]).transformation("test::sum"),
-        )
+        .new_stream(StreamSpec::ranks([Rank(2), Rank(5)]).transformation("test::sum"))
         .unwrap();
     stream.broadcast(Tag(0), DataValue::Unit).unwrap();
     let pkt = stream.recv_timeout(Duration::from_secs(5)).unwrap();
@@ -177,11 +177,7 @@ fn timeout_sync_delivers_partial_waves() {
             match ctx.next_event() {
                 Ok(BackendEvent::Packet { stream, packet }) => {
                     if ctx.rank() != Rank(3) {
-                        let _ = ctx.send(
-                            stream,
-                            packet.tag(),
-                            DataValue::I64(ctx.rank().0 as i64),
-                        );
+                        let _ = ctx.send(stream, packet.tag(), DataValue::I64(ctx.rank().0 as i64));
                     }
                 }
                 Ok(BackendEvent::Shutdown) | Err(_) => break,
@@ -248,18 +244,15 @@ fn load_filter_probe_and_dynamic_registration() {
         .backend(echo_rank_backend)
         .launch()
         .unwrap();
-    assert!(
-        !net.load_filter("user::late", FilterKind::Transformation)
-            .unwrap()
-    );
+    assert!(!net
+        .load_filter("user::late", FilterKind::Transformation)
+        .unwrap());
     // "dlopen" the filter into the running network, then re-probe.
-    net.registry().register_transformation("user::late", |_| {
-        Ok(Box::new(tbon_core::Identity))
-    });
-    assert!(
-        net.load_filter("user::late", FilterKind::Transformation)
-            .unwrap()
-    );
+    net.registry()
+        .register_transformation("user::late", |_| Ok(Box::new(tbon_core::Identity)));
+    assert!(net
+        .load_filter("user::late", FilterKind::Transformation)
+        .unwrap());
     // And it is immediately usable by a new stream.
     let stream = net
         .new_stream(StreamSpec::all().transformation("user::late"))
@@ -335,12 +328,16 @@ fn killed_backend_reported_and_wait_for_all_unblocks() {
         Some(6)
     );
     net.kill_backend(Rank(2)).unwrap();
-    match net.wait_event(Duration::from_secs(5)).unwrap() {
-        NetEvent::BackendLost { rank, detected_by } => {
-            assert_eq!(rank, Rank(2));
-            assert_eq!(detected_by, Rank(0));
+    loop {
+        match net.wait_event(Duration::from_secs(5)).unwrap() {
+            NetEvent::SendFailed { .. } => continue, // informational, may race the loss
+            NetEvent::BackendLost { rank, detected_by } => {
+                assert_eq!(rank, Rank(2));
+                assert_eq!(detected_by, Rank(0));
+                break;
+            }
+            other => panic!("unexpected {other:?}"),
         }
-        other => panic!("unexpected {other:?}"),
     }
     // wait_for_all must now complete with the two survivors.
     stream.broadcast(Tag(1), DataValue::Unit).unwrap();
@@ -388,17 +385,15 @@ fn backend_initiated_data_flows_without_broadcast() {
     // monitoring pattern: Ganglia/Supermon-style periodic reports).
     let mut net = NetworkBuilder::new(Topology::balanced(2, 2))
         .registry(registry_with_sum())
-        .backend(|mut ctx: BackendContext| {
-            loop {
-                match ctx.next_event() {
-                    Ok(BackendEvent::StreamOpened { stream }) => {
-                        for i in 0..5i64 {
-                            let _ = ctx.send(stream, Tag(i as u32), DataValue::I64(i));
-                        }
+        .backend(|mut ctx: BackendContext| loop {
+            match ctx.next_event() {
+                Ok(BackendEvent::StreamOpened { stream }) => {
+                    for i in 0..5i64 {
+                        let _ = ctx.send(stream, Tag(i as u32), DataValue::I64(i));
                     }
-                    Ok(BackendEvent::Shutdown) | Err(_) => break,
-                    Ok(_) => continue,
                 }
+                Ok(BackendEvent::Shutdown) | Err(_) => break,
+                Ok(_) => continue,
             }
         })
         .launch()
@@ -548,6 +543,125 @@ fn perf_snapshot_reports_activity() {
     stream.recv_timeout(Duration::from_secs(5)).unwrap();
     let perf2 = net.perf_snapshot(Duration::from_secs(5)).unwrap();
     assert!(perf2[&Rank(0)].waves > root.waves);
+    net.shutdown().unwrap();
+}
+
+#[test]
+fn multicast_to_wire_children_encodes_exactly_once() {
+    // Root with 8 TCP children: a Down multicast must serialize its message
+    // exactly once, however many links carry it.
+    let fanout = 8u64;
+    let mut net = NetworkBuilder::new(Topology::flat(fanout as usize))
+        .transport(TcpTransport::new())
+        .registry(registry_with_sum())
+        .backend(echo_rank_backend)
+        .launch()
+        .unwrap();
+    let stream = net
+        .new_stream(StreamSpec::all().transformation("test::sum"))
+        .unwrap();
+    // Warm-up round so stream-setup traffic is folded into the baseline.
+    stream.broadcast(Tag(0), DataValue::Unit).unwrap();
+    stream.recv_timeout(Duration::from_secs(5)).unwrap();
+
+    let base = net.perf_snapshot(Duration::from_secs(5)).unwrap()[&Rank(0)];
+    let rounds = 5u64;
+    for round in 0..rounds {
+        stream
+            .broadcast(Tag(round as u32 + 1), DataValue::Unit)
+            .unwrap();
+        stream.recv_timeout(Duration::from_secs(5)).unwrap();
+    }
+    let cur = net.perf_snapshot(Duration::from_secs(5)).unwrap()[&Rank(0)];
+
+    // Between the two snapshots the root sent: the PerfReport answering the
+    // baseline query (1 frame, 1 encode — counters are captured before that
+    // reply is sent), plus per round one Down multicast to all children
+    // (`fanout` frames sharing a single encode).
+    assert_eq!(cur.frames_sent - base.frames_sent, rounds * fanout + 1);
+    assert_eq!(
+        cur.encodes_performed - base.encodes_performed,
+        rounds + 1,
+        "a multicast to {fanout} wire children must encode exactly once per packet"
+    );
+    assert!(cur.bytes_sent > base.bytes_sent);
+    assert_eq!(cur.sends_dropped, 0);
+    net.shutdown().unwrap();
+}
+
+#[test]
+fn throttled_child_is_cut_off_while_siblings_keep_receiving() {
+    // Rank 3's link is ~100 B/s behind a one-frame writer queue with a short
+    // send deadline; ranks 1 and 2 are unshaped. The root's event loop must
+    // never wedge on the slow child: its sends trip Backpressure, the first
+    // failure is reported, the child is declared dead, and the siblings keep
+    // receiving broadcasts throughout.
+    let config = NetworkConfig {
+        writer_queue_depth: 1,
+        writer_send_deadline: Duration::from_millis(50),
+        ..NetworkConfig::default()
+    };
+    let transport = ShapedTransport::with_edge_fn(LocalTransport::new(), |a, b| {
+        if a.min(b) == 0 && a.max(b) == 3 {
+            Shaping {
+                latency: Duration::ZERO,
+                bandwidth_bps: Some(100.0),
+            }
+        } else {
+            Shaping::unshaped()
+        }
+    })
+    .with_writer_config(config.writer_config());
+    let mut net = NetworkBuilder::new(Topology::flat(3))
+        .transport(transport)
+        .config(config)
+        .backend(echo_rank_backend)
+        .launch()
+        .unwrap();
+    let stream = net
+        .new_stream(StreamSpec::all().sync(SyncPolicy::Null))
+        .unwrap();
+
+    // Hammer broadcasts until the throttled link jams. Each jammed send may
+    // stall the root at most one send deadline before the child is cut off.
+    for i in 0..10u32 {
+        stream.broadcast(Tag(i), DataValue::Unit).unwrap();
+    }
+    let mut saw_send_failed = false;
+    let mut saw_lost = false;
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while (!saw_send_failed || !saw_lost) && std::time::Instant::now() < deadline {
+        match net.wait_event(Duration::from_secs(5)) {
+            Ok(NetEvent::SendFailed { rank, peer }) => {
+                assert_eq!((rank, peer), (Rank(0), Rank(3)));
+                saw_send_failed = true;
+            }
+            Ok(NetEvent::BackendLost { rank, detected_by }) => {
+                assert_eq!((rank, detected_by), (Rank(3), Rank(0)));
+                saw_lost = true;
+            }
+            Ok(_) => continue,
+            Err(_) => break,
+        }
+    }
+    assert!(saw_send_failed, "first dropped send must raise SendFailed");
+    assert!(saw_lost, "slow child must be declared dead, not waited on");
+
+    // Siblings are unaffected: a fresh broadcast still round-trips to both.
+    stream.broadcast(Tag(99), DataValue::Unit).unwrap();
+    let mut got = Vec::new();
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while got.len() < 2 && std::time::Instant::now() < deadline {
+        let pkt = stream.recv_timeout(Duration::from_secs(5)).unwrap();
+        if pkt.tag() == Tag(99) {
+            got.push(pkt.value().as_i64().unwrap());
+        }
+    }
+    got.sort();
+    assert_eq!(got, vec![1, 2]);
+
+    let perf = net.perf_snapshot(Duration::from_secs(5)).unwrap()[&Rank(0)];
+    assert!(perf.sends_dropped >= 1, "drops must be counted: {perf:?}");
     net.shutdown().unwrap();
 }
 

@@ -29,8 +29,7 @@ fn value_eq(a: &DataValue, b: &DataValue) -> bool {
     match (a, b) {
         (DataValue::F64(x), DataValue::F64(y)) => x.to_bits() == y.to_bits(),
         (DataValue::ArrayF64(x), DataValue::ArrayF64(y)) => {
-            x.len() == y.len()
-                && x.iter().zip(y).all(|(a, b)| a.to_bits() == b.to_bits())
+            x.len() == y.len() && x.iter().zip(y).all(|(a, b)| a.to_bits() == b.to_bits())
         }
         (DataValue::Tuple(x), DataValue::Tuple(y)) => {
             x.len() == y.len() && x.iter().zip(y).all(|(a, b)| value_eq(a, b))
@@ -183,8 +182,7 @@ mod fmt_props {
                 .map(|i| i.token())
                 .collect::<Vec<_>>()
                 .join(" ");
-            let args: Vec<BoxedStrategy<DataValue>> =
-                items.iter().map(|&i| arg_for(i)).collect();
+            let args: Vec<BoxedStrategy<DataValue>> = items.iter().map(|&i| arg_for(i)).collect();
             (Just(fmt), args)
         })
     }
@@ -193,8 +191,7 @@ mod fmt_props {
         match (a, b) {
             (DataValue::F64(x), DataValue::F64(y)) => x.to_bits() == y.to_bits(),
             (DataValue::ArrayF64(x), DataValue::ArrayF64(y)) => {
-                x.len() == y.len()
-                    && x.iter().zip(y).all(|(a, b)| a.to_bits() == b.to_bits())
+                x.len() == y.len() && x.iter().zip(y).all(|(a, b)| a.to_bits() == b.to_bits())
             }
             _ => a == b,
         }

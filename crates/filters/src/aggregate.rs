@@ -11,9 +11,7 @@
 //! Scalar packets reduce as numbers; `ArrayF64`/`ArrayI64` packets reduce
 //! element-wise (the common case for per-metric vectors).
 
-use tbon_core::{
-    DataValue, FilterContext, Packet, Result, Tag, TbonError, Transformation, Wave,
-};
+use tbon_core::{DataValue, FilterContext, Packet, Result, Tag, TbonError, Transformation, Wave};
 
 fn wave_tag(wave: &Wave) -> Tag {
     wave.first().map(|p| p.tag()).unwrap_or(Tag(0))
@@ -31,9 +29,7 @@ fn combine(
     };
     match (acc, next) {
         (DataValue::I64(a), DataValue::I64(b)) => Ok(DataValue::I64(fi(a, *b))),
-        (DataValue::U64(a), DataValue::U64(b)) => {
-            Ok(DataValue::I64(fi(a as i64, *b as i64)))
-        }
+        (DataValue::U64(a), DataValue::U64(b)) => Ok(DataValue::I64(fi(a as i64, *b as i64))),
         (DataValue::F64(a), DataValue::F64(b)) => Ok(DataValue::F64(f(a, *b))),
         (DataValue::ArrayI64(a), DataValue::ArrayI64(b)) => {
             if a.len() != b.len() {
@@ -79,7 +75,12 @@ impl Transformation for Sum {
         let tag = wave_tag(&wave);
         let mut acc: Option<DataValue> = None;
         for p in &wave {
-            acc = Some(combine(acc, p.value(), |a, b| a + b, |a, b| a.wrapping_add(b))?);
+            acc = Some(combine(
+                acc,
+                p.value(),
+                |a, b| a + b,
+                |a, b| a.wrapping_add(b),
+            )?);
         }
         Ok(vec![ctx.make(tag, acc.unwrap_or(DataValue::Unit))])
     }
@@ -163,7 +164,11 @@ impl Transformation for Average {
             count += c;
         }
         let out = if ctx.is_root {
-            DataValue::F64(if count == 0 { f64::NAN } else { sum / count as f64 })
+            DataValue::F64(if count == 0 {
+                f64::NAN
+            } else {
+                sum / count as f64
+            })
         } else {
             DataValue::Tuple(vec![DataValue::F64(sum), DataValue::U64(count)])
         };
@@ -294,7 +299,11 @@ mod tests {
             vec![pkt(DataValue::F64(2.0)), pkt(DataValue::F64(4.0))],
             false,
         );
-        let v = run(&mut Average, vec![pkt(pair), pkt(DataValue::F64(9.0))], true);
+        let v = run(
+            &mut Average,
+            vec![pkt(pair), pkt(DataValue::F64(9.0))],
+            true,
+        );
         assert_eq!(v, DataValue::F64(5.0)); // (2 + 4 + 9) / 3
     }
 

@@ -36,16 +36,12 @@ impl ChainFilter {
             let (name, stage_params) = match e {
                 DataValue::Str(name) => (name.as_str(), DataValue::Unit),
                 DataValue::Tuple(pair) if pair.len() == 2 => {
-                    let name = pair[0].as_str().ok_or_else(|| {
-                        TbonError::Filter("chain stage name must be Str".into())
-                    })?;
+                    let name = pair[0]
+                        .as_str()
+                        .ok_or_else(|| TbonError::Filter("chain stage name must be Str".into()))?;
                     (name, pair[1].clone())
                 }
-                other => {
-                    return Err(TbonError::Filter(format!(
-                        "bad chain stage spec: {other}"
-                    )))
-                }
+                other => return Err(TbonError::Filter(format!("bad chain stage spec: {other}"))),
             };
             stages.push(registry.create_transformation(name, &stage_params)?);
         }

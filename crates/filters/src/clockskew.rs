@@ -17,9 +17,7 @@
 //! algorithm's single-sample mode; tests inject synthetic clocks so the
 //! recovered offsets are exact.
 
-use tbon_core::{
-    DataValue, FilterContext, Packet, Result, Tag, TbonError, Transformation, Wave,
-};
+use tbon_core::{DataValue, FilterContext, Packet, Result, Tag, TbonError, Transformation, Wave};
 
 /// Clock source abstraction so tests (and the discrete-event simulator) can
 /// inject deterministic clocks.
@@ -210,12 +208,19 @@ mod tests {
         let mut at_b = ClockSkew::new(Box::new(FixedClock(1005.0)));
         let b_report = run(
             &mut at_b,
-            vec![pkt(3, DataValue::F64(1007.0)), pkt(4, DataValue::F64(999.0))],
+            vec![
+                pkt(3, DataValue::F64(1007.0)),
+                pkt(4, DataValue::F64(999.0)),
+            ],
         );
         let mut at_root = ClockSkew::new(Box::new(FixedClock(1000.0)));
         let root = run(&mut at_root, vec![pkt(1, b_report.to_value())]);
-        let table: std::collections::HashMap<i64, f64> =
-            root.ranks.iter().copied().zip(root.skews.iter().copied()).collect();
+        let table: std::collections::HashMap<i64, f64> = root
+            .ranks
+            .iter()
+            .copied()
+            .zip(root.skews.iter().copied())
+            .collect();
         assert_eq!(table[&1], 5.0);
         assert_eq!(table[&3], 7.0);
         assert_eq!(table[&4], -1.0);

@@ -6,9 +6,7 @@
 //! into dense arrays; anything else gathers into a tuple, flattening tuples
 //! produced by lower-level concat instances so the root sees one flat list.
 
-use tbon_core::{
-    DataValue, FilterContext, Packet, Result, Tag, TbonError, Transformation, Wave,
-};
+use tbon_core::{DataValue, FilterContext, Packet, Result, Tag, TbonError, Transformation, Wave};
 
 /// See module docs.
 pub struct Concat;
@@ -68,9 +66,8 @@ pub struct ConcatKeyed;
 
 impl ConcatKeyed {
     fn is_keyed_pair(v: &DataValue) -> bool {
-        v.as_tuple().is_some_and(|t| {
-            t.len() == 2 && matches!(t[0], DataValue::U64(_))
-        })
+        v.as_tuple()
+            .is_some_and(|t| t.len() == 2 && matches!(t[0], DataValue::U64(_)))
     }
 }
 
@@ -88,10 +85,7 @@ impl Transformation for ConcatKeyed {
                 {
                     out.extend(items);
                 }
-                v => out.push(DataValue::Tuple(vec![
-                    DataValue::U64(origin.0 as u64),
-                    v,
-                ])),
+                v => out.push(DataValue::Tuple(vec![DataValue::U64(origin.0 as u64), v])),
             }
         }
         if out.iter().any(|v| !Self::is_keyed_pair(v)) {

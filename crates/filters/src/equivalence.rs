@@ -20,9 +20,7 @@
 
 use std::collections::HashMap;
 
-use tbon_core::{
-    DataValue, FilterContext, Packet, Result, Tag, TbonError, Transformation, Wave,
-};
+use tbon_core::{DataValue, FilterContext, Packet, Result, Tag, TbonError, Transformation, Wave};
 
 /// Stable string key for grouping values. Uses the codec bytes so equality
 /// is exact structural equality.
@@ -61,8 +59,7 @@ impl EquivClass {
 /// Parse a class-set packet, or lift a raw leaf value into a singleton.
 fn classes_of_packet(p: &Packet) -> Vec<EquivClass> {
     if let Some(entries) = p.value().as_tuple() {
-        let parsed: Option<Vec<EquivClass>> =
-            entries.iter().map(EquivClass::from_value).collect();
+        let parsed: Option<Vec<EquivClass>> = entries.iter().map(EquivClass::from_value).collect();
         if let Some(classes) = parsed {
             if !entries.is_empty() {
                 return classes;
@@ -262,7 +259,10 @@ mod tests {
         // A new value passes.
         let out3 = run(
             &mut f,
-            vec![pkt(3, DataValue::from("same")), pkt(4, DataValue::from("new"))],
+            vec![
+                pkt(3, DataValue::from("same")),
+                pkt(4, DataValue::from("new")),
+            ],
         );
         let classes = decode_classes(out3[0].value()).unwrap();
         assert_eq!(classes.len(), 1);
@@ -301,9 +301,6 @@ mod tests {
         let out = run(&mut f, wave);
         let classes = decode_classes(out[0].value()).unwrap();
         assert_eq!(classes.len(), 2);
-        assert_eq!(
-            classes.iter().map(|c| c.members.len()).sum::<usize>(),
-            64
-        );
+        assert_eq!(classes.iter().map(|c| c.members.len()).sum::<usize>(), 64);
     }
 }

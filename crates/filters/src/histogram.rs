@@ -6,9 +6,7 @@
 //! already-binned `ArrayI64` counts from lower levels. The result at the
 //! front-end is the exact global histogram at logarithmic cost.
 
-use tbon_core::{
-    DataValue, FilterContext, Packet, Result, Tag, TbonError, Transformation, Wave,
-};
+use tbon_core::{DataValue, FilterContext, Packet, Result, Tag, TbonError, Transformation, Wave};
 
 /// Fixed-width binning configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -185,17 +183,14 @@ mod tests {
         let flat = s.bin(&all);
 
         let mut f = Histogram::new(s);
-        let left = run(
-            &mut f,
-            vec![pkt(DataValue::ArrayF64(all[..50].to_vec()))],
-        );
-        let right = run(
-            &mut f,
-            vec![pkt(DataValue::ArrayF64(all[50..].to_vec()))],
-        );
+        let left = run(&mut f, vec![pkt(DataValue::ArrayF64(all[..50].to_vec()))]);
+        let right = run(&mut f, vec![pkt(DataValue::ArrayF64(all[50..].to_vec()))]);
         let merged = run(
             &mut f,
-            vec![pkt(DataValue::ArrayI64(left)), pkt(DataValue::ArrayI64(right))],
+            vec![
+                pkt(DataValue::ArrayI64(left)),
+                pkt(DataValue::ArrayI64(right)),
+            ],
         );
         assert_eq!(merged, flat);
     }
@@ -214,21 +209,17 @@ mod tests {
         let s = spec();
         assert_eq!(HistogramSpec::from_params(&s.to_params()).unwrap(), s);
         assert!(HistogramSpec::from_params(&DataValue::Unit).is_err());
-        assert!(HistogramSpec::from_params(
-            &DataValue::Tuple(vec![
-                DataValue::F64(1.0),
-                DataValue::F64(1.0),
-                DataValue::U64(4)
-            ])
-        )
+        assert!(HistogramSpec::from_params(&DataValue::Tuple(vec![
+            DataValue::F64(1.0),
+            DataValue::F64(1.0),
+            DataValue::U64(4)
+        ]))
         .is_err());
-        assert!(HistogramSpec::from_params(
-            &DataValue::Tuple(vec![
-                DataValue::F64(0.0),
-                DataValue::F64(1.0),
-                DataValue::U64(0)
-            ])
-        )
+        assert!(HistogramSpec::from_params(&DataValue::Tuple(vec![
+            DataValue::F64(0.0),
+            DataValue::F64(1.0),
+            DataValue::U64(0)
+        ]))
         .is_err());
     }
 

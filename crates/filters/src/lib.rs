@@ -92,15 +92,17 @@ pub fn register_builtins(registry: &Arc<FilterRegistry>) {
     registry.register_transformation("builtin::avg", |_| Ok(Box::new(aggregate::Average)));
     registry.register_transformation("builtin::count", |_| Ok(Box::new(aggregate::Count)));
     registry.register_transformation("builtin::concat", |_| Ok(Box::new(concat::Concat)));
-    registry
-        .register_transformation("builtin::concat_keyed", |_| Ok(Box::new(concat::ConcatKeyed)));
+    registry.register_transformation("builtin::concat_keyed", |_| {
+        Ok(Box::new(concat::ConcatKeyed))
+    });
     registry.register_transformation("filter::equivalence", |params| {
         Ok(Box::new(Equivalence::from_params(params)?))
     });
-    registry
-        .register_transformation("filter::clock_skew", |_| Ok(Box::new(ClockSkew::system())));
+    registry.register_transformation("filter::clock_skew", |_| Ok(Box::new(ClockSkew::system())));
     registry.register_transformation("filter::histogram", |params| {
-        Ok(Box::new(Histogram::new(HistogramSpec::from_params(params)?)))
+        Ok(Box::new(Histogram::new(HistogramSpec::from_params(
+            params,
+        )?)))
     });
     registry.register_transformation("filter::time_align", |params| {
         Ok(Box::new(TimeAlign::from_params(params)?))
@@ -134,10 +136,7 @@ mod tests {
     fn every_advertised_filter_is_registered() {
         let reg = builtin_registry();
         for name in BUILTIN_TRANSFORMATIONS {
-            assert!(
-                reg.has_transformation(name),
-                "{name} missing from registry"
-            );
+            assert!(reg.has_transformation(name), "{name} missing from registry");
         }
         // Core built-ins survive too.
         assert!(reg.has_transformation("core::identity"));

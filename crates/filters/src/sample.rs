@@ -12,9 +12,7 @@
 
 use std::collections::HashSet;
 
-use tbon_core::{
-    DataValue, FilterContext, Packet, Result, Tag, TbonError, Transformation, Wave,
-};
+use tbon_core::{DataValue, FilterContext, Packet, Result, Tag, TbonError, Transformation, Wave};
 
 /// Forward every `n`th wave, concatenated into one packet; suppress the
 /// rest entirely.
@@ -102,9 +100,7 @@ mod tests {
         let mut c = ctx();
         let mut forwarded = 0;
         for _ in 0..9 {
-            let out = f
-                .transform(vec![pkt(DataValue::I64(1))], &mut c)
-                .unwrap();
+            let out = f.transform(vec![pkt(DataValue::I64(1))], &mut c).unwrap();
             forwarded += out.len();
         }
         assert_eq!(forwarded, 3);
@@ -181,16 +177,10 @@ mod tests {
         let mut f = SetUnion;
         let mut c = ctx();
         let a = f
-            .transform(
-                vec![pkt(DataValue::I64(2)), pkt(DataValue::I64(1))],
-                &mut c,
-            )
+            .transform(vec![pkt(DataValue::I64(2)), pkt(DataValue::I64(1))], &mut c)
             .unwrap();
         let b = f
-            .transform(
-                vec![pkt(DataValue::I64(1)), pkt(DataValue::I64(2))],
-                &mut c,
-            )
+            .transform(vec![pkt(DataValue::I64(1)), pkt(DataValue::I64(2))], &mut c)
             .unwrap();
         assert_eq!(a[0].value(), b[0].value());
     }

@@ -17,9 +17,7 @@
 
 use std::collections::BTreeMap;
 
-use tbon_core::{
-    DataValue, FilterContext, Packet, Result, Tag, TbonError, Transformation, Wave,
-};
+use tbon_core::{DataValue, FilterContext, Packet, Result, Tag, TbonError, Transformation, Wave};
 
 /// A folded (or raw) labeled tree.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -202,7 +200,11 @@ mod tests {
         assert_eq!(root.hosts, 3);
         assert_eq!(root.child("compute").unwrap().hosts, 3);
         assert_eq!(
-            root.child("compute").unwrap().child("kernel").unwrap().hosts,
+            root.child("compute")
+                .unwrap()
+                .child("kernel")
+                .unwrap()
+                .hosts,
             3
         );
         assert_eq!(root.size(), 4);

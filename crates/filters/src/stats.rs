@@ -7,9 +7,7 @@
 //! statistics at logarithmic cost. Internal levels exchange the summary
 //! tuple; the root emits a `(count, mean, variance, min, max)` record.
 
-use tbon_core::{
-    DataValue, FilterContext, Packet, Result, Tag, TbonError, Transformation, Wave,
-};
+use tbon_core::{DataValue, FilterContext, Packet, Result, Tag, TbonError, Transformation, Wave};
 
 /// A composable running summary.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -43,9 +41,8 @@ impl Summary {
     }
 
     pub fn of_samples(xs: &[f64]) -> Summary {
-        xs.iter().fold(Summary::empty(), |a, &x| {
-            a.combine(&Summary::of_value(x))
-        })
+        xs.iter()
+            .fold(Summary::empty(), |a, &x| a.combine(&Summary::of_value(x)))
     }
 
     /// Exact combination of two partial summaries.
@@ -128,15 +125,13 @@ impl StatsReport {
             t.get(3).and_then(DataValue::as_f64),
             t.get(4).and_then(DataValue::as_f64),
         ) {
-            (Some(count), Some(mean), Some(variance), Some(min), Some(max)) => {
-                Ok(StatsReport {
-                    count,
-                    mean,
-                    variance,
-                    min,
-                    max,
-                })
-            }
+            (Some(count), Some(mean), Some(variance), Some(min), Some(max)) => Ok(StatsReport {
+                count,
+                mean,
+                variance,
+                min,
+                max,
+            }),
             _ => Err(TbonError::Filter("malformed stats report".into())),
         }
     }
@@ -215,10 +210,7 @@ mod tests {
     #[test]
     fn two_level_tree_equals_flat() {
         // Leaves: batches of samples. Internal: summaries. Root: report.
-        let level1a = run(
-            vec![pkt(DataValue::ArrayF64(vec![1.0, 2.0, 3.0]))],
-            false,
-        );
+        let level1a = run(vec![pkt(DataValue::ArrayF64(vec![1.0, 2.0, 3.0]))], false);
         let level1b = run(vec![pkt(DataValue::ArrayF64(vec![10.0, 20.0]))], false);
         let report_v = run(vec![pkt(level1a), pkt(level1b)], true);
         let report = StatsReport::from_value(&report_v).unwrap();

@@ -11,9 +11,7 @@
 //! multiple-or-fraction of `dt` — bins are aligned by rounding
 //! `t0/dt` to the nearest grid index.
 
-use tbon_core::{
-    DataValue, FilterContext, Packet, Result, Tag, TbonError, Transformation, Wave,
-};
+use tbon_core::{DataValue, FilterContext, Packet, Result, Tag, TbonError, Transformation, Wave};
 
 /// One fixed-rate time series.
 #[derive(Debug, Clone, PartialEq)]
@@ -107,7 +105,9 @@ impl TimeAlign {
         // Negated on purpose: NaN must be rejected too.
         #[allow(clippy::neg_cmp_op_on_partial_ord)]
         if !(dt > 0.0) {
-            return Err(TbonError::Filter(format!("time_align dt must be > 0, got {dt}")));
+            return Err(TbonError::Filter(format!(
+                "time_align dt must be > 0, got {dt}"
+            )));
         }
         Ok(TimeAlign { dt })
     }
@@ -123,8 +123,10 @@ impl TimeAlign {
 impl Transformation for TimeAlign {
     fn transform(&mut self, wave: Wave, ctx: &mut FilterContext) -> Result<Vec<Packet>> {
         let tag = wave.first().map(|p| p.tag()).unwrap_or(Tag(0));
-        let series: Result<Vec<TimeSeries>> =
-            wave.iter().map(|p| TimeSeries::from_value(p.value())).collect();
+        let series: Result<Vec<TimeSeries>> = wave
+            .iter()
+            .map(|p| TimeSeries::from_value(p.value()))
+            .collect();
         let merged = align_sum(&series?, self.dt)?;
         Ok(vec![ctx.make(tag, merged.to_value())])
     }
@@ -145,11 +147,7 @@ mod tests {
 
     #[test]
     fn aligned_series_sum_elementwise() {
-        let merged = align_sum(
-            &[ts(0.0, vec![1.0, 2.0]), ts(0.0, vec![10.0, 20.0])],
-            1.0,
-        )
-        .unwrap();
+        let merged = align_sum(&[ts(0.0, vec![1.0, 2.0]), ts(0.0, vec![10.0, 20.0])], 1.0).unwrap();
         assert_eq!(merged.t0, 0.0);
         assert_eq!(merged.samples, vec![11.0, 22.0]);
     }

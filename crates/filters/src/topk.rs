@@ -8,9 +8,7 @@
 //! Wire form: `Tuple[ Tuple[Str key, F64 score], ... ]`, sorted descending
 //! by score. Raw back-end packets may also be a single pair.
 
-use tbon_core::{
-    DataValue, FilterContext, Packet, Result, Tag, TbonError, Transformation, Wave,
-};
+use tbon_core::{DataValue, FilterContext, Packet, Result, Tag, TbonError, Transformation, Wave};
 
 /// One scored entry.
 #[derive(Debug, Clone, PartialEq)]
@@ -44,9 +42,7 @@ pub fn decode_topk(v: &DataValue) -> Result<Vec<Scored>> {
     v.as_tuple()
         .ok_or_else(|| TbonError::Filter("top-k payload must be a tuple".into()))?
         .iter()
-        .map(|e| {
-            Scored::from_value(e).ok_or_else(|| TbonError::Filter("malformed entry".into()))
-        })
+        .map(|e| Scored::from_value(e).ok_or_else(|| TbonError::Filter("malformed entry".into())))
         .collect()
 }
 
@@ -84,11 +80,7 @@ impl Transformation for TopK {
             entries.extend(decode_topk(p.value())?);
         }
         // Highest score first; ties broken by key for determinism.
-        entries.sort_by(|a, b| {
-            b.score
-                .total_cmp(&a.score)
-                .then_with(|| a.key.cmp(&b.key))
-        });
+        entries.sort_by(|a, b| b.score.total_cmp(&a.score).then_with(|| a.key.cmp(&b.key)));
         entries.truncate(self.k);
         Ok(vec![ctx.make(
             tag,
@@ -135,17 +127,9 @@ mod tests {
     #[test]
     fn merges_lower_level_lists() {
         let mut f = TopK::new(3).unwrap();
-        let left = run(
-            &mut f,
-            vec![pkt(pair("l1", 10.0)), pkt(pair("l2", 8.0))],
-        );
-        let right = run(
-            &mut f,
-            vec![pkt(pair("r1", 9.0)), pkt(pair("r2", 1.0))],
-        );
-        let to_value = |xs: &[Scored]| {
-            DataValue::Tuple(xs.iter().map(Scored::to_value).collect())
-        };
+        let left = run(&mut f, vec![pkt(pair("l1", 10.0)), pkt(pair("l2", 8.0))]);
+        let right = run(&mut f, vec![pkt(pair("r1", 9.0)), pkt(pair("r2", 1.0))]);
+        let to_value = |xs: &[Scored]| DataValue::Tuple(xs.iter().map(Scored::to_value).collect());
         let global = run(&mut f, vec![pkt(to_value(&left)), pkt(to_value(&right))]);
         let keys: Vec<&str> = global.iter().map(|s| s.key.as_str()).collect();
         assert_eq!(keys, vec!["l1", "r1", "l2"]);
@@ -160,9 +144,7 @@ mod tests {
         let flat = run(&mut f, entries.iter().cloned().map(pkt).collect());
         let left = run(&mut f, entries[..10].iter().cloned().map(pkt).collect());
         let right = run(&mut f, entries[10..].iter().cloned().map(pkt).collect());
-        let to_value = |xs: &[Scored]| {
-            DataValue::Tuple(xs.iter().map(Scored::to_value).collect())
-        };
+        let to_value = |xs: &[Scored]| DataValue::Tuple(xs.iter().map(Scored::to_value).collect());
         let two_level = run(&mut f, vec![pkt(to_value(&left)), pkt(to_value(&right))]);
         assert_eq!(flat, two_level);
     }

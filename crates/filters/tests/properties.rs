@@ -6,8 +6,8 @@
 use proptest::prelude::*;
 use tbon_core::{DataValue, FilterContext, Packet, Rank, StreamId, Tag, Transformation, Wave};
 use tbon_filters::{
-    decode_classes, decode_topk, fold, Equivalence, FoldedNode, Histogram, HistogramSpec,
-    Scored, Stats, StatsReport, Summary, TopK,
+    decode_classes, decode_topk, fold, Equivalence, FoldedNode, Histogram, HistogramSpec, Scored,
+    Stats, StatsReport, Summary, TopK,
 };
 
 fn pkt(rank: u32, v: DataValue) -> Packet {

@@ -177,10 +177,7 @@ mod tests {
             ab.max_bandwidth
         );
         // Ultra-dense core: clamps at min.
-        let dense = SpatialGrid::build(
-            blob(Point2::new(0.0, 0.0), 5000, 3.0),
-            ab.max_bandwidth,
-        );
+        let dense = SpatialGrid::build(blob(Point2::new(0.0, 0.0), 5000, 3.0), ab.max_bandwidth);
         assert_eq!(
             ab.bandwidth_at(&dense, Point2::new(0.0, 0.0)),
             ab.min_bandwidth

@@ -61,10 +61,10 @@ impl MsPayload {
         ) else {
             return Err(TbonError::Filter("malformed mean-shift payload".into()));
         };
-        let points = unpack_points(points_raw)
-            .ok_or_else(|| TbonError::Filter("odd point array".into()))?;
-        let positions = unpack_points(peaks_raw)
-            .ok_or_else(|| TbonError::Filter("odd peak array".into()))?;
+        let points =
+            unpack_points(points_raw).ok_or_else(|| TbonError::Filter("odd point array".into()))?;
+        let positions =
+            unpack_points(peaks_raw).ok_or_else(|| TbonError::Filter("odd peak array".into()))?;
         if positions.len() != supports.len() {
             return Err(TbonError::Filter("peak/support length mismatch".into()));
         }
@@ -149,8 +149,10 @@ impl MeanShiftFilter {
 impl Transformation for MeanShiftFilter {
     fn transform(&mut self, wave: Wave, ctx: &mut FilterContext) -> Result<Vec<Packet>> {
         let tag = wave.first().map(|p| p.tag()).unwrap_or(TAG_RESULT);
-        let children: Result<Vec<MsPayload>> =
-            wave.iter().map(|p| MsPayload::from_value(p.value())).collect();
+        let children: Result<Vec<MsPayload>> = wave
+            .iter()
+            .map(|p| MsPayload::from_value(p.value()))
+            .collect();
         let merged = merge_payloads(&children?, &self.params);
         Ok(vec![ctx.make(tag, merged.to_value())])
     }
@@ -273,10 +275,7 @@ mod tests {
                 support: 5,
             }],
         };
-        assert_eq!(
-            MsPayload::from_value(&payload.to_value()).unwrap(),
-            payload
-        );
+        assert_eq!(MsPayload::from_value(&payload.to_value()).unwrap(), payload);
         assert!(MsPayload::from_value(&DataValue::Unit).is_err());
     }
 
@@ -316,8 +315,7 @@ mod tests {
     #[test]
     fn distributed_flat_finds_paper_clusters() {
         let spec = small_spec();
-        let outcome =
-            run_distributed(Topology::flat(4), &spec, &params()).unwrap();
+        let outcome = run_distributed(Topology::flat(4), &spec, &params()).unwrap();
         assert_eq!(outcome.backends, 4);
         assert_eq!(outcome.peaks.len(), spec.centers.len());
         assert_eq!(outcome.total_points, 4 * spec.points_per_leaf());

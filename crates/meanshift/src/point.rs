@@ -182,7 +182,9 @@ mod tests {
         // Deterministic pseudo-random points.
         let mut state = 123456789u64;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64) / (u32::MAX as f64) * 100.0
         };
         let pts: Vec<Point2> = (0..500).map(|_| Point2::new(next(), next())).collect();
@@ -192,10 +194,7 @@ mod tests {
             Point2::new(0.0, 0.0),
             Point2::new(99.0, 1.0),
         ] {
-            let brute = pts
-                .iter()
-                .filter(|p| p.distance(&center) <= 10.0)
-                .count();
+            let brute = pts.iter().filter(|p| p.distance(&center) <= 10.0).count();
             assert_eq!(grid.count_in_radius(center, 10.0), brute);
         }
     }

@@ -113,9 +113,10 @@ mod tests {
         let seg = segment(data.clone(), &params(), 2.0);
         assert_eq!(seg.labels.len(), data.len());
         assert_eq!(seg.peaks.len(), 2);
-        let total: usize =
-            (0..seg.peaks.len()).map(|i| seg.cluster_size(i)).sum::<usize>()
-                + seg.background_size();
+        let total: usize = (0..seg.peaks.len())
+            .map(|i| seg.cluster_size(i))
+            .sum::<usize>()
+            + seg.background_size();
         assert_eq!(total, data.len());
     }
 
@@ -177,7 +178,11 @@ mod tests {
         assert_eq!(seg.peaks.len(), 3);
         for i in 0..3 {
             // Most of each cluster's 150 points are captured.
-            assert!(seg.cluster_size(i) >= 120, "cluster {i}: {}", seg.cluster_size(i));
+            assert!(
+                seg.cluster_size(i) >= 120,
+                "cluster {i}: {}",
+                seg.cluster_size(i)
+            );
         }
     }
 }

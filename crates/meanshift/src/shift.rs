@@ -191,7 +191,14 @@ mod tests {
     fn converges_to_blob_center() {
         let center = Point2::new(100.0, 100.0);
         let grid = SpatialGrid::build(blob(center, 200, 8.0), 20.0);
-        let out = mean_shift(&grid, Point2::new(110.0, 95.0), 20.0, Kernel::Gaussian, 100, 1e-3);
+        let out = mean_shift(
+            &grid,
+            Point2::new(110.0, 95.0),
+            20.0,
+            Kernel::Gaussian,
+            100,
+            1e-3,
+        );
         assert!(out.converged);
         assert!(
             out.peak.distance(&center) < 2.0,
@@ -286,11 +293,7 @@ mod tests {
         let grid = SpatialGrid::build(blob(center, 300, 10.0), 20.0);
         for k in Kernel::all() {
             let out = mean_shift(&grid, Point2::new(40.0, 60.0), 20.0, k, 200, 1e-3);
-            assert!(
-                out.peak.distance(&center) < 3.0,
-                "{k}: peak {:?}",
-                out.peak
-            );
+            assert!(out.peak.distance(&center) < 3.0, "{k}: peak {:?}", out.peak);
         }
     }
 }

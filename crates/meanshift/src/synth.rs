@@ -61,7 +61,8 @@ impl SynthSpec {
     /// Generate the dataset for one leaf. Deterministic in
     /// `(self.seed, leaf_index)`.
     pub fn generate(&self, leaf_index: u64) -> Vec<Point2> {
-        let mut rng = StdRng::seed_from_u64(self.seed ^ leaf_index.wrapping_mul(0x9E3779B97F4A7C15));
+        let mut rng =
+            StdRng::seed_from_u64(self.seed ^ leaf_index.wrapping_mul(0x9E3779B97F4A7C15));
         let mut points = Vec::with_capacity(self.points_per_leaf());
         for center in &self.centers {
             // Per-leaf center drift: uniform in a disc of max_leaf_shift.

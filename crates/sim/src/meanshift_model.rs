@@ -168,10 +168,8 @@ pub fn simulate_single_node(leaves: usize, model: &MsCostModel) -> f64 {
     let n = model.points_per_leaf * leaves as f64;
     let build = model.build_per_point * n;
     let scan = model.scan_visit_cost * model.scan_cells * (model.window_occupancy * n);
-    let search = model.visit_cost
-        * model.seeds_per_leaf
-        * model.iters_leaf
-        * (model.window_occupancy * n);
+    let search =
+        model.visit_cost * model.seeds_per_leaf * model.iters_leaf * (model.window_occupancy * n);
     (build + scan + search) * model.era_scale
 }
 
@@ -195,7 +193,10 @@ mod tests {
         let t16 = simulate_single_node(16, &m);
         let t64 = simulate_single_node(64, &m);
         let ratio = t64 / t16;
-        assert!((3.5..4.5).contains(&ratio), "t16={t16} t64={t64} ratio={ratio}");
+        assert!(
+            (3.5..4.5).contains(&ratio),
+            "t16={t16} t64={t64} ratio={ratio}"
+        );
     }
 
     #[test]
@@ -262,10 +263,11 @@ mod tests {
     fn root_ingress_counts_every_byte() {
         let m = model();
         let out = simulate_meanshift(&Topology::flat(8), gige(), &m);
-        let expected = 8.0 * m.wire_bytes(&MsWork {
-            points: m.points_per_leaf as u64,
-            peaks: m.peaks as u64,
-        });
+        let expected = 8.0
+            * m.wire_bytes(&MsWork {
+                points: m.points_per_leaf as u64,
+                peaks: m.peaks as u64,
+            });
         assert!((out.root_ingress_bytes - expected).abs() < 1.0);
     }
 }

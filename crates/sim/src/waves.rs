@@ -80,10 +80,10 @@ pub fn simulate_waves(
     let mut payload: HashMap<u64, Ev> = HashMap::new();
     let mut seq = 0u64;
     let push = |heap: &mut BinaryHeap<Reverse<(OrdF64, u64)>>,
-                    payload: &mut HashMap<u64, Ev>,
-                    seq: &mut u64,
-                    t: f64,
-                    ev: Ev| {
+                payload: &mut HashMap<u64, Ev>,
+                seq: &mut u64,
+                t: f64,
+                ev: Ev| {
         heap.push(Reverse((OrdF64(t), *seq)));
         payload.insert(*seq, ev);
         *seq += 1;
@@ -119,10 +119,7 @@ pub fn simulate_waves(
                 &mut payload,
                 &mut seq,
                 ready + link.latency,
-                Ev::Send {
-                    to: parent.0,
-                    wave,
-                },
+                Ev::Send { to: parent.0, wave },
             );
         }
     }
@@ -167,10 +164,7 @@ pub fn simulate_waves(
                         &mut payload,
                         &mut seq,
                         done + link.latency,
-                        Ev::Send {
-                            to: parent.0,
-                            wave,
-                        },
+                        Ev::Send { to: parent.0, wave },
                     );
                 }
             }

@@ -72,7 +72,13 @@ impl Topology {
 
 /// Recursively attach to `root` the children of a k-nomial tree of `order`:
 /// for each sub-order `i` in `0..order`, `k - 1` subtrees of order `i`.
-fn build_knomial(root: u32, k: usize, order: usize, next_id: &mut u32, edges: &mut Vec<(u32, u32)>) {
+fn build_knomial(
+    root: u32,
+    k: usize,
+    order: usize,
+    next_id: &mut u32,
+    edges: &mut Vec<(u32, u32)>,
+) {
     for sub_order in 0..order {
         for _ in 0..(k - 1) {
             let child = *next_id;
@@ -146,11 +152,7 @@ mod tests {
         for k in 2..=4usize {
             for order in 0..=4usize {
                 let t = Topology::knomial(k, order);
-                assert_eq!(
-                    t.node_count(),
-                    k.pow(order as u32),
-                    "k={k} order={order}"
-                );
+                assert_eq!(t.node_count(), k.pow(order as u32), "k={k} order={order}");
             }
         }
     }
@@ -187,8 +189,8 @@ mod tests {
     #[test]
     fn best_attach_point_breaks_fanout_ties_by_depth() {
         let mut t = Topology::balanced(2, 2); // root -> 2 internals -> 4 leaves
-        // Root and both internals all have fan-out 2; the tie breaks toward
-        // the shallowest node, the root.
+                                              // Root and both internals all have fan-out 2; the tie breaks toward
+                                              // the shallowest node, the root.
         assert_eq!(best_attach_point(&t, 3).unwrap(), t.root());
         // Fill the root: now only the internals (depth 1) have room.
         t.attach_leaf(t.root()).unwrap();

@@ -61,8 +61,7 @@ impl TopologySpec {
             });
         }
         // "AxBxC" or a bare integer.
-        let levels: Result<Vec<usize>, TopologyError> =
-            s.split('x').map(parse_positive).collect();
+        let levels: Result<Vec<usize>, TopologyError> = s.split('x').map(parse_positive).collect();
         let levels = levels?;
         if levels.len() == 1 {
             Ok(TopologySpec::Flat { leaves: levels[0] })

@@ -97,11 +97,7 @@ impl Topology {
     /// Build from explicit `(parent, child)` edges over dense ids
     /// `0..=max_id`, with 0 as the root. Validates the tree invariants.
     pub fn from_edges(edges: &[(u32, u32)]) -> Result<Topology, TopologyError> {
-        let max_id = edges
-            .iter()
-            .flat_map(|&(a, b)| [a, b])
-            .max()
-            .unwrap_or(0);
+        let max_id = edges.iter().flat_map(|&(a, b)| [a, b]).max().unwrap_or(0);
         let n = max_id as usize + 1;
         let mut parent: Vec<Option<u32>> = vec![None; n];
         let mut children: Vec<Vec<u32>> = vec![Vec::new(); n];

@@ -28,6 +28,7 @@ pub mod shaped;
 pub mod tcp;
 #[cfg(unix)]
 pub mod uds;
+mod writer;
 
 use std::any::Any;
 use std::collections::HashMap;
@@ -51,7 +52,9 @@ pub type PeerId = u32;
 #[derive(Clone)]
 pub enum Frame {
     /// Serialized bytes; the only representation wire transports accept.
-    Bytes(Vec<u8>),
+    /// Reference-counted so a multicast can hand the same encoding to every
+    /// outgoing link without copying the buffer per child.
+    Bytes(Arc<[u8]>),
     /// A shared, immutable object with a size hint used by shaped links to
     /// charge bandwidth. Only valid on links where [`Link::needs_bytes`] is
     /// `false`.
@@ -200,11 +203,38 @@ pub fn build_overlay(
     Ok(endpoints)
 }
 
+/// How a wire link's dedicated writer behaves when the peer reads slowly.
+///
+/// Each outbound wire link owns a writer thread fed by a bounded queue.
+/// `send` enqueues without touching the socket; when the queue is full it
+/// blocks up to `send_deadline` and then fails with
+/// [`TransportError::Backpressure`] so the runtime can declare the peer dead
+/// instead of stalling the event loop behind one slow child.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WriterConfig {
+    /// Frames the per-link queue holds before `send` starts blocking.
+    pub queue_depth: usize,
+    /// How long `send` may block on a full queue before giving up.
+    pub send_deadline: std::time::Duration,
+}
+
+impl Default for WriterConfig {
+    fn default() -> Self {
+        WriterConfig {
+            queue_depth: 256,
+            send_deadline: std::time::Duration::from_secs(5),
+        }
+    }
+}
+
 /// Errors produced by transports.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TransportError {
     /// The peer's endpoint is gone; the frame was not delivered.
     Closed(PeerId),
+    /// The peer's writer queue stayed full past the configured deadline;
+    /// the peer is too slow to keep and should be treated as failed.
+    Backpressure(PeerId),
     /// Referenced a node id the transport has never seen.
     UnknownPeer(PeerId),
     /// `add_node` with an id that already exists.
@@ -221,6 +251,9 @@ impl fmt::Display for TransportError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TransportError::Closed(p) => write!(f, "peer {p} is closed"),
+            TransportError::Backpressure(p) => {
+                write!(f, "peer {p} exceeded its send deadline (writer queue full)")
+            }
             TransportError::UnknownPeer(p) => write!(f, "unknown peer {p}"),
             TransportError::DuplicateNode(p) => write!(f, "node {p} already registered"),
             TransportError::NeedsBytes => {
@@ -242,8 +275,22 @@ mod tests {
 
     #[test]
     fn frame_wire_size_reports_bytes_len() {
-        let f = Frame::Bytes(vec![0u8; 17]);
+        let f = Frame::Bytes(vec![0u8; 17].into());
         assert_eq!(f.wire_size(), 17);
+    }
+
+    #[test]
+    fn byte_frames_share_one_allocation_across_clones() {
+        let bytes: Arc<[u8]> = vec![1u8, 2, 3].into();
+        let a = Frame::Bytes(Arc::clone(&bytes));
+        let b = a.clone();
+        match (&a, &b) {
+            (Frame::Bytes(x), Frame::Bytes(y)) => {
+                assert!(Arc::ptr_eq(x, y));
+                assert!(Arc::ptr_eq(x, &bytes));
+            }
+            _ => unreachable!(),
+        }
     }
 
     #[test]

@@ -186,8 +186,16 @@ mod tests {
         let eb = t.add_node(1).unwrap();
         t.connect(0, 1).unwrap();
 
-        ea.peers.get(1).unwrap().send(Frame::Bytes(vec![1])).unwrap();
-        eb.peers.get(0).unwrap().send(Frame::Bytes(vec![2])).unwrap();
+        ea.peers
+            .get(1)
+            .unwrap()
+            .send(Frame::Bytes(vec![1].into()))
+            .unwrap();
+        eb.peers
+            .get(0)
+            .unwrap()
+            .send(Frame::Bytes(vec![2].into()))
+            .unwrap();
 
         match eb.incoming.recv().unwrap() {
             Delivery::Frame { from, frame } => {
@@ -206,10 +214,7 @@ mod tests {
     fn duplicate_node_rejected() {
         let t = LocalTransport::new();
         t.add_node(5).unwrap();
-        assert_eq!(
-            t.add_node(5).unwrap_err(),
-            TransportError::DuplicateNode(5)
-        );
+        assert_eq!(t.add_node(5).unwrap_err(), TransportError::DuplicateNode(5));
     }
 
     #[test]
@@ -282,7 +287,7 @@ mod tests {
 
         // a's link to 1 should be gone from the table and fail on send.
         assert!(ea.peers.get(1).is_none());
-        assert!(link.send(Frame::Bytes(vec![0])).is_err());
+        assert!(link.send(Frame::Bytes(vec![0].into())).is_err());
         match ea.incoming.recv().unwrap() {
             Delivery::Disconnected { peer } => assert_eq!(peer, 1),
             other => panic!("unexpected {other:?}"),
@@ -304,7 +309,7 @@ mod tests {
             .peers
             .get(1)
             .unwrap()
-            .send(Frame::Bytes(vec![9]))
+            .send(Frame::Bytes(vec![9].into()))
             .unwrap();
         match eps[&1].incoming.recv().unwrap() {
             Delivery::Frame { from, .. } => assert_eq!(from, 3),
@@ -323,7 +328,8 @@ mod tests {
         t.connect(2, 1).unwrap();
         let link = ea.peers.get(1).unwrap();
         for i in 0..1000u32 {
-            link.send(Frame::Bytes(i.to_le_bytes().to_vec())).unwrap();
+            link.send(Frame::Bytes(i.to_le_bytes().to_vec().into()))
+                .unwrap();
         }
         let mut expect = 0u32;
         while expect < 1000 {
@@ -332,7 +338,7 @@ mod tests {
                 frame: Frame::Bytes(b),
             } = eb.incoming.recv().unwrap()
             {
-                assert_eq!(u32::from_le_bytes(b.try_into().unwrap()), expect);
+                assert_eq!(u32::from_le_bytes(b[..].try_into().unwrap()), expect);
                 expect += 1;
             }
         }

@@ -8,14 +8,15 @@
 //! finished), which restores the store-and-forward behaviour of a real NIC.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
 
-use crossbeam_channel::{unbounded, Sender};
+use crossbeam_channel::{bounded, SendTimeoutError, Sender};
 use parking_lot::Mutex;
 
-use crate::{Frame, Link, NodeEndpoint, PeerId, Peers, Transport, TransportError};
+use crate::{Frame, Link, NodeEndpoint, PeerId, Peers, Transport, TransportError, WriterConfig};
 
 /// Per-link cost model.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -56,14 +57,23 @@ impl Shaping {
 /// A link that defers frames to a worker thread which releases them on the
 /// shaped schedule. FIFO order is preserved because the worker drains its
 /// queue in order.
+///
+/// The queue is bounded by [`WriterConfig::queue_depth`], mirroring the wire
+/// transports' writer links: when a shaped (slow) peer falls too far behind,
+/// `send` blocks up to [`WriterConfig::send_deadline`] and then fails with
+/// [`TransportError::Backpressure`] instead of buffering without limit —
+/// which is exactly the condition the runtime uses to declare a child dead.
 struct ShapedLink {
     inner: Arc<dyn Link>,
+    to: PeerId,
     tx: Sender<Frame>,
+    deadline: Duration,
+    stalled: AtomicBool,
 }
 
 impl ShapedLink {
-    fn new(inner: Arc<dyn Link>, shaping: Shaping) -> Arc<Self> {
-        let (tx, rx) = unbounded::<Frame>();
+    fn new(inner: Arc<dyn Link>, to: PeerId, shaping: Shaping, cfg: WriterConfig) -> Arc<Self> {
+        let (tx, rx) = bounded::<Frame>(cfg.queue_depth.max(1));
         let worker_inner = inner.clone();
         thread::Builder::new()
             .name("tbon-shaped-link".into())
@@ -85,7 +95,13 @@ impl ShapedLink {
                 }
             })
             .expect("spawn shaped link worker");
-        Arc::new(ShapedLink { inner, tx })
+        Arc::new(ShapedLink {
+            inner,
+            to,
+            tx,
+            deadline: cfg.send_deadline,
+            stalled: AtomicBool::new(false),
+        })
     }
 }
 
@@ -96,9 +112,19 @@ impl Link for ShapedLink {
                 return Err(TransportError::NeedsBytes);
             }
         }
-        self.tx
-            .send(frame)
-            .map_err(|_| TransportError::Io("shaped link worker exited".into()))
+        if self.stalled.load(Ordering::Acquire) {
+            return Err(TransportError::Closed(self.to));
+        }
+        match self.tx.send_timeout(frame, self.deadline) {
+            Ok(()) => Ok(()),
+            Err(SendTimeoutError::Timeout(_)) => {
+                self.stalled.store(true, Ordering::Release);
+                Err(TransportError::Backpressure(self.to))
+            }
+            Err(SendTimeoutError::Disconnected(_)) => {
+                Err(TransportError::Io("shaped link worker exited".into()))
+            }
+        }
     }
 
     fn needs_bytes(&self) -> bool {
@@ -113,6 +139,7 @@ pub struct ShapedTransport<T: Transport> {
     inner: T,
     shaper: Box<EdgeShaper>,
     peer_tables: Mutex<HashMap<PeerId, Peers>>,
+    writer_cfg: WriterConfig,
 }
 
 impl<T: Transport> ShapedTransport<T> {
@@ -122,6 +149,7 @@ impl<T: Transport> ShapedTransport<T> {
             inner,
             shaper: Box::new(move |_, _| shaping),
             peer_tables: Mutex::new(HashMap::new()),
+            writer_cfg: WriterConfig::default(),
         }
     }
 
@@ -134,14 +162,24 @@ impl<T: Transport> ShapedTransport<T> {
             inner,
             shaper: Box::new(f),
             peer_tables: Mutex::new(HashMap::new()),
+            writer_cfg: WriterConfig::default(),
         }
+    }
+
+    /// Override queue depth / send deadline for links created after the call.
+    pub fn with_writer_config(mut self, cfg: WriterConfig) -> Self {
+        self.writer_cfg = cfg;
+        self
     }
 
     fn wrap_direction(&self, owner: PeerId, target: PeerId, shaping: Shaping) {
         let tables = self.peer_tables.lock();
         if let Some(peers) = tables.get(&owner) {
             if let Some(raw) = peers.get(target) {
-                peers.insert(target, ShapedLink::new(raw, shaping));
+                peers.insert(
+                    target,
+                    ShapedLink::new(raw, target, shaping, self.writer_cfg),
+                );
             }
         }
     }
@@ -200,7 +238,7 @@ mod tests {
         ea.peers
             .get(1)
             .unwrap()
-            .send(Frame::Bytes(vec![0]))
+            .send(Frame::Bytes(vec![0].into()))
             .unwrap();
         match eb.incoming.recv_timeout(Duration::from_secs(5)).unwrap() {
             Delivery::Frame { .. } => {}
@@ -225,8 +263,8 @@ mod tests {
         t.connect(0, 1).unwrap();
         let link = ea.peers.get(1).unwrap();
         let start = Instant::now();
-        link.send(Frame::Bytes(vec![0u8; 500])).unwrap();
-        link.send(Frame::Bytes(vec![0u8; 500])).unwrap();
+        link.send(Frame::Bytes(vec![0u8; 500].into())).unwrap();
+        link.send(Frame::Bytes(vec![0u8; 500].into())).unwrap();
         for _ in 0..2 {
             eb.incoming.recv_timeout(Duration::from_secs(5)).unwrap();
         }
@@ -249,7 +287,8 @@ mod tests {
         t.connect(0, 1).unwrap();
         let link = ea.peers.get(1).unwrap();
         for i in 0..200u32 {
-            link.send(Frame::Bytes(i.to_le_bytes().to_vec())).unwrap();
+            link.send(Frame::Bytes(i.to_le_bytes().to_vec().into()))
+                .unwrap();
         }
         let mut expect = 0u32;
         while expect < 200 {
@@ -258,7 +297,7 @@ mod tests {
                     frame: Frame::Bytes(b),
                     ..
                 } => {
-                    assert_eq!(u32::from_le_bytes(b.try_into().unwrap()), expect);
+                    assert_eq!(u32::from_le_bytes(b[..].try_into().unwrap()), expect);
                     expect += 1;
                 }
                 other => panic!("unexpected {other:?}"),
@@ -285,6 +324,39 @@ mod tests {
         t.connect(1, 2).unwrap();
         t.connect(0, 1).unwrap();
         // Can't easily read endpoints back (moved); just assert setup works.
+    }
+
+    #[test]
+    fn throttled_link_trips_backpressure_then_reports_closed() {
+        // 100 B/s: each 1 KiB frame occupies the link ~10 s, so the bounded
+        // queue jams almost immediately and send must fail fast instead of
+        // buffering without limit.
+        let shaping = Shaping {
+            latency: Duration::ZERO,
+            bandwidth_bps: Some(100.0),
+        };
+        let t =
+            ShapedTransport::new(LocalTransport::new(), shaping).with_writer_config(WriterConfig {
+                queue_depth: 1,
+                send_deadline: Duration::from_millis(50),
+            });
+        let ea = t.add_node(0).unwrap();
+        let _eb = t.add_node(1).unwrap();
+        t.connect(0, 1).unwrap();
+        let link = ea.peers.get(1).unwrap();
+        let mut result = Ok(());
+        for _ in 0..4 {
+            result = link.send(Frame::Bytes(vec![0u8; 1024].into()));
+            if result.is_err() {
+                break;
+            }
+        }
+        assert_eq!(result.unwrap_err(), TransportError::Backpressure(1));
+        // A stalled link stays dead: no more waiting on later sends.
+        assert_eq!(
+            link.send(Frame::Bytes(vec![0u8; 8].into())).unwrap_err(),
+            TransportError::Closed(1)
+        );
     }
 
     #[test]

@@ -4,7 +4,10 @@
 //! length-prefixed frames in both directions, so data crosses the kernel
 //! exactly as it would between cluster hosts (the paper's testbed used TCP
 //! over Gigabit Ethernet). Per-node accept loops and per-connection reader
-//! threads multiplex everything into the node's single [`Delivery`] queue.
+//! threads multiplex everything into the node's single [`Delivery`] queue;
+//! each outbound direction is a [`crate::writer`] link — a bounded queue in
+//! front of a dedicated writer thread — so `send` never blocks the caller
+//! on a slow peer's socket.
 
 use std::collections::HashMap;
 use std::io::{Read, Write};
@@ -16,31 +19,33 @@ use std::thread;
 use crossbeam_channel::{unbounded, Sender};
 use parking_lot::Mutex;
 
-use crate::framing::{read_frame, write_frame};
-use crate::{Delivery, Frame, Link, NodeEndpoint, PeerId, Peers, Transport, TransportError};
+use crate::framing::read_frame;
+use crate::writer::WriterLink;
+use crate::{
+    Delivery, Frame, NodeEndpoint, PeerId, Peers, Transport, TransportError, WriterConfig,
+};
 
-/// Sending half of one direction of a TCP edge.
-struct TcpLink {
+/// Build the writer-thread link for one outbound TCP direction.
+fn tcp_link(
     to: PeerId,
-    stream: Mutex<TcpStream>,
-}
-
-impl Link for TcpLink {
-    fn send(&self, frame: Frame) -> Result<(), TransportError> {
-        let bytes = match frame {
-            Frame::Bytes(b) => b,
-            Frame::Shared { .. } => return Err(TransportError::NeedsBytes),
-        };
-        let mut stream = self.stream.lock();
-        write_frame(&mut *stream, &bytes).map_err(|e| match e {
-            TransportError::Io(_) => TransportError::Closed(self.to),
-            other => other,
-        })
-    }
-
-    fn needs_bytes(&self) -> bool {
-        true
-    }
+    stream: &TcpStream,
+    cfg: WriterConfig,
+) -> Result<WriterLink, TransportError> {
+    let write_half = stream
+        .try_clone()
+        .map_err(|e| TransportError::Io(e.to_string()))?;
+    let stall_half = stream
+        .try_clone()
+        .map_err(|e| TransportError::Io(e.to_string()))?;
+    Ok(WriterLink::spawn(
+        to,
+        write_half,
+        cfg,
+        format!("tbon-tcp-write-{to}"),
+        move || {
+            let _ = stall_half.shutdown(Shutdown::Both);
+        },
+    ))
 }
 
 struct TcpNodeSlot {
@@ -55,6 +60,7 @@ struct TcpNodeSlot {
 /// Transport whose FIFO channels are loopback TCP connections.
 pub struct TcpTransport {
     nodes: Mutex<HashMap<PeerId, TcpNodeSlot>>,
+    writer_cfg: WriterConfig,
 }
 
 impl Default for TcpTransport {
@@ -65,8 +71,14 @@ impl Default for TcpTransport {
 
 impl TcpTransport {
     pub fn new() -> Self {
+        Self::with_writer_config(WriterConfig::default())
+    }
+
+    /// A transport whose links use the given queue depth and send deadline.
+    pub fn with_writer_config(writer_cfg: WriterConfig) -> Self {
         TcpTransport {
             nodes: Mutex::new(HashMap::new()),
+            writer_cfg,
         }
     }
 
@@ -83,27 +95,22 @@ fn serve_accepted(
     tx: Sender<Delivery>,
     peers: Peers,
     streams: Arc<Mutex<Vec<TcpStream>>>,
+    cfg: WriterConfig,
 ) {
     let mut id_buf = [0u8; 4];
     if stream.read_exact(&mut id_buf).is_err() {
         return;
     }
     let peer = PeerId::from_le_bytes(id_buf);
-    let write_half = match stream.try_clone() {
-        Ok(s) => s,
+    let link = match tcp_link(peer, &stream, cfg) {
+        Ok(l) => l,
         Err(_) => return,
     };
     streams.lock().push(match stream.try_clone() {
         Ok(s) => s,
         Err(_) => return,
     });
-    peers.insert(
-        peer,
-        Arc::new(TcpLink {
-            to: peer,
-            stream: Mutex::new(write_half),
-        }),
-    );
+    peers.insert(peer, Arc::new(link));
     if stream.write_all(&[1u8]).is_err() {
         peers.remove(peer);
         return;
@@ -121,7 +128,7 @@ fn read_loop(mut stream: TcpStream, peer: PeerId, tx: Sender<Delivery>, peers: P
                 if tx
                     .send(Delivery::Frame {
                         from: peer,
-                        frame: Frame::Bytes(bytes),
+                        frame: Frame::Bytes(bytes.into()),
                     })
                     .is_err()
                 {
@@ -141,8 +148,8 @@ impl Transport for TcpTransport {
         if nodes.contains_key(&id) {
             return Err(TransportError::DuplicateNode(id));
         }
-        let listener = TcpListener::bind("127.0.0.1:0")
-            .map_err(|e| TransportError::Io(e.to_string()))?;
+        let listener =
+            TcpListener::bind("127.0.0.1:0").map_err(|e| TransportError::Io(e.to_string()))?;
         let addr = listener
             .local_addr()
             .map_err(|e| TransportError::Io(e.to_string()))?;
@@ -156,6 +163,7 @@ impl Transport for TcpTransport {
             let peers = peers.clone();
             let streams = streams.clone();
             let shutdown = shutdown.clone();
+            let cfg = self.writer_cfg;
             thread::Builder::new()
                 .name(format!("tbon-tcp-accept-{id}"))
                 .spawn(move || {
@@ -170,7 +178,7 @@ impl Transport for TcpTransport {
                         let streams = streams.clone();
                         thread::Builder::new()
                             .name("tbon-tcp-read".into())
-                            .spawn(move || serve_accepted(stream, tx, peers, streams))
+                            .spawn(move || serve_accepted(stream, tx, peers, streams, cfg))
                             .expect("spawn reader thread");
                     }
                 })
@@ -219,21 +227,13 @@ impl Transport for TcpTransport {
             .read_exact(&mut ack)
             .map_err(|e| TransportError::Io(e.to_string()))?;
 
-        let write_half = stream
-            .try_clone()
-            .map_err(|e| TransportError::Io(e.to_string()))?;
+        let link = tcp_link(b, &stream, self.writer_cfg)?;
         a_streams.lock().push(
             stream
                 .try_clone()
                 .map_err(|e| TransportError::Io(e.to_string()))?,
         );
-        a_peers.insert(
-            b,
-            Arc::new(TcpLink {
-                to: b,
-                stream: Mutex::new(write_half),
-            }),
-        );
+        a_peers.insert(b, Arc::new(link));
         let peers = a_peers;
         thread::Builder::new()
             .name(format!("tbon-tcp-read-{a}-{b}"))
@@ -275,14 +275,14 @@ mod tests {
         ea.peers
             .get(1)
             .unwrap()
-            .send(Frame::Bytes(b"up".to_vec()))
+            .send(Frame::Bytes(b"up".to_vec().into()))
             .unwrap();
         // b's link to a is installed by the accept thread; connect() waits
         // for the ack so it must exist now.
         eb.peers
             .get(0)
             .unwrap()
-            .send(Frame::Bytes(b"down".to_vec()))
+            .send(Frame::Bytes(b"down".to_vec().into()))
             .unwrap();
 
         match eb.incoming.recv_timeout(Duration::from_secs(5)).unwrap() {
@@ -327,7 +327,8 @@ mod tests {
         t.connect(0, 1).unwrap();
         let link = ea.peers.get(1).unwrap();
         for i in 0..500u32 {
-            link.send(Frame::Bytes(i.to_le_bytes().to_vec())).unwrap();
+            link.send(Frame::Bytes(i.to_le_bytes().to_vec().into()))
+                .unwrap();
         }
         let mut expect = 0u32;
         while expect < 500 {
@@ -336,7 +337,7 @@ mod tests {
                     frame: Frame::Bytes(b),
                     ..
                 } => {
-                    assert_eq!(u32::from_le_bytes(b.try_into().unwrap()), expect);
+                    assert_eq!(u32::from_le_bytes(b[..].try_into().unwrap()), expect);
                     expect += 1;
                 }
                 other => panic!("unexpected {other:?}"),
@@ -368,13 +369,17 @@ mod tests {
             .peers
             .get(1)
             .unwrap()
-            .send(Frame::Bytes(vec![42]))
+            .send(Frame::Bytes(vec![42].into()))
             .unwrap();
-        match eps[&1].incoming.recv_timeout(Duration::from_secs(5)).unwrap() {
+        match eps[&1]
+            .incoming
+            .recv_timeout(Duration::from_secs(5))
+            .unwrap()
+        {
             Delivery::Frame { from, frame } => {
                 assert_eq!(from, 3);
                 match frame {
-                    Frame::Bytes(b) => assert_eq!(b, vec![42]),
+                    Frame::Bytes(b) => assert_eq!(&b[..], [42]),
                     other => panic!("unexpected {other:?}"),
                 }
             }
@@ -392,14 +397,52 @@ mod tests {
         ea.peers
             .get(1)
             .unwrap()
-            .send(Frame::Bytes(payload.clone()))
+            .send(Frame::Bytes(payload.clone().into()))
             .unwrap();
         match eb.incoming.recv_timeout(Duration::from_secs(10)).unwrap() {
             Delivery::Frame {
                 frame: Frame::Bytes(b),
                 ..
-            } => assert_eq!(b, payload),
+            } => assert_eq!(&b[..], &payload[..]),
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn slow_reader_trips_backpressure_not_the_sender_loop() {
+        // Tiny queue + short deadline; node 1 never reads, so the writer
+        // jams on the kernel buffer and send() must fail with Backpressure
+        // (after closing the connection) instead of blocking forever.
+        let t = TcpTransport::with_writer_config(WriterConfig {
+            queue_depth: 1,
+            send_deadline: Duration::from_millis(50),
+        });
+        let ea = t.add_node(0).unwrap();
+        let eb = t.add_node(1).unwrap();
+        t.connect(0, 1).unwrap();
+        let link = ea.peers.get(1).unwrap();
+        // Kill node 1's consumer: once its reader notices (first frame) it
+        // stops reading, so the kernel buffers fill and the writer jams.
+        drop(eb);
+        let chunk = vec![0u8; 1024 * 1024];
+        let start = std::time::Instant::now();
+        let mut result = Ok(());
+        for _ in 0..256 {
+            result = link.send(Frame::Bytes(chunk.clone().into()));
+            if result.is_err() {
+                break;
+            }
+            // Frames queue instantly once the writer jams; pace the loop so
+            // the reader's exit has time to take effect.
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        match result.unwrap_err() {
+            TransportError::Backpressure(1) | TransportError::Closed(1) => {}
+            other => panic!("expected Backpressure/Closed for peer 1, got {other:?}"),
+        }
+        assert!(
+            start.elapsed() < Duration::from_secs(30),
+            "backpressure must trip, not hang"
+        );
     }
 }

@@ -18,31 +18,34 @@ use std::thread;
 use crossbeam_channel::{unbounded, Sender};
 use parking_lot::Mutex;
 
-use crate::framing::{read_frame, write_frame};
-use crate::{Delivery, Frame, Link, NodeEndpoint, PeerId, Peers, Transport, TransportError};
+use crate::framing::read_frame;
+use crate::writer::WriterLink;
+use crate::{
+    Delivery, Frame, NodeEndpoint, PeerId, Peers, Transport, TransportError, WriterConfig,
+};
 
-/// Sending half of one direction of a UDS edge.
-struct UdsLink {
+/// Build the sending half of one direction of a UDS edge: a [`WriterLink`]
+/// whose stall action shuts the socket down so the peer observes the failure.
+fn uds_link(
     to: PeerId,
-    stream: Mutex<UnixStream>,
-}
-
-impl Link for UdsLink {
-    fn send(&self, frame: Frame) -> Result<(), TransportError> {
-        let bytes = match frame {
-            Frame::Bytes(b) => b,
-            Frame::Shared { .. } => return Err(TransportError::NeedsBytes),
-        };
-        let mut stream = self.stream.lock();
-        write_frame(&mut *stream, &bytes).map_err(|e| match e {
-            TransportError::Io(_) => TransportError::Closed(self.to),
-            other => other,
-        })
-    }
-
-    fn needs_bytes(&self) -> bool {
-        true
-    }
+    stream: &UnixStream,
+    cfg: WriterConfig,
+) -> Result<WriterLink, TransportError> {
+    let write_half = stream
+        .try_clone()
+        .map_err(|e| TransportError::Io(e.to_string()))?;
+    let stall_half = stream
+        .try_clone()
+        .map_err(|e| TransportError::Io(e.to_string()))?;
+    Ok(WriterLink::spawn(
+        to,
+        write_half,
+        cfg,
+        format!("tbon-uds-write-{to}"),
+        move || {
+            let _ = stall_half.shutdown(std::net::Shutdown::Both);
+        },
+    ))
 }
 
 struct UdsNodeSlot {
@@ -58,6 +61,7 @@ pub struct UdsTransport {
     dir: PathBuf,
     nodes: Mutex<HashMap<PeerId, UdsNodeSlot>>,
     cleanup_dir: bool,
+    writer_cfg: WriterConfig,
 }
 
 static SOCKET_DIR_SEQ: AtomicU64 = AtomicU64::new(0);
@@ -66,6 +70,11 @@ impl UdsTransport {
     /// Sockets live in a fresh process-private directory under the system
     /// temp dir (removed on drop).
     pub fn new() -> Result<UdsTransport, TransportError> {
+        Self::with_writer_config(WriterConfig::default())
+    }
+
+    /// Like [`UdsTransport::new`], with explicit per-link writer behaviour.
+    pub fn with_writer_config(cfg: WriterConfig) -> Result<UdsTransport, TransportError> {
         let dir = std::env::temp_dir().join(format!(
             "tbon-uds-{}-{}",
             std::process::id(),
@@ -76,6 +85,7 @@ impl UdsTransport {
             dir,
             nodes: Mutex::new(HashMap::new()),
             cleanup_dir: true,
+            writer_cfg: cfg,
         })
     }
 
@@ -85,6 +95,7 @@ impl UdsTransport {
             dir: dir.into(),
             nodes: Mutex::new(HashMap::new()),
             cleanup_dir: false,
+            writer_cfg: WriterConfig::default(),
         }
     }
 
@@ -106,13 +117,14 @@ fn serve_accepted(
     tx: Sender<Delivery>,
     peers: Peers,
     streams: Arc<Mutex<Vec<UnixStream>>>,
+    cfg: WriterConfig,
 ) {
     let mut id_buf = [0u8; 4];
     if stream.read_exact(&mut id_buf).is_err() {
         return;
     }
     let peer = PeerId::from_le_bytes(id_buf);
-    let Ok(write_half) = stream.try_clone() else {
+    let Ok(link) = uds_link(peer, &stream, cfg) else {
         return;
     };
     if let Ok(clone) = stream.try_clone() {
@@ -120,13 +132,7 @@ fn serve_accepted(
     } else {
         return;
     }
-    peers.insert(
-        peer,
-        Arc::new(UdsLink {
-            to: peer,
-            stream: Mutex::new(write_half),
-        }),
-    );
+    peers.insert(peer, Arc::new(link));
     if stream.write_all(&[1u8]).is_err() {
         peers.remove(peer);
         return;
@@ -142,7 +148,7 @@ fn read_loop(mut stream: UnixStream, peer: PeerId, tx: Sender<Delivery>, peers: 
                 if tx
                     .send(Delivery::Frame {
                         from: peer,
-                        frame: Frame::Bytes(bytes),
+                        frame: Frame::Bytes(bytes.into()),
                     })
                     .is_err()
                 {
@@ -164,8 +170,7 @@ impl Transport for UdsTransport {
         }
         let path = self.path_of(id);
         let _ = std::fs::remove_file(&path);
-        let listener =
-            UnixListener::bind(&path).map_err(|e| TransportError::Io(e.to_string()))?;
+        let listener = UnixListener::bind(&path).map_err(|e| TransportError::Io(e.to_string()))?;
         let (tx, rx) = unbounded();
         let peers = Peers::new();
         let streams: Arc<Mutex<Vec<UnixStream>>> = Arc::new(Mutex::new(Vec::new()));
@@ -175,6 +180,7 @@ impl Transport for UdsTransport {
             let peers = peers.clone();
             let streams = streams.clone();
             let shutdown = shutdown.clone();
+            let cfg = self.writer_cfg;
             thread::Builder::new()
                 .name(format!("tbon-uds-accept-{id}"))
                 .spawn(move || {
@@ -188,7 +194,7 @@ impl Transport for UdsTransport {
                         let streams = streams.clone();
                         thread::Builder::new()
                             .name("tbon-uds-read".into())
-                            .spawn(move || serve_accepted(stream, tx, peers, streams))
+                            .spawn(move || serve_accepted(stream, tx, peers, streams, cfg))
                             .expect("spawn reader thread");
                     }
                 })
@@ -233,21 +239,13 @@ impl Transport for UdsTransport {
             .read_exact(&mut ack)
             .map_err(|e| TransportError::Io(e.to_string()))?;
 
-        let write_half = stream
-            .try_clone()
-            .map_err(|e| TransportError::Io(e.to_string()))?;
+        let link = uds_link(b, &stream, self.writer_cfg)?;
         a_streams.lock().push(
             stream
                 .try_clone()
                 .map_err(|e| TransportError::Io(e.to_string()))?,
         );
-        a_peers.insert(
-            b,
-            Arc::new(UdsLink {
-                to: b,
-                stream: Mutex::new(write_half),
-            }),
-        );
+        a_peers.insert(b, Arc::new(link));
         let peers = a_peers;
         thread::Builder::new()
             .name(format!("tbon-uds-read-{a}-{b}"))
@@ -287,12 +285,12 @@ mod tests {
         ea.peers
             .get(1)
             .unwrap()
-            .send(Frame::Bytes(b"up".to_vec()))
+            .send(Frame::Bytes(b"up".to_vec().into()))
             .unwrap();
         eb.peers
             .get(0)
             .unwrap()
-            .send(Frame::Bytes(b"down".to_vec()))
+            .send(Frame::Bytes(b"down".to_vec().into()))
             .unwrap();
         match eb.incoming.recv_timeout(Duration::from_secs(5)).unwrap() {
             Delivery::Frame { from, frame } => {
@@ -315,7 +313,8 @@ mod tests {
         t.connect(0, 1).unwrap();
         let link = ea.peers.get(1).unwrap();
         for i in 0..300u32 {
-            link.send(Frame::Bytes(i.to_le_bytes().to_vec())).unwrap();
+            link.send(Frame::Bytes(i.to_le_bytes().to_vec().into()))
+                .unwrap();
         }
         let mut expect = 0u32;
         while expect < 300 {
@@ -324,7 +323,7 @@ mod tests {
                     frame: Frame::Bytes(b),
                     ..
                 } => {
-                    assert_eq!(u32::from_le_bytes(b.try_into().unwrap()), expect);
+                    assert_eq!(u32::from_le_bytes(b[..].try_into().unwrap()), expect);
                     expect += 1;
                 }
                 other => panic!("unexpected {other:?}"),
@@ -373,9 +372,13 @@ mod tests {
             .peers
             .get(1)
             .unwrap()
-            .send(Frame::Bytes(vec![9]))
+            .send(Frame::Bytes(vec![9].into()))
             .unwrap();
-        match eps[&1].incoming.recv_timeout(Duration::from_secs(5)).unwrap() {
+        match eps[&1]
+            .incoming
+            .recv_timeout(Duration::from_secs(5))
+            .unwrap()
+        {
             Delivery::Frame { from, .. } => assert_eq!(from, 4),
             other => panic!("unexpected {other:?}"),
         }

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Build and test the workspace in a fully offline container by patching the
+# six external dependencies with the std-only stubs in dev/offline-stubs/.
+#
+# The patches are injected on the command line only — the checked-in
+# manifests stay untouched, so a networked build uses the real crates.
+#
+# Usage: dev/offline-check.sh [cargo-subcommand args...]
+#   dev/offline-check.sh                  # build --release && test -q (tier-1)
+#   dev/offline-check.sh test -p tbon-core
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+STUBS="$PWD/dev/offline-stubs"
+FLAGS=(
+  --config "patch.crates-io.crossbeam-channel.path='$STUBS/crossbeam-channel'"
+  --config "patch.crates-io.parking_lot.path='$STUBS/parking_lot'"
+  --config "patch.crates-io.rand.path='$STUBS/rand'"
+  --config "patch.crates-io.proptest.path='$STUBS/proptest'"
+  --config "patch.crates-io.criterion.path='$STUBS/criterion'"
+  --offline
+)
+
+if [ "$#" -gt 0 ]; then
+  exec cargo "${FLAGS[@]}" "$@"
+fi
+
+cargo "${FLAGS[@]}" build --release
+cargo "${FLAGS[@]}" test -q

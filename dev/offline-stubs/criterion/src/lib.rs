@@ -1,0 +1,259 @@
+//! Std-only stub of `criterion`: same macro/group/bencher surface the
+//! workspace benches use, measuring with `Instant` and printing one line
+//! per benchmark. No statistics, no HTML reports, no CLI filtering.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+    BytesDecimal(u64),
+}
+
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+    NumBatches(u64),
+    NumIterations(u64),
+}
+
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new<S: std::fmt::Display, P: std::fmt::Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+pub trait IntoBenchId {
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchId for &str {
+    fn into_id(self) -> String {
+        self.to_owned()
+    }
+}
+
+impl IntoBenchId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+#[derive(Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 20,
+            measurement_time: Duration::from_secs(1),
+            throughput: None,
+            _parent: self,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group("");
+        group.bench_function(id.to_owned(), f);
+        group.finish();
+        self
+    }
+
+    pub fn final_summary(&mut self) {}
+}
+
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<I, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        I: IntoBenchId,
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into_id();
+        let label = if self.name.is_empty() {
+            id
+        } else {
+            format!("{}/{}", self.name, id)
+        };
+
+        // One warm-up invocation, then `sample_size` timed samples.
+        let mut bencher = Bencher {
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut bencher);
+
+        let mut best = Duration::MAX;
+        let mut total = Duration::ZERO;
+        let mut total_iters: u64 = 0;
+        for _ in 0..self.sample_size {
+            let mut b = Bencher {
+                total: Duration::ZERO,
+                iters: 0,
+            };
+            f(&mut b);
+            if b.iters == 0 {
+                continue;
+            }
+            let per_iter = b.total / b.iters as u32;
+            best = best.min(per_iter);
+            total += b.total;
+            total_iters += b.iters;
+        }
+        if total_iters == 0 {
+            println!("bench {label:<50} (no iterations)");
+            return self;
+        }
+        let mean = total / total_iters as u32;
+        let rate = match self.throughput {
+            Some(Throughput::Bytes(n)) | Some(Throughput::BytesDecimal(n)) => {
+                let mibps = n as f64 / mean.as_secs_f64() / (1024.0 * 1024.0);
+                format!("  {mibps:>10.1} MiB/s")
+            }
+            Some(Throughput::Elements(n)) => {
+                let eps = n as f64 / mean.as_secs_f64();
+                format!("  {eps:>10.0} elem/s")
+            }
+            None => String::new(),
+        };
+        println!(
+            "bench {label:<50} mean {mean:>12?}  best {best:>12?}{rate}"
+        );
+        self
+    }
+
+    pub fn bench_with_input<I, In, F>(&mut self, id: I, input: &In, mut f: F) -> &mut Self
+    where
+        I: IntoBenchId,
+        In: ?Sized,
+        F: FnMut(&mut Bencher, &In),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        let out = routine();
+        self.total += start.elapsed();
+        self.iters += 1;
+        drop(std_black_box(out));
+    }
+
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let input = setup();
+        let start = Instant::now();
+        let out = routine(input);
+        self.total += start.elapsed();
+        self.iters += 1;
+        drop(std_black_box(out));
+    }
+
+    pub fn iter_batched_ref<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(&mut I) -> O,
+    {
+        let mut input = setup();
+        let start = Instant::now();
+        let out = routine(&mut input);
+        self.total += start.elapsed();
+        self.iters += 1;
+        drop(std_black_box(out));
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

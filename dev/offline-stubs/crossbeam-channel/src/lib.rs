@@ -1,0 +1,410 @@
+//! Std-only stub of `crossbeam-channel`: MPMC FIFO channels over a
+//! `Mutex<VecDeque>` + two `Condvar`s, with the error vocabulary and the
+//! one `select!` shape this workspace uses.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+struct State<T> {
+    queue: VecDeque<T>,
+    cap: Option<usize>,
+    senders: usize,
+    receivers: usize,
+}
+
+struct Shared<T> {
+    state: Mutex<State<T>>,
+    /// Signalled when a message or disconnect becomes visible to receivers.
+    recv_ready: Condvar,
+    /// Signalled when queue space or disconnect becomes visible to senders.
+    send_ready: Condvar,
+}
+
+pub struct Sender<T>(Arc<Shared<T>>);
+pub struct Receiver<T>(Arc<Shared<T>>);
+
+impl<T> fmt::Debug for Sender<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Sender { .. }")
+    }
+}
+
+impl<T> fmt::Debug for Receiver<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Receiver { .. }")
+    }
+}
+
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    with_cap(None)
+}
+
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    // crossbeam's bounded(0) is a rendezvous channel; this stub approximates
+    // it with capacity 1, which is enough for the reply channels used here.
+    with_cap(Some(cap.max(1)))
+}
+
+fn with_cap<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        state: Mutex::new(State {
+            queue: VecDeque::new(),
+            cap,
+            senders: 1,
+            receivers: 1,
+        }),
+        recv_ready: Condvar::new(),
+        send_ready: Condvar::new(),
+    });
+    (Sender(shared.clone()), Receiver(shared))
+}
+
+// --- errors (same names/shapes as crossbeam-channel) ------------------------
+
+#[derive(PartialEq, Eq, Clone, Copy)]
+pub struct SendError<T>(pub T);
+
+#[derive(PartialEq, Eq, Clone, Copy)]
+pub enum TrySendError<T> {
+    Full(T),
+    Disconnected(T),
+}
+
+#[derive(PartialEq, Eq, Clone, Copy)]
+pub enum SendTimeoutError<T> {
+    Timeout(T),
+    Disconnected(T),
+}
+
+#[derive(PartialEq, Eq, Clone, Copy, Debug)]
+pub struct RecvError;
+
+#[derive(PartialEq, Eq, Clone, Copy, Debug)]
+pub enum TryRecvError {
+    Empty,
+    Disconnected,
+}
+
+#[derive(PartialEq, Eq, Clone, Copy, Debug)]
+pub enum RecvTimeoutError {
+    Timeout,
+    Disconnected,
+}
+
+impl<T> fmt::Debug for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SendError(..)")
+    }
+}
+
+impl<T> fmt::Debug for TrySendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrySendError::Full(_) => f.write_str("Full(..)"),
+            TrySendError::Disconnected(_) => f.write_str("Disconnected(..)"),
+        }
+    }
+}
+
+impl<T> fmt::Debug for SendTimeoutError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SendTimeoutError::Timeout(_) => f.write_str("Timeout(..)"),
+            SendTimeoutError::Disconnected(_) => f.write_str("Disconnected(..)"),
+        }
+    }
+}
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("sending on a disconnected channel")
+    }
+}
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("receiving on an empty and disconnected channel")
+    }
+}
+
+impl<T> std::error::Error for SendError<T> {}
+impl std::error::Error for RecvError {}
+
+// --- Sender -----------------------------------------------------------------
+
+impl<T> Sender<T> {
+    pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+        match self.send_inner(msg, None) {
+            Ok(()) => Ok(()),
+            Err(SendTimeoutError::Disconnected(m)) | Err(SendTimeoutError::Timeout(m)) => {
+                Err(SendError(m))
+            }
+        }
+    }
+
+    pub fn send_timeout(&self, msg: T, timeout: Duration) -> Result<(), SendTimeoutError<T>> {
+        self.send_inner(msg, Some(Instant::now() + timeout))
+    }
+
+    pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+        let mut st = self.0.state.lock().unwrap();
+        if st.receivers == 0 {
+            return Err(TrySendError::Disconnected(msg));
+        }
+        if st.cap.is_some_and(|c| st.queue.len() >= c) {
+            return Err(TrySendError::Full(msg));
+        }
+        st.queue.push_back(msg);
+        drop(st);
+        self.0.recv_ready.notify_one();
+        Ok(())
+    }
+
+    fn send_inner(&self, msg: T, deadline: Option<Instant>) -> Result<(), SendTimeoutError<T>> {
+        let mut st = self.0.state.lock().unwrap();
+        loop {
+            if st.receivers == 0 {
+                return Err(SendTimeoutError::Disconnected(msg));
+            }
+            if !st.cap.is_some_and(|c| st.queue.len() >= c) {
+                st.queue.push_back(msg);
+                drop(st);
+                self.0.recv_ready.notify_one();
+                return Ok(());
+            }
+            match deadline {
+                None => st = self.0.send_ready.wait(st).unwrap(),
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        return Err(SendTimeoutError::Timeout(msg));
+                    }
+                    let (guard, _) = self.0.send_ready.wait_timeout(st, d - now).unwrap();
+                    st = guard;
+                }
+            }
+        }
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.0.state.lock().unwrap().senders += 1;
+        Sender(self.0.clone())
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let last = {
+            let mut st = self.0.state.lock().unwrap();
+            st.senders -= 1;
+            st.senders == 0
+        };
+        if last {
+            self.0.recv_ready.notify_all();
+        }
+    }
+}
+
+// --- Receiver ---------------------------------------------------------------
+
+impl<T> Receiver<T> {
+    pub fn recv(&self) -> Result<T, RecvError> {
+        match self.recv_inner(None) {
+            Ok(v) => Ok(v),
+            Err(_) => Err(RecvError),
+        }
+    }
+
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        self.recv_inner(Some(
+            Instant::now().checked_add(timeout).unwrap_or_else(|| {
+                Instant::now() + Duration::from_secs(86_400)
+            }),
+        ))
+    }
+
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut st = self.0.state.lock().unwrap();
+        if let Some(v) = st.queue.pop_front() {
+            drop(st);
+            self.0.send_ready.notify_one();
+            return Ok(v);
+        }
+        if st.senders == 0 {
+            return Err(TryRecvError::Disconnected);
+        }
+        Err(TryRecvError::Empty)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.0.state.lock().unwrap().queue.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.0.state.lock().unwrap().queue.len()
+    }
+
+    pub fn iter(&self) -> Iter<'_, T> {
+        Iter { rx: self }
+    }
+
+    fn recv_inner(&self, deadline: Option<Instant>) -> Result<T, RecvTimeoutError> {
+        let mut st = self.0.state.lock().unwrap();
+        loop {
+            if let Some(v) = st.queue.pop_front() {
+                drop(st);
+                self.0.send_ready.notify_one();
+                return Ok(v);
+            }
+            if st.senders == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            match deadline {
+                None => st = self.0.recv_ready.wait(st).unwrap(),
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        return Err(RecvTimeoutError::Timeout);
+                    }
+                    let (guard, _) = self.0.recv_ready.wait_timeout(st, d - now).unwrap();
+                    st = guard;
+                }
+            }
+        }
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.0.state.lock().unwrap().receivers += 1;
+        Receiver(self.0.clone())
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let last = {
+            let mut st = self.0.state.lock().unwrap();
+            st.receivers -= 1;
+            st.receivers == 0
+        };
+        if last {
+            self.0.send_ready.notify_all();
+        }
+    }
+}
+
+pub struct Iter<'a, T> {
+    rx: &'a Receiver<T>,
+}
+
+impl<T> Iterator for Iter<'_, T> {
+    type Item = T;
+    fn next(&mut self) -> Option<T> {
+        self.rx.recv().ok()
+    }
+}
+
+impl<'a, T> IntoIterator for &'a Receiver<T> {
+    type Item = T;
+    type IntoIter = Iter<'a, T>;
+    fn into_iter(self) -> Iter<'a, T> {
+        self.iter()
+    }
+}
+
+/// Supports exactly the shape used by `tbon-core::process::CommProcess::run`:
+/// two `recv(..) -> v => ..` arms plus `default(timeout) => ..`, implemented
+/// by polling both receivers at ~200µs granularity.
+#[macro_export]
+macro_rules! select {
+    (
+        recv($r1:expr) -> $v1:ident => $b1:expr,
+        recv($r2:expr) -> $v2:ident => $b2:expr,
+        default($t:expr) => $bd:expr $(,)?
+    ) => {{
+        let __deadline = ::std::time::Instant::now() + $t;
+        loop {
+            match $r1.try_recv() {
+                ::std::result::Result::Ok(__v) => {
+                    let $v1: ::std::result::Result<_, $crate::RecvError> =
+                        ::std::result::Result::Ok(__v);
+                    break $b1;
+                }
+                ::std::result::Result::Err($crate::TryRecvError::Disconnected) => {
+                    let $v1: ::std::result::Result<_, $crate::RecvError> =
+                        ::std::result::Result::Err($crate::RecvError);
+                    break $b1;
+                }
+                ::std::result::Result::Err($crate::TryRecvError::Empty) => {}
+            }
+            match $r2.try_recv() {
+                ::std::result::Result::Ok(__v) => {
+                    let $v2: ::std::result::Result<_, $crate::RecvError> =
+                        ::std::result::Result::Ok(__v);
+                    break $b2;
+                }
+                ::std::result::Result::Err($crate::TryRecvError::Disconnected) => {
+                    let $v2: ::std::result::Result<_, $crate::RecvError> =
+                        ::std::result::Result::Err($crate::RecvError);
+                    break $b2;
+                }
+                ::std::result::Result::Err($crate::TryRecvError::Empty) => {}
+            }
+            if ::std::time::Instant::now() >= __deadline {
+                break $bd;
+            }
+            ::std::thread::sleep(::std::time::Duration::from_micros(200));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn fifo_and_disconnect() {
+        let (tx, rx) = unbounded();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        assert!(rx.recv().is_err());
+    }
+
+    #[test]
+    fn bounded_blocks_until_drained() {
+        let (tx, rx) = bounded(2);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert!(matches!(
+            tx.send_timeout(3, Duration::from_millis(20)),
+            Err(SendTimeoutError::Timeout(3))
+        ));
+        let t = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(30));
+            rx.recv().unwrap()
+        });
+        tx.send_timeout(3, Duration::from_secs(5)).unwrap();
+        assert_eq!(t.join().unwrap(), 1);
+    }
+
+    #[test]
+    fn select_shape_compiles_and_times_out() {
+        let (_tx1, rx1) = unbounded::<u8>();
+        let (_tx2, rx2) = unbounded::<u8>();
+        let out = select! {
+            recv(rx1) -> v => v.map(|_| 1).unwrap_or(-1),
+            recv(rx2) -> v => v.map(|_| 2).unwrap_or(-2),
+            default(Duration::from_millis(5)) => 0,
+        };
+        assert_eq!(out, 0);
+    }
+}

@@ -1,0 +1,12 @@
+//! Std-only stub of `crossbeam-utils`. The workspace declares the
+//! dependency but currently uses none of its items; `thread::scope` is
+//! provided (over `std::thread::scope`) for forward compatibility.
+
+pub mod thread {
+    pub fn scope<'env, F, T>(f: F) -> std::thread::Result<T>
+    where
+        F: for<'scope> FnOnce(&'scope std::thread::Scope<'scope, 'env>) -> T,
+    {
+        Ok(std::thread::scope(f))
+    }
+}

@@ -1,0 +1,632 @@
+//! Std-only stub of `proptest`: deterministic random testing with the
+//! strategy/macro surface this workspace uses. No shrinking, no persisted
+//! failure seeds — a failing case panics with its message and case number.
+
+use std::marker::PhantomData;
+use std::ops::Range;
+use std::sync::Arc;
+
+pub mod test_runner {
+    /// xorshift64* seeded per test function from its name.
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn from_seed(seed: u64) -> Self {
+            TestRng {
+                state: seed | 1,
+            }
+        }
+
+        pub fn for_test(name: &str) -> Self {
+            // FNV-1a over the test name: stable across runs, distinct per test.
+            let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng::from_seed(h)
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            let mut x = self.state;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.state = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+
+        /// Uniform in [0, n).
+        pub fn below(&mut self, n: u64) -> u64 {
+            assert!(n > 0);
+            self.next_u64() % n
+        }
+
+        /// Uniform in [0, 1) with 53-bit precision.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    #[derive(Debug)]
+    pub struct TestCaseError {
+        pub message: String,
+    }
+
+    impl TestCaseError {
+        pub fn fail<S: Into<String>>(message: S) -> Self {
+            TestCaseError {
+                message: message.into(),
+            }
+        }
+    }
+
+    /// Cases per property; mirrors proptest's default.
+    pub const DEFAULT_CASES: u32 = 256;
+
+    #[derive(Clone, Copy, Debug)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig {
+                cases: DEFAULT_CASES,
+            }
+        }
+    }
+}
+
+use test_runner::TestRng;
+
+pub mod strategy {
+    use super::*;
+
+    pub trait Strategy {
+        type Value;
+
+        fn gen_one(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S2: Strategy,
+            F: Fn(Self::Value) -> S2,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+        {
+            BoxedStrategy(Arc::new(move |rng| self.gen_one(rng)))
+        }
+
+        /// Depth-bounded recursion; `_desired_size`/`_expected_branch` are
+        /// accepted for signature compatibility and ignored.
+        fn prop_recursive<S2, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch: u32,
+            branch: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            S2: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> S2,
+        {
+            let leaf = self.boxed();
+            let mut strat = leaf.clone();
+            for _ in 0..depth {
+                let branched = branch(strat).boxed();
+                let leaf = leaf.clone();
+                strat = BoxedStrategy(Arc::new(move |rng: &mut TestRng| {
+                    if rng.next_u64() & 1 == 0 {
+                        leaf.gen_one(rng)
+                    } else {
+                        branched.gen_one(rng)
+                    }
+                }));
+            }
+            strat
+        }
+    }
+
+    pub struct BoxedStrategy<T>(pub(crate) Arc<dyn Fn(&mut TestRng) -> T>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(self.0.clone())
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn gen_one(&self, rng: &mut TestRng) -> T {
+            (self.0)(rng)
+        }
+    }
+
+    #[derive(Clone, Copy, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn gen_one(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn gen_one(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.gen_one(rng))
+        }
+    }
+
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, S2, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        S2: Strategy,
+        F: Fn(S::Value) -> S2,
+    {
+        type Value = S2::Value;
+        fn gen_one(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.inner.gen_one(rng)).gen_one(rng)
+        }
+    }
+
+    /// Uniform choice between alternatives (`prop_oneof!`).
+    pub struct Union<T> {
+        pub options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty());
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn gen_one(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.options.len() as u64) as usize;
+            self.options[i].gen_one(rng)
+        }
+    }
+
+    // Integer and float ranges are strategies.
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn gen_one(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let off = (rng.next_u64() as u128) % span;
+                    (self.start as i128 + off as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn gen_one(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            let v = self.start + (self.end - self.start) * rng.unit_f64();
+            if v >= self.end {
+                self.start
+            } else {
+                v
+            }
+        }
+    }
+
+    impl Strategy for Range<f32> {
+        type Value = f32;
+        fn gen_one(&self, rng: &mut TestRng) -> f32 {
+            (Range {
+                start: self.start as f64,
+                end: self.end as f64,
+            })
+            .gen_one(rng) as f32
+        }
+    }
+
+    /// `"[charset]{m,n}"` string strategies, the only regex shape used here.
+    impl Strategy for &str {
+        type Value = String;
+        fn gen_one(&self, rng: &mut TestRng) -> String {
+            let (set, min, max) = parse_charset_pattern(self);
+            let len = min + rng.below((max - min + 1) as u64) as usize;
+            (0..len)
+                .map(|_| set[rng.below(set.len() as u64) as usize])
+                .collect()
+        }
+    }
+
+    fn parse_charset_pattern(pat: &str) -> (Vec<char>, usize, usize) {
+        fn bad(pat: &str) -> ! {
+            panic!("stub proptest only supports \"[chars]{{m,n}}\" string patterns, got {pat:?}")
+        }
+        let Some(rest) = pat.strip_prefix('[') else {
+            bad(pat)
+        };
+        let Some(close) = rest.find(']') else {
+            bad(pat)
+        };
+        let inner: Vec<char> = rest[..close].chars().collect();
+        let Some(counts) = rest[close + 1..]
+            .strip_prefix('{')
+            .and_then(|s| s.strip_suffix('}'))
+        else {
+            bad(pat)
+        };
+        let (m, n) = counts.split_once(',').unwrap_or((counts, counts));
+        let (Ok(min), Ok(max)) = (m.trim().parse::<usize>(), n.trim().parse::<usize>()) else {
+            bad(pat)
+        };
+        assert!(min <= max, "bad counts in {pat:?}");
+        let mut set = Vec::new();
+        let mut i = 0;
+        while i < inner.len() {
+            if i + 2 < inner.len() && inner[i + 1] == '-' {
+                for c in inner[i]..=inner[i + 2] {
+                    set.push(c);
+                }
+                i += 3;
+            } else {
+                set.push(inner[i]);
+                i += 1;
+            }
+        }
+        assert!(!set.is_empty(), "empty charset in {pat:?}");
+        (set, min, max)
+    }
+
+    // Tuples of strategies are strategies over tuples of values.
+    macro_rules! tuple_strategy {
+        ($(($($s:ident.$idx:tt),+);)*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn gen_one(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.gen_one(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (A.0, B.1);
+        (A.0, B.1, C.2);
+        (A.0, B.1, C.2, D.3);
+        (A.0, B.1, C.2, D.3, E.4);
+        (A.0, B.1, C.2, D.3, E.4, F.5);
+    }
+
+    // A Vec of strategies generates element-wise.
+    impl<S: Strategy> Strategy for Vec<S> {
+        type Value = Vec<S::Value>;
+        fn gen_one(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            self.iter().map(|s| s.gen_one(rng)).collect()
+        }
+    }
+}
+
+use strategy::Strategy;
+
+pub mod arbitrary {
+    use super::test_runner::TestRng;
+
+    pub trait ArbitraryValue {
+        fn arbitrary_value(rng: &mut TestRng) -> Self;
+    }
+
+    impl ArbitraryValue for bool {
+        fn arbitrary_value(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! arb_int {
+        ($($t:ty),*) => {$(
+            impl ArbitraryValue for $t {
+                fn arbitrary_value(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl ArbitraryValue for f64 {
+        fn arbitrary_value(rng: &mut TestRng) -> f64 {
+            // Finite values across magnitudes (no NaN/inf), with exact zero
+            // appearing occasionally — enough to exercise codecs.
+            match rng.next_u64() % 16 {
+                0 => 0.0,
+                1 => -0.0,
+                _ => {
+                    let mag = 10f64.powi((rng.next_u64() % 19) as i32 - 9);
+                    (rng.unit_f64() * 2.0 - 1.0) * mag
+                }
+            }
+        }
+    }
+
+    impl ArbitraryValue for f32 {
+        fn arbitrary_value(rng: &mut TestRng) -> f32 {
+            f64::arbitrary_value(rng) as f32
+        }
+    }
+}
+
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: arbitrary::ArbitraryValue> Strategy for Any<T> {
+    type Value = T;
+    fn gen_one(&self, rng: &mut TestRng) -> T {
+        T::arbitrary_value(rng)
+    }
+}
+
+pub fn any<T: arbitrary::ArbitraryValue>() -> Any<T> {
+    Any(PhantomData)
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        pub min: usize,
+        pub max: usize, // inclusive
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end);
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn gen_one(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.max - self.size.min + 1) as u64;
+            let len = self.size.min + rng.below(span) as usize;
+            (0..len).map(|_| self.elem.gen_one(rng)).collect()
+        }
+    }
+}
+
+/// Namespace mirroring `proptest::prelude::prop`.
+pub mod prop {
+    pub use super::collection;
+}
+
+pub mod prelude {
+    pub use super::arbitrary::ArbitraryValue;
+    pub use super::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use super::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use super::{any, prop, Any};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($s)),+
+        ])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__a, __b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *__a == *__b,
+            "assertion failed: {:?} == {:?}",
+            __a,
+            __b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__a, __b) = (&$a, &$b);
+        $crate::prop_assert!(*__a == *__b, $($fmt)+);
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__a, __b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *__a != *__b,
+            "assertion failed: {:?} != {:?}",
+            __a,
+            __b
+        );
+    }};
+}
+
+/// Runs each property `ProptestConfig::default().cases` times (or the count
+/// from an optional `#![proptest_config(..)]` header) with a deterministic
+/// per-test seed. No shrinking: the first failing case panics with its
+/// message.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        );
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __cases: u32 = ($cfg).cases;
+            let mut __rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+            for __case in 0..__cases {
+                let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|__rng: &mut $crate::test_runner::TestRng| {
+                        $(
+                            let $arg =
+                                $crate::strategy::Strategy::gen_one(&$strat, __rng);
+                        )+
+                        $body
+                        ::std::result::Result::Ok(())
+                    })(&mut __rng);
+                if let ::std::result::Result::Err(e) = __outcome {
+                    panic!(
+                        "property {} failed at case {}/{}: {}",
+                        stringify!($name),
+                        __case,
+                        __cases,
+                        e.message
+                    );
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_in_bounds(x in 3u32..9, y in -2.0f64..2.0) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&y));
+        }
+
+        #[test]
+        fn strings_match_charset(s in "[a-c0-1 ]{1,8}") {
+            prop_assert!(!s.is_empty() && s.len() <= 8);
+            prop_assert!(s.chars().all(|c| "abc01 ".contains(c)));
+        }
+
+        #[test]
+        fn tuple_pattern_and_flat_map((n, v) in (1usize..4).prop_flat_map(|n| {
+            (Just(n), prop::collection::vec(any::<u8>(), n..n + 1))
+        })) {
+            prop_assert_eq!(v.len(), n);
+        }
+
+        #[test]
+        fn oneof_and_recursive(v in prop_oneof![
+            Just(0u64),
+            any::<u64>(),
+        ].prop_recursive(2, 8, 2, |inner| inner.prop_map(|x| x / 2))) {
+            let _ = v;
+        }
+    }
+
+    #[test]
+    fn vec_of_boxed_strategies_generates_elementwise() {
+        let strats: Vec<BoxedStrategy<u8>> =
+            vec![Just(1u8).boxed(), Just(2u8).boxed(), Just(3u8).boxed()];
+        let mut rng = TestRng::from_seed(5);
+        assert_eq!(strats.gen_one(&mut rng), vec![1, 2, 3]);
+    }
+}

@@ -22,8 +22,8 @@
 
 use std::time::Duration;
 
-use tbon::prelude::*;
 use tbon::core::{FilterContext, Transformation, Wave};
+use tbon::prelude::*;
 
 const TAG_MODEL: Tag = Tag(1); // downstream: boundaries (the model)
 const TAG_COUNTS: Tag = Tag(2); // upstream: bin counts
@@ -153,9 +153,7 @@ fn main() -> Result<(), TbonError> {
             let samples = local_samples(ctx.rank().0);
             loop {
                 match ctx.next_event() {
-                    Ok(BackendEvent::Packet { stream, packet })
-                        if packet.tag() == TAG_MODEL =>
-                    {
+                    Ok(BackendEvent::Packet { stream, packet }) if packet.tag() == TAG_MODEL => {
                         let edges = packet.value().as_array_f64().unwrap().to_vec();
                         let counts = bin_counts(&samples, &edges);
                         let _ = ctx.send(stream, TAG_COUNTS, DataValue::ArrayI64(counts));

@@ -31,8 +31,7 @@ fn main() -> Result<(), TbonError> {
             match ctx.next_event() {
                 Ok(BackendEvent::Packet { stream, packet }) => {
                     // Report "our" clock: shared epoch + injected skew.
-                    let local_clock =
-                        epoch.elapsed().as_secs_f64() + true_offset(ctx.rank().0);
+                    let local_clock = epoch.elapsed().as_secs_f64() + true_offset(ctx.rank().0);
                     if ctx
                         .send(stream, packet.tag(), DataValue::F64(local_clock))
                         .is_err()
@@ -46,15 +45,18 @@ fn main() -> Result<(), TbonError> {
         })
         .launch()?;
 
-    let stream = net.new_stream(
-        StreamSpec::all().transformation("filter::clock_skew"),
-    )?;
+    let stream = net.new_stream(StreamSpec::all().transformation("filter::clock_skew"))?;
     stream.broadcast(Tag(0), DataValue::Unit)?;
     let pkt = stream.recv_timeout(Duration::from_secs(10))?;
     let report = SkewReport::from_value(pkt.value()).expect("skew report");
 
     // The report contains comm-process entries too; look at back-ends only.
-    let backends: Vec<Rank> = net.topology_snapshot().leaves().iter().map(|l| Rank(l.0)).collect();
+    let backends: Vec<Rank> = net
+        .topology_snapshot()
+        .leaves()
+        .iter()
+        .map(|l| Rank(l.0))
+        .collect();
     let table: HashMap<i64, f64> = report
         .ranks
         .iter()

@@ -37,9 +37,7 @@ fn main() -> Result<(), TbonError> {
                 Ok(BackendEvent::Packet { stream, packet }) => {
                     // "Run" the admin command named in the packet.
                     let reply = match packet.value().as_str() {
-                        Some("uname -r") => {
-                            DataValue::from(kernel_version(ctx.rank().0))
-                        }
+                        Some("uname -r") => DataValue::from(kernel_version(ctx.rank().0)),
                         Some(other) => DataValue::Str(format!("unknown command: {other}")),
                         None => DataValue::from("bad request"),
                     };
@@ -53,9 +51,7 @@ fn main() -> Result<(), TbonError> {
         })
         .launch()?;
 
-    let stream = net.new_stream(
-        StreamSpec::all().transformation("filter::equivalence"),
-    )?;
+    let stream = net.new_stream(StreamSpec::all().transformation("filter::equivalence"))?;
 
     println!("\n$ fleet-run 'uname -r'");
     stream.broadcast(Tag(0), DataValue::from("uname -r"))?;

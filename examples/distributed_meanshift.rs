@@ -4,9 +4,7 @@
 //!
 //! Run with: `cargo run --release --example distributed_meanshift`
 
-use tbon::meanshift::{
-    run_distributed, run_single_equivalent, MeanShiftParams, SynthSpec,
-};
+use tbon::meanshift::{run_distributed, run_single_equivalent, MeanShiftParams, SynthSpec};
 use tbon::topology::Topology;
 
 fn main() {
@@ -59,7 +57,10 @@ fn main() {
     );
 
     println!();
-    println!("peaks found by the deep tree (true centers drift ±{} per leaf):", spec.max_leaf_shift);
+    println!(
+        "peaks found by the deep tree (true centers drift ±{} per leaf):",
+        spec.max_leaf_shift
+    );
     let mut peaks = deep.peaks.clone();
     peaks.sort_by_key(|p| std::cmp::Reverse(p.support));
     for p in &peaks {

@@ -54,7 +54,10 @@ fn main() -> Result<(), TbonError> {
                     let rank = ctx.rank().0;
                     let base = if rank > 19 { 3.0 } else { 0.5 };
                     let load = base + ((rank * 13) % 10) as f64 / 10.0;
-                    if ctx.send(stream, packet.tag(), DataValue::F64(load)).is_err() {
+                    if ctx
+                        .send(stream, packet.tag(), DataValue::F64(load))
+                        .is_err()
+                    {
                         break;
                     }
                 }
@@ -72,9 +75,7 @@ fn main() -> Result<(), TbonError> {
         .collect();
     let cluster_streams: Vec<StreamHandle> = aggregators
         .iter()
-        .map(|&agg| {
-            net.new_stream(StreamSpec::subtree(agg).transformation("filter::stats"))
-        })
+        .map(|&agg| net.new_stream(StreamSpec::subtree(agg).transformation("filter::stats")))
         .collect::<Result<_, _>>()?;
     let fleet = net.new_stream(StreamSpec::all().transformation("filter::stats"))?;
 

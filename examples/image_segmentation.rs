@@ -8,9 +8,7 @@
 //!
 //! Run with: `cargo run --release --example image_segmentation`
 
-use tbon::meanshift::{
-    assign_labels, run_distributed, Label, MeanShiftParams, Point2, SynthSpec,
-};
+use tbon::meanshift::{assign_labels, run_distributed, Label, MeanShiftParams, Point2, SynthSpec};
 use tbon::topology::Topology;
 
 const W: usize = 64;
@@ -66,16 +64,16 @@ fn main() {
             Label::Background => '.',
         };
     }
-    println!("\nsegmentation ({}x{} raster, layers by digit, '.' = background):", W, H);
+    println!(
+        "\nsegmentation ({}x{} raster, layers by digit, '.' = background):",
+        W, H
+    );
     for row in &grid {
         println!("{}", row.iter().collect::<String>());
     }
 
     for (i, peak) in outcome.peaks.iter().enumerate() {
-        let size = labels
-            .iter()
-            .filter(|l| **l == Label::Cluster(i))
-            .count();
+        let size = labels.iter().filter(|l| **l == Label::Cluster(i)).count();
         println!(
             "layer {}: mode at ({:.0}, {:.0}), {} pixels, support {}",
             i + 1,

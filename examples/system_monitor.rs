@@ -8,8 +8,8 @@
 
 use std::time::Duration;
 
-use tbon::prelude::*;
 use tbon::core::NetEvent;
+use tbon::prelude::*;
 
 /// Synthetic per-host metrics, deterministic in (rank, round).
 fn load_of(rank: u32, round: u32) -> f64 {

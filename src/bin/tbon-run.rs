@@ -83,27 +83,27 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     }
 
-    let builder = NetworkBuilder::new(topo)
-        .registry(registry)
-        .backend(|mut ctx: BackendContext| loop {
-            match ctx.next_event() {
-                Ok(BackendEvent::Packet { stream, packet }) => {
-                    let round = packet.value().as_u64().unwrap_or(0);
-                    // Synthetic per-host metric, deterministic in
-                    // (rank, round).
-                    let metric =
-                        ((ctx.rank().0 as u64 * 31 + round * 17) % 1000) as f64 / 10.0;
-                    if ctx
-                        .send(stream, packet.tag(), DataValue::F64(metric))
-                        .is_err()
-                    {
-                        break;
+    let builder =
+        NetworkBuilder::new(topo)
+            .registry(registry)
+            .backend(|mut ctx: BackendContext| loop {
+                match ctx.next_event() {
+                    Ok(BackendEvent::Packet { stream, packet }) => {
+                        let round = packet.value().as_u64().unwrap_or(0);
+                        // Synthetic per-host metric, deterministic in
+                        // (rank, round).
+                        let metric = ((ctx.rank().0 as u64 * 31 + round * 17) % 1000) as f64 / 10.0;
+                        if ctx
+                            .send(stream, packet.tag(), DataValue::F64(metric))
+                            .is_err()
+                        {
+                            break;
+                        }
                     }
+                    Ok(BackendEvent::Shutdown) | Err(_) => break,
+                    Ok(_) => continue,
                 }
-                Ok(BackendEvent::Shutdown) | Err(_) => break,
-                Ok(_) => continue,
-            }
-        });
+            });
     let launched = if args.tcp {
         builder.transport(TcpTransport::new()).launch()
     } else {

@@ -49,6 +49,18 @@ fn check_consistency(net: &mut Network, round: u32) {
     stream.close().expect("close");
 }
 
+/// Wait for the next lifecycle event, skipping informational send-failure
+/// notices — a killed peer's in-flight sends may be reported before (or
+/// after) the loss event itself.
+fn wait_lifecycle(net: &mut Network) -> NetEvent {
+    loop {
+        match net.wait_event(Duration::from_secs(10)).expect("event") {
+            NetEvent::SendFailed { .. } => continue,
+            ev => return ev,
+        }
+    }
+}
+
 fn run_chaos(seed: u64, steps: usize) {
     let mut rng = StdRng::seed_from_u64(seed);
     let config = NetworkConfig {
@@ -74,7 +86,7 @@ fn run_chaos(seed: u64, steps: usize) {
                     let victim = leaves[rng.gen_range(0..leaves.len())];
                     net.kill_backend(Rank(victim.0)).expect("kill backend");
                     // Consume the loss event.
-                    match net.wait_event(Duration::from_secs(10)).expect("event") {
+                    match wait_lifecycle(&mut net) {
                         NetEvent::BackendLost { rank, .. } => {
                             assert_eq!(rank, Rank(victim.0))
                         }
@@ -96,10 +108,10 @@ fn run_chaos(seed: u64, steps: usize) {
                     .filter(|n| !killed_internals.contains(&n.0))
                     .map(|n| Rank(n.0))
                     .collect();
-            parents.retain(|p| p.0 == 0 || topo.parent(tbon::topology::NodeId(p.0)).is_some());
+                parents.retain(|p| p.0 == 0 || topo.parent(tbon::topology::NodeId(p.0)).is_some());
                 let parent = parents[rng.gen_range(0..parents.len())];
                 net.attach_backend(parent).expect("attach");
-                match net.wait_event(Duration::from_secs(10)).expect("event") {
+                match wait_lifecycle(&mut net) {
                     NetEvent::BackendJoined { .. } => {}
                     other => panic!("unexpected event {other:?}"),
                 }
@@ -112,12 +124,10 @@ fn run_chaos(seed: u64, steps: usize) {
                     .filter(|&n| topo.role(n) == tbon::topology::Role::Internal)
                     .map(|n| Rank(n.0))
                     .collect();
-                if let Some(&victim) =
-                    internals.get(rng.gen_range(0..internals.len().max(1)))
-                {
+                if let Some(&victim) = internals.get(rng.gen_range(0..internals.len().max(1))) {
                     net.kill_internal(victim).expect("kill internal");
                     killed_internals.insert(victim.0);
-                    match net.wait_event(Duration::from_secs(10)).expect("event") {
+                    match wait_lifecycle(&mut net) {
                         NetEvent::SubtreeOrphaned { rank, .. } => {
                             assert_eq!(rank, victim)
                         }
@@ -146,7 +156,8 @@ fn run_chaos(seed: u64, steps: usize) {
     }
     // Long-lived streams still answer at the end.
     for s in &long_lived {
-        s.broadcast(Tag(9999), DataValue::Unit).expect("final broadcast");
+        s.broadcast(Tag(9999), DataValue::Unit)
+            .expect("final broadcast");
         let pkt = s.recv_timeout(Duration::from_secs(20)).expect("final recv");
         assert!(pkt.value().as_u64().is_some());
     }

@@ -10,11 +10,7 @@ fn rank_reporter() -> impl Fn(BackendContext) + Send + Sync {
     |mut ctx: BackendContext| loop {
         match ctx.next_event() {
             Ok(BackendEvent::Packet { stream, packet }) => {
-                let _ = ctx.send(
-                    stream,
-                    packet.tag(),
-                    DataValue::I64(ctx.rank().0 as i64),
-                );
+                let _ = ctx.send(stream, packet.tag(), DataValue::I64(ctx.rank().0 as i64));
             }
             Ok(BackendEvent::Shutdown) | Err(_) => break,
             Ok(_) => continue,
@@ -24,6 +20,18 @@ fn rank_reporter() -> impl Fn(BackendContext) + Send + Sync {
 
 fn sum_registry() -> std::sync::Arc<FilterRegistry> {
     tbon::filters::builtin_registry()
+}
+
+/// Wait for the next lifecycle event, skipping informational send-failure
+/// notices — a killed peer's in-flight sends may be reported before (or
+/// after) the loss event itself.
+fn wait_lifecycle(net: &mut Network) -> NetEvent {
+    loop {
+        match net.wait_event(Duration::from_secs(10)).unwrap() {
+            NetEvent::SendFailed { .. } => continue,
+            ev => return ev,
+        }
+    }
 }
 
 #[test]
@@ -44,7 +52,7 @@ fn multiple_failures_sequentially_shrink_the_wave() {
         assert_eq!(pkt.value().as_i64(), Some(alive.iter().sum::<i64>()));
 
         net.kill_backend(Rank(victim)).unwrap();
-        match net.wait_event(Duration::from_secs(10)).unwrap() {
+        match wait_lifecycle(&mut net) {
             NetEvent::BackendLost { rank, .. } => assert_eq!(rank, Rank(victim)),
             other => panic!("unexpected {other:?}"),
         }
@@ -68,7 +76,7 @@ fn failure_in_deep_tree_detected_by_its_parent_not_root() {
     let victim = topo.leaves()[4];
     let parent = topo.parent(victim).unwrap();
     net.kill_backend(Rank(victim.0)).unwrap();
-    match net.wait_event(Duration::from_secs(10)).unwrap() {
+    match wait_lifecycle(&mut net) {
         NetEvent::BackendLost { rank, detected_by } => {
             assert_eq!(rank, Rank(victim.0));
             assert_eq!(detected_by, Rank(parent.0), "the leaf's own parent detects");
@@ -95,11 +103,7 @@ fn failure_mid_wave_releases_blocked_wait_for_all() {
             match ctx.next_event() {
                 Ok(BackendEvent::Packet { stream, packet }) => {
                     if ctx.rank() != Rank(2) {
-                        let _ = ctx.send(
-                            stream,
-                            packet.tag(),
-                            DataValue::I64(ctx.rank().0 as i64),
-                        );
+                        let _ = ctx.send(stream, packet.tag(), DataValue::I64(ctx.rank().0 as i64));
                     } // rank 2 stays silent forever
                 }
                 Ok(BackendEvent::Shutdown) | Err(_) => break,
@@ -128,7 +132,7 @@ fn killed_backend_then_attach_restores_capacity() {
         .launch()
         .unwrap();
     net.kill_backend(Rank(3)).unwrap();
-    let _ = net.wait_event(Duration::from_secs(10)).unwrap();
+    let _ = wait_lifecycle(&mut net);
     // Replace the lost node (new rank, MRNet-style: ids never recycle).
     let newcomer = net.attach_backend(Rank(0)).unwrap();
     assert_eq!(newcomer, Rank(5));
@@ -152,8 +156,8 @@ fn shutdown_completes_despite_dead_backends() {
     net.kill_backend(Rank(leaves[0].0)).unwrap();
     net.kill_backend(Rank(leaves[3].0)).unwrap();
     // Drain the two loss events, then shut down: must not hang.
-    let _ = net.wait_event(Duration::from_secs(10)).unwrap();
-    let _ = net.wait_event(Duration::from_secs(10)).unwrap();
+    let _ = wait_lifecycle(&mut net);
+    let _ = wait_lifecycle(&mut net);
     net.shutdown().unwrap();
 }
 
@@ -218,9 +222,9 @@ fn subtree_with_all_members_dead_is_pruned_from_existing_streams() {
     let leaves = net.topology_snapshot().leaves();
     let (a, b) = (leaves[0], leaves[1]); // both under internal 1
     net.kill_backend(Rank(a.0)).unwrap();
-    let _ = net.wait_event(Duration::from_secs(10)).unwrap();
+    let _ = wait_lifecycle(&mut net);
     net.kill_backend(Rank(b.0)).unwrap();
-    let _ = net.wait_event(Duration::from_secs(10)).unwrap();
+    let _ = wait_lifecycle(&mut net);
 
     stream.broadcast(Tag(1), DataValue::Unit).unwrap();
     let survivors = stream

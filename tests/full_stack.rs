@@ -470,11 +470,7 @@ fn format_string_packing_over_network() {
         .launch()
         .unwrap();
     let stream = net.new_stream(StreamSpec::all()).unwrap();
-    let request = pack(
-        "%s %d",
-        &[DataValue::from("offset"), DataValue::I64(100)],
-    )
-    .unwrap();
+    let request = pack("%s %d", &[DataValue::from("offset"), DataValue::I64(100)]).unwrap();
     stream.broadcast(Tag(0), request).unwrap();
     let mut seen = 0;
     for _ in 0..3 {
@@ -519,8 +515,8 @@ fn uds_transport_end_to_end() {
 fn host_placement_drives_shaped_transport_costs() {
     use std::time::Instant;
     use tbon::topology::HostMap;
-    use tbon::transport::shaped::{ShapedTransport, Shaping};
     use tbon::transport::local::LocalTransport;
+    use tbon::transport::shaped::{ShapedTransport, Shaping};
 
     // One aggregator subtree per "host" vs naive round robin: the same
     // network, but cross-host edges pay 25 ms latency.

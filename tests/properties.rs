@@ -9,19 +9,12 @@ use tbon::prelude::*;
 
 /// Launch a network over `topology`, have each back-end report
 /// `values[leaf_index]`, reduce with `filter`, and return the root packet.
-fn reduce_through(
-    topology: Topology,
-    filter: &str,
-    values: Vec<i64>,
-) -> DataValue {
+fn reduce_through(topology: Topology, filter: &str, values: Vec<i64>) -> DataValue {
     let leaves = topology.leaves();
     assert_eq!(leaves.len(), values.len());
     // Map rank -> value.
-    let by_rank: std::collections::HashMap<u32, i64> = leaves
-        .iter()
-        .zip(&values)
-        .map(|(l, &v)| (l.0, v))
-        .collect();
+    let by_rank: std::collections::HashMap<u32, i64> =
+        leaves.iter().zip(&values).map(|(l, &v)| (l.0, v)).collect();
     let mut net = NetworkBuilder::new(topology)
         .registry(builtin_registry())
         .backend(move |mut ctx: BackendContext| loop {
@@ -56,10 +49,7 @@ fn topology_and_values() -> impl Strategy<Value = (Topology, Vec<i64>)> {
     ];
     shapes.prop_flat_map(|t| {
         let n = t.leaf_count();
-        (
-            Just(t),
-            prop::collection::vec(-1000i64..1000, n..=n),
-        )
+        (Just(t), prop::collection::vec(-1000i64..1000, n..=n))
     })
 }
 

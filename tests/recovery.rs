@@ -20,6 +20,18 @@ fn rank_reporter() -> impl Fn(BackendContext) + Send + Sync {
     }
 }
 
+/// Wait for the next lifecycle event, skipping informational send-failure
+/// notices — a killed peer's in-flight sends may be reported before (or
+/// after) the loss event itself.
+fn wait_lifecycle(net: &mut Network) -> NetEvent {
+    loop {
+        match net.wait_event(Duration::from_secs(10)).unwrap() {
+            NetEvent::SendFailed { .. } => continue,
+            ev => return ev,
+        }
+    }
+}
+
 fn sum_of_leaves(net: &Network) -> i64 {
     net.topology_snapshot()
         .leaves()
@@ -43,7 +55,7 @@ fn internal_failure_reported_as_subtree_orphaned() {
         .launch()
         .unwrap();
     net.kill_internal(Rank(1)).unwrap();
-    match net.wait_event(Duration::from_secs(10)).unwrap() {
+    match wait_lifecycle(&mut net) {
         NetEvent::SubtreeOrphaned { rank, detected_by } => {
             assert_eq!(rank, Rank(1));
             assert_eq!(detected_by, Rank(0));
@@ -77,7 +89,7 @@ fn heal_restores_existing_stream_with_full_membership() {
 
     // Kill one communication process and heal around it.
     net.kill_internal(Rank(1)).unwrap();
-    match net.wait_event(Duration::from_secs(10)).unwrap() {
+    match wait_lifecycle(&mut net) {
         NetEvent::SubtreeOrphaned { rank, .. } => assert_eq!(rank, Rank(1)),
         other => panic!("unexpected {other:?}"),
     }
@@ -106,12 +118,16 @@ fn heal_supports_new_streams_over_spliced_topology() {
         .launch()
         .unwrap();
     net.kill_internal(Rank(2)).unwrap();
-    let _ = net.wait_event(Duration::from_secs(10)).unwrap();
+    let _ = wait_lifecycle(&mut net);
     net.heal_internal_failure(Rank(2)).unwrap();
 
     let topo = net.topology_snapshot();
     assert_eq!(topo.leaf_count(), 9, "all back-ends survive the splice");
-    assert_eq!(topo.children(topo.root()).len(), 2 + 3, "3 leaves adopted by root");
+    assert_eq!(
+        topo.children(topo.root()).len(),
+        2 + 3,
+        "3 leaves adopted by root"
+    );
 
     let stream = net
         .new_stream(StreamSpec::all().transformation("builtin::count"))
@@ -140,7 +156,7 @@ fn heal_in_three_level_tree_reattaches_internal_children() {
     let expected = sum_of_leaves(&net);
     // Node 1 is a level-1 internal whose children (3, 4) are internal too.
     net.kill_internal(Rank(1)).unwrap();
-    let _ = net.wait_event(Duration::from_secs(10)).unwrap();
+    let _ = wait_lifecycle(&mut net);
     let healed = net.heal_internal_failure(Rank(1)).unwrap();
     assert_eq!(healed, vec![Rank(3), Rank(4)]);
 
@@ -170,7 +186,7 @@ fn repeated_failures_and_heals() {
     // Kill and heal two different internals in sequence.
     for victim in [3u32, 2] {
         net.kill_internal(Rank(victim)).unwrap();
-        let _ = net.wait_event(Duration::from_secs(10)).unwrap();
+        let _ = wait_lifecycle(&mut net);
         net.heal_internal_failure(Rank(victim)).unwrap();
     }
     let stream = net
@@ -201,14 +217,12 @@ fn orphans_expire_without_heal_and_shutdown_still_works() {
         .launch()
         .unwrap();
     net.kill_internal(Rank(1)).unwrap();
-    let _ = net.wait_event(Duration::from_secs(10)).unwrap();
+    let _ = wait_lifecycle(&mut net);
     // Never heal: the two orphaned leaves give up after the grace period.
     std::thread::sleep(Duration::from_millis(400));
     // Streams over the survivors still work.
     let stream = net
-        .new_stream(
-            StreamSpec::ranks([Rank(5), Rank(6)]).transformation("builtin::count"),
-        )
+        .new_stream(StreamSpec::ranks([Rank(5), Rank(6)]).transformation("builtin::count"))
         .unwrap();
     stream.broadcast(Tag(0), DataValue::Unit).unwrap();
     assert_eq!(
