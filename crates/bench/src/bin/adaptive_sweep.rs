@@ -1,5 +1,5 @@
 //! A4 extension experiment: fixed-bandwidth (§3.1) vs. variable-bandwidth
-//! (the paper's ref. [10]) mean-shift on mixed-density data.
+//! (the paper's ref. \[10\]) mean-shift on mixed-density data.
 //!
 //! The workload overlays one tight/dense cluster, one broad/sparse cluster
 //! and background noise — the regime the paper's fixed bandwidth of 50

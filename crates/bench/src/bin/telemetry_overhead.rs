@@ -1,0 +1,205 @@
+//! Telemetry-plane overhead: E2-style tree throughput with the in-band
+//! metrics stream disabled, at a relaxed interval, and at an aggressive
+//! interval.
+//!
+//! The telemetry plane rides the same tree it measures (one extra stream,
+//! one small sample per comm process per interval, merged level-by-level),
+//! so its cost should be a fixed, tiny tax on wave throughput — the PR's
+//! acceptance bar is < 5% regression at a 1 s interval on the standard E2
+//! workload.
+//!
+//! Prints a `BENCH_telemetry.json` document to stdout:
+//!
+//! ```text
+//! telemetry_overhead [--backends 64] [--waves 300] [--reps 3]
+//!                    [--record-cost-us 10] [--transport copying|zerocopy|tcp]
+//!                    [--date YYYY-MM-DD]
+//! ```
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use tbon_core::{BackendContext, BackendEvent, DataValue, NetworkBuilder, StreamSpec, Tag};
+use tbon_filters::builtin_registry;
+use tbon_topology::{stats::required_depth, Topology};
+use tbon_transport::{local::LocalTransport, tcp::TcpTransport, Transport};
+
+const RECORD_LEN: usize = 32;
+const FANOUT: usize = 8;
+
+fn make_transport(kind: &str) -> Arc<dyn Transport> {
+    match kind {
+        "copying" => Arc::new(LocalTransport::new_copying()),
+        "zerocopy" => Arc::new(LocalTransport::new()),
+        "tcp" => Arc::new(TcpTransport::new()),
+        other => panic!("unknown transport '{other}' (copying|zerocopy|tcp)"),
+    }
+}
+
+fn backend_loop(waves: usize) -> impl Fn(BackendContext) + Send + Sync {
+    move |mut ctx: BackendContext| loop {
+        match ctx.next_event() {
+            Ok(BackendEvent::Packet { stream, .. }) => {
+                for w in 0..waves {
+                    let record: Vec<f64> = (0..RECORD_LEN)
+                        .map(|i| (w * RECORD_LEN + i) as f64)
+                        .collect();
+                    if ctx
+                        .send(stream, Tag(w as u32), DataValue::ArrayF64(record))
+                        .is_err()
+                    {
+                        break;
+                    }
+                }
+            }
+            Ok(BackendEvent::Shutdown) | Err(_) => break,
+            Ok(_) => continue,
+        }
+    }
+}
+
+fn fold(acc: &mut [f64], record: &[f64], record_cost: Duration) {
+    for (a, r) in acc.iter_mut().zip(record) {
+        *a += r;
+    }
+    let end = Instant::now() + record_cost;
+    while Instant::now() < end {
+        std::hint::spin_loop();
+    }
+}
+
+/// One E2 tree run; `metrics_interval` arms the telemetry stream (merged
+/// mode) for the duration of the measured waves. Returns (elapsed, samples
+/// received) — samples are drained so the telemetry stream sees realistic
+/// consumption, not unbounded queueing.
+fn run_tree(
+    backends: usize,
+    waves: usize,
+    transport: &str,
+    record_cost: Duration,
+    metrics_interval: Option<Duration>,
+) -> (Duration, u64) {
+    let depth = required_depth(FANOUT, backends).max(1);
+    let mut levels = vec![FANOUT; depth];
+    let inner: usize = levels[..depth - 1].iter().product();
+    if inner > 0 && backends.is_multiple_of(inner) && backends / inner > 0 {
+        levels[depth - 1] = backends / inner;
+    }
+    let topo = Topology::balanced_levels(&levels);
+    let mut net = NetworkBuilder::new(topo)
+        .transport_arc(make_transport(transport))
+        .registry(builtin_registry())
+        .backend(backend_loop(waves))
+        .launch()
+        .expect("launch");
+    let metrics = metrics_interval.map(|iv| net.open_metrics_stream(iv).expect("metrics"));
+    let stream = net
+        .new_stream(StreamSpec::all().transformation("builtin::sum"))
+        .expect("stream");
+    let start = Instant::now();
+    stream.broadcast(Tag(0), DataValue::Unit).expect("start");
+    let mut acc = vec![0.0f64; RECORD_LEN];
+    let mut samples = 0u64;
+    for _ in 0..waves {
+        let pkt = stream.recv_timeout(Duration::from_secs(300)).expect("wave");
+        fold(
+            &mut acc,
+            pkt.value().as_array_f64().expect("wave record"),
+            record_cost,
+        );
+        if let Some(m) = &metrics {
+            while m.try_recv().is_some() {
+                samples += 1;
+            }
+        }
+    }
+    let elapsed = start.elapsed();
+    net.shutdown().expect("shutdown");
+    (elapsed, samples)
+}
+
+fn main() {
+    let mut backends = 64usize;
+    let mut waves = 300usize;
+    let mut reps = 3usize;
+    let mut record_cost_us = 10u64;
+    let mut transport = "copying".to_string();
+    let mut date = "unknown".to_string();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--backends" => backends = it.next().unwrap().parse().unwrap(),
+            "--waves" => waves = it.next().unwrap().parse().unwrap(),
+            "--reps" => reps = it.next().unwrap().parse().unwrap(),
+            "--record-cost-us" => record_cost_us = it.next().unwrap().parse().unwrap(),
+            "--transport" => transport = it.next().unwrap(),
+            "--date" => date = it.next().unwrap(),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    let record_cost = Duration::from_micros(record_cost_us);
+
+    // (label, interval). None = telemetry plane disabled.
+    let configs: [(&str, Option<Duration>); 3] = [
+        ("off", None),
+        ("1s", Some(Duration::from_secs(1))),
+        ("100ms", Some(Duration::from_millis(100))),
+    ];
+    // Best-of-reps rate per config: the minimum elapsed time is the least
+    // noise-polluted estimate on a shared container. Reps are interleaved
+    // round-robin across the configs so load drift on the host hits all
+    // three equally instead of skewing whichever ran last.
+    let mut best = [Duration::MAX; 3];
+    let mut total_samples = [0u64; 3];
+    for _ in 0..reps {
+        for (i, (_, interval)) in configs.iter().enumerate() {
+            let (elapsed, samples) = run_tree(backends, waves, &transport, record_cost, *interval);
+            best[i] = best[i].min(elapsed);
+            total_samples[i] += samples;
+        }
+    }
+    let mut rates = Vec::new();
+    for (i, (label, _)) in configs.iter().enumerate() {
+        let rate = (backends * waves) as f64 / best[i].as_secs_f64();
+        eprintln!(
+            "telemetry {label}: {rate:.0} rec/s (best of {reps}), {} samples",
+            total_samples[i]
+        );
+        rates.push((*label, rate, total_samples[i]));
+    }
+
+    let base = rates[0].1;
+    let overhead = |r: f64| (1.0 - r / base) * 100.0;
+    let worst_1s = overhead(rates[1].1);
+    let pass = worst_1s < 5.0;
+
+    println!("{{");
+    println!("  \"bench\": \"telemetry_overhead\",");
+    println!(
+        "  \"description\": \"E2 tree throughput ({backends} back-ends, fan-out {FANOUT}, {waves} waves of {RECORD_LEN}-f64 records, {record_cost_us}us front-end record cost, {transport} transport) with the in-band telemetry stream off, publishing at 1s, and publishing at 100ms. Rates are records/s, best of {reps} runs.\","
+    );
+    println!("  \"date\": \"{date}\",");
+    println!(
+        "  \"harness\": \"cargo run --release -p tbon-bench --bin telemetry_overhead (offline stubs, single-core container)\","
+    );
+    println!("  \"acceptance\": {{");
+    println!(
+        "    \"criterion\": \"throughput with telemetry at 1s interval regresses < 5% vs telemetry off\","
+    );
+    println!("    \"measured_overhead_pct_at_1s\": {worst_1s:.2},");
+    println!("    \"pass\": {pass}");
+    println!("  }},");
+    println!("  \"results\": [");
+    for (i, (label, rate, samples)) in rates.iter().enumerate() {
+        let comma = if i + 1 < rates.len() { "," } else { "" };
+        println!(
+            "    {{ \"telemetry\": \"{label}\", \"records_per_s\": {rate:.0}, \"overhead_pct\": {:.2}, \"metrics_samples_received\": {samples} }}{comma}",
+            overhead(*rate),
+        );
+    }
+    println!("  ],");
+    println!(
+        "  \"notes\": \"The telemetry plane is one extra stream carrying one ~200-byte merged sample per comm process per interval; its traffic is excluded from the packet counters it reports but shares links and event loops with the workload. Negative overhead means the run fell within scheduler noise of the baseline.\""
+    );
+    println!("}}");
+}

@@ -103,6 +103,9 @@ impl BackendContext {
             stream,
             tag,
             origin: self.rank,
+            // Injection stamp: the front-end resolves this against its own
+            // clock to produce end-to-end wave latency.
+            sent_us: crate::telemetry::now_us(),
             value,
         }));
         send_message(&link, &msg).map(|_| ())
@@ -200,9 +203,11 @@ impl BackendContext {
                         stream,
                         tag,
                         origin,
+                        sent_us,
                         value,
                     } => {
-                        let packet = Packet::new(*stream, *tag, *origin, value.clone());
+                        let packet =
+                            Packet::stamped(*stream, *tag, *origin, *sent_us, value.clone());
                         Some(BackendEvent::Packet {
                             stream: *stream,
                             packet,

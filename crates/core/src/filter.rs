@@ -288,13 +288,17 @@ impl Default for FilterRegistry {
 
 impl FilterRegistry {
     /// A registry pre-populated with the core built-ins: the identity
-    /// transformation and the three §2.2 synchronization filters.
+    /// transformation, the telemetry sample merger, and the three §2.2
+    /// synchronization filters.
     pub fn new() -> FilterRegistry {
         let reg = FilterRegistry {
             transforms: RwLock::new(HashMap::new()),
             syncs: RwLock::new(HashMap::new()),
         };
         reg.register_transformation("core::identity", |_| Ok(Box::new(Identity)));
+        reg.register_transformation(crate::telemetry::METRICS_FILTER, |_| {
+            Ok(Box::new(crate::telemetry::MetricsMerge))
+        });
         reg.register_synchronization("sync::wait_for_all", |_| Ok(Box::new(WaitForAll::new())));
         reg.register_synchronization("sync::null", |_| Ok(Box::new(NullSync)));
         reg.register_synchronization("sync::time_out", |params| {
@@ -524,6 +528,7 @@ mod tests {
     fn registry_has_builtins() {
         let reg = FilterRegistry::new();
         assert!(reg.has_transformation("core::identity"));
+        assert!(reg.has_transformation(crate::telemetry::METRICS_FILTER));
         assert!(reg.has_synchronization("sync::wait_for_all"));
         assert!(reg.has_synchronization("sync::time_out"));
         assert!(reg.has_synchronization("sync::null"));

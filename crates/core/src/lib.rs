@@ -32,6 +32,7 @@ pub mod packet;
 mod process;
 pub mod proto;
 pub mod stream;
+pub mod telemetry;
 pub mod value;
 
 pub use backend::{BackendContext, BackendEvent, BackendStream};
@@ -41,8 +42,14 @@ pub use filter::{
     FilterContext, FilterRegistry, Identity, NullSync, SyncContext, Synchronization, TimeOut,
     Transformation, WaitForAll, Wave,
 };
-pub use network::{Network, NetworkBuilder, StreamHandle};
+pub use network::{
+    EventSnapshot, MetricsHandle, Network, NetworkBuilder, PerfSnapshot, StreamHandle,
+};
 pub use packet::{Packet, Rank};
 pub use proto::{FilterKind, Message, NetEvent, PerfCounters};
 pub use stream::{Members, StreamId, StreamMode, StreamSpec, SyncPolicy, Tag};
+pub use telemetry::{
+    now_us, EventRing, LogHistogram, LoggedEvent, MetricsMerge, MetricsSample, ProcessEvents,
+    METRICS_FILTER,
+};
 pub use value::DataValue;

@@ -7,10 +7,10 @@
 //! downstream, receive filtered upstream data, load filters on demand,
 //! attach or kill back-ends, and shut the whole tree down in order.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crossbeam_channel::{bounded, unbounded, Receiver, Sender};
 use parking_lot::RwLock;
@@ -24,8 +24,9 @@ use crate::error::{Result, TbonError};
 use crate::filter::FilterRegistry;
 use crate::packet::{Packet, Rank};
 use crate::process::{send_message, CommProcess, FeCommand};
-use crate::proto::{FilterKind, Message, NetEvent};
+use crate::proto::{Envelope, FilterKind, Message, NetEvent, PerfCounters};
 use crate::stream::{StreamId, StreamSpec, Tag};
+use crate::telemetry::{LogHistogram, MetricsSample, ProcessEvents};
 use crate::value::DataValue;
 
 /// Transport peer id of the network's out-of-band control endpoint, used
@@ -184,8 +185,53 @@ impl NetworkBuilder {
             backend_fn,
             config,
             control,
+            control_backlog: VecDeque::new(),
             down: false,
         })
+    }
+}
+
+/// Result of [`Network::perf_snapshot`]: per-process lifetime counters plus
+/// the ranks that failed to answer within the timeout (dead or wedged).
+#[derive(Debug, Clone, Default)]
+pub struct PerfSnapshot {
+    /// Lifetime activity counters from every process that answered.
+    pub counters: HashMap<Rank, PerfCounters>,
+    /// Communication processes that did not answer within the timeout.
+    pub missing: Vec<Rank>,
+}
+
+impl PerfSnapshot {
+    /// Sum of every responding process's counters.
+    pub fn total(&self) -> PerfCounters {
+        let mut t = PerfCounters::default();
+        for c in self.counters.values() {
+            t.absorb(c);
+        }
+        t
+    }
+}
+
+/// Result of [`Network::event_logs`]: each process's drained event ring
+/// plus the ranks that failed to answer within the timeout.
+#[derive(Debug, Clone, Default)]
+pub struct EventSnapshot {
+    /// Drained lifecycle events per responding process.
+    pub logs: HashMap<Rank, ProcessEvents>,
+    /// Communication processes that did not answer within the timeout.
+    pub missing: Vec<Rank>,
+}
+
+impl EventSnapshot {
+    /// All events across the tree as JSON lines, ordered by rank.
+    pub fn to_jsonl(&self) -> String {
+        let mut ranks: Vec<Rank> = self.logs.keys().copied().collect();
+        ranks.sort();
+        let mut out = String::new();
+        for r in ranks {
+            out.push_str(&self.logs[&r].to_jsonl(r.0));
+        }
+        out
     }
 }
 
@@ -210,6 +256,10 @@ pub struct Network {
     /// Out-of-band endpoint for reconfiguration traffic (see
     /// [`Network::heal_internal_failure`]).
     control: tbon_transport::NodeEndpoint,
+    /// Control frames received while draining for a *different* kind of
+    /// reply. Kept (not dropped) so interleaved control conversations —
+    /// e.g. a `PerfReport` arriving mid-heal — survive to their own drain.
+    control_backlog: VecDeque<Arc<Envelope>>,
     down: bool,
 }
 
@@ -333,41 +383,166 @@ impl Network {
         send_message(&link, &Arc::new(crate::proto::Envelope::new(msg))).map(|_| ())
     }
 
-    /// Query every communication process's lifetime activity counters over
-    /// the control channel — MRNet-style internal instrumentation. Returns
-    /// whatever answered within `timeout` (a wedged or dead process is
-    /// simply absent from the map).
-    pub fn perf_snapshot(
+    /// Every communication process (the root plus all internals), the
+    /// target set for control-channel introspection.
+    fn comm_ranks(&self) -> Vec<Rank> {
+        let topo = self.topology.read();
+        topo.node_ids()
+            .filter(|&n| matches!(topo.role(n), Role::FrontEnd | Role::Internal))
+            .map(|n| Rank(n.0))
+            .collect()
+    }
+
+    /// Receive from the control endpoint until `matcher` accepts a frame or
+    /// the deadline passes. Frames the matcher declines are stashed in
+    /// [`Network::control_backlog`] (and the backlog is scanned first), so
+    /// concurrent control conversations never eat each other's replies.
+    fn control_drain<T>(
         &mut self,
-        timeout: Duration,
-    ) -> Result<std::collections::HashMap<Rank, crate::proto::PerfCounters>> {
-        let targets: Vec<Rank> = {
-            let topo = self.topology.read();
-            topo.node_ids()
-                .filter(|&n| matches!(topo.role(n), Role::FrontEnd | Role::Internal))
-                .map(|n| Rank(n.0))
-                .collect()
-        };
+        deadline: Instant,
+        mut matcher: impl FnMut(&Message) -> Option<T>,
+    ) -> Option<T> {
+        for i in 0..self.control_backlog.len() {
+            if let Some(v) = matcher(self.control_backlog[i].msg()) {
+                self.control_backlog.remove(i);
+                return Some(v);
+            }
+        }
+        loop {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return None;
+            }
+            let Ok(delivery) = self.control.incoming.recv_timeout(remaining) else {
+                return None;
+            };
+            let tbon_transport::Delivery::Frame { frame, .. } = delivery else {
+                continue;
+            };
+            let Ok(env) = crate::process::decode_frame(frame) else {
+                continue;
+            };
+            if let Some(v) = matcher(env.msg()) {
+                return Some(v);
+            }
+            self.control_backlog.push_back(env);
+        }
+    }
+
+    /// Query every communication process's lifetime activity counters over
+    /// the control channel — MRNet-style internal instrumentation. Always
+    /// returns within `timeout` with whatever answered; a wedged or dead
+    /// process is listed in [`PerfSnapshot::missing`] instead of stalling
+    /// or poisoning the result.
+    pub fn perf_snapshot(&mut self, timeout: Duration) -> Result<PerfSnapshot> {
+        let targets = self.comm_ranks();
         for &t in &targets {
             // Best effort: a dead process just won't answer.
             let _ = self.control_send(t, Message::GetPerf);
         }
-        let mut out = std::collections::HashMap::new();
-        let deadline = std::time::Instant::now() + timeout;
-        while out.len() < targets.len() {
-            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
-            let Ok(delivery) = self.control.incoming.recv_timeout(remaining) else {
+        let mut counters = HashMap::new();
+        let deadline = Instant::now() + timeout;
+        while counters.len() < targets.len() {
+            let Some((rank, c)) = self.control_drain(deadline, |m| match m {
+                Message::PerfReport { rank, counters } => Some((*rank, *counters)),
+                _ => None,
+            }) else {
                 break;
             };
-            if let tbon_transport::Delivery::Frame { frame, .. } = delivery {
-                if let Ok(msg) = crate::process::decode_frame(frame) {
-                    if let Message::PerfReport { rank, counters } = msg.msg() {
-                        out.insert(*rank, *counters);
-                    }
-                }
-            }
+            counters.insert(rank, c);
         }
-        Ok(out)
+        let missing = targets
+            .into_iter()
+            .filter(|r| !counters.contains_key(r))
+            .collect();
+        Ok(PerfSnapshot { counters, missing })
+    }
+
+    /// Drain every communication process's structured event ring (start,
+    /// stream lifecycle, reconfiguration, failures...). Draining is
+    /// destructive at each process: events are reported once. Processes
+    /// that fail to answer within `timeout` are listed in
+    /// [`EventSnapshot::missing`].
+    pub fn event_logs(&mut self, timeout: Duration) -> Result<EventSnapshot> {
+        let targets = self.comm_ranks();
+        for &t in &targets {
+            let _ = self.control_send(t, Message::GetEvents);
+        }
+        let mut logs = HashMap::new();
+        let deadline = Instant::now() + timeout;
+        while logs.len() < targets.len() {
+            let Some((rank, pe)) = self.control_drain(deadline, |m| match m {
+                Message::EventLog {
+                    rank,
+                    events,
+                    dropped,
+                } => Some((
+                    *rank,
+                    ProcessEvents {
+                        events: events.clone(),
+                        dropped: *dropped,
+                    },
+                )),
+                _ => None,
+            }) else {
+                break;
+            };
+            logs.insert(rank, pe);
+        }
+        let missing = targets
+            .into_iter()
+            .filter(|r| !logs.contains_key(r))
+            .collect();
+        Ok(EventSnapshot { logs, missing })
+    }
+
+    /// Open the telemetry stream: every communication process publishes a
+    /// [`MetricsSample`] each `interval`, and the built-in
+    /// `telemetry::metrics_merge` filter folds them level by level so the
+    /// front-end receives **one** tree-wide aggregate per interval.
+    pub fn open_metrics_stream(&mut self, interval: Duration) -> Result<MetricsHandle> {
+        self.open_metrics(interval, true)
+    }
+
+    /// Like [`Network::open_metrics_stream`] but without merging: every
+    /// process's sample passes through individually (keyed by
+    /// [`Packet::origin`]) for per-rank drill-down.
+    pub fn open_metrics_drilldown(&mut self, interval: Duration) -> Result<MetricsHandle> {
+        self.open_metrics(interval, false)
+    }
+
+    fn open_metrics(&mut self, interval: Duration, merge: bool) -> Result<MetricsHandle> {
+        let (reply_tx, reply_rx) = bounded(1);
+        self.cmd
+            .send(FeCommand::OpenMetrics {
+                interval,
+                merge,
+                reply: reply_tx,
+            })
+            .map_err(|_| TbonError::NetworkDown)?;
+        let (id, rx) = reply_rx
+            .recv_timeout(self.config.shutdown_timeout)
+            .map_err(|_| TbonError::NetworkDown)??;
+        Ok(MetricsHandle {
+            inner: StreamHandle {
+                id,
+                cmd: self.cmd.clone(),
+                rx,
+            },
+        })
+    }
+
+    /// Lifetime end-to-end wave latency per stream, as observed at the
+    /// root: back-ends stamp packets at injection, the root resolves the
+    /// stamp when the filtered wave emerges.
+    pub fn wave_latencies(&self) -> Result<HashMap<StreamId, LogHistogram>> {
+        let (reply_tx, reply_rx) = bounded(1);
+        self.cmd
+            .send(FeCommand::WaveLatency { reply: reply_tx })
+            .map_err(|_| TbonError::NetworkDown)?;
+        reply_rx
+            .recv_timeout(self.config.shutdown_timeout)
+            .map_err(|_| TbonError::Timeout)
     }
 
     /// Failure injection: abruptly sever an *internal* communication
@@ -424,21 +599,13 @@ impl Network {
         // consistent before this call returns (no broadcast can race past
         // an unprocessed Adopt).
         let mut pending = 2 * healed.len();
-        let deadline = std::time::Instant::now() + self.config.shutdown_timeout;
+        let deadline = Instant::now() + self.config.shutdown_timeout;
         while pending > 0 {
-            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
-            let delivery = self
-                .control
-                .incoming
-                .recv_timeout(remaining)
-                .map_err(|_| TbonError::Timeout)?;
-            if let tbon_transport::Delivery::Frame { frame, .. } = delivery {
-                if let Ok(msg) = crate::process::decode_frame(frame) {
-                    if matches!(msg.msg(), Message::ReconfigAck { .. }) {
-                        pending -= 1;
-                    }
-                }
-            }
+            self.control_drain(deadline, |m| {
+                matches!(m, Message::ReconfigAck { .. }).then_some(())
+            })
+            .ok_or(TbonError::Timeout)?;
+            pending -= 1;
         }
         Ok(healed)
     }
@@ -547,5 +714,50 @@ impl StreamHandle {
             })
             .map_err(|_| TbonError::NetworkDown)?;
         reply_rx.recv().map_err(|_| TbonError::NetworkDown)?
+    }
+}
+
+/// Front-end handle to the telemetry stream (see
+/// [`Network::open_metrics_stream`]): a [`StreamHandle`] that decodes each
+/// upstream packet into a [`MetricsSample`] keyed by its origin rank —
+/// the root rank for merged samples, the publishing process's rank in
+/// drill-down mode.
+#[derive(Debug)]
+pub struct MetricsHandle {
+    inner: StreamHandle,
+}
+
+impl MetricsHandle {
+    /// The underlying stream id.
+    pub fn id(&self) -> StreamId {
+        self.inner.id()
+    }
+
+    /// Block up to `timeout` for the next sample. Undecodable packets on
+    /// the stream are skipped, not surfaced as errors.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<(Rank, MetricsSample)> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            let pkt = self.inner.recv_timeout(remaining)?;
+            if let Ok(sample) = MetricsSample::from_value(pkt.value()) {
+                return Ok((pkt.origin(), sample));
+            }
+        }
+    }
+
+    /// Non-blocking poll for a sample.
+    pub fn try_recv(&self) -> Option<(Rank, MetricsSample)> {
+        while let Some(pkt) = self.inner.try_recv() {
+            if let Ok(sample) = MetricsSample::from_value(pkt.value()) {
+                return Some((pkt.origin(), sample));
+            }
+        }
+        None
+    }
+
+    /// Tear the telemetry stream down across the tree (publishers disarm).
+    pub fn close(self) -> Result<()> {
+        self.inner.close()
     }
 }

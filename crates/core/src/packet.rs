@@ -26,6 +26,8 @@ struct PacketInner {
     stream: StreamId,
     tag: Tag,
     origin: Rank,
+    /// Injection timestamp (`telemetry::now_us`), or 0 if unstamped.
+    stamp_us: u64,
     value: DataValue,
 }
 
@@ -40,11 +42,26 @@ impl Packet {
     /// value — a back-end rank for raw data, or the rank of the
     /// communication process whose filter synthesized it.
     pub fn new(stream: StreamId, tag: Tag, origin: Rank, value: DataValue) -> Packet {
+        Packet::stamped(stream, tag, origin, 0, value)
+    }
+
+    /// Create a packet carrying an injection timestamp (microseconds per
+    /// [`crate::telemetry::now_us`]; 0 means unstamped). The stamp rides
+    /// the wire with the packet so the front-end can resolve end-to-end
+    /// wave latency.
+    pub fn stamped(
+        stream: StreamId,
+        tag: Tag,
+        origin: Rank,
+        stamp_us: u64,
+        value: DataValue,
+    ) -> Packet {
         Packet {
             inner: Arc::new(PacketInner {
                 stream,
                 tag,
                 origin,
+                stamp_us,
                 value,
             }),
         }
@@ -65,6 +82,36 @@ impl Packet {
         self.inner.origin
     }
 
+    /// Injection timestamp in microseconds (0 = unstamped).
+    pub fn stamp_us(&self) -> u64 {
+        self.inner.stamp_us
+    }
+
+    /// This packet with its stamp filled in if currently unstamped —
+    /// filters synthesize fresh packets with no stamp, and the wave
+    /// machinery back-fills the earliest input stamp so latency survives
+    /// reduction. Avoids a payload clone when the packet is unshared.
+    pub fn or_stamp(self, stamp_us: u64) -> Packet {
+        if self.inner.stamp_us != 0 || stamp_us == 0 {
+            return self;
+        }
+        match Arc::try_unwrap(self.inner) {
+            Ok(mut inner) => {
+                inner.stamp_us = stamp_us;
+                Packet {
+                    inner: Arc::new(inner),
+                }
+            }
+            Err(shared) => Packet::stamped(
+                shared.stream,
+                shared.tag,
+                shared.origin,
+                stamp_us,
+                shared.value.clone(),
+            ),
+        }
+    }
+
     /// Borrow the payload.
     pub fn value(&self) -> &DataValue {
         &self.inner.value
@@ -80,8 +127,8 @@ impl Packet {
 
     /// Exact wire size of this packet's payload plus header.
     pub fn encoded_len(&self) -> usize {
-        // stream(4) + tag(4) + origin(4) + value
-        12 + self.inner.value.encoded_len()
+        // stream(4) + tag(4) + origin(4) + stamp(8) + value
+        20 + self.inner.value.encoded_len()
     }
 
     /// How many clones of this packet are alive (diagnostics / zero-copy
@@ -156,7 +203,25 @@ mod tests {
     #[test]
     fn encoded_len_includes_header() {
         let p = pkt(DataValue::Unit);
-        assert_eq!(p.encoded_len(), 12 + 1);
+        assert_eq!(p.encoded_len(), 20 + 1);
+    }
+
+    #[test]
+    fn stamping() {
+        let p = pkt(DataValue::I64(1));
+        assert_eq!(p.stamp_us(), 0);
+        let stamped = p.or_stamp(500);
+        assert_eq!(stamped.stamp_us(), 500);
+        // An existing stamp wins.
+        assert_eq!(stamped.clone().or_stamp(900).stamp_us(), 500);
+        // Back-filling a shared packet leaves the other handle untouched.
+        let a = pkt(DataValue::I64(2));
+        let b = a.clone();
+        let c = b.clone().or_stamp(7);
+        assert_eq!(c.stamp_us(), 7);
+        assert_eq!(a.stamp_us(), 0);
+        let d = Packet::stamped(StreamId(1), Tag(2), Rank(3), 42, DataValue::Unit);
+        assert_eq!(d.stamp_us(), 42);
     }
 
     #[test]

@@ -14,7 +14,7 @@
 
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use crossbeam_channel::{Receiver, Sender};
 use parking_lot::RwLock;
@@ -28,7 +28,11 @@ use crate::filter::{FilterContext, FilterRegistry, SyncContext, Synchronization,
 use crate::packet::{Packet, Rank};
 use crate::proto::{decode_message, Envelope, FilterKind, Message, NetEvent, PerfCounters};
 use crate::stream::{Members, StreamId, StreamMode, StreamSpec, Tag};
+use crate::telemetry::{now_us, EventRing, LogHistogram, MetricsSample, METRICS_FILTER};
 use crate::value::DataValue;
+
+/// Capacity of each process's structured event ring.
+const EVENT_RING_CAP: usize = 256;
 
 /// Commands from the front-end handle into the root process.
 pub(crate) enum FeCommand {
@@ -54,6 +58,25 @@ pub(crate) enum FeCommand {
     Shutdown {
         reply: Sender<Result<()>>,
     },
+    OpenMetrics {
+        interval: Duration,
+        merge: bool,
+        reply: Sender<Result<(StreamId, Receiver<Packet>)>>,
+    },
+    WaveLatency {
+        reply: Sender<HashMap<StreamId, LogHistogram>>,
+    },
+}
+
+/// State of this process's periodic metrics publishing (armed when a
+/// metrics stream is open — the process itself is a stream member).
+struct MetricsPublisher {
+    stream: StreamId,
+    interval: Duration,
+    next_fire: Instant,
+    seq: u64,
+    /// Counter values at the previous publish; samples carry deltas.
+    last: PerfCounters,
 }
 
 /// Per-(stream, process) state.
@@ -111,6 +134,18 @@ pub(crate) struct CommProcess {
     /// Peers whose send failure has already been reported via
     /// [`NetEvent::SendFailed`] (one event per peer, not per frame).
     failed_sends_reported: HashSet<Rank>,
+    /// End-to-end wave latency observed this publish interval (root only —
+    /// drained into each metrics sample).
+    wave_latency_interval: LogHistogram,
+    /// Lifetime per-stream wave latency (root only), served to the
+    /// front-end via [`FeCommand::WaveLatency`].
+    wave_latency_by_stream: HashMap<StreamId, LogHistogram>,
+    /// Per-execution transformation runtime this publish interval.
+    filter_exec_interval: LogHistogram,
+    /// Bounded ring of structured lifecycle events.
+    events: EventRing,
+    /// Armed while a metrics stream is open.
+    metrics: Option<MetricsPublisher>,
     role: ProcessRole,
 }
 
@@ -194,6 +229,11 @@ impl CommProcess {
             orphaned_until: None,
             perf: PerfCounters::default(),
             failed_sends_reported: HashSet::new(),
+            wave_latency_interval: LogHistogram::new(),
+            wave_latency_by_stream: HashMap::new(),
+            filter_exec_interval: LogHistogram::new(),
+            events: EventRing::new(EVENT_RING_CAP),
+            metrics: None,
             role: ProcessRole::Internal { parent },
         }
     }
@@ -221,6 +261,11 @@ impl CommProcess {
             orphaned_until: None,
             perf: PerfCounters::default(),
             failed_sends_reported: HashSet::new(),
+            wave_latency_interval: LogHistogram::new(),
+            wave_latency_by_stream: HashMap::new(),
+            filter_exec_interval: LogHistogram::new(),
+            events: EventRing::new(EVENT_RING_CAP),
+            metrics: None,
             role: ProcessRole::Root {
                 fe_cmd,
                 fe_events,
@@ -294,8 +339,26 @@ impl CommProcess {
         }
     }
 
-    /// Send an event toward the front-end.
+    /// Send an event toward the front-end, recording it in the local event
+    /// ring first. Relays of children's events go through
+    /// [`CommProcess::forward_event`] so each event is logged exactly once,
+    /// at the process that observed it.
     fn emit_event(&mut self, ev: NetEvent) {
+        let (kind, detail) = match &ev {
+            NetEvent::BackendLost { rank, .. } => ("backend_lost", rank.to_string()),
+            NetEvent::BackendJoined { rank, parent } => {
+                ("backend_joined", format!("{rank} under {parent}"))
+            }
+            NetEvent::SubtreeOrphaned { rank, .. } => ("subtree_orphaned", rank.to_string()),
+            NetEvent::FilterError { detail, .. } => ("filter_error", detail.clone()),
+            NetEvent::SendFailed { peer, .. } => ("send_failed", peer.to_string()),
+        };
+        self.events.push(kind, detail);
+        self.forward_event(ev);
+    }
+
+    /// Pass an event toward the front-end without logging it locally.
+    fn forward_event(&mut self, ev: NetEvent) {
         match &mut self.role {
             ProcessRole::Root { fe_events, .. } => {
                 let _ = fe_events.send(ev);
@@ -309,10 +372,20 @@ impl CommProcess {
     }
 
     /// Deliver filtered output toward the front-end: up to the parent on
-    /// internal nodes, into the per-stream channel at the root.
+    /// internal nodes, into the per-stream channel at the root. At the
+    /// root, stamped packets resolve into end-to-end wave latency here.
     fn emit_up(&mut self, pkt: Packet) {
         match &mut self.role {
             ProcessRole::Root { fe_streams, .. } => {
+                let stamp = pkt.stamp_us();
+                if stamp > 0 {
+                    let latency = now_us().saturating_sub(stamp);
+                    self.wave_latency_interval.record(latency);
+                    self.wave_latency_by_stream
+                        .entry(pkt.stream())
+                        .or_default()
+                        .record(latency);
+                }
                 if let Some(tx) = fe_streams.get(&pkt.stream()) {
                     // The application may have dropped the handle; fine.
                     let _ = tx.send(pkt);
@@ -392,6 +465,10 @@ impl CommProcess {
         }
         let is_root = self.is_root();
         let rank = self.rank;
+        // The telemetry plane must not perturb what it measures: waves and
+        // filter work on the metrics stream itself are excluded from the
+        // counters (frames/bytes stay inclusive — they are wire truth).
+        let is_metrics = self.metrics.as_ref().is_some_and(|m| m.stream == stream_id);
         let mut up_out: Vec<Packet> = Vec::new();
         let mut down_out: Vec<Packet> = Vec::new();
         let mut errors: Vec<String> = Vec::new();
@@ -400,15 +477,31 @@ impl CommProcess {
                 return;
             };
             for wave in waves {
-                self.perf.waves += 1;
+                if !is_metrics {
+                    self.perf.waves += 1;
+                }
+                // Earliest injection stamp in the wave: back-filled onto
+                // unstamped filter outputs so latency survives reduction.
+                let wave_stamp = wave
+                    .iter()
+                    .map(|p| p.stamp_us())
+                    .filter(|&s| s > 0)
+                    .min()
+                    .unwrap_or(0);
                 let mut ctx = FilterContext::new(stream_id, rank, is_root, st.expected.len());
                 let started = Instant::now();
                 let result = st.tfilter.transform(wave, &mut ctx);
-                self.perf.filter_ns += started.elapsed().as_nanos() as u64;
+                let elapsed_ns = started.elapsed().as_nanos() as u64;
+                if !is_metrics {
+                    self.perf.filter_ns += elapsed_ns;
+                    self.filter_exec_interval.record(elapsed_ns);
+                }
                 match result {
                     Ok(outputs) => {
-                        self.perf.filter_out += outputs.len() as u64;
-                        up_out.extend(outputs);
+                        if !is_metrics {
+                            self.perf.filter_out += outputs.len() as u64;
+                        }
+                        up_out.extend(outputs.into_iter().map(|p| p.or_stamp(wave_stamp)));
                         if st.mode == StreamMode::Bidirectional {
                             down_out.append(&mut ctx.reverse);
                         }
@@ -438,6 +531,7 @@ impl CommProcess {
         stream_id: StreamId,
         tag: Tag,
         origin: Rank,
+        sent_us: u64,
         value: DataValue,
     ) {
         let now = Instant::now();
@@ -446,7 +540,7 @@ impl CommProcess {
                 // Stream closed or unknown: drop (paper model has no nack).
                 return;
             };
-            let pkt = Packet::new(stream_id, tag, origin, value);
+            let pkt = Packet::stamped(stream_id, tag, origin, sent_us, value);
             let ctx = SyncContext {
                 stream: stream_id,
                 rank: self.rank,
@@ -476,6 +570,10 @@ impl CommProcess {
             unreachable!("caller matched NewStream");
         };
         let stream_id = *stream;
+        // A stream whose members include this communication process is a
+        // telemetry stream: we contribute samples ourselves, so our own
+        // rank joins `expected` and a periodic publisher is armed.
+        let self_member = members.contains(&self.rank);
         // Which children lead to members?
         let buckets = {
             let topo = self.topology.read();
@@ -499,11 +597,15 @@ impl CommProcess {
         };
         match (tfilter, sync, dfilter) {
             (Ok(tfilter), Ok(sync), Ok(dfilter)) => {
+                let mut expected = routes.clone();
+                if self_member {
+                    expected.push(self.rank);
+                }
                 self.streams.insert(
                     stream_id,
                     StreamState {
                         members: members.clone(),
-                        expected: routes.clone(),
+                        expected,
                         down_routes: routes.clone(),
                         sync,
                         tfilter,
@@ -511,6 +613,19 @@ impl CommProcess {
                         mode: *mode,
                     },
                 );
+                self.events.push("stream_open", stream_id.to_string());
+                if self_member {
+                    let interval_us = params.as_u64().filter(|v| *v > 0).unwrap_or(1_000_000);
+                    let interval = Duration::from_micros(interval_us);
+                    self.metrics = Some(MetricsPublisher {
+                        stream: stream_id,
+                        interval,
+                        next_fire: Instant::now() + interval,
+                        seq: 0,
+                        last: self.perf,
+                    });
+                    self.events.push("metrics_open", format!("{interval:?}"));
+                }
             }
             (t, s, d) => {
                 let detail = [
@@ -536,9 +651,13 @@ impl CommProcess {
 
     fn handle_close_stream(&mut self, msg: &Arc<Envelope>, stream_id: StreamId) {
         if let Some(st) = self.streams.remove(&stream_id) {
+            self.events.push("stream_close", stream_id.to_string());
             for child in st.down_routes {
                 let _ = self.send_to_noted(child, msg);
             }
+        }
+        if self.metrics.as_ref().is_some_and(|m| m.stream == stream_id) {
+            self.metrics = None;
         }
         if let ProcessRole::Root { fe_streams, .. } = &mut self.role {
             fe_streams.remove(&stream_id);
@@ -603,6 +722,7 @@ impl CommProcess {
     /// exit immediately (no children to wait for).
     fn begin_shutdown(&mut self) -> bool {
         self.shutting_down = true;
+        self.events.push("shutdown", "");
         let kids = self.live_children();
         if kids.is_empty() {
             return true;
@@ -778,7 +898,9 @@ impl CommProcess {
     /// traffic counts again.
     fn handle_adopt(&mut self, child: Rank) {
         self.dead_children.remove(&child);
+        self.events.push("adopt_child", child.to_string());
         let rank = self.rank;
+        let metrics_stream = self.metrics.as_ref().map(|m| m.stream);
         let ids: Vec<StreamId> = self.streams.keys().copied().collect();
         let now = Instant::now();
         for stream_id in ids {
@@ -789,13 +911,18 @@ impl CommProcess {
                     let members: Vec<NodeId> = st.members.iter().map(|r| NodeId(r.0)).collect();
                     topo.route(NodeId(rank.0), &members)
                 };
-                let routes: Vec<Rank> = buckets
+                let mut routes: Vec<Rank> = buckets
                     .iter()
                     .map(|(c, _)| Rank(c.0))
                     .filter(|c| !self.dead_children.contains(c))
                     .collect();
-                st.expected = routes.clone();
-                st.down_routes = routes;
+                st.down_routes = routes.clone();
+                // On the metrics stream this process is itself a
+                // contributor; the recomputed routes must not evict it.
+                if metrics_stream == Some(stream_id) {
+                    routes.push(rank);
+                }
+                st.expected = routes;
                 let ctx = SyncContext {
                     stream: stream_id,
                     rank,
@@ -818,14 +945,17 @@ impl CommProcess {
     /// Reconfiguration: switch our upstream output to a new parent.
     fn handle_new_parent(&mut self, parent: Rank) {
         self.orphaned_until = None;
+        self.events.push("new_parent", parent.to_string());
         if let ProcessRole::Internal { parent: p } = &mut self.role {
             *p = parent;
         }
     }
 
-    /// Fire timer-based flushes whose deadline has passed.
+    /// Fire timer-based flushes whose deadline has passed, and publish a
+    /// metrics sample if the publish interval elapsed.
     fn fire_deadlines(&mut self) {
         let now = Instant::now();
+        self.publish_metrics(now);
         let due: Vec<StreamId> = self
             .streams
             .iter()
@@ -847,12 +977,68 @@ impl CommProcess {
         }
     }
 
-    /// Earliest pending sync deadline across streams.
+    /// Earliest pending sync or metrics-publish deadline.
     fn next_deadline(&self) -> Option<Instant> {
-        self.streams
+        let sync = self
+            .streams
             .values()
             .filter_map(|st| st.sync.next_deadline())
-            .min()
+            .min();
+        let publish = self.metrics.as_ref().map(|m| m.next_fire);
+        match (sync, publish) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// If the publish interval elapsed, build this interval's
+    /// [`MetricsSample`] and inject it into the metrics stream as if it
+    /// arrived from ourselves — it then merges with the children's samples
+    /// through the stream's ordinary wave machinery.
+    fn publish_metrics(&mut self, now: Instant) {
+        let Some(m) = self.metrics.as_mut() else {
+            return;
+        };
+        if now < m.next_fire {
+            return;
+        }
+        while m.next_fire <= now {
+            m.next_fire += m.interval;
+        }
+        m.seq += 1;
+        let seq = m.seq;
+        let stream = m.stream;
+        let interval_us = m.interval.as_micros() as u64;
+        let delta = self.perf.delta_since(&m.last);
+        m.last = self.perf;
+
+        let mut queue_depth = LogHistogram::new();
+        for peer in self.endpoint.peers.ids() {
+            if let Some(link) = self.endpoint.peers.get(peer) {
+                if let Some(depth) = link.queue_depth() {
+                    queue_depth.record(depth as u64);
+                }
+            }
+        }
+        let level = {
+            let topo = self.topology.read();
+            topo.depth_of(NodeId(self.rank.0))
+        };
+        let mut level_packets_up = vec![0u64; level + 1];
+        level_packets_up[level] = delta.packets_up;
+        let sample = MetricsSample {
+            seq,
+            interval_us,
+            processes: 1,
+            counters: delta,
+            wave_latency_us: std::mem::take(&mut self.wave_latency_interval),
+            filter_exec_ns: std::mem::take(&mut self.filter_exec_interval),
+            queue_depth,
+            level_packets_up,
+            events_dropped: self.events.dropped(),
+        };
+        let rank = self.rank;
+        self.handle_up(rank, stream, Tag(seq as u32), rank, 0, sample.to_value());
     }
 
     /// Process one decoded message from peer `from`. Returns true if the
@@ -863,20 +1049,27 @@ impl CommProcess {
                 stream,
                 tag,
                 origin,
+                sent_us,
                 value,
             } => {
-                self.perf.packets_up += 1;
-                self.handle_up(from, *stream, *tag, *origin, value.clone());
+                // Metrics-stream traffic is excluded so the aggregated
+                // packet counts describe the application's load, not the
+                // telemetry plane's own.
+                if self.metrics.as_ref().is_none_or(|m| m.stream != *stream) {
+                    self.perf.packets_up += 1;
+                }
+                self.handle_up(from, *stream, *tag, *origin, *sent_us, value.clone());
                 false
             }
             Message::Down {
                 stream,
                 tag,
                 origin,
+                sent_us,
                 value,
             } => {
                 self.perf.packets_down += 1;
-                let pkt = Packet::new(*stream, *tag, *origin, value.clone());
+                let pkt = Packet::stamped(*stream, *tag, *origin, *sent_us, value.clone());
                 self.send_down_packet(*stream, pkt);
                 false
             }
@@ -916,8 +1109,9 @@ impl CommProcess {
                 false
             }
             Message::Event(ev) => {
-                // Events only ever travel upstream; relay.
-                self.emit_event(ev.clone());
+                // Events only ever travel upstream; relay without logging
+                // (the observing process already logged it).
+                self.forward_event(ev.clone());
                 false
             }
             Message::Adopt { child } => {
@@ -944,6 +1138,18 @@ impl CommProcess {
                 false
             }
             Message::PerfReport { .. } => false, // only the control endpoint cares
+            Message::GetEvents => {
+                let events = self.events.drain();
+                let dropped = self.events.dropped();
+                let reply = envelope(Message::EventLog {
+                    rank: self.rank,
+                    events,
+                    dropped,
+                });
+                let _ = self.send_to(from, &reply);
+                false
+            }
+            Message::EventLog { .. } => false, // only the control endpoint cares
         }
     }
 
@@ -998,7 +1204,81 @@ impl CommProcess {
                 }
                 false
             }
+            FeCommand::OpenMetrics {
+                interval,
+                merge,
+                reply,
+            } => {
+                let result = self.fe_open_metrics(interval, merge);
+                let _ = reply.send(result);
+                false
+            }
+            FeCommand::WaveLatency { reply } => {
+                let _ = reply.send(self.wave_latency_by_stream.clone());
+                false
+            }
         }
+    }
+
+    /// Open the telemetry stream: every communication process (this root
+    /// and all internals) is a member and publishes a sample per interval.
+    /// With `merge` the built-in `telemetry::metrics_merge` filter folds
+    /// them level-by-level so the front-end sees one sample per interval;
+    /// without it, identity passes every per-rank sample through for
+    /// drill-down.
+    fn fe_open_metrics(
+        &mut self,
+        interval: Duration,
+        merge: bool,
+    ) -> Result<(StreamId, Receiver<Packet>)> {
+        if let Some(m) = &self.metrics {
+            return Err(TbonError::Filter(format!(
+                "metrics stream {} is already open",
+                m.stream
+            )));
+        }
+        let members: Vec<Rank> = {
+            let topo = self.topology.read();
+            topo.node_ids()
+                .filter(|&n| matches!(topo.role(n), Role::FrontEnd | Role::Internal))
+                .map(|n| Rank(n.0))
+                .collect()
+        };
+        let stream_id = match &mut self.role {
+            ProcessRole::Root { next_stream, .. } => {
+                let id = StreamId(*next_stream);
+                *next_stream += 1;
+                id
+            }
+            ProcessRole::Internal { .. } => unreachable!("fe_open_metrics on internal"),
+        };
+        let transformation = if merge {
+            METRICS_FILTER
+        } else {
+            "core::identity"
+        };
+        let msg = envelope(Message::NewStream {
+            stream: stream_id,
+            members,
+            transformation: transformation.to_owned(),
+            params: DataValue::U64(interval.as_micros() as u64),
+            sync_name: "sync::wait_for_all".to_owned(),
+            sync_params: DataValue::Unit,
+            downstream_filter: None,
+            downstream_params: DataValue::Unit,
+            mode: StreamMode::Upstream,
+        });
+        self.handle_new_stream(&msg);
+        if !self.streams.contains_key(&stream_id) {
+            return Err(TbonError::Filter(format!(
+                "failed to instantiate metrics stream {stream_id} at root"
+            )));
+        }
+        let (tx, rx) = crossbeam_channel::unbounded();
+        if let ProcessRole::Root { fe_streams, .. } = &mut self.role {
+            fe_streams.insert(stream_id, tx);
+        }
+        Ok((stream_id, rx))
     }
 
     /// Allocate and create a stream at the root on behalf of the front-end.
@@ -1097,13 +1377,19 @@ impl CommProcess {
 
     /// The event loop. Runs until shutdown completes or the parent vanishes.
     pub(crate) fn run(mut self) {
+        self.events
+            .push("start", if self.is_root() { "root" } else { "internal" });
+        /// How many back-to-back inputs may be handled between expired-
+        /// deadline scans. A scan costs a clock read plus a walk of the
+        /// stream table, and with a deadline armed (timeout sync or the
+        /// telemetry plane) doing it per input measurably taxes wave
+        /// throughput. Worst case a deadline fires this many back-to-back
+        /// inputs late — microseconds, since the strobe only lags while
+        /// messages are processed at full speed; the moment the queue runs
+        /// dry the blocking path below wakes at the precise deadline.
+        const DEADLINE_STROBE: u32 = 64;
+        let mut inputs_since_scan: u32 = 0;
         loop {
-            let timeout = self
-                .next_deadline()
-                .map(|d| d.saturating_duration_since(Instant::now()))
-                .unwrap_or(self.config.idle_tick)
-                .min(self.config.idle_tick);
-
             enum Input {
                 Net(Delivery),
                 Cmd(FeCommand),
@@ -1112,25 +1398,59 @@ impl CommProcess {
                 CmdClosed,
             }
 
-            let input = match &self.role {
-                ProcessRole::Root { fe_cmd, .. } => {
-                    crossbeam_channel::select! {
-                        recv(self.endpoint.incoming) -> d => match d {
-                            Ok(d) => Input::Net(d),
-                            Err(_) => Input::NetClosed,
-                        },
-                        recv(fe_cmd) -> c => match c {
-                            Ok(c) => Input::Cmd(c),
-                            Err(_) => Input::CmdClosed,
-                        },
-                        default(timeout) => Input::Tick,
+            // Fast path: under continuous traffic the next message is
+            // already queued, and computing a blocking timeout (deadline
+            // walk plus a clock read) per input is pure overhead. Only fall
+            // back to deadline math when we actually have to block.
+            let ready = match &self.role {
+                ProcessRole::Root { fe_cmd, .. } => match self.endpoint.incoming.try_recv() {
+                    Ok(d) => Some(Input::Net(d)),
+                    Err(crossbeam_channel::TryRecvError::Disconnected) => Some(Input::NetClosed),
+                    Err(crossbeam_channel::TryRecvError::Empty) => match fe_cmd.try_recv() {
+                        Ok(c) => Some(Input::Cmd(c)),
+                        Err(crossbeam_channel::TryRecvError::Disconnected) => {
+                            Some(Input::CmdClosed)
+                        }
+                        Err(crossbeam_channel::TryRecvError::Empty) => None,
+                    },
+                },
+                ProcessRole::Internal { .. } => match self.endpoint.incoming.try_recv() {
+                    Ok(d) => Some(Input::Net(d)),
+                    Err(crossbeam_channel::TryRecvError::Disconnected) => Some(Input::NetClosed),
+                    Err(crossbeam_channel::TryRecvError::Empty) => None,
+                },
+            };
+
+            let input = if let Some(input) = ready {
+                input
+            } else {
+                let timeout = self
+                    .next_deadline()
+                    .map(|d| d.saturating_duration_since(Instant::now()))
+                    .unwrap_or(self.config.idle_tick)
+                    .min(self.config.idle_tick);
+                match &self.role {
+                    ProcessRole::Root { fe_cmd, .. } => {
+                        crossbeam_channel::select! {
+                            recv(self.endpoint.incoming) -> d => match d {
+                                Ok(d) => Input::Net(d),
+                                Err(_) => Input::NetClosed,
+                            },
+                            recv(fe_cmd) -> c => match c {
+                                Ok(c) => Input::Cmd(c),
+                                Err(_) => Input::CmdClosed,
+                            },
+                            default(timeout) => Input::Tick,
+                        }
                     }
-                }
-                ProcessRole::Internal { .. } => {
-                    match self.endpoint.incoming.recv_timeout(timeout) {
-                        Ok(d) => Input::Net(d),
-                        Err(crossbeam_channel::RecvTimeoutError::Timeout) => Input::Tick,
-                        Err(crossbeam_channel::RecvTimeoutError::Disconnected) => Input::NetClosed,
+                    ProcessRole::Internal { .. } => {
+                        match self.endpoint.incoming.recv_timeout(timeout) {
+                            Ok(d) => Input::Net(d),
+                            Err(crossbeam_channel::RecvTimeoutError::Timeout) => Input::Tick,
+                            Err(crossbeam_channel::RecvTimeoutError::Disconnected) => {
+                                Input::NetClosed
+                            }
+                        }
                     }
                 }
             };
@@ -1163,6 +1483,7 @@ impl CommProcess {
                         // Orphaned: hold on for the reconfiguration grace
                         // period in case the front-end heals the tree.
                         self.orphaned_until = Some(Instant::now() + self.config.orphan_grace);
+                        self.events.push("orphaned", peer.to_string());
                     } else {
                         self.handle_child_failure(peer);
                         if self.shutting_down && self.shutdown_pending.is_empty() {
@@ -1186,6 +1507,19 @@ impl CommProcess {
                     self.fire_deadlines()
                 }
                 Input::NetClosed | Input::CmdClosed => break,
+            }
+
+            // Under continuous traffic the fast path above always finds
+            // input ready and the Tick arm starves; expired deadlines (sync
+            // timeouts, metrics publishing) still have to fire, so scan for
+            // them every DEADLINE_STROBE inputs.
+            inputs_since_scan += 1;
+            if inputs_since_scan >= DEADLINE_STROBE {
+                inputs_since_scan = 0;
+                if !self.shutting_down && self.next_deadline().is_some_and(|d| d <= Instant::now())
+                {
+                    self.fire_deadlines();
+                }
             }
         }
     }

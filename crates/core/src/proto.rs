@@ -11,6 +11,7 @@ use crate::codec::{encode_value, Reader};
 use crate::error::{Result, TbonError};
 use crate::packet::{Packet, Rank};
 use crate::stream::{StreamId, StreamMode, Tag};
+use crate::telemetry::LoggedEvent;
 use crate::value::DataValue;
 
 /// Which registry a [`Message::LoadFilter`] refers to.
@@ -48,6 +49,10 @@ pub enum Message {
         stream: StreamId,
         tag: Tag,
         origin: Rank,
+        /// Injection timestamp ([`crate::telemetry::now_us`] at the
+        /// originating process); `0` means unstamped. Used by the front-end
+        /// to resolve end-to-end wave latency.
+        sent_us: u64,
         value: DataValue,
     },
     /// Downstream application data (parent → subtree members).
@@ -55,6 +60,8 @@ pub enum Message {
         stream: StreamId,
         tag: Tag,
         origin: Rank,
+        /// Injection timestamp; `0` means unstamped. See [`Message::Up`].
+        sent_us: u64,
         value: DataValue,
     },
     /// Stream creation, propagated down the tree.
@@ -100,6 +107,16 @@ pub enum Message {
     GetPerf,
     /// Introspection reply with the process's lifetime counters.
     PerfReport { rank: Rank, counters: PerfCounters },
+    /// Introspection request (control channel): drain your structured
+    /// event ring.
+    GetEvents,
+    /// Introspection reply: the drained event ring plus the lifetime count
+    /// of events evicted before they could be read.
+    EventLog {
+        rank: Rank,
+        events: Vec<LoggedEvent>,
+        dropped: u64,
+    },
 }
 
 /// Lifetime activity counters of one communication process — the
@@ -129,6 +146,87 @@ pub struct PerfCounters {
     /// Sends abandoned because the peer's link was closed or its writer
     /// queue stayed full past the configured deadline.
     pub sends_dropped: u64,
+}
+
+impl PerfCounters {
+    /// Per-field difference since an earlier snapshot (saturating, so a
+    /// restarted process reports zeros rather than wrapping).
+    pub fn delta_since(&self, earlier: &PerfCounters) -> PerfCounters {
+        PerfCounters {
+            packets_up: self.packets_up.saturating_sub(earlier.packets_up),
+            packets_down: self.packets_down.saturating_sub(earlier.packets_down),
+            waves: self.waves.saturating_sub(earlier.waves),
+            filter_out: self.filter_out.saturating_sub(earlier.filter_out),
+            filter_ns: self.filter_ns.saturating_sub(earlier.filter_ns),
+            control: self.control.saturating_sub(earlier.control),
+            frames_sent: self.frames_sent.saturating_sub(earlier.frames_sent),
+            bytes_sent: self.bytes_sent.saturating_sub(earlier.bytes_sent),
+            encodes_performed: self
+                .encodes_performed
+                .saturating_sub(earlier.encodes_performed),
+            sends_dropped: self.sends_dropped.saturating_sub(earlier.sends_dropped),
+        }
+    }
+
+    /// Field-wise accumulate (used when merging telemetry samples).
+    /// Saturating: counters come off the wire, and a hostile or wrapped
+    /// sample must not panic the process folding it.
+    pub fn absorb(&mut self, other: &PerfCounters) {
+        self.packets_up = self.packets_up.saturating_add(other.packets_up);
+        self.packets_down = self.packets_down.saturating_add(other.packets_down);
+        self.waves = self.waves.saturating_add(other.waves);
+        self.filter_out = self.filter_out.saturating_add(other.filter_out);
+        self.filter_ns = self.filter_ns.saturating_add(other.filter_ns);
+        self.control = self.control.saturating_add(other.control);
+        self.frames_sent = self.frames_sent.saturating_add(other.frames_sent);
+        self.bytes_sent = self.bytes_sent.saturating_add(other.bytes_sent);
+        self.encodes_performed = self
+            .encodes_performed
+            .saturating_add(other.encodes_performed);
+        self.sends_dropped = self.sends_dropped.saturating_add(other.sends_dropped);
+    }
+}
+
+/// Wire size of an encoded [`PerfCounters`].
+pub const PERF_COUNTERS_WIRE_LEN: usize = 10 * 8;
+
+/// Encode counters as ten little-endian `u64`s (shared by `PerfReport` and
+/// the telemetry `MetricsSample`).
+pub fn encode_perf_counters(c: &PerfCounters, buf: &mut Vec<u8>) {
+    for v in [
+        c.packets_up,
+        c.packets_down,
+        c.waves,
+        c.filter_out,
+        c.filter_ns,
+        c.control,
+        c.frames_sent,
+        c.bytes_sent,
+        c.encodes_performed,
+        c.sends_dropped,
+    ] {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// Inverse of [`encode_perf_counters`].
+pub fn decode_perf_counters(r: &mut Reader<'_>) -> Result<PerfCounters> {
+    let mut vals = [0u64; 10];
+    for v in &mut vals {
+        *v = r.u64()?;
+    }
+    Ok(PerfCounters {
+        packets_up: vals[0],
+        packets_down: vals[1],
+        waves: vals[2],
+        filter_out: vals[3],
+        filter_ns: vals[4],
+        control: vals[5],
+        frames_sent: vals[6],
+        bytes_sent: vals[7],
+        encodes_performed: vals[8],
+        sends_dropped: vals[9],
+    })
 }
 
 /// A [`Message`] bundled with a lazily-populated memo of its wire encoding.
@@ -206,6 +304,7 @@ impl Message {
             stream: pkt.stream(),
             tag: pkt.tag(),
             origin: pkt.origin(),
+            sent_us: pkt.stamp_us(),
             value: pkt.value().clone(),
         }
     }
@@ -216,6 +315,7 @@ impl Message {
             stream: pkt.stream(),
             tag: pkt.tag(),
             origin: pkt.origin(),
+            sent_us: pkt.stamp_us(),
             value: pkt.value().clone(),
         }
     }
@@ -238,6 +338,8 @@ const M_RECONFIG_ACK: u8 = 12;
 const M_GET_PERF: u8 = 13;
 const M_STREAM_PRUNE: u8 = 15;
 const M_PERF_REPORT: u8 = 14;
+const M_GET_EVENTS: u8 = 16;
+const M_EVENT_LOG: u8 = 17;
 
 const EV_BACKEND_LOST: u8 = 1;
 const EV_BACKEND_JOINED: u8 = 2;
@@ -262,24 +364,28 @@ pub fn encode_message(msg: &Message) -> Vec<u8> {
             stream,
             tag,
             origin,
+            sent_us,
             value,
         } => {
             buf.push(M_UP);
             put_u32(&mut buf, stream.0);
             put_u32(&mut buf, tag.0);
             put_u32(&mut buf, origin.0);
+            buf.extend_from_slice(&sent_us.to_le_bytes());
             encode_value(value, &mut buf);
         }
         Message::Down {
             stream,
             tag,
             origin,
+            sent_us,
             value,
         } => {
             buf.push(M_DOWN);
             put_u32(&mut buf, stream.0);
             put_u32(&mut buf, tag.0);
             put_u32(&mut buf, origin.0);
+            buf.extend_from_slice(&sent_us.to_le_bytes());
             encode_value(value, &mut buf);
         }
         Message::NewStream {
@@ -358,19 +464,22 @@ pub fn encode_message(msg: &Message) -> Vec<u8> {
         Message::PerfReport { rank, counters } => {
             buf.push(M_PERF_REPORT);
             put_u32(&mut buf, rank.0);
-            for v in [
-                counters.packets_up,
-                counters.packets_down,
-                counters.waves,
-                counters.filter_out,
-                counters.filter_ns,
-                counters.control,
-                counters.frames_sent,
-                counters.bytes_sent,
-                counters.encodes_performed,
-                counters.sends_dropped,
-            ] {
-                buf.extend_from_slice(&v.to_le_bytes());
+            encode_perf_counters(counters, &mut buf);
+        }
+        Message::GetEvents => buf.push(M_GET_EVENTS),
+        Message::EventLog {
+            rank,
+            events,
+            dropped,
+        } => {
+            buf.push(M_EVENT_LOG);
+            put_u32(&mut buf, rank.0);
+            buf.extend_from_slice(&dropped.to_le_bytes());
+            put_u32(&mut buf, events.len() as u32);
+            for ev in events {
+                buf.extend_from_slice(&ev.at_us.to_le_bytes());
+                put_str(&mut buf, &ev.kind);
+                put_str(&mut buf, &ev.detail);
             }
         }
         Message::Event(ev) => {
@@ -411,7 +520,7 @@ pub fn encode_message(msg: &Message) -> Vec<u8> {
 /// zero-copy frames so shaping charges honest costs.
 pub fn message_encoded_len(msg: &Message) -> usize {
     match msg {
-        Message::Up { value, .. } | Message::Down { value, .. } => 1 + 12 + value.encoded_len(),
+        Message::Up { value, .. } | Message::Down { value, .. } => 1 + 20 + value.encoded_len(),
         Message::NewStream {
             members,
             transformation,
@@ -444,7 +553,17 @@ pub fn message_encoded_len(msg: &Message) -> usize {
         Message::Adopt { .. } | Message::NewParent { .. } | Message::ReconfigAck { .. } => 1 + 4,
         Message::StreamPrune { .. } => 1 + 4,
         Message::GetPerf => 1,
-        Message::PerfReport { .. } => 1 + 4 + 10 * 8,
+        Message::PerfReport { .. } => 1 + 4 + PERF_COUNTERS_WIRE_LEN,
+        Message::GetEvents => 1,
+        Message::EventLog { events, .. } => {
+            1 + 4
+                + 8
+                + 4
+                + events
+                    .iter()
+                    .map(|ev| 8 + 4 + ev.kind.len() + 4 + ev.detail.len())
+                    .sum::<usize>()
+        }
         Message::Event(ev) => {
             2 + match ev {
                 NetEvent::BackendLost { .. }
@@ -477,12 +596,14 @@ fn decode_message_inner(r: &mut Reader<'_>) -> Result<Message> {
             let stream = StreamId(r.u32()?);
             let ptag = Tag(r.u32()?);
             let origin = Rank(r.u32()?);
+            let sent_us = r.u64()?;
             let value = r.value()?;
             if tag == M_UP {
                 Message::Up {
                     stream,
                     tag: ptag,
                     origin,
+                    sent_us,
                     value,
                 }
             } else {
@@ -490,6 +611,7 @@ fn decode_message_inner(r: &mut Reader<'_>) -> Result<Message> {
                     stream,
                     tag: ptag,
                     origin,
+                    sent_us,
                     value,
                 }
             }
@@ -568,24 +690,29 @@ fn decode_message_inner(r: &mut Reader<'_>) -> Result<Message> {
         M_GET_PERF => Message::GetPerf,
         M_PERF_REPORT => {
             let rank = Rank(r.u32()?);
-            let mut vals = [0u64; 10];
-            for v in &mut vals {
-                *v = r.u64()?;
+            let counters = decode_perf_counters(r)?;
+            Message::PerfReport { rank, counters }
+        }
+        M_GET_EVENTS => Message::GetEvents,
+        M_EVENT_LOG => {
+            let rank = Rank(r.u32()?);
+            let dropped = r.u64()?;
+            let n = r.len_prefix(16)?;
+            let mut events = Vec::with_capacity(n);
+            for _ in 0..n {
+                let at_us = r.u64()?;
+                let kind = r.str()?;
+                let detail = r.str()?;
+                events.push(LoggedEvent {
+                    at_us,
+                    kind,
+                    detail,
+                });
             }
-            Message::PerfReport {
+            Message::EventLog {
                 rank,
-                counters: PerfCounters {
-                    packets_up: vals[0],
-                    packets_down: vals[1],
-                    waves: vals[2],
-                    filter_out: vals[3],
-                    filter_ns: vals[4],
-                    control: vals[5],
-                    frames_sent: vals[6],
-                    bytes_sent: vals[7],
-                    encodes_performed: vals[8],
-                    sends_dropped: vals[9],
-                },
+                events,
+                dropped,
             }
         }
         M_EVENT => {
@@ -640,12 +767,14 @@ mod tests {
             stream: StreamId(3),
             tag: Tag(9),
             origin: Rank(12),
+            sent_us: 123_456,
             value: DataValue::ArrayF64(vec![1.0, 2.0, 3.0]),
         });
         roundtrip(Message::Down {
             stream: StreamId(0),
             tag: Tag(u32::MAX),
             origin: Rank(0),
+            sent_us: 0,
             value: DataValue::Unit,
         });
     }
@@ -726,6 +855,28 @@ mod tests {
             stream: StreamId(8),
         });
         roundtrip(Message::GetPerf);
+        roundtrip(Message::GetEvents);
+        roundtrip(Message::EventLog {
+            rank: Rank(6),
+            events: vec![
+                LoggedEvent {
+                    at_us: 42,
+                    kind: "stream_open".into(),
+                    detail: "stream 3".into(),
+                },
+                LoggedEvent {
+                    at_us: 99,
+                    kind: "backend_lost".into(),
+                    detail: String::new(),
+                },
+            ],
+            dropped: 7,
+        });
+        roundtrip(Message::EventLog {
+            rank: Rank(0),
+            events: vec![],
+            dropped: 0,
+        });
         roundtrip(Message::PerfReport {
             rank: Rank(3),
             counters: PerfCounters {
@@ -749,6 +900,7 @@ mod tests {
             stream: StreamId(1),
             tag: Tag(2),
             origin: Rank(3),
+            sent_us: 0,
             value: DataValue::ArrayF64(vec![0.5; 64]),
         });
         assert_eq!(env.encoded_len(), message_encoded_len(env.msg()));
@@ -787,17 +939,19 @@ mod tests {
 
     #[test]
     fn packet_conversion_preserves_fields() {
-        let pkt = Packet::new(StreamId(2), Tag(5), Rank(7), DataValue::I64(42));
+        let pkt = Packet::stamped(StreamId(2), Tag(5), Rank(7), 777, DataValue::I64(42));
         match Message::up_from_packet(&pkt) {
             Message::Up {
                 stream,
                 tag,
                 origin,
+                sent_us,
                 value,
             } => {
                 assert_eq!(stream, StreamId(2));
                 assert_eq!(tag, Tag(5));
                 assert_eq!(origin, Rank(7));
+                assert_eq!(sent_us, 777);
                 assert_eq!(value, DataValue::I64(42));
             }
             other => panic!("unexpected {other:?}"),

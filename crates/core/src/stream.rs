@@ -39,7 +39,7 @@ pub enum Members {
     /// An explicit subset.
     Ranks(Vec<Rank>),
     /// Every back-end below a given communication process — MRNet's
-    /// "streams to connect a subset of back-ends [selecting] different
+    /// "streams to connect a subset of back-ends \[selecting\] different
     /// portions of the topology". Resolved to concrete ranks at creation.
     Subtree(Rank),
 }

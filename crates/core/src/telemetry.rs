@@ -1,0 +1,799 @@
+//! In-band telemetry: log2-bucketed latency histograms, self-describing
+//! [`MetricsSample`] packets that ride the overlay's own streams, a bounded
+//! structured event log, and text exporters (Prometheus / JSON-lines).
+//!
+//! The design dogfoods the TBON (§2.2 of the paper): instead of the
+//! front-end polling every process point-to-point, each comm process
+//! periodically publishes a `MetricsSample` on a dedicated stream and the
+//! `telemetry::metrics_merge` transformation folds samples level-by-level,
+//! so the front-end receives **one** aggregated sample per interval
+//! regardless of tree size.
+//!
+//! Everything here is allocation-free on the hot path: histograms are
+//! fixed 64-bucket arrays, and timestamps are microseconds relative to a
+//! process-wide epoch.
+
+use std::collections::VecDeque;
+use std::sync::OnceLock;
+use std::time::Instant;
+
+use crate::codec::Reader;
+use crate::error::{Result, TbonError};
+use crate::filter::{FilterContext, Transformation, Wave};
+use crate::packet::Packet;
+use crate::proto::{
+    decode_perf_counters, encode_perf_counters, PerfCounters, PERF_COUNTERS_WIRE_LEN,
+};
+use crate::stream::Tag;
+use crate::value::DataValue;
+
+/// Registry name of the built-in sample-merging transformation.
+pub const METRICS_FILTER: &str = "telemetry::metrics_merge";
+
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+/// Microseconds since a process-wide epoch, offset by one so the result is
+/// always strictly positive: `0` is reserved as the "unstamped" sentinel in
+/// packet headers. Monotonic within a process; comparable across threads of
+/// the same process (which is all the in-process transports need).
+pub fn now_us() -> u64 {
+    let epoch = *EPOCH.get_or_init(Instant::now);
+    Instant::now().duration_since(epoch).as_micros() as u64 + 1
+}
+
+/// Number of buckets in a [`LogHistogram`]: one per possible leading-bit
+/// position of a `u64`, so any value maps to a bucket without clamping.
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// A fixed-size histogram with power-of-two bucket boundaries.
+///
+/// Bucket `i` covers `[2^i, 2^(i+1))` (bucket 0 also absorbs zero), so
+/// recording is a `leading_zeros` and an array increment — no allocation,
+/// no branches on size. Exact `count`/`sum`/`min`/`max` are kept alongside
+/// the buckets so means are exact and quantiles can be clamped to the
+/// observed range. Merge is associative and commutative, which is what lets
+/// the tree combine histograms in any grouping order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogHistogram {
+    counts: [u64; HISTOGRAM_BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogHistogram {
+    pub const fn new() -> Self {
+        LogHistogram {
+            counts: [0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    fn bucket_of(v: u64) -> usize {
+        if v == 0 {
+            0
+        } else {
+            63 - v.leading_zeros() as usize
+        }
+    }
+
+    /// Inclusive upper bound of bucket `i`.
+    pub fn bucket_ceil(i: usize) -> u64 {
+        if i >= 63 {
+            u64::MAX
+        } else {
+            (1u64 << (i + 1)) - 1
+        }
+    }
+
+    pub fn record(&mut self, v: u64) {
+        self.counts[Self::bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        if v < self.min {
+            self.min = v;
+        }
+        if v > self.max {
+            self.max = v;
+        }
+    }
+
+    /// Saturating (like [`MetricsSample::merge`]): wire-decoded inputs must
+    /// not be able to panic the process folding them.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a = a.saturating_add(*b);
+        }
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Approximate quantile in `0.0..=1.0`: the upper bound of the bucket
+    /// holding the q-th sample, clamped to the exact observed min/max (so
+    /// `quantile(0.0)`/`quantile(1.0)` are exact).
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        if q <= 0.0 {
+            return self.min();
+        }
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                return Self::bucket_ceil(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// `(inclusive upper bound, count)` for every non-empty bucket, in
+    /// ascending order.
+    pub fn buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (Self::bucket_ceil(i), c))
+    }
+
+    /// Sparse wire form: the four exact fields, then only non-empty buckets
+    /// as `(u8 index, u64 count)` pairs. A fresh histogram costs 33 bytes.
+    pub fn encode(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&self.count.to_le_bytes());
+        buf.extend_from_slice(&self.sum.to_le_bytes());
+        buf.extend_from_slice(&self.min.to_le_bytes());
+        buf.extend_from_slice(&self.max.to_le_bytes());
+        let nonzero = self.counts.iter().filter(|&&c| c > 0).count() as u8;
+        buf.push(nonzero);
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c > 0 {
+                buf.push(i as u8);
+                buf.extend_from_slice(&c.to_le_bytes());
+            }
+        }
+    }
+
+    pub fn decode(r: &mut Reader<'_>) -> Result<LogHistogram> {
+        let count = r.u64()?;
+        let sum = r.u64()?;
+        let min = r.u64()?;
+        let max = r.u64()?;
+        let n = r.u8()? as usize;
+        let mut counts = [0u64; HISTOGRAM_BUCKETS];
+        for _ in 0..n {
+            let idx = r.u8()? as usize;
+            if idx >= HISTOGRAM_BUCKETS {
+                return Err(TbonError::Decode(format!(
+                    "histogram bucket index {idx} out of range"
+                )));
+            }
+            counts[idx] = r.u64()?;
+        }
+        Ok(LogHistogram {
+            counts,
+            count,
+            sum,
+            min,
+            max,
+        })
+    }
+
+    pub fn encoded_len(&self) -> usize {
+        8 * 4 + 1 + 9 * self.counts.iter().filter(|&&c| c > 0).count()
+    }
+}
+
+/// One interval's worth of telemetry from one process — or, after passing
+/// through `telemetry::metrics_merge`, from a whole subtree.
+///
+/// Counters are **deltas** since the previous sample, so summing across
+/// processes and across intervals are both meaningful. `merge` is
+/// associative and commutative (sums, maxes, and histogram merges), which
+/// lets the tree fold samples level-by-level in any grouping.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsSample {
+    /// Publisher's sample sequence number; merged as `max`.
+    pub seq: u64,
+    /// Publish interval in microseconds; merged as `max`.
+    pub interval_us: u64,
+    /// Number of processes folded into this sample.
+    pub processes: u32,
+    /// Counter deltas since the previous sample, summed across processes.
+    pub counters: PerfCounters,
+    /// End-to-end wave latency (µs) observed at the front-end this
+    /// interval. Only the root records it — latency is a root-side notion —
+    /// so the merged histogram is exactly the root's.
+    pub wave_latency_us: LogHistogram,
+    /// Per-execution transformation-filter runtime (ns) this interval.
+    pub filter_exec_ns: LogHistogram,
+    /// Writer-queue depth per outbound link, sampled at publish time.
+    pub queue_depth: LogHistogram,
+    /// Upstream packets received this interval, indexed by tree depth of
+    /// the receiving process (0 = front-end). Merged element-wise.
+    pub level_packets_up: Vec<u64>,
+    /// Lifetime count of events evicted from the bounded event rings.
+    pub events_dropped: u64,
+}
+
+impl MetricsSample {
+    /// Sums saturate rather than wrap: saturating addition is still
+    /// associative and commutative (everything clamps to the same ceiling
+    /// whatever the fold order), so hostile or wrapped inputs cannot panic
+    /// a comm process mid-merge.
+    pub fn merge(&mut self, other: &MetricsSample) {
+        self.seq = self.seq.max(other.seq);
+        self.interval_us = self.interval_us.max(other.interval_us);
+        self.processes = self.processes.saturating_add(other.processes);
+        self.counters.absorb(&other.counters);
+        self.wave_latency_us.merge(&other.wave_latency_us);
+        self.filter_exec_ns.merge(&other.filter_exec_ns);
+        self.queue_depth.merge(&other.queue_depth);
+        if self.level_packets_up.len() < other.level_packets_up.len() {
+            self.level_packets_up
+                .resize(other.level_packets_up.len(), 0);
+        }
+        for (a, b) in self
+            .level_packets_up
+            .iter_mut()
+            .zip(&other.level_packets_up)
+        {
+            *a = a.saturating_add(*b);
+        }
+        self.events_dropped = self.events_dropped.saturating_add(other.events_dropped);
+    }
+
+    pub fn encode(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&self.seq.to_le_bytes());
+        buf.extend_from_slice(&self.interval_us.to_le_bytes());
+        buf.extend_from_slice(&self.processes.to_le_bytes());
+        encode_perf_counters(&self.counters, buf);
+        self.wave_latency_us.encode(buf);
+        self.filter_exec_ns.encode(buf);
+        self.queue_depth.encode(buf);
+        buf.extend_from_slice(&(self.level_packets_up.len() as u32).to_le_bytes());
+        for v in &self.level_packets_up {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+        buf.extend_from_slice(&self.events_dropped.to_le_bytes());
+    }
+
+    pub fn decode(r: &mut Reader<'_>) -> Result<MetricsSample> {
+        let seq = r.u64()?;
+        let interval_us = r.u64()?;
+        let processes = r.u32()?;
+        let counters = decode_perf_counters(r)?;
+        let wave_latency_us = LogHistogram::decode(r)?;
+        let filter_exec_ns = LogHistogram::decode(r)?;
+        let queue_depth = LogHistogram::decode(r)?;
+        let n = r.len_prefix(8)?;
+        let mut level_packets_up = Vec::with_capacity(n);
+        for _ in 0..n {
+            level_packets_up.push(r.u64()?);
+        }
+        let events_dropped = r.u64()?;
+        Ok(MetricsSample {
+            seq,
+            interval_us,
+            processes,
+            counters,
+            wave_latency_us,
+            filter_exec_ns,
+            queue_depth,
+            level_packets_up,
+            events_dropped,
+        })
+    }
+
+    pub fn encoded_len(&self) -> usize {
+        8 + 8
+            + 4
+            + PERF_COUNTERS_WIRE_LEN
+            + self.wave_latency_us.encoded_len()
+            + self.filter_exec_ns.encoded_len()
+            + self.queue_depth.encoded_len()
+            + 4
+            + 8 * self.level_packets_up.len()
+            + 8
+    }
+
+    /// Pack into the opaque-bytes payload a telemetry packet carries.
+    pub fn to_value(&self) -> DataValue {
+        let mut buf = Vec::with_capacity(self.encoded_len());
+        self.encode(&mut buf);
+        DataValue::Bytes(buf)
+    }
+
+    pub fn from_value(v: &DataValue) -> Result<MetricsSample> {
+        let bytes = v
+            .as_bytes()
+            .ok_or_else(|| TbonError::Decode("metrics sample payload must be Bytes".into()))?;
+        let mut r = Reader::new(bytes);
+        let s = Self::decode(&mut r)?;
+        if r.remaining() != 0 {
+            return Err(TbonError::Decode(
+                "trailing bytes after metrics sample".into(),
+            ));
+        }
+        Ok(s)
+    }
+
+    /// Prometheus text exposition: counters as `_total`, histograms with
+    /// cumulative `_bucket{le=...}` plus `_p50`/`_p99` gauges, per-level
+    /// packet counts labelled by depth.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::with_capacity(2048);
+        let gauge = |out: &mut String, name: &str, v: u64| {
+            out.push_str(&format!("# TYPE {name} gauge\n{name} {v}\n"));
+        };
+        let counter = |out: &mut String, name: &str, v: u64| {
+            out.push_str(&format!("# TYPE {name} counter\n{name} {v}\n"));
+        };
+        gauge(&mut out, "tbon_sample_seq", self.seq);
+        gauge(&mut out, "tbon_sample_interval_us", self.interval_us);
+        gauge(&mut out, "tbon_processes", self.processes as u64);
+        let c = &self.counters;
+        counter(&mut out, "tbon_packets_up_total", c.packets_up);
+        counter(&mut out, "tbon_packets_down_total", c.packets_down);
+        counter(&mut out, "tbon_waves_total", c.waves);
+        counter(&mut out, "tbon_filter_out_total", c.filter_out);
+        counter(&mut out, "tbon_filter_ns_total", c.filter_ns);
+        counter(&mut out, "tbon_control_total", c.control);
+        counter(&mut out, "tbon_frames_sent_total", c.frames_sent);
+        counter(&mut out, "tbon_bytes_sent_total", c.bytes_sent);
+        counter(&mut out, "tbon_encodes_total", c.encodes_performed);
+        counter(&mut out, "tbon_sends_dropped_total", c.sends_dropped);
+        prom_histogram(&mut out, "tbon_wave_latency_us", &self.wave_latency_us);
+        prom_histogram(&mut out, "tbon_filter_exec_ns", &self.filter_exec_ns);
+        prom_histogram(&mut out, "tbon_queue_depth", &self.queue_depth);
+        out.push_str("# TYPE tbon_level_packets_up_total counter\n");
+        for (lvl, v) in self.level_packets_up.iter().enumerate() {
+            out.push_str(&format!(
+                "tbon_level_packets_up_total{{level=\"{lvl}\"}} {v}\n"
+            ));
+        }
+        counter(&mut out, "tbon_events_dropped_total", self.events_dropped);
+        out
+    }
+
+    /// Single-line JSON suitable for appending to a `.jsonl` log.
+    pub fn to_jsonl(&self) -> String {
+        fn hist(h: &LogHistogram) -> String {
+            format!(
+                "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p99\":{}}}",
+                h.count(),
+                h.sum(),
+                h.min(),
+                h.max(),
+                h.quantile(0.5),
+                h.quantile(0.99)
+            )
+        }
+        let c = &self.counters;
+        let levels: Vec<String> = self.level_packets_up.iter().map(u64::to_string).collect();
+        format!(
+            concat!(
+                "{{\"seq\":{},\"interval_us\":{},\"processes\":{},",
+                "\"packets_up\":{},\"packets_down\":{},\"waves\":{},",
+                "\"filter_out\":{},\"filter_ns\":{},\"control\":{},",
+                "\"frames_sent\":{},\"bytes_sent\":{},\"encodes\":{},",
+                "\"sends_dropped\":{},",
+                "\"wave_latency_us\":{},\"filter_exec_ns\":{},\"queue_depth\":{},",
+                "\"level_packets_up\":[{}],\"events_dropped\":{}}}"
+            ),
+            self.seq,
+            self.interval_us,
+            self.processes,
+            c.packets_up,
+            c.packets_down,
+            c.waves,
+            c.filter_out,
+            c.filter_ns,
+            c.control,
+            c.frames_sent,
+            c.bytes_sent,
+            c.encodes_performed,
+            c.sends_dropped,
+            hist(&self.wave_latency_us),
+            hist(&self.filter_exec_ns),
+            hist(&self.queue_depth),
+            levels.join(","),
+            self.events_dropped,
+        )
+    }
+}
+
+fn prom_histogram(out: &mut String, name: &str, h: &LogHistogram) {
+    out.push_str(&format!("# TYPE {name} histogram\n"));
+    let mut cum = 0u64;
+    for (ceil, c) in h.buckets() {
+        cum += c;
+        out.push_str(&format!("{name}_bucket{{le=\"{ceil}\"}} {cum}\n"));
+    }
+    out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", h.count()));
+    out.push_str(&format!(
+        "{name}_sum {}\n{name}_count {}\n",
+        h.sum(),
+        h.count()
+    ));
+    out.push_str(&format!(
+        "# TYPE {name}_p50 gauge\n{name}_p50 {}\n# TYPE {name}_p99 gauge\n{name}_p99 {}\n",
+        h.quantile(0.5),
+        h.quantile(0.99)
+    ));
+}
+
+/// The built-in transformation behind [`METRICS_FILTER`]: folds every
+/// `MetricsSample` in a wave into one. Samples that fail to decode are
+/// skipped rather than failing the wave — a malformed publisher should not
+/// take down the whole telemetry plane.
+#[derive(Debug, Default)]
+pub struct MetricsMerge;
+
+impl Transformation for MetricsMerge {
+    fn transform(&mut self, wave: Wave, ctx: &mut FilterContext) -> Result<Vec<Packet>> {
+        let mut acc: Option<MetricsSample> = None;
+        let mut tag = Tag(0);
+        for pkt in &wave {
+            let Ok(s) = MetricsSample::from_value(pkt.value()) else {
+                continue;
+            };
+            tag = pkt.tag();
+            match &mut acc {
+                Some(a) => a.merge(&s),
+                None => acc = Some(s),
+            }
+        }
+        Ok(match acc {
+            Some(s) => vec![ctx.make(tag, s.to_value())],
+            None => Vec::new(),
+        })
+    }
+}
+
+/// One structured, timestamped lifecycle event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoggedEvent {
+    /// Microseconds since the recording process's epoch (see [`now_us`]).
+    pub at_us: u64,
+    /// Short machine-readable kind, e.g. `"stream_open"`, `"backend_lost"`.
+    pub kind: String,
+    /// Free-form human-readable detail.
+    pub detail: String,
+}
+
+impl LoggedEvent {
+    /// Single-line JSON object (for the JSONL exporter).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"at_us\":{},\"kind\":\"{}\",\"detail\":\"{}\"}}",
+            self.at_us,
+            json_escape(&self.kind),
+            json_escape(&self.detail)
+        )
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Bounded drop-oldest ring of [`LoggedEvent`]s. Evictions are counted so
+/// the telemetry plane can report loss instead of hiding it.
+#[derive(Debug)]
+pub struct EventRing {
+    buf: VecDeque<LoggedEvent>,
+    cap: usize,
+    dropped: u64,
+}
+
+impl EventRing {
+    pub fn new(cap: usize) -> Self {
+        EventRing {
+            buf: VecDeque::with_capacity(cap),
+            cap: cap.max(1),
+            dropped: 0,
+        }
+    }
+
+    pub fn push(&mut self, kind: &str, detail: impl Into<String>) {
+        if self.buf.len() == self.cap {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(LoggedEvent {
+            at_us: now_us(),
+            kind: kind.to_owned(),
+            detail: detail.into(),
+        });
+    }
+
+    /// Remove and return all buffered events (oldest first). The dropped
+    /// counter is lifetime and survives draining.
+    pub fn drain(&mut self) -> Vec<LoggedEvent> {
+        self.buf.drain(..).collect()
+    }
+
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+/// Events drained from one process, plus how many it had to evict.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ProcessEvents {
+    pub events: Vec<LoggedEvent>,
+    pub dropped: u64,
+}
+
+impl ProcessEvents {
+    /// JSON-lines: one line per event, each tagged with the owning rank.
+    pub fn to_jsonl(&self, rank: u32) -> String {
+        let mut out = String::new();
+        for ev in &self.events {
+            out.push_str(&format!(
+                "{{\"rank\":{},\"at_us\":{},\"kind\":\"{}\",\"detail\":\"{}\"}}\n",
+                rank,
+                ev.at_us,
+                json_escape(&ev.kind),
+                json_escape(&ev.detail)
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filter::FilterContext;
+    use crate::packet::Rank;
+    use crate::stream::StreamId;
+
+    fn roundtrip_hist(h: &LogHistogram) -> LogHistogram {
+        let mut buf = Vec::new();
+        h.encode(&mut buf);
+        assert_eq!(buf.len(), h.encoded_len(), "encoded_len must be exact");
+        let mut r = Reader::new(&buf);
+        let back = LogHistogram::decode(&mut r).expect("decode");
+        assert_eq!(r.remaining(), 0);
+        back
+    }
+
+    #[test]
+    fn histogram_records_and_quantiles() {
+        let mut h = LogHistogram::new();
+        for v in [0u64, 1, 2, 3, 100, 1000, 10_000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.sum(), 11_106);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 10_000);
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.quantile(1.0), 10_000);
+        let p50 = h.quantile(0.5);
+        assert!((2..=100).contains(&p50), "p50 was {p50}");
+        // Empty histogram reports zeros, not sentinels.
+        let e = LogHistogram::new();
+        assert_eq!((e.min(), e.max(), e.quantile(0.5)), (0, 0, 0));
+        assert_eq!(e.mean(), 0.0);
+    }
+
+    #[test]
+    fn histogram_merge_matches_combined_recording() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        let mut all = LogHistogram::new();
+        for (i, v) in [5u64, 80, 3, 900, 12, 0, u64::MAX, 7].iter().enumerate() {
+            if i % 2 == 0 {
+                a.record(*v);
+            } else {
+                b.record(*v);
+            }
+            all.record(*v);
+        }
+        a.merge(&b);
+        assert_eq!(a, all);
+    }
+
+    #[test]
+    fn histogram_codec_roundtrip() {
+        let mut h = LogHistogram::new();
+        for v in [1u64, 1, 2, 65_000, 1 << 40, u64::MAX] {
+            h.record(v);
+        }
+        assert_eq!(roundtrip_hist(&h), h);
+        assert_eq!(roundtrip_hist(&LogHistogram::new()), LogHistogram::new());
+    }
+
+    fn sample_fixture(seed: u64) -> MetricsSample {
+        let mut s = MetricsSample {
+            seq: seed,
+            interval_us: 100_000,
+            processes: 1,
+            ..MetricsSample::default()
+        };
+        s.counters.packets_up = seed * 3;
+        s.counters.waves = seed;
+        s.wave_latency_us.record(seed + 1);
+        s.filter_exec_ns.record(seed * 100 + 7);
+        s.queue_depth.record(seed % 5);
+        s.level_packets_up = vec![0, seed, seed * 2];
+        s.events_dropped = seed % 2;
+        s
+    }
+
+    #[test]
+    fn sample_codec_roundtrip() {
+        let s = sample_fixture(42);
+        let mut buf = Vec::new();
+        s.encode(&mut buf);
+        assert_eq!(buf.len(), s.encoded_len());
+        let back = MetricsSample::from_value(&DataValue::Bytes(buf)).expect("decode");
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn sample_merge_sums_and_extends_levels() {
+        let mut a = sample_fixture(2);
+        let b = sample_fixture(9);
+        a.merge(&b);
+        assert_eq!(a.seq, 9);
+        assert_eq!(a.processes, 2);
+        assert_eq!(a.counters.packets_up, 2 * 3 + 9 * 3);
+        assert_eq!(a.level_packets_up, vec![0, 11, 22]);
+        assert_eq!(a.wave_latency_us.count(), 2);
+
+        // Merging in a sample with more levels grows the vector.
+        let long = MetricsSample {
+            level_packets_up: vec![1, 2, 3, 4],
+            ..MetricsSample::default()
+        };
+        let mut short = MetricsSample {
+            level_packets_up: vec![10],
+            ..MetricsSample::default()
+        };
+        short.merge(&long);
+        assert_eq!(short.level_packets_up, vec![11, 2, 3, 4]);
+    }
+
+    #[test]
+    fn metrics_merge_filter_folds_wave_to_one_packet() {
+        let mut f = MetricsMerge;
+        let mut ctx = FilterContext::new(StreamId(7), Rank(1), false, 2);
+        let wave = vec![
+            Packet::new(StreamId(7), Tag(3), Rank(4), sample_fixture(1).to_value()),
+            Packet::new(StreamId(7), Tag(3), Rank(5), sample_fixture(2).to_value()),
+            // A junk packet must be skipped, not kill the wave.
+            Packet::new(StreamId(7), Tag(3), Rank(6), DataValue::U64(99)),
+        ];
+        let out = f.transform(wave, &mut ctx).expect("merge");
+        assert_eq!(out.len(), 1);
+        let merged = MetricsSample::from_value(out[0].value()).expect("decode");
+        assert_eq!(merged.processes, 2);
+        assert_eq!(merged.seq, 2);
+        assert_eq!(merged.counters.packets_up, 3 + 6);
+
+        // A wave with no decodable samples yields nothing.
+        let empty = f
+            .transform(
+                vec![Packet::new(StreamId(7), Tag(0), Rank(4), DataValue::Unit)],
+                &mut ctx,
+            )
+            .expect("empty");
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn exporters_expose_quantiles() {
+        let mut s = sample_fixture(5);
+        for v in [10u64, 20, 30, 4000] {
+            s.wave_latency_us.record(v);
+        }
+        let prom = s.to_prometheus();
+        assert!(prom.contains("tbon_wave_latency_us_p50 "));
+        assert!(prom.contains("tbon_wave_latency_us_p99 "));
+        assert!(prom.contains("tbon_packets_up_total 15"));
+        assert!(prom.contains("tbon_level_packets_up_total{level=\"1\"} 5"));
+        assert!(prom.contains("_bucket{le=\"+Inf\"} "));
+        let json = s.to_jsonl();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"p50\":"));
+        assert!(json.contains("\"p99\":"));
+        assert!(!json.contains('\n'));
+    }
+
+    #[test]
+    fn event_ring_drops_oldest_and_counts() {
+        let mut ring = EventRing::new(3);
+        for i in 0..5 {
+            ring.push("tick", format!("event {i}"));
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.dropped(), 2);
+        let events = ring.drain();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].detail, "event 2");
+        assert!(events.windows(2).all(|w| w[0].at_us <= w[1].at_us));
+        assert!(ring.is_empty());
+        assert_eq!(ring.dropped(), 2, "dropped is lifetime");
+        let json = ProcessEvents { events, dropped: 2 }.to_jsonl(3);
+        assert_eq!(json.lines().count(), 3);
+        assert!(json.contains("\"rank\":3"));
+    }
+
+    #[test]
+    fn now_us_is_monotonic_and_nonzero() {
+        let a = now_us();
+        let b = now_us();
+        assert!(a > 0);
+        assert!(b >= a);
+    }
+}

@@ -524,15 +524,16 @@ fn perf_snapshot_reports_activity() {
         stream.recv_timeout(Duration::from_secs(5)).unwrap();
     }
     let perf = net.perf_snapshot(Duration::from_secs(5)).unwrap();
-    // Root (0) + two internals (1, 2).
-    assert_eq!(perf.len(), 3, "perf: {perf:?}");
-    let root = perf[&Rank(0)];
+    // Root (0) + two internals (1, 2), all alive.
+    assert_eq!(perf.counters.len(), 3, "perf: {perf:?}");
+    assert!(perf.missing.is_empty(), "nothing is dead: {perf:?}");
+    let root = perf.counters[&Rank(0)];
     assert_eq!(root.waves, 5, "one wave per broadcast at the root");
     assert_eq!(root.packets_up, 10, "two internal children x 5 rounds");
     assert_eq!(root.packets_down, 0, "FE broadcasts originate locally");
     assert!(root.filter_out >= 5);
     for internal in [Rank(1), Rank(2)] {
-        let p = perf[&internal];
+        let p = perf.counters[&internal];
         assert_eq!(p.waves, 5);
         assert_eq!(p.packets_up, 10, "two leaves x 5 rounds");
         assert_eq!(p.packets_down, 5, "5 broadcasts routed through");
@@ -542,7 +543,7 @@ fn perf_snapshot_reports_activity() {
     stream.broadcast(Tag(99), DataValue::Unit).unwrap();
     stream.recv_timeout(Duration::from_secs(5)).unwrap();
     let perf2 = net.perf_snapshot(Duration::from_secs(5)).unwrap();
-    assert!(perf2[&Rank(0)].waves > root.waves);
+    assert!(perf2.counters[&Rank(0)].waves > root.waves);
     net.shutdown().unwrap();
 }
 
@@ -564,7 +565,7 @@ fn multicast_to_wire_children_encodes_exactly_once() {
     stream.broadcast(Tag(0), DataValue::Unit).unwrap();
     stream.recv_timeout(Duration::from_secs(5)).unwrap();
 
-    let base = net.perf_snapshot(Duration::from_secs(5)).unwrap()[&Rank(0)];
+    let base = net.perf_snapshot(Duration::from_secs(5)).unwrap().counters[&Rank(0)];
     let rounds = 5u64;
     for round in 0..rounds {
         stream
@@ -572,7 +573,7 @@ fn multicast_to_wire_children_encodes_exactly_once() {
             .unwrap();
         stream.recv_timeout(Duration::from_secs(5)).unwrap();
     }
-    let cur = net.perf_snapshot(Duration::from_secs(5)).unwrap()[&Rank(0)];
+    let cur = net.perf_snapshot(Duration::from_secs(5)).unwrap().counters[&Rank(0)];
 
     // Between the two snapshots the root sent: the PerfReport answering the
     // baseline query (1 frame, 1 encode — counters are captured before that
@@ -660,7 +661,7 @@ fn throttled_child_is_cut_off_while_siblings_keep_receiving() {
     got.sort();
     assert_eq!(got, vec![1, 2]);
 
-    let perf = net.perf_snapshot(Duration::from_secs(5)).unwrap()[&Rank(0)];
+    let perf = net.perf_snapshot(Duration::from_secs(5)).unwrap().counters[&Rank(0)];
     assert!(perf.sends_dropped >= 1, "drops must be counted: {perf:?}");
     net.shutdown().unwrap();
 }

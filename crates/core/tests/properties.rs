@@ -80,11 +80,13 @@ proptest! {
         stream in any::<u32>(),
         tag in any::<u32>(),
         origin in any::<u32>(),
+        sent_us in any::<u64>(),
     ) {
         let msg = Message::Up {
             stream: StreamId(stream),
             tag: Tag(tag),
             origin: Rank(origin),
+            sent_us,
             value: v,
         };
         let bytes = encode_message(&msg);
@@ -92,12 +94,13 @@ proptest! {
         let back = decode_message(&bytes).unwrap();
         match (&msg, &back) {
             (
-                Message::Up { stream: s1, tag: t1, origin: o1, value: v1 },
-                Message::Up { stream: s2, tag: t2, origin: o2, value: v2 },
+                Message::Up { stream: s1, tag: t1, origin: o1, sent_us: u1, value: v1 },
+                Message::Up { stream: s2, tag: t2, origin: o2, sent_us: u2, value: v2 },
             ) => {
                 prop_assert_eq!(s1, s2);
                 prop_assert_eq!(t1, t2);
                 prop_assert_eq!(o1, o2);
+                prop_assert_eq!(u1, u2);
                 prop_assert!(value_eq(v1, v2));
             }
             _ => prop_assert!(false, "variant changed in roundtrip"),
@@ -135,6 +138,125 @@ proptest! {
     fn decoder_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
         let _ = decode_value(&bytes);
         let _ = decode_message(&bytes);
+    }
+}
+
+/// The telemetry plane: histogram merges must be a commutative monoid (the
+/// tree folds samples level-by-level in arbitrary grouping) and the sample
+/// codec must be exact.
+mod telemetry_props {
+    use proptest::prelude::*;
+    use tbon_core::proto::PerfCounters;
+    use tbon_core::{LogHistogram, MetricsSample};
+
+    fn histogram_strategy() -> impl Strategy<Value = LogHistogram> {
+        prop::collection::vec(any::<u64>(), 0..48).prop_map(|vs| {
+            let mut h = LogHistogram::new();
+            for v in vs {
+                h.record(v);
+            }
+            h
+        })
+    }
+
+    fn sample_strategy() -> impl Strategy<Value = MetricsSample> {
+        (
+            any::<u64>(),
+            any::<u64>(),
+            1u32..64,
+            histogram_strategy(),
+            histogram_strategy(),
+            histogram_strategy(),
+            prop::collection::vec(0u64..1 << 48, 0..6),
+            any::<u64>(),
+            prop::collection::vec(0u64..1 << 32, 10),
+        )
+            .prop_map(
+                |(seq, interval_us, processes, wl, fe, qd, levels, dropped, c)| MetricsSample {
+                    seq,
+                    interval_us,
+                    processes,
+                    counters: PerfCounters {
+                        packets_up: c[0],
+                        packets_down: c[1],
+                        waves: c[2],
+                        filter_out: c[3],
+                        filter_ns: c[4],
+                        control: c[5],
+                        frames_sent: c[6],
+                        bytes_sent: c[7],
+                        encodes_performed: c[8],
+                        sends_dropped: c[9],
+                    },
+                    wave_latency_us: wl,
+                    filter_exec_ns: fe,
+                    queue_depth: qd,
+                    level_packets_up: levels,
+                    events_dropped: dropped,
+                },
+            )
+    }
+
+    proptest! {
+        /// merge is associative and commutative: any fold order over the
+        /// tree produces the same aggregate.
+        #[test]
+        fn histogram_merge_is_associative_and_commutative(
+            a in histogram_strategy(),
+            b in histogram_strategy(),
+            c in histogram_strategy(),
+        ) {
+            let mut ab_c = a.clone();
+            ab_c.merge(&b);
+            ab_c.merge(&c);
+            let mut a_bc = b.clone();
+            a_bc.merge(&c);
+            let mut left = a.clone();
+            left.merge(&a_bc);
+            prop_assert_eq!(&ab_c, &left, "associativity");
+            let mut ba = b.clone();
+            ba.merge(&a);
+            let mut ab = a.clone();
+            ab.merge(&b);
+            prop_assert_eq!(&ab, &ba, "commutativity");
+        }
+
+        /// Histogram codec: encode → decode is the identity, length exact.
+        #[test]
+        fn histogram_codec_roundtrip(h in histogram_strategy()) {
+            let mut buf = Vec::new();
+            h.encode(&mut buf);
+            prop_assert_eq!(buf.len(), h.encoded_len());
+            let mut r = tbon_core::codec::Reader::new(&buf);
+            let back = LogHistogram::decode(&mut r).unwrap();
+            prop_assert_eq!(r.remaining(), 0);
+            prop_assert_eq!(h, back);
+        }
+
+        /// Sample codec through the DataValue payload it rides in.
+        #[test]
+        fn metrics_sample_roundtrip(s in sample_strategy()) {
+            let v = s.to_value();
+            let back = MetricsSample::from_value(&v).unwrap();
+            prop_assert_eq!(s, back);
+        }
+
+        /// Sample merge is associative too (same fold-order freedom).
+        #[test]
+        fn sample_merge_is_associative(
+            a in sample_strategy(),
+            b in sample_strategy(),
+            c in sample_strategy(),
+        ) {
+            let mut left = a.clone();
+            left.merge(&b);
+            left.merge(&c);
+            let mut bc = b.clone();
+            bc.merge(&c);
+            let mut right = a.clone();
+            right.merge(&bc);
+            prop_assert_eq!(left, right);
+        }
     }
 }
 

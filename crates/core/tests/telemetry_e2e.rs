@@ -1,0 +1,248 @@
+//! End-to-end tests of the telemetry plane: the tree carrying its own
+//! metrics over a dedicated stream, merged level-by-level; wave-latency
+//! accounting at the root; and the per-process structured event rings.
+
+use std::collections::HashSet;
+use std::time::{Duration, Instant};
+
+use tbon_core::{
+    BackendContext, BackendEvent, DataValue, FilterRegistry, MetricsSample, NetEvent,
+    NetworkBuilder, Packet, Rank, StreamSpec, Tag, Transformation,
+};
+use tbon_topology::Topology;
+
+/// A back-end that answers every downstream packet with its own rank.
+fn echo_rank_backend(mut ctx: BackendContext) {
+    loop {
+        match ctx.next_event() {
+            Ok(BackendEvent::Packet { stream, packet }) => {
+                let _ = ctx.send(stream, packet.tag(), DataValue::I64(ctx.rank().0 as i64));
+            }
+            Ok(BackendEvent::Shutdown) | Err(_) => break,
+            Ok(_) => continue,
+        }
+    }
+}
+
+fn registry_with_sum() -> FilterRegistry {
+    let reg = FilterRegistry::new();
+    reg.register_transformation("test::sum", |_| {
+        struct Sum;
+        impl Transformation for Sum {
+            fn transform(
+                &mut self,
+                wave: Vec<Packet>,
+                ctx: &mut tbon_core::FilterContext,
+            ) -> tbon_core::Result<Vec<Packet>> {
+                let tag = wave.first().map(|p| p.tag()).unwrap_or(Tag(0));
+                let sum: i64 = wave.iter().filter_map(|p| p.value().as_i64()).sum();
+                Ok(vec![ctx.make(tag, DataValue::I64(sum))])
+            }
+        }
+        Ok(Box::new(Sum))
+    });
+    reg
+}
+
+/// The PR's acceptance scenario: a 16x16 tree (root + 16 internals + 256
+/// back-ends) publishing at a 100 ms interval. The front-end must receive
+/// exactly one merged sample per interval covering all 17 communication
+/// processes, and the accumulated counters must account for every upstream
+/// packet of the application's waves — 256 at depth 1 plus 16 at depth 0,
+/// i.e. 272 per wave.
+#[test]
+fn sixteen_by_sixteen_tree_merges_one_sample_per_interval() {
+    const WAVES: u64 = 4;
+    const PER_WAVE: u64 = 256 + 16;
+    let mut net = NetworkBuilder::new(Topology::balanced(16, 2))
+        .registry(registry_with_sum())
+        .backend(echo_rank_backend)
+        .launch()
+        .unwrap();
+    let metrics = net.open_metrics_stream(Duration::from_millis(100)).unwrap();
+    let stream = net
+        .new_stream(StreamSpec::all().transformation("test::sum"))
+        .unwrap();
+    for round in 0..WAVES {
+        stream
+            .broadcast(Tag(round as u32), DataValue::Unit)
+            .unwrap();
+        stream.recv_timeout(Duration::from_secs(10)).unwrap();
+    }
+
+    // Drain merged samples until the application traffic is fully
+    // accounted for (counters are deltas; sums across intervals are exact).
+    let mut acc = MetricsSample::default();
+    let mut last_seq = 0u64;
+    let mut samples = 0u32;
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while acc.counters.packets_up < WAVES * PER_WAVE {
+        assert!(Instant::now() < deadline, "telemetry stalled: {acc:?}");
+        let (origin, sample) = metrics.recv_timeout(Duration::from_secs(10)).unwrap();
+        assert_eq!(origin, Rank(0), "merged samples surface from the root");
+        assert_eq!(
+            sample.processes, 17,
+            "every comm process folds into each interval's sample"
+        );
+        assert!(
+            sample.seq > last_seq,
+            "one merged sample per interval: seq must strictly increase \
+             (got {} after {})",
+            sample.seq,
+            last_seq
+        );
+        last_seq = sample.seq;
+        samples += 1;
+        acc.merge(&sample);
+    }
+    assert_eq!(acc.counters.packets_up, WAVES * PER_WAVE);
+    assert_eq!(acc.processes, 17 * samples);
+    // Per-level attribution: depth 0 is the root (16 children), depth 1 the
+    // internals (256 back-ends between them).
+    assert_eq!(acc.level_packets_up, vec![16 * WAVES, 256 * WAVES]);
+    // End-to-end wave latency: the root resolved every application wave's
+    // injection stamp; the telemetry stream itself is unstamped and so
+    // never pollutes the histogram.
+    assert_eq!(acc.wave_latency_us.count(), WAVES);
+
+    // Exporters expose the aggregate, including the latency quantiles.
+    let prom = acc.to_prometheus();
+    assert!(prom.contains("tbon_wave_latency_us_p50 "), "{prom}");
+    assert!(prom.contains("tbon_wave_latency_us_p99 "), "{prom}");
+    assert!(
+        prom.contains(&format!("tbon_wave_latency_us_count {WAVES}")),
+        "{prom}"
+    );
+    assert!(
+        prom.contains(&format!("tbon_packets_up_total {}", WAVES * PER_WAVE)),
+        "{prom}"
+    );
+    assert!(
+        prom.contains("tbon_level_packets_up_total{level=\"1\"}"),
+        "{prom}"
+    );
+    let jsonl = acc.to_jsonl();
+    assert!(jsonl.contains("\"p50\":"), "{jsonl}");
+    assert!(jsonl.contains("\"p99\":"), "{jsonl}");
+
+    metrics.close().unwrap();
+    net.shutdown().unwrap();
+}
+
+/// Drill-down mode: identity instead of the merge filter, so every process's
+/// sample arrives individually, keyed by origin rank.
+#[test]
+fn drilldown_metrics_expose_every_process_individually() {
+    let mut net = NetworkBuilder::new(Topology::balanced(2, 2))
+        .registry(registry_with_sum())
+        .backend(echo_rank_backend)
+        .launch()
+        .unwrap();
+    let metrics = net
+        .open_metrics_drilldown(Duration::from_millis(50))
+        .unwrap();
+    let mut seen: HashSet<Rank> = HashSet::new();
+    let deadline = Instant::now() + Duration::from_secs(15);
+    while seen.len() < 3 {
+        assert!(
+            Instant::now() < deadline,
+            "only heard from {seen:?} in time"
+        );
+        let (origin, sample) = metrics.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(sample.processes, 1, "drill-down samples are unmerged");
+        assert!(origin.0 <= 2, "only comm processes publish, got {origin}");
+        seen.insert(origin);
+    }
+    // A second metrics stream while one is open is refused.
+    assert!(net.open_metrics_stream(Duration::from_millis(50)).is_err());
+    metrics.close().unwrap();
+    net.shutdown().unwrap();
+}
+
+/// Lifetime per-stream wave latency survives at the root beyond the
+/// publish intervals and is queryable directly.
+#[test]
+fn wave_latencies_track_each_stream_at_the_root() {
+    const WAVES: u64 = 5;
+    let mut net = NetworkBuilder::new(Topology::balanced(2, 2))
+        .registry(registry_with_sum())
+        .backend(echo_rank_backend)
+        .launch()
+        .unwrap();
+    let stream = net
+        .new_stream(StreamSpec::all().transformation("test::sum"))
+        .unwrap();
+    for round in 0..WAVES {
+        stream
+            .broadcast(Tag(round as u32), DataValue::Unit)
+            .unwrap();
+        stream.recv_timeout(Duration::from_secs(5)).unwrap();
+    }
+    let latencies = net.wave_latencies().unwrap();
+    let h = latencies
+        .get(&stream.id())
+        .expect("app stream has a latency histogram");
+    assert_eq!(h.count(), WAVES, "one latency point per reduced wave");
+    assert!(
+        h.max() < 60_000_000,
+        "in-process waves cannot take a minute: {h:?}"
+    );
+    net.shutdown().unwrap();
+}
+
+/// The bounded event rings record lifecycle transitions at every process
+/// and drain destructively through the front-end.
+#[test]
+fn event_logs_record_lifecycle_and_drain_destructively() {
+    let mut net = NetworkBuilder::new(Topology::balanced(2, 2))
+        .registry(registry_with_sum())
+        .backend(echo_rank_backend)
+        .launch()
+        .unwrap();
+    let stream = net
+        .new_stream(StreamSpec::all().transformation("test::sum"))
+        .unwrap();
+    stream.broadcast(Tag(0), DataValue::Unit).unwrap();
+    stream.recv_timeout(Duration::from_secs(5)).unwrap();
+
+    let snap = net.event_logs(Duration::from_secs(5)).unwrap();
+    assert!(snap.missing.is_empty(), "everyone answers: {snap:?}");
+    assert_eq!(snap.logs.len(), 3, "root + two internals");
+    for rank in [Rank(0), Rank(1), Rank(2)] {
+        let log = &snap.logs[&rank];
+        assert!(
+            log.events.iter().any(|e| e.kind == "start"),
+            "{rank} must log its start: {log:?}"
+        );
+        assert!(
+            log.events.iter().any(|e| e.kind == "stream_open"),
+            "{rank} must log the stream opening: {log:?}"
+        );
+        assert_eq!(log.dropped, 0);
+    }
+    let jsonl = snap.to_jsonl();
+    assert!(jsonl.contains("\"kind\":\"start\""), "{jsonl}");
+
+    // Draining is destructive: a fresh failure is the only new content.
+    let victim = net.topology_snapshot().leaves()[0];
+    net.kill_backend(Rank(victim.0)).unwrap();
+    let lost_deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        assert!(Instant::now() < lost_deadline, "BackendLost never surfaced");
+        match net.wait_event(Duration::from_secs(5)) {
+            Ok(NetEvent::BackendLost { rank, .. }) if rank == Rank(victim.0) => break,
+            _ => continue,
+        }
+    }
+    let snap2 = net.event_logs(Duration::from_secs(5)).unwrap();
+    let all: Vec<_> = snap2.logs.values().flat_map(|l| l.events.iter()).collect();
+    assert!(
+        all.iter().any(|e| e.kind == "backend_lost"),
+        "the failure must be on record: {all:?}"
+    );
+    assert!(
+        all.iter().all(|e| e.kind != "start"),
+        "start events were already drained: {all:?}"
+    );
+    net.shutdown().unwrap();
+}

@@ -61,6 +61,10 @@ pub use stats::{Stats, StatsReport, Summary};
 pub use timealign::{align_sum, TimeAlign, TimeSeries};
 pub use topk::{decode_topk, Scored, TopK};
 
+// The telemetry-plane merge filter lives in tbon-core (the runtime publishes
+// through it), but is advertised here with the rest of the library.
+pub use tbon_core::telemetry::{MetricsMerge, METRICS_FILTER};
+
 /// All filter names this crate registers, for discovery and tests.
 pub const BUILTIN_TRANSFORMATIONS: &[&str] = &[
     "builtin::sum",
@@ -80,6 +84,9 @@ pub const BUILTIN_TRANSFORMATIONS: &[&str] = &[
     "filter::top_k",
     "filter::decimate",
     "filter::set_union",
+    // Registered by `FilterRegistry::new()` itself (every registry has it):
+    // the level-by-level fold behind `Network::open_metrics_stream`.
+    METRICS_FILTER,
 ];
 
 /// Register every filter of this crate onto an existing registry.

@@ -1,6 +1,6 @@
 //! Variable-bandwidth mean-shift — the extension the paper defers to
 //! Comaniciu, Ramesh & Meer ("The variable bandwidth mean shift and
-//! data-driven scale selection", its reference [10]).
+//! data-driven scale selection", its reference \[10\]).
 //!
 //! The fixed bandwidth of §3.1 ("we choose a fixed bandwidth of 50")
 //! under-smooths dense regions and over-smooths sparse ones. The balloon

@@ -32,4 +32,4 @@ pub mod waves;
 
 pub use engine::{simulate, LinkModel, SimOutcome, Workload};
 pub use meanshift_model::{simulate_meanshift, simulate_single_node, MsCostModel, MsWork};
-pub use waves::{simulate_waves, WaveOutcome, WaveWorkload};
+pub use waves::{simulate_waves, telemetry_tax, WaveOutcome, WaveWorkload};

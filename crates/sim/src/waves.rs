@@ -184,6 +184,42 @@ pub fn simulate_waves(
     }
 }
 
+/// Predicted fractional throughput tax of the in-band telemetry plane.
+///
+/// The metrics stream adds, at every communication process once per
+/// `interval_s`, one k-way sample merge plus one `sample_bytes` transfer on
+/// the ingress link toward its parent (one merged sample per level — the
+/// whole point of `telemetry::metrics_merge`). The tax on the steady-state
+/// wave rate is the worst per-node increase in busy fraction, since the
+/// streaming rate is set by the busiest single stage. The front-end also
+/// consumes one merged sample per interval.
+///
+/// Scale-invariance is the claim worth modelling: the tax depends on the
+/// widest fan-in and the interval, not on the number of back-ends — the
+/// same shape the measured `results/BENCH_telemetry.json` baseline shows
+/// (~1% at 1 s on a 64-leaf tree).
+pub fn telemetry_tax(
+    topology: &Topology,
+    link: LinkModel,
+    workload: &WaveWorkload,
+    interval_s: f64,
+    sample_bytes: f64,
+) -> f64 {
+    assert!(interval_s > 0.0);
+    let mut worst: f64 = 0.0;
+    for n in topology.node_ids() {
+        let k = topology.children(n).len() as f64;
+        let merge = workload.merge_base + workload.merge_per_input * k;
+        let busy = match topology.role(n) {
+            Role::FrontEnd => merge + workload.fe_consume,
+            Role::Internal => merge + link.transfer_time(sample_bytes),
+            Role::BackEnd | Role::Detached => continue,
+        };
+        worst = worst.max(busy / interval_s);
+    }
+    worst.min(1.0)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -259,6 +295,25 @@ mod tests {
         // expensive stage, so the deep tree even wins the first wave here
         // (2 × 4-way merges cost less than 1 × 16-way).
         assert!(deep.wave_done[0] <= flat.wave_done[0] * 1.5);
+    }
+
+    #[test]
+    fn telemetry_tax_is_tiny_and_scales_with_interval_not_tree_size() {
+        let link = LinkModel::gigabit_ethernet();
+        let wl = wl(0.0001);
+        let small = Topology::balanced(16, 2); // 256 back-ends
+        let at_1s = telemetry_tax(&small, link, &wl, 1.0, 256.0);
+        let at_100ms = telemetry_tax(&small, link, &wl, 0.1, 256.0);
+        assert!(at_1s < 0.05, "1s tax {at_1s} blows the <5% budget");
+        assert!(
+            (at_100ms / at_1s - 10.0).abs() < 1e-6,
+            "tax is linear in publish frequency"
+        );
+        // Level-by-level merging keeps the tax set by fan-in, not scale: a
+        // tree with 16x the back-ends and the same fan-out pays the same.
+        let big = Topology::balanced(16, 3); // 4096 back-ends
+        let big_1s = telemetry_tax(&big, link, &wl, 1.0, 256.0);
+        assert!((big_1s - at_1s).abs() < 1e-9, "{big_1s} vs {at_1s}");
     }
 
     #[test]

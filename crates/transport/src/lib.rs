@@ -107,6 +107,13 @@ pub trait Link: Send + Sync {
     /// Whether this link can only carry [`Frame::Bytes`]. The runtime
     /// serializes packets before handing them to such links.
     fn needs_bytes(&self) -> bool;
+
+    /// Frames currently waiting in this link's dedicated outbound queue, or
+    /// `None` for links that deliver synchronously / share a queue with
+    /// other links. Telemetry samples this as a backpressure gauge.
+    fn queue_depth(&self) -> Option<usize> {
+        None
+    }
 }
 
 /// A live, shared table of a node's neighbours. The transport inserts new

@@ -130,6 +130,10 @@ impl Link for ShapedLink {
     fn needs_bytes(&self) -> bool {
         self.inner.needs_bytes()
     }
+
+    fn queue_depth(&self) -> Option<usize> {
+        Some(self.tx.len())
+    }
 }
 
 type EdgeShaper = dyn Fn(PeerId, PeerId) -> Shaping + Send + Sync;

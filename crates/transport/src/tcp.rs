@@ -5,7 +5,7 @@
 //! exactly as it would between cluster hosts (the paper's testbed used TCP
 //! over Gigabit Ethernet). Per-node accept loops and per-connection reader
 //! threads multiplex everything into the node's single [`Delivery`] queue;
-//! each outbound direction is a [`crate::writer`] link — a bounded queue in
+//! each outbound direction is a `crate::writer` link — a bounded queue in
 //! front of a dedicated writer thread — so `send` never blocks the caller
 //! on a slow peer's socket.
 

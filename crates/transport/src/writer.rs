@@ -101,6 +101,10 @@ impl Link for WriterLink {
     fn needs_bytes(&self) -> bool {
         true
     }
+
+    fn queue_depth(&self) -> Option<usize> {
+        Some(self.tx.len())
+    }
 }
 
 /// Writes queued frames until the socket fails or every sender is gone,

@@ -135,6 +135,14 @@ impl std::error::Error for RecvError {}
 // --- Sender -----------------------------------------------------------------
 
 impl<T> Sender<T> {
+    pub fn len(&self) -> usize {
+        self.0.state.lock().unwrap().queue.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
     pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
         match self.send_inner(msg, None) {
             Ok(()) => Ok(()),

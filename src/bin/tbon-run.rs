@@ -141,12 +141,12 @@ fn main() -> ExitCode {
     if args.perf {
         match net.perf_snapshot(Duration::from_secs(5)) {
             Ok(perf) => {
-                let mut ranks: Vec<&Rank> = perf.keys().collect();
+                let mut ranks: Vec<&Rank> = perf.counters.keys().collect();
                 ranks.sort();
                 println!();
                 println!("process   up   down  waves  filter_out  filter_ms");
                 for r in ranks {
-                    let c = perf[r];
+                    let c = perf.counters[r];
                     println!(
                         "{:>7}  {:>4}  {:>5}  {:>5}  {:>10}  {:>9.3}",
                         r.to_string(),
@@ -156,6 +156,10 @@ fn main() -> ExitCode {
                         c.filter_out,
                         c.filter_ns as f64 / 1e6
                     );
+                }
+                if !perf.missing.is_empty() {
+                    let missing: Vec<String> = perf.missing.iter().map(|r| r.to_string()).collect();
+                    println!("no response from: {}", missing.join(", "));
                 }
             }
             Err(e) => eprintln!("perf snapshot failed: {e}"),

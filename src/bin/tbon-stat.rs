@@ -1,0 +1,227 @@
+//! `tbon-stat` — watch a running overlay through its own telemetry plane.
+//!
+//! Launches a demonstration overlay (like `tbon-run`), drives a continuous
+//! reduction workload, opens the in-band metrics stream, and renders what
+//! the tree reports about itself: per-level packet throughput, p50/p99
+//! end-to-end wave latency, writer-queue depth, and the merged activity
+//! counters.
+//!
+//! ```text
+//! tbon-stat --topology 8x8 --interval-ms 250 --watch
+//! tbon-stat --topology 4x4 --duration 5 --format prom
+//! tbon-stat --topology flat:32 --transport tcp --format jsonl
+//! ```
+
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+use tbon::prelude::*;
+use tbon::topology::TopologySpec;
+
+enum Format {
+    Watch,
+    Jsonl,
+    Prom,
+}
+
+struct Args {
+    topology: String,
+    interval_ms: u64,
+    duration_s: u64,
+    tcp: bool,
+    drilldown: bool,
+    format: Format,
+}
+
+fn parse() -> Option<Args> {
+    let mut args = Args {
+        topology: "4x4".into(),
+        interval_ms: 500,
+        duration_s: 10,
+        tcp: false,
+        drilldown: false,
+        format: Format::Jsonl,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--topology" => args.topology = it.next()?,
+            "--interval-ms" => args.interval_ms = it.next()?.parse().ok()?,
+            "--duration" => args.duration_s = it.next()?.parse().ok()?,
+            "--transport" => args.tcp = it.next()?.as_str() == "tcp",
+            "--drilldown" => args.drilldown = true,
+            "--watch" => args.format = Format::Watch,
+            "--format" => {
+                args.format = match it.next()?.as_str() {
+                    "jsonl" => Format::Jsonl,
+                    "prom" => Format::Prom,
+                    "watch" => Format::Watch,
+                    _ => return None,
+                }
+            }
+            _ => return None,
+        }
+    }
+    Some(args)
+}
+
+/// One dashboard frame: the latest interval's merged view of the tree.
+fn render_watch(sample: &MetricsSample, origin: Rank, elapsed: Duration) {
+    // Clear and home; keep each frame self-contained so a dumb terminal
+    // just scrolls.
+    print!("\x1b[2J\x1b[H");
+    let secs = sample.interval_us.max(1) as f64 / 1e6;
+    println!(
+        "tbon-stat  t={:>5.1}s  sample #{} from {}  ({} processes, interval {} ms)",
+        elapsed.as_secs_f64(),
+        sample.seq,
+        origin,
+        sample.processes,
+        sample.interval_us / 1000
+    );
+    println!();
+    println!("per-level upstream throughput (packets/s):");
+    if sample.level_packets_up.is_empty() {
+        println!("  (no upstream traffic this interval)");
+    }
+    for (lvl, v) in sample.level_packets_up.iter().enumerate() {
+        let rate = *v as f64 / secs;
+        let bar = "#".repeat(((rate / 50.0) as usize).min(60));
+        println!("  level {lvl:>2}  {rate:>10.0}  {bar}");
+    }
+    println!();
+    let wl = &sample.wave_latency_us;
+    println!(
+        "wave latency (us):   waves {:>6}   p50 {:>8}   p99 {:>8}   max {:>8}",
+        wl.count(),
+        wl.quantile(0.5),
+        wl.quantile(0.99),
+        wl.max()
+    );
+    let fx = &sample.filter_exec_ns;
+    println!(
+        "filter exec (ns):    runs  {:>6}   p50 {:>8}   p99 {:>8}   max {:>8}",
+        fx.count(),
+        fx.quantile(0.5),
+        fx.quantile(0.99),
+        fx.max()
+    );
+    let qd = &sample.queue_depth;
+    if qd.is_empty() {
+        println!("queue depth:         (no writer-backed links on this transport)");
+    } else {
+        println!(
+            "queue depth:         links {:>5}   p50 {:>8}   p99 {:>8}   max {:>8}",
+            qd.count(),
+            qd.quantile(0.5),
+            qd.quantile(0.99),
+            qd.max()
+        );
+    }
+    println!();
+    let c = &sample.counters;
+    println!(
+        "interval counters:   up {}  down {}  waves {}  filter_out {}  frames {}  bytes {}",
+        c.packets_up, c.packets_down, c.waves, c.filter_out, c.frames_sent, c.bytes_sent
+    );
+    if sample.events_dropped > 0 {
+        println!("events dropped:      {}", sample.events_dropped);
+    }
+}
+
+fn main() -> ExitCode {
+    let Some(args) = parse() else {
+        eprintln!(
+            "usage: tbon-stat [--topology SPEC] [--interval-ms N] [--duration SECS] \
+             [--transport local|tcp] [--drilldown] [--watch | --format jsonl|prom|watch]"
+        );
+        return ExitCode::from(2);
+    };
+
+    let spec = match TopologySpec::parse(&args.topology) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("bad topology: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let builder = NetworkBuilder::new(spec.build())
+        .registry(builtin_registry())
+        .backend(|mut ctx: BackendContext| loop {
+            match ctx.next_event() {
+                Ok(BackendEvent::Packet { stream, packet }) => {
+                    let metric = (ctx.rank().0 as f64).sin().abs() * 100.0;
+                    if ctx
+                        .send(stream, packet.tag(), DataValue::F64(metric))
+                        .is_err()
+                    {
+                        break;
+                    }
+                }
+                Ok(BackendEvent::Shutdown) | Err(_) => break,
+                Ok(_) => continue,
+            }
+        });
+    let launched = if args.tcp {
+        builder.transport(TcpTransport::new()).launch()
+    } else {
+        builder.launch()
+    };
+    let mut net = match launched {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("launch failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let interval = Duration::from_millis(args.interval_ms.max(10));
+    let metrics = if args.drilldown {
+        net.open_metrics_drilldown(interval)
+    } else {
+        net.open_metrics_stream(interval)
+    };
+    let metrics = match metrics {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("metrics stream failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let stream = match net.new_stream(StreamSpec::all().transformation("builtin::avg")) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("workload stream failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Drive a continuous reduction workload while draining telemetry.
+    let started = Instant::now();
+    let deadline = started + Duration::from_secs(args.duration_s);
+    let mut round = 0u32;
+    while Instant::now() < deadline {
+        if stream
+            .broadcast(Tag(round), DataValue::U64(round as u64))
+            .is_err()
+        {
+            break;
+        }
+        round += 1;
+        let _ = stream.recv_timeout(Duration::from_secs(5));
+        while let Some((origin, sample)) = metrics.try_recv() {
+            match args.format {
+                Format::Watch => render_watch(&sample, origin, started.elapsed()),
+                Format::Jsonl => println!("{}", sample.to_jsonl()),
+                Format::Prom => println!("{}", sample.to_prometheus()),
+            }
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    if metrics.close().is_err() || net.shutdown().is_err() {
+        eprintln!("teardown failed");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -63,9 +63,9 @@ pub use tbon_transport as transport;
 /// The most commonly used items, importable with one `use tbon::prelude::*`.
 pub mod prelude {
     pub use tbon_core::{
-        BackendContext, BackendEvent, DataValue, FilterRegistry, Network, NetworkBuilder,
-        NetworkConfig, Packet, Rank, StreamHandle, StreamId, StreamSpec, SyncPolicy, Tag,
-        TbonError,
+        BackendContext, BackendEvent, DataValue, EventSnapshot, FilterRegistry, LogHistogram,
+        MetricsHandle, MetricsSample, Network, NetworkBuilder, NetworkConfig, Packet, PerfSnapshot,
+        Rank, StreamHandle, StreamId, StreamSpec, SyncPolicy, Tag, TbonError,
     };
     pub use tbon_filters::builtin_registry;
     pub use tbon_topology::Topology;

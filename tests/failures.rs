@@ -199,6 +199,39 @@ fn timeout_sync_rides_through_failures_without_events_blocking() {
 }
 
 #[test]
+fn perf_snapshot_during_churn_returns_survivors_within_timeout() {
+    // Introspection must degrade, not wedge: a snapshot taken right after
+    // an internal process dies returns the survivors' counters within the
+    // timeout and names the dead process instead of blocking on it.
+    let mut net = NetworkBuilder::new(Topology::balanced(2, 2))
+        .registry(sum_registry())
+        .backend(rank_reporter())
+        .launch()
+        .unwrap();
+    let stream = net
+        .new_stream(StreamSpec::all().transformation("builtin::sum"))
+        .unwrap();
+    stream.broadcast(Tag(0), DataValue::Unit).unwrap();
+    stream.recv_timeout(Duration::from_secs(10)).unwrap();
+
+    net.kill_internal(Rank(1)).unwrap();
+    let started = std::time::Instant::now();
+    let perf = net.perf_snapshot(Duration::from_secs(2)).unwrap();
+    assert!(
+        started.elapsed() < Duration::from_secs(10),
+        "snapshot must respect its timeout"
+    );
+    assert_eq!(perf.missing, vec![Rank(1)], "the dead internal is named");
+    assert!(
+        perf.counters.contains_key(&Rank(0)) && perf.counters.contains_key(&Rank(2)),
+        "survivors answer: {perf:?}"
+    );
+    assert!(perf.counters[&Rank(0)].waves >= 1);
+    assert!(perf.total().packets_up >= 1, "totals cover the survivors");
+    net.shutdown().unwrap();
+}
+
+#[test]
 fn subtree_with_all_members_dead_is_pruned_from_existing_streams() {
     // balanced(2,2): internals 1, 2; leaves 3,4 under 1 and 5,6 under 2.
     // Killing both of internal 1's leaves leaves it with nothing to
