@@ -1,0 +1,75 @@
+//! Chaos-layer tax: what does wrapping the transport in a `FaultyTransport`
+//! cost when the `FaultPlan` injects nothing?
+//!
+//! The fault layer sits on every connect/send/recv even when all its
+//! probabilities are zero (it still consults the per-link schedule), so the
+//! interesting number is the no-fault overhead against the bare transport —
+//! that is the price of leaving chaos plumbing compiled into a test build.
+//! A third variant measures a lightly faulty plan (seeded delays) to show
+//! the injection path itself.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tbon_core::{
+    BackendContext, BackendEvent, DataValue, NetworkBuilder, StreamConsumer, StreamSpec, Tag,
+};
+use tbon_filters::builtin_registry;
+use tbon_topology::Topology;
+use tbon_transport::fault::FaultPlan;
+
+fn rank_echo(mut ctx: BackendContext) {
+    loop {
+        match ctx.next_event() {
+            Ok(BackendEvent::Packet { stream, packet }) => {
+                let _ = ctx.send(stream, packet.tag(), DataValue::I64(ctx.rank().0 as i64));
+            }
+            Ok(BackendEvent::Shutdown) | Err(_) => break,
+            Ok(_) => continue,
+        }
+    }
+}
+
+fn waves(plan: Option<FaultPlan>, rounds: usize) {
+    let mut builder = NetworkBuilder::new(Topology::balanced(4, 2))
+        .registry(builtin_registry())
+        .backend(rank_echo);
+    if let Some(plan) = plan {
+        builder = builder.fault_plan(plan);
+    }
+    let mut net = builder.launch().expect("launch");
+    let stream = net
+        .new_stream(StreamSpec::all().transformation("builtin::sum"))
+        .expect("stream");
+    for round in 0..rounds {
+        stream
+            .broadcast(Tag(round as u32), DataValue::Unit)
+            .expect("broadcast");
+        stream
+            .recv_within(Duration::from_secs(30))
+            .unwrap()
+            .expect("reduced");
+    }
+    net.shutdown().expect("shutdown");
+}
+
+fn bench_fault_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fault_overhead");
+    group.sample_size(10);
+    group.bench_function("bare/waves_16_leaves", |b| b.iter(|| waves(None, 10)));
+    group.bench_function("fault_layer_idle/waves_16_leaves", |b| {
+        b.iter(|| waves(Some(FaultPlan::new(7)), 10))
+    });
+    group.bench_function("fault_layer_delays/waves_16_leaves", |b| {
+        b.iter(|| {
+            waves(
+                Some(FaultPlan::new(7).delay_frames(0.05, Duration::from_micros(200))),
+                10,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fault_overhead);
+criterion_main!(benches);

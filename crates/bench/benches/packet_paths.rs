@@ -9,7 +9,9 @@
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use tbon_core::{BackendContext, BackendEvent, DataValue, NetworkBuilder, StreamSpec, Tag};
+use tbon_core::{
+    BackendContext, BackendEvent, DataValue, NetworkBuilder, StreamConsumer, StreamSpec, Tag,
+};
 use tbon_filters::builtin_registry;
 use tbon_topology::Topology;
 use tbon_transport::local::LocalTransport;
@@ -49,7 +51,8 @@ fn roundtrip(zero_copy: bool, rounds: usize) {
             .broadcast(Tag(round as u32), DataValue::ArrayF64(payload.clone()))
             .expect("broadcast");
         stream
-            .recv_timeout(Duration::from_secs(30))
+            .recv_within(Duration::from_secs(30))
+            .unwrap()
             .expect("reduced");
     }
     net.shutdown().expect("shutdown");

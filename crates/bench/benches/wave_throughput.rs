@@ -5,7 +5,9 @@
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use tbon_core::{BackendContext, BackendEvent, DataValue, NetworkBuilder, StreamSpec, Tag};
+use tbon_core::{
+    BackendContext, BackendEvent, DataValue, NetworkBuilder, StreamConsumer, StreamSpec, Tag,
+};
 use tbon_filters::builtin_registry;
 use tbon_topology::Topology;
 
@@ -44,7 +46,8 @@ fn run_waves(topo: Topology) {
     stream.broadcast(Tag(0), DataValue::Unit).expect("start");
     for _ in 0..WAVES {
         stream
-            .recv_timeout(Duration::from_secs(30))
+            .recv_within(Duration::from_secs(30))
+            .unwrap()
             .expect("wave result");
     }
     net.shutdown().expect("shutdown");

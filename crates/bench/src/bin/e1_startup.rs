@@ -25,7 +25,9 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use tbon_bench::render_table;
-use tbon_core::{BackendContext, BackendEvent, DataValue, NetworkBuilder, StreamSpec, Tag};
+use tbon_core::{
+    BackendContext, BackendEvent, DataValue, NetworkBuilder, StreamConsumer, StreamSpec, Tag,
+};
 use tbon_filters::{builtin_registry, decode_classes};
 use tbon_topology::{stats::required_depth, Topology};
 use tbon_transport::{local::LocalTransport, tcp::TcpTransport, Transport};
@@ -110,7 +112,8 @@ fn run_direct(
     let mut distinct: HashSet<String> = HashSet::new();
     for _ in 0..backends {
         let pkt = stream
-            .recv_timeout(Duration::from_secs(120))
+            .recv_within(Duration::from_secs(120))
+            .unwrap()
             .expect("catalog");
         for e in pkt.value().as_tuple().expect("catalog tuple") {
             // One-to-many: the front-end registers every entry of every
@@ -163,7 +166,8 @@ fn run_tree(
         .broadcast(Tag(0), DataValue::Unit)
         .expect("broadcast");
     let pkt = stream
-        .recv_timeout(Duration::from_secs(120))
+        .recv_within(Duration::from_secs(120))
+        .unwrap()
         .expect("classes");
     let classes = decode_classes(pkt.value()).expect("decode classes");
     // The front-end registers each distinct catalog's entries exactly once;

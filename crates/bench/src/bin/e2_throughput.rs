@@ -28,7 +28,8 @@ use std::time::{Duration, Instant};
 
 use tbon_bench::render_table;
 use tbon_core::{
-    BackendContext, BackendEvent, DataValue, NetworkBuilder, StreamSpec, SyncPolicy, Tag,
+    BackendContext, BackendEvent, DataValue, NetworkBuilder, StreamConsumer, StreamSpec,
+    SyncPolicy, Tag,
 };
 use tbon_filters::builtin_registry;
 use tbon_topology::{stats::required_depth, Topology};
@@ -97,7 +98,8 @@ fn run_direct(backends: usize, waves: usize, transport: &str, record_cost: Durat
     let mut acc = vec![0.0f64; RECORD_LEN];
     for _ in 0..backends * waves {
         let pkt = stream
-            .recv_timeout(Duration::from_secs(300))
+            .recv_within(Duration::from_secs(300))
+            .unwrap()
             .expect("record");
         fold(
             &mut acc,
@@ -138,7 +140,10 @@ fn run_tree(
     stream.broadcast(Tag(0), DataValue::Unit).expect("start");
     let mut acc = vec![0.0f64; RECORD_LEN];
     for _ in 0..waves {
-        let pkt = stream.recv_timeout(Duration::from_secs(300)).expect("wave");
+        let pkt = stream
+            .recv_within(Duration::from_secs(300))
+            .unwrap()
+            .expect("wave");
         fold(
             &mut acc,
             pkt.value().as_array_f64().expect("wave record"),

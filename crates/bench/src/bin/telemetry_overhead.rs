@@ -19,7 +19,9 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use tbon_core::{BackendContext, BackendEvent, DataValue, NetworkBuilder, StreamSpec, Tag};
+use tbon_core::{
+    BackendContext, BackendEvent, DataValue, NetworkBuilder, StreamConsumer, StreamSpec, Tag,
+};
 use tbon_filters::builtin_registry;
 use tbon_topology::{stats::required_depth, Topology};
 use tbon_transport::{local::LocalTransport, tcp::TcpTransport, Transport};
@@ -101,14 +103,17 @@ fn run_tree(
     let mut acc = vec![0.0f64; RECORD_LEN];
     let mut samples = 0u64;
     for _ in 0..waves {
-        let pkt = stream.recv_timeout(Duration::from_secs(300)).expect("wave");
+        let pkt = stream
+            .recv_within(Duration::from_secs(300))
+            .unwrap()
+            .expect("wave");
         fold(
             &mut acc,
             pkt.value().as_array_f64().expect("wave record"),
             record_cost,
         );
         if let Some(m) = &metrics {
-            while m.try_recv().is_some() {
+            while m.poll().is_some() {
                 samples += 1;
             }
         }

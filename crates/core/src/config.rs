@@ -2,6 +2,58 @@
 
 use std::time::Duration;
 
+use tbon_transport::fault::FaultRng;
+
+/// Retry schedule for the in-network supervisor: exponential backoff with
+/// deterministic jitter. Setting [`NetworkConfig::supervisor`] to a policy
+/// turns automatic failure recovery on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryPolicy {
+    /// Attempts per recovery action before declaring the failure permanent
+    /// and emitting [`crate::NetEvent::Degraded`].
+    pub max_attempts: u32,
+    /// Sleep before the first retry; doubles each attempt.
+    pub base_backoff: Duration,
+    /// Ceiling on the per-attempt sleep.
+    pub max_backoff: Duration,
+    /// Fraction of the backoff randomised away (0.0 = none, 0.5 = up to
+    /// half), de-synchronising concurrent recoveries. Jitter is drawn from
+    /// a seeded generator, so a given seed replays identical schedules.
+    pub jitter: f64,
+    /// Seed for the jitter stream.
+    pub seed: u64,
+    /// How long the supervisor waits for each reconfiguration ack before
+    /// treating the attempt as failed.
+    pub ack_timeout: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 5,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_secs(1),
+            jitter: 0.25,
+            seed: 0,
+            ack_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The sleep before retry number `attempt` (0-based): exponential in
+    /// the attempt, capped at `max_backoff`, minus a jittered slice drawn
+    /// from `rng`.
+    pub fn backoff(&self, attempt: u32, rng: &mut FaultRng) -> Duration {
+        let exp = self
+            .base_backoff
+            .saturating_mul(1u32 << attempt.min(20))
+            .min(self.max_backoff);
+        let jitter_frac = self.jitter.clamp(0.0, 1.0) * rng.next_f64();
+        exp.mul_f64(1.0 - jitter_frac)
+    }
+}
+
 /// Configuration shared by every process of one network.
 #[derive(Debug, Clone)]
 pub struct NetworkConfig {
@@ -23,6 +75,11 @@ pub struct NetworkConfig {
     /// How long a send may block on a full writer queue before the peer is
     /// declared too slow and treated as failed.
     pub writer_send_deadline: Duration,
+    /// When set, the network runs a supervisor that reacts to failure
+    /// events by healing the tree automatically (reattach lost back-ends,
+    /// splice out dead internals) under this retry schedule. `None` (the
+    /// default) keeps recovery fully manual.
+    pub supervisor: Option<RetryPolicy>,
 }
 
 impl NetworkConfig {
@@ -47,6 +104,7 @@ impl Default for NetworkConfig {
             name: "tbon".into(),
             writer_queue_depth: writer.queue_depth,
             writer_send_deadline: writer.send_deadline,
+            supervisor: None,
         }
     }
 }
@@ -63,6 +121,30 @@ mod tests {
         assert!(!c.name.is_empty());
         assert!(c.writer_queue_depth > 0);
         assert!(c.writer_send_deadline > Duration::ZERO);
+    }
+
+    #[test]
+    fn backoff_grows_caps_and_replays_by_seed() {
+        let p = RetryPolicy {
+            jitter: 0.0,
+            ..RetryPolicy::default()
+        };
+        let mut rng = FaultRng::new(1);
+        assert_eq!(p.backoff(0, &mut rng), Duration::from_millis(10));
+        assert_eq!(p.backoff(1, &mut rng), Duration::from_millis(20));
+        assert_eq!(p.backoff(3, &mut rng), Duration::from_millis(80));
+        // Exponent saturates at the cap.
+        assert_eq!(p.backoff(30, &mut rng), Duration::from_secs(1));
+
+        // With jitter, equal seeds produce equal schedules.
+        let q = RetryPolicy::default();
+        let mut a = FaultRng::new(9);
+        let mut b = FaultRng::new(9);
+        for attempt in 0..6 {
+            let da = q.backoff(attempt, &mut a);
+            assert_eq!(da, q.backoff(attempt, &mut b));
+            assert!(da <= Duration::from_secs(1));
+        }
     }
 
     #[test]

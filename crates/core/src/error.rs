@@ -35,6 +35,26 @@ pub enum TbonError {
     Invalid(String),
 }
 
+impl TbonError {
+    /// Whether retrying the operation later could plausibly succeed:
+    /// timeouts and transient transport faults (backpressure, I/O hiccups).
+    /// The supervisor — and any caller with its own retry loop — branches
+    /// on this instead of string-matching variants.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            TbonError::Timeout => true,
+            TbonError::Transport(e) => e.is_transient(),
+            _ => false,
+        }
+    }
+
+    /// Whether the failure is permanent: retrying cannot help (unknown
+    /// peer, closed stream, invalid operation, the network is gone, ...).
+    pub fn is_fatal(&self) -> bool {
+        !self.is_transient()
+    }
+}
+
 impl fmt::Display for TbonError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -97,6 +117,25 @@ mod tests {
         ];
         for c in cases {
             assert!(!c.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn taxonomy_classifies_transient_vs_fatal() {
+        // Transient: worth a retry.
+        assert!(TbonError::Timeout.is_transient());
+        assert!(TbonError::Transport(TransportError::Backpressure(4)).is_transient());
+        assert!(TbonError::Transport(TransportError::Io("reset".into())).is_transient());
+        // Fatal: retrying cannot help.
+        for fatal in [
+            TbonError::Transport(TransportError::Closed(3)),
+            TbonError::Transport(TransportError::UnknownPeer(7)),
+            TbonError::NetworkDown,
+            TbonError::StreamClosed(StreamId(1)),
+            TbonError::Invalid("nope".into()),
+        ] {
+            assert!(fatal.is_fatal(), "{fatal} should be fatal");
+            assert!(!fatal.is_transient());
         }
     }
 

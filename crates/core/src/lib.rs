@@ -24,6 +24,7 @@
 pub mod backend;
 pub mod codec;
 pub mod config;
+pub mod consumer;
 pub mod error;
 pub mod filter;
 pub mod fmt;
@@ -32,11 +33,13 @@ pub mod packet;
 mod process;
 pub mod proto;
 pub mod stream;
+mod supervisor;
 pub mod telemetry;
 pub mod value;
 
 pub use backend::{BackendContext, BackendEvent, BackendStream};
-pub use config::NetworkConfig;
+pub use config::{NetworkConfig, RetryPolicy};
+pub use consumer::{Deadline, StreamConsumer};
 pub use error::{Result, TbonError};
 pub use filter::{
     FilterContext, FilterRegistry, Identity, NullSync, SyncContext, Synchronization, TimeOut,

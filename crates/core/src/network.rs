@@ -13,19 +13,22 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crossbeam_channel::{bounded, unbounded, Receiver, Sender};
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 
-use tbon_topology::{NodeId, Role, Topology};
+use tbon_topology::{NodeId, Role, Topology, TopologySpec};
+use tbon_transport::fault::{FaultPlan, FaultyTransport};
 use tbon_transport::{local::LocalTransport, NodeEndpoint, Transport};
 
 use crate::backend::BackendContext;
-use crate::config::NetworkConfig;
+use crate::config::{NetworkConfig, RetryPolicy};
+use crate::consumer::{Deadline, StreamConsumer};
 use crate::error::{Result, TbonError};
 use crate::filter::FilterRegistry;
 use crate::packet::{Packet, Rank};
 use crate::process::{send_message, CommProcess, FeCommand};
 use crate::proto::{Envelope, FilterKind, Message, NetEvent, PerfCounters};
 use crate::stream::{StreamId, StreamSpec, Tag};
+use crate::supervisor::Supervisor;
 use crate::telemetry::{LogHistogram, MetricsSample, ProcessEvents};
 use crate::value::DataValue;
 
@@ -33,6 +36,11 @@ use crate::value::DataValue;
 /// for reconfiguration messages that cannot ride the (broken) tree. Chosen
 /// far outside any realistic rank range.
 const CONTROL_PEER: u32 = u32::MAX;
+
+/// Transport peer id of the supervisor's own out-of-band endpoint. The
+/// supervisor heals the tree from its own thread, so it cannot share the
+/// front-end's control endpoint (both drain replies concurrently).
+pub(crate) const SUPERVISOR_PEER: u32 = u32::MAX - 1;
 
 /// Closure run on each back-end thread.
 pub type BackendFn = dyn Fn(BackendContext) + Send + Sync;
@@ -44,6 +52,7 @@ pub struct NetworkBuilder {
     registry: Arc<FilterRegistry>,
     backend_fn: Option<Arc<BackendFn>>,
     config: NetworkConfig,
+    fault_plan: Option<FaultPlan>,
 }
 
 impl NetworkBuilder {
@@ -56,6 +65,7 @@ impl NetworkBuilder {
             registry: Arc::new(FilterRegistry::new()),
             backend_fn: None,
             config: NetworkConfig::default(),
+            fault_plan: None,
         }
     }
 
@@ -90,6 +100,24 @@ impl NetworkBuilder {
         self
     }
 
+    /// Inject faults: at launch the transport (whatever was configured) is
+    /// wrapped in a [`FaultyTransport`] driven by `plan`, so every tree link
+    /// suffers the plan's seeded drops/delays/duplicates/kills. The two
+    /// out-of-band control endpoints are spared automatically — chaos is for
+    /// the tree, not for the supervisor's scalpel.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Run the in-network supervisor: failure events are healed
+    /// automatically under `policy` (shorthand for setting
+    /// [`NetworkConfig::supervisor`]).
+    pub fn retry_policy(mut self, policy: RetryPolicy) -> Self {
+        self.config.supervisor = Some(policy);
+        self
+    }
+
     /// Wire the overlay and spawn every process thread.
     pub fn launch(self) -> Result<Network> {
         let NetworkBuilder {
@@ -98,10 +126,18 @@ impl NetworkBuilder {
             registry,
             backend_fn,
             config,
+            fault_plan,
         } = self;
         let backend_fn = backend_fn.ok_or_else(|| {
             TbonError::Invalid("NetworkBuilder::backend closure is required".into())
         })?;
+        let transport: Arc<dyn Transport> = match fault_plan {
+            Some(plan) => Arc::new(FaultyTransport::from_arc(
+                transport,
+                plan.spare(CONTROL_PEER).spare(SUPERVISOR_PEER),
+            )),
+            None => transport,
+        };
 
         // Register nodes and connect tree edges.
         let mut endpoints: HashMap<u32, NodeEndpoint> = HashMap::new();
@@ -116,11 +152,37 @@ impl NetworkBuilder {
         }
 
         let shared_topo = Arc::new(RwLock::new(topology));
-        let control = transport.add_node(CONTROL_PEER)?;
+        let control = ControlPlane::new(transport.clone(), CONTROL_PEER)?;
         let (cmd_tx, cmd_rx) = unbounded::<FeCommand>();
-        let (event_tx, event_rx) = unbounded::<NetEvent>();
+        let (user_tx, user_rx) = unbounded::<NetEvent>();
+        let recovery = Arc::new(Mutex::new(LogHistogram::new()));
 
         let mut handles = Vec::new();
+        // Supervised networks interpose a tee between the root and the user:
+        // the root reports into the supervisor, which forwards every event
+        // onward and reacts to failures by healing the tree. Unsupervised
+        // networks wire the root straight to the user (recovery is manual,
+        // as before).
+        let root_tx = match config.supervisor.clone() {
+            Some(policy) => {
+                let (raw_tx, raw_rx) = unbounded::<NetEvent>();
+                let sup = Supervisor::new(
+                    policy,
+                    ControlPlane::new(transport.clone(), SUPERVISOR_PEER)?,
+                    shared_topo.clone(),
+                    transport.clone(),
+                    raw_rx,
+                    user_tx.clone(),
+                    recovery.clone(),
+                );
+                handles.push(spawn_named(
+                    format!("{}-supervisor", config.name),
+                    move || sup.run(),
+                )?);
+                raw_tx
+            }
+            None => user_tx.clone(),
+        };
         let topo_snapshot = shared_topo.read().clone();
         for n in topo_snapshot.node_ids() {
             let role = topo_snapshot.role(n);
@@ -135,7 +197,7 @@ impl NetworkBuilder {
                         registry.clone(),
                         config.clone(),
                         cmd_rx.clone(),
-                        event_tx.clone(),
+                        root_tx.clone(),
                     );
                     handles.push(spawn_named(format!("{}-root", config.name), move || {
                         proc.run()
@@ -173,11 +235,15 @@ impl NetworkBuilder {
                 Role::Detached => {}
             }
         }
+        // Only the root thread may now hold the supervisor's inbound sender;
+        // when the root exits at shutdown, the supervisor's event loop
+        // disconnects and its thread winds down.
+        drop(root_tx);
 
         Ok(Network {
             cmd: cmd_tx,
-            events: event_rx,
-            event_tx,
+            events: user_rx,
+            event_tx: user_tx,
             handles,
             topology: shared_topo,
             transport,
@@ -185,10 +251,133 @@ impl NetworkBuilder {
             backend_fn,
             config,
             control,
-            control_backlog: VecDeque::new(),
+            recovery,
             down: false,
         })
     }
+}
+
+/// An out-of-band endpoint plus the bookkeeping to hold request/reply
+/// conversations over it: lazy connection to targets, and a backlog so
+/// interleaved conversations (a `PerfReport` arriving mid-heal, say) never
+/// eat each other's replies. The front-end owns one on [`CONTROL_PEER`];
+/// a supervised network's [`Supervisor`] owns a second on
+/// [`SUPERVISOR_PEER`], because both drain replies concurrently.
+pub(crate) struct ControlPlane {
+    endpoint: NodeEndpoint,
+    transport: Arc<dyn Transport>,
+    backlog: VecDeque<Arc<Envelope>>,
+    peer_id: u32,
+}
+
+impl ControlPlane {
+    pub(crate) fn new(transport: Arc<dyn Transport>, peer_id: u32) -> Result<ControlPlane> {
+        let endpoint = transport.add_node(peer_id)?;
+        Ok(ControlPlane {
+            endpoint,
+            transport,
+            backlog: VecDeque::new(),
+            peer_id,
+        })
+    }
+
+    /// Send a control message to any process, connecting it on first use.
+    pub(crate) fn send(&self, target: Rank, msg: Message) -> Result<()> {
+        if self.endpoint.peers.get(target.0).is_none() {
+            self.transport.connect(self.peer_id, target.0)?;
+        }
+        let link = self
+            .endpoint
+            .peers
+            .get(target.0)
+            .ok_or(TbonError::NetworkDown)?;
+        send_message(&link, &Arc::new(Envelope::new(msg))).map(|_| ())
+    }
+
+    /// Receive until `matcher` accepts a frame or the deadline passes.
+    /// Frames the matcher declines are stashed in the backlog (and the
+    /// backlog is scanned first).
+    pub(crate) fn drain<T>(
+        &mut self,
+        deadline: Instant,
+        mut matcher: impl FnMut(&Message) -> Option<T>,
+    ) -> Option<T> {
+        for i in 0..self.backlog.len() {
+            if let Some(v) = matcher(self.backlog[i].msg()) {
+                self.backlog.remove(i);
+                return Some(v);
+            }
+        }
+        loop {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return None;
+            }
+            let Ok(delivery) = self.endpoint.incoming.recv_timeout(remaining) else {
+                return None;
+            };
+            let tbon_transport::Delivery::Frame { frame, .. } = delivery else {
+                continue;
+            };
+            let Ok(env) = crate::process::decode_frame(frame) else {
+                continue;
+            };
+            if let Some(v) = matcher(env.msg()) {
+                return Some(v);
+            }
+            self.backlog.push_back(env);
+        }
+    }
+}
+
+/// Remove `failed` from the shared topology, returning its parent and the
+/// children left orphaned — step one of every internal-failure heal, shared
+/// by [`Network::heal_internal_failure`] and the supervisor.
+pub(crate) fn splice_failed(
+    topology: &RwLock<Topology>,
+    failed: Rank,
+) -> Result<(Rank, Vec<Rank>)> {
+    let mut topo = topology.write();
+    let grandparent = topo
+        .parent(NodeId(failed.0))
+        .ok_or_else(|| TbonError::Invalid(format!("{failed} has no parent")))?;
+    let orphans = topo.splice_out_internal(NodeId(failed.0))?;
+    Ok((
+        Rank(grandparent.0),
+        orphans.into_iter().map(|n| Rank(n.0)).collect(),
+    ))
+}
+
+/// Install an adoption on both sides and wait for every ack: each orphan
+/// learns its new parent first (stopping its grace timer), then the
+/// grandparent adopts it (recomputing routes), then both confirmations are
+/// awaited so the tree is consistent before the caller proceeds.
+pub(crate) fn adopt_and_await(
+    control: &mut ControlPlane,
+    grandparent: Rank,
+    orphans: &[Rank],
+    ack_timeout: Duration,
+) -> Result<()> {
+    for &orphan in orphans {
+        control.send(
+            orphan,
+            Message::NewParent {
+                parent: grandparent,
+            },
+        )?;
+        control.send(grandparent, Message::Adopt { child: orphan })?;
+    }
+    let mut pending = 2 * orphans.len();
+    let deadline = Instant::now() + ack_timeout;
+    while pending > 0 {
+        control
+            .drain(deadline, |m| {
+                matches!(m, Message::ReconfigAck { .. }).then_some(())
+            })
+            .ok_or(TbonError::Timeout)?;
+        pending -= 1;
+    }
+    Ok(())
 }
 
 /// Result of [`Network::perf_snapshot`]: per-process lifetime counters plus
@@ -253,17 +442,29 @@ pub struct Network {
     registry: Arc<FilterRegistry>,
     backend_fn: Arc<BackendFn>,
     config: NetworkConfig,
-    /// Out-of-band endpoint for reconfiguration traffic (see
-    /// [`Network::heal_internal_failure`]).
-    control: tbon_transport::NodeEndpoint,
-    /// Control frames received while draining for a *different* kind of
-    /// reply. Kept (not dropped) so interleaved control conversations —
-    /// e.g. a `PerfReport` arriving mid-heal — survive to their own drain.
-    control_backlog: VecDeque<Arc<Envelope>>,
+    /// Out-of-band endpoint for reconfiguration and introspection traffic
+    /// (see [`Network::heal_internal_failure`], [`Network::perf_snapshot`]).
+    control: ControlPlane,
+    /// Recovery latencies (µs per healed failure), recorded by the
+    /// supervisor; empty on unsupervised networks.
+    recovery: Arc<Mutex<LogHistogram>>,
     down: bool,
 }
 
 impl Network {
+    /// Start building a network from a topology spec string — e.g.
+    /// `"16x16"` for 16 internal processes fanning out to 256 back-ends,
+    /// `"4x4x8"` for three levels. Sugar for
+    /// `NetworkBuilder::new(TopologySpec::parse(s)?.build())`.
+    pub fn from_spec(spec: &str) -> Result<NetworkBuilder> {
+        Ok(NetworkBuilder::new(TopologySpec::parse(spec)?.build()))
+    }
+
+    /// Start building a balanced `fanout^depth`-leaf network over the
+    /// default in-process transport.
+    pub fn local(fanout: usize, depth: usize) -> NetworkBuilder {
+        NetworkBuilder::new(Topology::balanced(fanout, depth))
+    }
     /// Create a stream per `spec` and return its handle. The stream is
     /// usable immediately: FIFO channel ordering guarantees every member
     /// back-end sees the stream before any of its data.
@@ -369,20 +570,6 @@ impl Network {
         Ok(())
     }
 
-    /// Send a control message to any process over the out-of-band channel,
-    /// connecting it on first use.
-    fn control_send(&self, target: Rank, msg: Message) -> Result<()> {
-        if self.control.peers.get(target.0).is_none() {
-            self.transport.connect(CONTROL_PEER, target.0)?;
-        }
-        let link = self
-            .control
-            .peers
-            .get(target.0)
-            .ok_or(TbonError::NetworkDown)?;
-        send_message(&link, &Arc::new(crate::proto::Envelope::new(msg))).map(|_| ())
-    }
-
     /// Every communication process (the root plus all internals), the
     /// target set for control-channel introspection.
     fn comm_ranks(&self) -> Vec<Rank> {
@@ -391,42 +578,6 @@ impl Network {
             .filter(|&n| matches!(topo.role(n), Role::FrontEnd | Role::Internal))
             .map(|n| Rank(n.0))
             .collect()
-    }
-
-    /// Receive from the control endpoint until `matcher` accepts a frame or
-    /// the deadline passes. Frames the matcher declines are stashed in
-    /// [`Network::control_backlog`] (and the backlog is scanned first), so
-    /// concurrent control conversations never eat each other's replies.
-    fn control_drain<T>(
-        &mut self,
-        deadline: Instant,
-        mut matcher: impl FnMut(&Message) -> Option<T>,
-    ) -> Option<T> {
-        for i in 0..self.control_backlog.len() {
-            if let Some(v) = matcher(self.control_backlog[i].msg()) {
-                self.control_backlog.remove(i);
-                return Some(v);
-            }
-        }
-        loop {
-            let remaining = deadline.saturating_duration_since(Instant::now());
-            if remaining.is_zero() {
-                return None;
-            }
-            let Ok(delivery) = self.control.incoming.recv_timeout(remaining) else {
-                return None;
-            };
-            let tbon_transport::Delivery::Frame { frame, .. } = delivery else {
-                continue;
-            };
-            let Ok(env) = crate::process::decode_frame(frame) else {
-                continue;
-            };
-            if let Some(v) = matcher(env.msg()) {
-                return Some(v);
-            }
-            self.control_backlog.push_back(env);
-        }
     }
 
     /// Query every communication process's lifetime activity counters over
@@ -438,12 +589,12 @@ impl Network {
         let targets = self.comm_ranks();
         for &t in &targets {
             // Best effort: a dead process just won't answer.
-            let _ = self.control_send(t, Message::GetPerf);
+            let _ = self.control.send(t, Message::GetPerf);
         }
         let mut counters = HashMap::new();
         let deadline = Instant::now() + timeout;
         while counters.len() < targets.len() {
-            let Some((rank, c)) = self.control_drain(deadline, |m| match m {
+            let Some((rank, c)) = self.control.drain(deadline, |m| match m {
                 Message::PerfReport { rank, counters } => Some((*rank, *counters)),
                 _ => None,
             }) else {
@@ -466,12 +617,12 @@ impl Network {
     pub fn event_logs(&mut self, timeout: Duration) -> Result<EventSnapshot> {
         let targets = self.comm_ranks();
         for &t in &targets {
-            let _ = self.control_send(t, Message::GetEvents);
+            let _ = self.control.send(t, Message::GetEvents);
         }
         let mut logs = HashMap::new();
         let deadline = Instant::now() + timeout;
         while logs.len() < targets.len() {
-            let Some((rank, pe)) = self.control_drain(deadline, |m| match m {
+            let Some((rank, pe)) = self.control.drain(deadline, |m| match m {
                 Message::EventLog {
                     rank,
                     events,
@@ -572,42 +723,35 @@ impl Network {
     ///
     /// Returns the re-parented children.
     pub fn heal_internal_failure(&mut self, failed: Rank) -> Result<Vec<Rank>> {
-        let (grandparent, orphans) = {
-            let mut topo = self.topology.write();
-            let grandparent = topo
-                .parent(NodeId(failed.0))
-                .ok_or_else(|| TbonError::Invalid(format!("{failed} has no parent")))?;
-            let orphans = topo.splice_out_internal(NodeId(failed.0))?;
-            (Rank(grandparent.0), orphans)
-        };
-        let mut healed = Vec::with_capacity(orphans.len());
-        for orphan in &orphans {
-            let orphan = Rank(orphan.0);
+        let (grandparent, orphans) = splice_failed(&self.topology, failed)?;
+        for &orphan in &orphans {
             self.transport.connect(grandparent.0, orphan.0)?;
-            // Tell the child first (stops its grace timer), then the parent
-            // (recomputes routing and starts accepting the child's waves).
-            self.control_send(
-                orphan,
-                Message::NewParent {
-                    parent: grandparent,
-                },
-            )?;
-            self.control_send(grandparent, Message::Adopt { child: orphan })?;
-            healed.push(orphan);
         }
-        // Wait for both sides of every adoption to confirm, so the tree is
-        // consistent before this call returns (no broadcast can race past
-        // an unprocessed Adopt).
-        let mut pending = 2 * healed.len();
-        let deadline = Instant::now() + self.config.shutdown_timeout;
-        while pending > 0 {
-            self.control_drain(deadline, |m| {
-                matches!(m, Message::ReconfigAck { .. }).then_some(())
-            })
-            .ok_or(TbonError::Timeout)?;
-            pending -= 1;
-        }
-        Ok(healed)
+        adopt_and_await(
+            &mut self.control,
+            grandparent,
+            &orphans,
+            self.config.shutdown_timeout,
+        )?;
+        Ok(orphans)
+    }
+
+    /// Failure injection: transiently sever the link between two live
+    /// processes without killing either. Both sides observe the loss (a
+    /// parent reports the child failed; an orphaned back-end starts its
+    /// grace timer); a supervised network reconnects and reattaches
+    /// automatically.
+    pub fn sever_link(&mut self, a: Rank, b: Rank) -> Result<()> {
+        self.transport.disconnect(a.0, b.0)?;
+        Ok(())
+    }
+
+    /// Recovery latencies recorded by the supervisor: one sample per healed
+    /// failure, in microseconds from failure-event receipt to the last
+    /// reconfiguration ack. Empty when [`NetworkConfig::supervisor`] is off
+    /// or nothing has failed yet.
+    pub fn recovery_latencies(&self) -> LogHistogram {
+        self.recovery.lock().clone()
     }
 
     /// Orderly teardown: shutdown propagates to every process, acks
@@ -686,22 +830,19 @@ impl StreamHandle {
         reply_rx.recv().map_err(|_| TbonError::NetworkDown)?
     }
 
-    /// Block for the next filtered upstream packet.
-    pub fn recv(&self) -> Result<Packet> {
-        self.rx.recv().map_err(|_| TbonError::StreamClosed(self.id))
-    }
-
     /// Block for the next packet, up to `timeout`.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use StreamConsumer::recv_within, which returns Ok(None) on timeout"
+    )]
     pub fn recv_timeout(&self, timeout: Duration) -> Result<Packet> {
-        self.rx.recv_timeout(timeout).map_err(|e| match e {
-            crossbeam_channel::RecvTimeoutError::Timeout => TbonError::Timeout,
-            crossbeam_channel::RecvTimeoutError::Disconnected => TbonError::StreamClosed(self.id),
-        })
+        StreamConsumer::recv_within(self, timeout)?.ok_or(TbonError::Timeout)
     }
 
     /// Non-blocking poll for a packet.
+    #[deprecated(since = "0.2.0", note = "use StreamConsumer::poll")]
     pub fn try_recv(&self) -> Option<Packet> {
-        self.rx.try_recv().ok()
+        StreamConsumer::poll(self)
     }
 
     /// Tear the stream down across the tree.
@@ -714,6 +855,39 @@ impl StreamHandle {
             })
             .map_err(|_| TbonError::NetworkDown)?;
         reply_rx.recv().map_err(|_| TbonError::NetworkDown)?
+    }
+}
+
+impl StreamConsumer for StreamHandle {
+    type Item = Packet;
+
+    fn recv(&self, deadline: Deadline) -> Result<Option<Packet>> {
+        match deadline {
+            Deadline::Never => self
+                .rx
+                .recv()
+                .map(Some)
+                .map_err(|_| TbonError::StreamClosed(self.id)),
+            Deadline::Now => match self.rx.try_recv() {
+                Ok(p) => Ok(Some(p)),
+                Err(crossbeam_channel::TryRecvError::Empty) => Ok(None),
+                Err(crossbeam_channel::TryRecvError::Disconnected) => {
+                    Err(TbonError::StreamClosed(self.id))
+                }
+            },
+            Deadline::At(t) => {
+                match self
+                    .rx
+                    .recv_timeout(t.saturating_duration_since(Instant::now()))
+                {
+                    Ok(p) => Ok(Some(p)),
+                    Err(crossbeam_channel::RecvTimeoutError::Timeout) => Ok(None),
+                    Err(crossbeam_channel::RecvTimeoutError::Disconnected) => {
+                        Err(TbonError::StreamClosed(self.id))
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -733,31 +907,42 @@ impl MetricsHandle {
         self.inner.id()
     }
 
-    /// Block up to `timeout` for the next sample. Undecodable packets on
-    /// the stream are skipped, not surfaced as errors.
+    /// Block up to `timeout` for the next sample.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use StreamConsumer::recv_within, which returns Ok(None) on timeout"
+    )]
     pub fn recv_timeout(&self, timeout: Duration) -> Result<(Rank, MetricsSample)> {
-        let deadline = Instant::now() + timeout;
-        loop {
-            let remaining = deadline.saturating_duration_since(Instant::now());
-            let pkt = self.inner.recv_timeout(remaining)?;
-            if let Ok(sample) = MetricsSample::from_value(pkt.value()) {
-                return Ok((pkt.origin(), sample));
-            }
-        }
+        StreamConsumer::recv_within(self, timeout)?.ok_or(TbonError::Timeout)
     }
 
     /// Non-blocking poll for a sample.
+    #[deprecated(since = "0.2.0", note = "use StreamConsumer::poll")]
     pub fn try_recv(&self) -> Option<(Rank, MetricsSample)> {
-        while let Some(pkt) = self.inner.try_recv() {
-            if let Ok(sample) = MetricsSample::from_value(pkt.value()) {
-                return Some((pkt.origin(), sample));
-            }
-        }
-        None
+        StreamConsumer::poll(self)
     }
 
     /// Tear the telemetry stream down across the tree (publishers disarm).
     pub fn close(self) -> Result<()> {
         self.inner.close()
+    }
+}
+
+impl StreamConsumer for MetricsHandle {
+    type Item = (Rank, MetricsSample);
+
+    /// Undecodable packets on the stream are skipped, not surfaced as
+    /// errors.
+    fn recv(&self, deadline: Deadline) -> Result<Option<(Rank, MetricsSample)>> {
+        loop {
+            match self.inner.recv(deadline)? {
+                None => return Ok(None),
+                Some(pkt) => {
+                    if let Ok(sample) = MetricsSample::from_value(pkt.value()) {
+                        return Ok(Some((pkt.origin(), sample)));
+                    }
+                }
+            }
+        }
     }
 }

@@ -146,6 +146,10 @@ pub(crate) struct CommProcess {
     events: EventRing,
     /// Armed while a metrics stream is open.
     metrics: Option<MetricsPublisher>,
+    /// Streams a lost leaf child was a member of, so a later re-adoption
+    /// (the supervisor reattaching a back-end whose link transiently died)
+    /// can restore its membership instead of leaving it silently excluded.
+    lost_leaf_streams: HashMap<Rank, Vec<StreamId>>,
     role: ProcessRole,
 }
 
@@ -234,6 +238,7 @@ impl CommProcess {
             filter_exec_interval: LogHistogram::new(),
             events: EventRing::new(EVENT_RING_CAP),
             metrics: None,
+            lost_leaf_streams: HashMap::new(),
             role: ProcessRole::Internal { parent },
         }
     }
@@ -266,6 +271,7 @@ impl CommProcess {
             filter_exec_interval: LogHistogram::new(),
             events: EventRing::new(EVENT_RING_CAP),
             metrics: None,
+            lost_leaf_streams: HashMap::new(),
             role: ProcessRole::Root {
                 fe_cmd,
                 fe_events,
@@ -352,6 +358,10 @@ impl CommProcess {
             NetEvent::SubtreeOrphaned { rank, .. } => ("subtree_orphaned", rank.to_string()),
             NetEvent::FilterError { detail, .. } => ("filter_error", detail.clone()),
             NetEvent::SendFailed { peer, .. } => ("send_failed", peer.to_string()),
+            // Supervisor verdicts originate above the tree; processes only
+            // relay them (forward_event), never emit them.
+            NetEvent::Healed { rank, .. } => ("healed", rank.to_string()),
+            NetEvent::Degraded { rank, detail } => ("degraded", format!("{rank}: {detail}")),
         };
         self.events.push(kind, detail);
         self.forward_event(ev);
@@ -819,6 +829,7 @@ impl CommProcess {
         let ids: Vec<StreamId> = self.streams.keys().copied().collect();
         let now = Instant::now();
         let mut pruned: Vec<StreamId> = Vec::new();
+        let mut was_member_of: Vec<StreamId> = Vec::new();
         for stream_id in ids {
             let waves = {
                 let st = self.streams.get_mut(&stream_id).expect("exists");
@@ -827,6 +838,9 @@ impl CommProcess {
                 }
                 st.expected.retain(|c| *c != child);
                 st.down_routes.retain(|c| *c != child);
+                if st.members.contains(&child) && lost_members.contains(&child) {
+                    was_member_of.push(stream_id);
+                }
                 st.members.retain(|m| !lost_members.contains(m));
                 if st.expected.is_empty() {
                     pruned.push(stream_id);
@@ -840,6 +854,9 @@ impl CommProcess {
                 st.sync.child_gone(child, &ctx)
             };
             self.process_waves(stream_id, waves);
+        }
+        if !was_member_of.is_empty() {
+            self.lost_leaf_streams.insert(child, was_member_of);
         }
         // With no contributors left we can never complete a wave for these
         // streams: tell the parent to stop waiting for us.
@@ -899,6 +916,18 @@ impl CommProcess {
     fn handle_adopt(&mut self, child: Rank) {
         self.dead_children.remove(&child);
         self.events.push("adopt_child", child.to_string());
+        // A re-adopted leaf gets its stream memberships back (they were
+        // stripped when its loss was detected); the route recompute below
+        // then rebuilds expected/down_routes from the restored member sets.
+        if let Some(streams) = self.lost_leaf_streams.remove(&child) {
+            for stream_id in streams {
+                if let Some(st) = self.streams.get_mut(&stream_id) {
+                    if !st.members.contains(&child) {
+                        st.members.push(child);
+                    }
+                }
+            }
+        }
         let rank = self.rank;
         let metrics_stream = self.metrics.as_ref().map(|m| m.stream);
         let ids: Vec<StreamId> = self.streams.keys().copied().collect();

@@ -39,6 +39,18 @@ pub enum NetEvent {
     /// backpressure deadline exceeded). Emitted once per peer; subsequent
     /// drops only bump [`PerfCounters::sends_dropped`].
     SendFailed { rank: Rank, peer: Rank },
+    /// The supervisor finished recovering from a failure involving `rank`
+    /// (an internal splice or a back-end reattach): the listed nodes were
+    /// re-parented and traffic flows again. `recovery_us` is detection to
+    /// completion latency, also recorded in the supervisor's histogram.
+    Healed {
+        rank: Rank,
+        adopted: Vec<Rank>,
+        recovery_us: u64,
+    },
+    /// The supervisor gave up on recovering `rank` after exhausting its
+    /// retry budget; the tree keeps running without that subtree.
+    Degraded { rank: Rank, detail: String },
 }
 
 /// Everything that can cross a link.
@@ -346,6 +358,8 @@ const EV_BACKEND_JOINED: u8 = 2;
 const EV_FILTER_ERROR: u8 = 3;
 const EV_SUBTREE_ORPHANED: u8 = 4;
 const EV_SEND_FAILED: u8 = 5;
+const EV_HEALED: u8 = 6;
+const EV_DEGRADED: u8 = 7;
 
 fn put_u32(buf: &mut Vec<u8>, v: u32) {
     buf.extend_from_slice(&v.to_le_bytes());
@@ -510,6 +524,24 @@ pub fn encode_message(msg: &Message) -> Vec<u8> {
                     put_u32(&mut buf, rank.0);
                     put_u32(&mut buf, peer.0);
                 }
+                NetEvent::Healed {
+                    rank,
+                    adopted,
+                    recovery_us,
+                } => {
+                    buf.push(EV_HEALED);
+                    put_u32(&mut buf, rank.0);
+                    buf.extend_from_slice(&recovery_us.to_le_bytes());
+                    put_u32(&mut buf, adopted.len() as u32);
+                    for r in adopted {
+                        put_u32(&mut buf, r.0);
+                    }
+                }
+                NetEvent::Degraded { rank, detail } => {
+                    buf.push(EV_DEGRADED);
+                    put_u32(&mut buf, rank.0);
+                    put_str(&mut buf, detail);
+                }
             }
         }
     }
@@ -571,6 +603,8 @@ pub fn message_encoded_len(msg: &Message) -> usize {
                 | NetEvent::SubtreeOrphaned { .. }
                 | NetEvent::SendFailed { .. } => 8,
                 NetEvent::FilterError { detail, .. } => 4 + 4 + detail.len(),
+                NetEvent::Healed { adopted, .. } => 4 + 8 + 4 + 4 * adopted.len(),
+                NetEvent::Degraded { detail, .. } => 4 + 4 + detail.len(),
             }
         }
     }
@@ -738,6 +772,24 @@ fn decode_message_inner(r: &mut Reader<'_>) -> Result<Message> {
                     rank: Rank(r.u32()?),
                     peer: Rank(r.u32()?),
                 },
+                EV_HEALED => {
+                    let rank = Rank(r.u32()?);
+                    let recovery_us = r.u64()?;
+                    let n = r.u32()? as usize;
+                    let mut adopted = Vec::with_capacity(n.min(4096));
+                    for _ in 0..n {
+                        adopted.push(Rank(r.u32()?));
+                    }
+                    NetEvent::Healed {
+                        rank,
+                        adopted,
+                        recovery_us,
+                    }
+                }
+                EV_DEGRADED => NetEvent::Degraded {
+                    rank: Rank(r.u32()?),
+                    detail: r.str()?,
+                },
                 other => return Err(TbonError::Decode(format!("unknown event tag {other}"))),
             };
             Message::Event(ev)
@@ -847,6 +899,20 @@ mod tests {
         roundtrip(Message::Event(NetEvent::SendFailed {
             rank: Rank(1),
             peer: Rank(8),
+        }));
+        roundtrip(Message::Event(NetEvent::Healed {
+            rank: Rank(7),
+            adopted: vec![Rank(3), Rank(4), Rank(11)],
+            recovery_us: 123_456_789,
+        }));
+        roundtrip(Message::Event(NetEvent::Healed {
+            rank: Rank(2),
+            adopted: Vec::new(),
+            recovery_us: 0,
+        }));
+        roundtrip(Message::Event(NetEvent::Degraded {
+            rank: Rank(5),
+            detail: "retry budget exhausted".into(),
         }));
         roundtrip(Message::Adopt { child: Rank(9) });
         roundtrip(Message::NewParent { parent: Rank(2) });

@@ -1,0 +1,209 @@
+//! The in-network supervisor: automatic failure recovery.
+//!
+//! A supervised network (see [`crate::NetworkConfig::supervisor`]) runs one
+//! supervisor thread between the root and the user's event queue. Every
+//! event the root reports is forwarded onward unchanged; failure events
+//! additionally trigger a heal, retried under the configured
+//! [`RetryPolicy`]:
+//!
+//! - [`NetEvent::BackendLost`] — reconnect the leaf's link and reattach it
+//!   under its old parent (transient link loss); if the process itself is
+//!   gone, degrade.
+//! - [`NetEvent::SubtreeOrphaned`] — first try to relink the internal
+//!   process where it was (the link died, the process didn't); if the
+//!   process is confirmed dead, splice it out and hand its children to the
+//!   grandparent, exactly as a manual
+//!   [`crate::Network::heal_internal_failure`] would.
+//!
+//! Success emits [`NetEvent::Healed`] and records the detection-to-done
+//! latency (µs) in the shared recovery histogram
+//! ([`crate::Network::recovery_latencies`]); an exhausted retry budget
+//! emits [`NetEvent::Degraded`] and the tree keeps running without that
+//! subtree.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use crossbeam_channel::{Receiver, Sender};
+use parking_lot::{Mutex, RwLock};
+
+use tbon_topology::{NodeId, Topology};
+use tbon_transport::fault::FaultRng;
+use tbon_transport::Transport;
+
+use crate::config::RetryPolicy;
+use crate::error::{Result, TbonError};
+use crate::network::{adopt_and_await, splice_failed, ControlPlane};
+use crate::packet::Rank;
+use crate::proto::NetEvent;
+use crate::telemetry::LogHistogram;
+
+pub(crate) struct Supervisor {
+    policy: RetryPolicy,
+    control: ControlPlane,
+    topology: Arc<RwLock<Topology>>,
+    transport: Arc<dyn Transport>,
+    events_in: Receiver<NetEvent>,
+    events_out: Sender<NetEvent>,
+    recovery: Arc<Mutex<LogHistogram>>,
+    rng: FaultRng,
+}
+
+/// Run `f` under the policy's retry schedule: transient failures sleep the
+/// jittered exponential backoff and try again; fatal failures and an
+/// exhausted attempt budget propagate.
+fn retry<T>(
+    policy: &RetryPolicy,
+    rng: &mut FaultRng,
+    mut f: impl FnMut() -> Result<T>,
+) -> Result<T> {
+    let mut attempt = 0;
+    loop {
+        match f() {
+            Ok(v) => return Ok(v),
+            Err(e) if e.is_transient() && attempt + 1 < policy.max_attempts.max(1) => {
+                std::thread::sleep(policy.backoff(attempt, rng));
+                attempt += 1;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+impl Supervisor {
+    pub(crate) fn new(
+        policy: RetryPolicy,
+        control: ControlPlane,
+        topology: Arc<RwLock<Topology>>,
+        transport: Arc<dyn Transport>,
+        events_in: Receiver<NetEvent>,
+        events_out: Sender<NetEvent>,
+        recovery: Arc<Mutex<LogHistogram>>,
+    ) -> Supervisor {
+        let rng = FaultRng::new(policy.seed);
+        Supervisor {
+            policy,
+            control,
+            topology,
+            transport,
+            events_in,
+            events_out,
+            recovery,
+            rng,
+        }
+    }
+
+    /// Event loop; exits when the root drops its sender at shutdown.
+    pub(crate) fn run(mut self) {
+        while let Ok(ev) = self.events_in.recv() {
+            let started = Instant::now();
+            match ev {
+                NetEvent::BackendLost { rank, detected_by } => {
+                    // The user sees the raw failure first, then its outcome.
+                    let _ = self.events_out.send(ev.clone());
+                    let outcome = self.recover_backend(rank, detected_by);
+                    self.report(rank, started, outcome);
+                }
+                NetEvent::SubtreeOrphaned { rank, detected_by } => {
+                    let _ = self.events_out.send(ev.clone());
+                    let outcome = self.recover_internal(rank, detected_by);
+                    self.report(rank, started, outcome);
+                }
+                other => {
+                    let _ = self.events_out.send(other);
+                }
+            }
+        }
+    }
+
+    fn report(&mut self, rank: Rank, started: Instant, outcome: Result<Vec<Rank>>) {
+        match outcome {
+            Ok(adopted) => {
+                let recovery_us = started.elapsed().as_micros() as u64;
+                self.recovery.lock().record(recovery_us);
+                let _ = self.events_out.send(NetEvent::Healed {
+                    rank,
+                    adopted,
+                    recovery_us,
+                });
+            }
+            Err(e) => {
+                let _ = self.events_out.send(NetEvent::Degraded {
+                    rank,
+                    detail: e.to_string(),
+                });
+            }
+        }
+    }
+
+    /// A back-end dropped off: if its process still lives (the link died,
+    /// not the thread), reconnect, put it back in the topology and
+    /// re-adopt it under its old parent.
+    fn recover_backend(&mut self, rank: Rank, parent: Rank) -> Result<Vec<Rank>> {
+        let Supervisor {
+            policy,
+            control,
+            topology,
+            transport,
+            rng,
+            ..
+        } = self;
+        let ack_timeout = policy.ack_timeout;
+        // A dead process was unregistered from the transport, so this fails
+        // fatally (UnknownPeer) and we degrade; a severed link reconnects.
+        retry(policy, rng, || {
+            transport.connect(parent.0, rank.0).map_err(TbonError::from)
+        })?;
+        topology
+            .write()
+            .reattach_leaf(NodeId(parent.0), NodeId(rank.0))?;
+        retry(policy, rng, || {
+            adopt_and_await(control, parent, &[rank], ack_timeout)
+        })?;
+        Ok(vec![rank])
+    }
+
+    /// An internal process dropped off. Phase 1: assume transient link
+    /// loss — relink it where it was and re-adopt the whole subtree in
+    /// place. Phase 2 (process confirmed dead): splice it out and hand its
+    /// children to the grandparent.
+    fn recover_internal(&mut self, rank: Rank, detected_by: Rank) -> Result<Vec<Rank>> {
+        let Supervisor {
+            policy,
+            control,
+            topology,
+            transport,
+            rng,
+            ..
+        } = self;
+        let ack_timeout = policy.ack_timeout;
+        match retry(policy, rng, || {
+            transport
+                .connect(detected_by.0, rank.0)
+                .map_err(TbonError::from)
+        }) {
+            Ok(()) => {
+                // Alive: the topology never changed, only the link did.
+                retry(policy, rng, || {
+                    adopt_and_await(control, detected_by, &[rank], ack_timeout)
+                })?;
+                Ok(vec![rank])
+            }
+            Err(e) if e.is_fatal() => {
+                let (grandparent, orphans) = splice_failed(topology, rank)?;
+                for &orphan in &orphans {
+                    retry(policy, rng, || {
+                        transport
+                            .connect(grandparent.0, orphan.0)
+                            .map_err(TbonError::from)
+                    })?;
+                }
+                retry(policy, rng, || {
+                    adopt_and_await(control, grandparent, &orphans, ack_timeout)
+                })?;
+                Ok(orphans)
+            }
+            Err(e) => Err(e),
+        }
+    }
+}

@@ -7,7 +7,8 @@ use std::time::Duration;
 
 use tbon_core::{
     BackendContext, BackendEvent, DataValue, FilterKind, FilterRegistry, NetEvent, NetworkBuilder,
-    NetworkConfig, Packet, Rank, StreamSpec, SyncPolicy, Tag, TbonError, Transformation,
+    NetworkConfig, Packet, Rank, StreamConsumer, StreamSpec, SyncPolicy, Tag, TbonError,
+    Transformation,
 };
 use tbon_topology::Topology;
 use tbon_transport::local::LocalTransport;
@@ -59,8 +60,9 @@ fn flat_tree_identity_delivers_every_backend_packet() {
     let mut got: Vec<i64> = (0..4)
         .map(|_| {
             stream
-                .recv_timeout(Duration::from_secs(5))
+                .recv_within(Duration::from_secs(5))
                 .unwrap()
+                .expect("timed out")
                 .value()
                 .as_i64()
                 .unwrap()
@@ -87,7 +89,10 @@ fn deep_tree_sum_reduces_to_single_packet() {
         .unwrap();
     for round in 0..3 {
         stream.broadcast(Tag(round), DataValue::Unit).unwrap();
-        let pkt = stream.recv_timeout(Duration::from_secs(5)).unwrap();
+        let pkt = stream
+            .recv_within(Duration::from_secs(5))
+            .unwrap()
+            .expect("timed out");
         assert_eq!(pkt.value().as_i64(), Some(expected), "round {round}");
         assert_eq!(pkt.origin(), Rank(0), "root filter synthesized the packet");
     }
@@ -108,7 +113,10 @@ fn tcp_transport_end_to_end() {
         .new_stream(StreamSpec::all().transformation("test::sum"))
         .unwrap();
     stream.broadcast(Tag(1), DataValue::Unit).unwrap();
-    let pkt = stream.recv_timeout(Duration::from_secs(10)).unwrap();
+    let pkt = stream
+        .recv_within(Duration::from_secs(10))
+        .unwrap()
+        .expect("timed out");
     assert_eq!(pkt.value().as_i64(), Some(expected));
     net.shutdown().unwrap();
 }
@@ -125,7 +133,10 @@ fn subset_stream_only_reaches_members() {
         .new_stream(StreamSpec::ranks([Rank(2), Rank(5)]).transformation("test::sum"))
         .unwrap();
     stream.broadcast(Tag(0), DataValue::Unit).unwrap();
-    let pkt = stream.recv_timeout(Duration::from_secs(5)).unwrap();
+    let pkt = stream
+        .recv_within(Duration::from_secs(5))
+        .unwrap()
+        .expect("timed out");
     assert_eq!(pkt.value().as_i64(), Some(7)); // 2 + 5
     net.shutdown().unwrap();
 }
@@ -148,16 +159,18 @@ fn overlapping_streams_run_concurrently() {
     s_half.broadcast(Tag(0), DataValue::Unit).unwrap();
     assert_eq!(
         s_all
-            .recv_timeout(Duration::from_secs(5))
+            .recv_within(Duration::from_secs(5))
             .unwrap()
+            .expect("timed out")
             .value()
             .as_i64(),
         Some(1 + 2 + 3 + 4)
     );
     assert_eq!(
         s_half
-            .recv_timeout(Duration::from_secs(5))
+            .recv_within(Duration::from_secs(5))
             .unwrap()
+            .expect("timed out")
             .value()
             .as_i64(),
         Some(3)
@@ -194,7 +207,10 @@ fn timeout_sync_delivers_partial_waves() {
         )
         .unwrap();
     stream.broadcast(Tag(0), DataValue::Unit).unwrap();
-    let pkt = stream.recv_timeout(Duration::from_secs(5)).unwrap();
+    let pkt = stream
+        .recv_within(Duration::from_secs(5))
+        .unwrap()
+        .expect("timed out");
     assert_eq!(pkt.value().as_i64(), Some(3)); // 1 + 2, rank 3 missed the window
     net.shutdown().unwrap();
 }
@@ -213,8 +229,9 @@ fn null_sync_delivers_immediately_per_packet() {
     let mut got: Vec<i64> = (0..3)
         .map(|_| {
             stream
-                .recv_timeout(Duration::from_secs(5))
+                .recv_within(Duration::from_secs(5))
                 .unwrap()
+                .expect("timed out")
                 .value()
                 .as_i64()
                 .unwrap()
@@ -258,7 +275,10 @@ fn load_filter_probe_and_dynamic_registration() {
         .new_stream(StreamSpec::all().transformation("user::late"))
         .unwrap();
     stream.broadcast(Tag(0), DataValue::Unit).unwrap();
-    let _ = stream.recv_timeout(Duration::from_secs(5)).unwrap();
+    let _ = stream
+        .recv_within(Duration::from_secs(5))
+        .unwrap()
+        .expect("timed out");
     net.shutdown().unwrap();
 }
 
@@ -285,8 +305,9 @@ fn dynamic_attach_joins_new_streams() {
     before.broadcast(Tag(0), DataValue::Unit).unwrap();
     assert_eq!(
         before
-            .recv_timeout(Duration::from_secs(5))
+            .recv_within(Duration::from_secs(5))
             .unwrap()
+            .expect("timed out")
             .value()
             .as_i64(),
         Some(3) // ranks 1 + 2 only
@@ -298,8 +319,9 @@ fn dynamic_attach_joins_new_streams() {
     after.broadcast(Tag(0), DataValue::Unit).unwrap();
     assert_eq!(
         after
-            .recv_timeout(Duration::from_secs(5))
+            .recv_within(Duration::from_secs(5))
             .unwrap()
+            .expect("timed out")
             .value()
             .as_i64(),
         Some(6) // ranks 1 + 2 + 3
@@ -321,8 +343,9 @@ fn killed_backend_reported_and_wait_for_all_unblocks() {
     stream.broadcast(Tag(0), DataValue::Unit).unwrap();
     assert_eq!(
         stream
-            .recv_timeout(Duration::from_secs(5))
+            .recv_within(Duration::from_secs(5))
             .unwrap()
+            .expect("timed out")
             .value()
             .as_i64(),
         Some(6)
@@ -343,8 +366,9 @@ fn killed_backend_reported_and_wait_for_all_unblocks() {
     stream.broadcast(Tag(1), DataValue::Unit).unwrap();
     assert_eq!(
         stream
-            .recv_timeout(Duration::from_secs(5))
+            .recv_within(Duration::from_secs(5))
             .unwrap()
+            .expect("timed out")
             .value()
             .as_i64(),
         Some(4) // 1 + 3
@@ -403,7 +427,10 @@ fn backend_initiated_data_flows_without_broadcast() {
         .unwrap();
     // 5 waves of 4 backends each: wave i sums to 4*i.
     for i in 0..5i64 {
-        let pkt = stream.recv_timeout(Duration::from_secs(5)).unwrap();
+        let pkt = stream
+            .recv_within(Duration::from_secs(5))
+            .unwrap()
+            .expect("timed out");
         assert_eq!(pkt.value().as_i64(), Some(4 * i), "wave {i}");
     }
     net.shutdown().unwrap();
@@ -459,7 +486,10 @@ fn bidirectional_filter_emits_feedback_downstream() {
                 .bidirectional(),
         )
         .unwrap();
-    let pkt = stream.recv_timeout(Duration::from_secs(5)).unwrap();
+    let pkt = stream
+        .recv_within(Duration::from_secs(5))
+        .unwrap()
+        .expect("timed out");
     assert_eq!(pkt.value().as_i64(), Some(6));
     // Give the reflected packets a moment to reach all three backends.
     let deadline = std::time::Instant::now() + Duration::from_secs(5);
@@ -500,8 +530,9 @@ fn knomial_topology_works_end_to_end() {
     stream.broadcast(Tag(0), DataValue::Unit).unwrap();
     assert_eq!(
         stream
-            .recv_timeout(Duration::from_secs(5))
+            .recv_within(Duration::from_secs(5))
             .unwrap()
+            .expect("timed out")
             .value()
             .as_i64(),
         Some(expected)
@@ -521,7 +552,10 @@ fn perf_snapshot_reports_activity() {
         .unwrap();
     for round in 0..5 {
         stream.broadcast(Tag(round), DataValue::Unit).unwrap();
-        stream.recv_timeout(Duration::from_secs(5)).unwrap();
+        stream
+            .recv_within(Duration::from_secs(5))
+            .unwrap()
+            .expect("timed out");
     }
     let perf = net.perf_snapshot(Duration::from_secs(5)).unwrap();
     // Root (0) + two internals (1, 2), all alive.
@@ -541,7 +575,10 @@ fn perf_snapshot_reports_activity() {
     }
     // Counters are cumulative: another round strictly increases them.
     stream.broadcast(Tag(99), DataValue::Unit).unwrap();
-    stream.recv_timeout(Duration::from_secs(5)).unwrap();
+    stream
+        .recv_within(Duration::from_secs(5))
+        .unwrap()
+        .expect("timed out");
     let perf2 = net.perf_snapshot(Duration::from_secs(5)).unwrap();
     assert!(perf2.counters[&Rank(0)].waves > root.waves);
     net.shutdown().unwrap();
@@ -563,7 +600,10 @@ fn multicast_to_wire_children_encodes_exactly_once() {
         .unwrap();
     // Warm-up round so stream-setup traffic is folded into the baseline.
     stream.broadcast(Tag(0), DataValue::Unit).unwrap();
-    stream.recv_timeout(Duration::from_secs(5)).unwrap();
+    stream
+        .recv_within(Duration::from_secs(5))
+        .unwrap()
+        .expect("timed out");
 
     let base = net.perf_snapshot(Duration::from_secs(5)).unwrap().counters[&Rank(0)];
     let rounds = 5u64;
@@ -571,7 +611,10 @@ fn multicast_to_wire_children_encodes_exactly_once() {
         stream
             .broadcast(Tag(round as u32 + 1), DataValue::Unit)
             .unwrap();
-        stream.recv_timeout(Duration::from_secs(5)).unwrap();
+        stream
+            .recv_within(Duration::from_secs(5))
+            .unwrap()
+            .expect("timed out");
     }
     let cur = net.perf_snapshot(Duration::from_secs(5)).unwrap().counters[&Rank(0)];
 
@@ -653,7 +696,10 @@ fn throttled_child_is_cut_off_while_siblings_keep_receiving() {
     let mut got = Vec::new();
     let deadline = std::time::Instant::now() + Duration::from_secs(10);
     while got.len() < 2 && std::time::Instant::now() < deadline {
-        let pkt = stream.recv_timeout(Duration::from_secs(5)).unwrap();
+        let pkt = stream
+            .recv_within(Duration::from_secs(5))
+            .unwrap()
+            .expect("timed out");
         if pkt.tag() == Tag(99) {
             got.push(pkt.value().as_i64().unwrap());
         }
@@ -685,7 +731,10 @@ fn subtree_stream_covers_exactly_one_portion_of_the_topology() {
         .new_stream(StreamSpec::subtree(Rank(2)).transformation("test::sum"))
         .unwrap();
     stream.broadcast(Tag(0), DataValue::Unit).unwrap();
-    let pkt = stream.recv_timeout(Duration::from_secs(5)).unwrap();
+    let pkt = stream
+        .recv_within(Duration::from_secs(5))
+        .unwrap()
+        .expect("timed out");
     assert_eq!(pkt.value().as_i64(), Some(under_2));
 
     // Subtree of a single back-end selects just that back-end.
@@ -695,8 +744,9 @@ fn subtree_stream_covers_exactly_one_portion_of_the_topology() {
         .unwrap();
     solo.broadcast(Tag(0), DataValue::Unit).unwrap();
     assert_eq!(
-        solo.recv_timeout(Duration::from_secs(5))
+        solo.recv_within(Duration::from_secs(5))
             .unwrap()
+            .expect("timed out")
             .value()
             .as_i64(),
         Some(leaf.0 as i64)
@@ -756,7 +806,10 @@ fn downstream_filter_transforms_per_hop() {
         )
         .unwrap();
     stream.broadcast(Tag(0), DataValue::I64(0)).unwrap();
-    let pkt = stream.recv_timeout(Duration::from_secs(5)).unwrap();
+    let pkt = stream
+        .recv_within(Duration::from_secs(5))
+        .unwrap()
+        .expect("timed out");
     // 8 leaves, each saw the value 3 (root, level-1, level-2 filters).
     assert_eq!(pkt.value().as_i64(), Some(8 * 3));
     net.shutdown().unwrap();

@@ -7,7 +7,7 @@ use std::time::{Duration, Instant};
 
 use tbon_core::{
     BackendContext, BackendEvent, DataValue, FilterRegistry, MetricsSample, NetEvent,
-    NetworkBuilder, Packet, Rank, StreamSpec, Tag, Transformation,
+    NetworkBuilder, Packet, Rank, StreamConsumer, StreamSpec, Tag, Transformation,
 };
 use tbon_topology::Topology;
 
@@ -67,7 +67,10 @@ fn sixteen_by_sixteen_tree_merges_one_sample_per_interval() {
         stream
             .broadcast(Tag(round as u32), DataValue::Unit)
             .unwrap();
-        stream.recv_timeout(Duration::from_secs(10)).unwrap();
+        stream
+            .recv_within(Duration::from_secs(10))
+            .unwrap()
+            .expect("timed out");
     }
 
     // Drain merged samples until the application traffic is fully
@@ -78,7 +81,10 @@ fn sixteen_by_sixteen_tree_merges_one_sample_per_interval() {
     let deadline = Instant::now() + Duration::from_secs(30);
     while acc.counters.packets_up < WAVES * PER_WAVE {
         assert!(Instant::now() < deadline, "telemetry stalled: {acc:?}");
-        let (origin, sample) = metrics.recv_timeout(Duration::from_secs(10)).unwrap();
+        let (origin, sample) = metrics
+            .recv_within(Duration::from_secs(10))
+            .unwrap()
+            .expect("timed out");
         assert_eq!(origin, Rank(0), "merged samples surface from the root");
         assert_eq!(
             sample.processes, 17,
@@ -148,7 +154,10 @@ fn drilldown_metrics_expose_every_process_individually() {
             Instant::now() < deadline,
             "only heard from {seen:?} in time"
         );
-        let (origin, sample) = metrics.recv_timeout(Duration::from_secs(5)).unwrap();
+        let (origin, sample) = metrics
+            .recv_within(Duration::from_secs(5))
+            .unwrap()
+            .expect("timed out");
         assert_eq!(sample.processes, 1, "drill-down samples are unmerged");
         assert!(origin.0 <= 2, "only comm processes publish, got {origin}");
         seen.insert(origin);
@@ -176,7 +185,10 @@ fn wave_latencies_track_each_stream_at_the_root() {
         stream
             .broadcast(Tag(round as u32), DataValue::Unit)
             .unwrap();
-        stream.recv_timeout(Duration::from_secs(5)).unwrap();
+        stream
+            .recv_within(Duration::from_secs(5))
+            .unwrap()
+            .expect("timed out");
     }
     let latencies = net.wave_latencies().unwrap();
     let h = latencies
@@ -203,7 +215,10 @@ fn event_logs_record_lifecycle_and_drain_destructively() {
         .new_stream(StreamSpec::all().transformation("test::sum"))
         .unwrap();
     stream.broadcast(Tag(0), DataValue::Unit).unwrap();
-    stream.recv_timeout(Duration::from_secs(5)).unwrap();
+    stream
+        .recv_within(Duration::from_secs(5))
+        .unwrap()
+        .expect("timed out");
 
     let snap = net.event_logs(Duration::from_secs(5)).unwrap();
     assert!(snap.missing.is_empty(), "everyone answers: {snap:?}");

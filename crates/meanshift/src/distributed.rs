@@ -15,8 +15,8 @@
 use std::time::{Duration, Instant};
 
 use tbon_core::{
-    DataValue, FilterContext, FilterRegistry, Packet, Result, StreamSpec, SyncPolicy, Tag,
-    TbonError, Transformation, Wave,
+    DataValue, FilterContext, FilterRegistry, Packet, Result, StreamConsumer, StreamSpec,
+    SyncPolicy, Tag, TbonError, Transformation, Wave,
 };
 use tbon_topology::Topology;
 
@@ -225,7 +225,9 @@ pub fn run_distributed(
 
     let started = Instant::now();
     stream.broadcast(TAG_START, DataValue::Unit)?;
-    let pkt = stream.recv_timeout(Duration::from_secs(600))?;
+    let pkt = stream
+        .recv_within(Duration::from_secs(600))?
+        .ok_or(TbonError::Timeout)?;
     let elapsed = started.elapsed();
     let payload = MsPayload::from_value(pkt.value())?;
     net.shutdown()?;

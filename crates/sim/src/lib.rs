@@ -26,10 +26,12 @@
 //! assert!(deep.completion < flat.completion);
 //! ```
 
+pub mod churn;
 pub mod engine;
 pub mod meanshift_model;
 pub mod waves;
 
+pub use churn::{simulate_churn, ChurnModel, ChurnOutcome, Outage};
 pub use engine::{simulate, LinkModel, SimOutcome, Workload};
 pub use meanshift_model::{simulate_meanshift, simulate_single_node, MsCostModel, MsWork};
 pub use waves::{simulate_waves, telemetry_tax, WaveOutcome, WaveWorkload};

@@ -412,6 +412,32 @@ impl Topology {
         }
         Ok(())
     }
+
+    /// Re-attach a previously detached back-end under `parent`, restoring
+    /// its original id — the recovery path for a transient link loss where
+    /// the process survived and only its channel died. The inverse of
+    /// [`Topology::detach_leaf`].
+    pub fn reattach_leaf(&mut self, parent: NodeId, node: NodeId) -> Result<(), TopologyError> {
+        if !self.contains(node) {
+            return Err(TopologyError::UnknownNode(node.0));
+        }
+        if !self.contains(parent) {
+            return Err(TopologyError::UnknownNode(parent.0));
+        }
+        if self.kind[node.0 as usize] != NodeKind::BackEnd || self.role(node) != Role::Detached {
+            return Err(TopologyError::InvalidOperation(format!(
+                "{node} is not a detached back-end"
+            )));
+        }
+        if matches!(self.role(parent), Role::BackEnd | Role::Detached) {
+            return Err(TopologyError::InvalidOperation(format!(
+                "cannot reattach under {parent}"
+            )));
+        }
+        self.parent[node.0 as usize] = Some(parent.0);
+        self.children[parent.0 as usize].push(node.0);
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -530,6 +556,33 @@ mod tests {
         assert!(!t.children(NodeId(1)).contains(&4));
         // Node 1 now has one child and is still internal.
         assert_eq!(t.role(NodeId(1)), Role::Internal);
+    }
+
+    #[test]
+    fn reattach_leaf_restores_detached_backend() {
+        let mut t = three_level();
+        t.detach_leaf(NodeId(4)).unwrap();
+        // Reattach under a *different* parent (its original one may be gone).
+        t.reattach_leaf(NodeId(2), NodeId(4)).unwrap();
+        assert_eq!(t.parent(NodeId(4)), Some(NodeId(2)));
+        assert_eq!(t.role(NodeId(4)), Role::BackEnd);
+        assert!(t.children(NodeId(2)).contains(&4));
+        assert_eq!(t.leaf_count(), 4, "membership fully restored");
+    }
+
+    #[test]
+    fn reattach_leaf_rejects_bad_targets() {
+        let mut t = three_level();
+        // Still attached: not a detached back-end.
+        assert!(t.reattach_leaf(NodeId(0), NodeId(4)).is_err());
+        t.detach_leaf(NodeId(4)).unwrap();
+        // Under a back-end or unknown ids: rejected.
+        assert!(t.reattach_leaf(NodeId(3), NodeId(4)).is_err());
+        assert!(t.reattach_leaf(NodeId(99), NodeId(4)).is_err());
+        assert!(t.reattach_leaf(NodeId(0), NodeId(99)).is_err());
+        // A spliced-out internal can never come back as a leaf.
+        t.splice_out_internal(NodeId(1)).unwrap();
+        assert!(t.reattach_leaf(NodeId(0), NodeId(1)).is_err());
     }
 
     #[test]

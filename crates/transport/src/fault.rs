@@ -1,0 +1,571 @@
+//! Deterministic fault injection: a chaos layer composable with any
+//! transport.
+//!
+//! [`FaultyTransport`] wraps an inner [`Transport`] (exactly like
+//! [`crate::shaped::ShapedTransport`]) and perturbs every link created
+//! through it according to a [`FaultPlan`]: frames are dropped, duplicated,
+//! delayed, or the whole connection is killed mid-stream, and node groups
+//! can be partitioned from each other. All probabilistic decisions come
+//! from a per-link PRNG seeded from the plan's seed and the link's
+//! endpoints, so **the same seed replays the identical fault schedule** —
+//! a failing chaos run is reproducible by its seed alone.
+//!
+//! Injected faults are *silent* on the sending side (a dropped frame
+//! returns `Ok`, just like a lost datagram): the receiver's failure
+//! detection — not the sender's error path — must notice, which is exactly
+//! the property chaos testing exercises.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use crate::{Frame, Link, NodeEndpoint, PeerId, Peers, Transport, TransportError};
+
+/// A tiny xorshift64* generator: deterministic, seedable, dependency-free.
+/// Used for fault schedules and retry jitter; not suitable for cryptography.
+#[derive(Debug, Clone)]
+pub struct FaultRng {
+    state: u64,
+}
+
+impl FaultRng {
+    /// Seed the generator. Any seed (including 0) is valid.
+    pub fn new(seed: u64) -> FaultRng {
+        FaultRng {
+            state: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1,
+        }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// What the plan decided for one frame on one link, in schedule order.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultAction {
+    /// Pass the frame through untouched.
+    Deliver,
+    /// Silently lose the frame.
+    Drop,
+    /// Deliver the frame twice (models retransmission after a lost ack).
+    Duplicate,
+    /// Stall the link for the given duration before delivering.
+    Delay(Duration),
+    /// Lose the frame *and* kill the connection mid-stream: both endpoints
+    /// observe a disconnect, as if the socket died under them.
+    KillLink,
+}
+
+/// A seeded description of the faults to inject. Build one with the
+/// fluent setters, then hand it to [`FaultyTransport::new`] (or a
+/// network builder that accepts one).
+///
+/// Per frame, at most one fault fires; decisions are drawn in a fixed
+/// order (kill, drop, duplicate, delay) so a schedule is a pure function
+/// of `(seed, from, to, frame index)` — see [`FaultPlan::schedule`].
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    seed: u64,
+    drop_p: f64,
+    dup_p: f64,
+    delay_p: f64,
+    max_delay: Duration,
+    kill_p: f64,
+    spare: HashSet<PeerId>,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing until faults are enabled on it.
+    pub fn new(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            drop_p: 0.0,
+            dup_p: 0.0,
+            delay_p: 0.0,
+            max_delay: Duration::ZERO,
+            kill_p: 0.0,
+            spare: HashSet::new(),
+        }
+    }
+
+    /// The seed this plan's schedules derive from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Drop each frame with probability `p`.
+    pub fn drop_frames(mut self, p: f64) -> Self {
+        self.drop_p = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Duplicate each frame with probability `p`.
+    pub fn duplicate_frames(mut self, p: f64) -> Self {
+        self.dup_p = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Delay each frame with probability `p`, by a deterministic duration
+    /// in `[0, max_delay)`. The delay stalls the whole link (later frames
+    /// queue behind it), preserving FIFO order.
+    pub fn delay_frames(mut self, p: f64, max_delay: Duration) -> Self {
+        self.delay_p = p.clamp(0.0, 1.0);
+        self.max_delay = max_delay;
+        self
+    }
+
+    /// With probability `p` per frame, kill the connection mid-stream: the
+    /// frame is lost and both endpoints observe a disconnect.
+    pub fn kill_links(mut self, p: f64) -> Self {
+        self.kill_p = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Exempt every link touching `peer` from injection. Used for
+    /// out-of-band control endpoints, which model a management channel
+    /// outside the chaos domain.
+    pub fn spare(mut self, peer: PeerId) -> Self {
+        self.spare.insert(peer);
+        self
+    }
+
+    /// Whether the `a — b` link is exempt from injection.
+    pub fn is_spared(&self, a: PeerId, b: PeerId) -> bool {
+        self.spare.contains(&a) || self.spare.contains(&b)
+    }
+
+    /// The per-link generator: a pure function of the plan seed and the
+    /// (directed) link endpoints.
+    fn link_rng(&self, from: PeerId, to: PeerId) -> FaultRng {
+        let mix = self.seed
+            ^ (from as u64).wrapping_mul(0xA24B_AED4_963E_E407)
+            ^ (to as u64).wrapping_mul(0x9FB2_1C65_1E98_DF25);
+        FaultRng::new(mix)
+    }
+
+    /// Draw the decision for the next frame. Every enabled-or-not fault
+    /// consumes exactly one draw, so schedules stay aligned across plans
+    /// that differ only in probabilities.
+    fn decide(&self, rng: &mut FaultRng) -> FaultAction {
+        let kill = rng.next_f64();
+        let drop = rng.next_f64();
+        let dup = rng.next_f64();
+        let delay = rng.next_f64();
+        let delay_frac = rng.next_f64();
+        if kill < self.kill_p {
+            return FaultAction::KillLink;
+        }
+        if drop < self.drop_p {
+            return FaultAction::Drop;
+        }
+        if dup < self.dup_p {
+            return FaultAction::Duplicate;
+        }
+        if delay < self.delay_p {
+            return FaultAction::Delay(self.max_delay.mul_f64(delay_frac));
+        }
+        FaultAction::Deliver
+    }
+
+    /// Replay the first `n` per-frame decisions for the directed link
+    /// `from → to` — the exact actions a [`FaultyTransport`] built from
+    /// this plan will take. Two plans with equal parameters and seeds
+    /// produce identical schedules.
+    pub fn schedule(&self, from: PeerId, to: PeerId, n: usize) -> Vec<FaultAction> {
+        let mut rng = self.link_rng(from, to);
+        let mut out = Vec::with_capacity(n);
+        let mut killed = false;
+        for _ in 0..n {
+            if killed {
+                // A killed link takes no further actions.
+                out.push(FaultAction::Drop);
+                continue;
+            }
+            let action = self.decide(&mut rng);
+            if action == FaultAction::KillLink {
+                killed = true;
+            }
+            out.push(action);
+        }
+        out
+    }
+}
+
+/// State shared between the transport wrapper and every faulty link.
+struct FaultShared<T: Transport + ?Sized + 'static> {
+    plan: FaultPlan,
+    inner: Arc<T>,
+    /// Active partitions: frames between the two groups are black-holed.
+    partitions: Mutex<Vec<(HashSet<PeerId>, HashSet<PeerId>)>>,
+}
+
+impl<T: Transport + ?Sized + 'static> FaultShared<T> {
+    fn is_partitioned(&self, a: PeerId, b: PeerId) -> bool {
+        self.partitions.lock().iter().any(|(ga, gb)| {
+            (ga.contains(&a) && gb.contains(&b)) || (ga.contains(&b) && gb.contains(&a))
+        })
+    }
+}
+
+struct LinkFaultState {
+    rng: FaultRng,
+    killed: bool,
+}
+
+/// One direction of a faulted edge: consults the plan's per-link schedule
+/// before (maybe) forwarding to the real link.
+struct FaultyLink<T: Transport + ?Sized + 'static> {
+    from: PeerId,
+    to: PeerId,
+    inner: Arc<dyn Link>,
+    shared: Arc<FaultShared<T>>,
+    state: Mutex<LinkFaultState>,
+}
+
+impl<T: Transport + ?Sized + 'static> Link for FaultyLink<T> {
+    fn send(&self, frame: Frame) -> Result<(), TransportError> {
+        if self.shared.is_partitioned(self.from, self.to) {
+            // A partition black-holes traffic without severing connections:
+            // the sender learns nothing, like a silently dropping route.
+            return Ok(());
+        }
+        let action = {
+            let mut st = self.state.lock();
+            if st.killed {
+                return Err(TransportError::Closed(self.to));
+            }
+            let action = self.shared.plan.decide(&mut st.rng);
+            if action == FaultAction::KillLink {
+                st.killed = true;
+            }
+            action
+        };
+        match action {
+            FaultAction::Deliver => self.inner.send(frame),
+            FaultAction::Drop => Ok(()),
+            FaultAction::Duplicate => {
+                self.inner.send(frame.clone())?;
+                self.inner.send(frame)
+            }
+            FaultAction::Delay(d) => {
+                std::thread::sleep(d);
+                self.inner.send(frame)
+            }
+            FaultAction::KillLink => {
+                // The frame dies with the connection. Severing through the
+                // inner transport makes *both* endpoints observe the loss,
+                // exactly like a socket dying mid-stream.
+                let _ = self.shared.inner.disconnect(self.from, self.to);
+                Ok(())
+            }
+        }
+    }
+
+    fn needs_bytes(&self) -> bool {
+        self.inner.needs_bytes()
+    }
+
+    fn queue_depth(&self) -> Option<usize> {
+        self.inner.queue_depth()
+    }
+}
+
+/// Wraps an inner transport, injecting the plan's faults on every link
+/// created through it. Composes with any [`Transport`], including
+/// [`crate::shaped::ShapedTransport`] (shape first, then fault, or vice
+/// versa — the layers nest either way).
+pub struct FaultyTransport<T: Transport + ?Sized + 'static = dyn Transport> {
+    shared: Arc<FaultShared<T>>,
+    peer_tables: Mutex<HashMap<PeerId, Peers>>,
+}
+
+impl<T: Transport + 'static> FaultyTransport<T> {
+    /// Wrap `inner`, injecting per `plan`.
+    pub fn new(inner: T, plan: FaultPlan) -> FaultyTransport<T> {
+        Self::from_arc(Arc::new(inner), plan)
+    }
+}
+
+impl<T: Transport + ?Sized + 'static> FaultyTransport<T> {
+    /// Wrap an already-shared transport.
+    pub fn from_arc(inner: Arc<T>, plan: FaultPlan) -> FaultyTransport<T> {
+        FaultyTransport {
+            shared: Arc::new(FaultShared {
+                plan,
+                inner,
+                partitions: Mutex::new(Vec::new()),
+            }),
+            peer_tables: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The plan this transport injects from.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.shared.plan
+    }
+
+    /// Start black-holing all traffic between the two groups (both
+    /// directions). Connections stay up; frames silently vanish.
+    pub fn partition(
+        &self,
+        a: impl IntoIterator<Item = PeerId>,
+        b: impl IntoIterator<Item = PeerId>,
+    ) {
+        self.shared
+            .partitions
+            .lock()
+            .push((a.into_iter().collect(), b.into_iter().collect()));
+    }
+
+    /// Lift every active partition.
+    pub fn heal_partitions(&self) {
+        self.shared.partitions.lock().clear();
+    }
+
+    /// Replace the raw link `owner → target` with a faulted wrapper.
+    fn wrap_direction(&self, owner: PeerId, target: PeerId) {
+        let tables = self.peer_tables.lock();
+        if let Some(peers) = tables.get(&owner) {
+            if let Some(raw) = peers.get(target) {
+                peers.insert(
+                    target,
+                    Arc::new(FaultyLink {
+                        from: owner,
+                        to: target,
+                        inner: raw,
+                        shared: self.shared.clone(),
+                        state: Mutex::new(LinkFaultState {
+                            rng: self.shared.plan.link_rng(owner, target),
+                            killed: false,
+                        }),
+                    }),
+                );
+            }
+        }
+    }
+}
+
+impl<T: Transport + ?Sized + 'static> Transport for FaultyTransport<T> {
+    fn add_node(&self, id: PeerId) -> Result<NodeEndpoint, TransportError> {
+        let ep = self.shared.inner.add_node(id)?;
+        self.peer_tables.lock().insert(id, ep.peers.clone());
+        Ok(ep)
+    }
+
+    fn connect(&self, a: PeerId, b: PeerId) -> Result<(), TransportError> {
+        self.shared.inner.connect(a, b)?;
+        if !self.shared.plan.is_spared(a, b) {
+            self.wrap_direction(a, b);
+            self.wrap_direction(b, a);
+        }
+        Ok(())
+    }
+
+    fn remove_node(&self, id: PeerId) -> Result<(), TransportError> {
+        self.peer_tables.lock().remove(&id);
+        self.shared.inner.remove_node(id)
+    }
+
+    fn disconnect(&self, a: PeerId, b: PeerId) -> Result<(), TransportError> {
+        self.shared.inner.disconnect(a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::local::LocalTransport;
+    use crate::Delivery;
+
+    fn frame(i: u8) -> Frame {
+        Frame::Bytes(vec![i].into())
+    }
+
+    #[test]
+    fn rng_is_deterministic_and_uniformish() {
+        let mut a = FaultRng::new(42);
+        let mut b = FaultRng::new(42);
+        let mut sum = 0.0;
+        for _ in 0..1000 {
+            let x = a.next_f64();
+            assert_eq!(x, b.next_f64());
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / 1000.0;
+        assert!((0.4..0.6).contains(&mean), "mean {mean} far from 0.5");
+    }
+
+    #[test]
+    fn same_seed_replays_identical_schedule() {
+        let mk = || {
+            FaultPlan::new(7)
+                .drop_frames(0.2)
+                .duplicate_frames(0.1)
+                .delay_frames(0.1, Duration::from_millis(5))
+                .kill_links(0.01)
+        };
+        assert_eq!(mk().schedule(3, 9, 500), mk().schedule(3, 9, 500));
+        // Directed: the reverse link has its own (different) schedule.
+        assert_ne!(mk().schedule(3, 9, 500), mk().schedule(9, 3, 500));
+        // A different seed diverges.
+        let other = FaultPlan::new(8)
+            .drop_frames(0.2)
+            .duplicate_frames(0.1)
+            .delay_frames(0.1, Duration::from_millis(5))
+            .kill_links(0.01);
+        assert_ne!(mk().schedule(3, 9, 500), other.schedule(3, 9, 500));
+    }
+
+    #[test]
+    fn schedule_matches_live_link_behaviour() {
+        // drop_frames(1.0): every frame silently vanishes.
+        let plan = FaultPlan::new(1).drop_frames(1.0);
+        assert!(plan
+            .schedule(0, 1, 50)
+            .iter()
+            .all(|a| *a == FaultAction::Drop));
+        let t = FaultyTransport::new(LocalTransport::new(), plan);
+        let _ea = t.add_node(0).unwrap();
+        let eb = t.add_node(1).unwrap();
+        t.connect(0, 1).unwrap();
+        let ea2 = t.add_node(2).unwrap();
+        t.connect(2, 1).unwrap();
+        let link = ea2.peers.get(1).unwrap();
+        for i in 0..20 {
+            link.send(frame(i)).unwrap();
+        }
+        assert!(
+            eb.incoming.try_recv().is_err(),
+            "dropped frames must not arrive"
+        );
+        let _ = ea2;
+    }
+
+    #[test]
+    fn duplicates_arrive_twice() {
+        let plan = FaultPlan::new(1).duplicate_frames(1.0);
+        let t = FaultyTransport::new(LocalTransport::new(), plan);
+        let ea = t.add_node(0).unwrap();
+        let eb = t.add_node(1).unwrap();
+        t.connect(0, 1).unwrap();
+        ea.peers.get(1).unwrap().send(frame(7)).unwrap();
+        for _ in 0..2 {
+            match eb.incoming.recv().unwrap() {
+                Delivery::Frame { from: 0, .. } => {}
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert!(eb.incoming.try_recv().is_err());
+    }
+
+    #[test]
+    fn kill_link_severs_both_directions() {
+        let plan = FaultPlan::new(1).kill_links(1.0);
+        let t = FaultyTransport::new(LocalTransport::new(), plan);
+        let ea = t.add_node(0).unwrap();
+        let eb = t.add_node(1).unwrap();
+        t.connect(0, 1).unwrap();
+        let link = ea.peers.get(1).unwrap();
+        // First send kills the connection; the frame is lost.
+        link.send(frame(0)).unwrap();
+        match eb.incoming.recv().unwrap() {
+            Delivery::Disconnected { peer } => assert_eq!(peer, 0),
+            other => panic!("unexpected {other:?}"),
+        }
+        match ea.incoming.recv().unwrap() {
+            Delivery::Disconnected { peer } => assert_eq!(peer, 1),
+            other => panic!("unexpected {other:?}"),
+        }
+        // The held link is dead; the tables are cleared.
+        assert_eq!(link.send(frame(1)).unwrap_err(), TransportError::Closed(1));
+        assert!(ea.peers.get(1).is_none());
+        // Reconnecting brings the edge back (with a fresh schedule).
+        t.connect(0, 1).unwrap();
+        assert!(ea.peers.get(1).is_some());
+    }
+
+    #[test]
+    fn spared_peers_bypass_injection() {
+        let plan = FaultPlan::new(1).drop_frames(1.0).spare(99);
+        let t = FaultyTransport::new(LocalTransport::new(), plan);
+        let ea = t.add_node(99).unwrap();
+        let eb = t.add_node(1).unwrap();
+        t.connect(99, 1).unwrap();
+        ea.peers.get(1).unwrap().send(frame(3)).unwrap();
+        match eb.incoming.recv().unwrap() {
+            Delivery::Frame { from: 99, .. } => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn partition_black_holes_until_healed() {
+        let t = FaultyTransport::new(LocalTransport::new(), FaultPlan::new(0));
+        let ea = t.add_node(0).unwrap();
+        let eb = t.add_node(1).unwrap();
+        t.connect(0, 1).unwrap();
+        t.partition([0], [1]);
+        ea.peers.get(1).unwrap().send(frame(1)).unwrap();
+        eb.peers.get(0).unwrap().send(frame(2)).unwrap();
+        assert!(eb.incoming.try_recv().is_err());
+        assert!(ea.incoming.try_recv().is_err());
+        t.heal_partitions();
+        ea.peers.get(1).unwrap().send(frame(3)).unwrap();
+        match eb.incoming.recv().unwrap() {
+            Delivery::Frame { from: 0, .. } => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn delay_stalls_but_delivers() {
+        let plan = FaultPlan::new(5).delay_frames(1.0, Duration::from_millis(10));
+        let t = FaultyTransport::new(LocalTransport::new(), plan);
+        let ea = t.add_node(0).unwrap();
+        let eb = t.add_node(1).unwrap();
+        t.connect(0, 1).unwrap();
+        let link = ea.peers.get(1).unwrap();
+        for i in 0..5 {
+            link.send(frame(i)).unwrap();
+        }
+        // All frames arrive, in order, despite the injected stalls.
+        for i in 0..5u8 {
+            match eb.incoming.recv().unwrap() {
+                Delivery::Frame {
+                    frame: Frame::Bytes(b),
+                    ..
+                } => assert_eq!(b[0], i),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn composes_over_an_arc_dyn_transport() {
+        let inner: Arc<dyn Transport> = Arc::new(LocalTransport::new());
+        let t: FaultyTransport = FaultyTransport::from_arc(inner, FaultPlan::new(3));
+        let ea = t.add_node(0).unwrap();
+        let eb = t.add_node(1).unwrap();
+        t.connect(0, 1).unwrap();
+        ea.peers.get(1).unwrap().send(frame(9)).unwrap();
+        match eb.incoming.recv().unwrap() {
+            Delivery::Frame { from: 0, .. } => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

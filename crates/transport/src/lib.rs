@@ -22,6 +22,7 @@
 //! [`Peers`] table of per-neighbour [`Link`]s. Links are FIFO: two frames
 //! sent over the same link are delivered in order.
 
+pub mod fault;
 pub mod framing;
 pub mod local;
 pub mod shaped;
@@ -192,6 +193,34 @@ pub trait Transport: Send + Sync {
     /// Forget a node: subsequent sends to it fail and its peers receive
     /// [`Delivery::Disconnected`]. Used by failure injection.
     fn remove_node(&self, id: PeerId) -> Result<(), TransportError>;
+
+    /// Sever the FIFO channel between `a` and `b` without forgetting either
+    /// node: both sides observe [`Delivery::Disconnected`] and lose their
+    /// link, but either node may be re-`connect`ed later. This models
+    /// *transient link loss* (a dropped connection between live processes),
+    /// as opposed to process death, which is [`Transport::remove_node`].
+    fn disconnect(&self, a: PeerId, b: PeerId) -> Result<(), TransportError>;
+}
+
+/// Transports are routinely shared behind an `Arc`; forwarding the trait
+/// through it lets layered transports ([`shaped::ShapedTransport`],
+/// [`fault::FaultyTransport`]) wrap an already-shared inner transport.
+impl<T: Transport + ?Sized> Transport for Arc<T> {
+    fn add_node(&self, id: PeerId) -> Result<NodeEndpoint, TransportError> {
+        (**self).add_node(id)
+    }
+
+    fn connect(&self, a: PeerId, b: PeerId) -> Result<(), TransportError> {
+        (**self).connect(a, b)
+    }
+
+    fn remove_node(&self, id: PeerId) -> Result<(), TransportError> {
+        (**self).remove_node(id)
+    }
+
+    fn disconnect(&self, a: PeerId, b: PeerId) -> Result<(), TransportError> {
+        (**self).disconnect(a, b)
+    }
 }
 
 /// Convenience: register every node and connect every edge of a tree.
@@ -252,6 +281,25 @@ pub enum TransportError {
     Io(String),
     /// A frame exceeded the framing layer's size limit.
     FrameTooLarge { size: usize, max: usize },
+}
+
+impl TransportError {
+    /// Whether retrying the operation could plausibly succeed: the peer is
+    /// (or may still be) alive and only the channel misbehaved. Backpressure
+    /// and socket-level I/O failures are transient; a closed or unknown peer
+    /// is not.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            TransportError::Backpressure(_) | TransportError::Io(_)
+        )
+    }
+
+    /// The complement of [`TransportError::is_transient`]: retrying cannot
+    /// help (peer gone, protocol misuse, oversized frame).
+    pub fn is_fatal(&self) -> bool {
+        !self.is_transient()
+    }
 }
 
 impl fmt::Display for TransportError {

@@ -172,6 +172,24 @@ impl Transport for LocalTransport {
         }
         Ok(())
     }
+
+    fn disconnect(&self, a: PeerId, b: PeerId) -> Result<(), TransportError> {
+        let mut nodes = self.nodes.lock();
+        if !nodes.contains_key(&a) {
+            return Err(TransportError::UnknownPeer(a));
+        }
+        if !nodes.contains_key(&b) {
+            return Err(TransportError::UnknownPeer(b));
+        }
+        for (x, y) in [(a, b), (b, a)] {
+            let slot = nodes.get_mut(&x).expect("checked above");
+            slot.linked.retain(|&p| p != y);
+            slot.peers.remove(y);
+            // Best effort: the node's thread may have exited already.
+            let _ = slot.tx.send(Delivery::Disconnected { peer: y });
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -292,6 +310,43 @@ mod tests {
             Delivery::Disconnected { peer } => assert_eq!(peer, 1),
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn disconnect_notifies_both_sides_and_allows_reconnect() {
+        let t = LocalTransport::new();
+        let ea = t.add_node(0).unwrap();
+        let eb = t.add_node(1).unwrap();
+        t.connect(0, 1).unwrap();
+        t.disconnect(0, 1).unwrap();
+
+        // Both tables lose the link and both queues see the disconnect.
+        assert!(ea.peers.get(1).is_none());
+        assert!(eb.peers.get(0).is_none());
+        match ea.incoming.recv().unwrap() {
+            Delivery::Disconnected { peer } => assert_eq!(peer, 1),
+            other => panic!("unexpected {other:?}"),
+        }
+        match eb.incoming.recv().unwrap() {
+            Delivery::Disconnected { peer } => assert_eq!(peer, 0),
+            other => panic!("unexpected {other:?}"),
+        }
+
+        // Unlike remove_node, both nodes survive and may reconnect.
+        t.connect(0, 1).unwrap();
+        ea.peers
+            .get(1)
+            .unwrap()
+            .send(Frame::Bytes(vec![7].into()))
+            .unwrap();
+        match eb.incoming.recv().unwrap() {
+            Delivery::Frame { from, .. } => assert_eq!(from, 0),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(
+            t.disconnect(0, 9).unwrap_err(),
+            TransportError::UnknownPeer(9)
+        );
     }
 
     #[test]

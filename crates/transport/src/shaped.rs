@@ -210,6 +210,14 @@ impl<T: Transport> Transport for ShapedTransport<T> {
         self.peer_tables.lock().remove(&id);
         self.inner.remove_node(id)
     }
+
+    fn disconnect(&self, a: PeerId, b: PeerId) -> Result<(), TransportError> {
+        // The shaped wrappers live in the same shared `Peers` tables the
+        // inner transport prunes, so delegation is enough: the entries
+        // vanish and the orphaned worker threads exit when their queues
+        // disconnect.
+        self.inner.disconnect(a, b)
+    }
 }
 
 #[cfg(test)]

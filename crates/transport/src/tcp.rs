@@ -52,8 +52,9 @@ struct TcpNodeSlot {
     addr: SocketAddr,
     tx: Sender<Delivery>,
     peers: Peers,
-    /// One stream clone per live connection, used to force-close on removal.
-    streams: Arc<Mutex<Vec<TcpStream>>>,
+    /// One `(peer, stream clone)` per live connection, used to force-close
+    /// everything on removal or a single edge on disconnect.
+    streams: Arc<Mutex<Vec<(PeerId, TcpStream)>>>,
     shutdown: Arc<AtomicBool>,
 }
 
@@ -94,7 +95,7 @@ fn serve_accepted(
     mut stream: TcpStream,
     tx: Sender<Delivery>,
     peers: Peers,
-    streams: Arc<Mutex<Vec<TcpStream>>>,
+    streams: Arc<Mutex<Vec<(PeerId, TcpStream)>>>,
     cfg: WriterConfig,
 ) {
     let mut id_buf = [0u8; 4];
@@ -107,7 +108,7 @@ fn serve_accepted(
         Err(_) => return,
     };
     streams.lock().push(match stream.try_clone() {
-        Ok(s) => s,
+        Ok(s) => (peer, s),
         Err(_) => return,
     });
     peers.insert(peer, Arc::new(link));
@@ -155,7 +156,7 @@ impl Transport for TcpTransport {
             .map_err(|e| TransportError::Io(e.to_string()))?;
         let (tx, rx) = unbounded();
         let peers = Peers::new();
-        let streams: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
+        let streams: Arc<Mutex<Vec<(PeerId, TcpStream)>>> = Arc::new(Mutex::new(Vec::new()));
         let shutdown = Arc::new(AtomicBool::new(false));
 
         {
@@ -228,11 +229,12 @@ impl Transport for TcpTransport {
             .map_err(|e| TransportError::Io(e.to_string()))?;
 
         let link = tcp_link(b, &stream, self.writer_cfg)?;
-        a_streams.lock().push(
+        a_streams.lock().push((
+            b,
             stream
                 .try_clone()
                 .map_err(|e| TransportError::Io(e.to_string()))?,
-        );
+        ));
         a_peers.insert(b, Arc::new(link));
         let peers = a_peers;
         thread::Builder::new()
@@ -250,11 +252,36 @@ impl Transport for TcpTransport {
         slot.shutdown.store(true, Ordering::Release);
         // Closing the sockets wakes the remote reader threads, which emit
         // Disconnected to their owners and drop their links.
-        for s in slot.streams.lock().iter() {
+        for (_, s) in slot.streams.lock().iter() {
             let _ = s.shutdown(Shutdown::Both);
         }
         // Wake the accept loop so it observes the shutdown flag.
         let _ = TcpStream::connect(slot.addr);
+        Ok(())
+    }
+
+    fn disconnect(&self, a: PeerId, b: PeerId) -> Result<(), TransportError> {
+        let nodes = self.nodes.lock();
+        if !nodes.contains_key(&a) {
+            return Err(TransportError::UnknownPeer(a));
+        }
+        if !nodes.contains_key(&b) {
+            return Err(TransportError::UnknownPeer(b));
+        }
+        // Shut down every socket of this edge on both slots; the read loops
+        // observe EOF and emit Disconnected to both owners. Both nodes stay
+        // registered and may reconnect later.
+        for (x, y) in [(a, b), (b, a)] {
+            let slot = nodes.get(&x).expect("checked above");
+            slot.streams.lock().retain(|(peer, s)| {
+                if *peer == y {
+                    let _ = s.shutdown(Shutdown::Both);
+                    false
+                } else {
+                    true
+                }
+            });
+        }
         Ok(())
     }
 }
@@ -357,6 +384,46 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         }
         assert!(ea.peers.get(1).is_none());
+    }
+
+    #[test]
+    fn disconnect_severs_one_edge_and_allows_reconnect() {
+        let t = TcpTransport::new();
+        let ea = t.add_node(0).unwrap();
+        let eb = t.add_node(1).unwrap();
+        let ec = t.add_node(2).unwrap();
+        t.connect(0, 1).unwrap();
+        t.connect(0, 2).unwrap();
+        t.disconnect(0, 1).unwrap();
+        match ea.incoming.recv_timeout(Duration::from_secs(5)).unwrap() {
+            Delivery::Disconnected { peer } => assert_eq!(peer, 1),
+            other => panic!("unexpected {other:?}"),
+        }
+        match eb.incoming.recv_timeout(Duration::from_secs(5)).unwrap() {
+            Delivery::Disconnected { peer } => assert_eq!(peer, 0),
+            other => panic!("unexpected {other:?}"),
+        }
+        // The unrelated 0-2 edge survives.
+        ea.peers
+            .get(2)
+            .unwrap()
+            .send(Frame::Bytes(vec![5].into()))
+            .unwrap();
+        match ec.incoming.recv_timeout(Duration::from_secs(5)).unwrap() {
+            Delivery::Frame { from, .. } => assert_eq!(from, 0),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Both nodes are still registered; the edge can come back.
+        t.connect(0, 1).unwrap();
+        ea.peers
+            .get(1)
+            .unwrap()
+            .send(Frame::Bytes(vec![6].into()))
+            .unwrap();
+        match eb.incoming.recv_timeout(Duration::from_secs(5)).unwrap() {
+            Delivery::Frame { from, .. } => assert_eq!(from, 0),
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]

@@ -52,7 +52,7 @@ struct UdsNodeSlot {
     path: PathBuf,
     tx: Sender<Delivery>,
     peers: Peers,
-    streams: Arc<Mutex<Vec<UnixStream>>>,
+    streams: Arc<Mutex<Vec<(PeerId, UnixStream)>>>,
     shutdown: Arc<AtomicBool>,
 }
 
@@ -116,7 +116,7 @@ fn serve_accepted(
     mut stream: UnixStream,
     tx: Sender<Delivery>,
     peers: Peers,
-    streams: Arc<Mutex<Vec<UnixStream>>>,
+    streams: Arc<Mutex<Vec<(PeerId, UnixStream)>>>,
     cfg: WriterConfig,
 ) {
     let mut id_buf = [0u8; 4];
@@ -128,7 +128,7 @@ fn serve_accepted(
         return;
     };
     if let Ok(clone) = stream.try_clone() {
-        streams.lock().push(clone);
+        streams.lock().push((peer, clone));
     } else {
         return;
     }
@@ -173,7 +173,7 @@ impl Transport for UdsTransport {
         let listener = UnixListener::bind(&path).map_err(|e| TransportError::Io(e.to_string()))?;
         let (tx, rx) = unbounded();
         let peers = Peers::new();
-        let streams: Arc<Mutex<Vec<UnixStream>>> = Arc::new(Mutex::new(Vec::new()));
+        let streams: Arc<Mutex<Vec<(PeerId, UnixStream)>>> = Arc::new(Mutex::new(Vec::new()));
         let shutdown = Arc::new(AtomicBool::new(false));
         {
             let tx = tx.clone();
@@ -240,11 +240,12 @@ impl Transport for UdsTransport {
             .map_err(|e| TransportError::Io(e.to_string()))?;
 
         let link = uds_link(b, &stream, self.writer_cfg)?;
-        a_streams.lock().push(
+        a_streams.lock().push((
+            b,
             stream
                 .try_clone()
                 .map_err(|e| TransportError::Io(e.to_string()))?,
-        );
+        ));
         a_peers.insert(b, Arc::new(link));
         let peers = a_peers;
         thread::Builder::new()
@@ -260,12 +261,37 @@ impl Transport for UdsTransport {
             nodes.remove(&id).ok_or(TransportError::UnknownPeer(id))?
         };
         slot.shutdown.store(true, Ordering::Release);
-        for s in slot.streams.lock().iter() {
+        for (_, s) in slot.streams.lock().iter() {
             let _ = s.shutdown(std::net::Shutdown::Both);
         }
         // Wake the accept loop so it observes the flag, then unlink.
         let _ = UnixStream::connect(&slot.path);
         let _ = std::fs::remove_file(&slot.path);
+        Ok(())
+    }
+
+    fn disconnect(&self, a: PeerId, b: PeerId) -> Result<(), TransportError> {
+        let nodes = self.nodes.lock();
+        if !nodes.contains_key(&a) {
+            return Err(TransportError::UnknownPeer(a));
+        }
+        if !nodes.contains_key(&b) {
+            return Err(TransportError::UnknownPeer(b));
+        }
+        // Shut down every socket of this edge on both slots; the read loops
+        // observe EOF and emit Disconnected to both owners. Both nodes stay
+        // registered and may reconnect later.
+        for (x, y) in [(a, b), (b, a)] {
+            let slot = nodes.get(&x).expect("checked above");
+            slot.streams.lock().retain(|(peer, s)| {
+                if *peer == y {
+                    let _ = s.shutdown(std::net::Shutdown::Both);
+                    false
+                } else {
+                    true
+                }
+            });
+        }
         Ok(())
     }
 }
@@ -358,6 +384,33 @@ mod tests {
         t.remove_node(1).unwrap();
         match ea.incoming.recv_timeout(Duration::from_secs(5)).unwrap() {
             Delivery::Disconnected { peer } => assert_eq!(peer, 1),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn disconnect_severs_edge_and_allows_reconnect() {
+        let t = UdsTransport::new().unwrap();
+        let ea = t.add_node(0).unwrap();
+        let eb = t.add_node(1).unwrap();
+        t.connect(0, 1).unwrap();
+        t.disconnect(0, 1).unwrap();
+        match ea.incoming.recv_timeout(Duration::from_secs(5)).unwrap() {
+            Delivery::Disconnected { peer } => assert_eq!(peer, 1),
+            other => panic!("unexpected {other:?}"),
+        }
+        match eb.incoming.recv_timeout(Duration::from_secs(5)).unwrap() {
+            Delivery::Disconnected { peer } => assert_eq!(peer, 0),
+            other => panic!("unexpected {other:?}"),
+        }
+        t.connect(0, 1).unwrap();
+        ea.peers
+            .get(1)
+            .unwrap()
+            .send(Frame::Bytes(vec![3].into()))
+            .unwrap();
+        match eb.incoming.recv_timeout(Duration::from_secs(5)).unwrap() {
+            Delivery::Frame { from, .. } => assert_eq!(from, 0),
             other => panic!("unexpected {other:?}"),
         }
     }

@@ -206,11 +206,14 @@ mod tests {
         let link = WriterLink::spawn(9, gate.clone(), cfg(1, 30), "t".into(), move || {
             stalled2.store(true, Ordering::Release);
         });
-        // First frame may be in flight inside the writer; keep pushing until
-        // the queue jams and the deadline trips.
+        // Frames at least as large as the BufWriter's buffer bypass it and
+        // block in the gated sink immediately; small frames could instead be
+        // coalesced into the buffer as fast as this loop enqueues them,
+        // never producing backpressure. First frame jams the writer, second
+        // fills the depth-1 queue, third trips the deadline.
         let mut saw_backpressure = false;
         for _ in 0..4 {
-            match link.send(Frame::Bytes(vec![0u8; 8].into())) {
+            match link.send(Frame::Bytes(vec![0u8; 16 * 1024].into())) {
                 Ok(()) => continue,
                 Err(TransportError::Backpressure(9)) => {
                     saw_backpressure = true;

@@ -179,7 +179,9 @@ fn main() -> Result<(), TbonError> {
     println!("--------------------------------------------------------------------");
     let mut last = f64::INFINITY;
     for round in 0..=ROUNDS {
-        let pkt = stream.recv_timeout(Duration::from_secs(15))?;
+        let pkt = stream
+            .recv_within(Duration::from_secs(15))?
+            .ok_or(TbonError::Timeout)?;
         let counts = pkt.value().as_array_i64().unwrap().to_vec();
         let imb = imbalance(&counts);
         println!("{round:>5}  {counts:?}  {imb:>6.3}");

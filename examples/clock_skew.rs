@@ -47,7 +47,9 @@ fn main() -> Result<(), TbonError> {
 
     let stream = net.new_stream(StreamSpec::all().transformation("filter::clock_skew"))?;
     stream.broadcast(Tag(0), DataValue::Unit)?;
-    let pkt = stream.recv_timeout(Duration::from_secs(10))?;
+    let pkt = stream
+        .recv_within(Duration::from_secs(10))?
+        .ok_or(TbonError::Timeout)?;
     let report = SkewReport::from_value(pkt.value()).expect("skew report");
 
     // The report contains comm-process entries too; look at back-ends only.

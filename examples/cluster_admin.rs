@@ -55,7 +55,9 @@ fn main() -> Result<(), TbonError> {
 
     println!("\n$ fleet-run 'uname -r'");
     stream.broadcast(Tag(0), DataValue::from("uname -r"))?;
-    let summary = stream.recv_timeout(Duration::from_secs(30))?;
+    let summary = stream
+        .recv_within(Duration::from_secs(30))?
+        .ok_or(TbonError::Timeout)?;
     let mut classes = decode_classes(summary.value())?;
     classes.sort_by_key(|c| std::cmp::Reverse(c.members.len()));
 

@@ -86,7 +86,9 @@ fn main() -> Result<(), TbonError> {
     fleet.broadcast(Tag(1), DataValue::Unit)?;
 
     for (i, s) in cluster_streams.iter().enumerate() {
-        let pkt = s.recv_timeout(Duration::from_secs(30))?;
+        let pkt = s
+            .recv_within(Duration::from_secs(30))?
+            .ok_or(TbonError::Timeout)?;
         let r = StatsReport::from_value(pkt.value()).expect("stats");
         println!(
             "cluster {}: {} hosts, load mean {:.2} (min {:.2}, max {:.2})",
@@ -97,7 +99,9 @@ fn main() -> Result<(), TbonError> {
             r.max
         );
     }
-    let pkt = fleet.recv_timeout(Duration::from_secs(30))?;
+    let pkt = fleet
+        .recv_within(Duration::from_secs(30))?
+        .ok_or(TbonError::Timeout)?;
     let r = StatsReport::from_value(pkt.value()).expect("stats");
     println!(
         "federation: {} hosts, load mean {:.2} (min {:.2}, max {:.2})",

@@ -55,7 +55,9 @@ fn main() -> Result<(), TbonError> {
     // 5. Multicast down, receive the single reduced packet at the top.
     for x in [1i64, 10, 100] {
         stream.broadcast(Tag(0), DataValue::I64(x))?;
-        let reply = stream.recv_timeout(Duration::from_secs(10))?;
+        let reply = stream
+            .recv_within(Duration::from_secs(10))?
+            .ok_or(TbonError::Timeout)?;
         let sum_of_ranks: i64 = net
             .topology_snapshot()
             .leaves()

@@ -78,9 +78,15 @@ fn main() -> Result<(), TbonError> {
         max_mem.broadcast(Tag(2), DataValue::U64(round))?;
         latency_hist.broadcast(Tag(3), DataValue::U64(round))?;
 
-        let load = avg_load.recv_timeout(Duration::from_secs(10))?;
-        let mem = max_mem.recv_timeout(Duration::from_secs(10))?;
-        let hist = latency_hist.recv_timeout(Duration::from_secs(10))?;
+        let load = avg_load
+            .recv_within(Duration::from_secs(10))?
+            .ok_or(TbonError::Timeout)?;
+        let mem = max_mem
+            .recv_within(Duration::from_secs(10))?
+            .ok_or(TbonError::Timeout)?;
+        let hist = latency_hist
+            .recv_within(Duration::from_secs(10))?
+            .ok_or(TbonError::Timeout)?;
         let bins = hist.value().as_array_i64().unwrap().to_vec();
         println!(
             "round {round}: fleet avg load {:.3}, max mem {:.0} MiB, latency bins {:?} ({} samples)",

@@ -129,8 +129,12 @@ fn main() -> ExitCode {
             eprintln!("broadcast failed: {e}");
             return ExitCode::FAILURE;
         }
-        match stream.recv_timeout(Duration::from_secs(30)) {
-            Ok(pkt) => println!("round {round}: {}", pkt.value()),
+        match stream.recv_within(Duration::from_secs(30)) {
+            Ok(Some(pkt)) => println!("round {round}: {}", pkt.value()),
+            Ok(None) => {
+                eprintln!("recv timed out");
+                return ExitCode::FAILURE;
+            }
             Err(e) => {
                 eprintln!("recv failed: {e}");
                 return ExitCode::FAILURE;

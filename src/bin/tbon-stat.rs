@@ -208,8 +208,8 @@ fn main() -> ExitCode {
             break;
         }
         round += 1;
-        let _ = stream.recv_timeout(Duration::from_secs(5));
-        while let Some((origin, sample)) = metrics.try_recv() {
+        let _ = stream.recv_within(Duration::from_secs(5));
+        while let Some((origin, sample)) = metrics.poll() {
             match args.format {
                 Format::Watch => render_watch(&sample, origin, started.elapsed()),
                 Format::Jsonl => println!("{}", sample.to_jsonl()),

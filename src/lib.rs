@@ -47,7 +47,7 @@
 //!     .new_stream(StreamSpec::all().transformation("builtin::sum"))
 //!     .unwrap();
 //! stream.broadcast(Tag(1), DataValue::I64(100)).unwrap();
-//! let reply = stream.recv().unwrap();
+//! let reply = stream.recv_blocking().unwrap();
 //! // 4 leaves each answered 100 + rank; the tree summed them on the way up.
 //! assert!(reply.value().as_i64().is_some());
 //! net.shutdown().unwrap();
@@ -63,11 +63,13 @@ pub use tbon_transport as transport;
 /// The most commonly used items, importable with one `use tbon::prelude::*`.
 pub mod prelude {
     pub use tbon_core::{
-        BackendContext, BackendEvent, DataValue, EventSnapshot, FilterRegistry, LogHistogram,
-        MetricsHandle, MetricsSample, Network, NetworkBuilder, NetworkConfig, Packet, PerfSnapshot,
-        Rank, StreamHandle, StreamId, StreamSpec, SyncPolicy, Tag, TbonError,
+        BackendContext, BackendEvent, DataValue, Deadline, EventSnapshot, FilterRegistry,
+        LogHistogram, MetricsHandle, MetricsSample, NetEvent, Network, NetworkBuilder,
+        NetworkConfig, Packet, PerfSnapshot, Rank, RetryPolicy, StreamConsumer, StreamHandle,
+        StreamId, StreamSpec, SyncPolicy, Tag, TbonError,
     };
     pub use tbon_filters::builtin_registry;
     pub use tbon_topology::Topology;
+    pub use tbon_transport::fault::{FaultPlan, FaultyTransport};
     pub use tbon_transport::{local::LocalTransport, shaped::Shaping, tcp::TcpTransport};
 }

@@ -39,7 +39,8 @@ fn check_consistency(net: &mut Network, round: u32) {
         .broadcast(Tag(round), DataValue::Unit)
         .expect("broadcast");
     let pkt = stream
-        .recv_timeout(Duration::from_secs(20))
+        .recv_within(Duration::from_secs(20))
+        .unwrap()
         .expect("consistency reply");
     assert_eq!(
         pkt.value().as_i64(),
@@ -158,7 +159,10 @@ fn run_chaos(seed: u64, steps: usize) {
     for s in &long_lived {
         s.broadcast(Tag(9999), DataValue::Unit)
             .expect("final broadcast");
-        let pkt = s.recv_timeout(Duration::from_secs(20)).expect("final recv");
+        let pkt = s
+            .recv_within(Duration::from_secs(20))
+            .unwrap()
+            .expect("final recv");
         assert!(pkt.value().as_u64().is_some());
     }
     net.shutdown().expect("shutdown");

@@ -48,7 +48,10 @@ fn multiple_failures_sequentially_shrink_the_wave() {
     let mut alive: Vec<i64> = vec![1, 2, 3, 4, 5];
     for victim in [2u32, 4, 1] {
         stream.broadcast(Tag(0), DataValue::Unit).unwrap();
-        let pkt = stream.recv_timeout(Duration::from_secs(10)).unwrap();
+        let pkt = stream
+            .recv_within(Duration::from_secs(10))
+            .unwrap()
+            .expect("timed out");
         assert_eq!(pkt.value().as_i64(), Some(alive.iter().sum::<i64>()));
 
         net.kill_backend(Rank(victim)).unwrap();
@@ -60,7 +63,10 @@ fn multiple_failures_sequentially_shrink_the_wave() {
     }
     // Two survivors left.
     stream.broadcast(Tag(0), DataValue::Unit).unwrap();
-    let pkt = stream.recv_timeout(Duration::from_secs(10)).unwrap();
+    let pkt = stream
+        .recv_within(Duration::from_secs(10))
+        .unwrap()
+        .expect("timed out");
     assert_eq!(pkt.value().as_i64(), Some(alive.iter().sum::<i64>()));
     net.shutdown().unwrap();
 }
@@ -88,7 +94,10 @@ fn failure_in_deep_tree_detected_by_its_parent_not_root() {
         .new_stream(StreamSpec::all().transformation("builtin::count"))
         .unwrap();
     stream.broadcast(Tag(0), DataValue::Unit).unwrap();
-    let pkt = stream.recv_timeout(Duration::from_secs(10)).unwrap();
+    let pkt = stream
+        .recv_within(Duration::from_secs(10))
+        .unwrap()
+        .expect("timed out");
     assert_eq!(pkt.value().as_u64(), Some(8));
     net.shutdown().unwrap();
 }
@@ -117,9 +126,15 @@ fn failure_mid_wave_releases_blocked_wait_for_all() {
         .unwrap();
     stream.broadcast(Tag(0), DataValue::Unit).unwrap();
     // Nothing arrives while the silent member is "alive".
-    assert!(stream.recv_timeout(Duration::from_millis(200)).is_err());
+    assert!(stream
+        .recv_within(Duration::from_millis(200))
+        .unwrap()
+        .is_none());
     net.kill_backend(Rank(2)).unwrap();
-    let pkt = stream.recv_timeout(Duration::from_secs(10)).unwrap();
+    let pkt = stream
+        .recv_within(Duration::from_secs(10))
+        .unwrap()
+        .expect("timed out");
     assert_eq!(pkt.value().as_i64(), Some(1 + 3));
     net.shutdown().unwrap();
 }
@@ -140,7 +155,10 @@ fn killed_backend_then_attach_restores_capacity() {
         .new_stream(StreamSpec::all().transformation("builtin::count"))
         .unwrap();
     stream.broadcast(Tag(0), DataValue::Unit).unwrap();
-    let pkt = stream.recv_timeout(Duration::from_secs(10)).unwrap();
+    let pkt = stream
+        .recv_within(Duration::from_secs(10))
+        .unwrap()
+        .expect("timed out");
     assert_eq!(pkt.value().as_u64(), Some(4)); // 1,2,4 + newcomer 5
     net.shutdown().unwrap();
 }
@@ -189,11 +207,17 @@ fn timeout_sync_rides_through_failures_without_events_blocking() {
         )
         .unwrap();
     stream.broadcast(Tag(0), DataValue::Unit).unwrap();
-    let first = stream.recv_timeout(Duration::from_secs(10)).unwrap();
+    let first = stream
+        .recv_within(Duration::from_secs(10))
+        .unwrap()
+        .expect("timed out");
     assert_eq!(first.value().as_i64(), Some(1 + 2 + 3 + 4));
     net.kill_backend(Rank(2)).unwrap();
     stream.broadcast(Tag(1), DataValue::Unit).unwrap();
-    let second = stream.recv_timeout(Duration::from_secs(10)).unwrap();
+    let second = stream
+        .recv_within(Duration::from_secs(10))
+        .unwrap()
+        .expect("timed out");
     assert_eq!(second.value().as_i64(), Some(1 + 3 + 4));
     net.shutdown().unwrap();
 }
@@ -212,7 +236,10 @@ fn perf_snapshot_during_churn_returns_survivors_within_timeout() {
         .new_stream(StreamSpec::all().transformation("builtin::sum"))
         .unwrap();
     stream.broadcast(Tag(0), DataValue::Unit).unwrap();
-    stream.recv_timeout(Duration::from_secs(10)).unwrap();
+    stream
+        .recv_within(Duration::from_secs(10))
+        .unwrap()
+        .expect("timed out");
 
     net.kill_internal(Rank(1)).unwrap();
     let started = std::time::Instant::now();
@@ -247,8 +274,9 @@ fn subtree_with_all_members_dead_is_pruned_from_existing_streams() {
         .unwrap();
     stream.broadcast(Tag(0), DataValue::Unit).unwrap();
     let full: i64 = stream
-        .recv_timeout(Duration::from_secs(10))
+        .recv_within(Duration::from_secs(10))
         .unwrap()
+        .expect("timed out")
         .value()
         .as_i64()
         .unwrap();
@@ -261,8 +289,9 @@ fn subtree_with_all_members_dead_is_pruned_from_existing_streams() {
 
     stream.broadcast(Tag(1), DataValue::Unit).unwrap();
     let survivors = stream
-        .recv_timeout(Duration::from_secs(10))
+        .recv_within(Duration::from_secs(10))
         .unwrap()
+        .expect("timed out")
         .value()
         .as_i64()
         .unwrap();
@@ -280,8 +309,9 @@ fn subtree_with_all_members_dead_is_pruned_from_existing_streams() {
     fresh.broadcast(Tag(2), DataValue::Unit).unwrap();
     assert_eq!(
         fresh
-            .recv_timeout(Duration::from_secs(10))
+            .recv_within(Duration::from_secs(10))
             .unwrap()
+            .expect("timed out")
             .value()
             .as_u64(),
         Some(2)

@@ -40,7 +40,10 @@ fn equivalence_classes_over_deep_tree() {
         .new_stream(StreamSpec::all().transformation("filter::equivalence"))
         .unwrap();
     stream.broadcast(Tag(0), DataValue::Unit).unwrap();
-    let pkt = stream.recv_timeout(Duration::from_secs(10)).unwrap();
+    let pkt = stream
+        .recv_within(Duration::from_secs(10))
+        .unwrap()
+        .expect("timed out");
     let classes = decode_classes(pkt.value()).unwrap();
     assert_eq!(classes.len(), 3);
     assert_eq!(
@@ -80,7 +83,10 @@ fn histogram_over_tcp_matches_local() {
             )
             .unwrap();
         stream.broadcast(Tag(0), DataValue::Unit).unwrap();
-        let pkt = stream.recv_timeout(Duration::from_secs(10)).unwrap();
+        let pkt = stream
+            .recv_within(Duration::from_secs(10))
+            .unwrap()
+            .expect("timed out");
         let out = pkt.value().as_array_i64().unwrap().to_vec();
         net.shutdown().unwrap();
         out
@@ -109,7 +115,10 @@ fn sgfa_folds_call_trees_across_the_network() {
         .new_stream(StreamSpec::all().transformation("filter::sgfa"))
         .unwrap();
     stream.broadcast(Tag(0), DataValue::Unit).unwrap();
-    let pkt = stream.recv_timeout(Duration::from_secs(10)).unwrap();
+    let pkt = stream
+        .recv_within(Duration::from_secs(10))
+        .unwrap()
+        .expect("timed out");
     let composites = decode_composites(pkt.value()).unwrap();
     assert_eq!(composites.len(), 1);
     let root = &composites[0];
@@ -143,7 +152,10 @@ fn time_aligned_series_sum_over_network() {
         )
         .unwrap();
     stream.broadcast(Tag(0), DataValue::Unit).unwrap();
-    let pkt = stream.recv_timeout(Duration::from_secs(10)).unwrap();
+    let pkt = stream
+        .recv_within(Duration::from_secs(10))
+        .unwrap()
+        .expect("timed out");
     let merged = TimeSeries::from_value(pkt.value()).unwrap();
     // 4 hosts x 4 samples of 1.0: total mass conserved through alignment.
     assert_eq!(merged.samples.iter().sum::<f64>(), 16.0);
@@ -174,7 +186,10 @@ fn chained_super_filter_over_network() {
         )
         .unwrap();
     stream.broadcast(Tag(0), DataValue::Unit).unwrap();
-    let pkt = stream.recv_timeout(Duration::from_secs(10)).unwrap();
+    let pkt = stream
+        .recv_within(Duration::from_secs(10))
+        .unwrap()
+        .expect("timed out");
     let classes = decode_classes(pkt.value()).unwrap();
     assert_eq!(classes.len(), 2);
     net.shutdown().unwrap();
@@ -202,7 +217,10 @@ fn clock_skew_recovers_injected_offsets_over_network() {
         .new_stream(StreamSpec::all().transformation("filter::clock_skew"))
         .unwrap();
     stream.broadcast(Tag(0), DataValue::Unit).unwrap();
-    let pkt = stream.recv_timeout(Duration::from_secs(10)).unwrap();
+    let pkt = stream
+        .recv_within(Duration::from_secs(10))
+        .unwrap()
+        .expect("timed out");
     let report = SkewReport::from_value(pkt.value()).unwrap();
     let leaves = net.topology_snapshot().leaves();
     for leaf in leaves {
@@ -260,7 +278,10 @@ fn meanshift_distributed_over_tcp() {
         )
         .unwrap();
     stream.broadcast(Tag(0), DataValue::Unit).unwrap();
-    let pkt = stream.recv_timeout(Duration::from_secs(60)).unwrap();
+    let pkt = stream
+        .recv_within(Duration::from_secs(60))
+        .unwrap()
+        .expect("timed out");
     let payload = MsPayload::from_value(pkt.value()).unwrap();
     assert_eq!(payload.points.len(), 4 * spec.points_per_leaf());
     assert_eq!(payload.peaks.len(), spec.centers.len());
@@ -298,7 +319,10 @@ fn attach_then_monitor_includes_newcomer() {
         .new_stream(StreamSpec::all().transformation("builtin::count"))
         .unwrap();
     stream.broadcast(Tag(0), DataValue::Unit).unwrap();
-    let pkt = stream.recv_timeout(Duration::from_secs(10)).unwrap();
+    let pkt = stream
+        .recv_within(Duration::from_secs(10))
+        .unwrap()
+        .expect("timed out");
     assert_eq!(pkt.value().as_u64(), Some(6)); // 4 original + 2 attached
     net.shutdown().unwrap();
 }
@@ -320,7 +344,10 @@ fn avg_filter_is_exact_across_levels() {
         .new_stream(StreamSpec::all().transformation("builtin::avg"))
         .unwrap();
     stream.broadcast(Tag(0), DataValue::Unit).unwrap();
-    let pkt = stream.recv_timeout(Duration::from_secs(10)).unwrap();
+    let pkt = stream
+        .recv_within(Duration::from_secs(10))
+        .unwrap()
+        .expect("timed out");
     let got = pkt.value().as_f64().unwrap();
     assert!((got - expected).abs() < 1e-9, "avg {got} != {expected}");
     net.shutdown().unwrap();
@@ -339,7 +366,10 @@ fn concat_keyed_gathers_with_provenance() {
         .new_stream(StreamSpec::all().transformation("builtin::concat_keyed"))
         .unwrap();
     stream.broadcast(Tag(0), DataValue::Unit).unwrap();
-    let pkt = stream.recv_timeout(Duration::from_secs(10)).unwrap();
+    let pkt = stream
+        .recv_within(Duration::from_secs(10))
+        .unwrap()
+        .expect("timed out");
     let entries = pkt.value().as_tuple().unwrap();
     assert_eq!(entries.len(), 8);
     for e in entries {
@@ -369,7 +399,10 @@ fn stats_filter_over_network_is_exact() {
         .new_stream(StreamSpec::all().transformation("filter::stats"))
         .unwrap();
     stream.broadcast(Tag(0), DataValue::Unit).unwrap();
-    let pkt = stream.recv_timeout(Duration::from_secs(10)).unwrap();
+    let pkt = stream
+        .recv_within(Duration::from_secs(10))
+        .unwrap()
+        .expect("timed out");
     let report = tbon::filters::StatsReport::from_value(pkt.value()).unwrap();
     let expected = tbon::filters::Summary::of_samples(&leaves);
     assert_eq!(report.count, leaves.len() as u64);
@@ -406,7 +439,10 @@ fn topk_filter_over_network_selects_globally() {
         )
         .unwrap();
     stream.broadcast(Tag(0), DataValue::Unit).unwrap();
-    let pkt = stream.recv_timeout(Duration::from_secs(10)).unwrap();
+    let pkt = stream
+        .recv_within(Duration::from_secs(10))
+        .unwrap()
+        .expect("timed out");
     let top = tbon::filters::decode_topk(pkt.value()).unwrap();
     assert_eq!(top.len(), 3);
     for (got, want) in top.iter().zip(&scores) {
@@ -442,7 +478,12 @@ fn decimate_filter_thins_flow_at_the_first_level() {
         )
         .unwrap();
     let mut got = 0;
-    while stream.recv_timeout(Duration::from_millis(800)).is_ok() {
+    while stream
+        .recv_within(Duration::from_millis(800))
+        .ok()
+        .flatten()
+        .is_some()
+    {
         got += 1;
     }
     assert_eq!(got, 3);
@@ -474,7 +515,10 @@ fn format_string_packing_over_network() {
     stream.broadcast(Tag(0), request).unwrap();
     let mut seen = 0;
     for _ in 0..3 {
-        let pkt = stream.recv_timeout(Duration::from_secs(10)).unwrap();
+        let pkt = stream
+            .recv_within(Duration::from_secs(10))
+            .unwrap()
+            .expect("timed out");
         let fields = unpack("%d %lf", pkt.value()).unwrap();
         let rank = pkt.origin().0 as i64;
         assert_eq!(fields[0].as_i64(), Some(100 + rank));
@@ -502,8 +546,9 @@ fn uds_transport_end_to_end() {
     stream.broadcast(Tag(0), DataValue::Unit).unwrap();
     assert_eq!(
         stream
-            .recv_timeout(Duration::from_secs(10))
+            .recv_within(Duration::from_secs(10))
             .unwrap()
+            .expect("timed out")
             .value()
             .as_i64(),
         Some(expected)
@@ -546,7 +591,10 @@ fn host_placement_drives_shaped_transport_costs() {
             .unwrap();
         let started = Instant::now();
         stream.broadcast(Tag(0), DataValue::Unit).unwrap();
-        let pkt = stream.recv_timeout(Duration::from_secs(20)).unwrap();
+        let pkt = stream
+            .recv_within(Duration::from_secs(20))
+            .unwrap()
+            .expect("timed out");
         let elapsed = started.elapsed();
         let expected: i64 = net
             .topology_snapshot()
@@ -589,14 +637,20 @@ fn cumulative_equivalence_suppresses_repeat_waves_in_tree() {
         )
         .unwrap();
     stream.broadcast(Tag(0), DataValue::Unit).unwrap();
-    let first = stream.recv_timeout(Duration::from_secs(10)).unwrap();
+    let first = stream
+        .recv_within(Duration::from_secs(10))
+        .unwrap()
+        .expect("timed out");
     let classes = tbon::filters::decode_classes(first.value()).unwrap();
     assert_eq!(classes.len(), 1);
     assert_eq!(classes[0].members.len(), 4);
     // Identical second wave: suppressed before the front-end.
     stream.broadcast(Tag(1), DataValue::Unit).unwrap();
     assert!(
-        stream.recv_timeout(Duration::from_millis(500)).is_err(),
+        stream
+            .recv_within(Duration::from_millis(500))
+            .unwrap()
+            .is_none(),
         "repeat wave should be suppressed in-tree"
     );
     net.shutdown().unwrap();

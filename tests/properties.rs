@@ -33,7 +33,10 @@ fn reduce_through(topology: Topology, filter: &str, values: Vec<i64>) -> DataVal
         .new_stream(StreamSpec::all().transformation(filter))
         .unwrap();
     stream.broadcast(Tag(0), DataValue::Unit).unwrap();
-    let pkt = stream.recv_timeout(Duration::from_secs(20)).unwrap();
+    let pkt = stream
+        .recv_within(Duration::from_secs(20))
+        .unwrap()
+        .expect("timed out");
     let out = pkt.value().clone();
     net.shutdown().unwrap();
     out
@@ -98,6 +101,78 @@ proptest! {
         expected.sort_unstable();
         prop_assert_eq!(gathered, expected);
     }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// A `FaultPlan` is a pure function of (seed, parameters, link): the
+    /// same seed replays the identical fault schedule, and the decision for
+    /// one link never depends on how much traffic other links carried.
+    #[test]
+    fn fault_plan_same_seed_replays_identical_schedule(
+        seed in any::<u64>(),
+        drop_p in 0.0f64..0.5,
+        dup_p in 0.0f64..0.5,
+        kill_p in 0.0f64..0.2,
+        from in 0u32..64,
+        to in 0u32..64,
+        n in 1usize..200,
+    ) {
+        let build = || {
+            FaultPlan::new(seed)
+                .drop_frames(drop_p)
+                .duplicate_frames(dup_p)
+                .kill_links(kill_p)
+        };
+        prop_assert_eq!(build().schedule(from, to, n), build().schedule(from, to, n));
+        // Direction matters: the two halves of a full-duplex link draw from
+        // independent streams (unless they happen to collide numerically).
+        let fwd = build().schedule(from, to, n);
+        let rev = build().schedule(to, from, n);
+        if from != to && (drop_p > 0.0 || dup_p > 0.0 || kill_p > 0.0) {
+            // Both directions still replay themselves deterministically.
+            prop_assert_eq!(&rev, &build().schedule(to, from, n));
+        }
+        let _ = fwd;
+    }
+}
+
+/// Regression: a communication process killed between a `perf_snapshot`
+/// request and its reply must yield a *partial* snapshot naming the victim
+/// in `missing` — not an error, not a stall. (Back-ends are not snapshot
+/// targets, so the victim here is an internal process.)
+#[test]
+fn perf_snapshot_is_partial_when_internal_dies_mid_snapshot() {
+    let mut net = NetworkBuilder::new(Topology::balanced(2, 2))
+        .registry(builtin_registry())
+        .backend(|mut ctx: BackendContext| loop {
+            match ctx.next_event() {
+                Ok(BackendEvent::Packet { stream, packet }) => {
+                    let _ = ctx.send(stream, packet.tag(), DataValue::I64(1));
+                }
+                Ok(BackendEvent::Shutdown) | Err(_) => break,
+                Ok(_) => continue,
+            }
+        })
+        .launch()
+        .unwrap();
+
+    // Kill internal 2, then snapshot before anything reconfigures: the dead
+    // process cannot answer within the timeout.
+    net.kill_internal(Rank(2)).unwrap();
+    let snap = net.perf_snapshot(Duration::from_secs(2)).unwrap();
+    assert!(
+        snap.missing.contains(&Rank(2)),
+        "victim must be reported missing, got {:?}",
+        snap.missing
+    );
+    assert!(
+        snap.counters.contains_key(&Rank(0)) && snap.counters.contains_key(&Rank(1)),
+        "survivors still answer: {:?}",
+        snap.counters.keys().collect::<Vec<_>>()
+    );
+    net.shutdown().unwrap();
 }
 
 #[test]

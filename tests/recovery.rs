@@ -80,8 +80,9 @@ fn heal_restores_existing_stream_with_full_membership() {
     stream.broadcast(Tag(0), DataValue::Unit).unwrap();
     assert_eq!(
         stream
-            .recv_timeout(Duration::from_secs(10))
+            .recv_within(Duration::from_secs(10))
             .unwrap()
+            .expect("timed out")
             .value()
             .as_i64(),
         Some(expected)
@@ -100,8 +101,9 @@ fn heal_restores_existing_stream_with_full_membership() {
     stream.broadcast(Tag(1), DataValue::Unit).unwrap();
     assert_eq!(
         stream
-            .recv_timeout(Duration::from_secs(10))
+            .recv_within(Duration::from_secs(10))
             .unwrap()
+            .expect("timed out")
             .value()
             .as_i64(),
         Some(expected),
@@ -135,8 +137,9 @@ fn heal_supports_new_streams_over_spliced_topology() {
     stream.broadcast(Tag(0), DataValue::Unit).unwrap();
     assert_eq!(
         stream
-            .recv_timeout(Duration::from_secs(10))
+            .recv_within(Duration::from_secs(10))
             .unwrap()
+            .expect("timed out")
             .value()
             .as_u64(),
         Some(9)
@@ -166,8 +169,9 @@ fn heal_in_three_level_tree_reattaches_internal_children() {
     stream.broadcast(Tag(0), DataValue::Unit).unwrap();
     assert_eq!(
         stream
-            .recv_timeout(Duration::from_secs(10))
+            .recv_within(Duration::from_secs(10))
             .unwrap()
+            .expect("timed out")
             .value()
             .as_i64(),
         Some(expected)
@@ -195,8 +199,9 @@ fn repeated_failures_and_heals() {
     stream.broadcast(Tag(0), DataValue::Unit).unwrap();
     assert_eq!(
         stream
-            .recv_timeout(Duration::from_secs(10))
+            .recv_within(Duration::from_secs(10))
             .unwrap()
+            .expect("timed out")
             .value()
             .as_i64(),
         Some(expected)
@@ -227,8 +232,9 @@ fn orphans_expire_without_heal_and_shutdown_still_works() {
     stream.broadcast(Tag(0), DataValue::Unit).unwrap();
     assert_eq!(
         stream
-            .recv_timeout(Duration::from_secs(10))
+            .recv_within(Duration::from_secs(10))
             .unwrap()
+            .expect("timed out")
             .value()
             .as_u64(),
         Some(2)
