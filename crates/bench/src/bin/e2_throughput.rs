@@ -26,7 +26,7 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use tbon_bench::render_table;
+use tbon_bench::{fold, render_table};
 use tbon_core::{
     BackendContext, BackendEvent, DataValue, NetworkBuilder, StreamConsumer, StreamSpec,
     SyncPolicy, Tag,
@@ -67,18 +67,6 @@ fn backend_loop(waves: usize) -> impl Fn(BackendContext) + Send + Sync {
             Ok(BackendEvent::Shutdown) | Err(_) => break,
             Ok(_) => continue,
         }
-    }
-}
-
-/// Front-end work per incoming record: fold into the running aggregate,
-/// then pay the tool's per-record consumption cost.
-fn fold(acc: &mut [f64], record: &[f64], record_cost: Duration) {
-    for (a, r) in acc.iter_mut().zip(record) {
-        *a += r;
-    }
-    let end = Instant::now() + record_cost;
-    while Instant::now() < end {
-        std::hint::spin_loop();
     }
 }
 

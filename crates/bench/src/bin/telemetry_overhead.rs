@@ -19,6 +19,7 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use tbon_bench::fold;
 use tbon_core::{
     BackendContext, BackendEvent, DataValue, NetworkBuilder, StreamConsumer, StreamSpec, Tag,
 };
@@ -57,16 +58,6 @@ fn backend_loop(waves: usize) -> impl Fn(BackendContext) + Send + Sync {
             Ok(BackendEvent::Shutdown) | Err(_) => break,
             Ok(_) => continue,
         }
-    }
-}
-
-fn fold(acc: &mut [f64], record: &[f64], record_cost: Duration) {
-    for (a, r) in acc.iter_mut().zip(record) {
-        *a += r;
-    }
-    let end = Instant::now() + record_cost;
-    while Instant::now() < end {
-        std::hint::spin_loop();
     }
 }
 

@@ -150,11 +150,24 @@ impl<'a> Reader<'a> {
         Ok(slice)
     }
 
+    /// Decode a length-prefixed UTF-8 string with one exact-capacity copy:
+    /// validation runs on the borrowed slice, so invalid input costs no
+    /// allocation and valid input is copied exactly once.
     pub fn str(&mut self) -> Result<String> {
         let len = self.len_prefix(1)?;
         let bytes = self.take(len)?;
-        String::from_utf8(bytes.to_vec())
-            .map_err(|e| TbonError::Decode(format!("invalid utf-8: {e}")))
+        let s = std::str::from_utf8(bytes)
+            .map_err(|e| TbonError::Decode(format!("invalid utf-8: {e}")))?;
+        Ok(s.to_owned())
+    }
+
+    /// Decode a length-prefixed byte string with one exact-capacity copy.
+    pub fn byte_vec(&mut self) -> Result<Vec<u8>> {
+        let len = self.len_prefix(1)?;
+        let bytes = self.take(len)?;
+        let mut v = Vec::with_capacity(len);
+        v.extend_from_slice(bytes);
+        Ok(v)
     }
 
     pub fn value(&mut self) -> Result<DataValue> {
@@ -187,10 +200,7 @@ fn decode_value_inner(r: &mut Reader<'_>, depth: usize) -> Result<DataValue> {
         TAG_U64 => DataValue::U64(r.u64()?),
         TAG_F64 => DataValue::F64(r.f64()?),
         TAG_STR => DataValue::Str(r.str()?),
-        TAG_BYTES => {
-            let len = r.len_prefix(1)?;
-            DataValue::Bytes(r.take(len)?.to_vec())
-        }
+        TAG_BYTES => DataValue::Bytes(r.byte_vec()?),
         TAG_ARRAY_I64 => {
             let len = r.len_prefix(8)?;
             let mut v = Vec::with_capacity(len);
@@ -270,6 +280,45 @@ mod tests {
             DataValue::Tuple(vec![DataValue::from("nested"), DataValue::Unit]),
             DataValue::ArrayF64(vec![1.0, 2.0]),
         ]));
+    }
+
+    #[test]
+    fn nested_bytes_and_strings_keep_encoded_len_parity() {
+        // The single-copy decode paths must not disturb the length
+        // accounting the shaped transport and pre-sized buffers rely on.
+        let v = DataValue::Tuple(vec![
+            DataValue::Bytes((0..=255).collect()),
+            DataValue::Str("outer ünïcode".into()),
+            DataValue::Tuple(vec![
+                DataValue::Bytes(Vec::new()),
+                DataValue::Str(String::new()),
+                DataValue::Tuple(vec![
+                    DataValue::Str("träiling".into()),
+                    DataValue::Bytes(vec![0; 1024]),
+                ]),
+            ]),
+        ]);
+        let bytes = encode_value_to_vec(&v);
+        assert_eq!(bytes.len(), v.encoded_len());
+        let back = decode_value(&bytes).unwrap();
+        assert_eq!(back, v);
+        assert_eq!(back.encoded_len(), v.encoded_len());
+        // Decoded buffers are exact-capacity: no slack from doubling.
+        match &back {
+            DataValue::Tuple(t) => match &t[0] {
+                DataValue::Bytes(b) => assert_eq!(b.capacity(), b.len()),
+                other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalid_utf8_rejected() {
+        let mut bytes = vec![TAG_STR];
+        bytes.extend_from_slice(&2u32.to_le_bytes());
+        bytes.extend_from_slice(&[0xff, 0xfe]);
+        assert!(matches!(decode_value(&bytes), Err(TbonError::Decode(_))));
     }
 
     #[test]

@@ -54,6 +54,36 @@ impl RetryPolicy {
     }
 }
 
+/// Sizing of the out-of-band filter execution plane (see
+/// `crates/core/src/executor.rs`). Waves released by stream
+/// synchronization are transformed on a pool of workers sharded by stream
+/// id — per-stream order is strict, distinct streams run in parallel —
+/// instead of inline on the event loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FilterPoolConfig {
+    /// Worker threads per communication process. `0` disables the pool
+    /// entirely: every wave transforms inline on the event loop, the
+    /// pre-pool behavior.
+    pub workers: usize,
+    /// Waves each worker's queue holds before the event loop blocks on
+    /// submit (backpressure toward the tree, like a slow filter today).
+    pub queue_depth: usize,
+    /// Waves whose packets total fewer bytes than this execute inline when
+    /// the stream has nothing in flight on the pool — tiny waves skip the
+    /// hand-off latency, keeping single-stream latency within noise.
+    pub inline_below_bytes: usize,
+}
+
+impl Default for FilterPoolConfig {
+    fn default() -> Self {
+        FilterPoolConfig {
+            workers: 2,
+            queue_depth: 64,
+            inline_below_bytes: 1024,
+        }
+    }
+}
+
 /// Configuration shared by every process of one network.
 #[derive(Debug, Clone)]
 pub struct NetworkConfig {
@@ -80,6 +110,15 @@ pub struct NetworkConfig {
     /// splice out dead internals) under this retry schedule. `None` (the
     /// default) keeps recovery fully manual.
     pub supervisor: Option<RetryPolicy>,
+    /// Sizing of the per-process filter execution pool. Set
+    /// `filter_pool.workers = 0` to run every filter inline on the event
+    /// loop (the pre-pool behavior).
+    pub filter_pool: FilterPoolConfig,
+    /// Upstream frame batching applied by wire-link writers (see
+    /// [`tbon_transport::BatchConfig`]). The default zero flush deadline
+    /// keeps today's flush-on-drain latency; raising it trades latency for
+    /// fewer, larger syscall batches on the fan-in path.
+    pub batch: tbon_transport::BatchConfig,
 }
 
 impl NetworkConfig {
@@ -90,6 +129,7 @@ impl NetworkConfig {
         tbon_transport::WriterConfig {
             queue_depth: self.writer_queue_depth,
             send_deadline: self.writer_send_deadline,
+            batch: self.batch,
         }
     }
 }
@@ -105,6 +145,8 @@ impl Default for NetworkConfig {
             writer_queue_depth: writer.queue_depth,
             writer_send_deadline: writer.send_deadline,
             supervisor: None,
+            filter_pool: FilterPoolConfig::default(),
+            batch: writer.batch,
         }
     }
 }
@@ -121,6 +163,14 @@ mod tests {
         assert!(!c.name.is_empty());
         assert!(c.writer_queue_depth > 0);
         assert!(c.writer_send_deadline > Duration::ZERO);
+        assert!(c.filter_pool.workers > 0, "pool on by default");
+        assert!(c.filter_pool.queue_depth > 0);
+        assert_eq!(
+            c.batch.flush_deadline,
+            Duration::ZERO,
+            "default batching must not add latency"
+        );
+        assert!(c.batch.max_frames > 1, "drain coalescing still batches");
     }
 
     #[test]
@@ -152,10 +202,18 @@ mod tests {
         let c = NetworkConfig {
             writer_queue_depth: 7,
             writer_send_deadline: Duration::from_millis(123),
+            batch: tbon_transport::BatchConfig {
+                max_frames: 9,
+                max_bytes: 4096,
+                flush_deadline: Duration::from_micros(250),
+            },
             ..NetworkConfig::default()
         };
         let w = c.writer_config();
         assert_eq!(w.queue_depth, 7);
         assert_eq!(w.send_deadline, Duration::from_millis(123));
+        assert_eq!(w.batch.max_frames, 9);
+        assert_eq!(w.batch.max_bytes, 4096);
+        assert_eq!(w.batch.flush_deadline, Duration::from_micros(250));
     }
 }

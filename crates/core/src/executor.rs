@@ -1,0 +1,405 @@
+//! The out-of-band filter execution plane.
+//!
+//! Historically every communication process ran synchronization, routing
+//! *and* `Transformation::transform` on one event-loop thread, so a single
+//! expensive filter (a mean-shift merge, a large histogram fold) stalled
+//! routing for all streams and all children. The [`FilterPool`] moves
+//! transform execution onto a small worker pool:
+//!
+//! * **Sharded by stream id.** Every wave of stream `s` goes to worker
+//!   `s % workers`, whose queue is FIFO, so per-stream wave order is
+//!   strictly preserved while *distinct* streams execute in parallel —
+//!   per-stream execution isolation, the property concurrent in-network
+//!   stream-processing work (Benoit et al.) identifies as necessary to
+//!   reach the platform throughput bound on shared aggregation nodes.
+//! * **Exactly-once state.** The per-(stream, process) filter value lives
+//!   in an `Arc<Mutex<..>>` shared between the event loop and the pool;
+//!   each wave locks it once, so persistent filter state sees every wave
+//!   exactly once, in order, pooled or not.
+//! * **Bounded queues.** `submit` blocks when the shard's queue is full,
+//!   propagating backpressure into the tree exactly like a slow inline
+//!   filter used to.
+//! * **Results flow back asynchronously.** Workers push [`WaveOutput`]s
+//!   into one results channel the event loop merges into its `select!`;
+//!   they never block on it (it is unbounded), so the pool cannot deadlock
+//!   against a busy event loop.
+//!
+//! The event loop keeps an inline fast path (see
+//! [`crate::FilterPoolConfig::inline_below_bytes`]): a tiny wave on a
+//! stream with nothing in flight executes on the spot through the same
+//! [`execute`] function, skipping two thread hops. The in-flight guard is
+//! what keeps inlining order-safe: a wave may only jump the queue when the
+//! queue provably holds nothing for its stream.
+
+use std::sync::Arc;
+use std::thread;
+use std::time::Instant;
+
+use crossbeam_channel::{bounded, unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use crate::config::FilterPoolConfig;
+use crate::filter::{FilterContext, Transformation, Wave};
+use crate::packet::{Packet, Rank};
+use crate::stream::StreamId;
+
+/// The per-(stream, process) transformation state, shared between the event
+/// loop (which owns the stream table) and the pool workers executing waves.
+pub(crate) type SharedFilter = Arc<Mutex<Box<dyn Transformation>>>;
+
+/// One wave released by synchronization, packaged with everything a worker
+/// needs to run its transformation without touching process state.
+pub(crate) struct FilterJob {
+    pub stream: StreamId,
+    pub filter: SharedFilter,
+    pub wave: Wave,
+    pub rank: Rank,
+    pub is_root: bool,
+    /// Children contributing to the stream when the wave was released
+    /// (snapshot for [`FilterContext::contributing_children`]).
+    pub contributing: usize,
+    /// Earliest positive injection stamp in the wave, back-filled onto
+    /// unstamped outputs so end-to-end latency survives reduction.
+    pub wave_stamp: u64,
+    /// Wave of the telemetry stream itself: excluded from perf counters so
+    /// the plane does not perturb what it measures.
+    pub is_metrics: bool,
+    /// Stream runs downstream traffic too: reverse emissions are honoured.
+    pub bidirectional: bool,
+    /// True when the job crossed the pool (for in-flight accounting and
+    /// queue-wait attribution); false for the inline fast path.
+    pub pooled: bool,
+    /// When the job was created, for queue-wait attribution.
+    pub enqueued: Instant,
+}
+
+/// What one executed wave produced, flowing back to the event loop.
+pub(crate) struct WaveOutput {
+    pub stream: StreamId,
+    /// Packets continuing in the flow direction (upstream).
+    pub outputs: Vec<Packet>,
+    /// Reverse emissions (bidirectional streams only).
+    pub reverse: Vec<Packet>,
+    /// Transformation failure, stringified for the event plane.
+    pub error: Option<String>,
+    /// Time spent queued before a worker picked the job up (0 for inline).
+    pub queue_wait_ns: u64,
+    /// Time spent inside `Transformation::transform`.
+    pub transform_ns: u64,
+    pub is_metrics: bool,
+    pub pooled: bool,
+}
+
+/// Run one job to completion. Shared by pool workers and the event loop's
+/// inline fast path, so both produce identical [`WaveOutput`]s and identical
+/// filter-state mutations.
+pub(crate) fn execute(job: FilterJob) -> WaveOutput {
+    let queue_wait_ns = if job.pooled {
+        job.enqueued.elapsed().as_nanos() as u64
+    } else {
+        0
+    };
+    let mut ctx = FilterContext::new(job.stream, job.rank, job.is_root, job.contributing);
+    let started = Instant::now();
+    let result = job.filter.lock().transform(job.wave, &mut ctx);
+    let transform_ns = started.elapsed().as_nanos() as u64;
+    match result {
+        Ok(outputs) => WaveOutput {
+            stream: job.stream,
+            outputs: outputs
+                .into_iter()
+                .map(|p| p.or_stamp(job.wave_stamp))
+                .collect(),
+            reverse: if job.bidirectional {
+                std::mem::take(&mut ctx.reverse)
+            } else {
+                Vec::new()
+            },
+            error: None,
+            queue_wait_ns,
+            transform_ns,
+            is_metrics: job.is_metrics,
+            pooled: job.pooled,
+        },
+        Err(e) => WaveOutput {
+            stream: job.stream,
+            outputs: Vec::new(),
+            reverse: Vec::new(),
+            error: Some(e.to_string()),
+            queue_wait_ns,
+            transform_ns,
+            is_metrics: job.is_metrics,
+            pooled: job.pooled,
+        },
+    }
+}
+
+/// The bounded worker pool executing filter waves off the event loop.
+///
+/// Dropping the pool drops the job senders; workers drain what was already
+/// queued and exit. The results channel stays connected (the pool holds a
+/// sender for the worker-death fallback), so a receiver cloned out of it
+/// simply reads Empty after shutdown rather than erroring.
+pub(crate) struct FilterPool {
+    shards: Vec<Sender<FilterJob>>,
+    results_rx: Receiver<WaveOutput>,
+    /// Kept so the results channel never disconnects under the event loop
+    /// (a `select!` over a disconnected receiver would spin).
+    #[allow(dead_code)]
+    results_tx: Sender<WaveOutput>,
+    inline_below_bytes: usize,
+}
+
+impl FilterPool {
+    /// Spawn `cfg.workers` workers (none when 0 — the pool then reports
+    /// itself disabled and every wave executes inline).
+    pub(crate) fn new(cfg: FilterPoolConfig, name: &str, rank: Rank) -> FilterPool {
+        let (results_tx, results_rx) = unbounded();
+        let mut shards = Vec::with_capacity(cfg.workers);
+        for i in 0..cfg.workers {
+            let (tx, rx) = bounded::<FilterJob>(cfg.queue_depth.max(1));
+            let results = results_tx.clone();
+            let thread_name = format!("{name}-r{}-filter{i}", rank.0);
+            thread::Builder::new()
+                .name(thread_name)
+                .spawn(move || worker_loop(rx, results))
+                .expect("spawn filter pool worker");
+            shards.push(tx);
+        }
+        FilterPool {
+            shards,
+            results_rx,
+            results_tx,
+            inline_below_bytes: cfg.inline_below_bytes,
+        }
+    }
+
+    /// False when configured with zero workers: callers must execute every
+    /// wave inline.
+    pub(crate) fn enabled(&self) -> bool {
+        !self.shards.is_empty()
+    }
+
+    pub(crate) fn inline_below_bytes(&self) -> usize {
+        self.inline_below_bytes
+    }
+
+    /// Hand a wave to its stream's shard, blocking while the shard's queue
+    /// is full (backpressure). If the worker died (panicking filter), the
+    /// wave is executed inline and its output returned — the caller applies
+    /// it directly, so no wave is ever lost to a dead worker.
+    pub(crate) fn submit(&self, job: FilterJob) -> Option<WaveOutput> {
+        let shard = (job.stream.0 as usize) % self.shards.len();
+        match self.shards[shard].send(job) {
+            Ok(()) => None,
+            Err(crossbeam_channel::SendError(job)) => Some(execute(job)),
+        }
+    }
+
+    /// The channel completed waves come back on; the event loop merges it
+    /// into its `select!`.
+    pub(crate) fn results(&self) -> &Receiver<WaveOutput> {
+        &self.results_rx
+    }
+
+    /// Non-blocking poll of the results channel (event-loop fast path).
+    pub(crate) fn try_recv_result(&self) -> Option<WaveOutput> {
+        self.results_rx.try_recv().ok()
+    }
+
+    /// Blocking poll with a deadline (shutdown drain).
+    pub(crate) fn recv_result_timeout(&self, timeout: std::time::Duration) -> Option<WaveOutput> {
+        self.results_rx.recv_timeout(timeout).ok()
+    }
+
+    /// Queued (not yet started) waves per worker, for telemetry sampling.
+    pub(crate) fn queue_depths(&self) -> impl Iterator<Item = usize> + '_ {
+        self.shards.iter().map(|s| s.len())
+    }
+
+    /// Inline-fallback path used by tests to fabricate outputs.
+    #[cfg(test)]
+    pub(crate) fn inject_result(&self, out: WaveOutput) {
+        let _ = self.results_tx.send(out);
+    }
+}
+
+fn worker_loop(rx: Receiver<FilterJob>, results: Sender<WaveOutput>) {
+    while let Ok(job) = rx.recv() {
+        let out = execute(job);
+        if results.send(out).is_err() {
+            return; // process gone; nothing left to report to
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::{Result, TbonError};
+    use crate::stream::Tag;
+    use crate::value::DataValue;
+    use std::time::Duration;
+
+    /// Stateful filter: outputs one packet carrying (call index, wave sum),
+    /// so both execution count and order are observable.
+    struct SeqSum {
+        calls: u64,
+    }
+
+    impl Transformation for SeqSum {
+        fn transform(&mut self, wave: Wave, ctx: &mut FilterContext) -> Result<Vec<Packet>> {
+            let sum: i64 = wave.iter().filter_map(|p| p.value().as_i64()).sum();
+            let n = self.calls;
+            self.calls += 1;
+            Ok(vec![ctx.make(
+                Tag(n as u32),
+                DataValue::Tuple(vec![DataValue::U64(n), DataValue::I64(sum)]),
+            )])
+        }
+    }
+
+    fn shared(f: impl Transformation + 'static) -> SharedFilter {
+        Arc::new(Mutex::new(Box::new(f)))
+    }
+
+    fn job(stream: u32, filter: &SharedFilter, vals: &[i64], pooled: bool) -> FilterJob {
+        let wave = vals
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| Packet::new(StreamId(stream), Tag(0), Rank(i as u32), DataValue::I64(v)))
+            .collect();
+        FilterJob {
+            stream: StreamId(stream),
+            filter: Arc::clone(filter),
+            wave,
+            rank: Rank(0),
+            is_root: true,
+            contributing: vals.len(),
+            wave_stamp: 0,
+            is_metrics: false,
+            bidirectional: false,
+            pooled,
+            enqueued: Instant::now(),
+        }
+    }
+
+    fn decode(out: &WaveOutput) -> (u64, i64) {
+        assert_eq!(out.outputs.len(), 1);
+        match out.outputs[0].value() {
+            DataValue::Tuple(t) => (t[0].as_u64().unwrap(), t[1].as_i64().unwrap()),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn per_stream_order_preserved_across_pool() {
+        let pool = FilterPool::new(
+            FilterPoolConfig {
+                workers: 3,
+                queue_depth: 16,
+                inline_below_bytes: 0,
+            },
+            "t",
+            Rank(0),
+        );
+        let filters: Vec<SharedFilter> = (0..4).map(|_| shared(SeqSum { calls: 0 })).collect();
+        const WAVES: u64 = 25;
+        for round in 0..WAVES {
+            for (s, f) in filters.iter().enumerate() {
+                assert!(pool
+                    .submit(job(s as u32, f, &[round as i64, 1], true))
+                    .is_none());
+            }
+        }
+        let mut seen: Vec<Vec<(u64, i64)>> = vec![Vec::new(); 4];
+        for _ in 0..(WAVES as usize * 4) {
+            let out = pool
+                .recv_result_timeout(Duration::from_secs(10))
+                .expect("pool result");
+            seen[out.stream.0 as usize].push(decode(&out));
+        }
+        for (s, results) in seen.iter().enumerate() {
+            assert_eq!(results.len(), WAVES as usize, "stream {s}");
+            for (i, (call, sum)) in results.iter().enumerate() {
+                // Call index == wave index: exactly-once, in order.
+                assert_eq!(*call, i as u64, "stream {s} wave {i}");
+                assert_eq!(*sum, i as i64 + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn inline_and_pooled_execution_share_state() {
+        let pool = FilterPool::new(FilterPoolConfig::default(), "t", Rank(0));
+        let f = shared(SeqSum { calls: 0 });
+        // Wave 0 through the pool, wave 1 inline (as the event loop would
+        // once the pool drained), wave 2 through the pool again.
+        assert!(pool.submit(job(7, &f, &[10], true)).is_none());
+        let w0 = pool
+            .recv_result_timeout(Duration::from_secs(10))
+            .expect("pooled result");
+        let w1 = execute(job(7, &f, &[20], false));
+        assert!(pool.submit(job(7, &f, &[30], true)).is_none());
+        let w2 = pool
+            .recv_result_timeout(Duration::from_secs(10))
+            .expect("pooled result");
+        assert_eq!(decode(&w0), (0, 10));
+        assert_eq!(decode(&w1), (1, 20));
+        assert_eq!(decode(&w2), (2, 30));
+        assert!(w1.queue_wait_ns == 0, "inline waves wait in no queue");
+    }
+
+    #[test]
+    fn errors_are_reported_not_lost() {
+        struct Failing;
+        impl Transformation for Failing {
+            fn transform(&mut self, _w: Wave, _c: &mut FilterContext) -> Result<Vec<Packet>> {
+                Err(TbonError::Filter("boom".into()))
+            }
+        }
+        let pool = FilterPool::new(FilterPoolConfig::default(), "t", Rank(0));
+        let f = shared(Failing);
+        assert!(pool.submit(job(1, &f, &[1], true)).is_none());
+        let out = pool
+            .recv_result_timeout(Duration::from_secs(10))
+            .expect("result");
+        assert!(out.outputs.is_empty());
+        assert!(out.error.as_deref().unwrap().contains("boom"));
+    }
+
+    #[test]
+    fn disabled_pool_reports_disabled() {
+        let pool = FilterPool::new(
+            FilterPoolConfig {
+                workers: 0,
+                queue_depth: 8,
+                inline_below_bytes: 1024,
+            },
+            "t",
+            Rank(3),
+        );
+        assert!(!pool.enabled());
+        assert!(pool.try_recv_result().is_none());
+        assert_eq!(pool.queue_depths().count(), 0);
+    }
+
+    #[test]
+    fn results_channel_survives_for_cloned_receivers() {
+        let pool = FilterPool::new(FilterPoolConfig::default(), "t", Rank(0));
+        let rx = pool.results().clone();
+        pool.inject_result(WaveOutput {
+            stream: StreamId(1),
+            outputs: Vec::new(),
+            reverse: Vec::new(),
+            error: None,
+            queue_wait_ns: 0,
+            transform_ns: 0,
+            is_metrics: false,
+            pooled: true,
+        });
+        assert!(rx.recv_timeout(Duration::from_secs(1)).is_ok());
+        // Empty, not disconnected: the pool holds a sender.
+        assert!(rx.try_recv().is_err());
+    }
+}

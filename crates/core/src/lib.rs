@@ -26,6 +26,7 @@ pub mod codec;
 pub mod config;
 pub mod consumer;
 pub mod error;
+mod executor;
 pub mod filter;
 pub mod fmt;
 pub mod network;
@@ -38,7 +39,7 @@ pub mod telemetry;
 pub mod value;
 
 pub use backend::{BackendContext, BackendEvent, BackendStream};
-pub use config::{NetworkConfig, RetryPolicy};
+pub use config::{FilterPoolConfig, NetworkConfig, RetryPolicy};
 pub use consumer::{Deadline, StreamConsumer};
 pub use error::{Result, TbonError};
 pub use filter::{

@@ -17,13 +17,14 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crossbeam_channel::{Receiver, Sender};
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 
 use tbon_topology::{NodeId, Role, Topology};
 use tbon_transport::{Delivery, Frame, Link, NodeEndpoint, TransportError};
 
 use crate::config::NetworkConfig;
 use crate::error::{Result, TbonError};
+use crate::executor::{execute, FilterJob, FilterPool, SharedFilter, WaveOutput};
 use crate::filter::{FilterContext, FilterRegistry, SyncContext, Synchronization, Transformation};
 use crate::packet::{Packet, Rank};
 use crate::proto::{decode_message, Envelope, FilterKind, Message, NetEvent, PerfCounters};
@@ -88,9 +89,15 @@ struct StreamState {
     /// Children that downstream traffic must be forwarded to.
     down_routes: Vec<Rank>,
     sync: Box<dyn Synchronization>,
-    tfilter: Box<dyn Transformation>,
+    /// Transformation state, shared with the filter pool's workers; locked
+    /// once per wave, wherever the wave executes.
+    tfilter: SharedFilter,
     dfilter: Option<Box<dyn Transformation>>,
     mode: StreamMode,
+    /// Waves of this stream submitted to the pool whose outputs have not
+    /// come back yet. The inline fast path requires this to be zero, so a
+    /// small wave can never overtake a queued one.
+    in_flight: usize,
 }
 
 /// Tracks one in-flight LoadFilter probe.
@@ -142,6 +149,14 @@ pub(crate) struct CommProcess {
     wave_latency_by_stream: HashMap<StreamId, LogHistogram>,
     /// Per-execution transformation runtime this publish interval.
     filter_exec_interval: LogHistogram,
+    /// Pool queue wait per pooled wave this publish interval.
+    executor_wait_interval: LogHistogram,
+    /// The out-of-band filter execution plane (empty when
+    /// `filter_pool.workers == 0`: everything then runs inline).
+    pool: FilterPool,
+    /// Waves currently in the pool across all streams; drained before
+    /// shutdown concludes so no filter output is lost.
+    pool_in_flight: usize,
     /// Bounded ring of structured lifecycle events.
     events: EventRing,
     /// Armed while a metrics stream is open.
@@ -219,6 +234,7 @@ impl CommProcess {
         registry: Arc<FilterRegistry>,
         config: NetworkConfig,
     ) -> CommProcess {
+        let pool = FilterPool::new(config.filter_pool, &config.name, rank);
         CommProcess {
             rank,
             endpoint,
@@ -236,6 +252,9 @@ impl CommProcess {
             wave_latency_interval: LogHistogram::new(),
             wave_latency_by_stream: HashMap::new(),
             filter_exec_interval: LogHistogram::new(),
+            executor_wait_interval: LogHistogram::new(),
+            pool,
+            pool_in_flight: 0,
             events: EventRing::new(EVENT_RING_CAP),
             metrics: None,
             lost_leaf_streams: HashMap::new(),
@@ -252,6 +271,7 @@ impl CommProcess {
         fe_cmd: Receiver<FeCommand>,
         fe_events: Sender<NetEvent>,
     ) -> CommProcess {
+        let pool = FilterPool::new(config.filter_pool, &config.name, Rank(0));
         CommProcess {
             rank: Rank(0),
             endpoint,
@@ -269,6 +289,9 @@ impl CommProcess {
             wave_latency_interval: LogHistogram::new(),
             wave_latency_by_stream: HashMap::new(),
             filter_exec_interval: LogHistogram::new(),
+            executor_wait_interval: LogHistogram::new(),
+            pool,
+            pool_in_flight: 0,
             events: EventRing::new(EVENT_RING_CAP),
             metrics: None,
             lost_leaf_streams: HashMap::new(),
@@ -467,8 +490,12 @@ impl CommProcess {
         }
     }
 
-    /// Run synchronization + transformation for freshly available waves and
-    /// dispatch the results.
+    /// Hand freshly released waves to the execution plane: pooled when the
+    /// pool is enabled and the wave is worth two thread hops, inline
+    /// otherwise. Inline execution is only taken when the stream has
+    /// nothing in the pool, so per-stream wave order is preserved either
+    /// way; pooled outputs come back through the event loop's `select!` and
+    /// are applied by [`CommProcess::apply_wave_output`].
     fn process_waves(&mut self, stream_id: StreamId, waves: Vec<Vec<Packet>>) {
         if waves.is_empty() {
             return;
@@ -479,9 +506,9 @@ impl CommProcess {
         // filter work on the metrics stream itself are excluded from the
         // counters (frames/bytes stay inclusive — they are wire truth).
         let is_metrics = self.metrics.as_ref().is_some_and(|m| m.stream == stream_id);
-        let mut up_out: Vec<Packet> = Vec::new();
-        let mut down_out: Vec<Packet> = Vec::new();
-        let mut errors: Vec<String> = Vec::new();
+        let pool_enabled = self.pool.enabled();
+        let inline_below = self.pool.inline_below_bytes();
+        let mut done: Vec<WaveOutput> = Vec::new();
         {
             let Some(st) = self.streams.get_mut(&stream_id) else {
                 return;
@@ -498,39 +525,90 @@ impl CommProcess {
                     .filter(|&s| s > 0)
                     .min()
                     .unwrap_or(0);
-                let mut ctx = FilterContext::new(stream_id, rank, is_root, st.expected.len());
-                let started = Instant::now();
-                let result = st.tfilter.transform(wave, &mut ctx);
-                let elapsed_ns = started.elapsed().as_nanos() as u64;
-                if !is_metrics {
-                    self.perf.filter_ns += elapsed_ns;
-                    self.filter_exec_interval.record(elapsed_ns);
-                }
-                match result {
-                    Ok(outputs) => {
-                        if !is_metrics {
-                            self.perf.filter_out += outputs.len() as u64;
+                let wave_bytes: usize = wave.iter().map(|p| p.value().encoded_len()).sum();
+                let pooled =
+                    pool_enabled && (st.in_flight > 0 || wave_bytes >= inline_below);
+                let job = FilterJob {
+                    stream: stream_id,
+                    filter: Arc::clone(&st.tfilter),
+                    wave,
+                    rank,
+                    is_root,
+                    contributing: st.expected.len(),
+                    wave_stamp,
+                    is_metrics,
+                    bidirectional: st.mode == StreamMode::Bidirectional,
+                    pooled,
+                    enqueued: Instant::now(),
+                };
+                if pooled {
+                    match self.pool.submit(job) {
+                        None => {
+                            st.in_flight += 1;
+                            self.pool_in_flight += 1;
                         }
-                        up_out.extend(outputs.into_iter().map(|p| p.or_stamp(wave_stamp)));
-                        if st.mode == StreamMode::Bidirectional {
-                            down_out.append(&mut ctx.reverse);
-                        }
+                        // Worker died (panicking filter): the wave ran
+                        // inline instead; nothing entered the queue.
+                        Some(out) => done.push(out),
                     }
-                    Err(e) => errors.push(e.to_string()),
+                } else {
+                    done.push(execute(job));
                 }
             }
         }
-        for pkt in up_out {
+        for out in done {
+            self.apply_wave_output(out);
+        }
+    }
+
+    /// Fold one executed wave's results back into the process: perf
+    /// accounting, in-flight bookkeeping, and output dispatch.
+    fn apply_wave_output(&mut self, out: WaveOutput) {
+        let rank = self.rank;
+        let stream_id = out.stream;
+        if out.pooled {
+            self.pool_in_flight = self.pool_in_flight.saturating_sub(1);
+            if let Some(st) = self.streams.get_mut(&stream_id) {
+                st.in_flight = st.in_flight.saturating_sub(1);
+            }
+            if !out.is_metrics {
+                self.executor_wait_interval.record(out.queue_wait_ns);
+            }
+        }
+        if !out.is_metrics {
+            self.perf.waves_executed += 1;
+            self.perf.filter_ns += out.transform_ns;
+            self.perf.filter_busy_us += out.transform_ns / 1_000;
+            self.perf.filter_out += out.outputs.len() as u64;
+            self.filter_exec_interval.record(out.transform_ns);
+        }
+        for pkt in out.outputs {
             self.emit_up(pkt);
         }
-        for pkt in down_out {
+        for pkt in out.reverse {
             self.send_down_packet(stream_id, pkt);
         }
-        for detail in errors {
+        if let Some(detail) = out.error {
             self.emit_event(NetEvent::FilterError {
                 rank,
                 detail: format!("transformation on {stream_id}: {detail}"),
             });
+        }
+    }
+
+    /// Apply every wave still in the pool before shutdown concludes, bounded
+    /// by the shutdown timeout so a wedged filter cannot hold the tree open.
+    fn drain_pool(&mut self) {
+        let deadline = Instant::now() + self.config.shutdown_timeout;
+        while self.pool_in_flight > 0 {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            match self.pool.recv_result_timeout(deadline - now) {
+                Some(out) => self.apply_wave_output(out),
+                None => break,
+            }
         }
     }
 
@@ -618,9 +696,10 @@ impl CommProcess {
                         expected,
                         down_routes: routes.clone(),
                         sync,
-                        tfilter,
+                        tfilter: Arc::new(Mutex::new(tfilter)),
                         dfilter,
                         mode: *mode,
+                        in_flight: 0,
                     },
                 );
                 self.events.push("stream_open", stream_id.to_string());
@@ -756,6 +835,9 @@ impl CommProcess {
 
     /// Complete this process's part of the shutdown and report upward.
     fn conclude_shutdown(&mut self) {
+        // Waves still in the pool carry filter state the application may be
+        // waiting on (the last reduction of a stream); finish them first.
+        self.drain_pool();
         match &mut self.role {
             ProcessRole::Root { shutdown_reply, .. } => {
                 if let Some(reply) = shutdown_reply.take() {
@@ -1025,12 +1107,13 @@ impl CommProcess {
     /// arrived from ourselves — it then merges with the children's samples
     /// through the stream's ordinary wave machinery.
     fn publish_metrics(&mut self, now: Instant) {
-        let Some(m) = self.metrics.as_mut() else {
-            return;
-        };
-        if now < m.next_fire {
+        if self.metrics.as_ref().is_none_or(|m| now < m.next_fire) {
             return;
         }
+        // Batching counters live in the writer threads; pull them into the
+        // perf block so the delta below reflects this interval's batching.
+        self.refresh_transport_counters();
+        let m = self.metrics.as_mut().expect("checked above");
         while m.next_fire <= now {
             m.next_fire += m.interval;
         }
@@ -1049,6 +1132,10 @@ impl CommProcess {
                 }
             }
         }
+        let mut executor_queue_depth = LogHistogram::new();
+        for depth in self.pool.queue_depths() {
+            executor_queue_depth.record(depth as u64);
+        }
         let level = {
             let topo = self.topology.read();
             topo.depth_of(NodeId(self.rank.0))
@@ -1062,12 +1149,32 @@ impl CommProcess {
             counters: delta,
             wave_latency_us: std::mem::take(&mut self.wave_latency_interval),
             filter_exec_ns: std::mem::take(&mut self.filter_exec_interval),
+            executor_wait_ns: std::mem::take(&mut self.executor_wait_interval),
             queue_depth,
+            executor_queue_depth,
             level_packets_up,
             events_dropped: self.events.dropped(),
         };
         let rank = self.rank;
         self.handle_up(rank, stream, Tag(seq as u32), rank, 0, sample.to_value());
+    }
+
+    /// Fold the writer threads' batching counters into the perf block.
+    /// Links come and go (heals swap them out, taking their counters with
+    /// them), so the lifetime totals only ever ratchet forward.
+    fn refresh_transport_counters(&mut self) {
+        let mut batches = 0u64;
+        let mut frames = 0u64;
+        for peer in self.endpoint.peers.ids() {
+            if let Some(link) = self.endpoint.peers.get(peer) {
+                if let Some(stats) = link.batch_stats() {
+                    batches += stats.batches;
+                    frames += stats.frames;
+                }
+            }
+        }
+        self.perf.batches_sent = self.perf.batches_sent.max(batches);
+        self.perf.frames_batched = self.perf.frames_batched.max(frames);
     }
 
     /// Process one decoded message from peer `from`. Returns true if the
@@ -1159,6 +1266,7 @@ impl CommProcess {
                 false
             }
             Message::GetPerf => {
+                self.refresh_transport_counters();
                 let reply = envelope(Message::PerfReport {
                     rank: self.rank,
                     counters: self.perf,
@@ -1422,6 +1530,7 @@ impl CommProcess {
             enum Input {
                 Net(Delivery),
                 Cmd(FeCommand),
+                Pool(WaveOutput),
                 Tick,
                 NetClosed,
                 CmdClosed,
@@ -1430,23 +1539,33 @@ impl CommProcess {
             // Fast path: under continuous traffic the next message is
             // already queued, and computing a blocking timeout (deadline
             // walk plus a clock read) per input is pure overhead. Only fall
-            // back to deadline math when we actually have to block.
+            // back to deadline math when we actually have to block. Pool
+            // results take priority over FE commands: they carry filter
+            // outputs already paid for, and applying them frees in-flight
+            // slots that gate the inline fast path.
             let ready = match &self.role {
                 ProcessRole::Root { fe_cmd, .. } => match self.endpoint.incoming.try_recv() {
                     Ok(d) => Some(Input::Net(d)),
                     Err(crossbeam_channel::TryRecvError::Disconnected) => Some(Input::NetClosed),
-                    Err(crossbeam_channel::TryRecvError::Empty) => match fe_cmd.try_recv() {
-                        Ok(c) => Some(Input::Cmd(c)),
-                        Err(crossbeam_channel::TryRecvError::Disconnected) => {
-                            Some(Input::CmdClosed)
+                    Err(crossbeam_channel::TryRecvError::Empty) => {
+                        match self.pool.try_recv_result() {
+                            Some(out) => Some(Input::Pool(out)),
+                            None => match fe_cmd.try_recv() {
+                                Ok(c) => Some(Input::Cmd(c)),
+                                Err(crossbeam_channel::TryRecvError::Disconnected) => {
+                                    Some(Input::CmdClosed)
+                                }
+                                Err(crossbeam_channel::TryRecvError::Empty) => None,
+                            },
                         }
-                        Err(crossbeam_channel::TryRecvError::Empty) => None,
-                    },
+                    }
                 },
                 ProcessRole::Internal { .. } => match self.endpoint.incoming.try_recv() {
                     Ok(d) => Some(Input::Net(d)),
                     Err(crossbeam_channel::TryRecvError::Disconnected) => Some(Input::NetClosed),
-                    Err(crossbeam_channel::TryRecvError::Empty) => None,
+                    Err(crossbeam_channel::TryRecvError::Empty) => {
+                        self.pool.try_recv_result().map(Input::Pool)
+                    }
                 },
             };
 
@@ -1465,6 +1584,11 @@ impl CommProcess {
                                 Ok(d) => Input::Net(d),
                                 Err(_) => Input::NetClosed,
                             },
+                            recv(self.pool.results()) -> r => match r {
+                                Ok(out) => Input::Pool(out),
+                                // Unreachable: the pool holds a sender.
+                                Err(_) => Input::Tick,
+                            },
                             recv(fe_cmd) -> c => match c {
                                 Ok(c) => Input::Cmd(c),
                                 Err(_) => Input::CmdClosed,
@@ -1473,12 +1597,17 @@ impl CommProcess {
                         }
                     }
                     ProcessRole::Internal { .. } => {
-                        match self.endpoint.incoming.recv_timeout(timeout) {
-                            Ok(d) => Input::Net(d),
-                            Err(crossbeam_channel::RecvTimeoutError::Timeout) => Input::Tick,
-                            Err(crossbeam_channel::RecvTimeoutError::Disconnected) => {
-                                Input::NetClosed
-                            }
+                        crossbeam_channel::select! {
+                            recv(self.endpoint.incoming) -> d => match d {
+                                Ok(d) => Input::Net(d),
+                                Err(_) => Input::NetClosed,
+                            },
+                            recv(self.pool.results()) -> r => match r {
+                                Ok(out) => Input::Pool(out),
+                                // Unreachable: the pool holds a sender.
+                                Err(_) => Input::Tick,
+                            },
+                            default(timeout) => Input::Tick,
                         }
                     }
                 }
@@ -1525,6 +1654,7 @@ impl CommProcess {
                         break;
                     }
                 }
+                Input::Pool(out) => self.apply_wave_output(out),
                 Input::Tick => {
                     if self
                         .orphaned_until

@@ -158,6 +158,18 @@ pub struct PerfCounters {
     /// Sends abandoned because the peer's link was closed or its writer
     /// queue stayed full past the configured deadline.
     pub sends_dropped: u64,
+    /// Waves whose transformation filter actually ran to completion
+    /// (inline or on the filter pool). Trails [`PerfCounters::waves`] by
+    /// the pool's in-flight count.
+    pub waves_executed: u64,
+    /// Cumulative wall-clock microseconds filter executions kept a worker
+    /// (or the event loop, for inline waves) busy.
+    pub filter_busy_us: u64,
+    /// Coalesced write batches flushed by this process's wire-link writers.
+    pub batches_sent: u64,
+    /// Frames carried inside those batches; `frames_batched /
+    /// batches_sent` is the average batch occupancy.
+    pub frames_batched: u64,
 }
 
 impl PerfCounters {
@@ -177,6 +189,10 @@ impl PerfCounters {
                 .encodes_performed
                 .saturating_sub(earlier.encodes_performed),
             sends_dropped: self.sends_dropped.saturating_sub(earlier.sends_dropped),
+            waves_executed: self.waves_executed.saturating_sub(earlier.waves_executed),
+            filter_busy_us: self.filter_busy_us.saturating_sub(earlier.filter_busy_us),
+            batches_sent: self.batches_sent.saturating_sub(earlier.batches_sent),
+            frames_batched: self.frames_batched.saturating_sub(earlier.frames_batched),
         }
     }
 
@@ -196,14 +212,18 @@ impl PerfCounters {
             .encodes_performed
             .saturating_add(other.encodes_performed);
         self.sends_dropped = self.sends_dropped.saturating_add(other.sends_dropped);
+        self.waves_executed = self.waves_executed.saturating_add(other.waves_executed);
+        self.filter_busy_us = self.filter_busy_us.saturating_add(other.filter_busy_us);
+        self.batches_sent = self.batches_sent.saturating_add(other.batches_sent);
+        self.frames_batched = self.frames_batched.saturating_add(other.frames_batched);
     }
 }
 
 /// Wire size of an encoded [`PerfCounters`].
-pub const PERF_COUNTERS_WIRE_LEN: usize = 10 * 8;
+pub const PERF_COUNTERS_WIRE_LEN: usize = 14 * 8;
 
-/// Encode counters as ten little-endian `u64`s (shared by `PerfReport` and
-/// the telemetry `MetricsSample`).
+/// Encode counters as fourteen little-endian `u64`s (shared by
+/// `PerfReport` and the telemetry `MetricsSample`).
 pub fn encode_perf_counters(c: &PerfCounters, buf: &mut Vec<u8>) {
     for v in [
         c.packets_up,
@@ -216,6 +236,10 @@ pub fn encode_perf_counters(c: &PerfCounters, buf: &mut Vec<u8>) {
         c.bytes_sent,
         c.encodes_performed,
         c.sends_dropped,
+        c.waves_executed,
+        c.filter_busy_us,
+        c.batches_sent,
+        c.frames_batched,
     ] {
         buf.extend_from_slice(&v.to_le_bytes());
     }
@@ -223,7 +247,7 @@ pub fn encode_perf_counters(c: &PerfCounters, buf: &mut Vec<u8>) {
 
 /// Inverse of [`encode_perf_counters`].
 pub fn decode_perf_counters(r: &mut Reader<'_>) -> Result<PerfCounters> {
-    let mut vals = [0u64; 10];
+    let mut vals = [0u64; 14];
     for v in &mut vals {
         *v = r.u64()?;
     }
@@ -238,6 +262,10 @@ pub fn decode_perf_counters(r: &mut Reader<'_>) -> Result<PerfCounters> {
         bytes_sent: vals[7],
         encodes_performed: vals[8],
         sends_dropped: vals[9],
+        waves_executed: vals[10],
+        filter_busy_us: vals[11],
+        batches_sent: vals[12],
+        frames_batched: vals[13],
     })
 }
 
@@ -956,6 +984,10 @@ mod tests {
                 bytes_sent: 4096,
                 encodes_performed: 7,
                 sends_dropped: 2,
+                waves_executed: 4,
+                filter_busy_us: 321,
+                batches_sent: 11,
+                frames_batched: 29,
             },
         });
     }

@@ -255,6 +255,12 @@ pub struct MetricsSample {
     pub filter_exec_ns: LogHistogram,
     /// Writer-queue depth per outbound link, sampled at publish time.
     pub queue_depth: LogHistogram,
+    /// Time pooled waves spent queued before a filter worker picked them up
+    /// (ns) this interval — the "queue wait" half of wave latency; the
+    /// "transform" half is [`MetricsSample::filter_exec_ns`].
+    pub executor_wait_ns: LogHistogram,
+    /// Filter-pool queue depth per worker, sampled at publish time.
+    pub executor_queue_depth: LogHistogram,
     /// Upstream packets received this interval, indexed by tree depth of
     /// the receiving process (0 = front-end). Merged element-wise.
     pub level_packets_up: Vec<u64>,
@@ -275,6 +281,8 @@ impl MetricsSample {
         self.wave_latency_us.merge(&other.wave_latency_us);
         self.filter_exec_ns.merge(&other.filter_exec_ns);
         self.queue_depth.merge(&other.queue_depth);
+        self.executor_wait_ns.merge(&other.executor_wait_ns);
+        self.executor_queue_depth.merge(&other.executor_queue_depth);
         if self.level_packets_up.len() < other.level_packets_up.len() {
             self.level_packets_up
                 .resize(other.level_packets_up.len(), 0);
@@ -297,6 +305,8 @@ impl MetricsSample {
         self.wave_latency_us.encode(buf);
         self.filter_exec_ns.encode(buf);
         self.queue_depth.encode(buf);
+        self.executor_wait_ns.encode(buf);
+        self.executor_queue_depth.encode(buf);
         buf.extend_from_slice(&(self.level_packets_up.len() as u32).to_le_bytes());
         for v in &self.level_packets_up {
             buf.extend_from_slice(&v.to_le_bytes());
@@ -312,6 +322,8 @@ impl MetricsSample {
         let wave_latency_us = LogHistogram::decode(r)?;
         let filter_exec_ns = LogHistogram::decode(r)?;
         let queue_depth = LogHistogram::decode(r)?;
+        let executor_wait_ns = LogHistogram::decode(r)?;
+        let executor_queue_depth = LogHistogram::decode(r)?;
         let n = r.len_prefix(8)?;
         let mut level_packets_up = Vec::with_capacity(n);
         for _ in 0..n {
@@ -326,6 +338,8 @@ impl MetricsSample {
             wave_latency_us,
             filter_exec_ns,
             queue_depth,
+            executor_wait_ns,
+            executor_queue_depth,
             level_packets_up,
             events_dropped,
         })
@@ -338,6 +352,8 @@ impl MetricsSample {
             + self.wave_latency_us.encoded_len()
             + self.filter_exec_ns.encoded_len()
             + self.queue_depth.encoded_len()
+            + self.executor_wait_ns.encoded_len()
+            + self.executor_queue_depth.encoded_len()
             + 4
             + 8 * self.level_packets_up.len()
             + 8
@@ -389,9 +405,19 @@ impl MetricsSample {
         counter(&mut out, "tbon_bytes_sent_total", c.bytes_sent);
         counter(&mut out, "tbon_encodes_total", c.encodes_performed);
         counter(&mut out, "tbon_sends_dropped_total", c.sends_dropped);
+        counter(&mut out, "tbon_waves_executed_total", c.waves_executed);
+        counter(&mut out, "tbon_filter_busy_us_total", c.filter_busy_us);
+        counter(&mut out, "tbon_batches_sent_total", c.batches_sent);
+        counter(&mut out, "tbon_frames_batched_total", c.frames_batched);
         prom_histogram(&mut out, "tbon_wave_latency_us", &self.wave_latency_us);
         prom_histogram(&mut out, "tbon_filter_exec_ns", &self.filter_exec_ns);
         prom_histogram(&mut out, "tbon_queue_depth", &self.queue_depth);
+        prom_histogram(&mut out, "tbon_executor_wait_ns", &self.executor_wait_ns);
+        prom_histogram(
+            &mut out,
+            "tbon_executor_queue_depth",
+            &self.executor_queue_depth,
+        );
         out.push_str("# TYPE tbon_level_packets_up_total counter\n");
         for (lvl, v) in self.level_packets_up.iter().enumerate() {
             out.push_str(&format!(
@@ -423,8 +449,10 @@ impl MetricsSample {
                 "\"packets_up\":{},\"packets_down\":{},\"waves\":{},",
                 "\"filter_out\":{},\"filter_ns\":{},\"control\":{},",
                 "\"frames_sent\":{},\"bytes_sent\":{},\"encodes\":{},",
-                "\"sends_dropped\":{},",
+                "\"sends_dropped\":{},\"waves_executed\":{},",
+                "\"filter_busy_us\":{},\"batches_sent\":{},\"frames_batched\":{},",
                 "\"wave_latency_us\":{},\"filter_exec_ns\":{},\"queue_depth\":{},",
+                "\"executor_wait_ns\":{},\"executor_queue_depth\":{},",
                 "\"level_packets_up\":[{}],\"events_dropped\":{}}}"
             ),
             self.seq,
@@ -440,9 +468,15 @@ impl MetricsSample {
             c.bytes_sent,
             c.encodes_performed,
             c.sends_dropped,
+            c.waves_executed,
+            c.filter_busy_us,
+            c.batches_sent,
+            c.frames_batched,
             hist(&self.wave_latency_us),
             hist(&self.filter_exec_ns),
             hist(&self.queue_depth),
+            hist(&self.executor_wait_ns),
+            hist(&self.executor_queue_depth),
             levels.join(","),
             self.events_dropped,
         )
@@ -682,9 +716,15 @@ mod tests {
         };
         s.counters.packets_up = seed * 3;
         s.counters.waves = seed;
+        s.counters.waves_executed = seed;
+        s.counters.filter_busy_us = seed * 11;
+        s.counters.batches_sent = seed + 2;
+        s.counters.frames_batched = seed * 4;
         s.wave_latency_us.record(seed + 1);
         s.filter_exec_ns.record(seed * 100 + 7);
         s.queue_depth.record(seed % 5);
+        s.executor_wait_ns.record(seed * 50 + 3);
+        s.executor_queue_depth.record(seed % 3);
         s.level_packets_up = vec![0, seed, seed * 2];
         s.events_dropped = seed % 2;
         s

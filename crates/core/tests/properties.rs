@@ -167,32 +167,41 @@ mod telemetry_props {
             histogram_strategy(),
             histogram_strategy(),
             histogram_strategy(),
+            (histogram_strategy(), histogram_strategy()),
             prop::collection::vec(0u64..1 << 48, 0..6),
             any::<u64>(),
-            prop::collection::vec(0u64..1 << 32, 10),
+            prop::collection::vec(0u64..1 << 32, 14),
         )
             .prop_map(
-                |(seq, interval_us, processes, wl, fe, qd, levels, dropped, c)| MetricsSample {
-                    seq,
-                    interval_us,
-                    processes,
-                    counters: PerfCounters {
-                        packets_up: c[0],
-                        packets_down: c[1],
-                        waves: c[2],
-                        filter_out: c[3],
-                        filter_ns: c[4],
-                        control: c[5],
-                        frames_sent: c[6],
-                        bytes_sent: c[7],
-                        encodes_performed: c[8],
-                        sends_dropped: c[9],
-                    },
-                    wave_latency_us: wl,
-                    filter_exec_ns: fe,
-                    queue_depth: qd,
-                    level_packets_up: levels,
-                    events_dropped: dropped,
+                |(seq, interval_us, processes, wl, fe, qd, (ew, eq), levels, dropped, c)| {
+                    MetricsSample {
+                        seq,
+                        interval_us,
+                        processes,
+                        counters: PerfCounters {
+                            packets_up: c[0],
+                            packets_down: c[1],
+                            waves: c[2],
+                            filter_out: c[3],
+                            filter_ns: c[4],
+                            control: c[5],
+                            frames_sent: c[6],
+                            bytes_sent: c[7],
+                            encodes_performed: c[8],
+                            sends_dropped: c[9],
+                            waves_executed: c[10],
+                            filter_busy_us: c[11],
+                            batches_sent: c[12],
+                            frames_batched: c[13],
+                        },
+                        wave_latency_us: wl,
+                        filter_exec_ns: fe,
+                        executor_wait_ns: ew,
+                        queue_depth: qd,
+                        executor_queue_depth: eq,
+                        level_packets_up: levels,
+                        events_dropped: dropped,
+                    }
                 },
             )
     }

@@ -282,6 +282,10 @@ impl<T: Transport + ?Sized + 'static> Link for FaultyLink<T> {
     fn queue_depth(&self) -> Option<usize> {
         self.inner.queue_depth()
     }
+
+    fn batch_stats(&self) -> Option<crate::BatchStats> {
+        self.inner.batch_stats()
+    }
 }
 
 /// Wraps an inner transport, injecting the plan's faults on every link

@@ -115,6 +115,24 @@ pub trait Link: Send + Sync {
     fn queue_depth(&self) -> Option<usize> {
         None
     }
+
+    /// Lifetime frame-batching statistics of this link's writer, or `None`
+    /// for links that deliver frames individually (local channels). The
+    /// runtime sums these across links into its perf counters.
+    fn batch_stats(&self) -> Option<BatchStats> {
+        None
+    }
+}
+
+/// Lifetime counts of a writer's upstream frame batching: how many flushes
+/// it performed and how many frames those flushes carried. The ratio is the
+/// average coalescing factor — frames written per syscall batch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchStats {
+    /// Batches flushed to the socket (one flush = one syscall burst).
+    pub batches: u64,
+    /// Frames carried across all flushed batches.
+    pub frames: u64,
 }
 
 /// A live, shared table of a node's neighbours. The transport inserts new
@@ -252,6 +270,8 @@ pub struct WriterConfig {
     pub queue_depth: usize,
     /// How long `send` may block on a full queue before giving up.
     pub send_deadline: std::time::Duration,
+    /// How queued frames are coalesced into flushed batches.
+    pub batch: BatchConfig,
 }
 
 impl Default for WriterConfig {
@@ -259,6 +279,38 @@ impl Default for WriterConfig {
         WriterConfig {
             queue_depth: 256,
             send_deadline: std::time::Duration::from_secs(5),
+            batch: BatchConfig::default(),
+        }
+    }
+}
+
+/// Upstream frame-batching knobs for wire-link writers.
+///
+/// A writer accumulates queued frames into one batch and flushes it as a
+/// single syscall burst when any bound trips: the batch reaches
+/// `max_frames` or `max_bytes`, or `flush_deadline` has elapsed since the
+/// batch opened with no further frame arriving. A zero deadline flushes the
+/// moment the queue runs dry — today's latency-optimal behaviour — while a
+/// small positive deadline trades microseconds of latency for fewer
+/// syscalls on the fan-in path, where many small up-packets head to the
+/// same parent back-to-back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchConfig {
+    /// Most frames one batch may carry before it is force-flushed.
+    pub max_frames: usize,
+    /// Most payload bytes one batch may carry before it is force-flushed.
+    pub max_bytes: usize,
+    /// How long the writer waits for another frame before flushing a
+    /// non-empty batch. Zero = flush as soon as the queue is drained.
+    pub flush_deadline: std::time::Duration,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig {
+            max_frames: 64,
+            max_bytes: 256 * 1024,
+            flush_deadline: std::time::Duration::ZERO,
         }
     }
 }

@@ -134,6 +134,10 @@ impl Link for ShapedLink {
     fn queue_depth(&self) -> Option<usize> {
         Some(self.tx.len())
     }
+
+    fn batch_stats(&self) -> Option<crate::BatchStats> {
+        self.inner.batch_stats()
+    }
 }
 
 type EdgeShaper = dyn Fn(PeerId, PeerId) -> Shaping + Send + Sync;
@@ -351,6 +355,7 @@ mod tests {
             ShapedTransport::new(LocalTransport::new(), shaping).with_writer_config(WriterConfig {
                 queue_depth: 1,
                 send_deadline: Duration::from_millis(50),
+                ..WriterConfig::default()
             });
         let ea = t.add_node(0).unwrap();
         let _eb = t.add_node(1).unwrap();

@@ -483,6 +483,7 @@ mod tests {
         let t = TcpTransport::with_writer_config(WriterConfig {
             queue_depth: 1,
             send_deadline: Duration::from_millis(50),
+            ..WriterConfig::default()
         });
         let ea = t.add_node(0).unwrap();
         let eb = t.add_node(1).unwrap();

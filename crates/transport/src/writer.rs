@@ -12,22 +12,36 @@
 //!   [`WriterConfig::send_deadline`] and then fails with
 //!   [`TransportError::Backpressure`], closing the connection so the runtime
 //!   can declare the peer dead instead of stalling behind it.
-//! * The writer drains bursts through a `BufWriter` and flushes when the
-//!   queue runs dry, not per frame, so a multicast fan-out of small frames
+//! * The writer coalesces queued frames into **batches** through a
+//!   `BufWriter`: a batch flushes when it reaches
+//!   [`BatchConfig::max_frames`] or [`BatchConfig::max_bytes`], or when
+//!   [`BatchConfig::flush_deadline`] elapses with no further frame queued
+//!   (a zero deadline flushes the instant the queue runs dry). A multicast
+//!   fan-out — or a fan-in of small up-packets headed to the same parent —
 //!   costs one syscall batch instead of N.
 //! * Dropping every sender (the link leaving the [`crate::Peers`] table)
 //!   disconnects the queue; the writer finishes writing what was already
 //!   enqueued, flushes, and exits — shutdown never truncates acked traffic.
 
 use std::io::{BufWriter, Write};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread;
 
-use crossbeam_channel::{bounded, Receiver, SendTimeoutError, Sender};
+use crossbeam_channel::{
+    bounded, Receiver, RecvTimeoutError, SendTimeoutError, Sender, TryRecvError,
+};
 
 use crate::framing::{write_frame_unflushed, MAX_FRAME};
-use crate::{Frame, Link, PeerId, TransportError, WriterConfig};
+use crate::{BatchConfig, BatchStats, Frame, Link, PeerId, TransportError, WriterConfig};
+
+/// Lifetime batching counters shared between a writer thread (writes) and
+/// its link (reads, for telemetry).
+#[derive(Default)]
+struct BatchCounters {
+    batches: AtomicU64,
+    frames: AtomicU64,
+}
 
 /// Sending half of a wire edge: a bounded queue in front of a dedicated
 /// writer thread. Shared by the TCP and UDS transports.
@@ -39,6 +53,7 @@ pub(crate) struct WriterLink {
     /// its send deadline so both ends observe the failure promptly.
     on_stall: Box<dyn Fn() + Send + Sync>,
     stalled: AtomicBool,
+    counters: Arc<BatchCounters>,
 }
 
 impl WriterLink {
@@ -55,9 +70,12 @@ impl WriterLink {
         F: Fn() + Send + Sync + 'static,
     {
         let (tx, rx) = bounded::<Arc<[u8]>>(cfg.queue_depth.max(1));
+        let counters = Arc::new(BatchCounters::default());
+        let thread_counters = Arc::clone(&counters);
+        let batch = cfg.batch;
         thread::Builder::new()
             .name(thread_name)
-            .spawn(move || writer_loop(conn, rx))
+            .spawn(move || writer_loop(conn, rx, batch, &thread_counters))
             .expect("spawn link writer thread");
         WriterLink {
             to,
@@ -65,6 +83,7 @@ impl WriterLink {
             deadline: cfg.send_deadline,
             on_stall: Box::new(on_stall),
             stalled: AtomicBool::new(false),
+            counters,
         }
     }
 }
@@ -105,32 +124,83 @@ impl Link for WriterLink {
     fn queue_depth(&self) -> Option<usize> {
         Some(self.tx.len())
     }
+
+    fn batch_stats(&self) -> Option<BatchStats> {
+        Some(BatchStats {
+            batches: self.counters.batches.load(Ordering::Relaxed),
+            frames: self.counters.frames.load(Ordering::Relaxed),
+        })
+    }
 }
 
 /// Writes queued frames until the socket fails or every sender is gone,
-/// flushing only when the queue runs dry (or on exit).
-fn writer_loop<W: Write>(conn: W, rx: Receiver<Arc<[u8]>>) {
+/// coalescing them into batches.
+///
+/// A batch starts with a blocking `recv` and grows until it holds
+/// `batch.max_frames` frames or `batch.max_bytes` payload bytes, or until
+/// no further frame arrives within `batch.flush_deadline` — a zero deadline
+/// flushes the instant the queue runs dry, which is the latency-optimal
+/// behavior the writer always had. Each flush is counted so the runtime can
+/// report batching effectiveness (`Link::batch_stats`).
+fn writer_loop<W: Write>(
+    conn: W,
+    rx: Receiver<Arc<[u8]>>,
+    batch: BatchConfig,
+    counters: &BatchCounters,
+) {
     let mut w = BufWriter::new(conn);
+    let max_frames = batch.max_frames.max(1);
+    let max_bytes = batch.max_bytes.max(1);
     // Block for the next frame; a disconnect here means all senders are
     // gone and everything enqueued has been written.
-    'outer: while let Ok(frame) = rx.recv() {
+    while let Ok(frame) = rx.recv() {
         if write_frame_unflushed(&mut w, &frame).is_err() {
             return; // socket gone; readers surface the disconnect
         }
-        // Coalesce: keep writing while frames are ready, flush once drained.
-        loop {
-            match rx.try_recv() {
-                Ok(f) => {
+        let mut frames = 1u64;
+        let mut bytes = frame.len();
+        let mut disconnected = false;
+        while (frames as usize) < max_frames && bytes < max_bytes {
+            // Zero deadline: only take frames already queued. Non-zero:
+            // hold the batch open briefly so closely-spaced small frames
+            // (the fan-in hot path) share one syscall batch.
+            let next = if batch.flush_deadline.is_zero() {
+                match rx.try_recv() {
+                    Ok(f) => Some(f),
+                    Err(TryRecvError::Empty) => None,
+                    Err(TryRecvError::Disconnected) => {
+                        disconnected = true;
+                        None
+                    }
+                }
+            } else {
+                match rx.recv_timeout(batch.flush_deadline) {
+                    Ok(f) => Some(f),
+                    Err(RecvTimeoutError::Timeout) => None,
+                    Err(RecvTimeoutError::Disconnected) => {
+                        disconnected = true;
+                        None
+                    }
+                }
+            };
+            match next {
+                Some(f) => {
                     if write_frame_unflushed(&mut w, &f).is_err() {
                         return;
                     }
+                    frames += 1;
+                    bytes += f.len();
                 }
-                Err(crossbeam_channel::TryRecvError::Empty) => break,
-                Err(crossbeam_channel::TryRecvError::Disconnected) => break 'outer,
+                None => break,
             }
         }
         if w.flush().is_err() {
             return;
+        }
+        counters.batches.fetch_add(1, Ordering::Relaxed);
+        counters.frames.fetch_add(frames, Ordering::Relaxed);
+        if disconnected {
+            break;
         }
     }
     let _ = w.flush();
@@ -169,6 +239,7 @@ mod tests {
         WriterConfig {
             queue_depth: depth,
             send_deadline: Duration::from_millis(deadline_ms),
+            batch: BatchConfig::default(),
         }
     }
 
@@ -193,6 +264,48 @@ mod tests {
         for i in 0..10u32 {
             let at = i as usize * 8;
             assert_eq!(&bytes[at..at + 4], 4u32.to_le_bytes());
+            assert_eq!(&bytes[at + 4..at + 8], i.to_le_bytes());
+        }
+    }
+
+    #[test]
+    fn batches_split_at_max_frames_and_are_counted() {
+        let gate = Gate::default();
+        let written = gate.written.clone();
+        let flushes = gate.flushes.clone();
+        let mut c = cfg(16, 1000);
+        // A deadline long enough that the writer holds each batch open for
+        // the whole burst; max_frames then splits the burst 4+4.
+        c.batch = BatchConfig {
+            max_frames: 4,
+            max_bytes: 1 << 20,
+            flush_deadline: Duration::from_secs(1),
+        };
+        let link = WriterLink::spawn(3, gate, c, "t".into(), || {});
+        for i in 0..8u32 {
+            link.send(Frame::Bytes(i.to_le_bytes().to_vec().into()))
+                .unwrap();
+        }
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            if written.lock().unwrap().len() == 8 * 8 {
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "writer stalled");
+            thread::sleep(Duration::from_millis(2));
+        }
+        assert_eq!(
+            link.batch_stats(),
+            Some(BatchStats {
+                batches: 2,
+                frames: 8
+            })
+        );
+        assert_eq!(*flushes.lock().unwrap(), 2, "one flush per batch");
+        // Order is still strict across batch boundaries.
+        let bytes = written.lock().unwrap().clone();
+        for i in 0..8u32 {
+            let at = i as usize * 8;
             assert_eq!(&bytes[at + 4..at + 8], i.to_le_bytes());
         }
     }

@@ -325,11 +325,64 @@ impl<'a, T> IntoIterator for &'a Receiver<T> {
     }
 }
 
-/// Supports exactly the shape used by `tbon-core::process::CommProcess::run`:
-/// two `recv(..) -> v => ..` arms plus `default(timeout) => ..`, implemented
-/// by polling both receivers at ~200µs granularity.
+/// Supports exactly the shapes used by `tbon-core::process::CommProcess::run`:
+/// two or three `recv(..) -> v => ..` arms plus `default(timeout) => ..`,
+/// implemented by polling the receivers at ~200µs granularity.
 #[macro_export]
 macro_rules! select {
+    (
+        recv($r1:expr) -> $v1:ident => $b1:expr,
+        recv($r2:expr) -> $v2:ident => $b2:expr,
+        recv($r3:expr) -> $v3:ident => $b3:expr,
+        default($t:expr) => $bd:expr $(,)?
+    ) => {{
+        let __deadline = ::std::time::Instant::now() + $t;
+        loop {
+            match $r1.try_recv() {
+                ::std::result::Result::Ok(__v) => {
+                    let $v1: ::std::result::Result<_, $crate::RecvError> =
+                        ::std::result::Result::Ok(__v);
+                    break $b1;
+                }
+                ::std::result::Result::Err($crate::TryRecvError::Disconnected) => {
+                    let $v1: ::std::result::Result<_, $crate::RecvError> =
+                        ::std::result::Result::Err($crate::RecvError);
+                    break $b1;
+                }
+                ::std::result::Result::Err($crate::TryRecvError::Empty) => {}
+            }
+            match $r2.try_recv() {
+                ::std::result::Result::Ok(__v) => {
+                    let $v2: ::std::result::Result<_, $crate::RecvError> =
+                        ::std::result::Result::Ok(__v);
+                    break $b2;
+                }
+                ::std::result::Result::Err($crate::TryRecvError::Disconnected) => {
+                    let $v2: ::std::result::Result<_, $crate::RecvError> =
+                        ::std::result::Result::Err($crate::RecvError);
+                    break $b2;
+                }
+                ::std::result::Result::Err($crate::TryRecvError::Empty) => {}
+            }
+            match $r3.try_recv() {
+                ::std::result::Result::Ok(__v) => {
+                    let $v3: ::std::result::Result<_, $crate::RecvError> =
+                        ::std::result::Result::Ok(__v);
+                    break $b3;
+                }
+                ::std::result::Result::Err($crate::TryRecvError::Disconnected) => {
+                    let $v3: ::std::result::Result<_, $crate::RecvError> =
+                        ::std::result::Result::Err($crate::RecvError);
+                    break $b3;
+                }
+                ::std::result::Result::Err($crate::TryRecvError::Empty) => {}
+            }
+            if ::std::time::Instant::now() >= __deadline {
+                break $bd;
+            }
+            ::std::thread::sleep(::std::time::Duration::from_micros(200));
+        }
+    }};
     (
         recv($r1:expr) -> $v1:ident => $b1:expr,
         recv($r2:expr) -> $v2:ident => $b2:expr,
@@ -414,5 +467,20 @@ mod tests {
             default(Duration::from_millis(5)) => 0,
         };
         assert_eq!(out, 0);
+    }
+
+    #[test]
+    fn select_three_arms_picks_ready_receiver() {
+        let (_tx1, rx1) = unbounded::<u8>();
+        let (_tx2, rx2) = unbounded::<u8>();
+        let (tx3, rx3) = unbounded::<u8>();
+        tx3.send(9).unwrap();
+        let out = select! {
+            recv(rx1) -> v => v.map(|_| 1).unwrap_or(-1),
+            recv(rx2) -> v => v.map(|_| 2).unwrap_or(-2),
+            recv(rx3) -> v => v.map(i32::from).unwrap_or(-3),
+            default(Duration::from_millis(5)) => 0,
+        };
+        assert_eq!(out, 9);
     }
 }

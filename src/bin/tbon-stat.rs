@@ -106,6 +106,28 @@ fn render_watch(sample: &MetricsSample, origin: Rank, elapsed: Duration) {
         fx.quantile(0.99),
         fx.max()
     );
+    let ew = &sample.executor_wait_ns;
+    if ew.is_empty() {
+        println!("executor wait:       (all waves inline this interval)");
+    } else {
+        println!(
+            "executor wait (ns):  waves {:>6}   p50 {:>8}   p99 {:>8}   max {:>8}",
+            ew.count(),
+            ew.quantile(0.5),
+            ew.quantile(0.99),
+            ew.max()
+        );
+    }
+    let eq = &sample.executor_queue_depth;
+    if !eq.is_empty() {
+        println!(
+            "executor queue:      shards {:>4}   p50 {:>8}   p99 {:>8}   max {:>8}",
+            eq.count(),
+            eq.quantile(0.5),
+            eq.quantile(0.99),
+            eq.max()
+        );
+    }
     let qd = &sample.queue_depth;
     if qd.is_empty() {
         println!("queue depth:         (no writer-backed links on this transport)");
@@ -123,6 +145,11 @@ fn render_watch(sample: &MetricsSample, origin: Rank, elapsed: Duration) {
     println!(
         "interval counters:   up {}  down {}  waves {}  filter_out {}  frames {}  bytes {}",
         c.packets_up, c.packets_down, c.waves, c.filter_out, c.frames_sent, c.bytes_sent
+    );
+    let busy_pct = c.filter_busy_us as f64 / (sample.interval_us.max(1) as f64) * 100.0;
+    println!(
+        "execution plane:     executed {}  filter-busy {}us ({busy_pct:.0}% of interval)  batches {}  frames batched {}",
+        c.waves_executed, c.filter_busy_us, c.batches_sent, c.frames_batched
     );
     if sample.events_dropped > 0 {
         println!("events dropped:      {}", sample.events_dropped);

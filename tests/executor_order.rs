@@ -1,0 +1,309 @@
+//! Ordering and exactly-once guarantees of the parallel filter execution
+//! plane. The pool shards waves by stream id, so per-stream wave order and
+//! per-wave exactly-once transform execution must be indistinguishable from
+//! the serial (inline, `filter_pool.workers = 0`) executor — under clean
+//! runs, under seeded link chaos, and across a mid-wave internal kill plus
+//! supervised heal.
+//!
+//! The probe is a stateful root-side transformation that stamps every wave
+//! it executes with a private counter: any reordering shows as a
+//! non-monotonic stamp at the front-end, any double execution as a skipped
+//! stamp with a duplicate, any lost-but-executed wave as a duplicate.
+
+use std::time::{Duration, Instant};
+
+use tbon::core::{
+    FilterContext, FilterRegistry, NetEvent, NetworkConfig, Packet, RetryPolicy, Transformation,
+};
+use tbon::prelude::*;
+
+/// Stateful per-(stream, process) probe. At the root it emits one packet
+/// per executed wave carrying its execution index; below the root it folds
+/// the wave to a single count so traffic keeps flowing upward.
+struct SeqStamp {
+    seq: u64,
+}
+
+impl Transformation for SeqStamp {
+    fn transform(
+        &mut self,
+        wave: Vec<Packet>,
+        ctx: &mut FilterContext,
+    ) -> tbon::core::Result<Vec<Packet>> {
+        let tag = wave.first().map(|p| p.tag()).unwrap_or(Tag(0));
+        if ctx.is_root {
+            let n = self.seq;
+            self.seq += 1;
+            Ok(vec![ctx.make(tag, DataValue::U64(n))])
+        } else {
+            Ok(vec![ctx.make(tag, DataValue::I64(wave.len() as i64))])
+        }
+    }
+}
+
+fn registry_with_probe() -> std::sync::Arc<FilterRegistry> {
+    let reg = builtin_registry();
+    reg.register_transformation("test::seq_stamp", |_params| Ok(Box::new(SeqStamp { seq: 0 })));
+    reg
+}
+
+fn pool_config(workers: usize) -> NetworkConfig {
+    let mut cfg = NetworkConfig::default();
+    cfg.filter_pool.workers = workers;
+    // Force even tiny waves through the pool (when enabled) so the test
+    // exercises the cross-thread path, not just the inline shortcut.
+    cfg.filter_pool.inline_below_bytes = 256;
+    cfg
+}
+
+const STREAMS: usize = 4;
+
+/// Back-ends for the burst test: a `Unit` trigger starts `waves` sends on
+/// that stream, alternating payload sizes so waves land on both sides of
+/// the inline threshold.
+fn burst_backend(waves: usize) -> impl Fn(BackendContext) + Send + Sync {
+    move |mut ctx: BackendContext| loop {
+        match ctx.next_event() {
+            // Send errors are swallowed, not fatal: a dead parent link mid-
+            // heal must orphan the back-end, not terminate it (the
+            // supervisor reconnects orphans; a returned closure is a dead
+            // process it can only degrade around).
+            Ok(BackendEvent::Packet { stream, packet }) => match packet.value() {
+                DataValue::Unit => {
+                    for w in 0..waves {
+                        let payload = if w % 3 == 0 {
+                            DataValue::Bytes(vec![w as u8; 512])
+                        } else {
+                            DataValue::I64(1)
+                        };
+                        let _ = ctx.send(stream, Tag(w as u32), payload);
+                    }
+                }
+                _ => {
+                    let _ = ctx.send(stream, packet.tag(), DataValue::I64(1));
+                }
+            },
+            Ok(BackendEvent::Shutdown) | Err(_) => break,
+            Ok(_) => continue,
+        }
+    }
+}
+
+/// Run `STREAMS` concurrent bursting streams and collect, per stream, the
+/// root filter's execution stamps in front-end arrival order.
+fn collect_stamps(workers: usize, waves: usize) -> Vec<Vec<u64>> {
+    let mut net = NetworkBuilder::new(Topology::flat(8))
+        .registry(registry_with_probe())
+        .config(pool_config(workers))
+        .backend(burst_backend(waves))
+        .launch()
+        .unwrap();
+    let streams: Vec<_> = (0..STREAMS)
+        .map(|_| {
+            net.new_stream(StreamSpec::all().transformation("test::seq_stamp"))
+                .unwrap()
+        })
+        .collect();
+    for s in &streams {
+        s.broadcast(Tag(0), DataValue::Unit).unwrap();
+    }
+    let mut stamps: Vec<Vec<u64>> = vec![Vec::new(); STREAMS];
+    for (i, s) in streams.iter().enumerate() {
+        for _ in 0..waves {
+            let pkt = s
+                .recv_within(Duration::from_secs(60))
+                .unwrap()
+                .expect("burst wave");
+            stamps[i].push(pkt.value().as_u64().expect("stamp"));
+        }
+    }
+    net.shutdown().unwrap();
+    stamps
+}
+
+/// Clean runs: the pooled executor's per-stream output order must be
+/// literally identical to the serial executor's — contiguous execution
+/// stamps 0,1,2,... per stream (in-order AND exactly-once), with four
+/// streams executing concurrently and wave sizes straddling the inline
+/// threshold.
+#[test]
+fn pooled_stamps_match_serial_executor_per_stream() {
+    let waves = 50;
+    let expected: Vec<u64> = (0..waves as u64).collect();
+    let serial = collect_stamps(0, waves);
+    let pooled = collect_stamps(STREAMS, waves);
+    for (i, (s, p)) in serial.iter().zip(&pooled).enumerate() {
+        assert_eq!(s, &expected, "serial executor stream {i}");
+        assert_eq!(p, &expected, "pooled executor stream {i}");
+        assert_eq!(s, p, "pooled vs serial stream {i}");
+    }
+}
+
+fn recv_round(streams: &[StreamHandle], stamps: &mut [Vec<u64>]) {
+    for (i, s) in streams.iter().enumerate() {
+        if let Ok(Some(pkt)) = s.recv_within(Duration::from_secs(2)) {
+            stamps[i].push(pkt.value().as_u64().expect("stamp"));
+        }
+    }
+}
+
+/// Seeded link chaos: frames die and stall at random (fixed seed) while
+/// the supervisor keeps healing whatever the chaos tears. Waves may be
+/// lost (at-most-once during recovery) but the stamps each stream *does*
+/// deliver must stay strictly increasing: no reordering, no duplicated
+/// execution.
+fn chaos_run(workers: usize, seed: u64) -> Vec<Vec<u64>> {
+    let plan = FaultPlan::new(seed)
+        .kill_links(0.01)
+        .delay_frames(0.05, Duration::from_millis(2));
+    let mut net = Network::from_spec("4x4")
+        .unwrap()
+        .registry(registry_with_probe())
+        .fault_plan(plan)
+        .config(NetworkConfig {
+            orphan_grace: Duration::from_secs(30),
+            ..pool_config(workers)
+        })
+        // After .config(): retry_policy() arms the supervisor inside the
+        // config, so a later .config() would disarm it.
+        .retry_policy(RetryPolicy {
+            ack_timeout: Duration::from_secs(2),
+            ..RetryPolicy::default()
+        })
+        .backend(burst_backend(0))
+        .launch()
+        .unwrap();
+    let streams: Vec<_> = (0..STREAMS)
+        .map(|_| {
+            net.new_stream(StreamSpec::all().transformation("test::seq_stamp"))
+                .unwrap()
+        })
+        .collect();
+
+    let mut stamps: Vec<Vec<u64>> = vec![Vec::new(); STREAMS];
+    for round in 0..25u32 {
+        for s in &streams {
+            let _ = s.broadcast(Tag(round), DataValue::I64(0));
+        }
+        recv_round(&streams, &mut stamps);
+        // Drain supervisor verdicts so the event queue cannot back up.
+        while net.poll_event().is_some() {}
+    }
+    net.shutdown().unwrap();
+    stamps
+}
+
+/// Mid-wave kill and supervised heal: an internal process dies with waves
+/// of all four streams in flight; after the supervisor splices it out,
+/// every stream must keep delivering strictly increasing stamps.
+fn heal_run(workers: usize) -> Vec<Vec<u64>> {
+    let mut net = Network::from_spec("4x4")
+        .unwrap()
+        .registry(registry_with_probe())
+        // Generous grace: on a loaded single-core runner the heal can take
+        // a while, and orphaned back-ends must not give up before it lands.
+        .config(NetworkConfig {
+            orphan_grace: Duration::from_secs(120),
+            ..pool_config(workers)
+        })
+        // After .config(): retry_policy() arms the supervisor inside the
+        // config, so a later .config() would disarm it.
+        .retry_policy(RetryPolicy::default())
+        .backend(burst_backend(0))
+        .launch()
+        .unwrap();
+    let streams: Vec<_> = (0..STREAMS)
+        .map(|_| {
+            net.new_stream(StreamSpec::all().transformation("test::seq_stamp"))
+                .unwrap()
+        })
+        .collect();
+
+    let mut stamps: Vec<Vec<u64>> = vec![Vec::new(); STREAMS];
+    for round in 0..8u32 {
+        for s in &streams {
+            let _ = s.broadcast(Tag(round), DataValue::I64(0));
+        }
+        recv_round(&streams, &mut stamps);
+    }
+    let before_heal: Vec<usize> = stamps.iter().map(Vec::len).collect();
+
+    // Mid-wave kill: all four streams have a wave in flight when the
+    // internal process dies; the supervisor re-parents its back-ends.
+    for s in &streams {
+        let _ = s.broadcast(Tag(1000), DataValue::I64(0));
+    }
+    net.kill_internal(Rank(2)).unwrap();
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let left = deadline.saturating_duration_since(Instant::now());
+        assert!(!left.is_zero(), "supervisor never healed the kill");
+        match net.wait_event(left) {
+            Ok(NetEvent::Healed { rank, .. }) => {
+                assert_eq!(rank, Rank(2));
+                break;
+            }
+            Ok(NetEvent::Degraded { rank, detail }) => {
+                panic!("supervisor gave up on {rank}: {detail}")
+            }
+            Ok(_) => continue,
+            Err(e) => panic!("waiting for Healed: {e}"),
+        }
+    }
+    // The in-flight waves may surface partial or not at all; drain them.
+    recv_round(&streams, &mut stamps);
+
+    for round in 0..8u32 {
+        for s in &streams {
+            let _ = s.broadcast(Tag(2000 + round), DataValue::I64(0));
+        }
+        recv_round(&streams, &mut stamps);
+        while net.poll_event().is_some() {}
+    }
+    for (i, before) in before_heal.iter().enumerate() {
+        assert!(
+            stamps[i].len() > *before,
+            "stream {i} delivered nothing after the heal"
+        );
+    }
+    net.shutdown().unwrap();
+    stamps
+}
+
+fn assert_strictly_increasing(stamps: &[Vec<u64>], label: &str) {
+    for (i, s) in stamps.iter().enumerate() {
+        assert!(
+            !s.is_empty(),
+            "{label}: stream {i} delivered nothing under chaos"
+        );
+        for w in s.windows(2) {
+            assert!(
+                w[1] > w[0],
+                "{label}: stream {i} stamps out of order or duplicated: {s:?}"
+            );
+        }
+    }
+}
+
+/// The seeded chaos property, checked for the serial baseline and the
+/// parallel executor: per-stream execution stamps stay strictly increasing
+/// through seeded link kills — the pool preserves exactly the per-stream
+/// guarantees of the serial executor.
+#[test]
+fn seeded_link_chaos_preserves_per_stream_order_and_exactly_once() {
+    const SEED: u64 = 0x5EED_0DE2;
+    let serial = chaos_run(0, SEED);
+    assert_strictly_increasing(&serial, "serial");
+    let pooled = chaos_run(STREAMS, SEED);
+    assert_strictly_increasing(&pooled, "pooled");
+}
+
+/// A mid-wave internal kill plus supervised heal must not reorder or
+/// replay any stream's waves, pooled or serial.
+#[test]
+fn midwave_heal_preserves_per_stream_order_and_exactly_once() {
+    let serial = heal_run(0);
+    assert_strictly_increasing(&serial, "serial");
+    let pooled = heal_run(STREAMS);
+    assert_strictly_increasing(&pooled, "pooled");
+}
