@@ -90,8 +90,10 @@ fn backend_loop(waves: usize) -> impl Fn(BackendContext) + Send + Sync {
 }
 
 fn config(workers: usize, pool_everything: bool) -> NetworkConfig {
-    let mut cfg = NetworkConfig::default();
-    cfg.name = "fwt".into();
+    let mut cfg = NetworkConfig {
+        name: "fwt".into(),
+        ..NetworkConfig::default()
+    };
     // One worker per concurrent stream so the comparison measures the
     // plane's ceiling, not an undersized pool.
     cfg.filter_pool.workers = workers;

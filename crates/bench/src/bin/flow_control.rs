@@ -1,0 +1,230 @@
+//! Goodput with one 10x-slow child: credit flow control vs the seed's
+//! kill-the-child behavior.
+//!
+//! One root, fan-out 8, every edge traffic-shaped. Seven children sit on
+//! "fast" links; one child's links are 10x slower, slow enough that a
+//! multicast burst jams its bounded link queue. The seed runtime (modeled
+//! by `FlowConfig::disabled()`) escalates the resulting
+//! `TransportError::Backpressure` to a child death and finishes the run
+//! with seven children. With credit windows on (sized under the link queue
+//! so backpressure never trips), the same burst parks at the root and
+//! drains at the slow link's pace: every child sees every wave and nobody
+//! dies.
+//!
+//! Prints a `BENCH_flowcontrol.json` document to stdout:
+//!
+//! ```sh
+//! cargo run --release -p tbon-bench --bin flow_control -- \
+//!     --waves 30 --date "$(date -I)" > results/BENCH_flowcontrol.json
+//! ```
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use tbon_core::{
+    BackendContext, BackendEvent, DataValue, FlowConfig, NetEvent, NetworkBuilder, NetworkConfig,
+    StreamConsumer, StreamSpec, Tag,
+};
+use tbon_filters::builtin_registry;
+use tbon_topology::Topology;
+use tbon_transport::local::LocalTransport;
+use tbon_transport::shaped::{ShapedTransport, Shaping};
+use tbon_transport::{Transport, WriterConfig};
+
+const FANOUT: usize = 8;
+/// The shaped link queue: deeper than the credit window, shallower than a
+/// burst.
+const QUEUE_DEPTH: usize = 8;
+/// How long a jammed shaped link blocks before reporting `Backpressure`.
+const SEND_DEADLINE: Duration = Duration::from_millis(100);
+
+struct RunStats {
+    elapsed: Duration,
+    /// Leaf replies consolidated across all completed waves.
+    acks: u64,
+    child_deaths: usize,
+}
+
+/// Every edge between tree nodes is shaped; links to the out-of-band
+/// control/supervisor peers stay unshaped. The last leaf's edges get a
+/// tenth of the bandwidth of everyone else's.
+fn shaped_transport(slow_leaf: u32, fast_bps: f64) -> Arc<dyn Transport> {
+    let nodes = (FANOUT + 1) as u32;
+    let transport = ShapedTransport::with_edge_fn(LocalTransport::new(), move |a, b| {
+        if a >= nodes || b >= nodes {
+            return Shaping::unshaped();
+        }
+        let bps = if a == slow_leaf || b == slow_leaf {
+            fast_bps / 10.0
+        } else {
+            fast_bps
+        };
+        Shaping {
+            latency: Duration::from_micros(100),
+            bandwidth_bps: Some(bps),
+        }
+    })
+    .with_writer_config(WriterConfig {
+        queue_depth: QUEUE_DEPTH,
+        send_deadline: SEND_DEADLINE,
+        ..WriterConfig::default()
+    });
+    Arc::new(transport)
+}
+
+/// Ack each downstream frame with a tiny reply; `builtin::count` folds the
+/// acks so the front end sees how many children a wave actually reached.
+fn ack_backend() -> impl Fn(BackendContext) + Send + Sync {
+    |mut ctx: BackendContext| loop {
+        match ctx.next_event() {
+            Ok(BackendEvent::Packet { stream, packet }) => {
+                let _ = ctx.send(stream, packet.tag(), DataValue::I64(1));
+            }
+            Ok(BackendEvent::Shutdown) | Err(_) => break,
+            Ok(_) => continue,
+        }
+    }
+}
+
+fn run(flow: FlowConfig, waves: usize, payload: usize, fast_bps: f64) -> RunStats {
+    let slow_leaf = FANOUT as u32;
+    let cfg = NetworkConfig {
+        name: "flowbench".into(),
+        flow,
+        ..NetworkConfig::default()
+    };
+    let mut net = NetworkBuilder::new(Topology::flat(FANOUT))
+        .registry(builtin_registry())
+        .transport_arc(shaped_transport(slow_leaf, fast_bps))
+        .config(cfg)
+        .backend(ack_backend())
+        .launch()
+        .expect("launch");
+    let stream = net
+        .new_stream(StreamSpec::all().transformation("builtin::count"))
+        .expect("stream");
+
+    let start = Instant::now();
+    for w in 0..waves {
+        stream
+            .broadcast(Tag(w as u32), DataValue::Bytes(vec![0u8; payload]))
+            .expect("broadcast");
+    }
+    let mut acks = 0u64;
+    for _ in 0..waves {
+        let pkt = stream
+            .recv_within(Duration::from_secs(300))
+            .expect("recv")
+            .expect("wave");
+        acks += pkt.value().as_u64().unwrap_or(0);
+    }
+    let elapsed = start.elapsed();
+
+    let mut child_deaths = 0usize;
+    while let Some(ev) = net.poll_event() {
+        if matches!(ev, NetEvent::BackendLost { .. } | NetEvent::Degraded { .. }) {
+            child_deaths += 1;
+        }
+    }
+    net.shutdown().expect("shutdown");
+    RunStats {
+        elapsed,
+        acks,
+        child_deaths,
+    }
+}
+
+fn main() {
+    let mut waves = 30usize;
+    let mut payload = 16 * 1024usize;
+    // Fast-edge bandwidth: 640 KiB/s puts the slow edge at 64 KiB/s, i.e.
+    // 250 ms per 16 KiB frame — far past the 100 ms send deadline, so an
+    // unthrottled burst is guaranteed to jam it.
+    let mut fast_bps = 640.0 * 1024.0;
+    let mut date = "unknown".to_string();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--waves" => waves = it.next().unwrap().parse().unwrap(),
+            "--payload" => payload = it.next().unwrap().parse().unwrap(),
+            "--fast-bps" => fast_bps = it.next().unwrap().parse().unwrap(),
+            "--date" => date = it.next().unwrap(),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+
+    // Seed behavior: no windows, backpressure escalates to a kill.
+    let seed = run(FlowConfig::disabled(), waves, payload, fast_bps);
+    // Credit windows sized under the link queue: backpressure never trips.
+    let flow = FlowConfig {
+        window_frames: 6,
+        window_bytes: 0,
+        low_watermark: 2,
+    };
+    let credit = run(flow, waves, payload, fast_bps);
+
+    let expected = (waves * FANOUT) as u64;
+    let seed_goodput = seed.acks as f64 / seed.elapsed.as_secs_f64();
+    let credit_goodput = credit.acks as f64 / credit.elapsed.as_secs_f64();
+    let pass = credit.child_deaths == 0 && credit.acks == expected && seed.child_deaths >= 1;
+    eprintln!(
+        "seed: {}/{} acks in {:.2}s ({:.1} acks/s), {} child deaths; \
+         flow: {}/{} acks in {:.2}s ({:.1} acks/s), {} child deaths",
+        seed.acks,
+        expected,
+        seed.elapsed.as_secs_f64(),
+        seed_goodput,
+        seed.child_deaths,
+        credit.acks,
+        expected,
+        credit.elapsed.as_secs_f64(),
+        credit_goodput,
+        credit.child_deaths,
+    );
+
+    println!("{{");
+    println!("  \"bench\": \"flow_control\",");
+    println!(
+        "  \"description\": \"Multicast goodput over a fan-out {FANOUT} tree with every edge traffic-shaped and one leaf's links 10x slower ({waves} waves of {payload}-byte payloads, {QUEUE_DEPTH}-frame link queues, {}ms send deadline). Seed config (flow disabled) escalates the slow link's backpressure to a child death; credit windows (6 frames, watermark 2) pause the stream instead.\",",
+        SEND_DEADLINE.as_millis()
+    );
+    println!("  \"date\": \"{date}\",");
+    println!(
+        "  \"harness\": \"cargo run --release -p tbon-bench --bin flow_control (offline stubs, single-core container)\","
+    );
+    println!("  \"acceptance\": {{");
+    println!(
+        "    \"criterion\": \"with flow control every child survives and every wave reaches all {FANOUT} children; the seed config loses at least one child on the same schedule\","
+    );
+    println!(
+        "    \"measured_flow_child_deaths\": {},",
+        credit.child_deaths
+    );
+    println!(
+        "    \"measured_flow_acks\": {}, \"expected_acks\": {expected},",
+        credit.acks
+    );
+    println!("    \"measured_seed_child_deaths\": {},", seed.child_deaths);
+    println!("    \"pass\": {pass}");
+    println!("  }},");
+    println!("  \"results\": [");
+    println!(
+        "    {{ \"config\": \"seed_no_flow\", \"acks\": {}, \"expected\": {expected}, \"elapsed_s\": {:.3}, \"goodput_acks_per_s\": {:.1}, \"child_deaths\": {} }},",
+        seed.acks,
+        seed.elapsed.as_secs_f64(),
+        seed_goodput,
+        seed.child_deaths
+    );
+    println!(
+        "    {{ \"config\": \"credit_flow\", \"acks\": {}, \"expected\": {expected}, \"elapsed_s\": {:.3}, \"goodput_acks_per_s\": {:.1}, \"child_deaths\": {} }}",
+        credit.acks,
+        credit.elapsed.as_secs_f64(),
+        credit_goodput,
+        credit.child_deaths
+    );
+    println!("  ],");
+    println!(
+        "  \"notes\": \"Goodput counts consolidated leaf acks per second, so the seed run looks faster only because it amputated the slow subtree and stopped delivering to it: its ack total falls short of expected. The credit run's elapsed time is the honest cost of delivering every wave to the slowest live child — the run is paced by the shaped 64 KiB/s edge, not by the runtime.\""
+    );
+    println!("}}");
+}

@@ -10,6 +10,7 @@ use std::time::{Duration, Instant};
 
 use tbon_transport::{Delivery, NodeEndpoint};
 
+use crate::config::FlowConfig;
 use crate::error::{Result, TbonError};
 use crate::packet::{Packet, Rank};
 use crate::process::{decode_frame, send_message};
@@ -47,6 +48,12 @@ pub struct BackendContext {
     /// Set while our parent is gone and we are waiting for reconfiguration.
     orphaned_until: Option<Instant>,
     orphan_grace: Duration,
+    /// Credit windows on the downstream path (see [`FlowConfig`]). Leaves
+    /// are pure consumers: they never spend credit, only return it.
+    flow: FlowConfig,
+    /// Downstream data frames consumed since the last grant to the parent.
+    consumed_frames: u64,
+    consumed_bytes: u64,
 }
 
 impl BackendContext {
@@ -55,6 +62,7 @@ impl BackendContext {
         parent: Rank,
         endpoint: NodeEndpoint,
         orphan_grace: Duration,
+        flow: FlowConfig,
     ) -> BackendContext {
         BackendContext {
             rank,
@@ -64,6 +72,34 @@ impl BackendContext {
             finished: false,
             orphaned_until: None,
             orphan_grace,
+            flow,
+            consumed_frames: 0,
+            consumed_bytes: 0,
+        }
+    }
+
+    /// Return consumed-frame credit to the parent once the watermark is
+    /// reached. A leaf consumes a downstream frame the moment it is pulled
+    /// off the wire and translated — there is no further fan-out below it,
+    /// so consumption here is unconditional.
+    fn note_down_consumed(&mut self, wire: u64) {
+        if !self.flow.enabled() {
+            return;
+        }
+        self.consumed_frames += 1;
+        self.consumed_bytes += wire;
+        if self.consumed_frames < self.flow.effective_watermark() {
+            return;
+        }
+        let grant = Arc::new(Envelope::new(Message::CreditGrant {
+            frames: self.consumed_frames,
+            bytes: self.consumed_bytes,
+        }));
+        if let Some(link) = self.endpoint.peers.get(self.parent.0) {
+            if send_message(&link, &grant).is_ok() {
+                self.consumed_frames = 0;
+                self.consumed_bytes = 0;
+            }
         }
     }
 
@@ -206,12 +242,15 @@ impl BackendContext {
                         sent_us,
                         value,
                     } => {
+                        let wire = msg.encoded_len() as u64;
                         let packet =
                             Packet::stamped(*stream, *tag, *origin, *sent_us, value.clone());
-                        Some(BackendEvent::Packet {
+                        let ev = BackendEvent::Packet {
                             stream: *stream,
                             packet,
-                        })
+                        };
+                        self.note_down_consumed(wire);
+                        Some(ev)
                     }
                     Message::CloseStream { stream } => {
                         self.streams.remove(stream);
@@ -226,9 +265,14 @@ impl BackendContext {
                         Some(BackendEvent::Shutdown)
                     }
                     Message::NewParent { parent } => {
-                        // Reconfiguration after our old parent failed.
+                        // Reconfiguration after our old parent failed. The
+                        // new parent opens a fresh full window on adoption,
+                        // so credit accumulated toward the old parent must
+                        // not leak into it.
                         self.parent = *parent;
                         self.orphaned_until = None;
+                        self.consumed_frames = 0;
+                        self.consumed_bytes = 0;
                         let ack = Arc::new(Envelope::new(Message::ReconfigAck { rank: self.rank }));
                         if let Some(link) = self.endpoint.peers.get(from) {
                             let _ = send_message(&link, &ack);

@@ -84,6 +84,88 @@ impl Default for FilterPoolConfig {
     }
 }
 
+/// Per-child-link credit windows on the downstream (multicast) path.
+///
+/// Each parent holds a window of `window_frames` data frames /
+/// `window_bytes` payload bytes per child. Sending a downstream data frame
+/// spends credit; a child returns credit with a
+/// [`crate::Message::CreditGrant`] once it has consumed at least
+/// `low_watermark` frames. When a child's window is exhausted the parent
+/// *buffers* further frames for it and pauses wave admission on the
+/// affected streams instead of declaring the child dead — fan-out slows to
+/// the slowest live child. Control traffic (stream lifecycle, shutdown,
+/// grants themselves) never spends credit, so the control plane stays live
+/// behind any data backlog.
+///
+/// Liveness: a child whose window stays closed past the grant deadline
+/// (the supervisor's `ack_timeout` when one is armed, else
+/// [`NetworkConfig::writer_send_deadline`]) is handed to the failure
+/// detector exactly as before — flow control degrades into today's
+/// behavior rather than wedging.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowConfig {
+    /// Downstream data frames a parent may have outstanding (sent but not
+    /// yet granted back) per child. `0` disables flow control entirely:
+    /// sends never pause and a full writer queue is treated as a child
+    /// failure, the pre-flow-control behavior.
+    pub window_frames: u64,
+    /// Outstanding payload bytes per child; whichever of the two limits is
+    /// hit first closes the window. `0` means no byte limit (frames only).
+    pub window_bytes: u64,
+    /// Consumed frames a receiver accumulates before returning a grant.
+    /// Lower values keep the window fuller at the cost of more control
+    /// frames; must be well below `window_frames` to avoid stop-and-go.
+    pub low_watermark: u64,
+}
+
+impl Default for FlowConfig {
+    fn default() -> Self {
+        FlowConfig {
+            window_frames: 64,
+            window_bytes: 1 << 20,
+            low_watermark: 16,
+        }
+    }
+}
+
+impl FlowConfig {
+    /// Whether credit windows are in force.
+    pub fn enabled(&self) -> bool {
+        self.window_frames > 0
+    }
+
+    /// The watermark actually used by receivers: clamped to half the frame
+    /// window (minimum 1), so a misconfigured `low_watermark >=
+    /// window_frames` can never deadlock the protocol — the sender would
+    /// run out of credit before the receiver ever granted.
+    pub fn effective_watermark(&self) -> u64 {
+        self.low_watermark
+            .max(1)
+            .min((self.window_frames / 2).max(1))
+    }
+
+    /// The byte window actually enforced: `window_bytes`, with `0` meaning
+    /// unlimited. Senders also charge each frame at most this much, so one
+    /// frame larger than the whole byte window still fits through a fully
+    /// open window instead of parking forever.
+    pub fn effective_window_bytes(&self) -> u64 {
+        if self.window_bytes == 0 {
+            u64::MAX
+        } else {
+            self.window_bytes
+        }
+    }
+
+    /// Flow control off: the legacy declare-the-child-dead behavior.
+    pub fn disabled() -> Self {
+        FlowConfig {
+            window_frames: 0,
+            window_bytes: 0,
+            low_watermark: 0,
+        }
+    }
+}
+
 /// Configuration shared by every process of one network.
 #[derive(Debug, Clone)]
 pub struct NetworkConfig {
@@ -119,6 +201,10 @@ pub struct NetworkConfig {
     /// keeps today's flush-on-drain latency; raising it trades latency for
     /// fewer, larger syscall batches on the fan-in path.
     pub batch: tbon_transport::BatchConfig,
+    /// Downstream credit windows (see [`FlowConfig`]). Enabled by default;
+    /// set `flow.window_frames = 0` to restore the legacy behavior where a
+    /// persistently slow child is declared dead.
+    pub flow: FlowConfig,
 }
 
 impl NetworkConfig {
@@ -147,6 +233,7 @@ impl Default for NetworkConfig {
             supervisor: None,
             filter_pool: FilterPoolConfig::default(),
             batch: writer.batch,
+            flow: FlowConfig::default(),
         }
     }
 }
@@ -171,6 +258,31 @@ mod tests {
             "default batching must not add latency"
         );
         assert!(c.batch.max_frames > 1, "drain coalescing still batches");
+        assert!(c.flow.enabled(), "credit flow control on by default");
+        assert!(
+            c.flow.low_watermark < c.flow.window_frames,
+            "watermark must leave headroom or the window stop-and-goes"
+        );
+        assert!(c.flow.window_bytes > 0);
+        assert_eq!(c.flow.effective_window_bytes(), c.flow.window_bytes);
+        assert_eq!(
+            FlowConfig {
+                window_bytes: 0,
+                ..FlowConfig::default()
+            }
+            .effective_window_bytes(),
+            u64::MAX,
+            "zero byte window means frames-only limiting"
+        );
+        assert!(!FlowConfig::disabled().enabled());
+        // A pathological watermark can never deadlock: it is clamped below
+        // the frame window.
+        let bad = FlowConfig {
+            low_watermark: 1000,
+            ..FlowConfig::default()
+        };
+        assert!(bad.effective_watermark() <= bad.window_frames / 2);
+        assert!(bad.effective_watermark() >= 1);
     }
 
     #[test]

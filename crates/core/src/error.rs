@@ -39,7 +39,11 @@ impl TbonError {
     /// Whether retrying the operation later could plausibly succeed:
     /// timeouts and transient transport faults (backpressure, I/O hiccups).
     /// The supervisor — and any caller with its own retry loop — branches
-    /// on this instead of string-matching variants.
+    /// on this instead of string-matching variants. The send path honors
+    /// the same contract: with credit flow control on
+    /// ([`crate::FlowConfig::enabled`]) a backpressured downstream frame is
+    /// buffered behind the closed window and retried on the next
+    /// [`crate::Message::CreditGrant`], not escalated to a child death.
     pub fn is_transient(&self) -> bool {
         match self {
             TbonError::Timeout => true,
@@ -122,7 +126,9 @@ mod tests {
 
     #[test]
     fn taxonomy_classifies_transient_vs_fatal() {
-        // Transient: worth a retry.
+        // Transient: worth a retry. Backpressure in particular is what the
+        // flow-controlled send path recovers from by parking the frame
+        // until the child grants credit — it must never classify as fatal.
         assert!(TbonError::Timeout.is_transient());
         assert!(TbonError::Transport(TransportError::Backpressure(4)).is_transient());
         assert!(TbonError::Transport(TransportError::Io("reset".into())).is_transient());

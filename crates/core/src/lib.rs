@@ -39,7 +39,7 @@ pub mod telemetry;
 pub mod value;
 
 pub use backend::{BackendContext, BackendEvent, BackendStream};
-pub use config::{FilterPoolConfig, NetworkConfig, RetryPolicy};
+pub use config::{FilterPoolConfig, FlowConfig, NetworkConfig, RetryPolicy};
 pub use consumer::{Deadline, StreamConsumer};
 pub use error::{Result, TbonError};
 pub use filter::{

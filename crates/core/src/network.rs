@@ -87,8 +87,14 @@ impl NetworkBuilder {
         self
     }
 
-    /// Tune runtime parameters.
-    pub fn config(mut self, config: NetworkConfig) -> Self {
+    /// Tune runtime parameters. Merges rather than overwrites: a supervisor
+    /// already armed via [`NetworkBuilder::retry_policy`] stays armed unless
+    /// the incoming config carries its own policy, so the two setters
+    /// compose in either order.
+    pub fn config(mut self, mut config: NetworkConfig) -> Self {
+        if config.supervisor.is_none() {
+            config.supervisor = self.config.supervisor.take();
+        }
         self.config = config;
         self
     }
@@ -225,6 +231,7 @@ impl NetworkBuilder {
                         Rank(parent.0),
                         endpoint,
                         config.orphan_grace,
+                        config.flow,
                     );
                     let f = backend_fn.clone();
                     handles.push(spawn_named(
@@ -543,7 +550,13 @@ impl Network {
         };
         let endpoint = self.transport.add_node(new_id.0)?;
         self.transport.connect(parent.0, new_id.0)?;
-        let ctx = BackendContext::new(Rank(new_id.0), parent, endpoint, self.config.orphan_grace);
+        let ctx = BackendContext::new(
+            Rank(new_id.0),
+            parent,
+            endpoint,
+            self.config.orphan_grace,
+            self.config.flow,
+        );
         let f = self.backend_fn.clone();
         self.handles.push(spawn_named(
             format!("{}-be-{}", self.config.name, new_id.0),
@@ -944,5 +957,57 @@ impl StreamConsumer for MetricsHandle {
                 }
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Regression: `.config()` after `.retry_policy()` used to overwrite
+    /// the whole `NetworkConfig`, silently disarming the supervisor. The
+    /// setters must compose in either order.
+    #[test]
+    fn builder_setters_merge_in_either_order() {
+        let policy = RetryPolicy {
+            max_attempts: 9,
+            ..RetryPolicy::default()
+        };
+
+        // retry_policy() then config(): the armed supervisor survives.
+        let b = NetworkBuilder::new(Topology::flat(2))
+            .retry_policy(policy.clone())
+            .config(NetworkConfig::default());
+        assert_eq!(
+            b.config.supervisor.as_ref().map(|p| p.max_attempts),
+            Some(9),
+            "config() after retry_policy() must not disarm the supervisor"
+        );
+
+        // config() then retry_policy(): same result, as before the fix.
+        let b = NetworkBuilder::new(Topology::flat(2))
+            .config(NetworkConfig::default())
+            .retry_policy(policy.clone());
+        assert_eq!(
+            b.config.supervisor.as_ref().map(|p| p.max_attempts),
+            Some(9)
+        );
+
+        // An explicit supervisor inside the incoming config still wins over
+        // an earlier retry_policy(): the later, more specific value.
+        let b = NetworkBuilder::new(Topology::flat(2))
+            .retry_policy(RetryPolicy::default())
+            .config(NetworkConfig {
+                supervisor: Some(policy),
+                ..NetworkConfig::default()
+            });
+        assert_eq!(
+            b.config.supervisor.as_ref().map(|p| p.max_attempts),
+            Some(9)
+        );
+
+        // And config() with no supervisor on a fresh builder stays unarmed.
+        let b = NetworkBuilder::new(Topology::flat(2)).config(NetworkConfig::default());
+        assert!(b.config.supervisor.is_none());
     }
 }

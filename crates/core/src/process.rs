@@ -12,7 +12,7 @@
 //! * control traffic: stream creation/teardown, on-demand filter loading,
 //!   failure notices and orderly shutdown.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -22,7 +22,7 @@ use parking_lot::{Mutex, RwLock};
 use tbon_topology::{NodeId, Role, Topology};
 use tbon_transport::{Delivery, Frame, Link, NodeEndpoint, TransportError};
 
-use crate::config::NetworkConfig;
+use crate::config::{FlowConfig, NetworkConfig};
 use crate::error::{Result, TbonError};
 use crate::executor::{execute, FilterJob, FilterPool, SharedFilter, WaveOutput};
 use crate::filter::{FilterContext, FilterRegistry, SyncContext, Synchronization, Transformation};
@@ -106,6 +106,36 @@ struct FilterProbe {
     ok: bool,
 }
 
+/// Downstream credit window toward one child (see [`FlowConfig`]).
+///
+/// Data frames spend credit; [`Message::CreditGrant`]s from the child
+/// return it. When credit runs out (or the transport itself pushes back)
+/// frames park in `pending` — strictly FIFO, so per-stream downstream
+/// order survives a stall — and the window is *closed* until the child
+/// grants again. `closed_since` measures the child's **silence**, not its
+/// backlog: every grant refreshes it, so only a child that stops granting
+/// entirely trips the liveness deadline.
+struct ChildFlow {
+    credit_frames: u64,
+    credit_bytes: u64,
+    /// Frames waiting for credit, with their charged wire size.
+    pending: VecDeque<(StreamId, Arc<Envelope>, u64)>,
+    /// Set while the window is closed with frames parked; refreshed by
+    /// every grant, cleared when the backlog drains.
+    closed_since: Option<Instant>,
+}
+
+impl ChildFlow {
+    fn open(cfg: FlowConfig) -> ChildFlow {
+        ChildFlow {
+            credit_frames: cfg.window_frames,
+            credit_bytes: cfg.effective_window_bytes(),
+            pending: VecDeque::new(),
+            closed_since: None,
+        }
+    }
+}
+
 /// Role-specific halves of a communication process.
 enum ProcessRole {
     Root {
@@ -165,6 +195,25 @@ pub(crate) struct CommProcess {
     /// (the supervisor reattaching a back-end whose link transiently died)
     /// can restore its membership instead of leaving it silently excluded.
     lost_leaf_streams: HashMap<Rank, Vec<StreamId>>,
+    /// Per-child downstream credit windows; populated lazily on the first
+    /// downstream data frame to each child. Empty when flow is disabled.
+    flow: HashMap<Rank, ChildFlow>,
+    /// How many downstream frames are parked behind closed windows, per
+    /// stream. A stream with parked frames has its wave admission paused
+    /// (see [`CommProcess::process_waves`]).
+    parked_by_stream: HashMap<StreamId, usize>,
+    /// Waves released by synchronization while their stream's window was
+    /// closed, re-admitted in order once the backlog drains.
+    held_waves: HashMap<StreamId, Vec<Vec<Packet>>>,
+    /// Downstream data frames consumed from the parent but not yet granted
+    /// back (internal nodes only; grants are deferred while any of our own
+    /// child windows is closed, which is what propagates pressure up).
+    consumed_frames: u64,
+    consumed_bytes: u64,
+    /// When the last zero-credit keepalive grant went to the parent.
+    /// Deferred grants must not read as death upstream, so a paced
+    /// `CreditGrant { 0, 0 }` proves liveness while pressure holds.
+    last_zero_grant: Option<Instant>,
     role: ProcessRole,
 }
 
@@ -258,6 +307,12 @@ impl CommProcess {
             events: EventRing::new(EVENT_RING_CAP),
             metrics: None,
             lost_leaf_streams: HashMap::new(),
+            flow: HashMap::new(),
+            parked_by_stream: HashMap::new(),
+            held_waves: HashMap::new(),
+            consumed_frames: 0,
+            consumed_bytes: 0,
+            last_zero_grant: None,
             role: ProcessRole::Internal { parent },
         }
     }
@@ -295,6 +350,12 @@ impl CommProcess {
             events: EventRing::new(EVENT_RING_CAP),
             metrics: None,
             lost_leaf_streams: HashMap::new(),
+            flow: HashMap::new(),
+            parked_by_stream: HashMap::new(),
+            held_waves: HashMap::new(),
+            consumed_frames: 0,
+            consumed_bytes: 0,
+            last_zero_grant: None,
             role: ProcessRole::Root {
                 fe_cmd,
                 fe_events,
@@ -462,6 +523,7 @@ impl CommProcess {
             }
         }
         let routes = self.streams[&stream_id].down_routes.clone();
+        let flow_on = self.config.flow.enabled();
         let mut failed: Vec<Rank> = Vec::new();
         for pkt in &outputs {
             // One envelope per packet: the first wire child serializes it,
@@ -471,23 +533,283 @@ impl CommProcess {
                 if failed.contains(child) {
                     continue;
                 }
-                if let Err(TbonError::Transport(
-                    TransportError::Backpressure(_) | TransportError::Closed(_),
-                )) = self.send_to_noted(*child, &msg)
-                {
+                let child_gone = if flow_on {
+                    // Credit window: a slow child pauses (frame parks until
+                    // it grants) instead of dying; only a severed link — or
+                    // a window silent past the grant deadline, handled in
+                    // fire_deadlines — is a failure.
+                    self.flow_send_down(stream_id, *child, &msg)
+                } else {
+                    // Legacy path: a child that blew its send deadline (or
+                    // whose link died) is declared gone now rather than on
+                    // the eventual disconnect, so one slow subscriber never
+                    // wedges the stream for its siblings.
+                    matches!(
+                        self.send_to_noted(*child, &msg),
+                        Err(TbonError::Transport(
+                            TransportError::Backpressure(_) | TransportError::Closed(_),
+                        ))
+                    )
+                };
+                if child_gone {
                     failed.push(*child);
                 }
             }
         }
-        // A child that blew its send deadline (or whose link died) is gone:
-        // declare the failure now rather than waiting on a disconnect, so
-        // one slow subscriber never wedges the stream for its siblings.
         for child in failed {
             self.handle_child_failure(child);
         }
         for pkt in reverse {
             self.emit_up(pkt);
         }
+    }
+
+    /// Downstream data send under flow control. Spends window credit and
+    /// sends, or parks the frame behind the closed window. Returns true iff
+    /// the child's link is actually gone and it must be declared failed —
+    /// backpressure and an exhausted window are pauses, not verdicts.
+    fn flow_send_down(&mut self, stream_id: StreamId, child: Rank, env: &Arc<Envelope>) -> bool {
+        let cfg = self.config.flow;
+        // Charge at most the whole byte window per frame: an oversized frame
+        // costs everything but still fits through a fully open window.
+        let len = (env.encoded_len() as u64).min(cfg.effective_window_bytes());
+        let must_park = {
+            let fl = self
+                .flow
+                .entry(child)
+                .or_insert_with(|| ChildFlow::open(cfg));
+            // FIFO: once anything is parked, everything behind it parks too.
+            if !fl.pending.is_empty() || fl.credit_frames == 0 || fl.credit_bytes < len {
+                true
+            } else {
+                fl.credit_frames -= 1;
+                fl.credit_bytes -= len;
+                false
+            }
+        };
+        if must_park {
+            self.park_down_frame(stream_id, child, Arc::clone(env), len);
+            return false;
+        }
+        match self.send_to(child, env) {
+            Ok(()) => false,
+            Err(TbonError::Transport(TransportError::Backpressure(_))) => {
+                // The transport's own queue is full: transient. Refund the
+                // credit (nothing was transmitted) and park the frame.
+                if let Some(fl) = self.flow.get_mut(&child) {
+                    fl.credit_frames += 1;
+                    fl.credit_bytes += len;
+                }
+                self.park_down_frame(stream_id, child, Arc::clone(env), len);
+                false
+            }
+            Err(_) => {
+                self.perf.sends_dropped += 1;
+                if self.failed_sends_reported.insert(child) {
+                    let rank = self.rank;
+                    self.emit_event(NetEvent::SendFailed { rank, peer: child });
+                }
+                true
+            }
+        }
+    }
+
+    /// Park a downstream frame behind `child`'s closed window and pause
+    /// wave admission for its stream.
+    fn park_down_frame(&mut self, stream_id: StreamId, child: Rank, env: Arc<Envelope>, len: u64) {
+        let cfg = self.config.flow;
+        let fl = self
+            .flow
+            .entry(child)
+            .or_insert_with(|| ChildFlow::open(cfg));
+        fl.closed_since.get_or_insert_with(Instant::now);
+        fl.pending.push_back((stream_id, env, len));
+        *self.parked_by_stream.entry(stream_id).or_insert(0) += 1;
+        self.perf.window_closed += 1;
+    }
+
+    /// A parked frame left `child`'s backlog (sent or abandoned): drop its
+    /// admission hold, collecting streams whose last parked frame it was.
+    fn note_unparked(&mut self, stream_id: StreamId, reopened: &mut Vec<StreamId>) {
+        if let Some(n) = self.parked_by_stream.get_mut(&stream_id) {
+            *n -= 1;
+            if *n == 0 {
+                self.parked_by_stream.remove(&stream_id);
+                reopened.push(stream_id);
+            }
+        }
+    }
+
+    /// Credits came back from `child`: refresh its liveness clock, account
+    /// the stalled time, and retry its parked backlog in order.
+    fn handle_credit_grant(&mut self, from: Rank, frames: u64, bytes: u64) {
+        if !self.config.flow.enabled() {
+            return;
+        }
+        let cfg = self.config.flow;
+        let Some(fl) = self.flow.get_mut(&from) else {
+            // A grant from a peer we never sent data to (or one already
+            // declared dead): stale, ignore.
+            return;
+        };
+        // Cap at the window so duplicated or post-adoption grants can
+        // never inflate outstanding capacity beyond the configured bound.
+        fl.credit_frames = fl
+            .credit_frames
+            .saturating_add(frames)
+            .min(cfg.window_frames);
+        fl.credit_bytes = fl
+            .credit_bytes
+            .saturating_add(bytes)
+            .min(cfg.effective_window_bytes());
+        // The grant is proof of life: account the closed stretch so far and
+        // restart the silence clock (flush_pending clears it if the backlog
+        // drains completely).
+        if let Some(t) = fl.closed_since.take() {
+            self.perf.credits_stalled_us += t.elapsed().as_micros() as u64;
+            if !fl.pending.is_empty() {
+                fl.closed_since = Some(Instant::now());
+            }
+        }
+        self.flush_pending(from);
+    }
+
+    /// Send as much of `child`'s parked backlog as its window now allows;
+    /// reopen wave admission for streams whose backlog fully drained, and
+    /// pass any freed pressure upstream as a grant of our own.
+    fn flush_pending(&mut self, child: Rank) {
+        let mut reopened: Vec<StreamId> = Vec::new();
+        let mut child_gone = false;
+        loop {
+            let (stream_id, env, len) = {
+                let Some(fl) = self.flow.get_mut(&child) else {
+                    break;
+                };
+                let Some((_, _, len)) = fl.pending.front() else {
+                    fl.closed_since = None;
+                    break;
+                };
+                if fl.credit_frames == 0 || fl.credit_bytes < *len {
+                    break;
+                }
+                let (s, e, l) = fl.pending.pop_front().expect("front checked");
+                fl.credit_frames -= 1;
+                fl.credit_bytes -= l;
+                (s, e, l)
+            };
+            match self.send_to(child, &env) {
+                Ok(()) => self.note_unparked(stream_id, &mut reopened),
+                Err(TbonError::Transport(TransportError::Backpressure(_))) => {
+                    // Transport queue still full: refund and put it back.
+                    if let Some(fl) = self.flow.get_mut(&child) {
+                        fl.credit_frames += 1;
+                        fl.credit_bytes += len;
+                        fl.pending.push_front((stream_id, env, len));
+                    }
+                    break;
+                }
+                Err(_) => {
+                    self.perf.sends_dropped += 1;
+                    self.note_unparked(stream_id, &mut reopened);
+                    child_gone = true;
+                    break;
+                }
+            }
+        }
+        self.release_held_waves(reopened);
+        if child_gone {
+            self.handle_child_failure(child);
+        }
+        self.maybe_send_grant();
+    }
+
+    /// Re-admit waves held while their stream's downstream window was
+    /// closed, oldest first.
+    fn release_held_waves(&mut self, streams: Vec<StreamId>) {
+        for stream_id in streams {
+            if let Some(waves) = self.held_waves.remove(&stream_id) {
+                self.process_waves(stream_id, waves);
+            }
+        }
+    }
+
+    /// Forget a dead child's window: abandon its backlog (reopening wave
+    /// admission where it held the last parked frame) and let any deferred
+    /// grant of ours finally travel upstream.
+    fn drop_flow_state(&mut self, child: Rank) {
+        let Some(fl) = self.flow.remove(&child) else {
+            return;
+        };
+        if let Some(t) = fl.closed_since {
+            self.perf.credits_stalled_us += t.elapsed().as_micros() as u64;
+        }
+        let mut reopened: Vec<StreamId> = Vec::new();
+        for (stream_id, _, _) in fl.pending {
+            self.note_unparked(stream_id, &mut reopened);
+        }
+        self.release_held_waves(reopened);
+        self.maybe_send_grant();
+    }
+
+    /// Return consumed downstream credit to the parent once the watermark
+    /// is reached — but not while any of our own child windows has a parked
+    /// backlog: withholding the grant closes the parent's window toward us
+    /// in turn, which is how pressure from a slow leaf climbs the tree hop
+    /// by hop. While deferring, a periodic *zero-credit* grant keeps
+    /// flowing instead: it refreshes the parent's silence clock (deferral
+    /// is pressure, not death) without returning any capacity.
+    fn maybe_send_grant(&mut self) {
+        if !self.config.flow.enabled() {
+            return;
+        }
+        let parent = match &self.role {
+            ProcessRole::Internal { parent } => *parent,
+            ProcessRole::Root { .. } => return,
+        };
+        if self.flow.values().any(|f| !f.pending.is_empty()) {
+            let now = Instant::now();
+            let period = self.grant_deadline() / 4;
+            let due = self
+                .last_zero_grant
+                .is_none_or(|t| now.duration_since(t) >= period);
+            if due {
+                let msg = envelope(Message::CreditGrant {
+                    frames: 0,
+                    bytes: 0,
+                });
+                let _ = self.send_to(parent, &msg);
+                self.last_zero_grant = Some(now);
+            }
+            return;
+        }
+        self.last_zero_grant = None;
+        if self.consumed_frames == 0
+            || self.consumed_frames < self.config.flow.effective_watermark()
+        {
+            return;
+        }
+        let msg = envelope(Message::CreditGrant {
+            frames: self.consumed_frames,
+            bytes: self.consumed_bytes,
+        });
+        self.consumed_frames = 0;
+        self.consumed_bytes = 0;
+        if self.send_to(parent, &msg).is_ok() {
+            self.perf.grants_sent += 1;
+        }
+    }
+
+    /// How long a closed window may stay silent (no grants at all) before
+    /// the child is handed to the failure detector. The supervisor's ack
+    /// timeout when one is armed — recovery owns liveness then — else the
+    /// writer send deadline, the knob that bounded slow-peer patience
+    /// before flow control existed.
+    fn grant_deadline(&self) -> Duration {
+        self.config
+            .supervisor
+            .as_ref()
+            .map(|p| p.ack_timeout)
+            .unwrap_or(self.config.writer_send_deadline)
     }
 
     /// Hand freshly released waves to the execution plane: pooled when the
@@ -498,6 +820,15 @@ impl CommProcess {
     /// are applied by [`CommProcess::apply_wave_output`].
     fn process_waves(&mut self, stream_id: StreamId, waves: Vec<Vec<Packet>>) {
         if waves.is_empty() {
+            return;
+        }
+        // Admission pause: while this stream has downstream frames parked
+        // behind a closed credit window, hold freshly released waves
+        // instead of executing them — executing would only pile more
+        // output onto the backlog. They re-enter (in order) through
+        // release_held_waves once the slowest child drains.
+        if self.parked_by_stream.contains_key(&stream_id) {
+            self.held_waves.entry(stream_id).or_default().extend(waves);
             return;
         }
         let is_root = self.is_root();
@@ -526,8 +857,7 @@ impl CommProcess {
                     .min()
                     .unwrap_or(0);
                 let wave_bytes: usize = wave.iter().map(|p| p.value().encoded_len()).sum();
-                let pooled =
-                    pool_enabled && (st.in_flight > 0 || wave_bytes >= inline_below);
+                let pooled = pool_enabled && (st.in_flight > 0 || wave_bytes >= inline_below);
                 let job = FilterJob {
                     stream: stream_id,
                     filter: Arc::clone(&st.tfilter),
@@ -741,6 +1071,10 @@ impl CommProcess {
     fn handle_close_stream(&mut self, msg: &Arc<Envelope>, stream_id: StreamId) {
         if let Some(st) = self.streams.remove(&stream_id) {
             self.events.push("stream_close", stream_id.to_string());
+            // Held waves die with the stream; frames already parked behind
+            // closed windows still flush on credit (children drop data for
+            // streams they no longer know).
+            self.held_waves.remove(&stream_id);
             for child in st.down_routes {
                 let _ = self.send_to_noted(child, msg);
             }
@@ -870,6 +1204,7 @@ impl CommProcess {
             return;
         }
         self.dead_children.insert(child);
+        self.drop_flow_state(child);
 
         if self.shutting_down {
             if self.note_shutdown_ack(child) {
@@ -998,6 +1333,10 @@ impl CommProcess {
     fn handle_adopt(&mut self, child: Rank) {
         self.dead_children.remove(&child);
         self.events.push("adopt_child", child.to_string());
+        // An adopted (or re-adopted) child starts with a fresh, full
+        // window: whatever credit state predates the reconfiguration
+        // belongs to a link that no longer exists.
+        self.drop_flow_state(child);
         // A re-adopted leaf gets its stream memberships back (they were
         // stripped when its loss was detected); the route recompute below
         // then rebuilds expected/down_routes from the restored member sets.
@@ -1067,6 +1406,25 @@ impl CommProcess {
     fn fire_deadlines(&mut self) {
         let now = Instant::now();
         self.publish_metrics(now);
+        // Liveness through closed windows: a child whose window has been
+        // closed with zero grants for a whole grant deadline is not slow,
+        // it is gone — the failure detector stays authoritative and flow
+        // control degrades into the legacy kill instead of wedging.
+        let deadline = self.grant_deadline();
+        let silent: Vec<Rank> = self
+            .flow
+            .iter()
+            .filter(|(_, f)| f.closed_since.is_some_and(|t| now >= t + deadline))
+            .map(|(c, _)| *c)
+            .collect();
+        for child in silent {
+            self.events.push("flow_silent", child.to_string());
+            self.handle_child_failure(child);
+        }
+        // While we are the one deferring grants (parked backlog toward a
+        // slow child), keep the zero-credit keepalive flowing so our own
+        // parent's silence clock doesn't mistake pressure for death.
+        self.maybe_send_grant();
         let due: Vec<StreamId> = self
             .streams
             .iter()
@@ -1088,7 +1446,8 @@ impl CommProcess {
         }
     }
 
-    /// Earliest pending sync or metrics-publish deadline.
+    /// Earliest pending sync, metrics-publish, or closed-window liveness
+    /// deadline.
     fn next_deadline(&self) -> Option<Instant> {
         let sync = self
             .streams
@@ -1096,10 +1455,13 @@ impl CommProcess {
             .filter_map(|st| st.sync.next_deadline())
             .min();
         let publish = self.metrics.as_ref().map(|m| m.next_fire);
-        match (sync, publish) {
-            (Some(a), Some(b)) => Some(a.min(b)),
-            (a, b) => a.or(b),
-        }
+        let grant_deadline = self.grant_deadline();
+        let stall = self
+            .flow
+            .values()
+            .filter_map(|f| f.closed_since.map(|t| t + grant_deadline))
+            .min();
+        [sync, publish, stall].into_iter().flatten().min()
     }
 
     /// If the publish interval elapsed, build this interval's
@@ -1205,8 +1567,18 @@ impl CommProcess {
                 value,
             } => {
                 self.perf.packets_down += 1;
+                let wire = msg.encoded_len() as u64;
                 let pkt = Packet::stamped(*stream, *tag, *origin, *sent_us, value.clone());
                 self.send_down_packet(*stream, pkt);
+                // The frame has left our inbox (forwarded or parked toward
+                // children): its window slot at the parent is consumable
+                // again — unless our own windows are closed, in which case
+                // the grant is withheld and the pressure climbs.
+                if self.config.flow.enabled() && !self.is_root() {
+                    self.consumed_frames += 1;
+                    self.consumed_bytes += wire;
+                    self.maybe_send_grant();
+                }
                 false
             }
             Message::NewStream { .. } => {
@@ -1287,6 +1659,11 @@ impl CommProcess {
                 false
             }
             Message::EventLog { .. } => false, // only the control endpoint cares
+            Message::CreditGrant { frames, bytes } => {
+                self.perf.control += 1;
+                self.handle_credit_grant(from, *frames, *bytes);
+                false
+            }
         }
     }
 

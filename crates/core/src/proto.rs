@@ -129,6 +129,12 @@ pub enum Message {
         events: Vec<LoggedEvent>,
         dropped: u64,
     },
+    /// Flow control (child → parent): the child consumed downstream data
+    /// frames and returns the window capacity they occupied. A sender whose
+    /// window for that child was closed may resume dequeuing. Credits are
+    /// capped at the configured window on receipt, so a duplicated or
+    /// replayed grant can never inflate the window.
+    CreditGrant { frames: u64, bytes: u64 },
 }
 
 /// Lifetime activity counters of one communication process — the
@@ -170,6 +176,14 @@ pub struct PerfCounters {
     /// Frames carried inside those batches; `frames_batched /
     /// batches_sent` is the average batch occupancy.
     pub frames_batched: u64,
+    /// Cumulative wall-clock microseconds downstream sends spent parked
+    /// behind a closed credit window (summed across children).
+    pub credits_stalled_us: u64,
+    /// `CreditGrant` frames this process sent to its parent.
+    pub grants_sent: u64,
+    /// Times a downstream send found a child's credit window closed and
+    /// buffered the frame instead of transmitting.
+    pub window_closed: u64,
 }
 
 impl PerfCounters {
@@ -193,6 +207,11 @@ impl PerfCounters {
             filter_busy_us: self.filter_busy_us.saturating_sub(earlier.filter_busy_us),
             batches_sent: self.batches_sent.saturating_sub(earlier.batches_sent),
             frames_batched: self.frames_batched.saturating_sub(earlier.frames_batched),
+            credits_stalled_us: self
+                .credits_stalled_us
+                .saturating_sub(earlier.credits_stalled_us),
+            grants_sent: self.grants_sent.saturating_sub(earlier.grants_sent),
+            window_closed: self.window_closed.saturating_sub(earlier.window_closed),
         }
     }
 
@@ -216,13 +235,18 @@ impl PerfCounters {
         self.filter_busy_us = self.filter_busy_us.saturating_add(other.filter_busy_us);
         self.batches_sent = self.batches_sent.saturating_add(other.batches_sent);
         self.frames_batched = self.frames_batched.saturating_add(other.frames_batched);
+        self.credits_stalled_us = self
+            .credits_stalled_us
+            .saturating_add(other.credits_stalled_us);
+        self.grants_sent = self.grants_sent.saturating_add(other.grants_sent);
+        self.window_closed = self.window_closed.saturating_add(other.window_closed);
     }
 }
 
 /// Wire size of an encoded [`PerfCounters`].
-pub const PERF_COUNTERS_WIRE_LEN: usize = 14 * 8;
+pub const PERF_COUNTERS_WIRE_LEN: usize = 17 * 8;
 
-/// Encode counters as fourteen little-endian `u64`s (shared by
+/// Encode counters as seventeen little-endian `u64`s (shared by
 /// `PerfReport` and the telemetry `MetricsSample`).
 pub fn encode_perf_counters(c: &PerfCounters, buf: &mut Vec<u8>) {
     for v in [
@@ -240,6 +264,9 @@ pub fn encode_perf_counters(c: &PerfCounters, buf: &mut Vec<u8>) {
         c.filter_busy_us,
         c.batches_sent,
         c.frames_batched,
+        c.credits_stalled_us,
+        c.grants_sent,
+        c.window_closed,
     ] {
         buf.extend_from_slice(&v.to_le_bytes());
     }
@@ -247,7 +274,7 @@ pub fn encode_perf_counters(c: &PerfCounters, buf: &mut Vec<u8>) {
 
 /// Inverse of [`encode_perf_counters`].
 pub fn decode_perf_counters(r: &mut Reader<'_>) -> Result<PerfCounters> {
-    let mut vals = [0u64; 14];
+    let mut vals = [0u64; 17];
     for v in &mut vals {
         *v = r.u64()?;
     }
@@ -266,6 +293,9 @@ pub fn decode_perf_counters(r: &mut Reader<'_>) -> Result<PerfCounters> {
         filter_busy_us: vals[11],
         batches_sent: vals[12],
         frames_batched: vals[13],
+        credits_stalled_us: vals[14],
+        grants_sent: vals[15],
+        window_closed: vals[16],
     })
 }
 
@@ -380,6 +410,7 @@ const M_STREAM_PRUNE: u8 = 15;
 const M_PERF_REPORT: u8 = 14;
 const M_GET_EVENTS: u8 = 16;
 const M_EVENT_LOG: u8 = 17;
+const M_CREDIT_GRANT: u8 = 18;
 
 const EV_BACKEND_LOST: u8 = 1;
 const EV_BACKEND_JOINED: u8 = 2;
@@ -524,6 +555,11 @@ pub fn encode_message(msg: &Message) -> Vec<u8> {
                 put_str(&mut buf, &ev.detail);
             }
         }
+        Message::CreditGrant { frames, bytes } => {
+            buf.push(M_CREDIT_GRANT);
+            buf.extend_from_slice(&frames.to_le_bytes());
+            buf.extend_from_slice(&bytes.to_le_bytes());
+        }
         Message::Event(ev) => {
             buf.push(M_EVENT);
             match ev {
@@ -615,6 +651,7 @@ pub fn message_encoded_len(msg: &Message) -> usize {
         Message::GetPerf => 1,
         Message::PerfReport { .. } => 1 + 4 + PERF_COUNTERS_WIRE_LEN,
         Message::GetEvents => 1,
+        Message::CreditGrant { .. } => 1 + 8 + 8,
         Message::EventLog { events, .. } => {
             1 + 4
                 + 8
@@ -777,6 +814,10 @@ fn decode_message_inner(r: &mut Reader<'_>) -> Result<Message> {
                 dropped,
             }
         }
+        M_CREDIT_GRANT => Message::CreditGrant {
+            frames: r.u64()?,
+            bytes: r.u64()?,
+        },
         M_EVENT => {
             let ev_tag = r.u8()?;
             let ev = match ev_tag {
@@ -988,7 +1029,18 @@ mod tests {
                 filter_busy_us: 321,
                 batches_sent: 11,
                 frames_batched: 29,
+                credits_stalled_us: 4200,
+                grants_sent: 13,
+                window_closed: 3,
             },
+        });
+        roundtrip(Message::CreditGrant {
+            frames: 16,
+            bytes: 65_536,
+        });
+        roundtrip(Message::CreditGrant {
+            frames: 0,
+            bytes: 0,
         });
     }
 

@@ -409,6 +409,13 @@ impl MetricsSample {
         counter(&mut out, "tbon_filter_busy_us_total", c.filter_busy_us);
         counter(&mut out, "tbon_batches_sent_total", c.batches_sent);
         counter(&mut out, "tbon_frames_batched_total", c.frames_batched);
+        counter(
+            &mut out,
+            "tbon_credits_stalled_us_total",
+            c.credits_stalled_us,
+        );
+        counter(&mut out, "tbon_grants_sent_total", c.grants_sent);
+        counter(&mut out, "tbon_window_closed_total", c.window_closed);
         prom_histogram(&mut out, "tbon_wave_latency_us", &self.wave_latency_us);
         prom_histogram(&mut out, "tbon_filter_exec_ns", &self.filter_exec_ns);
         prom_histogram(&mut out, "tbon_queue_depth", &self.queue_depth);
@@ -451,6 +458,7 @@ impl MetricsSample {
                 "\"frames_sent\":{},\"bytes_sent\":{},\"encodes\":{},",
                 "\"sends_dropped\":{},\"waves_executed\":{},",
                 "\"filter_busy_us\":{},\"batches_sent\":{},\"frames_batched\":{},",
+                "\"credits_stalled_us\":{},\"grants_sent\":{},\"window_closed\":{},",
                 "\"wave_latency_us\":{},\"filter_exec_ns\":{},\"queue_depth\":{},",
                 "\"executor_wait_ns\":{},\"executor_queue_depth\":{},",
                 "\"level_packets_up\":[{}],\"events_dropped\":{}}}"
@@ -472,6 +480,9 @@ impl MetricsSample {
             c.filter_busy_us,
             c.batches_sent,
             c.frames_batched,
+            c.credits_stalled_us,
+            c.grants_sent,
+            c.window_closed,
             hist(&self.wave_latency_us),
             hist(&self.filter_exec_ns),
             hist(&self.queue_depth),
@@ -720,6 +731,9 @@ mod tests {
         s.counters.filter_busy_us = seed * 11;
         s.counters.batches_sent = seed + 2;
         s.counters.frames_batched = seed * 4;
+        s.counters.credits_stalled_us = seed * 7;
+        s.counters.grants_sent = seed + 1;
+        s.counters.window_closed = seed % 4;
         s.wave_latency_us.record(seed + 1);
         s.filter_exec_ns.record(seed * 100 + 7);
         s.queue_depth.record(seed % 5);

@@ -6,9 +6,9 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use tbon_core::{
-    BackendContext, BackendEvent, DataValue, FilterKind, FilterRegistry, NetEvent, NetworkBuilder,
-    NetworkConfig, Packet, Rank, StreamConsumer, StreamSpec, SyncPolicy, Tag, TbonError,
-    Transformation,
+    BackendContext, BackendEvent, DataValue, FilterKind, FilterRegistry, FlowConfig, NetEvent,
+    NetworkBuilder, NetworkConfig, Packet, Rank, StreamConsumer, StreamSpec, SyncPolicy, Tag,
+    TbonError, Transformation,
 };
 use tbon_topology::Topology;
 use tbon_transport::local::LocalTransport;
@@ -636,13 +636,17 @@ fn multicast_to_wire_children_encodes_exactly_once() {
 #[test]
 fn throttled_child_is_cut_off_while_siblings_keep_receiving() {
     // Rank 3's link is ~100 B/s behind a one-frame writer queue with a short
-    // send deadline; ranks 1 and 2 are unshaped. The root's event loop must
-    // never wedge on the slow child: its sends trip Backpressure, the first
-    // failure is reported, the child is declared dead, and the siblings keep
-    // receiving broadcasts throughout.
+    // send deadline; ranks 1 and 2 are unshaped. With credit flow control
+    // *disabled* (the pre-flow legacy behavior, opted into via
+    // `flow.window_frames = 0`), the root's event loop must never wedge on
+    // the slow child: its sends trip Backpressure, the first failure is
+    // reported, the child is declared dead, and the siblings keep receiving
+    // broadcasts throughout. The flow-controlled counterpart — the same
+    // slow child pausing instead of dying — lives in tests/flow_control.rs.
     let config = NetworkConfig {
         writer_queue_depth: 1,
         writer_send_deadline: Duration::from_millis(50),
+        flow: FlowConfig::disabled(),
         ..NetworkConfig::default()
     };
     let transport = ShapedTransport::with_edge_fn(LocalTransport::new(), |a, b| {

@@ -170,7 +170,7 @@ mod telemetry_props {
             (histogram_strategy(), histogram_strategy()),
             prop::collection::vec(0u64..1 << 48, 0..6),
             any::<u64>(),
-            prop::collection::vec(0u64..1 << 32, 14),
+            prop::collection::vec(0u64..1 << 32, 17),
         )
             .prop_map(
                 |(seq, interval_us, processes, wl, fe, qd, (ew, eq), levels, dropped, c)| {
@@ -193,6 +193,9 @@ mod telemetry_props {
                             filter_busy_us: c[11],
                             batches_sent: c[12],
                             frames_batched: c[13],
+                            credits_stalled_us: c[14],
+                            grants_sent: c[15],
+                            window_closed: c[16],
                         },
                         wave_latency_us: wl,
                         filter_exec_ns: fe,

@@ -262,8 +262,12 @@ pub fn build_overlay(
 /// Each outbound wire link owns a writer thread fed by a bounded queue.
 /// `send` enqueues without touching the socket; when the queue is full it
 /// blocks up to `send_deadline` and then fails with
-/// [`TransportError::Backpressure`] so the runtime can declare the peer dead
-/// instead of stalling the event loop behind one slow child.
+/// [`TransportError::Backpressure`] instead of stalling the event loop
+/// behind one slow child. Backpressure is a *transient* condition: a
+/// flow-controlled runtime parks the frame until the peer drains and
+/// grants more credit, and only escalates to a failure verdict when the
+/// peer stays silent past its liveness deadline. A runtime without flow
+/// control may still treat it as terminal for the peer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WriterConfig {
     /// Frames the per-link queue holds before `send` starts blocking.
@@ -320,8 +324,10 @@ impl Default for BatchConfig {
 pub enum TransportError {
     /// The peer's endpoint is gone; the frame was not delivered.
     Closed(PeerId),
-    /// The peer's writer queue stayed full past the configured deadline;
-    /// the peer is too slow to keep and should be treated as failed.
+    /// The peer's writer queue stayed full past the configured deadline.
+    /// Transient by contract ([`TransportError::is_transient`]): the peer
+    /// is slow, not necessarily gone — callers with flow control buffer
+    /// and retry; only a liveness deadline turns slowness into a failure.
     Backpressure(PeerId),
     /// Referenced a node id the transport has never seen.
     UnknownPeer(PeerId),

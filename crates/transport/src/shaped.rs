@@ -61,8 +61,10 @@ impl Shaping {
 /// The queue is bounded by [`WriterConfig::queue_depth`], mirroring the wire
 /// transports' writer links: when a shaped (slow) peer falls too far behind,
 /// `send` blocks up to [`WriterConfig::send_deadline`] and then fails with
-/// [`TransportError::Backpressure`] instead of buffering without limit —
-/// which is exactly the condition the runtime uses to declare a child dead.
+/// [`TransportError::Backpressure`] instead of buffering without limit — a
+/// transient signal a flow-controlled runtime absorbs by pausing the
+/// sender, and one a runtime without flow control escalates to a child
+/// failure.
 struct ShapedLink {
     inner: Arc<dyn Link>,
     to: PeerId,

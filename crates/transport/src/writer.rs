@@ -10,8 +10,10 @@
 //!   event loop never blocks on a socket.
 //! * When the queue is full, `send` blocks up to
 //!   [`WriterConfig::send_deadline`] and then fails with
-//!   [`TransportError::Backpressure`], closing the connection so the runtime
-//!   can declare the peer dead instead of stalling behind it.
+//!   [`TransportError::Backpressure`] rather than stalling behind the peer.
+//!   The error is transient by contract: a flow-controlled runtime parks
+//!   the frame and resumes on credit, while a runtime without flow control
+//!   may treat the slow peer as failed.
 //! * The writer coalesces queued frames into **batches** through a
 //!   `BufWriter`: a batch flushes when it reaches
 //!   [`BatchConfig::max_frames`] or [`BatchConfig::max_bytes`], or when

@@ -151,6 +151,10 @@ fn render_watch(sample: &MetricsSample, origin: Rank, elapsed: Duration) {
         "execution plane:     executed {}  filter-busy {}us ({busy_pct:.0}% of interval)  batches {}  frames batched {}",
         c.waves_executed, c.filter_busy_us, c.batches_sent, c.frames_batched
     );
+    println!(
+        "flow control:        windows closed {}  grants sent {}  stalled {}us",
+        c.window_closed, c.grants_sent, c.credits_stalled_us
+    );
     if sample.events_dropped > 0 {
         println!("events dropped:      {}", sample.events_dropped);
     }

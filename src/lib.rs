@@ -64,7 +64,7 @@ pub use tbon_transport as transport;
 pub mod prelude {
     pub use tbon_core::{
         BackendContext, BackendEvent, DataValue, Deadline, EventSnapshot, FilterRegistry,
-        LogHistogram, MetricsHandle, MetricsSample, NetEvent, Network, NetworkBuilder,
+        FlowConfig, LogHistogram, MetricsHandle, MetricsSample, NetEvent, Network, NetworkBuilder,
         NetworkConfig, Packet, PerfSnapshot, Rank, RetryPolicy, StreamConsumer, StreamHandle,
         StreamId, StreamSpec, SyncPolicy, Tag, TbonError,
     };

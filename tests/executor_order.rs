@@ -43,7 +43,9 @@ impl Transformation for SeqStamp {
 
 fn registry_with_probe() -> std::sync::Arc<FilterRegistry> {
     let reg = builtin_registry();
-    reg.register_transformation("test::seq_stamp", |_params| Ok(Box::new(SeqStamp { seq: 0 })));
+    reg.register_transformation("test::seq_stamp", |_params| {
+        Ok(Box::new(SeqStamp { seq: 0 }))
+    });
     reg
 }
 
@@ -164,8 +166,6 @@ fn chaos_run(workers: usize, seed: u64) -> Vec<Vec<u64>> {
             orphan_grace: Duration::from_secs(30),
             ..pool_config(workers)
         })
-        // After .config(): retry_policy() arms the supervisor inside the
-        // config, so a later .config() would disarm it.
         .retry_policy(RetryPolicy {
             ack_timeout: Duration::from_secs(2),
             ..RetryPolicy::default()
@@ -206,8 +206,6 @@ fn heal_run(workers: usize) -> Vec<Vec<u64>> {
             orphan_grace: Duration::from_secs(120),
             ..pool_config(workers)
         })
-        // After .config(): retry_policy() arms the supervisor inside the
-        // config, so a later .config() would disarm it.
         .retry_policy(RetryPolicy::default())
         .backend(burst_backend(0))
         .launch()

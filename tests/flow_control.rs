@@ -1,0 +1,291 @@
+//! Credit-based per-link flow control: slow children pause, not die.
+//!
+//! The seed runtime declared a child dead the moment a downstream send hit
+//! [`TransportError::Backpressure`], even though the error taxonomy calls
+//! backpressure transient. With [`FlowConfig`] windows on (the default), a
+//! slow child's window closes, its frames park, and its stream pauses —
+//! while siblings keep flowing and the failure detector still catches a
+//! child that is actually gone.
+//!
+//! The slow child is throttled with a [`FaultyTransport`] delay schedule
+//! that faults only its parent link: each of the leaf's own sends (replies
+//! and credit grants) sleeps in the leaf's thread, so it consumes
+//! downstream frames slower than its parent produces them and the parent's
+//! window closes for real.
+
+use std::time::Duration;
+
+use tbon::core::NetEvent;
+use tbon::prelude::*;
+use tbon::topology::TopologySpec;
+
+/// Echo one reply upstream per downstream packet.
+fn echo_backend() -> impl Fn(BackendContext) + Send + Sync {
+    |mut ctx: BackendContext| loop {
+        match ctx.next_event() {
+            Ok(BackendEvent::Packet { stream, packet }) => {
+                let _ = ctx.send(stream, packet.tag(), DataValue::I64(1));
+            }
+            Ok(BackendEvent::Shutdown) | Err(_) => break,
+            Ok(_) => continue,
+        }
+    }
+}
+
+/// Delay every frame on the `slow` leaf's parent link (and only there),
+/// sleeping in the sending thread — the flow-control throttle for one
+/// leaf. A link is spared when *either* endpoint is spared, so sparing
+/// everyone except the leaf and its parent faults exactly their edge.
+fn throttle_only(topo: &Topology, slow: Rank, delay: Duration) -> FaultPlan {
+    let parent = topo
+        .parent(tbon::topology::NodeId(slow.0))
+        .expect("slow leaf has a parent");
+    let mut plan = FaultPlan::new(0xF10).delay_frames(1.0, delay);
+    for n in topo.node_ids() {
+        if n.0 != slow.0 && n != parent {
+            plan = plan.spare(n.0);
+        }
+    }
+    plan
+}
+
+/// Fail on any event that means a child was declared dead or degraded.
+fn assert_no_kills(net: &Network, label: &str) {
+    while let Some(ev) = net.poll_event() {
+        match ev {
+            NetEvent::BackendLost { .. }
+            | NetEvent::SubtreeOrphaned { .. }
+            | NetEvent::Degraded { .. }
+            | NetEvent::SendFailed { .. } => {
+                panic!("{label}: slow-but-alive child must not be killed: {ev:?}")
+            }
+            _ => continue,
+        }
+    }
+}
+
+/// A throttled leaf stalls its own stream while a sibling stream through
+/// the other internal keeps flowing; once the backlog drains the slow leaf
+/// has every frame — paused, not killed, nothing lost.
+#[test]
+fn slow_child_pauses_its_stream_while_siblings_flow_and_catches_up() {
+    const SLOW_WAVES: usize = 200;
+    const FAST_WAVES: usize = 30;
+    let delay = Duration::from_millis(4);
+
+    let topo = TopologySpec::parse("2x2").unwrap().build();
+    let root = topo.root();
+    let internals: Vec<u32> = topo.children(root).to_vec();
+    let slow_leaf = Rank(topo.children(tbon::topology::NodeId(internals[0]))[0]);
+    let fast_leaves: Vec<Rank> = topo
+        .children(tbon::topology::NodeId(internals[1]))
+        .iter()
+        .map(|&n| Rank(n))
+        .collect();
+
+    let plan = throttle_only(&topo, slow_leaf, delay);
+    let mut cfg = NetworkConfig::default();
+    // A tiny window so the throttled leaf closes it within a few frames.
+    cfg.flow.window_frames = 4;
+    cfg.flow.low_watermark = 1;
+    let mut net = NetworkBuilder::new(topo)
+        .registry(builtin_registry())
+        .fault_plan(plan)
+        .config(cfg)
+        .backend(echo_backend())
+        .launch()
+        .unwrap();
+
+    let slow_stream = net.new_stream(StreamSpec::ranks([slow_leaf])).unwrap();
+    let fast_stream = net
+        .new_stream(StreamSpec::ranks(fast_leaves.clone()).transformation("builtin::count"))
+        .unwrap();
+
+    // Queue the whole slow burst first: it must jam the slow leaf's window
+    // long before the fast stream is even touched.
+    for i in 0..SLOW_WAVES {
+        slow_stream
+            .broadcast(Tag(i as u32), DataValue::Unit)
+            .unwrap();
+    }
+    for i in 0..FAST_WAVES {
+        fast_stream
+            .broadcast(Tag(i as u32), DataValue::Unit)
+            .unwrap();
+    }
+
+    // The sibling stream drains completely while the slow stream is stalled.
+    for i in 0..FAST_WAVES {
+        let pkt = fast_stream
+            .recv_within(Duration::from_secs(20))
+            .unwrap()
+            .unwrap_or_else(|| panic!("fast wave {i} stalled behind the slow sibling"));
+        assert_eq!(pkt.value().as_u64(), Some(fast_leaves.len() as u64));
+    }
+    // The throttled stream cannot have finished yet: its leaf needs two
+    // schedule delays per wave, a comfortable margin over the fast drain.
+    let mut slow_got = 0usize;
+    while slow_stream.poll().is_some() {
+        slow_got += 1;
+    }
+    assert!(
+        slow_got < SLOW_WAVES,
+        "slow stream finished ({slow_got}/{SLOW_WAVES}) before its throttle could bite"
+    );
+
+    // Catch-up: every parked wave arrives — paused, not dropped.
+    while slow_got < SLOW_WAVES {
+        slow_stream
+            .recv_within(Duration::from_secs(30))
+            .unwrap()
+            .unwrap_or_else(|| panic!("slow stream lost waves: got {slow_got}/{SLOW_WAVES}"));
+        slow_got += 1;
+    }
+
+    assert_no_kills(&net, "throttled leaf");
+    let total = net.perf_snapshot(Duration::from_secs(10)).unwrap().total();
+    assert!(
+        total.window_closed > 0,
+        "the slow leaf's window never closed — the test exercised nothing: {total:?}"
+    );
+    assert!(total.grants_sent > 0, "no credit grants flowed: {total:?}");
+    assert!(
+        total.credits_stalled_us > 0,
+        "no stalled time accounted: {total:?}"
+    );
+    assert_eq!(total.sends_dropped, 0, "flow control must not drop frames");
+    net.shutdown().unwrap();
+}
+
+/// Liveness through a closed window: a child that stops consuming (and so
+/// never grants) is still declared dead once its window stays silent past
+/// the grant deadline — flow control pauses the slow, not the gone.
+#[test]
+fn dead_child_is_still_detected_through_a_closed_window() {
+    let victim = Rank(3);
+    let mut cfg = NetworkConfig::default();
+    cfg.flow.window_frames = 2;
+    cfg.flow.low_watermark = 1;
+    // The grant deadline (no supervisor armed): how long a closed window
+    // may stay entirely silent before the detector fires.
+    cfg.writer_send_deadline = Duration::from_millis(400);
+    let mut net = NetworkBuilder::new(Topology::flat(3))
+        .registry(builtin_registry())
+        .config(cfg)
+        .backend(move |mut ctx: BackendContext| {
+            if ctx.rank() == victim {
+                // Wedged: never consumes, never grants. Sleeps well past
+                // the detection window, then exits.
+                std::thread::sleep(Duration::from_secs(5));
+                return;
+            }
+            loop {
+                match ctx.next_event() {
+                    Ok(BackendEvent::Packet { stream, packet }) => {
+                        let _ = ctx.send(stream, packet.tag(), DataValue::I64(1));
+                    }
+                    Ok(BackendEvent::Shutdown) | Err(_) => break,
+                    Ok(_) => continue,
+                }
+            }
+        })
+        .launch()
+        .unwrap();
+    let stream = net
+        .new_stream(StreamSpec::all().transformation("builtin::sum"))
+        .unwrap();
+
+    // Exhaust the victim's two-frame window and park frames behind it, so
+    // detection can only come from the silent-window deadline.
+    for i in 0..10u32 {
+        stream.broadcast(Tag(i), DataValue::Unit).unwrap();
+    }
+
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "detector never fired through the closed window"
+        );
+        match net.wait_event(Duration::from_secs(10)) {
+            Ok(NetEvent::BackendLost { rank, detected_by }) => {
+                assert_eq!(rank, victim);
+                assert_eq!(detected_by, Rank(0), "the victim's parent detects");
+                break;
+            }
+            Ok(NetEvent::Degraded { rank, detail }) => panic!("degraded {rank}: {detail}"),
+            Ok(_) => continue,
+            Err(e) => panic!("waiting for BackendLost: {e}"),
+        }
+    }
+
+    // The kill came from the flow-level silence deadline, recorded in the
+    // parent's event log.
+    let logs = net.event_logs(Duration::from_secs(10)).unwrap();
+    assert!(
+        logs.to_jsonl().contains("flow_silent"),
+        "expected a flow_silent verdict in the event logs:\n{}",
+        logs.to_jsonl()
+    );
+
+    // The survivors still answer.
+    stream.broadcast(Tag(99), DataValue::Unit).unwrap();
+    let pkt = stream
+        .recv_within(Duration::from_secs(10))
+        .unwrap()
+        .expect("surviving wave");
+    assert_eq!(pkt.value().as_i64(), Some(2));
+    net.shutdown().unwrap();
+}
+
+/// The issue's acceptance run: a 16-process tree (root + 3 internals + 12
+/// leaves) with one throttled leaf completes a 1000-wave run with zero
+/// child deaths — the multicast slows to the slowest live child where the
+/// seed runtime amputated it.
+#[test]
+fn sixteen_process_tree_with_throttled_leaf_completes_1k_waves_without_kills() {
+    const WAVES: usize = 1000;
+
+    let topo = TopologySpec::parse("3x4").unwrap().build();
+    assert_eq!(topo.node_count(), 16, "1 root + 3 internals + 12 leaves");
+    let slow_leaf = Rank(topo.leaves().last().unwrap().0);
+    let plan = throttle_only(&topo, slow_leaf, Duration::from_millis(1));
+
+    let mut cfg = NetworkConfig::default();
+    // Small enough that the throttled leaf's window provably closes during
+    // the run; large enough to keep its siblings streaming.
+    cfg.flow.window_frames = 8;
+    cfg.flow.low_watermark = 4;
+    let mut net = NetworkBuilder::new(topo)
+        .registry(builtin_registry())
+        .fault_plan(plan)
+        .config(cfg)
+        .backend(echo_backend())
+        .launch()
+        .unwrap();
+    let stream = net
+        .new_stream(StreamSpec::all().transformation("builtin::count"))
+        .unwrap();
+
+    // Pipeline the full run: everything past the windows parks and drains
+    // at the slow leaf's pace instead of killing it.
+    for i in 0..WAVES {
+        stream.broadcast(Tag(i as u32), DataValue::Unit).unwrap();
+    }
+    for i in 0..WAVES {
+        stream
+            .recv_within(Duration::from_secs(60))
+            .unwrap()
+            .unwrap_or_else(|| panic!("wave {i} never completed"));
+    }
+
+    assert_no_kills(&net, "acceptance run");
+    let total = net.perf_snapshot(Duration::from_secs(10)).unwrap().total();
+    assert!(
+        total.window_closed > 0,
+        "the run never closed a window — nothing was exercised: {total:?}"
+    );
+    assert!(total.grants_sent > 0);
+    assert_eq!(total.sends_dropped, 0);
+    net.shutdown().unwrap();
+}
