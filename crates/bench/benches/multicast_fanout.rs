@@ -33,6 +33,7 @@ fn down_packet(payload_len: usize) -> Message {
         tag: Tag(7),
         origin: Rank(0),
         sent_us: 0,
+        trace: 0,
         value: DataValue::Bytes(vec![0xA5; payload_len]),
     }
 }

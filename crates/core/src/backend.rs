@@ -10,12 +10,13 @@ use std::time::{Duration, Instant};
 
 use tbon_transport::{Delivery, NodeEndpoint};
 
-use crate::config::FlowConfig;
+use crate::config::{FlowConfig, TraceConfig};
 use crate::error::{Result, TbonError};
 use crate::packet::{Packet, Rank};
 use crate::process::{decode_frame, send_message};
 use crate::proto::{Envelope, Message};
 use crate::stream::{StreamId, StreamMode, Tag};
+use crate::telemetry::{now_us, SpanRing, TraceSpan, TraceStage, TRACE_FILTER};
 use crate::value::DataValue;
 
 /// What a back-end learns from its parent.
@@ -54,6 +55,17 @@ pub struct BackendContext {
     /// Downstream data frames consumed since the last grant to the parent.
     consumed_frames: u64,
     consumed_bytes: u64,
+    /// Sampled tracing (see [`TraceConfig`]): this back-end mints the trace
+    /// id for every `sample_every`-th send and records the injection span.
+    trace_cfg: TraceConfig,
+    /// The dedicated trace stream, once the front-end opens one. Injection
+    /// spans ship on it in-band; until then they wait in the ring.
+    trace_stream: Option<StreamId>,
+    /// Lifetime sends, for 1-in-N sampling.
+    sends: u64,
+    /// Trace ids minted here, for unique id construction.
+    traces_minted: u64,
+    spans: SpanRing,
 }
 
 impl BackendContext {
@@ -63,7 +75,9 @@ impl BackendContext {
         endpoint: NodeEndpoint,
         orphan_grace: Duration,
         flow: FlowConfig,
+        trace_cfg: TraceConfig,
     ) -> BackendContext {
+        let ring_cap = trace_cfg.ring_capacity;
         BackendContext {
             rank,
             parent,
@@ -75,6 +89,11 @@ impl BackendContext {
             flow,
             consumed_frames: 0,
             consumed_bytes: 0,
+            trace_cfg,
+            trace_stream: None,
+            sends: 0,
+            traces_minted: 0,
+            spans: SpanRing::new(ring_cap),
         }
     }
 
@@ -126,7 +145,7 @@ impl BackendContext {
     }
 
     /// Send one packet upstream on `stream`.
-    pub fn send(&self, stream: StreamId, tag: Tag, value: DataValue) -> Result<()> {
+    pub fn send(&mut self, stream: StreamId, tag: Tag, value: DataValue) -> Result<()> {
         if !self.streams.contains_key(&stream) {
             return Err(TbonError::StreamClosed(stream));
         }
@@ -135,16 +154,72 @@ impl BackendContext {
             .peers
             .get(self.parent.0)
             .ok_or(TbonError::NetworkDown)?;
+        // 1-in-N wave sampling: every `sample_every`-th send mints a trace
+        // id (rank in the high half, a local sequence in the low half) that
+        // rides the wire and marks the wave for span recording at each hop.
+        let trace = if self.trace_cfg.enabled() && self.trace_stream != Some(stream) {
+            self.sends += 1;
+            if self.sends.is_multiple_of(self.trace_cfg.sample_every) {
+                self.traces_minted += 1;
+                ((self.rank.0 as u64) << 32) | (self.traces_minted as u32 as u64)
+            } else {
+                0
+            }
+        } else {
+            0
+        };
+        let start_us = now_us();
         let msg = Arc::new(Envelope::new(Message::Up {
             stream,
             tag,
             origin: self.rank,
             // Injection stamp: the front-end resolves this against its own
             // clock to produce end-to-end wave latency.
-            sent_us: crate::telemetry::now_us(),
+            sent_us: start_us,
+            trace,
             value,
         }));
-        send_message(&link, &msg).map(|_| ())
+        let sent = send_message(&link, &msg).map(|_| ());
+        if trace != 0 {
+            self.spans.push(TraceSpan {
+                trace,
+                rank: self.rank.0,
+                stream: stream.0,
+                stage: TraceStage::BackendInject,
+                start_us,
+                dur_us: now_us().saturating_sub(start_us),
+                detail: 0,
+            });
+            self.flush_spans();
+        }
+        sent
+    }
+
+    /// Ship buffered injection spans on the trace stream, if one is open.
+    /// Called opportunistically after each sampled send — leaves have no
+    /// timer of their own, so span freshness tracks sampling activity.
+    fn flush_spans(&mut self) {
+        let Some(trace_stream) = self.trace_stream else {
+            return;
+        };
+        if self.spans.is_empty() {
+            return;
+        }
+        let Some(link) = self.endpoint.peers.get(self.parent.0) else {
+            return;
+        };
+        let batch = self
+            .spans
+            .drain_batch(self.trace_cfg.max_bytes_per_interval);
+        let msg = Arc::new(Envelope::new(Message::Up {
+            stream: trace_stream,
+            tag: Tag(0),
+            origin: self.rank,
+            sent_us: 0,
+            trace: 0,
+            value: batch.to_value(),
+        }));
+        let _ = send_message(&link, &msg);
     }
 
     /// Pull one delivery, respecting the user deadline (if any) and the
@@ -225,7 +300,12 @@ impl BackendContext {
             Delivery::Frame { from, frame } => {
                 let msg = decode_frame(frame)?;
                 Ok(match msg.msg() {
-                    Message::NewStream { stream, mode, .. } => {
+                    Message::NewStream {
+                        stream,
+                        mode,
+                        transformation,
+                        ..
+                    } => {
                         self.streams.insert(
                             *stream,
                             BackendStream {
@@ -233,18 +313,29 @@ impl BackendContext {
                                 mode: *mode,
                             },
                         );
-                        Some(BackendEvent::StreamOpened { stream: *stream })
+                        if transformation == TRACE_FILTER {
+                            // The tracing plane's own stream: remember it
+                            // for span shipping but keep it invisible to
+                            // application code (like the metrics stream,
+                            // which leaves never even join).
+                            self.trace_stream = Some(*stream);
+                            self.flush_spans();
+                            None
+                        } else {
+                            Some(BackendEvent::StreamOpened { stream: *stream })
+                        }
                     }
                     Message::Down {
                         stream,
                         tag,
                         origin,
                         sent_us,
+                        trace,
                         value,
                     } => {
                         let wire = msg.encoded_len() as u64;
                         let packet =
-                            Packet::stamped(*stream, *tag, *origin, *sent_us, value.clone());
+                            Packet::traced(*stream, *tag, *origin, *sent_us, *trace, value.clone());
                         let ev = BackendEvent::Packet {
                             stream: *stream,
                             packet,
@@ -254,7 +345,12 @@ impl BackendContext {
                     }
                     Message::CloseStream { stream } => {
                         self.streams.remove(stream);
-                        Some(BackendEvent::StreamClosed { stream: *stream })
+                        if self.trace_stream == Some(*stream) {
+                            self.trace_stream = None;
+                            None
+                        } else {
+                            Some(BackendEvent::StreamClosed { stream: *stream })
+                        }
                     }
                     Message::Shutdown => {
                         self.finished = true;

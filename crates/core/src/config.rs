@@ -166,6 +166,66 @@ impl FlowConfig {
     }
 }
 
+/// Sampled, in-band distributed tracing of waves (see DESIGN.md §12).
+///
+/// Back-ends mark every `sample_every`-th injected packet with a nonzero
+/// trace id that rides the wire next to the latency stamp; each stage the
+/// wave crosses at each hop — credit-park wait, decode, executor queue
+/// wait, filter execution, child-merge wait, upstream send — records a
+/// span into a bounded per-process ring using **local durations only**
+/// (`now_us` epochs are per-process and never compared across processes).
+/// Spans ship to the front-end on a dedicated trace stream opened with
+/// [`crate::Network::open_trace_stream`], capped at
+/// `max_bytes_per_interval` encoded bytes per publish interval per
+/// process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceConfig {
+    /// Sample one wave in every `sample_every` back-end sends. `0`
+    /// disables tracing entirely: no ids on the wire, no span recording,
+    /// the pre-tracing behavior. `1` traces every wave (tests only —
+    /// the overhead bound is stated for 64 and up).
+    pub sample_every: u64,
+    /// Spans each process's ring holds before the oldest are evicted
+    /// (evictions are counted and reported in the span batches).
+    pub ring_capacity: usize,
+    /// Encoded span bytes a process may ship per publish interval;
+    /// spans beyond the cap stay in the ring for the next interval.
+    pub max_bytes_per_interval: usize,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            sample_every: 0,
+            ring_capacity: 4096,
+            max_bytes_per_interval: 64 * 1024,
+        }
+    }
+}
+
+impl TraceConfig {
+    /// Whether wave sampling and span recording are in force.
+    pub fn enabled(&self) -> bool {
+        self.sample_every > 0
+    }
+
+    /// Tracing with a given sampling rate and the default ring/byte caps.
+    pub fn sampled(sample_every: u64) -> Self {
+        TraceConfig {
+            sample_every,
+            ..TraceConfig::default()
+        }
+    }
+
+    /// Tracing off: no trace ids are minted, no spans recorded.
+    pub fn disabled() -> Self {
+        TraceConfig {
+            sample_every: 0,
+            ..TraceConfig::default()
+        }
+    }
+}
+
 /// Configuration shared by every process of one network.
 #[derive(Debug, Clone)]
 pub struct NetworkConfig {
@@ -205,6 +265,9 @@ pub struct NetworkConfig {
     /// set `flow.window_frames = 0` to restore the legacy behavior where a
     /// persistently slow child is declared dead.
     pub flow: FlowConfig,
+    /// Sampled distributed tracing (see [`TraceConfig`]). Disabled by
+    /// default; set `trace.sample_every = 64` for 1-in-64 wave sampling.
+    pub trace: TraceConfig,
 }
 
 impl NetworkConfig {
@@ -234,6 +297,7 @@ impl Default for NetworkConfig {
             filter_pool: FilterPoolConfig::default(),
             batch: writer.batch,
             flow: FlowConfig::default(),
+            trace: TraceConfig::default(),
         }
     }
 }
@@ -283,6 +347,14 @@ mod tests {
         };
         assert!(bad.effective_watermark() <= bad.window_frames / 2);
         assert!(bad.effective_watermark() >= 1);
+        // Tracing defaults: off, but with usable ring/byte caps so merely
+        // setting `sample_every` turns it on sanely.
+        assert!(!c.trace.enabled(), "tracing must be opt-in");
+        assert!(c.trace.ring_capacity > 0);
+        assert!(c.trace.max_bytes_per_interval > 0);
+        assert!(TraceConfig::sampled(64).enabled());
+        assert_eq!(TraceConfig::sampled(64).sample_every, 64);
+        assert!(!TraceConfig::disabled().enabled());
     }
 
     #[test]

@@ -61,6 +61,10 @@ pub(crate) struct FilterJob {
     /// Earliest positive injection stamp in the wave, back-filled onto
     /// unstamped outputs so end-to-end latency survives reduction.
     pub wave_stamp: u64,
+    /// Trace id of the sampled wave (first nonzero id among inputs, 0 if
+    /// none), back-filled onto untraced outputs so the trace follows the
+    /// wave through reduction.
+    pub wave_trace: u64,
     /// Wave of the telemetry stream itself: excluded from perf counters so
     /// the plane does not perturb what it measures.
     pub is_metrics: bool,
@@ -86,6 +90,9 @@ pub(crate) struct WaveOutput {
     pub queue_wait_ns: u64,
     /// Time spent inside `Transformation::transform`.
     pub transform_ns: u64,
+    /// The job's wave trace id, echoed back so the event loop can record
+    /// executor-queue and filter-exec spans against the right wave.
+    pub wave_trace: u64,
     pub is_metrics: bool,
     pub pooled: bool,
 }
@@ -108,7 +115,7 @@ pub(crate) fn execute(job: FilterJob) -> WaveOutput {
             stream: job.stream,
             outputs: outputs
                 .into_iter()
-                .map(|p| p.or_stamp(job.wave_stamp))
+                .map(|p| p.or_stamp(job.wave_stamp).or_trace(job.wave_trace))
                 .collect(),
             reverse: if job.bidirectional {
                 std::mem::take(&mut ctx.reverse)
@@ -118,6 +125,7 @@ pub(crate) fn execute(job: FilterJob) -> WaveOutput {
             error: None,
             queue_wait_ns,
             transform_ns,
+            wave_trace: job.wave_trace,
             is_metrics: job.is_metrics,
             pooled: job.pooled,
         },
@@ -128,6 +136,7 @@ pub(crate) fn execute(job: FilterJob) -> WaveOutput {
             error: Some(e.to_string()),
             queue_wait_ns,
             transform_ns,
+            wave_trace: job.wave_trace,
             is_metrics: job.is_metrics,
             pooled: job.pooled,
         },
@@ -277,6 +286,7 @@ mod tests {
             is_root: true,
             contributing: vals.len(),
             wave_stamp: 0,
+            wave_trace: 0,
             is_metrics: false,
             bidirectional: false,
             pooled,
@@ -395,6 +405,7 @@ mod tests {
             error: None,
             queue_wait_ns: 0,
             transform_ns: 0,
+            wave_trace: 0,
             is_metrics: false,
             pooled: true,
         });

@@ -36,10 +36,11 @@ pub mod proto;
 pub mod stream;
 mod supervisor;
 pub mod telemetry;
+pub mod trace;
 pub mod value;
 
 pub use backend::{BackendContext, BackendEvent, BackendStream};
-pub use config::{FilterPoolConfig, FlowConfig, NetworkConfig, RetryPolicy};
+pub use config::{FilterPoolConfig, FlowConfig, NetworkConfig, RetryPolicy, TraceConfig};
 pub use consumer::{Deadline, StreamConsumer};
 pub use error::{Result, TbonError};
 pub use filter::{
@@ -47,13 +48,14 @@ pub use filter::{
     Transformation, WaitForAll, Wave,
 };
 pub use network::{
-    EventSnapshot, MetricsHandle, Network, NetworkBuilder, PerfSnapshot, StreamHandle,
+    EventSnapshot, MetricsHandle, Network, NetworkBuilder, PerfSnapshot, StreamHandle, TraceHandle,
 };
 pub use packet::{Packet, Rank};
 pub use proto::{FilterKind, Message, NetEvent, PerfCounters};
 pub use stream::{Members, StreamId, StreamMode, StreamSpec, SyncPolicy, Tag};
 pub use telemetry::{
     now_us, EventRing, LogHistogram, LoggedEvent, MetricsMerge, MetricsSample, ProcessEvents,
-    METRICS_FILTER,
+    SpanRing, TraceBatch, TraceGather, TraceSpan, TraceStage, METRICS_FILTER, TRACE_FILTER,
 };
+pub use trace::{TraceAssembler, WaveTrace};
 pub use value::DataValue;

@@ -29,7 +29,7 @@ use crate::process::{send_message, CommProcess, FeCommand};
 use crate::proto::{Envelope, FilterKind, Message, NetEvent, PerfCounters};
 use crate::stream::{StreamId, StreamSpec, Tag};
 use crate::supervisor::Supervisor;
-use crate::telemetry::{LogHistogram, MetricsSample, ProcessEvents};
+use crate::telemetry::{LogHistogram, MetricsSample, ProcessEvents, TraceBatch};
 use crate::value::DataValue;
 
 /// Transport peer id of the network's out-of-band control endpoint, used
@@ -232,6 +232,7 @@ impl NetworkBuilder {
                         endpoint,
                         config.orphan_grace,
                         config.flow,
+                        config.trace,
                     );
                     let f = backend_fn.clone();
                     handles.push(spawn_named(
@@ -556,6 +557,7 @@ impl Network {
             endpoint,
             self.config.orphan_grace,
             self.config.flow,
+            self.config.trace,
         );
         let f = self.backend_fn.clone();
         self.handles.push(spawn_named(
@@ -688,6 +690,35 @@ impl Network {
             .recv_timeout(self.config.shutdown_timeout)
             .map_err(|_| TbonError::NetworkDown)??;
         Ok(MetricsHandle {
+            inner: StreamHandle {
+                id,
+                cmd: self.cmd.clone(),
+                rx,
+            },
+        })
+    }
+
+    /// Open the distributed-trace stream (requires
+    /// [`crate::config::TraceConfig`] sampling to be enabled on
+    /// [`NetworkConfig::trace`]): every process — communication processes
+    /// *and* back-ends — ships its bounded span ring upward, the built-in
+    /// `telemetry::trace_gather` filter concatenates batches level by
+    /// level under the per-interval byte cap, and the returned
+    /// [`TraceHandle`] yields one [`TraceBatch`] per contributing origin.
+    /// Feed batches to a [`crate::trace::TraceAssembler`] to reconstruct
+    /// per-wave critical paths and export Chrome trace JSON.
+    pub fn open_trace_stream(&mut self, interval: Duration) -> Result<TraceHandle> {
+        let (reply_tx, reply_rx) = bounded(1);
+        self.cmd
+            .send(FeCommand::OpenTrace {
+                interval,
+                reply: reply_tx,
+            })
+            .map_err(|_| TbonError::NetworkDown)?;
+        let (id, rx) = reply_rx
+            .recv_timeout(self.config.shutdown_timeout)
+            .map_err(|_| TbonError::NetworkDown)??;
+        Ok(TraceHandle {
             inner: StreamHandle {
                 id,
                 cmd: self.cmd.clone(),
@@ -953,6 +984,47 @@ impl StreamConsumer for MetricsHandle {
                 Some(pkt) => {
                     if let Ok(sample) = MetricsSample::from_value(pkt.value()) {
                         return Ok(Some((pkt.origin(), sample)));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Front-end handle to the trace stream (see
+/// [`Network::open_trace_stream`]): a [`StreamHandle`] that decodes each
+/// upstream packet into a [`TraceBatch`] keyed by its origin rank.
+#[derive(Debug)]
+pub struct TraceHandle {
+    inner: StreamHandle,
+}
+
+impl TraceHandle {
+    /// The underlying stream id.
+    pub fn id(&self) -> StreamId {
+        self.inner.id()
+    }
+
+    /// Tear the trace stream down across the tree. Publishers disarm and
+    /// span shipping stops; sampling itself is config-driven and keeps
+    /// marking packets (the spans just stay in the local rings).
+    pub fn close(self) -> Result<()> {
+        self.inner.close()
+    }
+}
+
+impl StreamConsumer for TraceHandle {
+    type Item = (Rank, TraceBatch);
+
+    /// Undecodable packets on the stream are skipped, not surfaced as
+    /// errors.
+    fn recv(&self, deadline: Deadline) -> Result<Option<(Rank, TraceBatch)>> {
+        loop {
+            match self.inner.recv(deadline)? {
+                None => return Ok(None),
+                Some(pkt) => {
+                    if let Ok(batch) = TraceBatch::from_value(pkt.value()) {
+                        return Ok(Some((pkt.origin(), batch)));
                     }
                 }
             }

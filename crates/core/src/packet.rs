@@ -28,6 +28,9 @@ struct PacketInner {
     origin: Rank,
     /// Injection timestamp (`telemetry::now_us`), or 0 if unstamped.
     stamp_us: u64,
+    /// Distributed-trace id for sampled waves, or 0 if untraced. Rides the
+    /// wire next to the stamp so every hop can attribute spans to the wave.
+    trace: u64,
     value: DataValue,
 }
 
@@ -56,12 +59,27 @@ impl Packet {
         stamp_us: u64,
         value: DataValue,
     ) -> Packet {
+        Packet::traced(stream, tag, origin, stamp_us, 0, value)
+    }
+
+    /// Create a packet carrying both an injection stamp and a distributed
+    /// trace id (0 means untraced). Sampled waves get a nonzero trace id at
+    /// the back-end and every hop they cross records spans against it.
+    pub fn traced(
+        stream: StreamId,
+        tag: Tag,
+        origin: Rank,
+        stamp_us: u64,
+        trace: u64,
+        value: DataValue,
+    ) -> Packet {
         Packet {
             inner: Arc::new(PacketInner {
                 stream,
                 tag,
                 origin,
                 stamp_us,
+                trace,
                 value,
             }),
         }
@@ -87,6 +105,11 @@ impl Packet {
         self.inner.stamp_us
     }
 
+    /// Distributed-trace id (0 = untraced).
+    pub fn trace_id(&self) -> u64 {
+        self.inner.trace
+    }
+
     /// This packet with its stamp filled in if currently unstamped —
     /// filters synthesize fresh packets with no stamp, and the wave
     /// machinery back-fills the earliest input stamp so latency survives
@@ -102,11 +125,38 @@ impl Packet {
                     inner: Arc::new(inner),
                 }
             }
-            Err(shared) => Packet::stamped(
+            Err(shared) => Packet::traced(
                 shared.stream,
                 shared.tag,
                 shared.origin,
                 stamp_us,
+                shared.trace,
+                shared.value.clone(),
+            ),
+        }
+    }
+
+    /// This packet with its trace id filled in if currently untraced —
+    /// the analogue of [`Packet::or_stamp`] for the tracing plane: filter
+    /// outputs are fresh packets, and the wave machinery back-fills the
+    /// input wave's trace id so sampled waves stay traced across hops.
+    pub fn or_trace(self, trace: u64) -> Packet {
+        if self.inner.trace != 0 || trace == 0 {
+            return self;
+        }
+        match Arc::try_unwrap(self.inner) {
+            Ok(mut inner) => {
+                inner.trace = trace;
+                Packet {
+                    inner: Arc::new(inner),
+                }
+            }
+            Err(shared) => Packet::traced(
+                shared.stream,
+                shared.tag,
+                shared.origin,
+                shared.stamp_us,
+                trace,
                 shared.value.clone(),
             ),
         }
@@ -127,8 +177,8 @@ impl Packet {
 
     /// Exact wire size of this packet's payload plus header.
     pub fn encoded_len(&self) -> usize {
-        // stream(4) + tag(4) + origin(4) + stamp(8) + value
-        20 + self.inner.value.encoded_len()
+        // stream(4) + tag(4) + origin(4) + stamp(8) + trace(8) + value
+        28 + self.inner.value.encoded_len()
     }
 
     /// How many clones of this packet are alive (diagnostics / zero-copy
@@ -203,7 +253,7 @@ mod tests {
     #[test]
     fn encoded_len_includes_header() {
         let p = pkt(DataValue::Unit);
-        assert_eq!(p.encoded_len(), 20 + 1);
+        assert_eq!(p.encoded_len(), 28 + 1);
     }
 
     #[test]
@@ -222,6 +272,28 @@ mod tests {
         assert_eq!(a.stamp_us(), 0);
         let d = Packet::stamped(StreamId(1), Tag(2), Rank(3), 42, DataValue::Unit);
         assert_eq!(d.stamp_us(), 42);
+    }
+
+    #[test]
+    fn tracing_rides_alongside_the_stamp() {
+        let p = pkt(DataValue::I64(1));
+        assert_eq!(p.trace_id(), 0);
+        let traced = p.or_trace(0xBEEF);
+        assert_eq!(traced.trace_id(), 0xBEEF);
+        // An existing trace id wins; stamps are untouched either way.
+        assert_eq!(traced.clone().or_trace(0xDEAD).trace_id(), 0xBEEF);
+        let both = traced.or_stamp(500);
+        assert_eq!(both.trace_id(), 0xBEEF);
+        assert_eq!(both.stamp_us(), 500);
+        // Back-filling a shared packet leaves the other handle untouched.
+        let a = pkt(DataValue::I64(2));
+        let b = a.clone();
+        let c = b.clone().or_trace(7);
+        assert_eq!(c.trace_id(), 7);
+        assert_eq!(a.trace_id(), 0);
+        let d = Packet::traced(StreamId(1), Tag(2), Rank(3), 42, 9, DataValue::Unit);
+        assert_eq!(d.stamp_us(), 42);
+        assert_eq!(d.trace_id(), 9);
     }
 
     #[test]

@@ -29,7 +29,10 @@ use crate::filter::{FilterContext, FilterRegistry, SyncContext, Synchronization,
 use crate::packet::{Packet, Rank};
 use crate::proto::{decode_message, Envelope, FilterKind, Message, NetEvent, PerfCounters};
 use crate::stream::{Members, StreamId, StreamMode, StreamSpec, Tag};
-use crate::telemetry::{now_us, EventRing, LogHistogram, MetricsSample, METRICS_FILTER};
+use crate::telemetry::{
+    now_us, EventRing, LogHistogram, MetricsSample, SpanRing, TraceSpan, TraceStage,
+    METRICS_FILTER, TRACE_FILTER,
+};
 use crate::value::DataValue;
 
 /// Capacity of each process's structured event ring.
@@ -64,6 +67,10 @@ pub(crate) enum FeCommand {
         merge: bool,
         reply: Sender<Result<(StreamId, Receiver<Packet>)>>,
     },
+    OpenTrace {
+        interval: Duration,
+        reply: Sender<Result<(StreamId, Receiver<Packet>)>>,
+    },
     WaveLatency {
         reply: Sender<HashMap<StreamId, LogHistogram>>,
     },
@@ -78,6 +85,15 @@ struct MetricsPublisher {
     seq: u64,
     /// Counter values at the previous publish; samples carry deltas.
     last: PerfCounters,
+}
+
+/// State of this process's periodic trace-batch publishing (armed while a
+/// trace stream is open — every process, leaf or not, is a member).
+struct TracePublisher {
+    stream: StreamId,
+    interval: Duration,
+    next_fire: Instant,
+    seq: u64,
 }
 
 /// Per-(stream, process) state.
@@ -98,6 +114,16 @@ struct StreamState {
     /// come back yet. The inline fast path requires this to be zero, so a
     /// small wave can never overtake a queued one.
     in_flight: usize,
+    /// Child-merge attribution for the wave currently buffering in `sync`,
+    /// tracked only for trace-sampled packets: the canonical trace id (the
+    /// minimum nonzero id seen, matching the executor's wave id), the local
+    /// arrival time of the first traced packet, and the arrival time plus
+    /// rank of the latest — first-to-last is the straggler wait. Reset when
+    /// the sync filter releases waves.
+    merge_trace: u64,
+    merge_first_us: u64,
+    merge_last_us: u64,
+    merge_last_from: u32,
 }
 
 /// Tracks one in-flight LoadFilter probe.
@@ -118,8 +144,9 @@ struct FilterProbe {
 struct ChildFlow {
     credit_frames: u64,
     credit_bytes: u64,
-    /// Frames waiting for credit, with their charged wire size.
-    pending: VecDeque<(StreamId, Arc<Envelope>, u64)>,
+    /// Frames waiting for credit, with their charged wire size and the
+    /// local time they parked (feeds the credit-park trace span).
+    pending: VecDeque<(StreamId, Arc<Envelope>, u64, u64)>,
     /// Set while the window is closed with frames parked; refreshed by
     /// every grant, cleared when the backlog drains.
     closed_since: Option<Instant>,
@@ -191,6 +218,11 @@ pub(crate) struct CommProcess {
     events: EventRing,
     /// Armed while a metrics stream is open.
     metrics: Option<MetricsPublisher>,
+    /// Armed while a trace stream is open.
+    trace_pub: Option<TracePublisher>,
+    /// Bounded ring of trace spans recorded at this process, drained into
+    /// the trace stream each publish interval.
+    spans: SpanRing,
     /// Streams a lost leaf child was a member of, so a later re-adoption
     /// (the supervisor reattaching a back-end whose link transiently died)
     /// can restore its membership instead of leaving it silently excluded.
@@ -274,6 +306,22 @@ pub(crate) fn envelope(msg: Message) -> Arc<Envelope> {
     Arc::new(Envelope::new(msg))
 }
 
+/// If `waves` were just released, consume the stream's accumulated
+/// child-merge attribution: `(trace, first_us, last_us, last_from)`.
+fn take_merge_span(st: &mut StreamState, waves: &[Vec<Packet>]) -> Option<(u64, u64, u64, u32)> {
+    if waves.is_empty() || st.merge_trace == 0 {
+        return None;
+    }
+    let m = (
+        st.merge_trace,
+        st.merge_first_us,
+        st.merge_last_us,
+        st.merge_last_from,
+    );
+    st.merge_trace = 0;
+    Some(m)
+}
+
 impl CommProcess {
     pub(crate) fn new_internal(
         rank: Rank,
@@ -284,6 +332,7 @@ impl CommProcess {
         config: NetworkConfig,
     ) -> CommProcess {
         let pool = FilterPool::new(config.filter_pool, &config.name, rank);
+        let spans = SpanRing::new(config.trace.ring_capacity);
         CommProcess {
             rank,
             endpoint,
@@ -306,6 +355,8 @@ impl CommProcess {
             pool_in_flight: 0,
             events: EventRing::new(EVENT_RING_CAP),
             metrics: None,
+            trace_pub: None,
+            spans,
             lost_leaf_streams: HashMap::new(),
             flow: HashMap::new(),
             parked_by_stream: HashMap::new(),
@@ -327,6 +378,7 @@ impl CommProcess {
         fe_events: Sender<NetEvent>,
     ) -> CommProcess {
         let pool = FilterPool::new(config.filter_pool, &config.name, Rank(0));
+        let spans = SpanRing::new(config.trace.ring_capacity);
         CommProcess {
             rank: Rank(0),
             endpoint,
@@ -349,6 +401,8 @@ impl CommProcess {
             pool_in_flight: 0,
             events: EventRing::new(EVENT_RING_CAP),
             metrics: None,
+            trace_pub: None,
+            spans,
             lost_leaf_streams: HashMap::new(),
             flow: HashMap::new(),
             parked_by_stream: HashMap::new(),
@@ -369,6 +423,55 @@ impl CommProcess {
 
     fn is_root(&self) -> bool {
         matches!(self.role, ProcessRole::Root { .. })
+    }
+
+    /// True for streams belonging to the telemetry plane itself (the
+    /// metrics or trace stream): their waves are excluded from the perf
+    /// counters and never record spans, so the plane cannot perturb what
+    /// it measures.
+    fn is_telemetry_stream(&self, stream: StreamId) -> bool {
+        self.metrics.as_ref().is_some_and(|m| m.stream == stream)
+            || self.trace_pub.as_ref().is_some_and(|t| t.stream == stream)
+    }
+
+    /// Record a trace span with an explicit duration. No-op for untraced
+    /// waves or when tracing is disabled. Start and duration are this
+    /// process's own clock only — span times are never compared across
+    /// processes (see DESIGN.md §12).
+    fn span_dur(
+        &mut self,
+        trace: u64,
+        stream: StreamId,
+        stage: TraceStage,
+        start_us: u64,
+        dur_us: u64,
+        detail: u64,
+    ) {
+        if trace == 0 || !self.config.trace.enabled() {
+            return;
+        }
+        self.spans.push(TraceSpan {
+            trace,
+            rank: self.rank.0,
+            stream: stream.0,
+            stage,
+            start_us,
+            dur_us,
+            detail,
+        });
+    }
+
+    /// Record a trace span that started at `start_us` and ends now.
+    fn span_since(
+        &mut self,
+        trace: u64,
+        stream: StreamId,
+        stage: TraceStage,
+        start_us: u64,
+        detail: u64,
+    ) {
+        let dur_us = now_us().saturating_sub(start_us);
+        self.span_dur(trace, stream, stage, start_us, dur_us, detail);
     }
 
     /// Children of this node in the current topology, excluding known-dead.
@@ -487,10 +590,14 @@ impl CommProcess {
             }
             ProcessRole::Internal { parent } => {
                 let parent = *parent;
+                let trace = pkt.trace_id();
+                let stream = pkt.stream();
+                let t0 = now_us();
                 let msg = envelope(Message::up_from_packet(&pkt));
                 if self.send_to(parent, &msg).is_err() {
                     // Parent gone; the Disconnected delivery will follow.
                 }
+                self.span_since(trace, stream, TraceStage::UpstreamSend, t0, 0);
             }
         }
     }
@@ -528,6 +635,7 @@ impl CommProcess {
         for pkt in &outputs {
             // One envelope per packet: the first wire child serializes it,
             // every further child shares the same bytes.
+            let t0 = now_us();
             let msg = envelope(Message::down_from_packet(pkt));
             for child in &routes {
                 if failed.contains(child) {
@@ -555,6 +663,9 @@ impl CommProcess {
                     failed.push(*child);
                 }
             }
+            // Time spent handing this packet to the writer plane (encode
+            // plus per-child enqueue, or the park decision under flow).
+            self.span_since(pkt.trace_id(), stream_id, TraceStage::WriterQueue, t0, 0);
         }
         for child in failed {
             self.handle_child_failure(child);
@@ -623,7 +734,7 @@ impl CommProcess {
             .entry(child)
             .or_insert_with(|| ChildFlow::open(cfg));
         fl.closed_since.get_or_insert_with(Instant::now);
-        fl.pending.push_back((stream_id, env, len));
+        fl.pending.push_back((stream_id, env, len, now_us()));
         *self.parked_by_stream.entry(stream_id).or_insert(0) += 1;
         self.perf.window_closed += 1;
     }
@@ -681,30 +792,45 @@ impl CommProcess {
         let mut reopened: Vec<StreamId> = Vec::new();
         let mut child_gone = false;
         loop {
-            let (stream_id, env, len) = {
+            let (stream_id, env, len, parked_at) = {
                 let Some(fl) = self.flow.get_mut(&child) else {
                     break;
                 };
-                let Some((_, _, len)) = fl.pending.front() else {
+                let Some((_, _, len, _)) = fl.pending.front() else {
                     fl.closed_since = None;
                     break;
                 };
                 if fl.credit_frames == 0 || fl.credit_bytes < *len {
                     break;
                 }
-                let (s, e, l) = fl.pending.pop_front().expect("front checked");
+                let (s, e, l, p) = fl.pending.pop_front().expect("front checked");
                 fl.credit_frames -= 1;
                 fl.credit_bytes -= l;
-                (s, e, l)
+                (s, e, l, p)
             };
             match self.send_to(child, &env) {
-                Ok(()) => self.note_unparked(stream_id, &mut reopened),
+                Ok(()) => {
+                    // A traced frame that waited behind the closed window:
+                    // park-to-flush is the credit-stall attribution, charged
+                    // to the child that was slow to grant.
+                    if let Message::Down { trace, .. } = env.msg() {
+                        let trace = *trace;
+                        self.span_since(
+                            trace,
+                            stream_id,
+                            TraceStage::CreditPark,
+                            parked_at,
+                            child.0 as u64,
+                        );
+                    }
+                    self.note_unparked(stream_id, &mut reopened)
+                }
                 Err(TbonError::Transport(TransportError::Backpressure(_))) => {
                     // Transport queue still full: refund and put it back.
                     if let Some(fl) = self.flow.get_mut(&child) {
                         fl.credit_frames += 1;
                         fl.credit_bytes += len;
-                        fl.pending.push_front((stream_id, env, len));
+                        fl.pending.push_front((stream_id, env, len, parked_at));
                     }
                     break;
                 }
@@ -744,7 +870,7 @@ impl CommProcess {
             self.perf.credits_stalled_us += t.elapsed().as_micros() as u64;
         }
         let mut reopened: Vec<StreamId> = Vec::new();
-        for (stream_id, _, _) in fl.pending {
+        for (stream_id, _, _, _) in fl.pending {
             self.note_unparked(stream_id, &mut reopened);
         }
         self.release_held_waves(reopened);
@@ -834,9 +960,10 @@ impl CommProcess {
         let is_root = self.is_root();
         let rank = self.rank;
         // The telemetry plane must not perturb what it measures: waves and
-        // filter work on the metrics stream itself are excluded from the
-        // counters (frames/bytes stay inclusive — they are wire truth).
-        let is_metrics = self.metrics.as_ref().is_some_and(|m| m.stream == stream_id);
+        // filter work on the metrics and trace streams themselves are
+        // excluded from the counters (frames/bytes stay inclusive — they
+        // are wire truth).
+        let is_metrics = self.is_telemetry_stream(stream_id);
         let pool_enabled = self.pool.enabled();
         let inline_below = self.pool.inline_below_bytes();
         let mut done: Vec<WaveOutput> = Vec::new();
@@ -856,6 +983,15 @@ impl CommProcess {
                     .filter(|&s| s > 0)
                     .min()
                     .unwrap_or(0);
+                // Canonical trace id for the wave: the minimum nonzero id,
+                // so every process that merges (part of) this wave picks
+                // the same one deterministically.
+                let wave_trace = wave
+                    .iter()
+                    .map(|p| p.trace_id())
+                    .filter(|&t| t > 0)
+                    .min()
+                    .unwrap_or(0);
                 let wave_bytes: usize = wave.iter().map(|p| p.value().encoded_len()).sum();
                 let pooled = pool_enabled && (st.in_flight > 0 || wave_bytes >= inline_below);
                 let job = FilterJob {
@@ -866,6 +1002,7 @@ impl CommProcess {
                     is_root,
                     contributing: st.expected.len(),
                     wave_stamp,
+                    wave_trace,
                     is_metrics,
                     bidirectional: st.mode == StreamMode::Bidirectional,
                     pooled,
@@ -912,6 +1049,33 @@ impl CommProcess {
             self.perf.filter_out += out.outputs.len() as u64;
             self.filter_exec_interval.record(out.transform_ns);
         }
+        // Executor attribution for sampled waves. Start times are
+        // reconstructed backwards from now (end − duration): only the
+        // durations are load-bearing, and both measurements were taken on
+        // this process's clock inside the executor.
+        if out.wave_trace != 0 {
+            let end = now_us();
+            let exec_us = out.transform_ns / 1_000;
+            if out.pooled {
+                let wait_us = out.queue_wait_ns / 1_000;
+                self.span_dur(
+                    out.wave_trace,
+                    stream_id,
+                    TraceStage::ExecutorQueue,
+                    end.saturating_sub(exec_us + wait_us),
+                    wait_us,
+                    0,
+                );
+            }
+            self.span_dur(
+                out.wave_trace,
+                stream_id,
+                TraceStage::FilterExec,
+                end.saturating_sub(exec_us),
+                exec_us,
+                0,
+            );
+        }
         for pkt in out.outputs {
             self.emit_up(pkt);
         }
@@ -943,6 +1107,7 @@ impl CommProcess {
     }
 
     /// Upstream data from a child.
+    #[allow(clippy::too_many_arguments)]
     fn handle_up(
         &mut self,
         from: Rank,
@@ -950,23 +1115,51 @@ impl CommProcess {
         tag: Tag,
         origin: Rank,
         sent_us: u64,
+        trace: u64,
         value: DataValue,
     ) {
         let now = Instant::now();
-        let waves = {
+        let tracing = self.config.trace.enabled();
+        let (waves, merge) = {
             let Some(st) = self.streams.get_mut(&stream_id) else {
                 // Stream closed or unknown: drop (paper model has no nack).
                 return;
             };
-            let pkt = Packet::stamped(stream_id, tag, origin, sent_us, value);
+            let pkt = Packet::traced(stream_id, tag, origin, sent_us, trace, value);
+            if tracing && trace != 0 {
+                let t = now_us();
+                if st.merge_trace == 0 {
+                    st.merge_first_us = t;
+                    st.merge_trace = trace;
+                } else {
+                    st.merge_trace = st.merge_trace.min(trace);
+                }
+                st.merge_last_us = t;
+                st.merge_last_from = from.0;
+            }
             let ctx = SyncContext {
                 stream: stream_id,
                 rank: self.rank,
                 expected: st.expected.clone(),
                 now,
             };
-            st.sync.push(from, pkt, &ctx)
+            let waves = st.sync.push(from, pkt, &ctx);
+            let merge = take_merge_span(st, &waves);
+            (waves, merge)
         };
+        if let Some((trace, first, last, last_from)) = merge {
+            // The sync filter just released waves: first-to-last traced
+            // arrival is the child-merge wait, charged to the child whose
+            // packet came last (the straggler).
+            self.span_dur(
+                trace,
+                stream_id,
+                TraceStage::ChildMerge,
+                first,
+                last.saturating_sub(first),
+                last_from as u64,
+            );
+        }
         self.process_waves(stream_id, waves);
     }
 
@@ -1030,20 +1223,34 @@ impl CommProcess {
                         dfilter,
                         mode: *mode,
                         in_flight: 0,
+                        merge_trace: 0,
+                        merge_first_us: 0,
+                        merge_last_us: 0,
+                        merge_last_from: 0,
                     },
                 );
                 self.events.push("stream_open", stream_id.to_string());
                 if self_member {
                     let interval_us = params.as_u64().filter(|v| *v > 0).unwrap_or(1_000_000);
                     let interval = Duration::from_micros(interval_us);
-                    self.metrics = Some(MetricsPublisher {
-                        stream: stream_id,
-                        interval,
-                        next_fire: Instant::now() + interval,
-                        seq: 0,
-                        last: self.perf,
-                    });
-                    self.events.push("metrics_open", format!("{interval:?}"));
+                    if transformation == TRACE_FILTER {
+                        self.trace_pub = Some(TracePublisher {
+                            stream: stream_id,
+                            interval,
+                            next_fire: Instant::now() + interval,
+                            seq: 0,
+                        });
+                        self.events.push("trace_open", format!("{interval:?}"));
+                    } else {
+                        self.metrics = Some(MetricsPublisher {
+                            stream: stream_id,
+                            interval,
+                            next_fire: Instant::now() + interval,
+                            seq: 0,
+                            last: self.perf,
+                        });
+                        self.events.push("metrics_open", format!("{interval:?}"));
+                    }
                 }
             }
             (t, s, d) => {
@@ -1081,6 +1288,13 @@ impl CommProcess {
         }
         if self.metrics.as_ref().is_some_and(|m| m.stream == stream_id) {
             self.metrics = None;
+        }
+        if self
+            .trace_pub
+            .as_ref()
+            .is_some_and(|t| t.stream == stream_id)
+        {
+            self.trace_pub = None;
         }
         if let ProcessRole::Root { fe_streams, .. } = &mut self.role {
             fe_streams.remove(&stream_id);
@@ -1351,6 +1565,7 @@ impl CommProcess {
         }
         let rank = self.rank;
         let metrics_stream = self.metrics.as_ref().map(|m| m.stream);
+        let trace_stream = self.trace_pub.as_ref().map(|t| t.stream);
         let ids: Vec<StreamId> = self.streams.keys().copied().collect();
         let now = Instant::now();
         for stream_id in ids {
@@ -1367,9 +1582,9 @@ impl CommProcess {
                     .filter(|c| !self.dead_children.contains(c))
                     .collect();
                 st.down_routes = routes.clone();
-                // On the metrics stream this process is itself a
+                // On the telemetry streams this process is itself a
                 // contributor; the recomputed routes must not evict it.
-                if metrics_stream == Some(stream_id) {
+                if metrics_stream == Some(stream_id) || trace_stream == Some(stream_id) {
                     routes.push(rank);
                 }
                 st.expected = routes;
@@ -1406,6 +1621,7 @@ impl CommProcess {
     fn fire_deadlines(&mut self) {
         let now = Instant::now();
         self.publish_metrics(now);
+        self.publish_trace(now);
         // Liveness through closed windows: a child whose window has been
         // closed with zero grants for a whole grant deadline is not slow,
         // it is gone — the failure detector stays authoritative and flow
@@ -1432,7 +1648,7 @@ impl CommProcess {
             .map(|(id, _)| *id)
             .collect();
         for stream_id in due {
-            let waves = {
+            let (waves, merge) = {
                 let st = self.streams.get_mut(&stream_id).expect("exists");
                 let ctx = SyncContext {
                     stream: stream_id,
@@ -1440,8 +1656,20 @@ impl CommProcess {
                     expected: st.expected.clone(),
                     now,
                 };
-                st.sync.flush(&ctx)
+                let waves = st.sync.flush(&ctx);
+                let merge = take_merge_span(st, &waves);
+                (waves, merge)
             };
+            if let Some((trace, first, last, last_from)) = merge {
+                self.span_dur(
+                    trace,
+                    stream_id,
+                    TraceStage::ChildMerge,
+                    first,
+                    last.saturating_sub(first),
+                    last_from as u64,
+                );
+            }
             self.process_waves(stream_id, waves);
         }
     }
@@ -1455,13 +1683,14 @@ impl CommProcess {
             .filter_map(|st| st.sync.next_deadline())
             .min();
         let publish = self.metrics.as_ref().map(|m| m.next_fire);
+        let trace = self.trace_pub.as_ref().map(|t| t.next_fire);
         let grant_deadline = self.grant_deadline();
         let stall = self
             .flow
             .values()
             .filter_map(|f| f.closed_since.map(|t| t + grant_deadline))
             .min();
-        [sync, publish, stall].into_iter().flatten().min()
+        [sync, publish, trace, stall].into_iter().flatten().min()
     }
 
     /// If the publish interval elapsed, build this interval's
@@ -1518,7 +1747,33 @@ impl CommProcess {
             events_dropped: self.events.dropped(),
         };
         let rank = self.rank;
-        self.handle_up(rank, stream, Tag(seq as u32), rank, 0, sample.to_value());
+        self.handle_up(rank, stream, Tag(seq as u32), rank, 0, 0, sample.to_value());
+    }
+
+    /// If the trace publish interval elapsed, drain this process's span
+    /// ring (bounded by the per-interval byte cap) and inject the batch
+    /// into the trace stream as if it arrived from ourselves — it then
+    /// concatenates with the children's batches through the stream's
+    /// ordinary wave machinery. An empty ring publishes nothing.
+    fn publish_trace(&mut self, now: Instant) {
+        if self.trace_pub.as_ref().is_none_or(|t| now < t.next_fire) {
+            return;
+        }
+        let t = self.trace_pub.as_mut().expect("checked above");
+        while t.next_fire <= now {
+            t.next_fire += t.interval;
+        }
+        t.seq += 1;
+        let seq = t.seq;
+        let stream = t.stream;
+        if self.spans.is_empty() {
+            return;
+        }
+        let batch = self
+            .spans
+            .drain_batch(self.config.trace.max_bytes_per_interval);
+        let rank = self.rank;
+        self.handle_up(rank, stream, Tag(seq as u32), rank, 0, 0, batch.to_value());
     }
 
     /// Fold the writer threads' batching counters into the perf block.
@@ -1548,15 +1803,24 @@ impl CommProcess {
                 tag,
                 origin,
                 sent_us,
+                trace,
                 value,
             } => {
-                // Metrics-stream traffic is excluded so the aggregated
+                // Telemetry-stream traffic is excluded so the aggregated
                 // packet counts describe the application's load, not the
                 // telemetry plane's own.
-                if self.metrics.as_ref().is_none_or(|m| m.stream != *stream) {
+                if !self.is_telemetry_stream(*stream) {
                     self.perf.packets_up += 1;
                 }
-                self.handle_up(from, *stream, *tag, *origin, *sent_us, value.clone());
+                self.handle_up(
+                    from,
+                    *stream,
+                    *tag,
+                    *origin,
+                    *sent_us,
+                    *trace,
+                    value.clone(),
+                );
                 false
             }
             Message::Down {
@@ -1564,11 +1828,12 @@ impl CommProcess {
                 tag,
                 origin,
                 sent_us,
+                trace,
                 value,
             } => {
                 self.perf.packets_down += 1;
                 let wire = msg.encoded_len() as u64;
-                let pkt = Packet::stamped(*stream, *tag, *origin, *sent_us, value.clone());
+                let pkt = Packet::traced(*stream, *tag, *origin, *sent_us, *trace, value.clone());
                 self.send_down_packet(*stream, pkt);
                 // The frame has left our inbox (forwarded or parked toward
                 // children): its window slot at the parent is consumable
@@ -1727,6 +1992,11 @@ impl CommProcess {
                 let _ = reply.send(result);
                 false
             }
+            FeCommand::OpenTrace { interval, reply } => {
+                let result = self.fe_open_trace(interval);
+                let _ = reply.send(result);
+                false
+            }
             FeCommand::WaveLatency { reply } => {
                 let _ = reply.send(self.wave_latency_by_stream.clone());
                 false
@@ -1786,6 +2056,65 @@ impl CommProcess {
         if !self.streams.contains_key(&stream_id) {
             return Err(TbonError::Filter(format!(
                 "failed to instantiate metrics stream {stream_id} at root"
+            )));
+        }
+        let (tx, rx) = crossbeam_channel::unbounded();
+        if let ProcessRole::Root { fe_streams, .. } = &mut self.role {
+            fe_streams.insert(stream_id, tx);
+        }
+        Ok((stream_id, rx))
+    }
+
+    /// Open the trace stream: **every** live rank is a member — the
+    /// communication processes publish their span rings on a timer, and
+    /// the back-ends piggyback theirs opportunistically after each sampled
+    /// send (leaves have no timers). Because leaf batches arrive
+    /// irregularly, the stream synchronizes with `sync::time_out` rather
+    /// than `wait_for_all`: each hop forwards whatever batches landed
+    /// within the window instead of waiting on every child.
+    fn fe_open_trace(&mut self, interval: Duration) -> Result<(StreamId, Receiver<Packet>)> {
+        if let Some(t) = &self.trace_pub {
+            return Err(TbonError::Filter(format!(
+                "trace stream {} is already open",
+                t.stream
+            )));
+        }
+        if !self.config.trace.enabled() {
+            return Err(TbonError::Filter(
+                "tracing is disabled (NetworkConfig.trace.sample_every is 0)".into(),
+            ));
+        }
+        let members: Vec<Rank> = {
+            let topo = self.topology.read();
+            topo.node_ids()
+                .filter(|&n| topo.role(n) != Role::Detached)
+                .map(|n| Rank(n.0))
+                .collect()
+        };
+        let stream_id = match &mut self.role {
+            ProcessRole::Root { next_stream, .. } => {
+                let id = StreamId(*next_stream);
+                *next_stream += 1;
+                id
+            }
+            ProcessRole::Internal { .. } => unreachable!("fe_open_trace on internal"),
+        };
+        let window_ms = (interval.as_millis() as u64).max(1);
+        let msg = envelope(Message::NewStream {
+            stream: stream_id,
+            members,
+            transformation: TRACE_FILTER.to_owned(),
+            params: DataValue::U64(interval.as_micros() as u64),
+            sync_name: "sync::time_out".to_owned(),
+            sync_params: DataValue::U64(window_ms),
+            downstream_filter: None,
+            downstream_params: DataValue::Unit,
+            mode: StreamMode::Upstream,
+        });
+        self.handle_new_stream(&msg);
+        if !self.streams.contains_key(&stream_id) {
+            return Err(TbonError::Filter(format!(
+                "failed to instantiate trace stream {stream_id} at root"
             )));
         }
         let (tx, rx) = crossbeam_channel::unbounded();
@@ -1991,20 +2320,38 @@ impl CommProcess {
             };
 
             match input {
-                Input::Net(Delivery::Frame { from, frame }) => match decode_frame(frame) {
-                    Ok(msg) => {
-                        if self.handle_message(Rank(from), msg) {
-                            break;
+                Input::Net(Delivery::Frame { from, frame }) => {
+                    let t0 = if self.config.trace.enabled() {
+                        now_us()
+                    } else {
+                        0
+                    };
+                    match decode_frame(frame) {
+                        Ok(msg) => {
+                            // Decode attribution for sampled data frames;
+                            // the trace id is only known once decoding
+                            // finishes.
+                            if t0 != 0 {
+                                if let Message::Up { stream, trace, .. }
+                                | Message::Down { stream, trace, .. } = msg.msg()
+                                {
+                                    let (stream, trace) = (*stream, *trace);
+                                    self.span_since(trace, stream, TraceStage::Decode, t0, 0);
+                                }
+                            }
+                            if self.handle_message(Rank(from), msg) {
+                                break;
+                            }
+                        }
+                        Err(e) => {
+                            let rank = self.rank;
+                            self.emit_event(NetEvent::FilterError {
+                                rank,
+                                detail: format!("frame decode from rank{from}: {e}"),
+                            });
                         }
                     }
-                    Err(e) => {
-                        let rank = self.rank;
-                        self.emit_event(NetEvent::FilterError {
-                            rank,
-                            detail: format!("frame decode from rank{from}: {e}"),
-                        });
-                    }
-                },
+                }
                 Input::Net(Delivery::Disconnected { peer }) => {
                     let peer = Rank(peer);
                     let is_parent = matches!(

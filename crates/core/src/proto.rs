@@ -65,6 +65,10 @@ pub enum Message {
         /// originating process); `0` means unstamped. Used by the front-end
         /// to resolve end-to-end wave latency.
         sent_us: u64,
+        /// Distributed-trace id; `0` means untraced. Sampled waves carry a
+        /// nonzero id so each hop can attribute spans to them; the id is
+        /// opaque on the wire (durations are always measured locally).
+        trace: u64,
         value: DataValue,
     },
     /// Downstream application data (parent → subtree members).
@@ -74,6 +78,8 @@ pub enum Message {
         origin: Rank,
         /// Injection timestamp; `0` means unstamped. See [`Message::Up`].
         sent_us: u64,
+        /// Distributed-trace id; `0` means untraced. See [`Message::Up`].
+        trace: u64,
         value: DataValue,
     },
     /// Stream creation, propagated down the tree.
@@ -375,6 +381,7 @@ impl Message {
             tag: pkt.tag(),
             origin: pkt.origin(),
             sent_us: pkt.stamp_us(),
+            trace: pkt.trace_id(),
             value: pkt.value().clone(),
         }
     }
@@ -386,6 +393,7 @@ impl Message {
             tag: pkt.tag(),
             origin: pkt.origin(),
             sent_us: pkt.stamp_us(),
+            trace: pkt.trace_id(),
             value: pkt.value().clone(),
         }
     }
@@ -438,6 +446,7 @@ pub fn encode_message(msg: &Message) -> Vec<u8> {
             tag,
             origin,
             sent_us,
+            trace,
             value,
         } => {
             buf.push(M_UP);
@@ -445,6 +454,7 @@ pub fn encode_message(msg: &Message) -> Vec<u8> {
             put_u32(&mut buf, tag.0);
             put_u32(&mut buf, origin.0);
             buf.extend_from_slice(&sent_us.to_le_bytes());
+            buf.extend_from_slice(&trace.to_le_bytes());
             encode_value(value, &mut buf);
         }
         Message::Down {
@@ -452,6 +462,7 @@ pub fn encode_message(msg: &Message) -> Vec<u8> {
             tag,
             origin,
             sent_us,
+            trace,
             value,
         } => {
             buf.push(M_DOWN);
@@ -459,6 +470,7 @@ pub fn encode_message(msg: &Message) -> Vec<u8> {
             put_u32(&mut buf, tag.0);
             put_u32(&mut buf, origin.0);
             buf.extend_from_slice(&sent_us.to_le_bytes());
+            buf.extend_from_slice(&trace.to_le_bytes());
             encode_value(value, &mut buf);
         }
         Message::NewStream {
@@ -616,7 +628,7 @@ pub fn encode_message(msg: &Message) -> Vec<u8> {
 /// zero-copy frames so shaping charges honest costs.
 pub fn message_encoded_len(msg: &Message) -> usize {
     match msg {
-        Message::Up { value, .. } | Message::Down { value, .. } => 1 + 20 + value.encoded_len(),
+        Message::Up { value, .. } | Message::Down { value, .. } => 1 + 28 + value.encoded_len(),
         Message::NewStream {
             members,
             transformation,
@@ -696,6 +708,7 @@ fn decode_message_inner(r: &mut Reader<'_>) -> Result<Message> {
             let ptag = Tag(r.u32()?);
             let origin = Rank(r.u32()?);
             let sent_us = r.u64()?;
+            let trace = r.u64()?;
             let value = r.value()?;
             if tag == M_UP {
                 Message::Up {
@@ -703,6 +716,7 @@ fn decode_message_inner(r: &mut Reader<'_>) -> Result<Message> {
                     tag: ptag,
                     origin,
                     sent_us,
+                    trace,
                     value,
                 }
             } else {
@@ -711,6 +725,7 @@ fn decode_message_inner(r: &mut Reader<'_>) -> Result<Message> {
                     tag: ptag,
                     origin,
                     sent_us,
+                    trace,
                     value,
                 }
             }
@@ -889,6 +904,7 @@ mod tests {
             tag: Tag(9),
             origin: Rank(12),
             sent_us: 123_456,
+            trace: 0xABCD_EF01_2345_6789,
             value: DataValue::ArrayF64(vec![1.0, 2.0, 3.0]),
         });
         roundtrip(Message::Down {
@@ -896,6 +912,7 @@ mod tests {
             tag: Tag(u32::MAX),
             origin: Rank(0),
             sent_us: 0,
+            trace: 0,
             value: DataValue::Unit,
         });
     }
@@ -1051,6 +1068,7 @@ mod tests {
             tag: Tag(2),
             origin: Rank(3),
             sent_us: 0,
+            trace: 0,
             value: DataValue::ArrayF64(vec![0.5; 64]),
         });
         assert_eq!(env.encoded_len(), message_encoded_len(env.msg()));
@@ -1089,26 +1107,28 @@ mod tests {
 
     #[test]
     fn packet_conversion_preserves_fields() {
-        let pkt = Packet::stamped(StreamId(2), Tag(5), Rank(7), 777, DataValue::I64(42));
+        let pkt = Packet::traced(StreamId(2), Tag(5), Rank(7), 777, 991, DataValue::I64(42));
         match Message::up_from_packet(&pkt) {
             Message::Up {
                 stream,
                 tag,
                 origin,
                 sent_us,
+                trace,
                 value,
             } => {
                 assert_eq!(stream, StreamId(2));
                 assert_eq!(tag, Tag(5));
                 assert_eq!(origin, Rank(7));
                 assert_eq!(sent_us, 777);
+                assert_eq!(trace, 991);
                 assert_eq!(value, DataValue::I64(42));
             }
             other => panic!("unexpected {other:?}"),
         }
         assert!(matches!(
             Message::down_from_packet(&pkt),
-            Message::Down { .. }
+            Message::Down { trace: 991, .. }
         ));
     }
 }

@@ -30,6 +30,10 @@ use crate::value::DataValue;
 /// Registry name of the built-in sample-merging transformation.
 pub const METRICS_FILTER: &str = "telemetry::metrics_merge";
 
+/// Registry name of the built-in span-gathering transformation (the
+/// tracing plane's analogue of [`METRICS_FILTER`]).
+pub const TRACE_FILTER: &str = "telemetry::trace_gather";
+
 static EPOCH: OnceLock<Instant> = OnceLock::new();
 
 /// Microseconds since a process-wide epoch, offset by one so the result is
@@ -654,6 +658,299 @@ impl ProcessEvents {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Distributed tracing: hop-level spans for sampled waves (DESIGN.md §12).
+// ---------------------------------------------------------------------------
+
+/// The stage of a wave's journey a [`TraceSpan`] measures. One variant per
+/// place a sampled wave can spend time at a hop; the taxonomy is the span
+/// vocabulary of DESIGN.md §12.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TraceStage {
+    /// Back-end building and handing the packet to its parent link.
+    BackendInject,
+    /// A downstream frame parked behind a closed credit window
+    /// (`detail` = the child rank whose window was closed).
+    CreditPark,
+    /// Handing a frame to a link writer, including any blocking on a full
+    /// writer queue (the batching writer drains it asynchronously).
+    WriterQueue,
+    /// Decoding an inbound data frame at a communication process.
+    Decode,
+    /// A pooled wave waiting in the filter executor's queue.
+    ExecutorQueue,
+    /// The transformation filter running over the wave.
+    FilterExec,
+    /// First-child-frame to last-child-frame wait at an internal node
+    /// (`detail` = the rank of the last child to arrive: the straggler).
+    ChildMerge,
+    /// An internal node sending the filtered wave to its parent.
+    UpstreamSend,
+}
+
+impl TraceStage {
+    /// Every stage, in wave order.
+    pub const ALL: [TraceStage; 8] = [
+        TraceStage::BackendInject,
+        TraceStage::CreditPark,
+        TraceStage::WriterQueue,
+        TraceStage::Decode,
+        TraceStage::ExecutorQueue,
+        TraceStage::FilterExec,
+        TraceStage::ChildMerge,
+        TraceStage::UpstreamSend,
+    ];
+
+    /// Stable snake_case name (used by exporters and event names).
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceStage::BackendInject => "backend_inject",
+            TraceStage::CreditPark => "credit_park",
+            TraceStage::WriterQueue => "writer_queue",
+            TraceStage::Decode => "decode",
+            TraceStage::ExecutorQueue => "executor_queue",
+            TraceStage::FilterExec => "filter_exec",
+            TraceStage::ChildMerge => "child_merge",
+            TraceStage::UpstreamSend => "upstream_send",
+        }
+    }
+
+    fn code(self) -> u8 {
+        match self {
+            TraceStage::BackendInject => 0,
+            TraceStage::CreditPark => 1,
+            TraceStage::WriterQueue => 2,
+            TraceStage::Decode => 3,
+            TraceStage::ExecutorQueue => 4,
+            TraceStage::FilterExec => 5,
+            TraceStage::ChildMerge => 6,
+            TraceStage::UpstreamSend => 7,
+        }
+    }
+
+    fn from_code(c: u8) -> Result<TraceStage> {
+        TraceStage::ALL
+            .get(c as usize)
+            .copied()
+            .ok_or_else(|| TbonError::Decode(format!("unknown trace stage {c}")))
+    }
+}
+
+/// One stage of one sampled wave at one process.
+///
+/// `start_us` is [`now_us`] **at the recording process** — epochs are
+/// per-process, so start times are only comparable between spans of the
+/// same rank. Durations are measured locally and are the only quantity
+/// ever compared across processes (the clock rule of DESIGN.md §12; see
+/// `examples/clock_skew.rs` for why).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceSpan {
+    /// The sampled wave this span belongs to (nonzero).
+    pub trace: u64,
+    /// Process that recorded the span.
+    pub rank: u32,
+    /// Stream the wave travelled on.
+    pub stream: u32,
+    /// Which stage of the wave's journey this measures.
+    pub stage: TraceStage,
+    /// Local [`now_us`] when the stage began (per-process epoch!).
+    pub start_us: u64,
+    /// How long the stage took, microseconds (locally measured).
+    pub dur_us: u64,
+    /// Stage-specific attribution: the straggler child rank for
+    /// [`TraceStage::ChildMerge`], the parked-for child rank for
+    /// [`TraceStage::CreditPark`], 0 otherwise.
+    pub detail: u64,
+}
+
+/// Exact wire size of one encoded [`TraceSpan`].
+pub const TRACE_SPAN_WIRE_LEN: usize = 8 + 4 + 4 + 1 + 8 + 8 + 8;
+
+impl TraceSpan {
+    pub fn encode(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&self.trace.to_le_bytes());
+        buf.extend_from_slice(&self.rank.to_le_bytes());
+        buf.extend_from_slice(&self.stream.to_le_bytes());
+        buf.push(self.stage.code());
+        buf.extend_from_slice(&self.start_us.to_le_bytes());
+        buf.extend_from_slice(&self.dur_us.to_le_bytes());
+        buf.extend_from_slice(&self.detail.to_le_bytes());
+    }
+
+    pub fn decode(r: &mut Reader<'_>) -> Result<TraceSpan> {
+        let trace = r.u64()?;
+        let rank = r.u32()?;
+        let stream = r.u32()?;
+        let stage = TraceStage::from_code(r.u8()?)?;
+        let start_us = r.u64()?;
+        let dur_us = r.u64()?;
+        let detail = r.u64()?;
+        Ok(TraceSpan {
+            trace,
+            rank,
+            stream,
+            stage,
+            start_us,
+            dur_us,
+            detail,
+        })
+    }
+}
+
+/// Bounded drop-oldest ring of [`TraceSpan`]s — one per process, sized by
+/// [`crate::TraceConfig::ring_capacity`]. Evictions are counted so the
+/// front-end can see sampling loss instead of silently missing spans.
+#[derive(Debug)]
+pub struct SpanRing {
+    buf: VecDeque<TraceSpan>,
+    cap: usize,
+    dropped: u64,
+}
+
+impl SpanRing {
+    pub fn new(cap: usize) -> Self {
+        SpanRing {
+            buf: VecDeque::with_capacity(cap.min(1024)),
+            cap: cap.max(1),
+            dropped: 0,
+        }
+    }
+
+    pub fn push(&mut self, span: TraceSpan) {
+        if self.buf.len() == self.cap {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(span);
+    }
+
+    /// Drain the oldest spans whose combined encoding fits `max_bytes`
+    /// (at least one span if any are buffered, so a tiny cap cannot wedge
+    /// the plane). Spans past the cap stay for the next interval.
+    pub fn drain_batch(&mut self, max_bytes: usize) -> TraceBatch {
+        let fit = (max_bytes / TRACE_SPAN_WIRE_LEN).max(1).min(self.buf.len());
+        TraceBatch {
+            dropped: self.dropped,
+            spans: self.buf.drain(..fit).collect(),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+/// A batch of spans in flight on the trace stream: one process's interval
+/// drain, or — after passing through [`TraceGather`] — a subtree's.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TraceBatch {
+    /// Lifetime spans evicted from contributing rings (plus spans cut by
+    /// the gather byte cap).
+    pub dropped: u64,
+    pub spans: Vec<TraceSpan>,
+}
+
+impl TraceBatch {
+    pub fn encode(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&self.dropped.to_le_bytes());
+        buf.extend_from_slice(&(self.spans.len() as u32).to_le_bytes());
+        for s in &self.spans {
+            s.encode(buf);
+        }
+    }
+
+    pub fn decode(r: &mut Reader<'_>) -> Result<TraceBatch> {
+        let dropped = r.u64()?;
+        let n = r.len_prefix(TRACE_SPAN_WIRE_LEN)?;
+        let mut spans = Vec::with_capacity(n);
+        for _ in 0..n {
+            spans.push(TraceSpan::decode(r)?);
+        }
+        Ok(TraceBatch { dropped, spans })
+    }
+
+    pub fn encoded_len(&self) -> usize {
+        8 + 4 + TRACE_SPAN_WIRE_LEN * self.spans.len()
+    }
+
+    /// Pack into the opaque-bytes payload a trace packet carries.
+    pub fn to_value(&self) -> DataValue {
+        let mut buf = Vec::with_capacity(self.encoded_len());
+        self.encode(&mut buf);
+        DataValue::Bytes(buf)
+    }
+
+    pub fn from_value(v: &DataValue) -> Result<TraceBatch> {
+        let bytes = v
+            .as_bytes()
+            .ok_or_else(|| TbonError::Decode("trace batch payload must be Bytes".into()))?;
+        let mut r = Reader::new(bytes);
+        let b = Self::decode(&mut r)?;
+        if r.remaining() != 0 {
+            return Err(TbonError::Decode("trailing bytes after trace batch".into()));
+        }
+        Ok(b)
+    }
+}
+
+/// The built-in transformation behind [`TRACE_FILTER`]: concatenates every
+/// decodable [`TraceBatch`] in a wave into one, enforcing a byte cap so a
+/// span storm cannot monopolise upstream bandwidth — spans cut by the cap
+/// are counted into `dropped`, never silently lost. Undecodable packets
+/// are skipped (same resilience rule as [`MetricsMerge`]).
+#[derive(Debug)]
+pub struct TraceGather {
+    /// Encoded span bytes one gathered batch may carry.
+    pub max_bytes: usize,
+}
+
+impl Default for TraceGather {
+    fn default() -> Self {
+        TraceGather {
+            max_bytes: crate::config::TraceConfig::default().max_bytes_per_interval,
+        }
+    }
+}
+
+impl Transformation for TraceGather {
+    fn transform(&mut self, wave: Wave, ctx: &mut FilterContext) -> Result<Vec<Packet>> {
+        let mut acc: Option<TraceBatch> = None;
+        let mut tag = Tag(0);
+        let max_spans = (self.max_bytes / TRACE_SPAN_WIRE_LEN).max(1);
+        for pkt in &wave {
+            let Ok(b) = TraceBatch::from_value(pkt.value()) else {
+                continue;
+            };
+            tag = pkt.tag();
+            match &mut acc {
+                Some(a) => {
+                    a.dropped = a.dropped.saturating_add(b.dropped);
+                    a.spans.extend(b.spans);
+                }
+                None => acc = Some(b),
+            }
+        }
+        Ok(match acc {
+            Some(mut b) => {
+                if b.spans.len() > max_spans {
+                    b.dropped = b.dropped.saturating_add((b.spans.len() - max_spans) as u64);
+                    b.spans.truncate(max_spans);
+                }
+                vec![ctx.make(tag, b.to_value())]
+            }
+            None => Vec::new(),
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -849,5 +1146,268 @@ mod tests {
         let b = now_us();
         assert!(a > 0);
         assert!(b >= a);
+    }
+
+    // -- satellite: exporter drift guard ------------------------------------
+
+    /// Every `PerfCounters` field must surface in both text exporters. The
+    /// struct literal below is deliberately exhaustive (no `..Default`):
+    /// adding a counter field breaks this test at compile time until the
+    /// sentinel — and therefore both exporters — are extended.
+    #[test]
+    fn exporters_cover_every_perf_counter_field() {
+        let counters = PerfCounters {
+            packets_up: 910_001,
+            packets_down: 910_002,
+            waves: 910_003,
+            filter_out: 910_004,
+            filter_ns: 910_005,
+            control: 910_006,
+            frames_sent: 910_007,
+            bytes_sent: 910_008,
+            encodes_performed: 910_009,
+            sends_dropped: 910_010,
+            waves_executed: 910_011,
+            filter_busy_us: 910_012,
+            batches_sent: 910_013,
+            frames_batched: 910_014,
+            credits_stalled_us: 910_015,
+            grants_sent: 910_016,
+            window_closed: 910_017,
+        };
+        let sentinels = [
+            ("packets_up", 910_001u64),
+            ("packets_down", 910_002),
+            ("waves", 910_003),
+            ("filter_out", 910_004),
+            ("filter_ns", 910_005),
+            ("control", 910_006),
+            ("frames_sent", 910_007),
+            ("bytes_sent", 910_008),
+            ("encodes_performed", 910_009),
+            ("sends_dropped", 910_010),
+            ("waves_executed", 910_011),
+            ("filter_busy_us", 910_012),
+            ("batches_sent", 910_013),
+            ("frames_batched", 910_014),
+            ("credits_stalled_us", 910_015),
+            ("grants_sent", 910_016),
+            ("window_closed", 910_017),
+        ];
+        let s = MetricsSample {
+            counters,
+            ..MetricsSample::default()
+        };
+        let prom = s.to_prometheus();
+        let json = s.to_jsonl();
+        for (field, v) in sentinels {
+            assert!(
+                prom.contains(&format!(" {v}\n")),
+                "to_prometheus dropped counter field `{field}` (= {v}):\n{prom}"
+            );
+            assert!(
+                json.contains(&format!(":{v}")),
+                "to_jsonl dropped counter field `{field}` (= {v}):\n{json}"
+            );
+        }
+    }
+
+    // -- satellite: quantile edge cases -------------------------------------
+
+    #[test]
+    fn quantile_edge_cases() {
+        // Empty: everything is zero.
+        let e = LogHistogram::new();
+        for q in [-1.0, 0.0, 0.5, 1.0, 2.0] {
+            assert_eq!(e.quantile(q), 0, "empty histogram, q={q}");
+        }
+        // Single value: every quantile is that value.
+        let mut one = LogHistogram::new();
+        one.record(777);
+        for q in [-0.5, 0.0, 0.25, 0.5, 1.0, 7.0] {
+            assert_eq!(one.quantile(q), 777, "single-value histogram, q={q}");
+        }
+        // q=0 and q=1 are exactly min and max even though buckets are coarse.
+        let mut h = LogHistogram::new();
+        for v in [3u64, 900, 17, 65_000] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), 3);
+        assert_eq!(h.quantile(1.0), 65_000);
+        // Saturating merge: u64::MAX counts neither wrap nor panic, and
+        // quantiles still honour the observed range.
+        let mut big = LogHistogram::new();
+        big.record(u64::MAX);
+        let mut sat = LogHistogram {
+            counts: [u64::MAX; HISTOGRAM_BUCKETS],
+            count: u64::MAX,
+            sum: u64::MAX,
+            min: 1,
+            max: u64::MAX,
+        };
+        sat.merge(&big);
+        assert_eq!(sat.count(), u64::MAX);
+        assert_eq!(sat.sum(), u64::MAX);
+        let q = sat.quantile(0.99);
+        assert!((sat.min()..=sat.max()).contains(&q));
+    }
+
+    proptest::proptest! {
+        /// After merging arbitrary histograms in arbitrary order, every
+        /// quantile stays within the merged `[min, max]`.
+        #[test]
+        fn quantiles_bounded_by_min_max_after_merges(
+            groups in proptest::collection::vec(
+                proptest::collection::vec(proptest::prelude::any::<u64>(), 1..20),
+                1..6,
+            ),
+            // Exclusive range (the offline proptest stub has no
+            // RangeInclusive strategy); q = 1.0 is appended below.
+            qs in proptest::collection::vec(0.0f64..1.0, 1..8),
+        ) {
+            let mut merged = LogHistogram::new();
+            let mut lo = u64::MAX;
+            let mut hi = 0u64;
+            for g in &groups {
+                let mut h = LogHistogram::new();
+                for &v in g {
+                    h.record(v);
+                    lo = lo.min(v);
+                    hi = hi.max(v);
+                }
+                merged.merge(&h);
+            }
+            proptest::prop_assert_eq!(merged.min(), lo);
+            proptest::prop_assert_eq!(merged.max(), hi);
+            for q in qs.iter().copied().chain([1.0]) {
+                let v = merged.quantile(q);
+                proptest::prop_assert!(
+                    (lo..=hi).contains(&v),
+                    "q={} gave {} outside [{}, {}]", q, v, lo, hi
+                );
+            }
+        }
+    }
+
+    // -- tracing plane ------------------------------------------------------
+
+    fn span(trace: u64, rank: u32, stage: TraceStage, dur: u64) -> TraceSpan {
+        TraceSpan {
+            trace,
+            rank,
+            stream: 5,
+            stage,
+            start_us: 1_000 + dur,
+            dur_us: dur,
+            detail: 0,
+        }
+    }
+
+    #[test]
+    fn trace_span_and_batch_roundtrip() {
+        let b = TraceBatch {
+            dropped: 3,
+            spans: vec![
+                span(9, 1, TraceStage::BackendInject, 10),
+                span(9, 2, TraceStage::ChildMerge, 500),
+                TraceSpan {
+                    trace: u64::MAX,
+                    rank: 7,
+                    stream: 2,
+                    stage: TraceStage::UpstreamSend,
+                    start_us: u64::MAX,
+                    dur_us: 0,
+                    detail: 11,
+                },
+            ],
+        };
+        let mut buf = Vec::new();
+        b.encode(&mut buf);
+        assert_eq!(buf.len(), b.encoded_len());
+        assert_eq!(
+            buf.len(),
+            8 + 4 + 3 * TRACE_SPAN_WIRE_LEN,
+            "span wire length constant drifted"
+        );
+        let back = TraceBatch::from_value(&DataValue::Bytes(buf.clone())).unwrap();
+        assert_eq!(back, b);
+        // Truncation anywhere must fail, never panic.
+        for cut in 0..buf.len() {
+            let mut r = Reader::new(&buf[..cut]);
+            assert!(TraceBatch::decode(&mut r).is_err(), "prefix {cut}");
+        }
+        // Every stage code roundtrips and has a distinct name.
+        let mut names = std::collections::HashSet::new();
+        for st in TraceStage::ALL {
+            assert_eq!(TraceStage::from_code(st.code()).unwrap(), st);
+            assert!(names.insert(st.name()));
+        }
+        assert!(TraceStage::from_code(200).is_err());
+    }
+
+    #[test]
+    fn span_ring_bounds_and_byte_capped_drain() {
+        let mut ring = SpanRing::new(4);
+        for i in 0..6 {
+            ring.push(span(i, 0, TraceStage::Decode, i));
+        }
+        assert_eq!(ring.len(), 4);
+        assert_eq!(ring.dropped(), 2, "oldest evicted and counted");
+        // A cap of two spans' worth of bytes drains exactly two (oldest
+        // first), leaving the rest for the next interval.
+        let batch = ring.drain_batch(2 * TRACE_SPAN_WIRE_LEN);
+        assert_eq!(batch.spans.len(), 2);
+        assert_eq!(batch.spans[0].trace, 2);
+        assert_eq!(batch.dropped, 2);
+        assert_eq!(ring.len(), 2);
+        // A degenerate cap still makes progress: one span per drain.
+        let batch = ring.drain_batch(1);
+        assert_eq!(batch.spans.len(), 1);
+        assert!(!ring.is_empty());
+        ring.drain_batch(usize::MAX);
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn trace_gather_concatenates_caps_and_skips_junk() {
+        let mut f = TraceGather {
+            max_bytes: 3 * TRACE_SPAN_WIRE_LEN,
+        };
+        let mut ctx = FilterContext::new(StreamId(9), Rank(1), false, 2);
+        let b1 = TraceBatch {
+            dropped: 1,
+            spans: vec![
+                span(4, 3, TraceStage::BackendInject, 5),
+                span(4, 3, TraceStage::UpstreamSend, 6),
+            ],
+        };
+        let b2 = TraceBatch {
+            dropped: 0,
+            spans: vec![
+                span(4, 5, TraceStage::BackendInject, 7),
+                span(8, 5, TraceStage::FilterExec, 8),
+            ],
+        };
+        let wave = vec![
+            Packet::new(StreamId(9), Tag(2), Rank(3), b1.to_value()),
+            Packet::new(StreamId(9), Tag(2), Rank(5), b2.to_value()),
+            // Junk is skipped, not fatal.
+            Packet::new(StreamId(9), Tag(2), Rank(6), DataValue::U64(1)),
+        ];
+        let out = f.transform(wave, &mut ctx).expect("gather");
+        assert_eq!(out.len(), 1);
+        let merged = TraceBatch::from_value(out[0].value()).unwrap();
+        // Four spans offered, cap fits three; the cut span is accounted.
+        assert_eq!(merged.spans.len(), 3);
+        assert_eq!(merged.dropped, 1 + 1);
+
+        // No decodable batches → no output at all.
+        let empty = f
+            .transform(
+                vec![Packet::new(StreamId(9), Tag(0), Rank(3), DataValue::Unit)],
+                &mut ctx,
+            )
+            .expect("empty");
+        assert!(empty.is_empty());
     }
 }

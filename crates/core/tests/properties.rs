@@ -81,12 +81,14 @@ proptest! {
         tag in any::<u32>(),
         origin in any::<u32>(),
         sent_us in any::<u64>(),
+        trace in any::<u64>(),
     ) {
         let msg = Message::Up {
             stream: StreamId(stream),
             tag: Tag(tag),
             origin: Rank(origin),
             sent_us,
+            trace,
             value: v,
         };
         let bytes = encode_message(&msg);
@@ -94,13 +96,14 @@ proptest! {
         let back = decode_message(&bytes).unwrap();
         match (&msg, &back) {
             (
-                Message::Up { stream: s1, tag: t1, origin: o1, sent_us: u1, value: v1 },
-                Message::Up { stream: s2, tag: t2, origin: o2, sent_us: u2, value: v2 },
+                Message::Up { stream: s1, tag: t1, origin: o1, sent_us: u1, trace: tr1, value: v1 },
+                Message::Up { stream: s2, tag: t2, origin: o2, sent_us: u2, trace: tr2, value: v2 },
             ) => {
                 prop_assert_eq!(s1, s2);
                 prop_assert_eq!(t1, t2);
                 prop_assert_eq!(o1, o2);
                 prop_assert_eq!(u1, u2);
+                prop_assert_eq!(tr1, tr2);
                 prop_assert!(value_eq(v1, v2));
             }
             _ => prop_assert!(false, "variant changed in roundtrip"),

@@ -61,9 +61,10 @@ pub use stats::{Stats, StatsReport, Summary};
 pub use timealign::{align_sum, TimeAlign, TimeSeries};
 pub use topk::{decode_topk, Scored, TopK};
 
-// The telemetry-plane merge filter lives in tbon-core (the runtime publishes
-// through it), but is advertised here with the rest of the library.
-pub use tbon_core::telemetry::{MetricsMerge, METRICS_FILTER};
+// The telemetry-plane merge and trace-gather filters live in tbon-core (the
+// runtime publishes through them), but are advertised here with the rest of
+// the library.
+pub use tbon_core::telemetry::{MetricsMerge, TraceGather, METRICS_FILTER, TRACE_FILTER};
 
 /// All filter names this crate registers, for discovery and tests.
 pub const BUILTIN_TRANSFORMATIONS: &[&str] = &[
@@ -84,9 +85,11 @@ pub const BUILTIN_TRANSFORMATIONS: &[&str] = &[
     "filter::top_k",
     "filter::decimate",
     "filter::set_union",
-    // Registered by `FilterRegistry::new()` itself (every registry has it):
-    // the level-by-level fold behind `Network::open_metrics_stream`.
+    // Registered by `FilterRegistry::new()` itself (every registry has
+    // them): the level-by-level fold behind `Network::open_metrics_stream`
+    // and the span gather behind `Network::open_trace_stream`.
     METRICS_FILTER,
+    TRACE_FILTER,
 ];
 
 /// Register every filter of this crate onto an existing registry.

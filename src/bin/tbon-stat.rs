@@ -30,6 +30,7 @@ struct Args {
     duration_s: u64,
     tcp: bool,
     drilldown: bool,
+    events: bool,
     format: Format,
 }
 
@@ -40,6 +41,7 @@ fn parse() -> Option<Args> {
         duration_s: 10,
         tcp: false,
         drilldown: false,
+        events: false,
         format: Format::Jsonl,
     };
     let mut it = std::env::args().skip(1);
@@ -50,6 +52,7 @@ fn parse() -> Option<Args> {
             "--duration" => args.duration_s = it.next()?.parse().ok()?,
             "--transport" => args.tcp = it.next()?.as_str() == "tcp",
             "--drilldown" => args.drilldown = true,
+            "--events" => args.events = true,
             "--watch" => args.format = Format::Watch,
             "--format" => {
                 args.format = match it.next()?.as_str() {
@@ -160,11 +163,45 @@ fn render_watch(sample: &MetricsSample, origin: Rank, elapsed: Duration) {
     }
 }
 
+/// Drained event rings, one line per event: rank, time since that
+/// process's own start (the `at_us` epoch is per-process — see the clock
+/// rule in DESIGN.md §12 — so lines are ordered within a rank, not across
+/// ranks), kind, detail.
+fn render_events(snap: &EventSnapshot) {
+    let mut ranks: Vec<&Rank> = snap.logs.keys().collect();
+    ranks.sort();
+    println!("process events ({} rings drained):", ranks.len());
+    for rank in ranks {
+        let log = &snap.logs[rank];
+        for ev in &log.events {
+            let detail = if ev.detail.is_empty() {
+                String::new()
+            } else {
+                format!("  {}", ev.detail)
+            };
+            println!(
+                "  rank {:>3}  +{:>9.3}s  {:<14}{}",
+                rank.0,
+                ev.at_us as f64 / 1e6,
+                ev.kind,
+                detail
+            );
+        }
+        if log.dropped > 0 {
+            println!("  rank {:>3}  ({} events dropped)", rank.0, log.dropped);
+        }
+    }
+    for rank in &snap.missing {
+        println!("  rank {:>3}  (no answer)", rank.0);
+    }
+}
+
 fn main() -> ExitCode {
     let Some(args) = parse() else {
         eprintln!(
             "usage: tbon-stat [--topology SPEC] [--interval-ms N] [--duration SECS] \
-             [--transport local|tcp] [--drilldown] [--watch | --format jsonl|prom|watch]"
+             [--transport local|tcp] [--drilldown] [--events] \
+             [--watch | --format jsonl|prom|watch]"
         );
         return ExitCode::from(2);
     };
@@ -248,6 +285,13 @@ fn main() -> ExitCode {
             }
         }
         std::thread::sleep(Duration::from_millis(10));
+    }
+
+    if args.events {
+        match net.event_logs(Duration::from_secs(5)) {
+            Ok(snap) => render_events(&snap),
+            Err(e) => eprintln!("event drain failed: {e}"),
+        }
     }
 
     if metrics.close().is_err() || net.shutdown().is_err() {

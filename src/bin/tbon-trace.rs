@@ -1,0 +1,168 @@
+//! `tbon-trace` — trace a running overlay wave-by-wave.
+//!
+//! Launches a demonstration overlay (like `tbon-run`), enables 1-in-N wave
+//! sampling, drives a continuous reduction workload while the in-band trace
+//! stream ships every process's spans to the root, then assembles the spans
+//! into per-wave traces: writes Perfetto-loadable Chrome trace-event JSON
+//! and prints a slowest-N text summary naming each wave's dominant stage,
+//! dominant hop, and any straggler children.
+//!
+//! ```text
+//! tbon-trace --topology 4x4 --sample-every 8 --duration 5 --out trace.json
+//! tbon-trace --topology 8x8 --transport tcp --slowest 10
+//! ```
+
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+use tbon::prelude::*;
+use tbon::topology::TopologySpec;
+
+struct Args {
+    topology: String,
+    sample_every: u64,
+    interval_ms: u64,
+    duration_s: u64,
+    tcp: bool,
+    out: Option<String>,
+    slowest: usize,
+}
+
+fn parse() -> Option<Args> {
+    let mut args = Args {
+        topology: "4x4".into(),
+        sample_every: 8,
+        interval_ms: 250,
+        duration_s: 5,
+        tcp: false,
+        out: Some("trace.json".into()),
+        slowest: 5,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--topology" => args.topology = it.next()?,
+            "--sample-every" => args.sample_every = it.next()?.parse().ok()?,
+            "--interval-ms" => args.interval_ms = it.next()?.parse().ok()?,
+            "--duration" => args.duration_s = it.next()?.parse().ok()?,
+            "--transport" => args.tcp = it.next()?.as_str() == "tcp",
+            "--out" => args.out = Some(it.next()?),
+            "--no-out" => args.out = None,
+            "--slowest" => args.slowest = it.next()?.parse().ok()?,
+            _ => return None,
+        }
+    }
+    (args.sample_every > 0).then_some(args)
+}
+
+fn main() -> ExitCode {
+    let Some(args) = parse() else {
+        eprintln!(
+            "usage: tbon-trace [--topology SPEC] [--sample-every N] [--interval-ms N] \
+             [--duration SECS] [--transport local|tcp] [--out FILE | --no-out] [--slowest N]"
+        );
+        return ExitCode::from(2);
+    };
+
+    let spec = match TopologySpec::parse(&args.topology) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("bad topology: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let config = NetworkConfig {
+        trace: TraceConfig::sampled(args.sample_every),
+        ..NetworkConfig::default()
+    };
+    let builder = NetworkBuilder::new(spec.build())
+        .registry(builtin_registry())
+        .config(config)
+        .backend(|mut ctx: BackendContext| loop {
+            match ctx.next_event() {
+                Ok(BackendEvent::Packet { stream, packet }) => {
+                    let metric = (ctx.rank().0 as f64).sin().abs() * 100.0;
+                    if ctx
+                        .send(stream, packet.tag(), DataValue::F64(metric))
+                        .is_err()
+                    {
+                        break;
+                    }
+                }
+                Ok(BackendEvent::Shutdown) | Err(_) => break,
+                Ok(_) => continue,
+            }
+        });
+    let launched = if args.tcp {
+        builder.transport(TcpTransport::new()).launch()
+    } else {
+        builder.launch()
+    };
+    let mut net = match launched {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("launch failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let interval = Duration::from_millis(args.interval_ms.max(10));
+    let traces = match net.open_trace_stream(interval) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("trace stream failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let stream = match net.new_stream(StreamSpec::all().transformation("builtin::avg")) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("workload stream failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Drive a continuous reduction workload while absorbing trace batches.
+    let mut asm = TraceAssembler::new();
+    let started = Instant::now();
+    let deadline = started + Duration::from_secs(args.duration_s);
+    let mut round = 0u32;
+    while Instant::now() < deadline {
+        if stream
+            .broadcast(Tag(round), DataValue::U64(round as u64))
+            .is_err()
+        {
+            break;
+        }
+        round += 1;
+        let _ = stream.recv_within(Duration::from_secs(5));
+        while let Some((_origin, batch)) = traces.poll() {
+            asm.absorb(&batch);
+        }
+    }
+    // One settle interval so the last publish tick can flush in-flight
+    // spans, then drain whatever arrived.
+    std::thread::sleep(interval + Duration::from_millis(50));
+    while let Some((_origin, batch)) = traces.poll() {
+        asm.absorb(&batch);
+    }
+
+    if traces.close().is_err() || net.shutdown().is_err() {
+        eprintln!("teardown failed");
+        return ExitCode::FAILURE;
+    }
+
+    print!("{}", asm.slowest_summary(args.slowest));
+    if let Some(path) = &args.out {
+        if let Err(e) = std::fs::write(path, asm.chrome_trace_json()) {
+            eprintln!("writing {path} failed: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "wrote {path}: {} waves, {} spans (load in Perfetto / chrome://tracing)",
+            asm.len(),
+            asm.span_count()
+        );
+    }
+    ExitCode::SUCCESS
+}

@@ -66,7 +66,7 @@ pub mod prelude {
         BackendContext, BackendEvent, DataValue, Deadline, EventSnapshot, FilterRegistry,
         FlowConfig, LogHistogram, MetricsHandle, MetricsSample, NetEvent, Network, NetworkBuilder,
         NetworkConfig, Packet, PerfSnapshot, Rank, RetryPolicy, StreamConsumer, StreamHandle,
-        StreamId, StreamSpec, SyncPolicy, Tag, TbonError,
+        StreamId, StreamSpec, SyncPolicy, Tag, TbonError, TraceAssembler, TraceConfig, TraceHandle,
     };
     pub use tbon_filters::builtin_registry;
     pub use tbon_topology::Topology;

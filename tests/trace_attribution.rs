@@ -1,0 +1,254 @@
+//! End-to-end span attribution: the per-wave tracing plane must name the
+//! process (and child) a wave actually waited on, and spans must stay with
+//! their own wave even when filters execute on the parallel pool.
+//!
+//! Both tests sample every wave (`sample_every = 1` — a tests-only rate;
+//! the overhead bound is stated for 1-in-64 and up) so every wave in the
+//! run is attributable.
+
+use std::collections::HashSet;
+use std::time::{Duration, Instant};
+
+use tbon::core::TraceStage;
+use tbon::prelude::*;
+use tbon::topology::TopologySpec;
+
+/// Echo one reply upstream per downstream packet.
+fn echo_backend() -> impl Fn(BackendContext) + Send + Sync {
+    |mut ctx: BackendContext| loop {
+        match ctx.next_event() {
+            Ok(BackendEvent::Packet { stream, packet }) => {
+                let _ = ctx.send(stream, packet.tag(), DataValue::I64(1));
+            }
+            Ok(BackendEvent::Shutdown) | Err(_) => break,
+            Ok(_) => continue,
+        }
+    }
+}
+
+/// Delay every frame on the `slow` leaf's parent link (and only there),
+/// sleeping in the sending thread — the same throttle idiom as
+/// `tests/flow_control.rs`: a link is spared when either endpoint is
+/// spared, so sparing everyone else faults exactly that edge.
+fn throttle_only(topo: &Topology, slow: Rank, delay: Duration) -> FaultPlan {
+    let parent = topo
+        .parent(tbon::topology::NodeId(slow.0))
+        .expect("slow leaf has a parent");
+    let mut plan = FaultPlan::new(0x7ACE).delay_frames(1.0, delay);
+    for n in topo.node_ids() {
+        if n.0 != slow.0 && n != parent {
+            plan = plan.spare(n.0);
+        }
+    }
+    plan
+}
+
+/// Drive `waves` reduction waves while draining the trace stream into an
+/// assembler, settle one publish interval, and drain the stragglers.
+fn drive_and_assemble(
+    net: &mut Network,
+    stream: &StreamHandle,
+    traces: &TraceHandle,
+    waves: u32,
+    interval: Duration,
+) -> TraceAssembler {
+    let mut asm = TraceAssembler::new();
+    for i in 0..waves {
+        stream.broadcast(Tag(i), DataValue::Unit).unwrap();
+        stream
+            .recv_within(Duration::from_secs(30))
+            .unwrap()
+            .unwrap_or_else(|| panic!("wave {i} never completed"));
+        while let Some((_, batch)) = traces.poll() {
+            asm.absorb(&batch);
+        }
+    }
+    // Spans recorded after the last reply (upstream sends, merges at the
+    // root) ship on the next publish tick; wait it out, then drain.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while asm.len() < waves as usize && Instant::now() < deadline {
+        if let Ok(Some((_, batch))) = traces.recv_within(interval) {
+            asm.absorb(&batch);
+        }
+    }
+    let _ = net; // the network outlives the handles borrowed above
+    asm
+}
+
+/// A throttled leaf must surface as *the* straggler in its parent's
+/// child-merge spans: the merge span's detail names the last child to
+/// arrive, and the throttled edge makes that child the slow leaf on
+/// essentially every wave.
+#[test]
+fn throttled_child_is_named_straggler_in_child_merge_spans() {
+    const WAVES: u32 = 20;
+    let delay = Duration::from_millis(5);
+    let interval = Duration::from_millis(100);
+
+    let topo = TopologySpec::parse("2x2").unwrap().build();
+    let root = topo.root();
+    let internals: Vec<u32> = topo.children(root).to_vec();
+    let parent = Rank(internals[0]);
+    let slow_leaf = Rank(topo.children(tbon::topology::NodeId(internals[0]))[0]);
+
+    let plan = throttle_only(&topo, slow_leaf, delay);
+    let config = NetworkConfig {
+        trace: TraceConfig::sampled(1),
+        ..NetworkConfig::default()
+    };
+    let mut net = NetworkBuilder::new(topo)
+        .registry(builtin_registry())
+        .fault_plan(plan)
+        .config(config)
+        .backend(echo_backend())
+        .launch()
+        .unwrap();
+    let traces = net.open_trace_stream(interval).unwrap();
+    let stream = net
+        .new_stream(StreamSpec::all().transformation("builtin::count"))
+        .unwrap();
+
+    let asm = drive_and_assemble(&mut net, &stream, &traces, WAVES, interval);
+    assert!(
+        asm.len() >= WAVES as usize / 2,
+        "most waves must assemble (got {} of {WAVES}): publish path broken?",
+        asm.len()
+    );
+
+    // At the slow leaf's parent, the merge wait must (a) exist, (b) name
+    // the slow leaf as the last arrival on a clear majority of waves, and
+    // (c) actually account for the injected delay.
+    let mut at_parent = 0u32;
+    let mut named_slow = 0u32;
+    let mut max_wait_us = 0u64;
+    for wave in asm.waves() {
+        for (merging, straggler, wait_us) in wave.stragglers() {
+            if merging == parent.0 {
+                at_parent += 1;
+                max_wait_us = max_wait_us.max(wait_us);
+                if straggler == slow_leaf.0 {
+                    named_slow += 1;
+                }
+            }
+        }
+    }
+    assert!(
+        at_parent > 0,
+        "no child-merge spans at the slow leaf's parent {parent}"
+    );
+    assert!(
+        named_slow * 2 > at_parent,
+        "straggler attribution must name the throttled leaf {slow_leaf}: \
+         named on {named_slow} of {at_parent} merges at {parent}"
+    );
+    assert!(
+        max_wait_us >= delay.as_micros() as u64 / 2,
+        "merge waits ({max_wait_us}us max) never reflect the {delay:?} throttle"
+    );
+
+    traces.close().unwrap();
+    net.shutdown().unwrap();
+}
+
+/// Under the parallel filter pool (inline fast path off, so every wave
+/// takes the pooled hand-off) spans must still land on the wave that owns
+/// them: each assembled trace's spans carry exactly one stream id, both
+/// concurrent streams produce traces, and the pooled hops record the
+/// executor-queue wait alongside the filter execution.
+#[test]
+fn pooled_executor_spans_attribute_to_the_owning_wave() {
+    const WAVES: u32 = 15;
+    let interval = Duration::from_millis(100);
+
+    let mut config = NetworkConfig {
+        trace: TraceConfig::sampled(1),
+        ..NetworkConfig::default()
+    };
+    config.filter_pool.workers = 2;
+    config.filter_pool.inline_below_bytes = 0; // force every wave through the pool
+    let mut net = NetworkBuilder::new(TopologySpec::parse("2x2").unwrap().build())
+        .registry(builtin_registry())
+        .config(config)
+        .backend(echo_backend())
+        .launch()
+        .unwrap();
+    let traces = net.open_trace_stream(interval).unwrap();
+    let stream_a = net
+        .new_stream(StreamSpec::all().transformation("builtin::count"))
+        .unwrap();
+    let stream_b = net
+        .new_stream(StreamSpec::all().transformation("builtin::sum"))
+        .unwrap();
+
+    // Interleave the two streams so distinct waves are in the pool at once.
+    let mut asm = TraceAssembler::new();
+    for i in 0..WAVES {
+        stream_a.broadcast(Tag(i), DataValue::Unit).unwrap();
+        stream_b.broadcast(Tag(i), DataValue::Unit).unwrap();
+        for (label, s) in [("a", &stream_a), ("b", &stream_b)] {
+            s.recv_within(Duration::from_secs(30))
+                .unwrap()
+                .unwrap_or_else(|| panic!("stream {label} wave {i} never completed"));
+        }
+        while let Some((_, batch)) = traces.poll() {
+            asm.absorb(&batch);
+        }
+    }
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while asm.len() < WAVES as usize && Instant::now() < deadline {
+        if let Ok(Some((_, batch))) = traces.recv_within(interval) {
+            asm.absorb(&batch);
+        }
+    }
+    assert!(
+        asm.len() >= WAVES as usize,
+        "both streams sample every wave; expected at least {WAVES} traces, got {}",
+        asm.len()
+    );
+
+    let (a, b) = (stream_a.id().0, stream_b.id().0);
+    let mut streams_seen: HashSet<u32> = HashSet::new();
+    let mut pooled_waves = 0usize;
+    for wave in asm.waves() {
+        let ids: HashSet<u32> = wave.spans.iter().map(|s| s.stream).collect();
+        assert_eq!(
+            ids.len(),
+            1,
+            "trace {:#x} leaked across streams: {ids:?}",
+            wave.trace
+        );
+        let id = *ids.iter().next().unwrap();
+        assert!(
+            id == a || id == b,
+            "trace {:#x} on unexpected stream {id} (app streams are {a} and {b})",
+            wave.trace
+        );
+        streams_seen.insert(id);
+        let has_queue = wave
+            .spans
+            .iter()
+            .any(|s| s.stage == TraceStage::ExecutorQueue);
+        let has_exec = wave.spans.iter().any(|s| s.stage == TraceStage::FilterExec);
+        if has_queue {
+            pooled_waves += 1;
+            assert!(
+                has_exec,
+                "trace {:#x} has a queue wait but no filter execution",
+                wave.trace
+            );
+        }
+    }
+    assert_eq!(
+        streams_seen,
+        HashSet::from([a, b]),
+        "both concurrent streams must produce traces"
+    );
+    assert!(
+        pooled_waves > 0,
+        "inline_below_bytes = 0 with workers — some wave must show a pooled \
+         executor-queue span"
+    );
+
+    traces.close().unwrap();
+    net.shutdown().unwrap();
+}
