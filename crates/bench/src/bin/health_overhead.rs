@@ -1,0 +1,204 @@
+//! Health-plane overhead: E2-style tree throughput with the health plane
+//! disabled versus fully armed (default scoring cadence, incident stream
+//! open and drained).
+//!
+//! An armed health plane costs: one timer check per event-loop deadline, a
+//! handful of counter subtractions and EWMA updates per `check_interval`,
+//! and — absent faults — nothing on the wire, because bundles only ship
+//! when something crosses a baseline. The PR's acceptance bar is < 2%
+//! wave-throughput regression with defaults on.
+//!
+//! Prints a `BENCH_health.json` document to stdout:
+//!
+//! ```text
+//! health_overhead [--backends 64] [--waves 300] [--reps 3]
+//!                 [--record-cost-us 10] [--transport copying|zerocopy|tcp]
+//!                 [--date YYYY-MM-DD]
+//! ```
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use tbon_bench::fold;
+use tbon_core::{
+    BackendContext, BackendEvent, DataValue, HealthConfig, NetworkBuilder, NetworkConfig,
+    StreamConsumer, StreamSpec, Tag,
+};
+use tbon_filters::builtin_registry;
+use tbon_topology::{stats::required_depth, Topology};
+use tbon_transport::{local::LocalTransport, tcp::TcpTransport, Transport};
+
+const RECORD_LEN: usize = 32;
+const FANOUT: usize = 8;
+
+fn make_transport(kind: &str) -> Arc<dyn Transport> {
+    match kind {
+        "copying" => Arc::new(LocalTransport::new_copying()),
+        "zerocopy" => Arc::new(LocalTransport::new()),
+        "tcp" => Arc::new(TcpTransport::new()),
+        other => panic!("unknown transport '{other}' (copying|zerocopy|tcp)"),
+    }
+}
+
+fn backend_loop(waves: usize) -> impl Fn(BackendContext) + Send + Sync {
+    move |mut ctx: BackendContext| loop {
+        match ctx.next_event() {
+            Ok(BackendEvent::Packet { stream, .. }) => {
+                for w in 0..waves {
+                    let record: Vec<f64> = (0..RECORD_LEN)
+                        .map(|i| (w * RECORD_LEN + i) as f64)
+                        .collect();
+                    if ctx
+                        .send(stream, Tag(w as u32), DataValue::ArrayF64(record))
+                        .is_err()
+                    {
+                        break;
+                    }
+                }
+            }
+            Ok(BackendEvent::Shutdown) | Err(_) => break,
+            Ok(_) => continue,
+        }
+    }
+}
+
+/// One E2 tree run; `armed` turns on the default health plane and opens the
+/// incident stream so any capture actually ships and is drained. Returns
+/// (elapsed, bundles received) — bundles stay at zero in a healthy run,
+/// which is exactly the steady state this bench prices.
+fn run_tree(
+    backends: usize,
+    waves: usize,
+    transport: &str,
+    record_cost: Duration,
+    armed: bool,
+) -> (Duration, u64) {
+    let depth = required_depth(FANOUT, backends).max(1);
+    let mut levels = vec![FANOUT; depth];
+    let inner: usize = levels[..depth - 1].iter().product();
+    if inner > 0 && backends.is_multiple_of(inner) && backends / inner > 0 {
+        levels[depth - 1] = backends / inner;
+    }
+    let topo = Topology::balanced_levels(&levels);
+    let config = NetworkConfig {
+        health: if armed {
+            HealthConfig::default()
+        } else {
+            HealthConfig::disabled()
+        },
+        ..NetworkConfig::default()
+    };
+    let mut net = NetworkBuilder::new(topo)
+        .transport_arc(make_transport(transport))
+        .registry(builtin_registry())
+        .config(config)
+        .backend(backend_loop(waves))
+        .launch()
+        .expect("launch");
+    let incidents = armed.then(|| net.open_incident_stream().expect("incident stream"));
+    let stream = net
+        .new_stream(StreamSpec::all().transformation("builtin::sum"))
+        .expect("stream");
+    let start = Instant::now();
+    stream.broadcast(Tag(0), DataValue::Unit).expect("start");
+    let mut acc = vec![0.0f64; RECORD_LEN];
+    let mut bundles = 0u64;
+    for _ in 0..waves {
+        let pkt = stream
+            .recv_within(Duration::from_secs(300))
+            .unwrap()
+            .expect("wave");
+        fold(
+            &mut acc,
+            pkt.value().as_array_f64().expect("wave record"),
+            record_cost,
+        );
+        if let Some(h) = &incidents {
+            while let Some((_, batch)) = h.poll() {
+                bundles += batch.bundles.len() as u64;
+            }
+        }
+    }
+    let elapsed = start.elapsed();
+    net.shutdown().expect("shutdown");
+    (elapsed, bundles)
+}
+
+fn main() {
+    let mut backends = 64usize;
+    let mut waves = 300usize;
+    let mut reps = 3usize;
+    let mut record_cost_us = 10u64;
+    let mut transport = "copying".to_string();
+    let mut date = "unknown".to_string();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--backends" => backends = it.next().unwrap().parse().unwrap(),
+            "--waves" => waves = it.next().unwrap().parse().unwrap(),
+            "--reps" => reps = it.next().unwrap().parse().unwrap(),
+            "--record-cost-us" => record_cost_us = it.next().unwrap().parse().unwrap(),
+            "--transport" => transport = it.next().unwrap(),
+            "--date" => date = it.next().unwrap(),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    let record_cost = Duration::from_micros(record_cost_us);
+
+    let configs: [(&str, bool); 2] = [("off", false), ("on", true)];
+    // Best-of-reps rate per config, interleaved round-robin so host load
+    // drift hits both equally (same protocol as trace_overhead).
+    let mut best = [Duration::MAX; 2];
+    let mut total_bundles = [0u64; 2];
+    for _ in 0..reps {
+        for (i, (_, armed)) in configs.iter().enumerate() {
+            let (elapsed, bundles) = run_tree(backends, waves, &transport, record_cost, *armed);
+            best[i] = best[i].min(elapsed);
+            total_bundles[i] += bundles;
+        }
+    }
+    let mut rates = Vec::new();
+    for (i, (label, _)) in configs.iter().enumerate() {
+        let rate = (backends * waves) as f64 / best[i].as_secs_f64();
+        eprintln!(
+            "health {label}: {rate:.0} rec/s (best of {reps}), {} bundles",
+            total_bundles[i]
+        );
+        rates.push((*label, rate, total_bundles[i]));
+    }
+
+    let base = rates[0].1;
+    let overhead = |r: f64| (1.0 - r / base) * 100.0;
+    let armed_overhead = overhead(rates[1].1);
+    let pass = armed_overhead < 2.0;
+
+    println!("{{");
+    println!("  \"bench\": \"health_overhead\",");
+    println!(
+        "  \"description\": \"E2 tree throughput ({backends} back-ends, fan-out {FANOUT}, {waves} waves of {RECORD_LEN}-f64 records, {record_cost_us}us front-end record cost, {transport} transport) with the health plane disabled vs armed with defaults; armed runs keep the in-band incident stream open and drain it. Rates are records/s, best of {reps} runs.\","
+    );
+    println!("  \"date\": \"{date}\",");
+    println!(
+        "  \"harness\": \"cargo run --release -p tbon-bench --bin health_overhead (offline stubs, single-core container)\","
+    );
+    println!("  \"acceptance\": {{");
+    println!(
+        "    \"criterion\": \"throughput with the default health plane armed regresses < 2% vs disabled\","
+    );
+    println!("    \"measured_overhead_pct_armed\": {armed_overhead:.2},");
+    println!("    \"pass\": {pass}");
+    println!("  }},");
+    println!("  \"results\": [");
+    for (i, (label, rate, bundles)) in rates.iter().enumerate() {
+        let comma = if i + 1 < rates.len() { "," } else { "" };
+        println!(
+            "    {{ \"health\": \"{label}\", \"records_per_s\": {rate:.0}, \"overhead_pct\": {:.2}, \"bundles_received\": {bundles} }}{comma}",
+            overhead(*rate),
+        );
+    }
+    println!("  ],");
+    println!(
+        "  \"notes\": \"Armed sampling is a few counter subtractions and EWMA folds per 200ms check interval per process; a healthy run never crosses a baseline, so nothing extra rides the wire and bundles_received stays 0. The incident stream itself costs one stream-table entry. Negative overhead means the run fell within scheduler noise of the baseline.\""
+    );
+    println!("}}");
+}

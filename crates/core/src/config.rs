@@ -226,6 +226,70 @@ impl TraceConfig {
     }
 }
 
+/// Continuous health scoring + flight recorder (see DESIGN.md §13 and
+/// `crates/core/src/health.rs`).
+///
+/// Every `check_interval` each communication process folds the signals it
+/// already counts — writer queue depth, executor queue depth, credit-stall
+/// time, child-merge straggler gaps, dropped sends — into per-signal EWMA
+/// baselines. A sample that exceeds `warn_ratio ×` its baseline (and the
+/// signal's absolute floor, so quiet trees don't alarm on noise) raises a
+/// [`crate::NetEvent::HealthWarning`] and, when the incident stream is
+/// open, triggers the flight recorder: the process freeze-copies its span
+/// ring, event ring, counter delta, flow-window state and local topology
+/// into a bounded [`crate::health::IncidentBundle`] shipped in-band to the
+/// front end for [`crate::health::Diagnosis`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HealthConfig {
+    /// Whether health scoring (and incident capture) runs at all. On by
+    /// default — every input is a counter the process already maintains,
+    /// so the steady-state cost is a handful of subtractions per interval.
+    pub enabled: bool,
+    /// How often each process samples its signals and updates baselines.
+    pub check_interval: Duration,
+    /// A sample must exceed `warn_ratio ×` its EWMA baseline (and the
+    /// signal's absolute floor) to raise a warning.
+    pub warn_ratio: u32,
+    /// Intervals of baseline learning before warnings may fire; absorbs
+    /// startup transients (stream setup, cold caches).
+    pub warmup_samples: u32,
+    /// Minimum gap between consecutive warnings for the same signal on the
+    /// same subject, so a persistently sick link logs a heartbeat rather
+    /// than a firehose.
+    pub min_warning_gap: Duration,
+    /// Encoded-byte cap on one [`crate::health::IncidentBundle`]; spans
+    /// and events are truncated newest-first to fit.
+    pub bundle_max_bytes: usize,
+    /// Minimum gap between locally-originated incident captures. Marks
+    /// from the supervisor ([`crate::Message::IncidentMark`]) bypass the
+    /// cooldown — a heal/degrade verdict always gets its bundle.
+    pub incident_cooldown: Duration,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        HealthConfig {
+            enabled: true,
+            check_interval: Duration::from_millis(200),
+            warn_ratio: 4,
+            warmup_samples: 5,
+            min_warning_gap: Duration::from_secs(2),
+            bundle_max_bytes: 32 * 1024,
+            incident_cooldown: Duration::from_millis(250),
+        }
+    }
+}
+
+impl HealthConfig {
+    /// Health plane off: no scoring, no warnings, no incident capture.
+    pub fn disabled() -> Self {
+        HealthConfig {
+            enabled: false,
+            ..HealthConfig::default()
+        }
+    }
+}
+
 /// Configuration shared by every process of one network.
 #[derive(Debug, Clone)]
 pub struct NetworkConfig {
@@ -268,6 +332,10 @@ pub struct NetworkConfig {
     /// Sampled distributed tracing (see [`TraceConfig`]). Disabled by
     /// default; set `trace.sample_every = 64` for 1-in-64 wave sampling.
     pub trace: TraceConfig,
+    /// Continuous health scoring + flight recorder (see [`HealthConfig`]).
+    /// On by default; set `health.enabled = false` to turn the health
+    /// plane off entirely.
+    pub health: HealthConfig,
 }
 
 impl NetworkConfig {
@@ -298,6 +366,7 @@ impl Default for NetworkConfig {
             batch: writer.batch,
             flow: FlowConfig::default(),
             trace: TraceConfig::default(),
+            health: HealthConfig::default(),
         }
     }
 }
@@ -355,6 +424,20 @@ mod tests {
         assert!(TraceConfig::sampled(64).enabled());
         assert_eq!(TraceConfig::sampled(64).sample_every, 64);
         assert!(!TraceConfig::disabled().enabled());
+        // Health plane defaults: on (near-zero cost — inputs are counters
+        // the process already maintains), with thresholds that cannot fire
+        // before warmup and a bounded bundle size.
+        assert!(c.health.enabled, "health scoring on by default");
+        assert!(c.health.check_interval >= Duration::from_millis(50));
+        assert!(
+            c.health.warn_ratio >= 2,
+            "ratio below 2 would alarm on noise"
+        );
+        assert!(c.health.warmup_samples > 0);
+        assert!(c.health.min_warning_gap > c.health.check_interval);
+        assert!(c.health.bundle_max_bytes >= 4096);
+        assert!(c.health.incident_cooldown > Duration::ZERO);
+        assert!(!HealthConfig::disabled().enabled);
     }
 
     #[test]

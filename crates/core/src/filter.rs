@@ -302,6 +302,9 @@ impl FilterRegistry {
         reg.register_transformation(crate::telemetry::TRACE_FILTER, |_| {
             Ok(Box::<crate::telemetry::TraceGather>::default())
         });
+        reg.register_transformation(crate::health::INCIDENT_FILTER, |_| {
+            Ok(Box::<crate::health::IncidentGather>::default())
+        });
         reg.register_synchronization("sync::wait_for_all", |_| Ok(Box::new(WaitForAll::new())));
         reg.register_synchronization("sync::null", |_| Ok(Box::new(NullSync)));
         reg.register_synchronization("sync::time_out", |params| {
@@ -533,6 +536,7 @@ mod tests {
         assert!(reg.has_transformation("core::identity"));
         assert!(reg.has_transformation(crate::telemetry::METRICS_FILTER));
         assert!(reg.has_transformation(crate::telemetry::TRACE_FILTER));
+        assert!(reg.has_transformation(crate::health::INCIDENT_FILTER));
         assert!(reg.has_synchronization("sync::wait_for_all"));
         assert!(reg.has_synchronization("sync::time_out"));
         assert!(reg.has_synchronization("sync::null"));

@@ -29,6 +29,7 @@ pub mod error;
 mod executor;
 pub mod filter;
 pub mod fmt;
+pub mod health;
 pub mod network;
 pub mod packet;
 mod process;
@@ -40,15 +41,22 @@ pub mod trace;
 pub mod value;
 
 pub use backend::{BackendContext, BackendEvent, BackendStream};
-pub use config::{FilterPoolConfig, FlowConfig, NetworkConfig, RetryPolicy, TraceConfig};
+pub use config::{
+    FilterPoolConfig, FlowConfig, HealthConfig, NetworkConfig, RetryPolicy, TraceConfig,
+};
 pub use consumer::{Deadline, StreamConsumer};
 pub use error::{Result, TbonError};
 pub use filter::{
     FilterContext, FilterRegistry, Identity, NullSync, SyncContext, Synchronization, TimeOut,
     Transformation, WaitForAll, Wave,
 };
+pub use health::{
+    Diagnosis, FaultClass, FlowSummary, HealthMonitor, HealthScore, HealthSignal, Incident,
+    IncidentBatch, IncidentBundle, IncidentGather, IncidentReason, Verdict, INCIDENT_FILTER,
+};
 pub use network::{
-    EventSnapshot, MetricsHandle, Network, NetworkBuilder, PerfSnapshot, StreamHandle, TraceHandle,
+    EventSnapshot, IncidentHandle, MetricsHandle, Network, NetworkBuilder, PerfSnapshot,
+    StreamHandle, TraceHandle,
 };
 pub use packet::{Packet, Rank};
 pub use proto::{FilterKind, Message, NetEvent, PerfCounters};

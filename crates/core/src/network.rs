@@ -24,6 +24,7 @@ use crate::config::{NetworkConfig, RetryPolicy};
 use crate::consumer::{Deadline, StreamConsumer};
 use crate::error::{Result, TbonError};
 use crate::filter::FilterRegistry;
+use crate::health::IncidentBatch;
 use crate::packet::{Packet, Rank};
 use crate::process::{send_message, CommProcess, FeCommand};
 use crate::proto::{Envelope, FilterKind, Message, NetEvent, PerfCounters};
@@ -420,6 +421,13 @@ pub struct EventSnapshot {
 }
 
 impl EventSnapshot {
+    /// Total events evicted from responding processes' rings before this
+    /// drain could read them — nonzero means the rings were sized below
+    /// the event rate and the logs have gaps.
+    pub fn dropped(&self) -> u64 {
+        self.logs.values().map(|pe| pe.dropped).sum()
+    }
+
     /// All events across the tree as JSON lines, ordered by rank.
     pub fn to_jsonl(&self) -> String {
         let mut ranks: Vec<Rank> = self.logs.keys().copied().collect();
@@ -695,6 +703,7 @@ impl Network {
                 cmd: self.cmd.clone(),
                 rx,
             },
+            recovery: Some(self.recovery.clone()),
         })
     }
 
@@ -719,6 +728,31 @@ impl Network {
             .recv_timeout(self.config.shutdown_timeout)
             .map_err(|_| TbonError::NetworkDown)??;
         Ok(TraceHandle {
+            inner: StreamHandle {
+                id,
+                cmd: self.cmd.clone(),
+                rx,
+            },
+        })
+    }
+
+    /// Open the incident stream — the flight-recorder plane. Every
+    /// communication process arms its flight recorder: failure detection,
+    /// supervisor heal/degrade verdicts, flow-control silence, and health
+    /// warnings each freeze-copy the process's forensic state (span ring,
+    /// event ring, counter deltas, flow windows, local topology) into an
+    /// [`crate::IncidentBundle`] shipped in-band to this handle. Feed the
+    /// batches to a [`crate::Diagnosis`] for automated root-cause
+    /// classification.
+    pub fn open_incident_stream(&mut self) -> Result<IncidentHandle> {
+        let (reply_tx, reply_rx) = bounded(1);
+        self.cmd
+            .send(FeCommand::OpenIncident { reply: reply_tx })
+            .map_err(|_| TbonError::NetworkDown)?;
+        let (id, rx) = reply_rx
+            .recv_timeout(self.config.shutdown_timeout)
+            .map_err(|_| TbonError::NetworkDown)??;
+        Ok(IncidentHandle {
             inner: StreamHandle {
                 id,
                 cmd: self.cmd.clone(),
@@ -943,6 +977,11 @@ impl StreamConsumer for StreamHandle {
 #[derive(Debug)]
 pub struct MetricsHandle {
     inner: StreamHandle,
+    /// Supervisor recovery-latency histogram, grafted into each sample as
+    /// it is received: recovery is recorded at the front end (the
+    /// supervisor lives there), so publishing processes leave
+    /// [`MetricsSample::recovery_us`] empty on the wire.
+    recovery: Option<Arc<Mutex<LogHistogram>>>,
 }
 
 impl MetricsHandle {
@@ -982,7 +1021,10 @@ impl StreamConsumer for MetricsHandle {
             match self.inner.recv(deadline)? {
                 None => return Ok(None),
                 Some(pkt) => {
-                    if let Ok(sample) = MetricsSample::from_value(pkt.value()) {
+                    if let Ok(mut sample) = MetricsSample::from_value(pkt.value()) {
+                        if let Some(rec) = &self.recovery {
+                            sample.recovery_us = rec.lock().clone();
+                        }
                         return Ok(Some((pkt.origin(), sample)));
                     }
                 }
@@ -1024,6 +1066,46 @@ impl StreamConsumer for TraceHandle {
                 None => return Ok(None),
                 Some(pkt) => {
                     if let Ok(batch) = TraceBatch::from_value(pkt.value()) {
+                        return Ok(Some((pkt.origin(), batch)));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Front-end handle to the incident stream (see
+/// [`Network::open_incident_stream`]): a [`StreamHandle`] that decodes each
+/// upstream packet into an [`IncidentBatch`] keyed by its origin rank.
+#[derive(Debug)]
+pub struct IncidentHandle {
+    inner: StreamHandle,
+}
+
+impl IncidentHandle {
+    /// The underlying stream id.
+    pub fn id(&self) -> StreamId {
+        self.inner.id()
+    }
+
+    /// Tear the incident stream down across the tree — flight recorders
+    /// disarm (health scoring itself is config-driven and keeps running).
+    pub fn close(self) -> Result<()> {
+        self.inner.close()
+    }
+}
+
+impl StreamConsumer for IncidentHandle {
+    type Item = (Rank, IncidentBatch);
+
+    /// Undecodable packets on the stream are skipped, not surfaced as
+    /// errors.
+    fn recv(&self, deadline: Deadline) -> Result<Option<(Rank, IncidentBatch)>> {
+        loop {
+            match self.inner.recv(deadline)? {
+                None => return Ok(None),
+                Some(pkt) => {
+                    if let Ok(batch) = IncidentBatch::from_value(pkt.value()) {
                         return Ok(Some((pkt.origin(), batch)));
                     }
                 }

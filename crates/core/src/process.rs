@@ -26,6 +26,10 @@ use crate::config::{FlowConfig, NetworkConfig};
 use crate::error::{Result, TbonError};
 use crate::executor::{execute, FilterJob, FilterPool, SharedFilter, WaveOutput};
 use crate::filter::{FilterContext, FilterRegistry, SyncContext, Synchronization, Transformation};
+use crate::health::{
+    FlowSummary, HealthMonitor, HealthScore, HealthSignal, IncidentBatch, IncidentBundle,
+    IncidentReason, INCIDENT_FILTER,
+};
 use crate::packet::{Packet, Rank};
 use crate::proto::{decode_message, Envelope, FilterKind, Message, NetEvent, PerfCounters};
 use crate::stream::{Members, StreamId, StreamMode, StreamSpec, Tag};
@@ -69,6 +73,9 @@ pub(crate) enum FeCommand {
     },
     OpenTrace {
         interval: Duration,
+        reply: Sender<Result<(StreamId, Receiver<Packet>)>>,
+    },
+    OpenIncident {
         reply: Sender<Result<(StreamId, Receiver<Packet>)>>,
     },
     WaveLatency {
@@ -124,6 +131,15 @@ struct StreamState {
     merge_first_us: u64,
     merge_last_us: u64,
     merge_last_from: u32,
+    /// Unconditional first/last child-arrival tracking for the wave
+    /// currently buffering, feeding the health plane's straggler-gap
+    /// signal. Separate from the trace attribution above (which only
+    /// covers sampled packets); reuses the arrival `Instant` the sync
+    /// context already takes, so it costs no extra clock reads. Reset
+    /// when the sync filter releases waves.
+    gap_first: Option<Instant>,
+    gap_last: Option<Instant>,
+    gap_last_from: u32,
 }
 
 /// Tracks one in-flight LoadFilter probe.
@@ -246,6 +262,29 @@ pub(crate) struct CommProcess {
     /// Deferred grants must not read as death upstream, so a paced
     /// `CreditGrant { 0, 0 }` proves liveness while pressure holds.
     last_zero_grant: Option<Instant>,
+    /// EWMA health baselining (None when `HealthConfig::enabled` is off).
+    health: Option<HealthMonitor>,
+    /// Next health-sampling deadline; armed iff `health` is Some.
+    health_next_fire: Option<Instant>,
+    /// Counter snapshot at the previous health sample (delta signals).
+    health_last: PerfCounters,
+    /// Cached `config.health.enabled`, tested per upstream packet for the
+    /// arrival-gap tracking.
+    health_on: bool,
+    /// Largest wave-merge arrival gap since the previous health sample,
+    /// and the child whose packet came last (the straggler).
+    max_merge_gap_us: u64,
+    max_merge_gap_from: u32,
+    /// Armed while an incident stream is open: flight-recorder captures
+    /// self-inject here.
+    incident_stream: Option<StreamId>,
+    /// Local capture sequence — the low half of the incident id.
+    incident_seq: u64,
+    /// Counter snapshot at the previous capture (bundle counter deltas).
+    incident_last: PerfCounters,
+    /// Last health-warning-triggered capture, enforcing the cooldown.
+    /// Failure-triggered captures are exempt (see `record_incident`).
+    last_incident: Option<Instant>,
     role: ProcessRole,
 }
 
@@ -322,6 +361,35 @@ fn take_merge_span(st: &mut StreamState, waves: &[Vec<Packet>]) -> Option<(u64, 
     Some(m)
 }
 
+/// If `waves` were just released, consume the stream's unconditional
+/// arrival-gap tracking: `(first-to-last gap in µs, straggler rank)`.
+fn take_health_gap(st: &mut StreamState, waves: &[Vec<Packet>]) -> Option<(u64, u32)> {
+    if waves.is_empty() {
+        return None;
+    }
+    let first = st.gap_first.take()?;
+    let last = st.gap_last.take()?;
+    Some((
+        last.saturating_duration_since(first).as_micros() as u64,
+        st.gap_last_from,
+    ))
+}
+
+/// Build the health-scoring state [`crate::config::HealthConfig`] asks for.
+fn new_health(config: &NetworkConfig) -> (Option<HealthMonitor>, Option<Instant>) {
+    if !config.health.enabled {
+        return (None, None);
+    }
+    (
+        Some(HealthMonitor::new(
+            config.health.warn_ratio,
+            config.health.warmup_samples,
+            config.health.min_warning_gap.as_micros() as u64,
+        )),
+        Some(Instant::now() + config.health.check_interval),
+    )
+}
+
 impl CommProcess {
     pub(crate) fn new_internal(
         rank: Rank,
@@ -333,6 +401,8 @@ impl CommProcess {
     ) -> CommProcess {
         let pool = FilterPool::new(config.filter_pool, &config.name, rank);
         let spans = SpanRing::new(config.trace.ring_capacity);
+        let (health, health_next_fire) = new_health(&config);
+        let health_on = config.health.enabled;
         CommProcess {
             rank,
             endpoint,
@@ -364,6 +434,16 @@ impl CommProcess {
             consumed_frames: 0,
             consumed_bytes: 0,
             last_zero_grant: None,
+            health,
+            health_next_fire,
+            health_last: PerfCounters::default(),
+            health_on,
+            max_merge_gap_us: 0,
+            max_merge_gap_from: 0,
+            incident_stream: None,
+            incident_seq: 0,
+            incident_last: PerfCounters::default(),
+            last_incident: None,
             role: ProcessRole::Internal { parent },
         }
     }
@@ -379,6 +459,8 @@ impl CommProcess {
     ) -> CommProcess {
         let pool = FilterPool::new(config.filter_pool, &config.name, Rank(0));
         let spans = SpanRing::new(config.trace.ring_capacity);
+        let (health, health_next_fire) = new_health(&config);
+        let health_on = config.health.enabled;
         CommProcess {
             rank: Rank(0),
             endpoint,
@@ -410,6 +492,16 @@ impl CommProcess {
             consumed_frames: 0,
             consumed_bytes: 0,
             last_zero_grant: None,
+            health,
+            health_next_fire,
+            health_last: PerfCounters::default(),
+            health_on,
+            max_merge_gap_us: 0,
+            max_merge_gap_from: 0,
+            incident_stream: None,
+            incident_seq: 0,
+            incident_last: PerfCounters::default(),
+            last_incident: None,
             role: ProcessRole::Root {
                 fe_cmd,
                 fe_events,
@@ -432,6 +524,7 @@ impl CommProcess {
     fn is_telemetry_stream(&self, stream: StreamId) -> bool {
         self.metrics.as_ref().is_some_and(|m| m.stream == stream)
             || self.trace_pub.as_ref().is_some_and(|t| t.stream == stream)
+            || self.incident_stream == Some(stream)
     }
 
     /// Record a trace span with an explicit duration. No-op for untraced
@@ -549,6 +642,19 @@ impl CommProcess {
             // relay them (forward_event), never emit them.
             NetEvent::Healed { rank, .. } => ("healed", rank.to_string()),
             NetEvent::Degraded { rank, detail } => ("degraded", format!("{rank}: {detail}")),
+            NetEvent::HealthWarning {
+                subject,
+                signal,
+                value,
+                baseline,
+                ..
+            } => (
+                "health_warning",
+                format!(
+                    "{subject}: {} {value} vs baseline {baseline}",
+                    HealthSignal::from_code(*signal).map_or("?", |s| s.name())
+                ),
+            ),
         };
         self.events.push(kind, detail);
         self.forward_event(ev);
@@ -572,6 +678,14 @@ impl CommProcess {
     /// internal nodes, into the per-stream channel at the root. At the
     /// root, stamped packets resolve into end-to-end wave latency here.
     fn emit_up(&mut self, pkt: Packet) {
+        // A forwarded incident batch gains this process's own view of the
+        // same incident — the front end then sees the failure from both
+        // sides of the link.
+        let pkt = if self.incident_stream == Some(pkt.stream()) && !self.is_root() {
+            self.append_neighbor_view(pkt)
+        } else {
+            pkt
+        };
         match &mut self.role {
             ProcessRole::Root { fe_streams, .. } => {
                 let stamp = pkt.stamp_us();
@@ -1120,7 +1234,8 @@ impl CommProcess {
     ) {
         let now = Instant::now();
         let tracing = self.config.trace.enabled();
-        let (waves, merge) = {
+        let track_gap = self.health_on && !self.is_telemetry_stream(stream_id);
+        let (waves, merge, gap) = {
             let Some(st) = self.streams.get_mut(&stream_id) else {
                 // Stream closed or unknown: drop (paper model has no nack).
                 return;
@@ -1137,6 +1252,13 @@ impl CommProcess {
                 st.merge_last_us = t;
                 st.merge_last_from = from.0;
             }
+            if track_gap {
+                if st.gap_first.is_none() {
+                    st.gap_first = Some(now);
+                }
+                st.gap_last = Some(now);
+                st.gap_last_from = from.0;
+            }
             let ctx = SyncContext {
                 stream: stream_id,
                 rank: self.rank,
@@ -1145,8 +1267,10 @@ impl CommProcess {
             };
             let waves = st.sync.push(from, pkt, &ctx);
             let merge = take_merge_span(st, &waves);
-            (waves, merge)
+            let gap = take_health_gap(st, &waves);
+            (waves, merge, gap)
         };
+        self.note_merge_gap(gap);
         if let Some((trace, first, last, last_from)) = merge {
             // The sync filter just released waves: first-to-last traced
             // arrival is the child-merge wait, charged to the child whose
@@ -1227,6 +1351,9 @@ impl CommProcess {
                         merge_first_us: 0,
                         merge_last_us: 0,
                         merge_last_from: 0,
+                        gap_first: None,
+                        gap_last: None,
+                        gap_last_from: 0,
                     },
                 );
                 self.events.push("stream_open", stream_id.to_string());
@@ -1241,6 +1368,11 @@ impl CommProcess {
                             seq: 0,
                         });
                         self.events.push("trace_open", format!("{interval:?}"));
+                    } else if transformation == INCIDENT_FILTER {
+                        // The incident stream has no periodic publisher:
+                        // captures self-inject on trigger.
+                        self.incident_stream = Some(stream_id);
+                        self.events.push("incident_open", stream_id.to_string());
                     } else {
                         self.metrics = Some(MetricsPublisher {
                             stream: stream_id,
@@ -1295,6 +1427,9 @@ impl CommProcess {
             .is_some_and(|t| t.stream == stream_id)
         {
             self.trace_pub = None;
+        }
+        if self.incident_stream == Some(stream_id) {
+            self.incident_stream = None;
         }
         if let ProcessRole::Root { fe_streams, .. } = &mut self.role {
             fe_streams.remove(&stream_id);
@@ -1455,6 +1590,10 @@ impl CommProcess {
             });
             vec![child]
         };
+        // Flight recorder: a failure-detector verdict always captures
+        // (the loss event above is already in the ring, so the bundle
+        // carries it).
+        self.record_incident(IncidentReason::ChildLost, child, None);
 
         // Unblock synchronization filters waiting on the dead child.
         let ids: Vec<StreamId> = self.streams.keys().copied().collect();
@@ -1566,6 +1705,7 @@ impl CommProcess {
         let rank = self.rank;
         let metrics_stream = self.metrics.as_ref().map(|m| m.stream);
         let trace_stream = self.trace_pub.as_ref().map(|t| t.stream);
+        let incident_stream = self.incident_stream;
         let ids: Vec<StreamId> = self.streams.keys().copied().collect();
         let now = Instant::now();
         for stream_id in ids {
@@ -1584,7 +1724,10 @@ impl CommProcess {
                 st.down_routes = routes.clone();
                 // On the telemetry streams this process is itself a
                 // contributor; the recomputed routes must not evict it.
-                if metrics_stream == Some(stream_id) || trace_stream == Some(stream_id) {
+                if metrics_stream == Some(stream_id)
+                    || trace_stream == Some(stream_id)
+                    || incident_stream == Some(stream_id)
+                {
                     routes.push(rank);
                 }
                 st.expected = routes;
@@ -1622,6 +1765,7 @@ impl CommProcess {
         let now = Instant::now();
         self.publish_metrics(now);
         self.publish_trace(now);
+        self.sample_health(now);
         // Liveness through closed windows: a child whose window has been
         // closed with zero grants for a whole grant deadline is not slow,
         // it is gone — the failure detector stays authoritative and flow
@@ -1635,6 +1779,9 @@ impl CommProcess {
             .collect();
         for child in silent {
             self.events.push("flow_silent", child.to_string());
+            // Capture before the failure path tears the child's window
+            // state down — the bundle's flow section is the evidence.
+            self.record_incident(IncidentReason::FlowSilent, child, None);
             self.handle_child_failure(child);
         }
         // While we are the one deferring grants (parked backlog toward a
@@ -1648,7 +1795,7 @@ impl CommProcess {
             .map(|(id, _)| *id)
             .collect();
         for stream_id in due {
-            let (waves, merge) = {
+            let (waves, merge, gap) = {
                 let st = self.streams.get_mut(&stream_id).expect("exists");
                 let ctx = SyncContext {
                     stream: stream_id,
@@ -1658,8 +1805,10 @@ impl CommProcess {
                 };
                 let waves = st.sync.flush(&ctx);
                 let merge = take_merge_span(st, &waves);
-                (waves, merge)
+                let gap = take_health_gap(st, &waves);
+                (waves, merge, gap)
             };
+            self.note_merge_gap(gap);
             if let Some((trace, first, last, last_from)) = merge {
                 self.span_dur(
                     trace,
@@ -1674,8 +1823,8 @@ impl CommProcess {
         }
     }
 
-    /// Earliest pending sync, metrics-publish, or closed-window liveness
-    /// deadline.
+    /// Earliest pending sync, telemetry-publish, health-sampling, or
+    /// closed-window liveness deadline.
     fn next_deadline(&self) -> Option<Instant> {
         let sync = self
             .streams
@@ -1684,13 +1833,17 @@ impl CommProcess {
             .min();
         let publish = self.metrics.as_ref().map(|m| m.next_fire);
         let trace = self.trace_pub.as_ref().map(|t| t.next_fire);
+        let health = self.health_next_fire;
         let grant_deadline = self.grant_deadline();
         let stall = self
             .flow
             .values()
             .filter_map(|f| f.closed_since.map(|t| t + grant_deadline))
             .min();
-        [sync, publish, trace, stall].into_iter().flatten().min()
+        [sync, publish, trace, health, stall]
+            .into_iter()
+            .flatten()
+            .min()
     }
 
     /// If the publish interval elapsed, build this interval's
@@ -1743,6 +1896,9 @@ impl CommProcess {
             executor_wait_ns: std::mem::take(&mut self.executor_wait_interval),
             queue_depth,
             executor_queue_depth,
+            // Recovery latencies live with the supervisor; the front-end
+            // handle grafts them into received samples (network.rs).
+            recovery_us: LogHistogram::new(),
             level_packets_up,
             events_dropped: self.events.dropped(),
         };
@@ -1792,6 +1948,196 @@ impl CommProcess {
         }
         self.perf.batches_sent = self.perf.batches_sent.max(batches);
         self.perf.frames_batched = self.perf.frames_batched.max(frames);
+    }
+
+    /// Fold a completed wave's arrival gap into the interval maximum the
+    /// health plane samples as [`HealthSignal::StragglerGap`].
+    fn note_merge_gap(&mut self, gap: Option<(u64, u32)>) {
+        if let Some((gap_us, from)) = gap {
+            if gap_us > self.max_merge_gap_us {
+                self.max_merge_gap_us = gap_us;
+                self.max_merge_gap_from = from;
+            }
+        }
+    }
+
+    /// If the health check interval elapsed, sample every signal against
+    /// its EWMA baseline; threshold crossings raise
+    /// [`NetEvent::HealthWarning`] and trip the flight recorder (under the
+    /// incident cooldown).
+    fn sample_health(&mut self, now: Instant) {
+        if self.health_next_fire.is_none_or(|t| now < t) {
+            return;
+        }
+        let interval = self.config.health.check_interval;
+        let mut next = self.health_next_fire.expect("checked above");
+        while next <= now {
+            next += interval;
+        }
+        self.health_next_fire = Some(next);
+
+        // Raw signal values first (the monitor borrow below is exclusive).
+        let writer_queue = self
+            .endpoint
+            .peers
+            .ids()
+            .into_iter()
+            .filter_map(|p| self.endpoint.peers.get(p).and_then(|l| l.queue_depth()))
+            .max()
+            .unwrap_or(0) as u64;
+        let executor_queue = self.pool.queue_depths().max().unwrap_or(0) as u64;
+        let delta = self.perf.delta_since(&self.health_last);
+        self.health_last = self.perf;
+        let gap_us = std::mem::take(&mut self.max_merge_gap_us);
+        let gap_from = std::mem::take(&mut self.max_merge_gap_from);
+
+        let rank = self.rank;
+        let ts = now_us();
+        let mut fired: Vec<HealthScore> = Vec::new();
+        {
+            let Some(mon) = self.health.as_mut() else {
+                return;
+            };
+            let samples = [
+                (HealthSignal::WriterQueue, rank, writer_queue),
+                (HealthSignal::ExecutorQueue, rank, executor_queue),
+                (HealthSignal::CreditStall, rank, delta.credits_stalled_us),
+                (HealthSignal::StragglerGap, Rank(gap_from), gap_us),
+                (HealthSignal::SendFailures, rank, delta.sends_dropped),
+            ];
+            for (signal, subject, value) in samples {
+                if let Some(score) = mon.observe(signal, subject, value, ts) {
+                    fired.push(score);
+                }
+            }
+        }
+        for score in fired {
+            self.perf.health_warnings += 1;
+            self.emit_event(NetEvent::HealthWarning {
+                rank,
+                subject: score.subject,
+                signal: score.signal.code(),
+                value: score.value,
+                baseline: score.baseline,
+            });
+            self.record_incident(IncidentReason::HealthWarning, score.subject, Some(score));
+        }
+    }
+
+    /// Trip the flight recorder: freeze-copy this process's forensic state
+    /// into an [`IncidentBundle`] and self-inject it into the incident
+    /// stream. No-op while no incident stream is open. Health-warning
+    /// captures respect the incident cooldown; failure-triggered captures
+    /// (lost child, silent window, supervisor verdicts) always fire — a
+    /// partition's second loss must not be suppressed by its first.
+    fn record_incident(
+        &mut self,
+        reason: IncidentReason,
+        subject: Rank,
+        trigger: Option<HealthScore>,
+    ) {
+        let Some(stream) = self.incident_stream else {
+            return;
+        };
+        let now = Instant::now();
+        if reason == IncidentReason::HealthWarning
+            && self
+                .last_incident
+                .is_some_and(|t| now < t + self.config.health.incident_cooldown)
+        {
+            return;
+        }
+        self.last_incident = Some(now);
+        self.incident_seq += 1;
+        let incident = ((self.rank.0 as u64) << 32) | self.incident_seq;
+        let bundle = self.capture_bundle(incident, reason, subject, trigger);
+        let batch = IncidentBatch {
+            dropped: 0,
+            bundles: vec![bundle],
+        };
+        let rank = self.rank;
+        let seq = self.incident_seq;
+        self.handle_up(rank, stream, Tag(seq as u32), rank, 0, 0, batch.to_value());
+    }
+
+    /// Freeze-copy this process's forensic state, bounded by
+    /// `HealthConfig::bundle_max_bytes`.
+    fn capture_bundle(
+        &mut self,
+        incident: u64,
+        reason: IncidentReason,
+        subject: Rank,
+        trigger: Option<HealthScore>,
+    ) -> IncidentBundle {
+        let parent = match &self.role {
+            ProcessRole::Internal { parent } => *parent,
+            ProcessRole::Root { .. } => Rank(u32::MAX),
+        };
+        let children = self.live_children();
+        let counters = self.perf.delta_since(&self.incident_last);
+        self.incident_last = self.perf;
+        let mut flow: Vec<FlowSummary> = self
+            .flow
+            .iter()
+            .map(|(c, f)| FlowSummary {
+                child: *c,
+                credit_frames: f.credit_frames,
+                credit_bytes: f.credit_bytes,
+                parked_frames: f.pending.len() as u64,
+                parked_bytes: f.pending.iter().map(|(_, _, len, _)| *len).sum(),
+                closed_for_us: f.closed_since.map_or(0, |t| t.elapsed().as_micros() as u64),
+            })
+            .collect();
+        flow.sort_by_key(|f| f.child.0);
+        let mut bundle = IncidentBundle {
+            incident,
+            rank: self.rank,
+            reason,
+            subject,
+            at_us: now_us(),
+            parent,
+            children,
+            counters,
+            trigger,
+            scores: self
+                .health
+                .as_ref()
+                .map(HealthMonitor::scores)
+                .unwrap_or_default(),
+            flow,
+            events: self.events.snapshot(),
+            spans: self.spans.snapshot(),
+        };
+        bundle.truncate_to(self.config.health.bundle_max_bytes);
+        bundle
+    }
+
+    /// Append this process's own view to a forwarded incident batch (the
+    /// neighbor bundle carries the *original* incident id, which is what
+    /// groups the two sides of the link at the front end). Undecodable
+    /// payloads pass through untouched; so does a batch this process
+    /// already contributed to.
+    fn append_neighbor_view(&mut self, pkt: Packet) -> Packet {
+        let Ok(mut batch) = IncidentBatch::from_value(pkt.value()) else {
+            return pkt;
+        };
+        let Some(first) = batch.bundles.first() else {
+            return pkt;
+        };
+        if batch.bundles.iter().any(|b| b.rank == self.rank) {
+            return pkt;
+        }
+        let (incident, origin) = (first.incident, first.rank);
+        let neighbor = self.capture_bundle(incident, IncidentReason::Neighbor, origin, None);
+        batch.bundles.push(neighbor);
+        Packet::traced(
+            pkt.stream(),
+            pkt.tag(),
+            pkt.origin(),
+            pkt.stamp_us(),
+            pkt.trace_id(),
+            batch.to_value(),
+        )
     }
 
     /// Process one decoded message from peer `from`. Returns true if the
@@ -1929,6 +2275,13 @@ impl CommProcess {
                 self.handle_credit_grant(from, *frames, *bytes);
                 false
             }
+            Message::IncidentMark { reason, subject } => {
+                self.perf.control += 1;
+                if let Ok(reason) = IncidentReason::from_code(*reason) {
+                    self.record_incident(reason, *subject, None);
+                }
+                false
+            }
         }
     }
 
@@ -1997,6 +2350,11 @@ impl CommProcess {
                 let _ = reply.send(result);
                 false
             }
+            FeCommand::OpenIncident { reply } => {
+                let result = self.fe_open_incident();
+                let _ = reply.send(result);
+                false
+            }
             FeCommand::WaveLatency { reply } => {
                 let _ = reply.send(self.wave_latency_by_stream.clone());
                 false
@@ -2056,6 +2414,56 @@ impl CommProcess {
         if !self.streams.contains_key(&stream_id) {
             return Err(TbonError::Filter(format!(
                 "failed to instantiate metrics stream {stream_id} at root"
+            )));
+        }
+        let (tx, rx) = crossbeam_channel::unbounded();
+        if let ProcessRole::Root { fe_streams, .. } = &mut self.role {
+            fe_streams.insert(stream_id, tx);
+        }
+        Ok((stream_id, rx))
+    }
+
+    /// Open the incident stream: the flight-recorder plane. Members are the
+    /// communication processes (the forensic state lives there); bundles
+    /// are event-driven, so the stream synchronizes with `sync::null` —
+    /// every capture forwards immediately, and `health::incident_gather`
+    /// concatenates whatever batches share a wave under a byte cap.
+    fn fe_open_incident(&mut self) -> Result<(StreamId, Receiver<Packet>)> {
+        if let Some(s) = self.incident_stream {
+            return Err(TbonError::Filter(format!(
+                "incident stream {s} is already open"
+            )));
+        }
+        let members: Vec<Rank> = {
+            let topo = self.topology.read();
+            topo.node_ids()
+                .filter(|&n| matches!(topo.role(n), Role::FrontEnd | Role::Internal))
+                .map(|n| Rank(n.0))
+                .collect()
+        };
+        let stream_id = match &mut self.role {
+            ProcessRole::Root { next_stream, .. } => {
+                let id = StreamId(*next_stream);
+                *next_stream += 1;
+                id
+            }
+            ProcessRole::Internal { .. } => unreachable!("fe_open_incident on internal"),
+        };
+        let msg = envelope(Message::NewStream {
+            stream: stream_id,
+            members,
+            transformation: INCIDENT_FILTER.to_owned(),
+            params: DataValue::Unit,
+            sync_name: "sync::null".to_owned(),
+            sync_params: DataValue::Unit,
+            downstream_filter: None,
+            downstream_params: DataValue::Unit,
+            mode: StreamMode::Upstream,
+        });
+        self.handle_new_stream(&msg);
+        if !self.streams.contains_key(&stream_id) {
+            return Err(TbonError::Filter(format!(
+                "failed to instantiate incident stream {stream_id} at root"
             )));
         }
         let (tx, rx) = crossbeam_channel::unbounded();

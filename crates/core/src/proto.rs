@@ -51,6 +51,17 @@ pub enum NetEvent {
     /// The supervisor gave up on recovering `rank` after exhausting its
     /// retry budget; the tree keeps running without that subtree.
     Degraded { rank: Rank, detail: String },
+    /// A process's continuous health scoring crossed its warning threshold:
+    /// `signal` (a [`crate::health::HealthSignal`] code) measured `value`
+    /// against an EWMA `baseline` at `rank`. `subject` names the child or
+    /// peer the signal concerns, or `rank` itself for process-wide signals.
+    HealthWarning {
+        rank: Rank,
+        subject: Rank,
+        signal: u8,
+        value: u64,
+        baseline: u64,
+    },
 }
 
 /// Everything that can cross a link.
@@ -141,6 +152,13 @@ pub enum Message {
     /// capped at the configured window on receipt, so a duplicated or
     /// replayed grant can never inflate the window.
     CreditGrant { frames: u64, bytes: u64 },
+    /// Flight-recorder trigger (control channel → any communication
+    /// process): freeze-copy local forensic state into an incident bundle
+    /// and ship it on the incident stream. Sent by the supervisor after a
+    /// heal/degrade so the bundle captures the post-recovery picture;
+    /// `reason` is a [`crate::health::IncidentReason`] code and `subject`
+    /// the rank the incident concerns.
+    IncidentMark { reason: u8, subject: Rank },
 }
 
 /// Lifetime activity counters of one communication process — the
@@ -190,6 +208,9 @@ pub struct PerfCounters {
     /// Times a downstream send found a child's credit window closed and
     /// buffered the frame instead of transmitting.
     pub window_closed: u64,
+    /// Health-plane warnings raised by this process (threshold crossings
+    /// over the EWMA baselines; see `crates/core/src/health.rs`).
+    pub health_warnings: u64,
 }
 
 impl PerfCounters {
@@ -218,6 +239,7 @@ impl PerfCounters {
                 .saturating_sub(earlier.credits_stalled_us),
             grants_sent: self.grants_sent.saturating_sub(earlier.grants_sent),
             window_closed: self.window_closed.saturating_sub(earlier.window_closed),
+            health_warnings: self.health_warnings.saturating_sub(earlier.health_warnings),
         }
     }
 
@@ -246,13 +268,14 @@ impl PerfCounters {
             .saturating_add(other.credits_stalled_us);
         self.grants_sent = self.grants_sent.saturating_add(other.grants_sent);
         self.window_closed = self.window_closed.saturating_add(other.window_closed);
+        self.health_warnings = self.health_warnings.saturating_add(other.health_warnings);
     }
 }
 
 /// Wire size of an encoded [`PerfCounters`].
-pub const PERF_COUNTERS_WIRE_LEN: usize = 17 * 8;
+pub const PERF_COUNTERS_WIRE_LEN: usize = 18 * 8;
 
-/// Encode counters as seventeen little-endian `u64`s (shared by
+/// Encode counters as eighteen little-endian `u64`s (shared by
 /// `PerfReport` and the telemetry `MetricsSample`).
 pub fn encode_perf_counters(c: &PerfCounters, buf: &mut Vec<u8>) {
     for v in [
@@ -273,6 +296,7 @@ pub fn encode_perf_counters(c: &PerfCounters, buf: &mut Vec<u8>) {
         c.credits_stalled_us,
         c.grants_sent,
         c.window_closed,
+        c.health_warnings,
     ] {
         buf.extend_from_slice(&v.to_le_bytes());
     }
@@ -280,7 +304,7 @@ pub fn encode_perf_counters(c: &PerfCounters, buf: &mut Vec<u8>) {
 
 /// Inverse of [`encode_perf_counters`].
 pub fn decode_perf_counters(r: &mut Reader<'_>) -> Result<PerfCounters> {
-    let mut vals = [0u64; 17];
+    let mut vals = [0u64; 18];
     for v in &mut vals {
         *v = r.u64()?;
     }
@@ -302,6 +326,7 @@ pub fn decode_perf_counters(r: &mut Reader<'_>) -> Result<PerfCounters> {
         credits_stalled_us: vals[14],
         grants_sent: vals[15],
         window_closed: vals[16],
+        health_warnings: vals[17],
     })
 }
 
@@ -419,6 +444,7 @@ const M_PERF_REPORT: u8 = 14;
 const M_GET_EVENTS: u8 = 16;
 const M_EVENT_LOG: u8 = 17;
 const M_CREDIT_GRANT: u8 = 18;
+const M_INCIDENT_MARK: u8 = 19;
 
 const EV_BACKEND_LOST: u8 = 1;
 const EV_BACKEND_JOINED: u8 = 2;
@@ -427,6 +453,7 @@ const EV_SUBTREE_ORPHANED: u8 = 4;
 const EV_SEND_FAILED: u8 = 5;
 const EV_HEALED: u8 = 6;
 const EV_DEGRADED: u8 = 7;
+const EV_HEALTH_WARNING: u8 = 8;
 
 fn put_u32(buf: &mut Vec<u8>, v: u32) {
     buf.extend_from_slice(&v.to_le_bytes());
@@ -572,6 +599,11 @@ pub fn encode_message(msg: &Message) -> Vec<u8> {
             buf.extend_from_slice(&frames.to_le_bytes());
             buf.extend_from_slice(&bytes.to_le_bytes());
         }
+        Message::IncidentMark { reason, subject } => {
+            buf.push(M_INCIDENT_MARK);
+            buf.push(*reason);
+            put_u32(&mut buf, subject.0);
+        }
         Message::Event(ev) => {
             buf.push(M_EVENT);
             match ev {
@@ -617,6 +649,20 @@ pub fn encode_message(msg: &Message) -> Vec<u8> {
                     buf.push(EV_DEGRADED);
                     put_u32(&mut buf, rank.0);
                     put_str(&mut buf, detail);
+                }
+                NetEvent::HealthWarning {
+                    rank,
+                    subject,
+                    signal,
+                    value,
+                    baseline,
+                } => {
+                    buf.push(EV_HEALTH_WARNING);
+                    put_u32(&mut buf, rank.0);
+                    put_u32(&mut buf, subject.0);
+                    buf.push(*signal);
+                    buf.extend_from_slice(&value.to_le_bytes());
+                    buf.extend_from_slice(&baseline.to_le_bytes());
                 }
             }
         }
@@ -664,6 +710,7 @@ pub fn message_encoded_len(msg: &Message) -> usize {
         Message::PerfReport { .. } => 1 + 4 + PERF_COUNTERS_WIRE_LEN,
         Message::GetEvents => 1,
         Message::CreditGrant { .. } => 1 + 8 + 8,
+        Message::IncidentMark { .. } => 1 + 1 + 4,
         Message::EventLog { events, .. } => {
             1 + 4
                 + 8
@@ -682,6 +729,7 @@ pub fn message_encoded_len(msg: &Message) -> usize {
                 NetEvent::FilterError { detail, .. } => 4 + 4 + detail.len(),
                 NetEvent::Healed { adopted, .. } => 4 + 8 + 4 + 4 * adopted.len(),
                 NetEvent::Degraded { detail, .. } => 4 + 4 + detail.len(),
+                NetEvent::HealthWarning { .. } => 4 + 4 + 1 + 8 + 8,
             }
         }
     }
@@ -833,6 +881,10 @@ fn decode_message_inner(r: &mut Reader<'_>) -> Result<Message> {
             frames: r.u64()?,
             bytes: r.u64()?,
         },
+        M_INCIDENT_MARK => Message::IncidentMark {
+            reason: r.u8()?,
+            subject: Rank(r.u32()?),
+        },
         M_EVENT => {
             let ev_tag = r.u8()?;
             let ev = match ev_tag {
@@ -873,6 +925,13 @@ fn decode_message_inner(r: &mut Reader<'_>) -> Result<Message> {
                 EV_DEGRADED => NetEvent::Degraded {
                     rank: Rank(r.u32()?),
                     detail: r.str()?,
+                },
+                EV_HEALTH_WARNING => NetEvent::HealthWarning {
+                    rank: Rank(r.u32()?),
+                    subject: Rank(r.u32()?),
+                    signal: r.u8()?,
+                    value: r.u64()?,
+                    baseline: r.u64()?,
                 },
                 other => return Err(TbonError::Decode(format!("unknown event tag {other}"))),
             };
@@ -1000,6 +1059,13 @@ mod tests {
             rank: Rank(5),
             detail: "retry budget exhausted".into(),
         }));
+        roundtrip(Message::Event(NetEvent::HealthWarning {
+            rank: Rank(3),
+            subject: Rank(11),
+            signal: 4,
+            value: 9_000,
+            baseline: 1_200,
+        }));
         roundtrip(Message::Adopt { child: Rank(9) });
         roundtrip(Message::NewParent { parent: Rank(2) });
         roundtrip(Message::ReconfigAck { rank: Rank(5) });
@@ -1049,6 +1115,7 @@ mod tests {
                 credits_stalled_us: 4200,
                 grants_sent: 13,
                 window_closed: 3,
+                health_warnings: 2,
             },
         });
         roundtrip(Message::CreditGrant {
@@ -1058,6 +1125,10 @@ mod tests {
         roundtrip(Message::CreditGrant {
             frames: 0,
             bytes: 0,
+        });
+        roundtrip(Message::IncidentMark {
+            reason: 3,
+            subject: Rank(12),
         });
     }
 

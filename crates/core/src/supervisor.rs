@@ -33,9 +33,10 @@ use tbon_transport::Transport;
 
 use crate::config::RetryPolicy;
 use crate::error::{Result, TbonError};
+use crate::health::IncidentReason;
 use crate::network::{adopt_and_await, splice_failed, ControlPlane};
 use crate::packet::Rank;
-use crate::proto::NetEvent;
+use crate::proto::{Message, NetEvent};
 use crate::telemetry::LogHistogram;
 
 pub(crate) struct Supervisor {
@@ -102,12 +103,12 @@ impl Supervisor {
                     // The user sees the raw failure first, then its outcome.
                     let _ = self.events_out.send(ev.clone());
                     let outcome = self.recover_backend(rank, detected_by);
-                    self.report(rank, started, outcome);
+                    self.report(rank, detected_by, started, outcome);
                 }
                 NetEvent::SubtreeOrphaned { rank, detected_by } => {
                     let _ = self.events_out.send(ev.clone());
                     let outcome = self.recover_internal(rank, detected_by);
-                    self.report(rank, started, outcome);
+                    self.report(rank, detected_by, started, outcome);
                 }
                 other => {
                     let _ = self.events_out.send(other);
@@ -116,8 +117,14 @@ impl Supervisor {
         }
     }
 
-    fn report(&mut self, rank: Rank, started: Instant, outcome: Result<Vec<Rank>>) {
-        match outcome {
+    fn report(
+        &mut self,
+        rank: Rank,
+        detected_by: Rank,
+        started: Instant,
+        outcome: Result<Vec<Rank>>,
+    ) {
+        let reason = match outcome {
             Ok(adopted) => {
                 let recovery_us = started.elapsed().as_micros() as u64;
                 self.recovery.lock().record(recovery_us);
@@ -126,14 +133,27 @@ impl Supervisor {
                     adopted,
                     recovery_us,
                 });
+                IncidentReason::SupervisorHeal
             }
             Err(e) => {
                 let _ = self.events_out.send(NetEvent::Degraded {
                     rank,
                     detail: e.to_string(),
                 });
+                IncidentReason::SupervisorDegrade
             }
-        }
+        };
+        // Best-effort flight-recorder trigger at the detecting parent: its
+        // bundle captures the post-recovery picture (who was adopted, what
+        // the flow windows look like now). A dead link to the detector just
+        // loses the capture, never the recovery.
+        let _ = self.control.send(
+            detected_by,
+            Message::IncidentMark {
+                reason: reason.code(),
+                subject: rank,
+            },
+        );
     }
 
     /// A back-end dropped off: if its process still lives (the link died,

@@ -265,6 +265,11 @@ pub struct MetricsSample {
     pub executor_wait_ns: LogHistogram,
     /// Filter-pool queue depth per worker, sampled at publish time.
     pub executor_queue_depth: LogHistogram,
+    /// Supervisor recovery latency (µs), detection to heal completion.
+    /// Only the front-end records it — the histogram lives with the
+    /// supervisor — so the merged histogram is exactly the root's (same
+    /// rule as [`MetricsSample::wave_latency_us`]).
+    pub recovery_us: LogHistogram,
     /// Upstream packets received this interval, indexed by tree depth of
     /// the receiving process (0 = front-end). Merged element-wise.
     pub level_packets_up: Vec<u64>,
@@ -287,6 +292,7 @@ impl MetricsSample {
         self.queue_depth.merge(&other.queue_depth);
         self.executor_wait_ns.merge(&other.executor_wait_ns);
         self.executor_queue_depth.merge(&other.executor_queue_depth);
+        self.recovery_us.merge(&other.recovery_us);
         if self.level_packets_up.len() < other.level_packets_up.len() {
             self.level_packets_up
                 .resize(other.level_packets_up.len(), 0);
@@ -311,6 +317,7 @@ impl MetricsSample {
         self.queue_depth.encode(buf);
         self.executor_wait_ns.encode(buf);
         self.executor_queue_depth.encode(buf);
+        self.recovery_us.encode(buf);
         buf.extend_from_slice(&(self.level_packets_up.len() as u32).to_le_bytes());
         for v in &self.level_packets_up {
             buf.extend_from_slice(&v.to_le_bytes());
@@ -328,6 +335,7 @@ impl MetricsSample {
         let queue_depth = LogHistogram::decode(r)?;
         let executor_wait_ns = LogHistogram::decode(r)?;
         let executor_queue_depth = LogHistogram::decode(r)?;
+        let recovery_us = LogHistogram::decode(r)?;
         let n = r.len_prefix(8)?;
         let mut level_packets_up = Vec::with_capacity(n);
         for _ in 0..n {
@@ -344,6 +352,7 @@ impl MetricsSample {
             queue_depth,
             executor_wait_ns,
             executor_queue_depth,
+            recovery_us,
             level_packets_up,
             events_dropped,
         })
@@ -358,6 +367,7 @@ impl MetricsSample {
             + self.queue_depth.encoded_len()
             + self.executor_wait_ns.encoded_len()
             + self.executor_queue_depth.encoded_len()
+            + self.recovery_us.encoded_len()
             + 4
             + 8 * self.level_packets_up.len()
             + 8
@@ -420,6 +430,7 @@ impl MetricsSample {
         );
         counter(&mut out, "tbon_grants_sent_total", c.grants_sent);
         counter(&mut out, "tbon_window_closed_total", c.window_closed);
+        counter(&mut out, "tbon_health_warnings_total", c.health_warnings);
         prom_histogram(&mut out, "tbon_wave_latency_us", &self.wave_latency_us);
         prom_histogram(&mut out, "tbon_filter_exec_ns", &self.filter_exec_ns);
         prom_histogram(&mut out, "tbon_queue_depth", &self.queue_depth);
@@ -429,6 +440,7 @@ impl MetricsSample {
             "tbon_executor_queue_depth",
             &self.executor_queue_depth,
         );
+        prom_histogram(&mut out, "tbon_recovery_us", &self.recovery_us);
         out.push_str("# TYPE tbon_level_packets_up_total counter\n");
         for (lvl, v) in self.level_packets_up.iter().enumerate() {
             out.push_str(&format!(
@@ -463,8 +475,10 @@ impl MetricsSample {
                 "\"sends_dropped\":{},\"waves_executed\":{},",
                 "\"filter_busy_us\":{},\"batches_sent\":{},\"frames_batched\":{},",
                 "\"credits_stalled_us\":{},\"grants_sent\":{},\"window_closed\":{},",
+                "\"health_warnings\":{},",
                 "\"wave_latency_us\":{},\"filter_exec_ns\":{},\"queue_depth\":{},",
                 "\"executor_wait_ns\":{},\"executor_queue_depth\":{},",
+                "\"recovery_us\":{},",
                 "\"level_packets_up\":[{}],\"events_dropped\":{}}}"
             ),
             self.seq,
@@ -487,11 +501,13 @@ impl MetricsSample {
             c.credits_stalled_us,
             c.grants_sent,
             c.window_closed,
+            c.health_warnings,
             hist(&self.wave_latency_us),
             hist(&self.filter_exec_ns),
             hist(&self.queue_depth),
             hist(&self.executor_wait_ns),
             hist(&self.executor_queue_depth),
+            hist(&self.recovery_us),
             levels.join(","),
             self.events_dropped,
         )
@@ -569,7 +585,7 @@ impl LoggedEvent {
     }
 }
 
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for ch in s.chars() {
         match ch {
@@ -619,6 +635,12 @@ impl EventRing {
     /// counter is lifetime and survives draining.
     pub fn drain(&mut self) -> Vec<LoggedEvent> {
         self.buf.drain(..).collect()
+    }
+
+    /// Freeze-copy of the buffered events (oldest first) without draining
+    /// — the flight recorder's view; a later `GetEvents` still sees them.
+    pub fn snapshot(&self) -> Vec<LoggedEvent> {
+        self.buf.iter().cloned().collect()
     }
 
     pub fn len(&self) -> usize {
@@ -822,6 +844,12 @@ impl SpanRing {
             self.dropped += 1;
         }
         self.buf.push_back(span);
+    }
+
+    /// Freeze-copy of the buffered spans (oldest first) without draining —
+    /// the flight recorder's view; the trace stream still ships them.
+    pub fn snapshot(&self) -> Vec<TraceSpan> {
+        self.buf.iter().copied().collect()
     }
 
     /// Drain the oldest spans whose combined encoding fits `max_bytes`
@@ -1031,7 +1059,9 @@ mod tests {
         s.counters.credits_stalled_us = seed * 7;
         s.counters.grants_sent = seed + 1;
         s.counters.window_closed = seed % 4;
+        s.counters.health_warnings = seed % 3;
         s.wave_latency_us.record(seed + 1);
+        s.recovery_us.record(seed * 1000 + 9);
         s.filter_exec_ns.record(seed * 100 + 7);
         s.queue_depth.record(seed % 5);
         s.executor_wait_ns.record(seed * 50 + 3);
@@ -1174,6 +1204,7 @@ mod tests {
             credits_stalled_us: 910_015,
             grants_sent: 910_016,
             window_closed: 910_017,
+            health_warnings: 910_018,
         };
         let sentinels = [
             ("packets_up", 910_001u64),
@@ -1193,11 +1224,15 @@ mod tests {
             ("credits_stalled_us", 910_015),
             ("grants_sent", 910_016),
             ("window_closed", 910_017),
+            ("health_warnings", 910_018),
         ];
-        let s = MetricsSample {
+        let mut s = MetricsSample {
             counters,
             ..MetricsSample::default()
         };
+        // The supervisor's recovery histogram must surface too (it is
+        // grafted into front-end samples by `MetricsHandle::recv`).
+        s.recovery_us.record(920_001);
         let prom = s.to_prometheus();
         let json = s.to_jsonl();
         for (field, v) in sentinels {
@@ -1210,6 +1245,14 @@ mod tests {
                 "to_jsonl dropped counter field `{field}` (= {v}):\n{json}"
             );
         }
+        assert!(
+            prom.contains("tbon_recovery_us_sum 920001"),
+            "to_prometheus dropped the recovery_us histogram:\n{prom}"
+        );
+        assert!(
+            json.contains("\"recovery_us\":{\"count\":1,\"sum\":920001"),
+            "to_jsonl dropped the recovery_us histogram:\n{json}"
+        );
     }
 
     // -- satellite: quantile edge cases -------------------------------------

@@ -173,7 +173,7 @@ mod telemetry_props {
             (histogram_strategy(), histogram_strategy()),
             prop::collection::vec(0u64..1 << 48, 0..6),
             any::<u64>(),
-            prop::collection::vec(0u64..1 << 32, 17),
+            prop::collection::vec(0u64..1 << 32, 18),
         )
             .prop_map(
                 |(seq, interval_us, processes, wl, fe, qd, (ew, eq), levels, dropped, c)| {
@@ -199,6 +199,7 @@ mod telemetry_props {
                             credits_stalled_us: c[14],
                             grants_sent: c[15],
                             window_closed: c[16],
+                            health_warnings: c[17],
                         },
                         wave_latency_us: wl,
                         filter_exec_ns: fe,
@@ -207,6 +208,7 @@ mod telemetry_props {
                         executor_queue_depth: eq,
                         level_packets_up: levels,
                         events_dropped: dropped,
+                        recovery_us: LogHistogram::new(),
                     }
                 },
             )

@@ -1,0 +1,269 @@
+//! `tbon-doctor` — incident forensics for a TBON overlay.
+//!
+//! Launches a demonstration overlay with the health plane armed, drives a
+//! continuous reduction workload, optionally injects a fault mid-run, and
+//! collects the flight-recorder bundles the tree ships in-band on the
+//! incident stream. The collected bundles feed the rule-based [`Diagnosis`]
+//! engine, which prints ranked root-cause verdicts with their supporting
+//! evidence — as text or JSON.
+//!
+//! Bundles can also be saved to a black-box file and replayed offline, so a
+//! capture taken on one machine can be diagnosed on another:
+//!
+//! ```text
+//! tbon-doctor --topology 8x8 --fault kill-leaf           # live diagnosis
+//! tbon-doctor --topology 4x4 --fault sever --save bb.bin # save the black box
+//! tbon-doctor --replay bb.bin --json                     # offline replay
+//! ```
+
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+use tbon::prelude::*;
+use tbon::topology::{NodeId, Role, TopologySpec};
+
+enum Fault {
+    None,
+    KillLeaf,
+    KillInternal,
+    Sever,
+}
+
+struct Args {
+    topology: String,
+    duration_s: u64,
+    fault: Fault,
+    json: bool,
+    save: Option<String>,
+    replay: Option<String>,
+}
+
+fn parse() -> Option<Args> {
+    let mut args = Args {
+        topology: "4x4".into(),
+        duration_s: 5,
+        fault: Fault::KillLeaf,
+        json: false,
+        save: None,
+        replay: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--topology" => args.topology = it.next()?,
+            "--duration" => args.duration_s = it.next()?.parse().ok()?,
+            "--fault" => {
+                args.fault = match it.next()?.as_str() {
+                    "none" => Fault::None,
+                    "kill-leaf" => Fault::KillLeaf,
+                    "kill-internal" => Fault::KillInternal,
+                    "sever" => Fault::Sever,
+                    _ => return None,
+                }
+            }
+            "--json" => args.json = true,
+            "--save" => args.save = Some(it.next()?),
+            "--replay" => args.replay = Some(it.next()?),
+            _ => return None,
+        }
+    }
+    Some(args)
+}
+
+/// Render the diagnosis in the chosen format.
+fn report(diag: &Diagnosis, json: bool) {
+    if json {
+        println!("{}", diag.report_json());
+    } else {
+        print!("{}", diag.report_text());
+    }
+}
+
+/// Offline mode: decode a saved black-box file (one encoded
+/// [`IncidentBatch`]) and diagnose it without a running network.
+fn replay(path: &str, json: bool) -> ExitCode {
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("reading {path} failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let batch = match IncidentBatch::from_value(&DataValue::Bytes(bytes)) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("{path} is not a tbon-doctor black box: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut diag = Diagnosis::new();
+    diag.absorb(&batch);
+    report(&diag, json);
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let Some(args) = parse() else {
+        eprintln!(
+            "usage: tbon-doctor [--topology SPEC] [--duration SECS] \
+             [--fault none|kill-leaf|kill-internal|sever] [--json] \
+             [--save FILE] [--replay FILE]"
+        );
+        return ExitCode::from(2);
+    };
+    if let Some(path) = &args.replay {
+        return replay(path, args.json);
+    }
+
+    let spec = match TopologySpec::parse(&args.topology) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("bad topology: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let topo = spec.build();
+    // Victim selection up front, while the topology is still pristine: the
+    // last leaf (and its parent) for leaf faults, the last internal process
+    // for subtree faults.
+    let last_leaf = topo
+        .node_ids()
+        .filter(|&n| topo.role(n) == Role::BackEnd)
+        .last()
+        .map(|n| Rank(n.0));
+    let leaf_parent = last_leaf
+        .and_then(|l| topo.parent(NodeId(l.0)))
+        .map(|n| Rank(n.0));
+    let last_internal = topo
+        .node_ids()
+        .filter(|&n| topo.role(n) == Role::Internal)
+        .last()
+        .map(|n| Rank(n.0));
+
+    let config = NetworkConfig {
+        supervisor: Some(RetryPolicy::default()),
+        health: HealthConfig {
+            check_interval: Duration::from_millis(100),
+            ..HealthConfig::default()
+        },
+        ..NetworkConfig::default()
+    };
+    let mut net = match NetworkBuilder::new(topo)
+        .registry(builtin_registry())
+        .config(config)
+        .backend(|mut ctx: BackendContext| loop {
+            match ctx.next_event() {
+                Ok(BackendEvent::Packet { stream, packet }) => {
+                    let metric = (ctx.rank().0 as f64).sin().abs() * 100.0;
+                    if ctx
+                        .send(stream, packet.tag(), DataValue::F64(metric))
+                        .is_err()
+                    {
+                        break;
+                    }
+                }
+                Ok(BackendEvent::Shutdown) | Err(_) => break,
+                Ok(_) => continue,
+            }
+        })
+        .launch()
+    {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("launch failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let incidents = match net.open_incident_stream() {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("incident stream failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let stream = match net.new_stream(StreamSpec::all().transformation("builtin::avg")) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("workload stream failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Drive the workload; inject the fault a third of the way in so the
+    // health baselines have warmed up and the recorder has healthy history
+    // to contrast against.
+    let started = Instant::now();
+    let deadline = started + Duration::from_secs(args.duration_s.max(1));
+    let inject_at = started + (deadline - started) / 3;
+    let mut injected = false;
+    let mut diag = Diagnosis::new();
+    let mut black_box = IncidentBatch {
+        dropped: 0,
+        bundles: Vec::new(),
+    };
+    let mut round = 0u32;
+    while Instant::now() < deadline {
+        if !injected && Instant::now() >= inject_at {
+            injected = true;
+            let outcome = match args.fault {
+                Fault::None => Ok(()),
+                Fault::KillLeaf => last_leaf.map_or(Ok(()), |r| {
+                    eprintln!("injecting: kill back-end {r}");
+                    net.kill_backend(r)
+                }),
+                Fault::KillInternal => last_internal.map_or(Ok(()), |r| {
+                    eprintln!("injecting: kill internal {r}");
+                    net.kill_internal(r)
+                }),
+                Fault::Sever => match (leaf_parent, last_leaf) {
+                    (Some(p), Some(l)) => {
+                        eprintln!("injecting: sever link {p} -- {l}");
+                        net.sever_link(p, l)
+                    }
+                    _ => Ok(()),
+                },
+            };
+            if let Err(e) = outcome {
+                eprintln!("fault injection failed: {e}");
+            }
+        }
+        let _ = stream.broadcast(Tag(round), DataValue::U64(round as u64));
+        round += 1;
+        let _ = stream.recv_within(Duration::from_millis(500));
+        while let Some((_origin, batch)) = incidents.poll() {
+            black_box.dropped += batch.dropped;
+            black_box.bundles.extend(batch.bundles.clone());
+            diag.absorb(&batch);
+        }
+        while net.poll_event().is_some() {}
+    }
+    // One settle beat so captures racing the deadline still arrive.
+    std::thread::sleep(Duration::from_millis(200));
+    while let Some((_origin, batch)) = incidents.poll() {
+        black_box.dropped += batch.dropped;
+        black_box.bundles.extend(batch.bundles.clone());
+        diag.absorb(&batch);
+    }
+
+    if incidents.close().is_err() || net.shutdown().is_err() {
+        eprintln!("teardown failed");
+        return ExitCode::FAILURE;
+    }
+
+    report(&diag, args.json);
+    if let Some(path) = &args.save {
+        let DataValue::Bytes(bytes) = black_box.to_value() else {
+            unreachable!("incident batches encode to Bytes");
+        };
+        if let Err(e) = std::fs::write(path, bytes) {
+            eprintln!("writing {path} failed: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "wrote {path}: {} bundles (replay with `tbon-doctor --replay {path}`)",
+            black_box.bundles.len()
+        );
+    }
+    ExitCode::SUCCESS
+}

@@ -1,20 +1,29 @@
-//! `tbon-top` — topology inspection tool.
+//! `tbon-top` — topology inspection and live per-process counters.
 //!
 //! Parse a topology specification, report its shape statistics (the §3.2
-//! overhead arithmetic), and optionally emit Graphviz DOT.
+//! overhead arithmetic), and optionally emit Graphviz DOT. With `--live`,
+//! launch the overlay, drive a short reduction workload, and render a
+//! per-process table of the runtime counters the tree reports about
+//! itself — execution plane (executor queue depth, batching), flow control
+//! (windows closed, credit-stall time), and health-plane warnings.
 //!
 //! ```text
 //! tbon-top 16x16                 # stats for a balanced 16x16 tree
 //! tbon-top knomial:2,6 --dot     # DOT on stdout
 //! tbon-top flat:512 --levels     # per-level widths
+//! tbon-top 8x8 --live            # live counters, one row per process
 //! ```
 
+use std::collections::HashMap;
 use std::process::ExitCode;
+use std::time::{Duration, Instant};
 
+use tbon::core::PerfCounters;
+use tbon::prelude::*;
 use tbon::topology::{to_dot, TopologySpec, TopologyStats};
 
 fn usage() -> ExitCode {
-    eprintln!("usage: tbon-top <spec> [--dot] [--levels]");
+    eprintln!("usage: tbon-top <spec> [--dot] [--levels] [--live] [--duration SECS]");
     eprintln!();
     eprintln!("spec grammar:");
     eprintln!("  16x16           balanced, fan-outs per level");
@@ -24,15 +33,167 @@ fn usage() -> ExitCode {
     ExitCode::from(2)
 }
 
+/// Launch the overlay described by `spec`, run a reduction workload for
+/// `duration`, and print one counters row per communication process from
+/// the drilldown metrics stream, then any health warnings the run raised.
+fn live(spec: TopologySpec, duration: Duration) -> ExitCode {
+    let config = NetworkConfig {
+        health: HealthConfig {
+            check_interval: Duration::from_millis(100),
+            ..HealthConfig::default()
+        },
+        ..NetworkConfig::default()
+    };
+    let mut net = match NetworkBuilder::new(spec.build())
+        .registry(builtin_registry())
+        .config(config)
+        .backend(|mut ctx: BackendContext| loop {
+            match ctx.next_event() {
+                Ok(BackendEvent::Packet { stream, packet }) => {
+                    let metric = (ctx.rank().0 as f64).sin().abs() * 100.0;
+                    if ctx
+                        .send(stream, packet.tag(), DataValue::F64(metric))
+                        .is_err()
+                    {
+                        break;
+                    }
+                }
+                Ok(BackendEvent::Shutdown) | Err(_) => break,
+                Ok(_) => continue,
+            }
+        })
+        .launch()
+    {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("launch failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let metrics = match net.open_metrics_drilldown(Duration::from_millis(250)) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("metrics stream failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let stream = match net.new_stream(StreamSpec::all().transformation("builtin::avg")) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("workload stream failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Latest sample per rank wins; counters are per-interval deltas, so we
+    // accumulate across samples for lifetime-ish totals.
+    let mut totals: HashMap<Rank, PerfCounters> = HashMap::new();
+    let mut latest: HashMap<Rank, MetricsSample> = HashMap::new();
+    let mut warnings: Vec<NetEvent> = Vec::new();
+    let deadline = Instant::now() + duration;
+    let mut round = 0u32;
+    while Instant::now() < deadline {
+        if stream
+            .broadcast(Tag(round), DataValue::U64(round as u64))
+            .is_err()
+        {
+            break;
+        }
+        round += 1;
+        let _ = stream.recv_within(Duration::from_secs(5));
+        while let Some((origin, sample)) = metrics.poll() {
+            totals.entry(origin).or_default().absorb(&sample.counters);
+            latest.insert(origin, sample);
+        }
+        while let Some(ev) = net.poll_event() {
+            if matches!(ev, NetEvent::HealthWarning { .. }) {
+                warnings.push(ev);
+            }
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    let mut ranks: Vec<Rank> = totals.keys().copied().collect();
+    ranks.sort();
+    println!(
+        "{:>5}  {:>9} {:>9}  {:>8} {:>8} {:>8}  {:>7} {:>8} {:>11}  {:>6}",
+        "rank",
+        "pkts_up",
+        "waves",
+        "exec_q99",
+        "batches",
+        "batched",
+        "w_close",
+        "grants",
+        "stalled_us",
+        "health"
+    );
+    for rank in &ranks {
+        let c = &totals[rank];
+        let exec_q99 = latest
+            .get(rank)
+            .map(|s| s.executor_queue_depth.quantile(0.99))
+            .unwrap_or(0);
+        println!(
+            "{:>5}  {:>9} {:>9}  {:>8} {:>8} {:>8}  {:>7} {:>8} {:>11}  {:>6}",
+            rank.0,
+            c.packets_up,
+            c.waves,
+            exec_q99,
+            c.batches_sent,
+            c.frames_batched,
+            c.window_closed,
+            c.grants_sent,
+            c.credits_stalled_us,
+            c.health_warnings
+        );
+    }
+    if warnings.is_empty() {
+        println!("\nhealth: no warnings raised");
+    } else {
+        println!("\nhealth warnings:");
+        for ev in &warnings {
+            if let NetEvent::HealthWarning {
+                rank,
+                subject,
+                signal,
+                value,
+                baseline,
+            } = ev
+            {
+                let name = HealthSignal::from_code(*signal).map_or("?", |s| s.name());
+                println!("  rank {rank}  {name}({subject})  {value} vs baseline {baseline}");
+            }
+        }
+    }
+
+    if metrics.close().is_err() || net.shutdown().is_err() {
+        eprintln!("teardown failed");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut spec_str: Option<&str> = None;
     let mut dot = false;
     let mut levels = false;
-    for a in &args {
+    let mut run_live = false;
+    let mut duration_s = 3u64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
         match a.as_str() {
             "--dot" => dot = true,
             "--levels" => levels = true,
+            "--live" => run_live = true,
+            "--duration" => {
+                duration_s = match it.next().and_then(|v| v.parse().ok()) {
+                    Some(v) => v,
+                    None => return usage(),
+                }
+            }
             "--help" | "-h" => return usage(),
             s if spec_str.is_none() => spec_str = Some(s),
             other => {
@@ -51,6 +212,9 @@ fn main() -> ExitCode {
             return usage();
         }
     };
+    if run_live {
+        return live(spec, Duration::from_secs(duration_s.max(1)));
+    }
     let topo = spec.build();
     if dot {
         print!("{}", to_dot(&topo, "tbon"));

@@ -63,10 +63,12 @@ pub use tbon_transport as transport;
 /// The most commonly used items, importable with one `use tbon::prelude::*`.
 pub mod prelude {
     pub use tbon_core::{
-        BackendContext, BackendEvent, DataValue, Deadline, EventSnapshot, FilterRegistry,
-        FlowConfig, LogHistogram, MetricsHandle, MetricsSample, NetEvent, Network, NetworkBuilder,
-        NetworkConfig, Packet, PerfSnapshot, Rank, RetryPolicy, StreamConsumer, StreamHandle,
-        StreamId, StreamSpec, SyncPolicy, Tag, TbonError, TraceAssembler, TraceConfig, TraceHandle,
+        BackendContext, BackendEvent, DataValue, Deadline, Diagnosis, EventSnapshot, FaultClass,
+        FilterRegistry, FlowConfig, HealthConfig, HealthScore, HealthSignal, Incident,
+        IncidentBatch, IncidentBundle, IncidentHandle, IncidentReason, LogHistogram, MetricsHandle,
+        MetricsSample, NetEvent, Network, NetworkBuilder, NetworkConfig, Packet, PerfSnapshot,
+        Rank, RetryPolicy, StreamConsumer, StreamHandle, StreamId, StreamSpec, SyncPolicy, Tag,
+        TbonError, TraceAssembler, TraceConfig, TraceHandle, Verdict,
     };
     pub use tbon_filters::builtin_registry;
     pub use tbon_topology::Topology;

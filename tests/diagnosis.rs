@@ -1,0 +1,334 @@
+//! Incident-forensics end-to-end: inject each fault class the flight
+//! recorder knows about into a 16×16 overlay (filter pool enabled) and
+//! assert the front end receives an [`IncidentBundle`] whose top-ranked
+//! [`Diagnosis`] verdict names the fault actually injected.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use tbon::core::{FilterContext, FilterPoolConfig, Transformation, Wave};
+use tbon::prelude::*;
+use tbon::topology::{NodeId, Role, TopologySpec};
+
+/// A back-end that echoes every packet, optionally stalling one designated
+/// rank once the throttle flips on — the "slow child" fault.
+fn echo_backend(victim: u32, throttle: Arc<AtomicBool>) -> impl Fn(BackendContext) + Send + Sync {
+    move |mut ctx: BackendContext| loop {
+        match ctx.next_event() {
+            Ok(BackendEvent::Packet { stream, packet }) => {
+                if ctx.rank().0 == victim && throttle.load(Ordering::Relaxed) {
+                    std::thread::sleep(Duration::from_millis(400));
+                }
+                if ctx.send(stream, packet.tag(), DataValue::I64(1)).is_err() {
+                    break;
+                }
+            }
+            Ok(BackendEvent::Shutdown) | Err(_) => break,
+            Ok(_) => continue,
+        }
+    }
+}
+
+/// Health config tuned for test pacing: fast checks, short debounce, short
+/// cooldown — same thresholds as production defaults.
+fn fast_health() -> HealthConfig {
+    HealthConfig {
+        check_interval: Duration::from_millis(50),
+        min_warning_gap: Duration::from_millis(500),
+        incident_cooldown: Duration::from_millis(100),
+        ..HealthConfig::default()
+    }
+}
+
+struct Rig {
+    net: Network,
+    incidents: IncidentHandle,
+    stream: StreamHandle,
+    victim_leaf: Rank,
+    victim_parent: Rank,
+    sibling_leaves: Vec<Rank>,
+}
+
+/// Launch a 16×16 overlay with the filter pool enabled and the health
+/// plane armed, open the incident stream, and warm the health baselines
+/// with healthy waves.
+fn launch(pool: FilterPoolConfig, throttle: Arc<AtomicBool>) -> Rig {
+    let topo = TopologySpec::parse("16x16").unwrap().build();
+    let victim_leaf = topo
+        .node_ids()
+        .filter(|&n| topo.role(n) == Role::BackEnd)
+        .last()
+        .map(|n| Rank(n.0))
+        .unwrap();
+    let victim_parent = Rank(topo.parent(NodeId(victim_leaf.0)).unwrap().0);
+    let sibling_leaves: Vec<Rank> = topo
+        .children(NodeId(victim_parent.0))
+        .iter()
+        .map(|&c| Rank(c))
+        .collect();
+    let config = NetworkConfig {
+        filter_pool: pool,
+        health: fast_health(),
+        ..NetworkConfig::default()
+    };
+    let mut net = NetworkBuilder::new(topo)
+        .registry(builtin_registry())
+        .config(config)
+        .backend(echo_backend(victim_leaf.0, throttle))
+        .launch()
+        .expect("launch 16x16");
+    let incidents = net.open_incident_stream().expect("incident stream");
+    let stream = net
+        .new_stream(StreamSpec::all().transformation("builtin::sum"))
+        .expect("workload stream");
+    // Healthy warmup: past `warmup_samples` health ticks with live waves,
+    // so the baselines have real history to contrast the fault against.
+    let warm_until = Instant::now() + Duration::from_millis(600);
+    let mut round = 0u32;
+    while Instant::now() < warm_until {
+        stream
+            .broadcast(Tag(round), DataValue::Unit)
+            .expect("warmup broadcast");
+        round += 1;
+        let _ = stream.recv_within(Duration::from_secs(5));
+    }
+    Rig {
+        net,
+        incidents,
+        stream,
+        victim_leaf,
+        victim_parent,
+        sibling_leaves,
+    }
+}
+
+/// Keep the workload alive while draining incident batches, until some
+/// incident's *top-ranked* verdict is `expected` (success) or the deadline
+/// passes (panic, printing what the diagnosis actually said).
+fn await_verdict(rig: &mut Rig, expected: FaultClass, patience: Duration) -> Diagnosis {
+    let mut diag = Diagnosis::new();
+    let deadline = Instant::now() + patience;
+    let mut round = 10_000u32;
+    while Instant::now() < deadline {
+        let _ = rig.stream.broadcast(Tag(round), DataValue::Unit);
+        round += 1;
+        let _ = rig.stream.recv_within(Duration::from_millis(1500));
+        while let Some((_origin, batch)) = rig.incidents.poll() {
+            diag.absorb(&batch);
+        }
+        let top_matches = diag
+            .verdicts()
+            .iter()
+            .any(|(_, verdicts)| verdicts.first().is_some_and(|v| v.class == expected));
+        if top_matches {
+            return diag;
+        }
+        while rig.net.poll_event().is_some() {}
+    }
+    panic!(
+        "no incident's top verdict named {} within {patience:?}; diagnosis said:\n{}",
+        expected.name(),
+        diag.report_text()
+    );
+}
+
+/// Fault class 1 — kill-link: severing one leaf's link makes its parent
+/// declare it dead; the capture diagnoses a dead link.
+#[test]
+fn severed_leaf_link_diagnoses_dead_link() {
+    let mut rig = launch(
+        FilterPoolConfig::default(),
+        Arc::new(AtomicBool::new(false)),
+    );
+    rig.net
+        .sever_link(rig.victim_parent, rig.victim_leaf)
+        .expect("sever");
+    let diag = await_verdict(&mut rig, FaultClass::DeadLink, Duration::from_secs(20));
+    assert!(!diag.is_empty());
+    rig.stream = rig
+        .net
+        .new_stream(StreamSpec::all().transformation("builtin::sum"))
+        .expect("post-fault stream");
+    rig.net.shutdown().expect("shutdown");
+}
+
+/// Fault class 2 — throttled leaf: one back-end stalls 400 ms per wave;
+/// its parent's straggler-gap baseline crossing diagnoses a slow child.
+#[test]
+fn throttled_leaf_diagnoses_slow_child() {
+    let throttle = Arc::new(AtomicBool::new(false));
+    let mut rig = launch(FilterPoolConfig::default(), Arc::clone(&throttle));
+    throttle.store(true, Ordering::Relaxed);
+    let diag = await_verdict(&mut rig, FaultClass::SlowChild, Duration::from_secs(30));
+    // The verdict's incident names the straggler (or its parent's link).
+    let named = diag.verdicts().iter().any(|(inc, verdicts)| {
+        verdicts
+            .first()
+            .is_some_and(|v| v.class == FaultClass::SlowChild)
+            && inc
+                .primary()
+                .is_some_and(|p| p.subject == rig.victim_leaf || p.rank == rig.victim_parent)
+    });
+    assert!(
+        named,
+        "slow-child verdict should implicate the throttled leaf:\n{}",
+        diag.report_text()
+    );
+    throttle.store(false, Ordering::Relaxed);
+    rig.net.shutdown().expect("shutdown");
+}
+
+/// A transformation that burns CPU time per wave — the executor-overload
+/// fault. Forwards a unit packet so waves still complete.
+#[derive(Debug)]
+struct Burn;
+impl Transformation for Burn {
+    fn transform(
+        &mut self,
+        wave: Wave,
+        ctx: &mut FilterContext,
+    ) -> tbon::core::Result<Vec<Packet>> {
+        std::thread::sleep(Duration::from_millis(3));
+        let tag = wave.first().map(|p| p.tag()).unwrap_or(Tag(0));
+        Ok(vec![ctx.make(tag, DataValue::Unit)])
+    }
+}
+
+/// Fault class 3 — executor overload: a single pool worker, every wave
+/// pooled, and an expensive filter driven by a burst of back-to-back
+/// waves; the queue-depth baseline crossing diagnoses executor saturation.
+#[test]
+fn executor_overload_diagnoses_saturation() {
+    let registry = builtin_registry();
+    registry.register_transformation("test::burn", |_| Ok(Box::new(Burn)));
+    let topo = TopologySpec::parse("16x16").unwrap().build();
+    let config = NetworkConfig {
+        filter_pool: FilterPoolConfig {
+            workers: 1,
+            queue_depth: 64,
+            inline_below_bytes: 0,
+        },
+        health: fast_health(),
+        ..NetworkConfig::default()
+    };
+    let mut net = NetworkBuilder::new(topo)
+        .registry(registry)
+        .config(config)
+        .backend(echo_backend(u32::MAX, Arc::new(AtomicBool::new(false))))
+        .launch()
+        .expect("launch 16x16");
+    let incidents = net.open_incident_stream().expect("incident stream");
+    let burn = net
+        .new_stream(StreamSpec::all().transformation("test::burn"))
+        .expect("burn stream");
+    // Gentle warmup so the queue-depth baseline settles near zero.
+    for round in 0..10u32 {
+        burn.broadcast(Tag(round), DataValue::Unit).expect("warmup");
+        let _ = burn.recv_within(Duration::from_secs(5));
+    }
+    std::thread::sleep(Duration::from_millis(300));
+    // Burst: waves arrive ~instantly and drain at 3 ms each through one
+    // worker, so the shard queue grows well past the warning floor.
+    let mut diag = Diagnosis::new();
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let mut matched = false;
+    let mut round = 1_000u32;
+    'outer: while Instant::now() < deadline {
+        for _ in 0..40 {
+            let _ = burn.broadcast(Tag(round), DataValue::Unit);
+            round += 1;
+        }
+        let drain_until = Instant::now() + Duration::from_millis(700);
+        while Instant::now() < drain_until {
+            let _ = burn.recv_within(Duration::from_millis(50));
+            while let Some((_origin, batch)) = incidents.poll() {
+                diag.absorb(&batch);
+            }
+            if diag.verdicts().iter().any(|(_, v)| {
+                v.first()
+                    .is_some_and(|v| v.class == FaultClass::ExecutorSaturation)
+            }) {
+                matched = true;
+                break 'outer;
+            }
+            while net.poll_event().is_some() {}
+        }
+    }
+    assert!(
+        matched,
+        "no executor-saturation verdict; diagnosis said:\n{}",
+        diag.report_text()
+    );
+    net.shutdown().expect("shutdown");
+}
+
+/// Fault class 4 — partition: several leaves under the same parent vanish
+/// at once; the repeated recent losses diagnose a partition rather than a
+/// single dead link.
+#[test]
+fn multi_leaf_loss_diagnoses_partition() {
+    let mut rig = launch(
+        FilterPoolConfig::default(),
+        Arc::new(AtomicBool::new(false)),
+    );
+    let victims: Vec<Rank> = rig.sibling_leaves.iter().copied().take(3).collect();
+    assert!(victims.len() >= 2, "16x16 parents have 16 leaves each");
+    for &v in &victims {
+        rig.net.sever_link(rig.victim_parent, v).expect("sever");
+    }
+    let diag = await_verdict(&mut rig, FaultClass::Partition, Duration::from_secs(20));
+    // The partition verdict comes from the shared parent.
+    let from_parent = diag.verdicts().iter().any(|(inc, verdicts)| {
+        verdicts
+            .first()
+            .is_some_and(|v| v.class == FaultClass::Partition)
+            && inc.primary().is_some_and(|p| p.rank == rig.victim_parent)
+    });
+    assert!(
+        from_parent,
+        "partition verdict should originate at the shared parent:\n{}",
+        diag.report_text()
+    );
+    rig.net.shutdown().expect("shutdown");
+}
+
+/// Satellite: `Network::event_logs` under an active partition returns a
+/// *partial* snapshot naming the dead process in `missing` — mirroring
+/// `perf_snapshot` semantics — and aggregates ring overflow through
+/// `EventSnapshot::dropped()`.
+#[test]
+fn event_logs_partial_under_active_partition() {
+    let mut net = NetworkBuilder::new(Topology::balanced(2, 2))
+        .registry(builtin_registry())
+        .backend(|mut ctx: BackendContext| loop {
+            match ctx.next_event() {
+                Ok(BackendEvent::Packet { stream, packet }) => {
+                    let _ = ctx.send(stream, packet.tag(), DataValue::I64(1));
+                }
+                Ok(BackendEvent::Shutdown) | Err(_) => break,
+                Ok(_) => continue,
+            }
+        })
+        .launch()
+        .unwrap();
+    net.kill_internal(Rank(2)).unwrap();
+    let snap = net.event_logs(Duration::from_secs(2)).unwrap();
+    assert!(
+        snap.missing.contains(&Rank(2)),
+        "victim must be reported missing, got {:?}",
+        snap.missing
+    );
+    assert!(
+        snap.logs.contains_key(&Rank(0)) && snap.logs.contains_key(&Rank(1)),
+        "survivors still answer: {:?}",
+        snap.logs.keys().collect::<Vec<_>>()
+    );
+    // The aggregate overflow counter is the sum over responding rings
+    // (zero here — nothing has overflowed a default-sized ring).
+    assert_eq!(
+        snap.dropped(),
+        snap.logs.values().map(|pe| pe.dropped).sum::<u64>()
+    );
+    net.shutdown().unwrap();
+}
